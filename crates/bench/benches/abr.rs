@@ -1,0 +1,58 @@
+//! Criterion bench: ABR decision latency and full streaming-session
+//! simulation throughput (the substrate behind Figures 12-14).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use volut_stream::abr::{AbrContext, AbrController, ContinuousMpcAbr, DiscreteMpcAbr};
+use volut_stream::qoe::QoeParams;
+use volut_stream::simulator::{SessionConfig, StreamingSimulator};
+use volut_stream::systems::SystemKind;
+use volut_stream::trace::NetworkTrace;
+use volut_stream::video::VideoMeta;
+
+fn ctx() -> AbrContext {
+    AbrContext {
+        throughput_mbps: 60.0,
+        buffer_level_s: 4.0,
+        chunk_duration_s: 1.0,
+        full_chunk_bytes: 11_250_000,
+        previous_quality: 0.8,
+        max_sr_ratio: 8.0,
+        sr_quality_factor: 0.95,
+        sr_seconds_per_chunk: 0.1,
+    }
+}
+
+fn bench_abr_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abr_decision");
+    group.sample_size(30);
+    let context = ctx();
+    group.bench_function("continuous_mpc_96_candidates", |b| {
+        let mut abr = ContinuousMpcAbr::default();
+        b.iter(|| black_box(abr.decide(&context)))
+    });
+    group.bench_function("discrete_mpc_yuzu_ladder", |b| {
+        let mut abr = DiscreteMpcAbr::yuzu_ladder(QoeParams::default());
+        b.iter(|| black_box(abr.decide(&context)))
+    });
+    group.finish();
+}
+
+fn bench_session_simulation(c: &mut Criterion) {
+    let sim = StreamingSimulator::new(SessionConfig::default());
+    let video = VideoMeta::tiny(900, 100_000); // 30 s of content
+    let trace = NetworkTrace::synthetic_lte(60.0, 20.0, 60.0, 3);
+    let mut group = c.benchmark_group("session_simulation_30s");
+    group.sample_size(10);
+    for system in [SystemKind::VolutContinuous, SystemKind::YuzuSr, SystemKind::Vivo] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{system:?}")),
+            &system,
+            |b, &system| b.iter(|| black_box(sim.run(&video, &trace, system).unwrap().qoe.score)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abr_decision, bench_session_simulation);
+criterion_main!(benches);

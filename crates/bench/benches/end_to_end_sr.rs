@@ -1,0 +1,50 @@
+//! Criterion bench: the full two-stage SR pipeline (interpolate + colorize +
+//! refine) against the GradPU and Yuzu baselines on one frame.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use volut_bench::setup::TrainedArtifacts;
+use volut_pointcloud::{sampling, synthetic};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let artifacts = TrainedArtifacts::train(4_000, 2);
+    let gt = synthetic::humanoid(6_000, 0.7, 5);
+    let low = sampling::random_downsample(&gt, 0.5, 7).unwrap();
+
+    let volut = artifacts.pipeline_k4d2_lut();
+    let gradpu = artifacts.gradpu();
+    let yuzu = artifacts.yuzu();
+
+    let mut group = c.benchmark_group("end_to_end_sr_x2");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("method", "volut_lut"), &low, |b, low| {
+        b.iter(|| black_box(volut.upsample(low, 2.0).unwrap().cloud.len()))
+    });
+    group.bench_with_input(BenchmarkId::new("method", "yuzu_sr"), &low, |b, low| {
+        b.iter(|| black_box(yuzu.upsample(low, 2.0).unwrap().cloud.len()))
+    });
+    group.bench_with_input(BenchmarkId::new("method", "gradpu"), &low, |b, low| {
+        b.iter(|| black_box(gradpu.upsample(low, 2.0).unwrap().cloud.len()))
+    });
+    group.finish();
+}
+
+fn bench_ratio_sweep(c: &mut Criterion) {
+    // Figure 18's shape: VoLUT's frame time stays roughly stable as the
+    // ratio grows because kNN over the (shrinking) input dominates.
+    let artifacts = TrainedArtifacts::train(4_000, 2);
+    let gt = synthetic::humanoid(8_000, 0.2, 9);
+    let volut = artifacts.pipeline_k4d2_lut();
+    let mut group = c.benchmark_group("volut_sr_ratio_sweep");
+    group.sample_size(10);
+    for ratio in [2.0f64, 4.0, 8.0] {
+        let low = sampling::random_downsample(&gt, 1.0 / ratio, 11).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(format!("x{ratio}")), &low, |b, low| {
+            b.iter(|| black_box(volut.upsample(low, ratio).unwrap().cloud.len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_ratio_sweep);
+criterion_main!(benches);

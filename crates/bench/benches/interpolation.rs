@@ -1,0 +1,41 @@
+//! Criterion bench: naive vs dilated interpolation across upsampling ratios
+//! (the micro-benchmark behind Figure 11) plus a dilation-factor ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use volut_core::config::SrConfig;
+use volut_core::interpolate::{dilated::dilated_interpolate, naive::naive_interpolate};
+use volut_pointcloud::{sampling, synthetic};
+
+fn bench_interpolation(c: &mut Criterion) {
+    let gt = synthetic::humanoid(8_000, 0.3, 1);
+    let mut group = c.benchmark_group("interpolation");
+    group.sample_size(10);
+    for ratio in [2.0f64, 4.0, 8.0] {
+        let low = sampling::random_downsample(&gt, 1.0 / ratio, 3).unwrap();
+        group.bench_with_input(BenchmarkId::new("naive", format!("x{ratio}")), &low, |b, low| {
+            b.iter(|| naive_interpolate(black_box(low), &SrConfig::k4d1(), ratio).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("dilated", format!("x{ratio}")), &low, |b, low| {
+            b.iter(|| dilated_interpolate(black_box(low), &SrConfig::k4d2(), ratio).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dilation_ablation(c: &mut Criterion) {
+    let gt = synthetic::humanoid(8_000, 0.3, 2);
+    let low = sampling::random_downsample(&gt, 0.5, 5).unwrap();
+    let mut group = c.benchmark_group("dilation_factor");
+    group.sample_size(10);
+    for d in [1usize, 2, 3] {
+        let cfg = SrConfig { dilation: d, ..SrConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(d), &low, |b, low| {
+            b.iter(|| dilated_interpolate(black_box(low), &cfg, 2.0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interpolation, bench_dilation_ablation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: neighbor-search backends (brute force, k-d tree,
+//! two-layer octree, voxel grid) — the ablation behind VoLUT's octree choice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use volut_pointcloud::kdtree::KdTree;
+use volut_pointcloud::knn::{BruteForce, NeighborSearch};
+use volut_pointcloud::octree::TwoLayerOctree;
+use volut_pointcloud::synthetic;
+use volut_pointcloud::voxelgrid::VoxelGrid;
+
+fn bench_knn_query(c: &mut Criterion) {
+    let cloud = synthetic::humanoid(20_000, 0.5, 1);
+    let queries = synthetic::humanoid(200, 0.5, 2);
+    let brute = BruteForce::new(cloud.positions());
+    let kdtree = KdTree::build(cloud.positions());
+    let octree = TwoLayerOctree::build(cloud.positions());
+    let grid = VoxelGrid::build_auto(cloud.positions(), 8);
+
+    let mut group = c.benchmark_group("knn_k8");
+    group.sample_size(10);
+    let run = |backend: &dyn NeighborSearch| {
+        let mut total = 0usize;
+        for &q in queries.positions() {
+            total += backend.knn(q, 8).len();
+        }
+        total
+    };
+    group.bench_function(BenchmarkId::new("backend", "brute_force"), |b| {
+        b.iter(|| black_box(run(&brute)))
+    });
+    group.bench_function(BenchmarkId::new("backend", "kdtree"), |b| {
+        b.iter(|| black_box(run(&kdtree)))
+    });
+    group.bench_function(BenchmarkId::new("backend", "two_layer_octree"), |b| {
+        b.iter(|| black_box(run(&octree)))
+    });
+    group.bench_function(BenchmarkId::new("backend", "voxel_grid"), |b| {
+        b.iter(|| black_box(run(&grid)))
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let cloud = synthetic::humanoid(20_000, 0.5, 3);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.bench_function("kdtree", |b| b.iter(|| KdTree::build(black_box(cloud.positions()))));
+    group.bench_function("two_layer_octree", |b| {
+        b.iter(|| TwoLayerOctree::build(black_box(cloud.positions())))
+    });
+    group.bench_function("voxel_grid", |b| {
+        b.iter(|| VoxelGrid::build_auto(black_box(cloud.positions()), 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_query, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench: LUT refinement vs direct neural-network refinement —
+//! the core speedup behind Figure 17 ("sub-milliseconds vs seconds").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use volut_core::config::SrConfig;
+use volut_core::encoding::{KeyScheme, PositionEncoder};
+use volut_core::lut::{sparse::SparseLut, Lut};
+use volut_core::nn::mlp::Mlp;
+use volut_core::refine::{LutRefiner, NnRefiner, Refiner};
+use volut_pointcloud::Point3;
+
+fn neighborhoods(n: usize) -> Vec<(Point3, Vec<Point3>)> {
+    (0..n)
+        .map(|i| {
+            let f = (i % 97) as f32 * 0.013;
+            (
+                Point3::new(f, 1.0 - f, f * 0.3),
+                vec![
+                    Point3::new(f + 0.05, 1.0 - f, f * 0.3),
+                    Point3::new(f, 1.05 - f, f * 0.3),
+                    Point3::new(f, 1.0 - f, f * 0.3 + 0.05),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn bench_refiners(c: &mut Criterion) {
+    let config = SrConfig::default();
+    let encoder = PositionEncoder::new(&config, KeyScheme::Full).unwrap();
+    let hoods = neighborhoods(2_000);
+
+    // Populate the LUT with every key the benchmark will touch so hit rate is 100%.
+    let mut lut = SparseLut::new();
+    for (center, neighbors) in &hoods {
+        let key = encoder.encode(*center, neighbors).unwrap().key;
+        lut.set(key, [0.01, 0.0, -0.01]).unwrap();
+    }
+    let lut_refiner = LutRefiner::new(encoder.clone(), Box::new(lut));
+    // The refinement network at GradPU scale (256-wide) and at the small
+    // distillation scale (64-wide).
+    let nn_small = NnRefiner::new(encoder.clone(), Mlp::new(&[12, 64, 64, 3], 1));
+    let nn_large = NnRefiner::new(encoder, Mlp::new(&[12, 256, 256, 3], 2));
+
+    let mut group = c.benchmark_group("refinement_2000_points");
+    group.sample_size(20);
+    let run = |refiner: &dyn Refiner| {
+        let mut acc = Point3::ZERO;
+        for (center, neighbors) in &hoods {
+            acc += refiner.refine(*center, neighbors);
+        }
+        acc
+    };
+    group.bench_function("lut_lookup", |b| b.iter(|| black_box(run(&lut_refiner))));
+    group.bench_function("nn_64x64", |b| b.iter(|| black_box(run(&nn_small))));
+    group.bench_function("nn_256x256", |b| b.iter(|| black_box(run(&nn_large))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_refiners);
+criterion_main!(benches);

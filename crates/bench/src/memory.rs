@@ -1,0 +1,65 @@
+//! Figure 15: GPU/client memory usage of the SR back-ends.
+
+use crate::report::Report;
+use crate::setup::TrainedArtifacts;
+use volut_core::device::DeviceProfile;
+use volut_core::lut::memory::MemoryModel;
+use volut_core::lut::Lut as _;
+
+/// Regenerates Figure 15: resident memory of GradPU, Yuzu (frozen models)
+/// and VoLUT's single LUT for a 100K-point frame workload.
+pub fn fig15_memory(artifacts: &TrainedArtifacts) -> Report {
+    let mut report = Report::new(
+        "fig15",
+        "Client SR memory usage (100K-point frames)",
+        &["Method", "Resident bytes", "Human readable", "Fits Quest-3-class device (8 GiB, 50% headroom)"],
+    );
+    let points_per_frame = 100_000;
+    let device = DeviceProfile::orange_pi();
+
+    let gradpu_bytes = artifacts.gradpu().memory_bytes(points_per_frame) as u128;
+    let yuzu_bytes = artifacts.yuzu().memory_bytes(points_per_frame) as u128;
+    // VoLUT ships the dense deployed LUT (n=4, b=128) in the paper; the
+    // distilled sparse LUT used by this reproduction is far smaller. Report
+    // both so the comparison against the paper's 1.6 GB figure is explicit.
+    let dense_bytes = MemoryModel::new(4, 128).compact_bytes();
+    let sparse_bytes = artifacts.lut.memory_bytes() as u128;
+
+    for (name, bytes) in [
+        ("GradPU (activations + weights)", gradpu_bytes),
+        ("Yuzu-SR (frozen per-ratio models)", yuzu_bytes),
+        ("VoLUT dense LUT (paper config n=4, b=128)", dense_bytes),
+        ("VoLUT sparse LUT (this reproduction)", sparse_bytes),
+    ] {
+        report.push_row(vec![
+            name.to_string(),
+            bytes.to_string(),
+            MemoryModel::format_bytes(bytes),
+            if device.fits_in_memory(bytes, 0.5) { "yes".into() } else { "no".into() },
+        ]);
+    }
+    report.push_note("paper: VoLUT improves GPU memory usage by 86% vs GradPU and is comparable to Yuzu's frozen models");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_ordering_matches_paper_claims() {
+        let artifacts = TrainedArtifacts::train(1_500, 1);
+        let r = fig15_memory(&artifacts);
+        assert_eq!(r.rows.len(), 4);
+        let bytes: Vec<u128> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
+        // GradPU (activations for the whole batch) uses the most memory of
+        // the neural back-ends.
+        assert!(bytes[0] > bytes[1], "gradpu {} should exceed yuzu {}", bytes[0], bytes[1]);
+        // The sparse reproduction LUT is far smaller than the dense paper LUT
+        // and far smaller than GradPU's working set.
+        assert!(bytes[3] < bytes[2]);
+        assert!(bytes[3] * 10 < bytes[0], "sparse lut should be well below gradpu");
+        // Everything the client actually deploys fits a Quest-3-class device.
+        assert_eq!(r.rows[3][3], "yes");
+    }
+}

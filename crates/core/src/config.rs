@@ -1,0 +1,145 @@
+//! Configuration of the two-stage super-resolution pipeline.
+
+use crate::error::Error;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by the interpolation and refinement stages.
+///
+/// The defaults mirror the paper's deployed configuration: `k = 4` neighbors
+/// with dilation `d = 2` (receptive field `k×d = 8` candidates), a refinement
+/// receptive field of `n = 4` points and `b = 128` quantization bins.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::config::SrConfig;
+/// let cfg = SrConfig::default();
+/// assert_eq!(cfg.k, 4);
+/// assert_eq!(cfg.dilation, 2);
+/// assert!(cfg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SrConfig {
+    /// Number of neighbors `k` used when generating each interpolated point.
+    pub k: usize,
+    /// Dilation factor `d`; the dilated neighborhood holds `k × d` candidates (Eq. 1).
+    pub dilation: usize,
+    /// Receptive-field size `n` of the refinement stage (center + `n-1` neighbors).
+    pub receptive_field: usize,
+    /// Number of quantization bins `b` per encoded value (Eq. 4).
+    pub bins: usize,
+    /// Whether the interpolation stage reuses neighbor relationships for new
+    /// points (Eq. 2) instead of running fresh kNN queries.
+    pub reuse_neighbors: bool,
+    /// Seed for the deterministic pseudo-random choices inside interpolation.
+    pub seed: u64,
+}
+
+impl Default for SrConfig {
+    fn default() -> Self {
+        Self {
+            k: 4,
+            dilation: 2,
+            receptive_field: 4,
+            bins: 128,
+            reuse_neighbors: true,
+            seed: 0,
+        }
+    }
+}
+
+impl SrConfig {
+    /// The paper's "K4d1" baseline: vanilla kNN interpolation without dilation.
+    pub fn k4d1() -> Self {
+        Self { dilation: 1, ..Self::default() }
+    }
+
+    /// The paper's "K4d2" configuration: dilation 2.
+    pub fn k4d2() -> Self {
+        Self::default()
+    }
+
+    /// Size of the dilated candidate neighborhood (`k × d`).
+    pub fn dilated_neighborhood(&self) -> usize {
+        self.k * self.dilation
+    }
+
+    /// Checks that every field is inside its documented domain.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<()> {
+        if self.k == 0 {
+            return Err(Error::InvalidConfig("k must be at least 1".into()));
+        }
+        if self.dilation == 0 {
+            return Err(Error::InvalidConfig("dilation must be at least 1".into()));
+        }
+        if self.receptive_field < 2 {
+            return Err(Error::InvalidConfig(
+                "receptive_field must be at least 2 (center plus one neighbor)".into(),
+            ));
+        }
+        if self.bins < 2 {
+            return Err(Error::InvalidConfig("bins must be at least 2".into()));
+        }
+        if self.bins > 65_536 {
+            return Err(Error::InvalidConfig("bins must fit in 16 bits".into()));
+        }
+        Ok(())
+    }
+
+    /// Validates an upsampling ratio for this configuration.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidRatio`] when `ratio` is below 1 or not finite.
+    pub fn validate_ratio(&self, ratio: f64) -> Result<()> {
+        if !ratio.is_finite() || ratio < 1.0 {
+            return Err(Error::InvalidRatio(ratio));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let c = SrConfig::default();
+        assert_eq!(c.k, 4);
+        assert_eq!(c.dilation, 2);
+        assert_eq!(c.receptive_field, 4);
+        assert_eq!(c.bins, 128);
+        assert!(c.reuse_neighbors);
+        assert_eq!(c.dilated_neighborhood(), 8);
+    }
+
+    #[test]
+    fn named_presets() {
+        assert_eq!(SrConfig::k4d1().dilation, 1);
+        assert_eq!(SrConfig::k4d2().dilation, 2);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(SrConfig { k: 0, ..SrConfig::default() }.validate().is_err());
+        assert!(SrConfig { dilation: 0, ..SrConfig::default() }.validate().is_err());
+        assert!(SrConfig { receptive_field: 1, ..SrConfig::default() }.validate().is_err());
+        assert!(SrConfig { bins: 1, ..SrConfig::default() }.validate().is_err());
+        assert!(SrConfig { bins: 1 << 17, ..SrConfig::default() }.validate().is_err());
+        assert!(SrConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn ratio_validation() {
+        let c = SrConfig::default();
+        assert!(c.validate_ratio(1.0).is_ok());
+        assert!(c.validate_ratio(2.7).is_ok());
+        assert!(c.validate_ratio(0.9).is_err());
+        assert!(c.validate_ratio(f64::NAN).is_err());
+        assert!(c.validate_ratio(f64::INFINITY).is_err());
+    }
+}

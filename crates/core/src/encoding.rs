@@ -1,0 +1,459 @@
+//! Position encoding for LUT indexing (§4.2.1).
+//!
+//! The refinement stage must turn a *continuous* 3D neighborhood into a
+//! *discrete* table index. The paper's pipeline (Figure 6) does this in
+//! three steps: take the receptive field's raw coordinates (a), normalize
+//! them relative to the center point and neighborhood radius (b, Eq. 3), and
+//! quantize each normalized value into `b` bins (c, Eq. 4).
+//!
+//! Two key layouts are supported, matching the two ways the paper counts
+//! LUT entries:
+//! * [`KeyScheme::Full`] — every coordinate of every receptive-field point
+//!   contributes `log2(b)` bits, giving `b^(3n)` possible keys (the text's
+//!   Eq. 5). This space is far too large to materialize densely and is used
+//!   with the sparse LUT.
+//! * [`KeyScheme::Compact`] — each receptive-field point is encoded as a
+//!   single `b`-bin code (octant + quantized radial distance), giving `b^n`
+//!   possible keys. This matches the byte counts of Table 1 and is what the
+//!   dense LUT uses.
+
+use crate::config::SrConfig;
+use crate::error::Error;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use volut_pointcloud::Point3;
+
+/// How receptive-field points are mapped to table keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyScheme {
+    /// Per-coordinate quantization: `b^(3n)` possible keys (paper Eq. 5).
+    Full,
+    /// Per-point scalar code (octant ⊕ radial bin): `b^n` possible keys
+    /// (matches the sizes reported in Table 1).
+    Compact,
+}
+
+/// A quantized neighborhood ready for LUT lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedNeighborhood {
+    /// The packed lookup key.
+    pub key: u128,
+    /// Quantized per-coordinate indices (row-major: point, then x/y/z),
+    /// kept for NN dequantization and debugging.
+    pub indices: Vec<u16>,
+    /// Neighborhood radius `R` used for normalization; refinement offsets
+    /// are expressed in this normalized scale and must be multiplied back.
+    pub radius: f32,
+}
+
+/// Encoder turning `(center, neighbors)` into quantized LUT keys.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::encoding::{PositionEncoder, KeyScheme};
+/// use volut_core::config::SrConfig;
+/// use volut_pointcloud::Point3;
+///
+/// let enc = PositionEncoder::new(&SrConfig::default(), KeyScheme::Compact).unwrap();
+/// let center = Point3::new(0.0, 0.0, 0.0);
+/// let neighbors = [Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0), Point3::new(0.0, 0.0, 1.0)];
+/// let e = enc.encode(center, &neighbors).unwrap();
+/// assert!(e.radius > 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PositionEncoder {
+    /// Receptive field size `n` (center + `n-1` neighbors).
+    receptive_field: usize,
+    /// Number of quantization bins `b`.
+    bins: u16,
+    /// Key layout.
+    scheme: KeyScheme,
+}
+
+impl PositionEncoder {
+    /// Creates an encoder from an [`SrConfig`].
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when the configuration is invalid or
+    /// when the resulting key would not fit in 128 bits.
+    pub fn new(config: &SrConfig, scheme: KeyScheme) -> Result<Self> {
+        config.validate()?;
+        let bits_per_value = bits_for(config.bins);
+        let values = match scheme {
+            KeyScheme::Full => config.receptive_field * 3,
+            KeyScheme::Compact => config.receptive_field,
+        };
+        if bits_per_value * values > 128 {
+            return Err(Error::InvalidConfig(format!(
+                "key of {} values x {} bits does not fit in 128 bits",
+                values, bits_per_value
+            )));
+        }
+        Ok(Self {
+            receptive_field: config.receptive_field,
+            bins: config.bins as u16,
+            scheme,
+        })
+    }
+
+    /// Receptive field size `n`.
+    pub fn receptive_field(&self) -> usize {
+        self.receptive_field
+    }
+
+    /// Number of quantization bins `b`.
+    pub fn bins(&self) -> u16 {
+        self.bins
+    }
+
+    /// Key scheme in use.
+    pub fn scheme(&self) -> KeyScheme {
+        self.scheme
+    }
+
+    /// Total number of addressable keys of the packed representation:
+    /// `(2^ceil(log2 b))^n` per value (equal to `b^n` / `b^(3n)` when `b` is
+    /// a power of two, as in all paper configurations). Saturates at
+    /// `u128::MAX`.
+    pub fn key_space(&self) -> u128 {
+        let values = match self.scheme {
+            KeyScheme::Full => self.receptive_field * 3,
+            KeyScheme::Compact => self.receptive_field,
+        };
+        let per_value = 1u128 << bits_for(usize::from(self.bins));
+        let mut total: u128 = 1;
+        for _ in 0..values {
+            total = total.saturating_mul(per_value);
+        }
+        total
+    }
+
+    /// Normalizes the neighborhood relative to the center (Eq. 3): returns
+    /// the normalized points (center first) and the neighborhood radius `R`.
+    /// All returned coordinates lie inside `[-1, 1]`.
+    pub fn normalize(&self, center: Point3, neighbors: &[Point3]) -> (Vec<Point3>, f32) {
+        let radius = neighbors
+            .iter()
+            .map(|p| p.distance(center))
+            .fold(0.0f32, f32::max)
+            .max(f32::EPSILON);
+        let mut out = Vec::with_capacity(neighbors.len() + 1);
+        out.push(Point3::ZERO);
+        for &p in neighbors {
+            out.push((p - center) / radius);
+        }
+        (out, radius)
+    }
+
+    /// Quantizes a normalized value in `[-1, 1]` into a bin index (Eq. 4).
+    pub fn quantize_value(&self, v: f32) -> u16 {
+        let b = f32::from(self.bins);
+        let q = ((v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (b - 1.0)).floor();
+        (q as u16).min(self.bins - 1)
+    }
+
+    /// Inverse of [`Self::quantize_value`]: the center of bin `q` in `[-1, 1]`.
+    pub fn dequantize_value(&self, q: u16) -> f32 {
+        let b = f32::from(self.bins);
+        (f32::from(q.min(self.bins - 1)) + 0.5) / (b - 1.0) * 2.0 - 1.0
+    }
+
+    /// Encodes a neighborhood into a lookup key.
+    ///
+    /// The interpolated (center) point occupies the first slot of the
+    /// receptive field, as required by the paper ("the interpolated point
+    /// will be placed at first in the index"). When fewer than `n - 1`
+    /// neighbors are supplied the remaining slots are padded with the
+    /// center; extra neighbors are ignored.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when `neighbors` is empty.
+    pub fn encode(&self, center: Point3, neighbors: &[Point3]) -> Result<EncodedNeighborhood> {
+        if neighbors.is_empty() {
+            return Err(Error::InvalidConfig(
+                "cannot encode a neighborhood with no neighbors".into(),
+            ));
+        }
+        let needed = self.receptive_field - 1;
+        let (normalized, radius) = self.normalize(center, neighbors);
+        // normalized[0] is the center; slots 1..n hold neighbors.
+        let mut slots: Vec<Point3> = Vec::with_capacity(self.receptive_field);
+        slots.push(normalized[0]);
+        for i in 0..needed {
+            slots.push(*normalized.get(i + 1).unwrap_or(&Point3::ZERO));
+        }
+
+        let mut indices = Vec::with_capacity(self.receptive_field * 3);
+        for p in &slots {
+            indices.push(self.quantize_value(p.x));
+            indices.push(self.quantize_value(p.y));
+            indices.push(self.quantize_value(p.z));
+        }
+
+        let key = match self.scheme {
+            KeyScheme::Full => {
+                let bits = bits_for(usize::from(self.bins)) as u32;
+                let mut key: u128 = 0;
+                for &q in &indices {
+                    key = (key << bits) | u128::from(q);
+                }
+                key
+            }
+            KeyScheme::Compact => {
+                let bits = bits_for(usize::from(self.bins)) as u32;
+                let mut key: u128 = 0;
+                for p in &slots {
+                    key = (key << bits) | u128::from(self.compact_code(*p));
+                }
+                key
+            }
+        };
+
+        Ok(EncodedNeighborhood { key, indices, radius })
+    }
+
+    /// Dequantized feature vector (length `n × 3`, values in `[-1, 1]`) for a
+    /// given encoded neighborhood — the input representation fed to the
+    /// refinement network both at training and at distillation time, so that
+    /// the network sees exactly what the LUT can index.
+    pub fn features(&self, encoded: &EncodedNeighborhood) -> Vec<f32> {
+        encoded.indices.iter().map(|&q| self.dequantize_value(q)).collect()
+    }
+
+    /// Re-derives the lookup key from a dequantized feature vector (as
+    /// returned by [`Self::features`]): values are re-quantized and packed
+    /// exactly like [`Self::encode`] would. This is what the LUT builder
+    /// uses to key distilled network outputs.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when the feature length is not
+    /// `receptive_field × 3`.
+    pub fn key_from_features(&self, features: &[f32]) -> Result<u128> {
+        if features.len() != self.receptive_field * 3 {
+            return Err(Error::InvalidConfig(format!(
+                "feature vector length {} does not match receptive field {} x 3",
+                features.len(),
+                self.receptive_field
+            )));
+        }
+        let bits = bits_for(usize::from(self.bins)) as u32;
+        match self.scheme {
+            KeyScheme::Full => {
+                let mut key: u128 = 0;
+                for &v in features {
+                    key = (key << bits) | u128::from(self.quantize_value(v));
+                }
+                Ok(key)
+            }
+            KeyScheme::Compact => {
+                let mut key: u128 = 0;
+                for chunk in features.chunks_exact(3) {
+                    let p = Point3::new(chunk[0], chunk[1], chunk[2]);
+                    key = (key << bits) | u128::from(self.compact_code(p));
+                }
+                Ok(key)
+            }
+        }
+    }
+
+    /// Inverse of [`Self::key_from_features`] for the [`KeyScheme::Full`]
+    /// layout: unpacks a key into the dequantized feature vector at the bin
+    /// centers. Used to enumerate small dense LUTs exhaustively.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when called on a compact-scheme
+    /// encoder (the compact code is lossy and cannot be inverted).
+    pub fn features_from_key(&self, key: u128) -> Result<Vec<f32>> {
+        if self.scheme != KeyScheme::Full {
+            return Err(Error::InvalidConfig(
+                "features_from_key is only defined for the full key scheme".into(),
+            ));
+        }
+        let bits = bits_for(usize::from(self.bins)) as u32;
+        let values = self.receptive_field * 3;
+        let mask = (1u128 << bits) - 1;
+        let mut out = vec![0.0f32; values];
+        let mut k = key;
+        for i in (0..values).rev() {
+            let q = (k & mask) as u16;
+            out[i] = self.dequantize_value(q.min(self.bins - 1));
+            k >>= bits;
+        }
+        Ok(out)
+    }
+
+    /// Per-point compact code: 3 octant bits plus the remaining bits encode
+    /// the quantized radial distance from the center.
+    fn compact_code(&self, p: Point3) -> u16 {
+        let bits = bits_for(usize::from(self.bins)) as u32;
+        let octant =
+            (u16::from(p.x >= 0.0) << 2) | (u16::from(p.y >= 0.0) << 1) | u16::from(p.z >= 0.0);
+        if bits <= 3 {
+            return octant & ((1 << bits) - 1);
+        }
+        let radial_bits = bits - 3;
+        let radial_levels = (1u16 << radial_bits) - 1;
+        // Radial distance in normalized space is in [0, sqrt(3)]; for surface
+        // neighborhoods it is almost always <= 1.
+        let r = (p.norm() / 3.0f32.sqrt()).clamp(0.0, 1.0);
+        let radial = ((r * f32::from(radial_levels)).round() as u16).min(radial_levels);
+        (octant << radial_bits) | radial
+    }
+}
+
+/// Number of bits needed to represent values in `0..bins`.
+fn bits_for(bins: usize) -> usize {
+    (usize::BITS - (bins - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn encoder(scheme: KeyScheme) -> PositionEncoder {
+        PositionEncoder::new(&SrConfig::default(), scheme).unwrap()
+    }
+
+    #[test]
+    fn bits_for_is_correct() {
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(64), 6);
+        assert_eq!(bits_for(128), 7);
+        assert_eq!(bits_for(100), 7);
+    }
+
+    #[test]
+    fn normalization_puts_points_in_unit_cube() {
+        let enc = encoder(KeyScheme::Full);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let center = Point3::new(
+                rng.random_range(-10.0..10.0),
+                rng.random_range(-10.0..10.0),
+                rng.random_range(-10.0..10.0),
+            );
+            let neighbors: Vec<Point3> = (0..3)
+                .map(|_| {
+                    center
+                        + Point3::new(
+                            rng.random_range(-0.5..0.5),
+                            rng.random_range(-0.5..0.5),
+                            rng.random_range(-0.5..0.5),
+                        )
+                })
+                .collect();
+            let (norm, radius) = enc.normalize(center, &neighbors);
+            assert!(radius > 0.0);
+            for p in norm {
+                assert!(p.x.abs() <= 1.0 + 1e-5);
+                assert!(p.y.abs() <= 1.0 + 1e-5);
+                assert!(p.z.abs() <= 1.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_roundtrip_stays_in_bin() {
+        let enc = encoder(KeyScheme::Full);
+        for q in [0u16, 1, 50, 126, 127] {
+            let v = enc.dequantize_value(q);
+            assert_eq!(enc.quantize_value(v), q);
+        }
+        assert_eq!(enc.quantize_value(-1.0), 0);
+        assert_eq!(enc.quantize_value(1.0), 127);
+        assert_eq!(enc.quantize_value(5.0), 127);
+        assert_eq!(enc.quantize_value(-5.0), 0);
+    }
+
+    #[test]
+    fn key_space_matches_paper_formulas() {
+        let full = encoder(KeyScheme::Full);
+        assert_eq!(full.key_space(), 128u128.pow(12));
+        let compact = encoder(KeyScheme::Compact);
+        assert_eq!(compact.key_space(), 128u128.pow(4));
+    }
+
+    #[test]
+    fn rejects_configs_whose_keys_overflow() {
+        // Full scheme with n = 8, b = 65536 would need 8*3*16 = 384 bits.
+        let cfg = SrConfig { receptive_field: 8, bins: 65_536, ..SrConfig::default() };
+        assert!(PositionEncoder::new(&cfg, KeyScheme::Full).is_err());
+        // Compact scheme with the same config fits (8 * 16 = 128 bits).
+        assert!(PositionEncoder::new(&cfg, KeyScheme::Compact).is_ok());
+    }
+
+    #[test]
+    fn encode_is_deterministic_and_translation_invariant() {
+        let enc = encoder(KeyScheme::Full);
+        let center = Point3::new(1.0, 2.0, 3.0);
+        let neighbors = vec![
+            Point3::new(1.5, 2.0, 3.0),
+            Point3::new(1.0, 2.5, 3.0),
+            Point3::new(1.0, 2.0, 3.5),
+        ];
+        let a = enc.encode(center, &neighbors).unwrap();
+        let b = enc.encode(center, &neighbors).unwrap();
+        assert_eq!(a, b);
+        // Translate everything: the key must not change (encoding is relative).
+        let offset = Point3::new(-7.0, 4.0, 11.0);
+        let moved: Vec<Point3> = neighbors.iter().map(|&p| p + offset).collect();
+        let c = enc.encode(center + offset, &moved).unwrap();
+        assert_eq!(a.key, c.key);
+    }
+
+    #[test]
+    fn encode_scale_invariant_key_but_radius_tracks_scale() {
+        let enc = encoder(KeyScheme::Full);
+        let center = Point3::ZERO;
+        let neighbors = vec![
+            Point3::new(0.1, 0.0, 0.0),
+            Point3::new(0.0, 0.1, 0.0),
+            Point3::new(0.0, 0.0, 0.1),
+        ];
+        let small = enc.encode(center, &neighbors).unwrap();
+        let scaled: Vec<Point3> = neighbors.iter().map(|&p| p * 10.0).collect();
+        let big = enc.encode(center, &scaled).unwrap();
+        assert_eq!(small.key, big.key);
+        assert!((big.radius / small.radius - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn encode_pads_and_truncates_neighbors() {
+        let enc = encoder(KeyScheme::Full);
+        let center = Point3::ZERO;
+        let one = enc.encode(center, &[Point3::new(1.0, 0.0, 0.0)]).unwrap();
+        assert_eq!(one.indices.len(), 4 * 3);
+        let many: Vec<Point3> = (0..10).map(|i| Point3::new(i as f32 + 1.0, 0.0, 0.0)).collect();
+        let truncated = enc.encode(center, &many).unwrap();
+        assert_eq!(truncated.indices.len(), 4 * 3);
+        assert!(enc.encode(center, &[]).is_err());
+    }
+
+    #[test]
+    fn features_have_expected_length_and_range() {
+        let enc = encoder(KeyScheme::Full);
+        let e = enc
+            .encode(Point3::ZERO, &[Point3::new(0.5, -0.25, 1.0), Point3::new(-1.0, 0.0, 0.3)])
+            .unwrap();
+        let f = enc.features(&e);
+        assert_eq!(f.len(), 12);
+        assert!(f.iter().all(|v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn compact_scheme_produces_distinct_keys_for_distinct_shapes() {
+        let enc = encoder(KeyScheme::Compact);
+        let a = enc
+            .encode(Point3::ZERO, &[Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0), Point3::new(0.0, 0.0, 1.0)])
+            .unwrap();
+        let b = enc
+            .encode(Point3::ZERO, &[Point3::new(-1.0, 0.0, 0.0), Point3::new(0.0, -1.0, 0.0), Point3::new(0.0, 0.0, -1.0)])
+            .unwrap();
+        assert_ne!(a.key, b.key);
+        assert!(a.key < enc.key_space());
+        assert!(b.key < enc.key_space());
+    }
+}

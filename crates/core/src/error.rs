@@ -1,0 +1,99 @@
+//! Error type for the VoLUT core crate.
+
+use std::fmt;
+
+/// Errors returned by the super-resolution pipeline and its components.
+#[derive(Debug)]
+pub enum Error {
+    /// A configuration value is outside its documented domain.
+    InvalidConfig(String),
+    /// The requested upsampling ratio cannot be honored.
+    InvalidRatio(f64),
+    /// The input cloud is too small for the requested operation.
+    InsufficientPoints {
+        /// Number of points required.
+        required: usize,
+        /// Number of points available.
+        available: usize,
+    },
+    /// A LUT file or buffer is malformed.
+    LutFormat(String),
+    /// Training failed (e.g. empty training set, divergence).
+    Training(String),
+    /// An error bubbled up from the point-cloud substrate.
+    PointCloud(volut_pointcloud::Error),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::InvalidRatio(r) => write!(f, "invalid upsampling ratio {r}; must be >= 1.0 and finite"),
+            Error::InsufficientPoints { required, available } => {
+                write!(f, "operation requires at least {required} points but only {available} are available")
+            }
+            Error::LutFormat(msg) => write!(f, "malformed lut data: {msg}"),
+            Error::Training(msg) => write!(f, "training failed: {msg}"),
+            Error::PointCloud(e) => write!(f, "point cloud error: {e}"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::PointCloud(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<volut_pointcloud::Error> for Error {
+    fn from(e: volut_pointcloud::Error) -> Self {
+        Error::PointCloud(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let errs = vec![
+            Error::InvalidConfig("k must be >= 1".into()),
+            Error::InvalidRatio(0.5),
+            Error::InsufficientPoints { required: 4, available: 1 },
+            Error::LutFormat("bad magic".into()),
+            Error::Training("empty training set".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn conversions_work() {
+        let pc_err = volut_pointcloud::Error::EmptyCloud("x".into());
+        let e: Error = pc_err.into();
+        assert!(matches!(e, Error::PointCloud(_)));
+        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

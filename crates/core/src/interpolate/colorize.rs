@@ -1,0 +1,162 @@
+//! Colorization of interpolated points (§4.1).
+//!
+//! New points inherit the color of the nearest *original* point, reusing the
+//! spatial relationships already computed during geometric interpolation so
+//! that no additional neighbor searches are required.
+
+use volut_pointcloud::{Color, PointCloud};
+
+/// Assigns colors to the newly generated points of `cloud`.
+///
+/// * `cloud` — the upsampled cloud (original points at `0..original_len`,
+///   new points after that); modified in place.
+/// * `low` — the original low-resolution cloud that carries source colors.
+/// * `neighborhoods[i]` — nearest original-point indices (closest first) of
+///   new point `original_len + i`.
+/// * `parents[i]` — the two parent indices of new point `original_len + i`,
+///   used as a fallback when the neighborhood list is empty.
+///
+/// When `low` has no colors this is a no-op.
+pub fn colorize_new_points(
+    cloud: &mut PointCloud,
+    low: &PointCloud,
+    original_len: usize,
+    neighborhoods: &[Vec<usize>],
+    parents: &[(usize, usize)],
+) {
+    let Some(low_colors) = low.colors() else {
+        return;
+    };
+    let new_count = cloud.len() - original_len;
+    let mut colors: Vec<Color> = Vec::with_capacity(cloud.len());
+    // Original points keep their colors.
+    if let Some(existing) = cloud.colors() {
+        colors.extend_from_slice(&existing[..original_len]);
+    } else {
+        colors.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
+        colors.resize(original_len, Color::BLACK);
+    }
+    for i in 0..new_count {
+        let pos = cloud.position(original_len + i);
+        // Candidate sources: neighborhood head (already distance-ordered),
+        // falling back to the closer of the two parents.
+        let source = neighborhoods
+            .get(i)
+            .and_then(|h| h.first().copied())
+            .or_else(|| {
+                parents.get(i).map(|&(a, b)| {
+                    let da = low.position(a).distance_squared(pos);
+                    let db = low.position(b).distance_squared(pos);
+                    if da <= db {
+                        a
+                    } else {
+                        b
+                    }
+                })
+            });
+        let color = source
+            .and_then(|s| low_colors.get(s).copied())
+            .unwrap_or(Color::BLACK);
+        colors.push(color);
+    }
+    // Rebuild the cloud with the complete color array.
+    let positions = cloud.positions().to_vec();
+    *cloud = PointCloud::from_positions_and_colors(positions, colors)
+        .expect("positions and colors have equal length by construction");
+}
+
+/// Blended variant: averages the colors of the two parents instead of
+/// copying the nearest one. Used by the Yuzu baseline, which interpolates
+/// attributes jointly with geometry.
+pub fn colorize_blend_parents(
+    cloud: &mut PointCloud,
+    low: &PointCloud,
+    original_len: usize,
+    parents: &[(usize, usize)],
+) {
+    let Some(low_colors) = low.colors() else {
+        return;
+    };
+    let new_count = cloud.len() - original_len;
+    let mut colors: Vec<Color> = Vec::with_capacity(cloud.len());
+    if let Some(existing) = cloud.colors() {
+        colors.extend_from_slice(&existing[..original_len]);
+    } else {
+        colors.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
+        colors.resize(original_len, Color::BLACK);
+    }
+    for i in 0..new_count {
+        let c = parents
+            .get(i)
+            .map(|&(a, b)| low_colors[a].lerp(low_colors[b], 0.5))
+            .unwrap_or(Color::BLACK);
+        colors.push(c);
+    }
+    let positions = cloud.positions().to_vec();
+    *cloud = PointCloud::from_positions_and_colors(positions, colors)
+        .expect("positions and colors have equal length by construction");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volut_pointcloud::Point3;
+
+    fn two_point_cloud() -> PointCloud {
+        PointCloud::from_positions_and_colors(
+            vec![Point3::ZERO, Point3::new(2.0, 0.0, 0.0)],
+            vec![Color::new(255, 0, 0), Color::new(0, 0, 255)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn nearest_source_color_is_used() {
+        let low = two_point_cloud();
+        let mut up = low.clone();
+        // New point close to the first original point.
+        up.push(Point3::new(0.4, 0.0, 0.0), None);
+        colorize_new_points(&mut up, &low, 2, &[vec![0, 1]], &[(0, 1)]);
+        assert_eq!(up.color(2), Some(Color::new(255, 0, 0)));
+    }
+
+    #[test]
+    fn falls_back_to_closest_parent() {
+        let low = two_point_cloud();
+        let mut up = low.clone();
+        up.push(Point3::new(1.8, 0.0, 0.0), None);
+        // Empty neighborhood forces the parent fallback; parent 1 is closer.
+        colorize_new_points(&mut up, &low, 2, &[vec![]], &[(0, 1)]);
+        assert_eq!(up.color(2), Some(Color::new(0, 0, 255)));
+    }
+
+    #[test]
+    fn uncolored_source_is_a_noop() {
+        let low = PointCloud::from_positions(vec![Point3::ZERO, Point3::ONE]);
+        let mut up = low.clone();
+        up.push(Point3::splat(0.5), None);
+        colorize_new_points(&mut up, &low, 2, &[vec![0]], &[(0, 1)]);
+        assert!(!up.has_colors());
+    }
+
+    #[test]
+    fn blend_averages_parent_colors() {
+        let low = two_point_cloud();
+        let mut up = low.clone();
+        up.push(Point3::new(1.0, 0.0, 0.0), None);
+        colorize_blend_parents(&mut up, &low, 2, &[(0, 1)]);
+        let c = up.color(2).unwrap();
+        assert!(c.r > 100 && c.r < 160);
+        assert!(c.b > 100 && c.b < 160);
+    }
+
+    #[test]
+    fn original_colors_are_preserved() {
+        let low = two_point_cloud();
+        let mut up = low.clone();
+        up.push(Point3::splat(0.1), None);
+        colorize_new_points(&mut up, &low, 2, &[vec![1]], &[(0, 1)]);
+        assert_eq!(up.color(0), Some(Color::new(255, 0, 0)));
+        assert_eq!(up.color(1), Some(Color::new(0, 0, 255)));
+    }
+}

@@ -1,0 +1,160 @@
+//! Stage one of the VoLUT pipeline: interpolation (§4.1).
+//!
+//! Two implementations are provided:
+//! * [`naive::naive_interpolate`] — the vanilla kNN midpoint interpolation
+//!   the paper uses as its baseline (`K4d1`, no dilation, no reuse, fresh
+//!   neighbor query per generated point);
+//! * [`dilated::dilated_interpolate`] — VoLUT's enhanced interpolation with
+//!   dilation (Eq. 1), a two-layer octree for spatial pruning, neighbor
+//!   relationship reuse (Eq. 2) and multi-threaded execution.
+//!
+//! Both return an [`InterpolationResult`] that carries the upsampled cloud,
+//! the parent/neighborhood bookkeeping that later stages reuse, and stage
+//! timings.
+
+pub mod colorize;
+pub mod dilated;
+pub mod naive;
+pub mod reuse;
+
+use std::time::Duration;
+use volut_pointcloud::PointCloud;
+
+/// Output of an interpolation pass.
+///
+/// The upsampled cloud stores the original points first (indices
+/// `0..original_len`) followed by the newly generated points; the
+/// `parents` and `neighborhoods` vectors are indexed by *new-point ordinal*
+/// (i.e. `cloud index - original_len`).
+#[derive(Debug, Clone)]
+pub struct InterpolationResult {
+    /// The upsampled cloud (original points followed by interpolated points).
+    pub cloud: PointCloud,
+    /// Number of original (input) points at the front of `cloud`.
+    pub original_len: usize,
+    /// For each new point, the indices (into the original cloud) of the two
+    /// points whose midpoint generated it.
+    pub parents: Vec<(usize, usize)>,
+    /// For each new point, the (approximate) `k` nearest original-point
+    /// indices ordered by increasing distance. Reused by colorization and by
+    /// the LUT refinement stage so no further kNN queries are needed.
+    pub neighborhoods: Vec<Vec<usize>>,
+    /// Stage timings measured on the host.
+    pub timings: InterpolationTimings,
+    /// Operation counters used for reporting and cost modeling.
+    pub ops: OpCounts,
+}
+
+impl InterpolationResult {
+    /// Number of newly generated points.
+    pub fn new_points(&self) -> usize {
+        self.cloud.len() - self.original_len
+    }
+
+    /// The achieved upsampling ratio (output size / input size).
+    pub fn achieved_ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            1.0
+        } else {
+            self.cloud.len() as f64 / self.original_len as f64
+        }
+    }
+}
+
+/// Wall-clock time spent in each sub-stage of interpolation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct InterpolationTimings {
+    /// Time spent building the spatial index and answering kNN queries.
+    pub knn: Duration,
+    /// Time spent generating midpoints and bookkeeping.
+    pub interpolation: Duration,
+    /// Time spent assigning colors to the new points.
+    pub colorization: Duration,
+}
+
+impl InterpolationTimings {
+    /// Total time across all sub-stages.
+    pub fn total(&self) -> Duration {
+        self.knn + self.interpolation + self.colorization
+    }
+}
+
+/// Counters describing how much work an interpolation pass performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Number of kNN queries issued against a spatial index.
+    pub knn_queries: u64,
+    /// Number of candidate points examined across all queries
+    /// (an upper bound proxy for distance evaluations).
+    pub candidates_examined: u64,
+    /// Number of interpolated points generated.
+    pub points_generated: u64,
+    /// Number of neighbor lists produced by reuse instead of a fresh query.
+    pub reused_neighborhoods: u64,
+}
+
+impl OpCounts {
+    /// Component-wise sum of two counters.
+    pub fn combine(self, other: OpCounts) -> OpCounts {
+        OpCounts {
+            knn_queries: self.knn_queries + other.knn_queries,
+            candidates_examined: self.candidates_examined + other.candidates_examined,
+            points_generated: self.points_generated + other.points_generated,
+            reused_neighborhoods: self.reused_neighborhoods + other.reused_neighborhoods,
+        }
+    }
+}
+
+/// Computes how many new points must be generated to reach `ratio`, and how
+/// they are distributed over the source points (round-robin, earlier points
+/// first). Returns a vector of per-source-point counts of length `n`.
+pub(crate) fn distribute_new_points(n: usize, ratio: f64) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let target_total = (n as f64 * ratio).round() as usize;
+    let new_total = target_total.saturating_sub(n);
+    let base = new_total / n;
+    let extra = new_total % n;
+    (0..n).map(|i| base + usize::from(i < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distribution_reaches_target() {
+        let d = distribute_new_points(100, 2.0);
+        assert_eq!(d.iter().sum::<usize>(), 100);
+        let d = distribute_new_points(100, 2.5);
+        assert_eq!(d.iter().sum::<usize>(), 150);
+        let d = distribute_new_points(7, 3.3);
+        assert_eq!(d.iter().sum::<usize>(), (7.0f64 * 3.3).round() as usize - 7);
+    }
+
+    #[test]
+    fn distribution_handles_identity_and_empty() {
+        assert_eq!(distribute_new_points(10, 1.0).iter().sum::<usize>(), 0);
+        assert!(distribute_new_points(0, 4.0).is_empty());
+    }
+
+    #[test]
+    fn distribution_is_balanced() {
+        let d = distribute_new_points(10, 2.35);
+        let min = d.iter().min().unwrap();
+        let max = d.iter().max().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn op_counts_combine() {
+        let a = OpCounts { knn_queries: 1, candidates_examined: 10, points_generated: 5, reused_neighborhoods: 2 };
+        let b = OpCounts { knn_queries: 2, candidates_examined: 20, points_generated: 1, reused_neighborhoods: 0 };
+        let c = a.combine(b);
+        assert_eq!(c.knn_queries, 3);
+        assert_eq!(c.candidates_examined, 30);
+        assert_eq!(c.points_generated, 6);
+        assert_eq!(c.reused_neighborhoods, 2);
+    }
+}

@@ -1,0 +1,190 @@
+//! Vanilla kNN midpoint interpolation — the paper's baseline.
+//!
+//! Every generated point triggers a fresh kNN query against a k-d tree, no
+//! dilation is applied (the candidate set is exactly the `k` closest
+//! neighbors) and no neighbor relationships are reused. This reproduces both
+//! the quality artifacts (density patterns are reinforced, Figure 4) and the
+//! cost profile (≥70% of frame time, §4.1) that motivate VoLUT's enhanced
+//! interpolation.
+
+use super::{colorize, distribute_new_points, InterpolationResult, InterpolationTimings, OpCounts};
+use crate::config::SrConfig;
+use crate::error::Error;
+use crate::Result;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::time::Instant;
+use volut_pointcloud::kdtree::KdTree;
+use volut_pointcloud::knn::NeighborSearch;
+use volut_pointcloud::PointCloud;
+
+/// Upsamples `low` to roughly `ratio ×` its point count using vanilla kNN
+/// midpoint interpolation.
+///
+/// # Errors
+/// Returns an error when the configuration or ratio is invalid, or when the
+/// input has fewer than two points.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::{config::SrConfig, interpolate::naive::naive_interpolate};
+/// use volut_pointcloud::synthetic;
+///
+/// # fn main() -> Result<(), volut_core::Error> {
+/// let low = synthetic::sphere(500, 1.0, 1);
+/// let out = naive_interpolate(&low, &SrConfig::k4d1(), 2.0)?;
+/// assert_eq!(out.cloud.len(), 1000);
+/// # Ok(())
+/// # }
+/// ```
+pub fn naive_interpolate(
+    low: &PointCloud,
+    config: &SrConfig,
+    ratio: f64,
+) -> Result<InterpolationResult> {
+    config.validate()?;
+    config.validate_ratio(ratio)?;
+    if low.len() < 2 {
+        return Err(Error::InsufficientPoints { required: 2, available: low.len() });
+    }
+
+    let mut ops = OpCounts::default();
+    let mut timings = InterpolationTimings::default();
+
+    // Build the index. The naive baseline pays a fresh per-new-point query
+    // on top of this.
+    let t0 = Instant::now();
+    let tree = KdTree::build(low.positions());
+    timings.knn += t0.elapsed();
+
+    let counts = distribute_new_points(low.len(), ratio);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let mut cloud = low.clone();
+    let mut parents = Vec::new();
+    let mut neighborhoods = Vec::new();
+
+    for (i, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let p = low.position(i);
+        // One fresh query per source point plus one per generated point
+        // (used to re-derive the new point's own neighborhood).
+        let tq = Instant::now();
+        let neighbors = tree.knn(p, config.k + 1);
+        timings.knn += tq.elapsed();
+        ops.knn_queries += 1;
+        ops.candidates_examined += (low.len().min(64)) as u64;
+        // Drop the self-match.
+        let neighbor_ids: Vec<usize> =
+            neighbors.iter().map(|n| n.index).filter(|&j| j != i).collect();
+        if neighbor_ids.is_empty() {
+            continue;
+        }
+        for _ in 0..count {
+            let ti = Instant::now();
+            let j = neighbor_ids[rng.random_range(0..neighbor_ids.len())];
+            let new_point = p.midpoint(low.position(j));
+            timings.interpolation += ti.elapsed();
+
+            // Naive pipeline: fresh kNN query for the *new* point as well.
+            let tq = Instant::now();
+            let nn = tree.knn(new_point, config.k);
+            timings.knn += tq.elapsed();
+            ops.knn_queries += 1;
+            ops.candidates_examined += (low.len().min(64)) as u64;
+
+            let hood: Vec<usize> = nn.iter().map(|n| n.index).collect();
+            cloud.push(new_point, None);
+            parents.push((i, j));
+            neighborhoods.push(hood);
+            ops.points_generated += 1;
+        }
+    }
+
+    // Colorize the generated points from their nearest original point.
+    let tc = Instant::now();
+    colorize::colorize_new_points(&mut cloud, low, low.len(), &neighborhoods, &parents);
+    timings.colorization += tc.elapsed();
+
+    Ok(InterpolationResult {
+        cloud,
+        original_len: low.len(),
+        parents,
+        neighborhoods,
+        timings,
+        ops,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volut_pointcloud::{metrics, sampling, synthetic};
+
+    #[test]
+    fn reaches_requested_ratio() {
+        let low = synthetic::sphere(400, 1.0, 1);
+        let out = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
+        assert_eq!(out.cloud.len(), 800);
+        assert!((out.achieved_ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(out.new_points(), 400);
+        assert_eq!(out.parents.len(), 400);
+        assert_eq!(out.neighborhoods.len(), 400);
+    }
+
+    #[test]
+    fn supports_fractional_ratios() {
+        let low = synthetic::sphere(300, 1.0, 2);
+        let out = naive_interpolate(&low, &SrConfig::k4d1(), 1.7).unwrap();
+        assert_eq!(out.cloud.len(), (300.0f64 * 1.7).round() as usize);
+    }
+
+    #[test]
+    fn improves_coverage_of_ground_truth() {
+        // The low cloud is an exact subset of the ground truth, so the
+        // symmetric Chamfer distance is dominated by the coverage term
+        // (ground truth -> reconstruction); interpolation must improve it.
+        let gt = synthetic::torus(3000, 1.0, 0.3, 3);
+        let low = sampling::random_downsample_exact(&gt, 1000, 1).unwrap();
+        let out = naive_interpolate(&low, &SrConfig::k4d1(), 3.0).unwrap();
+        let before = metrics::one_sided_chamfer(&gt, &low);
+        let after = metrics::one_sided_chamfer(&gt, &out.cloud);
+        assert!(after < before, "after {after} should be < before {before}");
+    }
+
+    #[test]
+    fn colors_are_propagated() {
+        let low = synthetic::sphere(200, 1.0, 4);
+        let out = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
+        assert!(out.cloud.has_colors());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let low = synthetic::sphere(10, 1.0, 5);
+        assert!(naive_interpolate(&low, &SrConfig::k4d1(), 0.5).is_err());
+        let tiny = volut_pointcloud::PointCloud::from_positions(vec![volut_pointcloud::Point3::ZERO]);
+        assert!(naive_interpolate(&tiny, &SrConfig::k4d1(), 2.0).is_err());
+        let bad_cfg = SrConfig { k: 0, ..SrConfig::default() };
+        assert!(naive_interpolate(&low, &bad_cfg, 2.0).is_err());
+    }
+
+    #[test]
+    fn ratio_one_is_identity_size() {
+        let low = synthetic::sphere(100, 1.0, 6);
+        let out = naive_interpolate(&low, &SrConfig::k4d1(), 1.0).unwrap();
+        assert_eq!(out.cloud.len(), 100);
+        assert_eq!(out.new_points(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let low = synthetic::sphere(150, 1.0, 7);
+        let a = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
+        let b = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
+        assert_eq!(a.cloud, b.cloud);
+    }
+}

@@ -1,0 +1,136 @@
+//! Neighbor relationship reuse (paper Eq. 2).
+//!
+//! For an interpolated point `p'` generated between original points `p` and
+//! `q`, the paper observes that `N_k(p') ≈ MergeAndPrune(N_k(p), N_k(q))`:
+//! the union of the parents' neighbor lists, re-ranked by distance to `p'`
+//! and truncated to `k`, is an excellent approximation of a fresh kNN query
+//! — and it costs only `O(k)` distance evaluations instead of a tree
+//! traversal.
+
+use volut_pointcloud::Point3;
+
+/// Merges the neighbor index lists of the two parent points, re-ranks them
+/// by distance to the interpolated point `p_new`, removes duplicates and
+/// returns the closest `k` indices.
+///
+/// `positions` must be the original (low-resolution) point array that the
+/// indices refer to.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::interpolate::reuse::merge_and_prune;
+/// use volut_pointcloud::Point3;
+/// let positions = vec![
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(1.0, 0.0, 0.0),
+///     Point3::new(2.0, 0.0, 0.0),
+///     Point3::new(10.0, 0.0, 0.0),
+/// ];
+/// let merged = merge_and_prune(
+///     Point3::new(0.5, 0.0, 0.0),
+///     &[0, 1, 3],
+///     &[1, 2],
+///     &positions,
+///     2,
+/// );
+/// assert_eq!(merged, vec![0, 1]);
+/// ```
+pub fn merge_and_prune(
+    p_new: Point3,
+    neighbors_p: &[usize],
+    neighbors_q: &[usize],
+    positions: &[Point3],
+    k: usize,
+) -> Vec<usize> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut candidates: Vec<usize> = Vec::with_capacity(neighbors_p.len() + neighbors_q.len());
+    candidates.extend_from_slice(neighbors_p);
+    candidates.extend_from_slice(neighbors_q);
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut ranked: Vec<(f32, usize)> = candidates
+        .into_iter()
+        .filter(|&i| i < positions.len())
+        .map(|i| (positions[i].distance_squared(p_new), i))
+        .collect();
+    ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    ranked.truncate(k);
+    ranked.into_iter().map(|(_, i)| i).collect()
+}
+
+/// Measures how well [`merge_and_prune`] approximates an exact kNN result:
+/// returns the recall (fraction of exact neighbors present in the
+/// approximation). Used by tests and the ablation benchmarks.
+pub fn reuse_recall(approx: &[usize], exact: &[usize]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact.iter().filter(|i| approx.contains(i)).count();
+    hits as f64 / exact.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volut_pointcloud::kdtree::KdTree;
+    use volut_pointcloud::knn::NeighborSearch;
+    use volut_pointcloud::synthetic;
+
+    #[test]
+    fn k_zero_returns_empty() {
+        assert!(merge_and_prune(Point3::ZERO, &[0, 1], &[2], &[Point3::ZERO; 3], 0).is_empty());
+    }
+
+    #[test]
+    fn duplicates_are_removed() {
+        let positions = vec![Point3::ZERO, Point3::ONE, Point3::splat(2.0)];
+        let merged = merge_and_prune(Point3::ZERO, &[0, 1, 2], &[0, 1, 2], &positions, 3);
+        assert_eq!(merged, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn out_of_range_indices_are_ignored() {
+        let positions = vec![Point3::ZERO, Point3::ONE];
+        let merged = merge_and_prune(Point3::ZERO, &[0, 99], &[1], &positions, 3);
+        assert_eq!(merged, vec![0, 1]);
+    }
+
+    #[test]
+    fn approximation_has_high_recall_on_surfaces() {
+        // Build a realistic scenario: parents are true neighbors on a surface,
+        // the interpolated midpoint should inherit most of their neighbors.
+        let cloud = synthetic::sphere(2000, 1.0, 9);
+        let tree = KdTree::build(cloud.positions());
+        let k = 4;
+        let mut total_recall = 0.0;
+        let mut samples = 0;
+        for i in (0..cloud.len()).step_by(101) {
+            let p = cloud.position(i);
+            let np: Vec<usize> = tree.knn(p, k + 1).iter().map(|n| n.index).filter(|&j| j != i).collect();
+            if np.is_empty() {
+                continue;
+            }
+            let j = np[0];
+            let q = cloud.position(j);
+            let nq: Vec<usize> = tree.knn(q, k + 1).iter().map(|n| n.index).filter(|&x| x != j).collect();
+            let mid = p.midpoint(q);
+            let approx = merge_and_prune(mid, &np, &nq, cloud.positions(), k);
+            let exact: Vec<usize> = tree.knn(mid, k).iter().map(|n| n.index).collect();
+            total_recall += reuse_recall(&approx, &exact);
+            samples += 1;
+        }
+        let mean_recall = total_recall / samples as f64;
+        assert!(mean_recall > 0.75, "mean recall too low: {mean_recall}");
+    }
+
+    #[test]
+    fn recall_helper_edge_cases() {
+        assert_eq!(reuse_recall(&[1, 2], &[]), 1.0);
+        assert_eq!(reuse_recall(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(reuse_recall(&[], &[1, 2]), 0.0);
+        assert_eq!(reuse_recall(&[1], &[1, 2]), 0.5);
+    }
+}

@@ -1,0 +1,265 @@
+//! LUT construction: transferring the trained refinement network into a
+//! lookup table (Eq. 6).
+
+use super::dense::DenseLut;
+use super::sparse::SparseLut;
+use super::Lut;
+use crate::config::SrConfig;
+use crate::encoding::{KeyScheme, PositionEncoder};
+use crate::error::Error;
+use crate::nn::mlp::Mlp;
+use crate::nn::train::TrainingSet;
+use crate::Result;
+use std::collections::HashMap;
+
+/// Builds LUTs from a trained refinement network.
+///
+/// Two construction modes are supported:
+/// * **Distillation** from observed samples ([`LutBuilder::distill_sparse`] /
+///   [`LutBuilder::distill_dense`]): every neighborhood seen in the training
+///   data is encoded, run through the network, and the resulting offset is
+///   stored under that key (duplicate keys average their offsets). This is
+///   how large-key-space configurations stay practical.
+/// * **Exhaustive enumeration** ([`LutBuilder::enumerate_dense`]): for small
+///   key spaces every possible key is materialized — the exact construction
+///   of Eq. 6.
+#[derive(Debug, Clone)]
+pub struct LutBuilder {
+    encoder: PositionEncoder,
+}
+
+impl LutBuilder {
+    /// Creates a builder for the given configuration and key scheme.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: &SrConfig, scheme: KeyScheme) -> Result<Self> {
+        Ok(Self { encoder: PositionEncoder::new(config, scheme)? })
+    }
+
+    /// The position encoder used for keying.
+    pub fn encoder(&self) -> &PositionEncoder {
+        &self.encoder
+    }
+
+    /// Checks that `mlp`'s input dimension matches the encoder.
+    fn check_network(&self, mlp: &Mlp) -> Result<()> {
+        let expected = self.encoder.receptive_field() * 3;
+        if mlp.input_dim() != expected {
+            return Err(Error::InvalidConfig(format!(
+                "network input dimension {} does not match receptive field {} x 3",
+                mlp.input_dim(),
+                self.encoder.receptive_field()
+            )));
+        }
+        if mlp.output_dim() != 3 {
+            return Err(Error::InvalidConfig(format!(
+                "refinement network must output 3 values, found {}",
+                mlp.output_dim()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Runs the network over every sample and accumulates per-key mean offsets.
+    fn accumulate(
+        &self,
+        mlp: &Mlp,
+        samples: &TrainingSet,
+    ) -> Result<HashMap<u128, ([f64; 3], u32)>> {
+        self.check_network(mlp)?;
+        if samples.is_empty() {
+            return Err(Error::Training("cannot distill a lut from an empty sample set".into()));
+        }
+        let mut acc: HashMap<u128, ([f64; 3], u32)> = HashMap::new();
+        for input in &samples.inputs {
+            let key = self.encoder.key_from_features(input)?;
+            let out = mlp.forward(input);
+            let entry = acc.entry(key).or_insert(([0.0; 3], 0));
+            for c in 0..3 {
+                entry.0[c] += f64::from(out[c]);
+            }
+            entry.1 += 1;
+        }
+        Ok(acc)
+    }
+
+    /// Distills the network into a sparse LUT using the neighborhoods
+    /// observed in `samples`.
+    ///
+    /// # Errors
+    /// Fails when the network shape does not match the encoder or `samples`
+    /// is empty.
+    pub fn distill_sparse(&self, mlp: &Mlp, samples: &TrainingSet) -> Result<SparseLut> {
+        let acc = self.accumulate(mlp, samples)?;
+        let mut lut = SparseLut::with_capacity(acc.len());
+        for (key, (sum, count)) in acc {
+            let n = f64::from(count);
+            lut.set(key, [(sum[0] / n) as f32, (sum[1] / n) as f32, (sum[2] / n) as f32])?;
+        }
+        Ok(lut)
+    }
+
+    /// Distills the network into a dense LUT (compact key scheme
+    /// recommended) using the neighborhoods observed in `samples`.
+    ///
+    /// # Errors
+    /// Fails when the key space exceeds `byte_budget`, the network shape is
+    /// wrong, or `samples` is empty.
+    pub fn distill_dense(
+        &self,
+        mlp: &Mlp,
+        samples: &TrainingSet,
+        byte_budget: u128,
+    ) -> Result<DenseLut> {
+        let acc = self.accumulate(mlp, samples)?;
+        let mut lut = DenseLut::with_budget(self.encoder.key_space(), byte_budget)?;
+        for (key, (sum, count)) in acc {
+            let n = f64::from(count);
+            lut.set(key, [(sum[0] / n) as f32, (sum[1] / n) as f32, (sum[2] / n) as f32])?;
+        }
+        Ok(lut)
+    }
+
+    /// Exhaustively enumerates every key of a full-scheme encoder and stores
+    /// the network's prediction for each — the literal construction of
+    /// Eq. 6. Only permitted when the dense table fits in `byte_budget`.
+    ///
+    /// # Errors
+    /// Fails for compact-scheme encoders, oversized key spaces, or a
+    /// mismatched network.
+    pub fn enumerate_dense(&self, mlp: &Mlp, byte_budget: u128) -> Result<DenseLut> {
+        self.check_network(mlp)?;
+        if self.encoder.scheme() != KeyScheme::Full {
+            return Err(Error::InvalidConfig(
+                "exhaustive enumeration requires the full key scheme".into(),
+            ));
+        }
+        let space = self.encoder.key_space();
+        let mut lut = DenseLut::with_budget(space, byte_budget)?;
+        for key in 0..space {
+            let features = self.encoder.features_from_key(key)?;
+            let out = mlp.forward(&features);
+            lut.set(key, [out[0], out[1], out[2]])?;
+        }
+        Ok(lut)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::train::{build_training_set, RefinementTrainer, TrainConfig};
+    use volut_pointcloud::synthetic;
+
+    fn trained_network(config: &SrConfig) -> (Mlp, TrainingSet) {
+        let gt = synthetic::sphere(1200, 1.0, 1);
+        let set = build_training_set(&gt, 0.5, config, KeyScheme::Full, 3).unwrap();
+        let train_cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let mut trainer = RefinementTrainer::new(config, train_cfg).unwrap();
+        trainer.train(&set).unwrap();
+        (trainer.into_network(), set)
+    }
+
+    #[test]
+    fn distill_sparse_produces_populated_lut() {
+        let config = SrConfig::default();
+        let (mlp, set) = trained_network(&config);
+        let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
+        let lut = builder.distill_sparse(&mlp, &set).unwrap();
+        assert!(lut.populated() > 0);
+        assert!(lut.populated() <= set.len());
+        // Every key stored came from a sample; look one up.
+        let key = builder.encoder().key_from_features(&set.inputs[0]).unwrap();
+        assert!(lut.get(key).is_some());
+    }
+
+    #[test]
+    fn distill_dense_with_compact_scheme() {
+        let config = SrConfig { bins: 16, ..SrConfig::default() };
+        let gt = synthetic::sphere(800, 1.0, 2);
+        let set = build_training_set(&gt, 0.5, &config, KeyScheme::Compact, 5).unwrap();
+        let mut trainer = RefinementTrainer::new(
+            &config,
+            TrainConfig { epochs: 2, ..TrainConfig::default() },
+        )
+        .unwrap();
+        trainer.train(&set).unwrap();
+        let mlp = trainer.into_network();
+        let builder = LutBuilder::new(&config, KeyScheme::Compact).unwrap();
+        // 16^4 = 65536 entries * 6 bytes fits easily.
+        let lut = builder.distill_dense(&mlp, &set, DenseLut::DEFAULT_BYTE_BUDGET).unwrap();
+        assert!(lut.populated() > 0);
+        assert_eq!(lut.key_space(), 16u128.pow(4));
+    }
+
+    #[test]
+    fn enumerate_dense_covers_whole_key_space() {
+        // Tiny configuration: n = 2, b = 4 -> 4^6 = 4096 keys.
+        let config = SrConfig { receptive_field: 2, bins: 4, ..SrConfig::default() };
+        let mlp = Mlp::new(&[6, 8, 3], 1);
+        let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
+        let lut = builder.enumerate_dense(&mlp, DenseLut::DEFAULT_BYTE_BUDGET).unwrap();
+        assert_eq!(lut.populated() as u128, builder.encoder().key_space());
+        assert!(lut.get(0).is_some());
+        assert!(lut.get(builder.encoder().key_space() - 1).is_some());
+    }
+
+    #[test]
+    fn enumerate_rejects_compact_scheme_and_big_spaces() {
+        let config = SrConfig { receptive_field: 2, bins: 4, ..SrConfig::default() };
+        let mlp = Mlp::new(&[6, 8, 3], 1);
+        let builder = LutBuilder::new(&config, KeyScheme::Compact).unwrap();
+        assert!(builder.enumerate_dense(&mlp, DenseLut::DEFAULT_BYTE_BUDGET).is_err());
+        let big = SrConfig::default();
+        let big_mlp = Mlp::new(&[12, 8, 3], 1);
+        let builder = LutBuilder::new(&big, KeyScheme::Full).unwrap();
+        assert!(builder.enumerate_dense(&big_mlp, DenseLut::DEFAULT_BYTE_BUDGET).is_err());
+    }
+
+    #[test]
+    fn mismatched_network_is_rejected() {
+        let config = SrConfig::default();
+        let (_, set) = trained_network(&config);
+        let wrong = Mlp::new(&[9, 8, 3], 1);
+        let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
+        assert!(builder.distill_sparse(&wrong, &set).is_err());
+        let wrong_out = Mlp::new(&[12, 8, 2], 1);
+        assert!(builder.distill_sparse(&wrong_out, &set).is_err());
+        assert!(builder
+            .distill_sparse(&Mlp::new(&[12, 8, 3], 1), &TrainingSet::default())
+            .is_err());
+    }
+
+    #[test]
+    fn distilled_offsets_match_network_predictions_for_unique_keys() {
+        let config = SrConfig::default();
+        let (mlp, set) = trained_network(&config);
+        let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
+        let lut = builder.distill_sparse(&mlp, &set).unwrap();
+        // For a key that appears exactly once, the stored offset equals the
+        // network output (up to f16 rounding).
+        let mut key_counts = std::collections::HashMap::new();
+        for input in &set.inputs {
+            *key_counts
+                .entry(builder.encoder().key_from_features(input).unwrap())
+                .or_insert(0u32) += 1;
+        }
+        let mut checked = 0;
+        for input in &set.inputs {
+            let key = builder.encoder().key_from_features(input).unwrap();
+            if key_counts[&key] == 1 {
+                let expected = mlp.forward(input);
+                let stored = lut.get(key).unwrap();
+                for c in 0..3 {
+                    assert!((stored[c] - expected[c]).abs() < 5e-3);
+                }
+                checked += 1;
+                if checked > 10 {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 0, "expected at least one unique key");
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal IEEE 754 half-precision (binary16) conversion.
+//!
+//! The paper stores LUT offsets as `float16` (2 bytes per offset component,
+//! Eq. 7). To keep that byte accounting honest without pulling in an extra
+//! dependency, this module implements the f32 ↔ f16 bit conversions needed
+//! for storage; all arithmetic still happens in `f32`.
+
+/// Converts an `f32` to its nearest binary16 bit pattern (round-to-nearest-even,
+/// overflow saturates to ±infinity).
+pub fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mantissa = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Infinity or NaN.
+        let nan_bit = if mantissa != 0 { 0x0200 } else { 0 };
+        return sign | 0x7c00 | nan_bit;
+    }
+    // Re-bias exponent: f32 bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal f16.
+        let half_exp = ((unbiased + 15) as u16) << 10;
+        let half_mant = (mantissa >> 13) as u16;
+        // Round to nearest even.
+        let round_bit = (mantissa >> 12) & 1;
+        let sticky = mantissa & 0x0fff;
+        let mut out = sign | half_exp | half_mant;
+        if round_bit == 1 && (sticky != 0 || (half_mant & 1) == 1) {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    if unbiased >= -24 {
+        // Subnormal f16: value = half_mant * 2^-24, so the 24-bit mantissa
+        // (with the implicit leading one) is shifted right by -unbiased - 1.
+        let shift = (-unbiased - 1) as u32;
+        let full_mant = mantissa | 0x0080_0000;
+        let half_mant = (full_mant >> shift) as u16;
+        let round_bit = if shift > 0 { (full_mant >> (shift - 1)) & 1 } else { 0 };
+        let mut out = sign | half_mant;
+        if round_bit == 1 {
+            out = out.wrapping_add(1);
+        }
+        return out;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts a binary16 bit pattern back to `f32`.
+pub fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits & 0x8000) << 16;
+    let exp = (bits >> 10) & 0x1f;
+    let mantissa = u32::from(bits & 0x03ff);
+    let out_bits = match exp {
+        0 => {
+            if mantissa == 0 {
+                sign
+            } else {
+                // Subnormal: normalize it.
+                let mut m = mantissa;
+                let mut e = -14i32;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03ff;
+                sign | (((e + 127) as u32) << 23) | (m << 13)
+            }
+        }
+        0x1f => sign | 0x7f80_0000 | (mantissa << 13),
+        _ => {
+            let e = i32::from(exp) - 15 + 127;
+            sign | ((e as u32) << 23) | (mantissa << 13)
+        }
+    };
+    f32::from_bits(out_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_values_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, -0.5, 0.25, 2.0, 1024.0, -0.125] {
+            let bits = f32_to_f16_bits(v);
+            assert_eq!(f16_bits_to_f32(bits), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_is_small_for_unit_range() {
+        // LUT offsets live in roughly [-2, 2]; half precision gives ~1e-3 there.
+        let mut v = -2.0f32;
+        while v <= 2.0 {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert!((back - v).abs() <= 2e-3, "value {v} -> {back}");
+            v += 0.0137;
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(1e9)).is_infinite());
+        assert!(f16_bits_to_f32(f32_to_f16_bits(-1e9)).is_infinite());
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip_approximately() {
+        let v = 3.0e-5f32;
+        let back = f16_bits_to_f32(f32_to_f16_bits(v));
+        assert!((back - v).abs() < 1e-6);
+        // Deep underflow flushes to zero.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e-10)), 0.0);
+    }
+
+    #[test]
+    fn sign_of_zero_is_kept() {
+        let neg_zero = f16_bits_to_f32(f32_to_f16_bits(-0.0));
+        assert_eq!(neg_zero, 0.0);
+        assert!(neg_zero.is_sign_negative());
+    }
+}

@@ -1,0 +1,317 @@
+//! Serialization of LUTs to a compact binary file format.
+//!
+//! The paper stores its LUT as an `.npy` file; here we use an equally
+//! language-neutral little-endian binary layout (documented below) with the
+//! extension `.vlut`:
+//!
+//! ```text
+//! magic "VLUT"            4 bytes
+//! version                 u8  (currently 1)
+//! backend                 u8  (0 = sparse, 1 = dense)
+//! scheme                  u8  (0 = full, 1 = compact)
+//! receptive_field         u8
+//! bins                    u16 LE
+//! key_space               u128 LE   (dense only; 0 for sparse)
+//! entry_count             u64 LE
+//! entries                 entry_count × (key u128 LE, 3 × f16 LE)
+//! ```
+
+use super::dense::DenseLut;
+use super::f16::f32_to_f16_bits;
+use super::sparse::SparseLut;
+use super::Lut;
+use crate::encoding::KeyScheme;
+use crate::error::Error;
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"VLUT";
+const VERSION: u8 = 1;
+
+/// Metadata describing how a serialized LUT was built; stored in the file
+/// header so the client can reconstruct a compatible [`crate::encoding::PositionEncoder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LutHeader {
+    /// Key scheme the LUT was built with.
+    pub scheme: KeyScheme,
+    /// Receptive-field size `n`.
+    pub receptive_field: usize,
+    /// Quantization bins `b`.
+    pub bins: usize,
+}
+
+/// A deserialized LUT plus its header.
+#[derive(Debug, Clone)]
+pub enum LoadedLut {
+    /// A sparse LUT.
+    Sparse {
+        /// Header metadata.
+        header: LutHeader,
+        /// The table itself.
+        lut: SparseLut,
+    },
+    /// A dense LUT.
+    Dense {
+        /// Header metadata.
+        header: LutHeader,
+        /// The table itself.
+        lut: DenseLut,
+    },
+}
+
+impl LoadedLut {
+    /// The header regardless of backend.
+    pub fn header(&self) -> LutHeader {
+        match self {
+            LoadedLut::Sparse { header, .. } | LoadedLut::Dense { header, .. } => *header,
+        }
+    }
+
+    /// The LUT as a trait object.
+    pub fn as_lut(&self) -> &dyn Lut {
+        match self {
+            LoadedLut::Sparse { lut, .. } => lut,
+            LoadedLut::Dense { lut, .. } => lut,
+        }
+    }
+
+    /// Consumes the loaded value and boxes the LUT.
+    pub fn into_boxed_lut(self) -> Box<dyn Lut> {
+        match self {
+            LoadedLut::Sparse { lut, .. } => Box::new(lut),
+            LoadedLut::Dense { lut, .. } => Box::new(lut),
+        }
+    }
+}
+
+fn scheme_byte(s: KeyScheme) -> u8 {
+    match s {
+        KeyScheme::Full => 0,
+        KeyScheme::Compact => 1,
+    }
+}
+
+fn scheme_from_byte(b: u8) -> Result<KeyScheme> {
+    match b {
+        0 => Ok(KeyScheme::Full),
+        1 => Ok(KeyScheme::Compact),
+        other => Err(Error::LutFormat(format!("unknown key scheme byte {other}"))),
+    }
+}
+
+fn put_entries<'a, I>(buf: &mut BytesMut, entries: I, count: u64)
+where
+    I: Iterator<Item = (u128, [f32; 3])> + 'a,
+{
+    buf.put_u64_le(count);
+    for (key, offset) in entries {
+        buf.put_u128_le(key);
+        for c in offset {
+            buf.put_u16_le(f32_to_f16_bits(c));
+        }
+    }
+}
+
+/// Serializes a sparse LUT.
+pub fn encode_sparse(lut: &SparseLut, header: LutHeader) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + lut.populated() * 22);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(0);
+    buf.put_u8(scheme_byte(header.scheme));
+    buf.put_u8(header.receptive_field as u8);
+    buf.put_u16_le(header.bins as u16);
+    buf.put_u128_le(0);
+    put_entries(&mut buf, lut.iter(), lut.populated() as u64);
+    buf.freeze()
+}
+
+/// Serializes a dense LUT (only populated entries are written).
+pub fn encode_dense(lut: &DenseLut, header: LutHeader) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + lut.populated() * 22);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(1);
+    buf.put_u8(scheme_byte(header.scheme));
+    buf.put_u8(header.receptive_field as u8);
+    buf.put_u16_le(header.bins as u16);
+    buf.put_u128_le(lut.key_space());
+    put_entries(&mut buf, lut.iter(), lut.populated() as u64);
+    buf.freeze()
+}
+
+/// Deserializes a LUT produced by [`encode_sparse`] or [`encode_dense`].
+///
+/// # Errors
+/// Returns [`Error::LutFormat`] for truncated or malformed input.
+pub fn decode(mut data: &[u8]) -> Result<LoadedLut> {
+    if data.len() < 4 + 1 + 1 + 1 + 1 + 2 + 16 + 8 {
+        return Err(Error::LutFormat("buffer shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::LutFormat(format!("bad magic {magic:?}")));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(Error::LutFormat(format!("unsupported version {version}")));
+    }
+    let backend = data.get_u8();
+    let scheme = scheme_from_byte(data.get_u8())?;
+    let receptive_field = usize::from(data.get_u8());
+    let bins = usize::from(data.get_u16_le());
+    let key_space = data.get_u128_le();
+    let count = data.get_u64_le() as usize;
+    if data.remaining() < count * 22 {
+        return Err(Error::LutFormat(format!(
+            "expected {} entry bytes, found {}",
+            count * 22,
+            data.remaining()
+        )));
+    }
+    let header = LutHeader { scheme, receptive_field, bins };
+    match backend {
+        0 => {
+            let mut lut = SparseLut::with_capacity(count);
+            for _ in 0..count {
+                let key = data.get_u128_le();
+                let offset = read_offset(&mut data);
+                lut.set(key, offset)?;
+            }
+            Ok(LoadedLut::Sparse { header, lut })
+        }
+        1 => {
+            if key_space == 0 {
+                return Err(Error::LutFormat("dense lut with zero key space".into()));
+            }
+            let mut lut = DenseLut::with_budget(key_space, u128::MAX)?;
+            for _ in 0..count {
+                let key = data.get_u128_le();
+                let offset = read_offset(&mut data);
+                lut.set(key, offset)?;
+            }
+            Ok(LoadedLut::Dense { header, lut })
+        }
+        other => Err(Error::LutFormat(format!("unknown backend byte {other}"))),
+    }
+}
+
+fn read_offset(data: &mut &[u8]) -> [f32; 3] {
+    [
+        super::f16::f16_bits_to_f32(data.get_u16_le()),
+        super::f16::f16_bits_to_f32(data.get_u16_le()),
+        super::f16::f16_bits_to_f32(data.get_u16_le()),
+    ]
+}
+
+/// Writes a sparse LUT to a `.vlut` file.
+///
+/// # Errors
+/// Propagates any underlying I/O error.
+pub fn write_sparse<P: AsRef<Path>>(lut: &SparseLut, header: LutHeader, path: P) -> Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(&encode_sparse(lut, header))?;
+    Ok(())
+}
+
+/// Writes a dense LUT to a `.vlut` file.
+///
+/// # Errors
+/// Propagates any underlying I/O error.
+pub fn write_dense<P: AsRef<Path>>(lut: &DenseLut, header: LutHeader, path: P) -> Result<()> {
+    let mut file = File::create(path)?;
+    file.write_all(&encode_dense(lut, header))?;
+    Ok(())
+}
+
+/// Reads a `.vlut` file written by [`write_sparse`] or [`write_dense`].
+///
+/// # Errors
+/// Propagates I/O errors and format errors.
+pub fn read_lut<P: AsRef<Path>>(path: P) -> Result<LoadedLut> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> LutHeader {
+        LutHeader { scheme: KeyScheme::Full, receptive_field: 4, bins: 128 }
+    }
+
+    #[test]
+    fn sparse_roundtrip() {
+        let mut lut = SparseLut::new();
+        lut.set(1, [0.5, -0.5, 0.25]).unwrap();
+        lut.set(u128::MAX / 2, [0.0, 1.0, 0.0]).unwrap();
+        let bytes = encode_sparse(&lut, header());
+        let loaded = decode(&bytes).unwrap();
+        assert_eq!(loaded.header(), header());
+        let back = loaded.as_lut();
+        assert_eq!(back.populated(), 2);
+        assert_eq!(back.get(1), Some([0.5, -0.5, 0.25]));
+        assert_eq!(back.backend_name(), "sparse");
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mut lut = DenseLut::new(256).unwrap();
+        lut.set(3, [0.125, 0.25, -1.0]).unwrap();
+        lut.set(255, [1.0, 1.0, 1.0]).unwrap();
+        let h = LutHeader { scheme: KeyScheme::Compact, receptive_field: 4, bins: 4 };
+        let bytes = encode_dense(&lut, h);
+        let loaded = decode(&bytes).unwrap();
+        assert_eq!(loaded.header(), h);
+        assert_eq!(loaded.as_lut().populated(), 2);
+        assert_eq!(loaded.as_lut().get(3), Some([0.125, 0.25, -1.0]));
+        assert_eq!(loaded.as_lut().backend_name(), "dense");
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut lut = SparseLut::new();
+        for i in 0..50u128 {
+            lut.set(i * 7, [i as f32 * 0.01, 0.0, -0.25]).unwrap();
+        }
+        let dir = std::env::temp_dir().join("volut_lut_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("table.vlut");
+        write_sparse(&lut, header(), &path).unwrap();
+        let loaded = read_lut(&path).unwrap();
+        assert_eq!(loaded.as_lut().populated(), 50);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode(b"short").is_err());
+        let mut lut = SparseLut::new();
+        lut.set(1, [0.0; 3]).unwrap();
+        let bytes = encode_sparse(&lut, header());
+        // Corrupt the magic.
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(decode(&bad).is_err());
+        // Truncate the entries.
+        assert!(decode(&bytes[..bytes.len() - 4]).is_err());
+        // Corrupt the backend byte.
+        let mut bad = bytes.to_vec();
+        bad[5] = 9;
+        assert!(decode(&bad).is_err());
+    }
+
+    #[test]
+    fn into_boxed_lut_preserves_contents() {
+        let mut lut = SparseLut::new();
+        lut.set(77, [0.5, 0.5, 0.5]).unwrap();
+        let boxed = decode(&encode_sparse(&lut, header())).unwrap().into_boxed_lut();
+        assert_eq!(boxed.get(77), Some([0.5, 0.5, 0.5]));
+    }
+}

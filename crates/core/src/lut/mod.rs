@@ -1,0 +1,92 @@
+//! Lookup-table storage and construction (§4.2).
+//!
+//! After the refinement network is trained offline, its behaviour is
+//! *transferred* into a lookup table: for a quantized neighborhood key the
+//! table stores the network's predicted 3D offset in `float16`
+//! (2 bytes/offset, Eq. 7). At run time refinement is then a single table
+//! lookup instead of a network inference.
+//!
+//! Two storage backends are provided:
+//! * [`DenseLut`] — a flat array indexed directly by the compact key
+//!   (`b^n` entries, the layout whose byte counts Table 1 reports);
+//! * [`SparseLut`] — a hash map keyed by the full per-coordinate key
+//!   (`b^(3n)` key space), storing only the entries actually observed
+//!   during distillation. This is the engineering substitution that lets the
+//!   `b = 128`, `n = 4` configuration run on hosts without 1.6 GB of free
+//!   memory (see DESIGN.md §2).
+
+pub mod builder;
+pub mod dense;
+pub mod f16;
+pub mod io;
+pub mod memory;
+pub mod sparse;
+
+pub use builder::LutBuilder;
+pub use dense::DenseLut;
+pub use memory::{table1_rows, MemoryModel, MemoryRow};
+pub use sparse::SparseLut;
+
+use serde::{Deserialize, Serialize};
+
+/// A 3D refinement offset retrieved from a LUT, in the normalized
+/// neighborhood coordinate frame (multiply by the neighborhood radius to get
+/// a world-space displacement).
+pub type Offset = [f32; 3];
+
+/// Statistics describing how a LUT is being used at run time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LookupStats {
+    /// Number of lookups that found a populated entry.
+    pub hits: u64,
+    /// Number of lookups that missed (the refiner falls back to a zero offset).
+    pub misses: u64,
+}
+
+impl LookupStats {
+    /// Hit rate in `[0, 1]`; returns 1.0 when no lookups were recorded.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Common interface of the LUT storage backends.
+pub trait Lut: Send + Sync {
+    /// Returns the stored offset for `key`, or `None` when the entry has not
+    /// been populated.
+    fn get(&self, key: u128) -> Option<Offset>;
+
+    /// Stores (or overwrites) the offset for `key`.
+    ///
+    /// # Errors
+    /// Returns [`crate::Error::LutFormat`] when the key is outside the
+    /// table's key space.
+    fn set(&mut self, key: u128, offset: Offset) -> crate::Result<()>;
+
+    /// Number of populated entries.
+    fn populated(&self) -> usize;
+
+    /// Resident memory consumed by the table's storage, in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Human-readable backend name for reports ("dense" / "sparse").
+    fn backend_name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_stats_hit_rate() {
+        let s = LookupStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        let s = LookupStats { hits: 3, misses: 1 };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

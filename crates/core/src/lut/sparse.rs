@@ -1,0 +1,156 @@
+//! Sparse (hashed) LUT storage for the full per-coordinate key scheme.
+
+use super::f16::{f16_bits_to_f32, f32_to_f16_bits};
+use super::{Lut, Offset};
+use crate::Result;
+use std::collections::HashMap;
+
+/// Sparse LUT backed by a hash map from packed keys to `float16` offsets.
+///
+/// Only the neighborhood configurations actually observed during
+/// distillation are stored, which is what makes the `b^(3n)` key space of
+/// the full encoding practical: real point-cloud surfaces occupy a tiny
+/// fraction of it.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::lut::{sparse::SparseLut, Lut};
+/// let mut lut = SparseLut::new();
+/// lut.set(u128::MAX - 1, [0.5, 0.0, -0.5]).unwrap();
+/// assert!(lut.get(u128::MAX - 1).is_some());
+/// assert_eq!(lut.populated(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SparseLut {
+    entries: HashMap<u128, [u16; 3]>,
+}
+
+impl SparseLut {
+    /// Creates an empty sparse LUT.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty sparse LUT with capacity for `n` entries.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { entries: HashMap::with_capacity(n) }
+    }
+
+    /// Iterates over `(key, offset)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u128, Offset)> + '_ {
+        self.entries.iter().map(|(&k, &v)| {
+            (k, [f16_bits_to_f32(v[0]), f16_bits_to_f32(v[1]), f16_bits_to_f32(v[2])])
+        })
+    }
+
+    /// Merges another sparse LUT into this one; on key collisions the two
+    /// offsets are averaged (multi-LUT fusion, §6).
+    pub fn fuse(&mut self, other: &SparseLut) {
+        for (key, offset) in other.iter() {
+            match self.get(key) {
+                Some(existing) => {
+                    let merged = [
+                        (existing[0] + offset[0]) * 0.5,
+                        (existing[1] + offset[1]) * 0.5,
+                        (existing[2] + offset[2]) * 0.5,
+                    ];
+                    let _ = self.set(key, merged);
+                }
+                None => {
+                    let _ = self.set(key, offset);
+                }
+            }
+        }
+    }
+}
+
+impl Lut for SparseLut {
+    fn get(&self, key: u128) -> Option<Offset> {
+        self.entries.get(&key).map(|v| {
+            [f16_bits_to_f32(v[0]), f16_bits_to_f32(v[1]), f16_bits_to_f32(v[2])]
+        })
+    }
+
+    fn set(&mut self, key: u128, offset: Offset) -> Result<()> {
+        self.entries.insert(
+            key,
+            [
+                f32_to_f16_bits(offset[0]),
+                f32_to_f16_bits(offset[1]),
+                f32_to_f16_bits(offset[2]),
+            ],
+        );
+        Ok(())
+    }
+
+    fn populated(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // Key (16 B) + packed offsets (6 B) + hash-map overhead (~10 B/entry).
+        self.entries.len() * (16 + 6 + 10)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "sparse"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut lut = SparseLut::new();
+        lut.set(123456789, [0.25, 0.5, -0.75]).unwrap();
+        assert_eq!(lut.get(123456789), Some([0.25, 0.5, -0.75]));
+        assert!(lut.get(1).is_none());
+        assert_eq!(lut.populated(), 1);
+        assert_eq!(lut.backend_name(), "sparse");
+    }
+
+    #[test]
+    fn huge_keys_are_supported() {
+        let mut lut = SparseLut::with_capacity(4);
+        let key = 128u128.pow(12) - 1;
+        lut.set(key, [1.0, 0.0, 0.0]).unwrap();
+        assert!(lut.get(key).is_some());
+    }
+
+    #[test]
+    fn memory_grows_with_population() {
+        let mut lut = SparseLut::new();
+        let before = lut.memory_bytes();
+        for i in 0..100 {
+            lut.set(i, [0.0; 3]).unwrap();
+        }
+        assert!(lut.memory_bytes() > before);
+    }
+
+    #[test]
+    fn fuse_averages_collisions() {
+        let mut a = SparseLut::new();
+        a.set(5, [1.0, 0.0, 0.0]).unwrap();
+        a.set(6, [0.5, 0.5, 0.5]).unwrap();
+        let mut b = SparseLut::new();
+        b.set(5, [0.0, 1.0, 0.0]).unwrap();
+        b.set(7, [0.25, 0.25, 0.25]).unwrap();
+        a.fuse(&b);
+        assert_eq!(a.populated(), 3);
+        let merged = a.get(5).unwrap();
+        assert!((merged[0] - 0.5).abs() < 1e-3);
+        assert!((merged[1] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn iteration_matches_population() {
+        let mut lut = SparseLut::new();
+        for i in 0..10u128 {
+            lut.set(i * 1000, [i as f32 * 0.01, 0.0, 0.0]).unwrap();
+        }
+        assert_eq!(lut.iter().count(), 10);
+    }
+}

@@ -1,0 +1,294 @@
+//! Dense layers and a ReLU multi-layer perceptron with backpropagation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// A fully connected layer `y = W x + b`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Row-major weights with shape `(out_dim, in_dim)`.
+    pub weights: Vec<f32>,
+    /// Bias vector of length `out_dim`.
+    pub bias: Vec<f32>,
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Accumulated weight gradients (same layout as `weights`).
+    #[serde(skip)]
+    pub grad_weights: Vec<f32>,
+    /// Accumulated bias gradients.
+    #[serde(skip)]
+    pub grad_bias: Vec<f32>,
+}
+
+impl Linear {
+    /// Creates a layer with He-style random initialization.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let weights = (0..in_dim * out_dim)
+            .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            weights,
+            bias: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+            grad_weights: vec![0.0; in_dim * out_dim],
+            grad_bias: vec![0.0; out_dim],
+        }
+    }
+
+    /// Forward pass for a single input vector.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `input.len() != in_dim`.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(input.len(), self.in_dim);
+        let mut out = self.bias.clone();
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0f32;
+            for (w, x) in row.iter().zip(input.iter()) {
+                acc += w * x;
+            }
+            *out_v += acc;
+        }
+        out
+    }
+
+    /// Backward pass: accumulates gradients for this layer and returns the
+    /// gradient with respect to the input.
+    pub fn backward(&mut self, input: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(input.len(), self.in_dim);
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        let mut grad_in = vec![0.0f32; self.in_dim];
+        for (o, &go) in grad_out.iter().enumerate() {
+            self.grad_bias[o] += go;
+            let row_start = o * self.in_dim;
+            for i in 0..self.in_dim {
+                self.grad_weights[row_start + i] += go * input[i];
+                grad_in[i] += go * self.weights[row_start + i];
+            }
+        }
+        grad_in
+    }
+
+    /// Clears the accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights.iter_mut().for_each(|g| *g = 0.0);
+        self.grad_bias.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+}
+
+/// A ReLU multi-layer perceptron.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::nn::Mlp;
+/// let mlp = Mlp::new(&[4, 8, 2], 7);
+/// let y = mlp.forward(&[0.1, -0.2, 0.3, 0.4]);
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    dims: Vec<usize>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `[12, 64, 64, 3]`.
+    ///
+    /// # Panics
+    /// Panics when fewer than two dimensions are given or any dimension is zero.
+    pub fn new(dims: &[usize], seed: u64) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least an input and an output dimension");
+        assert!(dims.iter().all(|&d| d > 0), "layer dimensions must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers, dims: dims.to_vec() }
+    }
+
+    /// The layer dimensions this network was built with.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().expect("dims is non-empty")
+    }
+
+    /// Total number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(Linear::parameter_count).sum()
+    }
+
+    /// Approximate multiply-accumulate count of one forward pass; used by the
+    /// device cost models to compare NN inference against LUT lookup.
+    pub fn flops_per_inference(&self) -> u64 {
+        self.dims.windows(2).map(|w| (w[0] * w[1] * 2) as u64).sum()
+    }
+
+    /// Forward pass for a single input vector.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        let mut x = input.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&x);
+            if i + 1 < self.layers.len() {
+                x.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+        }
+        x
+    }
+
+    /// Forward pass that keeps every intermediate activation (pre-ReLU
+    /// outputs are clamped in place, so activations[i] is the *input* to
+    /// layer i). Needed for backpropagation.
+    fn forward_trace(&self, input: &[f32]) -> Vec<Vec<f32>> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        let mut x = input.to_vec();
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(&x);
+            if i + 1 < self.layers.len() {
+                x.iter_mut().for_each(|v| *v = v.max(0.0));
+            }
+            activations.push(x.clone());
+        }
+        activations
+    }
+
+    /// Runs one backpropagation step for a single `(input, target)` pair
+    /// using MSE loss, accumulating parameter gradients. Returns the loss.
+    pub fn backward_mse(&mut self, input: &[f32], target: &[f32]) -> f32 {
+        let activations = self.forward_trace(input);
+        let output = activations.last().expect("trace includes output");
+        debug_assert_eq!(output.len(), target.len());
+        let n = output.len() as f32;
+        let loss: f32 = output
+            .iter()
+            .zip(target.iter())
+            .map(|(o, t)| (o - t) * (o - t))
+            .sum::<f32>()
+            / n;
+        // dL/do = 2 (o - t) / n
+        let mut grad: Vec<f32> = output
+            .iter()
+            .zip(target.iter())
+            .map(|(o, t)| 2.0 * (o - t) / n)
+            .collect();
+        for i in (0..self.layers.len()).rev() {
+            // The stored activation i+1 is post-ReLU for hidden layers; apply
+            // the ReLU mask to the incoming gradient (derivative is 0 where
+            // the activation is 0).
+            if i + 1 < self.layers.len() {
+                for (g, &a) in grad.iter_mut().zip(activations[i + 1].iter()) {
+                    if a <= 0.0 {
+                        *g = 0.0;
+                    }
+                }
+            }
+            grad = self.layers[i].backward(&activations[i], &grad);
+        }
+        loss
+    }
+
+    /// Clears all accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.layers.iter_mut().for_each(Linear::zero_grad);
+    }
+
+    /// Mutable access to the layers (used by the optimizer).
+    pub(crate) fn layers_mut(&mut self) -> &mut [Linear] {
+        &mut self.layers
+    }
+
+    /// Immutable access to the layers.
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_shapes() {
+        let mlp = Mlp::new(&[3, 5, 2], 1);
+        assert_eq!(mlp.forward(&[1.0, 2.0, 3.0]).len(), 2);
+        assert_eq!(mlp.input_dim(), 3);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        assert_eq!(mlp.flops_per_inference(), (3 * 5 * 2 + 5 * 2 * 2) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least an input")]
+    fn single_dim_panics() {
+        let _ = Mlp::new(&[3], 1);
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = Mlp::new(&[4, 8, 3], 42);
+        let b = Mlp::new(&[4, 8, 3], 42);
+        assert_eq!(a.forward(&[0.1, 0.2, 0.3, 0.4]), b.forward(&[0.1, 0.2, 0.3, 0.4]));
+        let c = Mlp::new(&[4, 8, 3], 43);
+        assert_ne!(a.forward(&[0.1, 0.2, 0.3, 0.4]), c.forward(&[0.1, 0.2, 0.3, 0.4]));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut mlp = Mlp::new(&[2, 4, 1], 7);
+        let input = [0.3f32, -0.7];
+        let target = [0.25f32];
+        mlp.zero_grad();
+        mlp.backward_mse(&input, &target);
+        // Check a handful of weight gradients against central differences.
+        let eps = 1e-3f32;
+        for layer_idx in 0..2 {
+            for w_idx in [0usize, 1] {
+                let analytic = mlp.layers()[layer_idx].grad_weights[w_idx];
+                let mut plus = mlp.clone();
+                plus.layers_mut()[layer_idx].weights[w_idx] += eps;
+                let mut minus = mlp.clone();
+                minus.layers_mut()[layer_idx].weights[w_idx] -= eps;
+                let loss = |m: &Mlp| {
+                    let o = m.forward(&input);
+                    (o[0] - target[0]) * (o[0] - target[0])
+                };
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                assert!(
+                    (analytic - numeric).abs() < 2e-2,
+                    "layer {layer_idx} weight {w_idx}: analytic {analytic} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_gradients() {
+        let mut mlp = Mlp::new(&[2, 3, 1], 3);
+        mlp.backward_mse(&[1.0, 1.0], &[0.0]);
+        assert!(mlp.layers()[0].grad_weights.iter().any(|&g| g != 0.0));
+        mlp.zero_grad();
+        assert!(mlp.layers()[0].grad_weights.iter().all(|&g| g == 0.0));
+    }
+}

@@ -1,0 +1,350 @@
+//! The end-to-end two-stage super-resolution pipeline (Figure 3).
+//!
+//! [`SrPipeline`] glues the pieces together: interpolation (naive or
+//! dilated), colorization (performed inside the interpolation stage) and
+//! per-point refinement, with per-stage wall-clock timing so the runtime
+//! breakdown of Figure 16 can be reproduced.
+
+use crate::config::SrConfig;
+use crate::interpolate::{dilated, naive, InterpolationResult, OpCounts};
+use crate::lut::LookupStats;
+use crate::refine::{Refiner, RefinerCost};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use volut_pointcloud::{Point3, PointCloud};
+
+/// Which interpolation implementation the pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum InterpolationMode {
+    /// Vanilla kNN midpoint interpolation (baseline).
+    Naive,
+    /// VoLUT's dilated, octree-accelerated, reuse-enabled interpolation.
+    #[default]
+    Dilated,
+}
+
+/// Wall-clock breakdown of one super-resolution pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Neighbor-search time (index construction + queries).
+    pub knn: Duration,
+    /// Midpoint generation and bookkeeping.
+    pub interpolation: Duration,
+    /// Color assignment.
+    pub colorization: Duration,
+    /// Per-point refinement (LUT lookups or NN inference).
+    pub refinement: Duration,
+}
+
+impl StageTimings {
+    /// Total time across all stages.
+    pub fn total(&self) -> Duration {
+        self.knn + self.interpolation + self.colorization + self.refinement
+    }
+
+    /// Fraction of total time spent in a stage; returns 0 for an all-zero breakdown.
+    pub fn fraction(&self, stage: Duration) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            stage.as_secs_f64() / total
+        }
+    }
+}
+
+/// Result of one super-resolution pass.
+#[derive(Debug, Clone)]
+pub struct SrResult {
+    /// The upsampled, colorized, refined cloud.
+    pub cloud: PointCloud,
+    /// Number of input points.
+    pub input_points: usize,
+    /// Per-stage wall-clock timings measured on the host.
+    pub timings: StageTimings,
+    /// Interpolation operation counters.
+    pub ops: OpCounts,
+    /// Per-point refinement cost of the configured refiner.
+    pub refiner_cost: RefinerCost,
+    /// LUT hit/miss statistics when the refiner is table-based.
+    pub lookup_stats: Option<LookupStats>,
+    /// Name of the refiner that produced this result.
+    pub refiner_name: String,
+}
+
+impl SrResult {
+    /// Achieved upsampling ratio.
+    pub fn achieved_ratio(&self) -> f64 {
+        if self.input_points == 0 {
+            1.0
+        } else {
+            self.cloud.len() as f64 / self.input_points as f64
+        }
+    }
+
+    /// Super-resolution throughput in frames per second implied by the
+    /// host-measured total time.
+    pub fn host_fps(&self) -> f64 {
+        let t = self.timings.total().as_secs_f64();
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / t
+        }
+    }
+}
+
+/// The two-stage super-resolution pipeline.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::{SrConfig, SrPipeline, refine::IdentityRefiner};
+/// use volut_pointcloud::synthetic;
+///
+/// # fn main() -> Result<(), volut_core::Error> {
+/// let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+/// let low = synthetic::sphere(400, 1.0, 1);
+/// let result = pipeline.upsample(&low, 2.5)?;
+/// assert_eq!(result.cloud.len(), 1000);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SrPipeline {
+    config: SrConfig,
+    mode: InterpolationMode,
+    refiner: Box<dyn Refiner>,
+}
+
+impl std::fmt::Debug for SrPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SrPipeline")
+            .field("config", &self.config)
+            .field("mode", &self.mode)
+            .field("refiner", &self.refiner.name())
+            .finish()
+    }
+}
+
+impl SrPipeline {
+    /// Creates a pipeline with dilated interpolation and the given refiner.
+    pub fn new(config: SrConfig, refiner: Box<dyn Refiner>) -> Self {
+        Self { config, mode: InterpolationMode::Dilated, refiner }
+    }
+
+    /// Creates a pipeline with an explicit interpolation mode.
+    pub fn with_mode(
+        config: SrConfig,
+        mode: InterpolationMode,
+        refiner: Box<dyn Refiner>,
+    ) -> Self {
+        Self { config, mode, refiner }
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &SrConfig {
+        &self.config
+    }
+
+    /// The interpolation mode in use.
+    pub fn mode(&self) -> InterpolationMode {
+        self.mode
+    }
+
+    /// The refiner's resident memory (model weights or LUT), in bytes.
+    pub fn refiner_memory_bytes(&self) -> usize {
+        self.refiner.memory_bytes()
+    }
+
+    /// Name of the configured refiner.
+    pub fn refiner_name(&self) -> &str {
+        self.refiner.name()
+    }
+
+    /// Upsamples `low` by `ratio` and refines the generated points.
+    ///
+    /// # Errors
+    /// Propagates interpolation failures (invalid configuration/ratio,
+    /// insufficient points).
+    pub fn upsample(&self, low: &PointCloud, ratio: f64) -> Result<SrResult> {
+        let interp: InterpolationResult = match self.mode {
+            InterpolationMode::Naive => naive::naive_interpolate(low, &self.config, ratio)?,
+            InterpolationMode::Dilated => dilated::dilated_interpolate(low, &self.config, ratio)?,
+        };
+
+        let mut timings = StageTimings {
+            knn: interp.timings.knn,
+            interpolation: interp.timings.interpolation,
+            colorization: interp.timings.colorization,
+            refinement: Duration::ZERO,
+        };
+
+        // Refinement stage: move every generated point by its looked-up /
+        // predicted offset. Original points are left untouched.
+        let t0 = Instant::now();
+        let original_len = interp.original_len;
+        let mut cloud = interp.cloud;
+        let refined: Vec<Point3> = {
+            let positions = cloud.positions();
+            (original_len..cloud.len())
+                .map(|idx| {
+                    let ordinal = idx - original_len;
+                    let center = positions[idx];
+                    let hood = &interp.neighborhoods[ordinal];
+                    if hood.is_empty() {
+                        center
+                    } else {
+                        let neighbor_positions: Vec<Point3> =
+                            hood.iter().map(|&i| low.position(i)).collect();
+                        self.refiner.refine(center, &neighbor_positions)
+                    }
+                })
+                .collect()
+        };
+        {
+            let positions = cloud.positions_mut();
+            for (ordinal, p) in refined.into_iter().enumerate() {
+                positions[original_len + ordinal] = p;
+            }
+        }
+        timings.refinement = t0.elapsed();
+
+        Ok(SrResult {
+            cloud,
+            input_points: low.len(),
+            timings,
+            ops: interp.ops,
+            refiner_cost: self.refiner.cost(),
+            lookup_stats: self.refiner.lookup_stats(),
+            refiner_name: self.refiner.name().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::KeyScheme;
+    use crate::lut::builder::LutBuilder;
+    use crate::nn::train::{build_training_set, RefinementTrainer, TrainConfig};
+    use crate::refine::{IdentityRefiner, LutRefiner, NnRefiner};
+    use volut_pointcloud::{metrics, sampling, synthetic};
+
+    #[test]
+    fn identity_pipeline_reaches_ratio_and_tracks_timings() {
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let low = synthetic::sphere(500, 1.0, 1);
+        let r = pipeline.upsample(&low, 3.0).unwrap();
+        assert_eq!(r.cloud.len(), 1500);
+        assert!((r.achieved_ratio() - 3.0).abs() < 1e-9);
+        assert!(r.timings.total() > Duration::ZERO);
+        assert!(r.host_fps() > 0.0);
+        assert_eq!(r.refiner_name, "identity");
+        assert!(r.lookup_stats.is_none());
+    }
+
+    #[test]
+    fn naive_mode_works_through_pipeline() {
+        let pipeline = SrPipeline::with_mode(
+            SrConfig::k4d1(),
+            InterpolationMode::Naive,
+            Box::new(IdentityRefiner),
+        );
+        let low = synthetic::sphere(300, 1.0, 2);
+        let r = pipeline.upsample(&low, 2.0).unwrap();
+        assert_eq!(r.cloud.len(), 600);
+        assert_eq!(pipeline.mode(), InterpolationMode::Naive);
+    }
+
+    #[test]
+    fn lut_pipeline_improves_quality_over_identity() {
+        // Train on one "video" (sphere), evaluate on the same content type:
+        // the LUT-refined result should be at least as good as interpolation
+        // alone, and both better than the raw downsampled input.
+        let config = SrConfig::default();
+        let gt = synthetic::sphere(3000, 1.0, 7);
+        let set = build_training_set(&gt, 0.5, &config, KeyScheme::Full, 11).unwrap();
+        let mut trainer = RefinementTrainer::new(
+            &config,
+            TrainConfig { epochs: 10, ..TrainConfig::default() },
+        )
+        .unwrap();
+        trainer.train(&set).unwrap();
+        let mlp = trainer.into_network();
+        let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
+        let lut = builder.distill_sparse(&mlp, &set).unwrap();
+        let refiner = LutRefiner::from_config(&config, KeyScheme::Full, Box::new(lut)).unwrap();
+
+        let low = sampling::random_downsample_exact(&gt, 1500, 3).unwrap();
+        let lut_pipeline = SrPipeline::new(config, Box::new(refiner));
+        let id_pipeline = SrPipeline::new(config, Box::new(IdentityRefiner));
+
+        let lut_result = lut_pipeline.upsample(&low, 2.0).unwrap();
+        let id_result = id_pipeline.upsample(&low, 2.0).unwrap();
+
+        // Coverage of the ground truth must improve with upsampling, and the
+        // LUT-refined result must not be worse than interpolation alone.
+        let cover_low = metrics::one_sided_chamfer(&gt, &low);
+        let cover_id = metrics::one_sided_chamfer(&gt, &id_result.cloud);
+        assert!(cover_id < cover_low);
+        let cd_id = metrics::chamfer_distance(&id_result.cloud, &gt);
+        let cd_lut = metrics::chamfer_distance(&lut_result.cloud, &gt);
+        assert!(cd_lut <= cd_id * 1.10, "lut ({cd_lut}) should not be much worse than interpolation ({cd_id})");
+        // The LUT should actually be hit most of the time on in-distribution data.
+        let stats = lut_result.lookup_stats.unwrap();
+        assert!(stats.hits > 0);
+    }
+
+    #[test]
+    fn nn_refiner_pipeline_runs_and_is_slower_than_lut() {
+        let config = SrConfig::default();
+        let gt = synthetic::torus(1500, 1.0, 0.3, 5);
+        let set = build_training_set(&gt, 0.5, &config, KeyScheme::Full, 2).unwrap();
+        let mut trainer = RefinementTrainer::new(
+            &config,
+            TrainConfig { epochs: 2, ..TrainConfig::default() },
+        )
+        .unwrap();
+        trainer.train(&set).unwrap();
+        let mlp = trainer.into_network();
+        let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
+        let lut = builder.distill_sparse(&mlp, &set).unwrap();
+
+        let low = sampling::random_downsample_exact(&gt, 700, 1).unwrap();
+        let nn_pipeline = SrPipeline::new(
+            config,
+            Box::new(NnRefiner::from_config(&config, KeyScheme::Full, mlp).unwrap()),
+        );
+        let lut_pipeline = SrPipeline::new(
+            config,
+            Box::new(LutRefiner::from_config(&config, KeyScheme::Full, Box::new(lut)).unwrap()),
+        );
+        let nn_result = nn_pipeline.upsample(&low, 2.0).unwrap();
+        let lut_result = lut_pipeline.upsample(&low, 2.0).unwrap();
+        assert!(nn_result.refiner_cost.nn_flops_per_point > 0);
+        assert_eq!(lut_result.refiner_cost.lut_lookups_per_point, 1);
+        // Refinement-by-lookup must not be slower than NN inference.
+        assert!(lut_result.timings.refinement <= nn_result.timings.refinement * 3);
+    }
+
+    #[test]
+    fn stage_fraction_sums_to_one() {
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let low = synthetic::sphere(400, 1.0, 9);
+        let r = pipeline.upsample(&low, 2.0).unwrap();
+        let t = r.timings;
+        let sum = t.fraction(t.knn)
+            + t.fraction(t.interpolation)
+            + t.fraction(t.colorization)
+            + t.fraction(t.refinement);
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_ratio_is_rejected() {
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let low = synthetic::sphere(100, 1.0, 10);
+        assert!(pipeline.upsample(&low, 0.5).is_err());
+    }
+}

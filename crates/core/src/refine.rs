@@ -1,0 +1,287 @@
+//! Stage two of the VoLUT pipeline: per-point refinement.
+//!
+//! A [`Refiner`] takes an interpolated point plus its neighborhood and moves
+//! the point onto (an estimate of) the true surface. Three implementations
+//! are provided:
+//! * [`LutRefiner`] — VoLUT's contribution: a table lookup keyed by the
+//!   quantized neighborhood (§4.2);
+//! * [`NnRefiner`] — runs the refinement network directly (the GradPU-style
+//!   path the LUT replaces);
+//! * [`IdentityRefiner`] — no refinement; isolates the interpolation stage
+//!   in ablations.
+
+use crate::encoding::{KeyScheme, PositionEncoder};
+use crate::lut::{LookupStats, Lut};
+use crate::nn::mlp::Mlp;
+use crate::Result;
+use parking_lot::Mutex;
+use volut_pointcloud::Point3;
+
+/// Per-point cost description used by the device cost models and the
+/// runtime-breakdown experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefinerCost {
+    /// Table lookups performed per refined point.
+    pub lut_lookups_per_point: u64,
+    /// Multiply-accumulate operations per refined point.
+    pub nn_flops_per_point: u64,
+}
+
+/// A per-point refinement function.
+pub trait Refiner: Send + Sync {
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Returns the refined position of `center` given its neighborhood
+    /// (original low-resolution points, closest first).
+    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3;
+
+    /// Per-point cost description.
+    fn cost(&self) -> RefinerCost;
+
+    /// Resident memory required by the refiner (model weights or LUT), in
+    /// bytes. This is the quantity compared in Figure 15.
+    fn memory_bytes(&self) -> usize;
+
+    /// Lookup statistics, when the refiner is table-based.
+    fn lookup_stats(&self) -> Option<LookupStats> {
+        None
+    }
+}
+
+/// No-op refiner: returns the interpolated position unchanged.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdentityRefiner;
+
+impl Refiner for IdentityRefiner {
+    fn name(&self) -> &str {
+        "identity"
+    }
+
+    fn refine(&self, center: Point3, _neighbors: &[Point3]) -> Point3 {
+        center
+    }
+
+    fn cost(&self) -> RefinerCost {
+        RefinerCost::default()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// LUT-based refiner (the paper's contribution).
+pub struct LutRefiner {
+    encoder: PositionEncoder,
+    lut: Box<dyn Lut>,
+    stats: Mutex<LookupStats>,
+}
+
+impl std::fmt::Debug for LutRefiner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LutRefiner")
+            .field("encoder", &self.encoder)
+            .field("populated", &self.lut.populated())
+            .field("backend", &self.lut.backend_name())
+            .finish()
+    }
+}
+
+impl LutRefiner {
+    /// Creates a refiner from a position encoder and a populated LUT.
+    pub fn new(encoder: PositionEncoder, lut: Box<dyn Lut>) -> Self {
+        Self { encoder, lut, stats: Mutex::new(LookupStats::default()) }
+    }
+
+    /// Convenience constructor from an [`crate::SrConfig`], key scheme and LUT.
+    ///
+    /// # Errors
+    /// Returns an error when the configuration is invalid.
+    pub fn from_config(
+        config: &crate::SrConfig,
+        scheme: KeyScheme,
+        lut: Box<dyn Lut>,
+    ) -> Result<Self> {
+        Ok(Self::new(PositionEncoder::new(config, scheme)?, lut))
+    }
+
+    /// The underlying LUT.
+    pub fn lut(&self) -> &dyn Lut {
+        self.lut.as_ref()
+    }
+}
+
+impl Refiner for LutRefiner {
+    fn name(&self) -> &str {
+        "volut-lut"
+    }
+
+    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3 {
+        if neighbors.is_empty() {
+            return center;
+        }
+        let Ok(encoded) = self.encoder.encode(center, neighbors) else {
+            return center;
+        };
+        match self.lut.get(encoded.key) {
+            Some(offset) => {
+                self.stats.lock().hits += 1;
+                center
+                    + Point3::new(offset[0], offset[1], offset[2]) * encoded.radius
+            }
+            None => {
+                self.stats.lock().misses += 1;
+                center
+            }
+        }
+    }
+
+    fn cost(&self) -> RefinerCost {
+        RefinerCost { lut_lookups_per_point: 1, nn_flops_per_point: 0 }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.lut.memory_bytes()
+    }
+
+    fn lookup_stats(&self) -> Option<LookupStats> {
+        Some(*self.stats.lock())
+    }
+}
+
+/// Neural refiner: runs the refinement MLP directly for every point.
+#[derive(Debug, Clone)]
+pub struct NnRefiner {
+    encoder: PositionEncoder,
+    mlp: Mlp,
+}
+
+impl NnRefiner {
+    /// Creates a refiner that evaluates `mlp` per point.
+    pub fn new(encoder: PositionEncoder, mlp: Mlp) -> Self {
+        Self { encoder, mlp }
+    }
+
+    /// Convenience constructor from an [`crate::SrConfig`] and key scheme.
+    ///
+    /// # Errors
+    /// Returns an error when the configuration is invalid.
+    pub fn from_config(config: &crate::SrConfig, scheme: KeyScheme, mlp: Mlp) -> Result<Self> {
+        Ok(Self::new(PositionEncoder::new(config, scheme)?, mlp))
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Mlp {
+        &self.mlp
+    }
+}
+
+impl Refiner for NnRefiner {
+    fn name(&self) -> &str {
+        "nn-refiner"
+    }
+
+    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3 {
+        if neighbors.is_empty() {
+            return center;
+        }
+        let Ok(encoded) = self.encoder.encode(center, neighbors) else {
+            return center;
+        };
+        let features = self.encoder.features(&encoded);
+        let out = self.mlp.forward(&features);
+        center + Point3::new(out[0], out[1], out[2]) * encoded.radius
+    }
+
+    fn cost(&self) -> RefinerCost {
+        RefinerCost { lut_lookups_per_point: 0, nn_flops_per_point: self.mlp.flops_per_inference() }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        // f32 weights resident in memory.
+        self.mlp.parameter_count() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lut::sparse::SparseLut;
+    use crate::SrConfig;
+
+    fn encoder() -> PositionEncoder {
+        PositionEncoder::new(&SrConfig::default(), KeyScheme::Full).unwrap()
+    }
+
+    fn neighborhood() -> (Point3, Vec<Point3>) {
+        (
+            Point3::new(0.0, 0.0, 0.0),
+            vec![
+                Point3::new(0.2, 0.0, 0.0),
+                Point3::new(0.0, 0.2, 0.0),
+                Point3::new(0.0, 0.0, 0.2),
+            ],
+        )
+    }
+
+    #[test]
+    fn identity_refiner_is_a_noop() {
+        let (c, n) = neighborhood();
+        assert_eq!(IdentityRefiner.refine(c, &n), c);
+        assert_eq!(IdentityRefiner.memory_bytes(), 0);
+        assert_eq!(IdentityRefiner.cost(), RefinerCost::default());
+        assert!(IdentityRefiner.lookup_stats().is_none());
+    }
+
+    #[test]
+    fn lut_refiner_applies_stored_offset() {
+        let (c, n) = neighborhood();
+        let enc = encoder();
+        let key = enc.encode(c, &n).unwrap().key;
+        let radius = enc.encode(c, &n).unwrap().radius;
+        let mut lut = SparseLut::new();
+        lut.set(key, [0.5, 0.0, 0.0]).unwrap();
+        let refiner = LutRefiner::new(enc, Box::new(lut));
+        let refined = refiner.refine(c, &n);
+        assert!((refined.x - 0.5 * radius).abs() < 1e-3);
+        let stats = refiner.lookup_stats().unwrap();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn lut_refiner_miss_returns_center_and_counts() {
+        let (c, n) = neighborhood();
+        let refiner = LutRefiner::new(encoder(), Box::new(SparseLut::new()));
+        assert_eq!(refiner.refine(c, &n), c);
+        assert_eq!(refiner.refine(c, &[]), c);
+        let stats = refiner.lookup_stats().unwrap();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(refiner.cost().lut_lookups_per_point, 1);
+    }
+
+    #[test]
+    fn nn_refiner_moves_points_and_reports_cost() {
+        let (c, n) = neighborhood();
+        let mlp = Mlp::new(&[12, 16, 3], 5);
+        let refiner = NnRefiner::new(encoder(), mlp);
+        let refined = refiner.refine(c, &n);
+        // A randomly initialized network almost surely produces a non-zero offset.
+        assert_ne!(refined, c);
+        assert_eq!(refiner.refine(c, &[]), c);
+        assert!(refiner.cost().nn_flops_per_point > 0);
+        assert!(refiner.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn refiners_are_object_safe_and_sync() {
+        fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+        assert_send_sync::<dyn Refiner>();
+        let boxed: Vec<Box<dyn Refiner>> = vec![
+            Box::new(IdentityRefiner),
+            Box::new(LutRefiner::new(encoder(), Box::new(SparseLut::new()))),
+        ];
+        assert_eq!(boxed.len(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box in 3D.
+///
+/// Used by the spatial indices (octree, voxel grid) and by the position
+/// encoding stage of the LUT pipeline to normalize neighborhoods.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{Aabb, Point3};
+/// let b = Aabb::from_points([Point3::new(0.0, 0.0, 0.0), Point3::new(2.0, 4.0, 6.0)]).unwrap();
+/// assert_eq!(b.center(), Point3::new(1.0, 2.0, 3.0));
+/// assert_eq!(b.extent(), Point3::new(2.0, 4.0, 6.0));
+/// assert!(b.contains(Point3::new(1.0, 1.0, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point3,
+    /// Maximum corner.
+    pub max: Point3,
+}
+
+impl Aabb {
+    /// Creates a bounding box from two corners; the corners are swapped
+    /// component-wise if necessary so that `min <= max` holds.
+    pub fn new(a: Point3, b: Point3) -> Self {
+        Self { min: a.min(b), max: a.max(b) }
+    }
+
+    /// Computes the bounding box of an iterator of points, or `None` when the
+    /// iterator is empty.
+    pub fn from_points<I>(points: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = Point3>,
+    {
+        let mut iter = points.into_iter();
+        let first = iter.next()?;
+        let mut min = first;
+        let mut max = first;
+        for p in iter {
+            min = min.min(p);
+            max = max.max(p);
+        }
+        Some(Self { min, max })
+    }
+
+    /// The geometric center of the box.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// The edge lengths of the box.
+    #[inline]
+    pub fn extent(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// Half the diagonal length; a convenient "radius" for normalization.
+    #[inline]
+    pub fn half_diagonal(&self) -> f32 {
+        self.extent().norm() * 0.5
+    }
+
+    /// Length of the longest edge.
+    #[inline]
+    pub fn longest_edge(&self) -> f32 {
+        self.extent().max_element()
+    }
+
+    /// Returns `true` when `p` lies inside the box (inclusive bounds).
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Grows the box so that it also contains `p`.
+    pub fn expand(&mut self, p: Point3) {
+        self.min = self.min.min(p);
+        self.max = self.max.max(p);
+    }
+
+    /// Returns a box inflated by `margin` on every side.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `margin` is negative.
+    pub fn inflated(&self, margin: f32) -> Aabb {
+        debug_assert!(margin >= 0.0, "margin must be non-negative");
+        Aabb {
+            min: self.min - Point3::splat(margin),
+            max: self.max + Point3::splat(margin),
+        }
+    }
+
+    /// Squared distance from `p` to the closest point of the box
+    /// (zero when `p` is inside). Used for k-d tree / octree pruning.
+    #[inline]
+    pub fn distance_squared_to(&self, p: Point3) -> f32 {
+        let mut d2 = 0.0f32;
+        for axis in 0..3 {
+            let v = p[axis];
+            if v < self.min[axis] {
+                let d = self.min[axis] - v;
+                d2 += d * d;
+            } else if v > self.max[axis] {
+                let d = v - self.max[axis];
+                d2 += d * d;
+            }
+        }
+        d2
+    }
+
+    /// Splits the box into 8 octants around its center, ordered by octant
+    /// index `(x_hi << 2) | (y_hi << 1) | z_hi`.
+    pub fn octants(&self) -> [Aabb; 8] {
+        let c = self.center();
+        let mut out = [*self; 8];
+        for (i, o) in out.iter_mut().enumerate() {
+            let xs = if i & 0b100 != 0 { (c.x, self.max.x) } else { (self.min.x, c.x) };
+            let ys = if i & 0b010 != 0 { (c.y, self.max.y) } else { (self.min.y, c.y) };
+            let zs = if i & 0b001 != 0 { (c.z, self.max.z) } else { (self.min.z, c.z) };
+            *o = Aabb {
+                min: Point3::new(xs.0, ys.0, zs.0),
+                max: Point3::new(xs.1, ys.1, zs.1),
+            };
+        }
+        out
+    }
+
+    /// Octant index of `p` relative to the box center.
+    #[inline]
+    pub fn octant_of(&self, p: Point3) -> usize {
+        let c = self.center();
+        (usize::from(p.x >= c.x) << 2) | (usize::from(p.y >= c.y) << 1) | usize::from(p.z >= c.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_swaps_corners() {
+        let b = Aabb::new(Point3::new(1.0, -1.0, 5.0), Point3::new(0.0, 2.0, 3.0));
+        assert_eq!(b.min, Point3::new(0.0, -1.0, 3.0));
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 5.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_and_expand() {
+        let mut b = Aabb::new(Point3::ZERO, Point3::ONE);
+        assert!(b.contains(Point3::splat(0.5)));
+        assert!(!b.contains(Point3::splat(1.5)));
+        b.expand(Point3::splat(2.0));
+        assert!(b.contains(Point3::splat(1.5)));
+    }
+
+    #[test]
+    fn distance_squared_inside_is_zero() {
+        let b = Aabb::new(Point3::ZERO, Point3::ONE);
+        assert_eq!(b.distance_squared_to(Point3::splat(0.5)), 0.0);
+        assert!((b.distance_squared_to(Point3::new(2.0, 0.5, 0.5)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn octants_partition_the_box() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(2.0));
+        let octs = b.octants();
+        // Every octant has half the edge length and is contained in the parent.
+        for o in &octs {
+            assert!((o.extent().x - 1.0).abs() < 1e-6);
+            assert!(b.contains(o.center()));
+        }
+        // The octant index agrees with octant_of for the octant center.
+        for (i, o) in octs.iter().enumerate() {
+            assert_eq!(b.octant_of(o.center()), i);
+        }
+    }
+
+    #[test]
+    fn inflated_grows_symmetrically() {
+        let b = Aabb::new(Point3::ZERO, Point3::ONE).inflated(0.5);
+        assert_eq!(b.min, Point3::splat(-0.5));
+        assert_eq!(b.max, Point3::splat(1.5));
+    }
+
+    #[test]
+    fn half_diagonal_and_longest_edge() {
+        let b = Aabb::new(Point3::ZERO, Point3::new(3.0, 4.0, 0.0));
+        assert!((b.half_diagonal() - 2.5).abs() < 1e-6);
+        assert_eq!(b.longest_edge(), 4.0);
+    }
+}

@@ -1,0 +1,390 @@
+//! The [`PointCloud`] container: a structure-of-arrays point set with
+//! optional per-point colors.
+
+use crate::aabb::Aabb;
+use crate::error::Error;
+use crate::point::{Color, Point3};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A point cloud stored as a structure of arrays.
+///
+/// Positions are mandatory; colors are optional but, when present, must have
+/// exactly one entry per position. This is the unit of data that flows
+/// through the entire VoLUT pipeline: the server downsamples a `PointCloud`,
+/// the client interpolates and refines one.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{PointCloud, Point3, Color};
+///
+/// let mut cloud = PointCloud::new();
+/// cloud.push(Point3::new(0.0, 0.0, 0.0), Some(Color::new(255, 0, 0)));
+/// cloud.push(Point3::new(1.0, 0.0, 0.0), Some(Color::new(0, 255, 0)));
+/// assert_eq!(cloud.len(), 2);
+/// assert!(cloud.has_colors());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    positions: Vec<Point3>,
+    colors: Option<Vec<Color>>,
+}
+
+impl PointCloud {
+    /// Creates an empty cloud without colors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty cloud with capacity reserved for `n` points.
+    pub fn with_capacity(n: usize) -> Self {
+        Self { positions: Vec::with_capacity(n), colors: None }
+    }
+
+    /// Creates a cloud from positions only.
+    pub fn from_positions(positions: Vec<Point3>) -> Self {
+        Self { positions, colors: None }
+    }
+
+    /// Creates a cloud from positions and matching colors.
+    ///
+    /// # Errors
+    /// Returns [`Error::AttributeMismatch`] when the two vectors differ in length.
+    pub fn from_positions_and_colors(positions: Vec<Point3>, colors: Vec<Color>) -> Result<Self> {
+        if positions.len() != colors.len() {
+            return Err(Error::AttributeMismatch {
+                positions: positions.len(),
+                attributes: colors.len(),
+            });
+        }
+        Ok(Self { positions, colors: Some(colors) })
+    }
+
+    /// Number of points in the cloud.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` when the cloud has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Returns `true` when the cloud carries per-point colors.
+    #[inline]
+    pub fn has_colors(&self) -> bool {
+        self.colors.is_some()
+    }
+
+    /// Borrow of the position array.
+    #[inline]
+    pub fn positions(&self) -> &[Point3] {
+        &self.positions
+    }
+
+    /// Mutable borrow of the position array.
+    #[inline]
+    pub fn positions_mut(&mut self) -> &mut [Point3] {
+        &mut self.positions
+    }
+
+    /// Borrow of the color array, if present.
+    #[inline]
+    pub fn colors(&self) -> Option<&[Color]> {
+        self.colors.as_deref()
+    }
+
+    /// Position of point `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn position(&self, i: usize) -> Point3 {
+        self.positions[i]
+    }
+
+    /// Color of point `i`, if the cloud has colors.
+    #[inline]
+    pub fn color(&self, i: usize) -> Option<Color> {
+        self.colors.as_ref().map(|c| c[i])
+    }
+
+    /// Appends a point. The first push decides whether the cloud is colored;
+    /// later pushes must be consistent (a colored cloud rejects `None` by
+    /// substituting black, an uncolored cloud ignores a provided color).
+    pub fn push(&mut self, position: Point3, color: Option<Color>) {
+        if self.positions.is_empty() {
+            if let Some(c) = color {
+                self.colors = Some(vec![c]);
+                self.positions.push(position);
+                return;
+            }
+        }
+        self.positions.push(position);
+        if let Some(colors) = &mut self.colors {
+            colors.push(color.unwrap_or(Color::BLACK));
+        }
+    }
+
+    /// Iterator over `(position, optional color)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Point3, Option<Color>)> + '_ {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(move |(i, &p)| (p, self.colors.as_ref().map(|c| c[i])))
+    }
+
+    /// Extracts the subset of points at `indices`, preserving colors.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn select(&self, indices: &[usize]) -> PointCloud {
+        let positions = indices.iter().map(|&i| self.positions[i]).collect();
+        let colors = self
+            .colors
+            .as_ref()
+            .map(|c| indices.iter().map(|&i| c[i]).collect());
+        PointCloud { positions, colors }
+    }
+
+    /// Appends all points of `other` to `self`. If exactly one of the clouds
+    /// is colored, missing colors are filled with black so the result stays
+    /// consistent.
+    pub fn merge(&mut self, other: &PointCloud) {
+        match (&mut self.colors, &other.colors) {
+            (Some(mine), Some(theirs)) => mine.extend_from_slice(theirs),
+            (Some(mine), None) => mine.extend(std::iter::repeat(Color::BLACK).take(other.len())),
+            (None, Some(theirs)) => {
+                let mut c = vec![Color::BLACK; self.len()];
+                c.extend_from_slice(theirs);
+                self.colors = Some(c);
+            }
+            (None, None) => {}
+        }
+        self.positions.extend_from_slice(&other.positions);
+    }
+
+    /// Bounding box of the cloud, or `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        Aabb::from_points(self.positions.iter().copied())
+    }
+
+    /// Centroid of the cloud, or `None` when empty.
+    pub fn centroid(&self) -> Option<Point3> {
+        if self.is_empty() {
+            return None;
+        }
+        let sum = self
+            .positions
+            .iter()
+            .fold(Point3::ZERO, |acc, &p| acc + p);
+        Some(sum / self.len() as f32)
+    }
+
+    /// Translates every point by `offset`.
+    pub fn translate(&mut self, offset: Point3) {
+        for p in &mut self.positions {
+            *p += offset;
+        }
+    }
+
+    /// Uniformly scales every point about the origin.
+    pub fn scale(&mut self, factor: f32) {
+        for p in &mut self.positions {
+            *p = *p * factor;
+        }
+    }
+
+    /// Normalizes the cloud into the unit cube `[-1, 1]^3` centered at the
+    /// origin, returning the applied `(center, scale)` so the transform can be
+    /// inverted. Returns an error for empty clouds.
+    ///
+    /// # Errors
+    /// Returns [`Error::EmptyCloud`] when the cloud has no points.
+    pub fn normalize_unit_cube(&mut self) -> Result<(Point3, f32)> {
+        let bounds = self
+            .bounds()
+            .ok_or_else(|| Error::EmptyCloud("normalize_unit_cube".into()))?;
+        let center = bounds.center();
+        let half = bounds.longest_edge() * 0.5;
+        let scale = if half <= f32::EPSILON { 1.0 } else { 1.0 / half };
+        for p in &mut self.positions {
+            *p = (*p - center) * scale;
+        }
+        Ok((center, scale))
+    }
+
+    /// Approximate wire size in bytes of this cloud when transmitted with the
+    /// repo's binary encoding: 12 bytes per position plus 3 per color.
+    /// This is the quantity the streaming simulator charges to the network.
+    pub fn byte_size(&self) -> usize {
+        let pos = self.positions.len() * 12;
+        let col = self.colors.as_ref().map_or(0, |c| c.len() * 3);
+        pos + col
+    }
+
+    /// Average nearest-neighbor spacing estimated from a random subset of up
+    /// to `samples` points. Returns `None` for clouds with fewer than two
+    /// points. Used by synthetic-data tests and density heuristics.
+    pub fn mean_spacing(&self, samples: usize) -> Option<f32> {
+        if self.len() < 2 {
+            return None;
+        }
+        let stride = (self.len() / samples.max(1)).max(1);
+        let mut total = 0.0f64;
+        let mut count = 0usize;
+        for i in (0..self.len()).step_by(stride) {
+            let p = self.positions[i];
+            let mut best = f32::INFINITY;
+            for (j, &q) in self.positions.iter().enumerate() {
+                if i != j {
+                    let d = p.distance_squared(q);
+                    if d < best {
+                        best = d;
+                    }
+                }
+            }
+            total += f64::from(best.sqrt());
+            count += 1;
+        }
+        Some((total / count as f64) as f32)
+    }
+}
+
+impl FromIterator<Point3> for PointCloud {
+    fn from_iter<T: IntoIterator<Item = Point3>>(iter: T) -> Self {
+        PointCloud::from_positions(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Point3> for PointCloud {
+    fn extend<T: IntoIterator<Item = Point3>>(&mut self, iter: T) {
+        for p in iter {
+            self.push(p, None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn colored_cloud() -> PointCloud {
+        PointCloud::from_positions_and_colors(
+            vec![
+                Point3::new(0.0, 0.0, 0.0),
+                Point3::new(1.0, 0.0, 0.0),
+                Point3::new(0.0, 2.0, 0.0),
+                Point3::new(0.0, 0.0, 4.0),
+            ],
+            vec![
+                Color::new(255, 0, 0),
+                Color::new(0, 255, 0),
+                Color::new(0, 0, 255),
+                Color::new(9, 9, 9),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mismatched_colors_rejected() {
+        let err = PointCloud::from_positions_and_colors(
+            vec![Point3::ZERO],
+            vec![Color::BLACK, Color::WHITE],
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::AttributeMismatch { positions: 1, attributes: 2 }));
+    }
+
+    #[test]
+    fn push_and_iter() {
+        let mut c = PointCloud::new();
+        c.push(Point3::ZERO, Some(Color::WHITE));
+        c.push(Point3::ONE, None);
+        assert_eq!(c.len(), 2);
+        assert!(c.has_colors());
+        let collected: Vec<_> = c.iter().collect();
+        assert_eq!(collected[0].1, Some(Color::WHITE));
+        assert_eq!(collected[1].1, Some(Color::BLACK));
+    }
+
+    #[test]
+    fn select_preserves_colors() {
+        let c = colored_cloud();
+        let sub = c.select(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.position(0), Point3::new(0.0, 2.0, 0.0));
+        assert_eq!(sub.color(1), Some(Color::new(255, 0, 0)));
+    }
+
+    #[test]
+    fn merge_mixed_colorness() {
+        let mut a = PointCloud::from_positions(vec![Point3::ZERO]);
+        let b = colored_cloud();
+        a.merge(&b);
+        assert_eq!(a.len(), 5);
+        assert!(a.has_colors());
+        assert_eq!(a.color(0), Some(Color::BLACK));
+        assert_eq!(a.color(1), Some(Color::new(255, 0, 0)));
+    }
+
+    #[test]
+    fn bounds_and_centroid() {
+        let c = colored_cloud();
+        let b = c.bounds().unwrap();
+        assert_eq!(b.min, Point3::ZERO);
+        assert_eq!(b.max, Point3::new(1.0, 2.0, 4.0));
+        let centroid = c.centroid().unwrap();
+        assert!((centroid.x - 0.25).abs() < 1e-6);
+        assert!(PointCloud::new().centroid().is_none());
+    }
+
+    #[test]
+    fn normalize_unit_cube_bounds() {
+        let mut c = colored_cloud();
+        c.normalize_unit_cube().unwrap();
+        let b = c.bounds().unwrap();
+        assert!(b.min.min_element() >= -1.0 - 1e-5);
+        assert!(b.max.max_element() <= 1.0 + 1e-5);
+        assert!(PointCloud::new().normalize_unit_cube().is_err());
+    }
+
+    #[test]
+    fn translate_and_scale() {
+        let mut c = PointCloud::from_positions(vec![Point3::ONE]);
+        c.translate(Point3::new(1.0, 0.0, 0.0));
+        assert_eq!(c.position(0), Point3::new(2.0, 1.0, 1.0));
+        c.scale(0.5);
+        assert_eq!(c.position(0), Point3::new(1.0, 0.5, 0.5));
+    }
+
+    #[test]
+    fn byte_size_model() {
+        let c = colored_cloud();
+        assert_eq!(c.byte_size(), 4 * 12 + 4 * 3);
+        let plain = PointCloud::from_positions(vec![Point3::ZERO; 10]);
+        assert_eq!(plain.byte_size(), 120);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut c: PointCloud = (0..5).map(|i| Point3::splat(i as f32)).collect();
+        assert_eq!(c.len(), 5);
+        c.extend(vec![Point3::ZERO]);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn mean_spacing_reasonable() {
+        let c = PointCloud::from_positions(
+            (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect(),
+        );
+        let s = c.mean_spacing(10).unwrap();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(PointCloud::from_positions(vec![Point3::ZERO]).mean_spacing(4).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by the point-cloud substrate.
+
+use std::fmt;
+use std::io;
+
+/// Errors returned by the point-cloud substrate.
+#[derive(Debug)]
+pub enum Error {
+    /// An argument was outside its documented domain (e.g. a sampling ratio
+    /// outside `(0, 1]` or `k = 0` neighbors requested).
+    InvalidArgument(String),
+    /// The operation requires a non-empty cloud but received an empty one.
+    EmptyCloud(String),
+    /// The cloud's attribute arrays disagree in length.
+    AttributeMismatch {
+        /// Number of positions in the cloud.
+        positions: usize,
+        /// Number of attribute entries found.
+        attributes: usize,
+    },
+    /// An underlying I/O failure while reading or writing cloud data.
+    Io(io::Error),
+    /// The input file or buffer is not a valid serialized point cloud.
+    Format(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            Error::EmptyCloud(op) => write!(f, "operation `{op}` requires a non-empty point cloud"),
+            Error::AttributeMismatch { positions, attributes } => write!(
+                f,
+                "attribute length mismatch: {positions} positions but {attributes} attribute entries"
+            ),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Format(msg) => write!(f, "malformed point cloud data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errs: Vec<Error> = vec![
+            Error::InvalidArgument("ratio must be in (0, 1]".into()),
+            Error::EmptyCloud("chamfer_distance".into()),
+            Error::AttributeMismatch { positions: 3, attributes: 2 },
+            Error::Io(io::Error::new(io::ErrorKind::NotFound, "missing")),
+            Error::Format("truncated header".into()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn io_error_has_source() {
+        let e = Error::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+        assert!(Error::Format("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

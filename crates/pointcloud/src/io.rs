@@ -1,0 +1,280 @@
+//! Serialization of point clouds: a compact binary `.vpc` format (the wire
+//! format charged by the streaming simulator) and ASCII PLY import/export
+//! for interoperability with external viewers.
+
+use crate::cloud::PointCloud;
+use crate::error::Error;
+use crate::point::{Color, Point3};
+use crate::Result;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the binary `.vpc` format.
+const MAGIC: &[u8; 4] = b"VPC1";
+
+/// Encodes a cloud into the compact binary `.vpc` representation:
+/// `magic | flags(u8) | count(u64 LE) | positions (12B each) | colors (3B each)`.
+///
+/// This is also the byte layout assumed by [`PointCloud::byte_size`] plus a
+/// 13-byte header.
+pub fn encode(cloud: &PointCloud) -> Bytes {
+    let mut buf = BytesMut::with_capacity(13 + cloud.byte_size());
+    buf.put_slice(MAGIC);
+    buf.put_u8(u8::from(cloud.has_colors()));
+    buf.put_u64_le(cloud.len() as u64);
+    for p in cloud.positions() {
+        buf.put_f32_le(p.x);
+        buf.put_f32_le(p.y);
+        buf.put_f32_le(p.z);
+    }
+    if let Some(colors) = cloud.colors() {
+        for c in colors {
+            buf.put_u8(c.r);
+            buf.put_u8(c.g);
+            buf.put_u8(c.b);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a cloud from the binary `.vpc` representation produced by [`encode`].
+///
+/// # Errors
+/// Returns [`Error::Format`] when the buffer is truncated or the magic bytes
+/// do not match.
+pub fn decode(mut data: &[u8]) -> Result<PointCloud> {
+    if data.len() < 13 {
+        return Err(Error::Format("buffer shorter than header".into()));
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(Error::Format(format!("bad magic bytes {magic:?}")));
+    }
+    let has_colors = data.get_u8() != 0;
+    let count = data.get_u64_le() as usize;
+    let need = count * 12 + if has_colors { count * 3 } else { 0 };
+    if data.remaining() < need {
+        return Err(Error::Format(format!(
+            "expected {need} payload bytes, found {}",
+            data.remaining()
+        )));
+    }
+    let mut positions = Vec::with_capacity(count);
+    for _ in 0..count {
+        let x = data.get_f32_le();
+        let y = data.get_f32_le();
+        let z = data.get_f32_le();
+        positions.push(Point3::new(x, y, z));
+    }
+    if has_colors {
+        let mut colors = Vec::with_capacity(count);
+        for _ in 0..count {
+            colors.push(Color::new(data.get_u8(), data.get_u8(), data.get_u8()));
+        }
+        PointCloud::from_positions_and_colors(positions, colors)
+    } else {
+        Ok(PointCloud::from_positions(positions))
+    }
+}
+
+/// Writes a cloud to `path` in the binary `.vpc` format.
+///
+/// # Errors
+/// Propagates any underlying I/O error.
+pub fn write_vpc<P: AsRef<Path>>(cloud: &PointCloud, path: P) -> Result<()> {
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(&encode(cloud))?;
+    file.flush()?;
+    Ok(())
+}
+
+/// Reads a cloud from a binary `.vpc` file.
+///
+/// # Errors
+/// Returns an I/O error when the file cannot be read or a format error when
+/// the contents are not valid `.vpc` data.
+pub fn read_vpc<P: AsRef<Path>>(path: P) -> Result<PointCloud> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    decode(&data)
+}
+
+/// Writes a cloud as ASCII PLY (positions + optional `uchar` RGB).
+///
+/// # Errors
+/// Propagates any underlying I/O error.
+pub fn write_ply<W: Write>(cloud: &PointCloud, writer: W) -> Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "ply")?;
+    writeln!(w, "format ascii 1.0")?;
+    writeln!(w, "element vertex {}", cloud.len())?;
+    writeln!(w, "property float x")?;
+    writeln!(w, "property float y")?;
+    writeln!(w, "property float z")?;
+    if cloud.has_colors() {
+        writeln!(w, "property uchar red")?;
+        writeln!(w, "property uchar green")?;
+        writeln!(w, "property uchar blue")?;
+    }
+    writeln!(w, "end_header")?;
+    for (p, c) in cloud.iter() {
+        match c {
+            Some(c) if cloud.has_colors() => {
+                writeln!(w, "{} {} {} {} {} {}", p.x, p.y, p.z, c.r, c.g, c.b)?
+            }
+            _ => writeln!(w, "{} {} {}", p.x, p.y, p.z)?,
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an ASCII PLY point cloud (positions and optional `uchar` RGB).
+///
+/// Only the subset of PLY emitted by [`write_ply`] is supported: ASCII
+/// format, a single `vertex` element, float x/y/z followed by optional
+/// uchar red/green/blue.
+///
+/// # Errors
+/// Returns [`Error::Format`] for unsupported or malformed input.
+pub fn read_ply<R: Read>(reader: R) -> Result<PointCloud> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines();
+    let header_line = |l: Option<std::io::Result<String>>| -> Result<String> {
+        l.ok_or_else(|| Error::Format("unexpected end of header".into()))?
+            .map_err(Error::from)
+    };
+    if header_line(lines.next())?.trim() != "ply" {
+        return Err(Error::Format("missing ply magic line".into()));
+    }
+    let mut vertex_count: Option<usize> = None;
+    let mut has_colors = false;
+    loop {
+        let line = header_line(lines.next())?;
+        let line = line.trim().to_string();
+        if line == "end_header" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("element vertex ") {
+            vertex_count = Some(
+                rest.trim()
+                    .parse()
+                    .map_err(|_| Error::Format(format!("bad vertex count: {rest}")))?,
+            );
+        }
+        if line.starts_with("property uchar red") {
+            has_colors = true;
+        }
+        if line.starts_with("format") && !line.contains("ascii") {
+            return Err(Error::Format("only ascii ply is supported".into()));
+        }
+    }
+    let count = vertex_count.ok_or_else(|| Error::Format("missing element vertex".into()))?;
+    let mut positions = Vec::with_capacity(count);
+    let mut colors = if has_colors { Some(Vec::with_capacity(count)) } else { None };
+    for _ in 0..count {
+        let line = header_line(lines.next())?;
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 3 {
+            return Err(Error::Format(format!("vertex line too short: {line}")));
+        }
+        let parse_f = |s: &str| -> Result<f32> {
+            s.parse().map_err(|_| Error::Format(format!("bad float: {s}")))
+        };
+        positions.push(Point3::new(parse_f(fields[0])?, parse_f(fields[1])?, parse_f(fields[2])?));
+        if let Some(colors) = &mut colors {
+            if fields.len() < 6 {
+                return Err(Error::Format(format!("missing color fields: {line}")));
+            }
+            let parse_u = |s: &str| -> Result<u8> {
+                s.parse().map_err(|_| Error::Format(format!("bad color byte: {s}")))
+            };
+            colors.push(Color::new(parse_u(fields[3])?, parse_u(fields[4])?, parse_u(fields[5])?));
+        }
+    }
+    match colors {
+        Some(c) => PointCloud::from_positions_and_colors(positions, c),
+        None => Ok(PointCloud::from_positions(positions)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn binary_roundtrip_with_colors() {
+        let cloud = synthetic::sphere(321, 1.0, 1);
+        let bytes = encode(&cloud);
+        assert_eq!(bytes.len(), 13 + cloud.byte_size());
+        let back = decode(&bytes).unwrap();
+        assert_eq!(cloud, back);
+    }
+
+    #[test]
+    fn binary_roundtrip_without_colors() {
+        let cloud = PointCloud::from_positions(synthetic::sphere(100, 1.0, 2).positions().to_vec());
+        let back = decode(&encode(&cloud)).unwrap();
+        assert_eq!(cloud, back);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode(b"nope").is_err());
+        assert!(decode(b"XXXX0\0\0\0\0\0\0\0\0").is_err());
+        // Truncated payload.
+        let cloud = synthetic::sphere(10, 1.0, 3);
+        let bytes = encode(&cloud);
+        assert!(decode(&bytes[..bytes.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let cloud = synthetic::torus(200, 1.0, 0.3, 4);
+        let dir = std::env::temp_dir().join("volut_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cloud.vpc");
+        write_vpc(&cloud, &path).unwrap();
+        let back = read_vpc(&path).unwrap();
+        assert_eq!(cloud, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ply_roundtrip_with_colors() {
+        let cloud = synthetic::sphere(50, 1.0, 5);
+        let mut buf = Vec::new();
+        write_ply(&cloud, &mut buf).unwrap();
+        let back = read_ply(&buf[..]).unwrap();
+        assert_eq!(cloud.len(), back.len());
+        assert!(back.has_colors());
+        // Positions survive the text roundtrip to float precision.
+        for (a, b) in cloud.positions().iter().zip(back.positions()) {
+            assert!(a.distance(*b) < 1e-4);
+        }
+        assert_eq!(cloud.colors().unwrap()[7], back.colors().unwrap()[7]);
+    }
+
+    #[test]
+    fn ply_roundtrip_without_colors() {
+        let cloud = PointCloud::from_positions(vec![Point3::new(1.5, -2.25, 3.125)]);
+        let mut buf = Vec::new();
+        write_ply(&cloud, &mut buf).unwrap();
+        let back = read_ply(&buf[..]).unwrap();
+        assert!(!back.has_colors());
+        assert_eq!(back.position(0), Point3::new(1.5, -2.25, 3.125));
+    }
+
+    #[test]
+    fn ply_rejects_malformed_input() {
+        assert!(read_ply(&b"not a ply"[..]).is_err());
+        assert!(read_ply(&b"ply\nformat binary_little_endian 1.0\nend_header\n"[..]).is_err());
+        assert!(read_ply(&b"ply\nformat ascii 1.0\nend_header\n"[..]).is_err());
+        let missing_vertex = b"ply\nformat ascii 1.0\nelement vertex 2\nproperty float x\nproperty float y\nproperty float z\nend_header\n0 0 0\n";
+        assert!(read_ply(&missing_vertex[..]).is_err());
+    }
+}

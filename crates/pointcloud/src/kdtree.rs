@@ -1,0 +1,262 @@
+//! A k-d tree neighbor-search backend.
+//!
+//! This stands in for the cuKDTree GPU k-d tree used by the paper's CUDA
+//! client: an exact, cache-friendly, array-backed k-d tree with median
+//! splits. It is the default backend for the Yuzu/GradPU baselines, while
+//! the VoLUT pipeline itself prefers the two-layer octree of
+//! [`crate::octree`].
+
+use crate::knn::{finalize_candidates, Neighbor, NeighborSearch};
+use crate::point::Point3;
+
+/// Maximum number of points stored in a leaf before the builder splits it.
+const LEAF_SIZE: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Range into `KdTree::order`.
+        start: usize,
+        end: usize,
+    },
+    Split {
+        axis: usize,
+        value: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An array-backed k-d tree over a fixed point set.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{kdtree::KdTree, knn::NeighborSearch, Point3};
+/// let pts: Vec<Point3> = (0..100).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+/// let tree = KdTree::build(&pts);
+/// let nn = tree.knn(Point3::new(42.4, 0.0, 0.0), 3);
+/// assert_eq!(nn[0].index, 42);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Point3>,
+    /// Permutation of point indices; leaves reference contiguous ranges.
+    order: Vec<usize>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl KdTree {
+    /// Builds a k-d tree over the given points (copied into the tree).
+    pub fn build(points: &[Point3]) -> Self {
+        let mut tree = KdTree {
+            points: points.to_vec(),
+            order: (0..points.len()).collect(),
+            nodes: Vec::new(),
+            root: 0,
+        };
+        if points.is_empty() {
+            tree.nodes.push(Node::Leaf { start: 0, end: 0 });
+            return tree;
+        }
+        let n = points.len();
+        tree.root = tree.build_range(0, n, 0);
+        tree
+    }
+
+    /// The indexed points, in their original order.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    fn build_range(&mut self, start: usize, end: usize, depth: usize) -> usize {
+        let count = end - start;
+        if count <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf { start, end });
+            return self.nodes.len() - 1;
+        }
+        // Pick the axis with the largest spread for better balance than
+        // round-robin on skewed data.
+        let axis = {
+            let mut min = Point3::splat(f32::INFINITY);
+            let mut max = Point3::splat(f32::NEG_INFINITY);
+            for &i in &self.order[start..end] {
+                min = min.min(self.points[i]);
+                max = max.max(self.points[i]);
+            }
+            let ext = max - min;
+            if ext.x >= ext.y && ext.x >= ext.z {
+                0
+            } else if ext.y >= ext.z {
+                1
+            } else {
+                2
+            }
+        };
+        let mid = start + count / 2;
+        let points = &self.points;
+        self.order[start..end].select_nth_unstable_by(count / 2, |&a, &b| {
+            points[a][axis].total_cmp(&points[b][axis])
+        });
+        let value = self.points[self.order[mid]][axis];
+        let left = self.build_range(start, mid, depth + 1);
+        let right = self.build_range(mid, end, depth + 1);
+        self.nodes.push(Node::Split { axis, value, left, right });
+        self.nodes.len() - 1
+    }
+
+    fn knn_recurse(&self, node: usize, query: Point3, k: usize, best: &mut Vec<Neighbor>) {
+        match self.nodes[node] {
+            Node::Leaf { start, end } => {
+                for &i in &self.order[start..end] {
+                    let d2 = self.points[i].distance_squared(query);
+                    if best.len() < k || d2 < best[best.len() - 1].distance_squared {
+                        let n = Neighbor { index: i, distance_squared: d2 };
+                        let pos = best
+                            .partition_point(|x| (x.distance_squared, x.index) < (d2, i));
+                        best.insert(pos, n);
+                        if best.len() > k {
+                            best.pop();
+                        }
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let diff = query[axis] - value;
+                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                self.knn_recurse(near, query, k, best);
+                let worst = best
+                    .last()
+                    .map_or(f32::INFINITY, |n| n.distance_squared);
+                if best.len() < k || diff * diff <= worst {
+                    self.knn_recurse(far, query, k, best);
+                }
+            }
+        }
+    }
+
+    fn radius_recurse(&self, node: usize, query: Point3, r2: f32, out: &mut Vec<Neighbor>) {
+        match self.nodes[node] {
+            Node::Leaf { start, end } => {
+                for &i in &self.order[start..end] {
+                    let d2 = self.points[i].distance_squared(query);
+                    if d2 <= r2 {
+                        out.push(Neighbor { index: i, distance_squared: d2 });
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let diff = query[axis] - value;
+                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                self.radius_recurse(near, query, r2, out);
+                if diff * diff <= r2 {
+                    self.radius_recurse(far, query, r2, out);
+                }
+            }
+        }
+    }
+}
+
+impl NeighborSearch for KdTree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut best = Vec::with_capacity(k + 1);
+        self.knn_recurse(self.root, query, k, &mut best);
+        best
+    }
+
+    fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        self.radius_recurse(self.root, query, radius * radius, &mut out);
+        let len = out.len();
+        finalize_candidates(out, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::BruteForce;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-10.0..10.0),
+                    rng.random_range(-10.0..10.0),
+                    rng.random_range(-10.0..10.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_brute_force_knn() {
+        let pts = random_points(500, 1);
+        let tree = KdTree::build(&pts);
+        let bf = BruteForce::new(&pts);
+        let queries = random_points(30, 2);
+        for q in queries {
+            let a = tree.knn(q, 8);
+            let b = bf.knn(q, 8);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.index, y.index);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_radius() {
+        let pts = random_points(300, 3);
+        let tree = KdTree::build(&pts);
+        let bf = BruteForce::new(&pts);
+        for q in random_points(10, 4) {
+            let a = tree.radius(q, 2.5);
+            let b = bf.radius(q, 2.5);
+            assert_eq!(
+                a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                b.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.knn(Point3::ZERO, 4).is_empty());
+        assert!(tree.radius(Point3::ZERO, 1.0).is_empty());
+
+        // All points identical: still returns k results.
+        let pts = vec![Point3::ONE; 40];
+        let tree = KdTree::build(&pts);
+        let nn = tree.knn(Point3::ZERO, 5);
+        assert_eq!(nn.len(), 5);
+        assert!(nn.iter().all(|n| (n.distance_squared - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn exact_self_query() {
+        let pts = random_points(200, 5);
+        let tree = KdTree::build(&pts);
+        for (i, &p) in pts.iter().enumerate().step_by(17) {
+            let nn = tree.knn(p, 1);
+            assert_eq!(nn[0].index, i);
+            assert_eq!(nn[0].distance_squared, 0.0);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Nearest-neighbor search abstractions and the brute-force baseline.
+//!
+//! All spatial indices in this crate ([`crate::kdtree::KdTree`],
+//! [`crate::octree::TwoLayerOctree`], [`crate::voxelgrid::VoxelGrid`])
+//! implement the [`NeighborSearch`] trait so the super-resolution pipeline
+//! can swap backends; the brute-force implementation here is the reference
+//! oracle the property tests compare against.
+
+use crate::point::Point3;
+
+/// A single neighbor returned by a kNN query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the neighbor in the indexed point set.
+    pub index: usize,
+    /// Squared Euclidean distance from the query point.
+    pub distance_squared: f32,
+}
+
+impl Neighbor {
+    /// Euclidean (non-squared) distance from the query point.
+    #[inline]
+    pub fn distance(&self) -> f32 {
+        self.distance_squared.sqrt()
+    }
+}
+
+/// Common interface for k-nearest-neighbor backends.
+///
+/// Implementations index a fixed point set at construction time and answer
+/// `knn` / `radius` queries against it. Results are sorted by increasing
+/// distance and ties are broken by index so all backends agree exactly.
+pub trait NeighborSearch: Send + Sync {
+    /// Number of points indexed by this structure.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when no points are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the `k` nearest neighbors of `query`, sorted by increasing
+    /// distance (then index). Returns fewer than `k` entries when the indexed
+    /// set is smaller than `k`; returns an empty vector when `k == 0`.
+    fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor>;
+
+    /// Returns all indexed points within `radius` of `query`, sorted by
+    /// increasing distance (then index).
+    fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor>;
+}
+
+/// Sorts neighbor candidates by `(distance, index)` and truncates to `k`.
+pub(crate) fn finalize_candidates(mut cands: Vec<Neighbor>, k: usize) -> Vec<Neighbor> {
+    cands.sort_by(|a, b| {
+        a.distance_squared
+            .total_cmp(&b.distance_squared)
+            .then(a.index.cmp(&b.index))
+    });
+    cands.truncate(k);
+    cands
+}
+
+/// Brute-force exact kNN over a point slice.
+///
+/// O(n) per query; used as the correctness oracle and for very small clouds
+/// where building an index is not worthwhile.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{knn::{BruteForce, NeighborSearch}, Point3};
+/// let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(1.0, 0.0, 0.0), Point3::new(5.0, 0.0, 0.0)];
+/// let bf = BruteForce::new(&pts);
+/// let nn = bf.knn(Point3::new(0.9, 0.0, 0.0), 2);
+/// assert_eq!(nn[0].index, 1);
+/// assert_eq!(nn[1].index, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BruteForce {
+    points: Vec<Point3>,
+}
+
+impl BruteForce {
+    /// Indexes (copies) the given points.
+    pub fn new(points: &[Point3]) -> Self {
+        Self { points: points.to_vec() }
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+}
+
+impl NeighborSearch for BruteForce {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        // Maintain a bounded max-heap-like vector: for the small k used by the
+        // SR pipeline (k <= 32) a sorted insert is faster than a BinaryHeap.
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for (index, &p) in self.points.iter().enumerate() {
+            let d2 = p.distance_squared(query);
+            if best.len() < k || d2 < best[best.len() - 1].distance_squared {
+                let n = Neighbor { index, distance_squared: d2 };
+                let pos = best
+                    .partition_point(|x| (x.distance_squared, x.index) < (d2, index));
+                best.insert(pos, n);
+                if best.len() > k {
+                    best.pop();
+                }
+            }
+        }
+        best
+    }
+
+    fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
+        let r2 = radius * radius;
+        let cands = self
+            .points
+            .iter()
+            .enumerate()
+            .filter_map(|(index, &p)| {
+                let d2 = p.distance_squared(query);
+                (d2 <= r2).then_some(Neighbor { index, distance_squared: d2 })
+            })
+            .collect::<Vec<_>>();
+        let len = cands.len();
+        finalize_candidates(cands, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Point3> {
+        let mut pts = Vec::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                for z in 0..4 {
+                    pts.push(Point3::new(x as f32, y as f32, z as f32));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn knn_returns_sorted_results() {
+        let pts = grid_points();
+        let bf = BruteForce::new(&pts);
+        let nn = bf.knn(Point3::new(0.1, 0.1, 0.1), 5);
+        assert_eq!(nn.len(), 5);
+        for w in nn.windows(2) {
+            assert!(w[0].distance_squared <= w[1].distance_squared);
+        }
+        assert_eq!(nn[0].index, 0);
+    }
+
+    #[test]
+    fn knn_k_zero_and_empty() {
+        let bf = BruteForce::new(&[]);
+        assert!(bf.knn(Point3::ZERO, 3).is_empty());
+        assert!(bf.is_empty());
+        let bf = BruteForce::new(&[Point3::ZERO]);
+        assert!(bf.knn(Point3::ZERO, 0).is_empty());
+    }
+
+    #[test]
+    fn knn_more_than_available() {
+        let bf = BruteForce::new(&[Point3::ZERO, Point3::ONE]);
+        let nn = bf.knn(Point3::ZERO, 10);
+        assert_eq!(nn.len(), 2);
+    }
+
+    #[test]
+    fn radius_query_filters_correctly() {
+        let pts = grid_points();
+        let bf = BruteForce::new(&pts);
+        let within = bf.radius(Point3::new(0.0, 0.0, 0.0), 1.0);
+        // Origin plus its three axis neighbors at distance exactly 1.
+        assert_eq!(within.len(), 4);
+        assert_eq!(within[0].index, 0);
+        assert_eq!(within[0].distance_squared, 0.0);
+    }
+
+    #[test]
+    fn neighbor_distance_accessor() {
+        let n = Neighbor { index: 0, distance_squared: 4.0 };
+        assert_eq!(n.distance(), 2.0);
+    }
+
+    #[test]
+    fn ties_broken_by_index() {
+        let pts = vec![
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(-1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+        ];
+        let bf = BruteForce::new(&pts);
+        let nn = bf.knn(Point3::ZERO, 3);
+        assert_eq!(nn.iter().map(|n| n.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,55 @@
+//! # volut-pointcloud
+//!
+//! Point-cloud substrate for the VoLUT volumetric-streaming reproduction.
+//!
+//! This crate provides everything below the super-resolution algorithm:
+//! geometric primitives ([`Point3`], [`Aabb`]), the [`PointCloud`] container,
+//! neighbor-search backends (brute force, k-d tree, two-layer octree, voxel
+//! grid), sampling operators (random, voxel, farthest-point), quality metrics
+//! (Chamfer distance, PSNR), procedural synthetic content generators used in
+//! place of the paper's captured videos, and a small binary/PLY I/O layer.
+//!
+//! # Example
+//!
+//! ```
+//! use volut_pointcloud::{synthetic, sampling, metrics, knn::NeighborSearch, kdtree::KdTree};
+//!
+//! # fn main() -> Result<(), volut_pointcloud::Error> {
+//! // Generate a synthetic torus surface with colors.
+//! let cloud = synthetic::torus(5_000, 1.0, 0.35, 42);
+//! // Randomly downsample to half the points (the paper's server-side operator).
+//! let low = sampling::random_downsample(&cloud, 0.5, 7)?;
+//! // Build a k-d tree and query neighbors.
+//! let tree = KdTree::build(low.positions());
+//! let nn = tree.knn(cloud.positions()[0], 4);
+//! assert_eq!(nn.len(), 4);
+//! // Measure how much geometry was lost.
+//! let cd = metrics::chamfer_distance(&low, &cloud);
+//! assert!(cd > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aabb;
+pub mod cloud;
+pub mod error;
+pub mod io;
+pub mod kdtree;
+pub mod knn;
+pub mod metrics;
+pub mod octree;
+pub mod point;
+pub mod sampling;
+pub mod synthetic;
+pub mod voxelgrid;
+
+pub use aabb::Aabb;
+pub use cloud::PointCloud;
+pub use error::Error;
+pub use point::{Color, Point3};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,302 @@
+//! The two-layer octree used by VoLUT's hierarchical kNN (paper §4.1).
+//!
+//! The paper's insight is that a *shallow* hierarchy — eight major regions,
+//! each subdivided into eight sub-regions (64 leaf cells total) — balances
+//! spatial pruning against traversal overhead, and that leaf cells tend to be
+//! self-contained for neighbor queries. This module implements exactly that
+//! structure plus an optional "self-contained leaf" fast path used by the
+//! dilated-interpolation stage.
+
+use crate::aabb::Aabb;
+use crate::knn::{finalize_candidates, Neighbor, NeighborSearch};
+use crate::point::Point3;
+
+/// Number of top-level regions per axis split (2 => 8 octants).
+const TOP_CHILDREN: usize = 8;
+/// Total leaf cells: 8 regions × 8 sub-regions.
+const LEAF_CELLS: usize = TOP_CHILDREN * 8;
+
+/// Two-layer octree over a fixed point set.
+///
+/// Leaf cells store point indices; queries visit cells in order of their
+/// distance lower bound to the query point and prune cells that cannot
+/// contain a closer neighbor than the current k-th best.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{octree::TwoLayerOctree, knn::NeighborSearch, Point3};
+/// let pts: Vec<Point3> = (0..1000)
+///     .map(|i| Point3::new((i % 10) as f32, ((i / 10) % 10) as f32, (i / 100) as f32))
+///     .collect();
+/// let oct = TwoLayerOctree::build(&pts);
+/// let nn = oct.knn(Point3::new(5.1, 5.1, 5.1), 4);
+/// assert_eq!(nn.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoLayerOctree {
+    points: Vec<Point3>,
+    bounds: Aabb,
+    /// Top-level octant bounds, cached so queries do not recompute them.
+    top_bounds: [Aabb; 8],
+    /// Leaf cell bounding boxes (64 of them once built on a non-empty cloud).
+    cell_bounds: Vec<Aabb>,
+    /// Point indices per leaf cell.
+    cells: Vec<Vec<usize>>,
+    /// Leaf cell id for each point.
+    point_cell: Vec<usize>,
+}
+
+impl TwoLayerOctree {
+    /// Builds the two-layer octree over the given points (copied).
+    pub fn build(points: &[Point3]) -> Self {
+        let bounds = Aabb::from_points(points.iter().copied())
+            .unwrap_or(Aabb::new(Point3::ZERO, Point3::ONE))
+            // A tiny inflation avoids points sitting exactly on the max face
+            // falling outside every cell due to floating-point rounding.
+            .inflated(1e-4);
+        let top = bounds.octants();
+        let mut cell_bounds = Vec::with_capacity(LEAF_CELLS);
+        for region in &top {
+            for sub in region.octants() {
+                cell_bounds.push(sub);
+            }
+        }
+        let mut cells = vec![Vec::new(); LEAF_CELLS];
+        let mut point_cell = vec![0usize; points.len()];
+        for (i, &p) in points.iter().enumerate() {
+            let region = bounds.octant_of(p);
+            let sub = top[region].octant_of(p);
+            let cell = region * 8 + sub;
+            cells[cell].push(i);
+            point_cell[i] = cell;
+        }
+        Self { points: points.to_vec(), bounds, top_bounds: top, cell_bounds, cells, point_cell }
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// The overall bounding box of the indexed points.
+    pub fn bounds(&self) -> Aabb {
+        self.bounds
+    }
+
+    /// Id of the leaf cell containing point `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn cell_of(&self, i: usize) -> usize {
+        self.point_cell[i]
+    }
+
+    /// Number of points stored in leaf cell `cell`.
+    pub fn cell_len(&self, cell: usize) -> usize {
+        self.cells.get(cell).map_or(0, Vec::len)
+    }
+
+    /// Returns the k nearest neighbors of `query` looking only inside the
+    /// leaf cell that contains `query`. This is the paper's "self-contained
+    /// leaf" fast path: when the cell holds at least `k` points whose k-th
+    /// distance is smaller than the distance from `query` to the cell
+    /// boundary, the result is exact; otherwise the caller should fall back
+    /// to [`NeighborSearch::knn`]. The second tuple element reports whether
+    /// the result is guaranteed exact.
+    pub fn knn_within_cell(&self, query: Point3, k: usize) -> (Vec<Neighbor>, bool) {
+        if self.points.is_empty() || k == 0 {
+            return (Vec::new(), true);
+        }
+        let region = self.bounds.octant_of(query);
+        let cell = region * 8 + self.top_bounds[region].octant_of(query);
+        // A sparse leaf cannot answer the query exactly anyway; skip straight
+        // to the caller's fallback instead of doing the work twice.
+        if self.cells[cell].len() < k {
+            return (Vec::new(), false);
+        }
+        let cands: Vec<Neighbor> = self.cells[cell]
+            .iter()
+            .map(|&i| Neighbor { index: i, distance_squared: self.points[i].distance_squared(query) })
+            .collect();
+        let result = finalize_candidates(cands, k);
+        let exact = if result.len() < k {
+            false
+        } else {
+            // Distance from query to the cell boundary: if the k-th neighbor
+            // is closer than the boundary, no outside point can beat it.
+            let cb = &self.cell_bounds[cell];
+            let to_boundary = [
+                query.x - cb.min.x,
+                cb.max.x - query.x,
+                query.y - cb.min.y,
+                cb.max.y - query.y,
+                query.z - cb.min.z,
+                cb.max.z - query.z,
+            ]
+            .into_iter()
+            .fold(f32::INFINITY, f32::min)
+            .max(0.0);
+            result[result.len() - 1].distance_squared <= to_boundary * to_boundary
+        };
+        (result, exact)
+    }
+}
+
+impl NeighborSearch for TwoLayerOctree {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        // Visit cells in order of their lower-bound distance to the query.
+        let mut order: Vec<(f32, usize)> = self
+            .cell_bounds
+            .iter()
+            .enumerate()
+            .filter(|(c, _)| !self.cells[*c].is_empty())
+            .map(|(c, b)| (b.distance_squared_to(query), c))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for (lower_bound, cell) in order {
+            if best.len() == k && lower_bound > best[best.len() - 1].distance_squared {
+                break;
+            }
+            for &i in &self.cells[cell] {
+                let d2 = self.points[i].distance_squared(query);
+                if best.len() < k || d2 < best[best.len() - 1].distance_squared {
+                    let n = Neighbor { index: i, distance_squared: d2 };
+                    let pos = best
+                        .partition_point(|x| (x.distance_squared, x.index) < (d2, i));
+                    best.insert(pos, n);
+                    if best.len() > k {
+                        best.pop();
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        for (cell, b) in self.cell_bounds.iter().enumerate() {
+            if self.cells[cell].is_empty() || b.distance_squared_to(query) > r2 {
+                continue;
+            }
+            for &i in &self.cells[cell] {
+                let d2 = self.points[i].distance_squared(query);
+                if d2 <= r2 {
+                    out.push(Neighbor { index: i, distance_squared: d2 });
+                }
+            }
+        }
+        let len = out.len();
+        finalize_candidates(out, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::BruteForce;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-5.0..5.0),
+                    rng.random_range(-5.0..5.0),
+                    rng.random_range(-5.0..5.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn has_64_cells_and_assigns_every_point() {
+        let pts = random_points(2000, 7);
+        let oct = TwoLayerOctree::build(&pts);
+        assert_eq!(oct.cell_bounds.len(), 64);
+        let total: usize = (0..64).map(|c| oct.cell_len(c)).sum();
+        assert_eq!(total, pts.len());
+        for i in (0..pts.len()).step_by(97) {
+            let cell = oct.cell_of(i);
+            assert!(oct.cell_bounds[cell].contains(pts[i]));
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let pts = random_points(800, 11);
+        let oct = TwoLayerOctree::build(&pts);
+        let bf = BruteForce::new(&pts);
+        for q in random_points(25, 13) {
+            let a = oct.knn(q, 6);
+            let b = bf.knn(q, 6);
+            assert_eq!(
+                a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                b.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn radius_agrees_with_brute_force() {
+        let pts = random_points(500, 17);
+        let oct = TwoLayerOctree::build(&pts);
+        let bf = BruteForce::new(&pts);
+        for q in random_points(10, 19) {
+            let a = oct.radius(q, 1.5);
+            let b = bf.radius(q, 1.5);
+            assert_eq!(
+                a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                b.iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_cloud_is_fine() {
+        let oct = TwoLayerOctree::build(&[]);
+        assert!(oct.is_empty());
+        assert!(oct.knn(Point3::ZERO, 3).is_empty());
+        assert!(oct.radius(Point3::ZERO, 1.0).is_empty());
+        let (nn, exact) = oct.knn_within_cell(Point3::ZERO, 3);
+        assert!(nn.is_empty());
+        assert!(exact);
+    }
+
+    #[test]
+    fn within_cell_exactness_flag_is_sound() {
+        let pts = random_points(3000, 23);
+        let oct = TwoLayerOctree::build(&pts);
+        let bf = BruteForce::new(&pts);
+        let mut exact_checked = 0;
+        for &q in pts.iter().step_by(53) {
+            let (fast, exact) = oct.knn_within_cell(q, 4);
+            if exact {
+                exact_checked += 1;
+                let truth = bf.knn(q, 4);
+                assert_eq!(
+                    fast.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    truth.iter().map(|n| n.index).collect::<Vec<_>>()
+                );
+            }
+        }
+        // With 3000 points most interior queries should take the fast path.
+        assert!(exact_checked > 0);
+    }
+}

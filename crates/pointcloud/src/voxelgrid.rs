@@ -1,0 +1,278 @@
+//! Hashed voxel-grid neighbor search.
+//!
+//! A uniform hash grid keyed by integer voxel coordinates. For clouds with
+//! roughly uniform density it answers kNN queries by growing a ring search
+//! outward from the query voxel, which makes it a good backend for the
+//! colorization stage where queries are near-surface and k is tiny.
+
+use crate::knn::{finalize_candidates, Neighbor, NeighborSearch};
+use crate::point::Point3;
+use std::collections::HashMap;
+
+/// Integer voxel coordinate.
+type VoxelKey = (i32, i32, i32);
+
+/// Hashed uniform voxel grid over a fixed point set.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{voxelgrid::VoxelGrid, knn::NeighborSearch, Point3};
+/// let pts: Vec<Point3> = (0..64).map(|i| Point3::new((i % 4) as f32, ((i / 4) % 4) as f32, (i / 16) as f32)).collect();
+/// let grid = VoxelGrid::build(&pts, 1.0);
+/// assert_eq!(grid.knn(Point3::new(0.2, 0.2, 0.2), 1)[0].index, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VoxelGrid {
+    points: Vec<Point3>,
+    voxel_size: f32,
+    cells: HashMap<VoxelKey, Vec<usize>>,
+}
+
+impl VoxelGrid {
+    /// Builds a voxel grid with the given voxel edge length.
+    ///
+    /// # Panics
+    /// Panics if `voxel_size` is not strictly positive or not finite.
+    pub fn build(points: &[Point3], voxel_size: f32) -> Self {
+        assert!(
+            voxel_size > 0.0 && voxel_size.is_finite(),
+            "voxel_size must be positive and finite"
+        );
+        let mut cells: HashMap<VoxelKey, Vec<usize>> = HashMap::new();
+        for (i, &p) in points.iter().enumerate() {
+            cells.entry(Self::key_of(p, voxel_size)).or_default().push(i);
+        }
+        Self { points: points.to_vec(), voxel_size, cells }
+    }
+
+    /// Builds a grid whose voxel size is chosen automatically so that an
+    /// average voxel holds roughly `target_per_voxel` points (assuming the
+    /// cloud is surface-like). Falls back to edge length 1.0 for empty clouds.
+    pub fn build_auto(points: &[Point3], target_per_voxel: usize) -> Self {
+        let bounds = crate::aabb::Aabb::from_points(points.iter().copied());
+        let voxel = match bounds {
+            Some(b) if !points.is_empty() => {
+                let area_proxy = b.longest_edge().max(1e-6);
+                // Surface-like clouds fill O(L^2 / s^2) voxels of size s.
+                let per_axis = ((points.len() as f32 / target_per_voxel.max(1) as f32).sqrt())
+                    .max(1.0);
+                (area_proxy / per_axis).max(1e-6)
+            }
+            _ => 1.0,
+        };
+        Self::build(points, voxel)
+    }
+
+    /// The voxel edge length.
+    pub fn voxel_size(&self) -> f32 {
+        self.voxel_size
+    }
+
+    /// Number of occupied voxels.
+    pub fn occupied_voxels(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The indexed points.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    fn key_of(p: Point3, s: f32) -> VoxelKey {
+        (
+            (p.x / s).floor() as i32,
+            (p.y / s).floor() as i32,
+            (p.z / s).floor() as i32,
+        )
+    }
+
+    /// Collects candidates from every voxel within `ring` voxels (Chebyshev
+    /// distance) of the query's voxel.
+    fn collect_ring(&self, center: VoxelKey, ring: i32, out: &mut Vec<usize>) {
+        for dx in -ring..=ring {
+            for dy in -ring..=ring {
+                for dz in -ring..=ring {
+                    // Only the shell of the ring: inner voxels were already collected.
+                    if dx.abs().max(dy.abs()).max(dz.abs()) != ring {
+                        continue;
+                    }
+                    if let Some(v) = self.cells.get(&(center.0 + dx, center.1 + dy, center.2 + dz)) {
+                        out.extend_from_slice(v);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl NeighborSearch for VoxelGrid {
+    fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let center = Self::key_of(query, self.voxel_size);
+        let mut candidate_ids: Vec<usize> = Vec::new();
+        let mut ring = 0i32;
+        // Expand rings until we have enough candidates AND the next ring can
+        // no longer contain a closer point than the current k-th best.
+        loop {
+            self.collect_ring(center, ring, &mut candidate_ids);
+            let enough = candidate_ids.len() >= k;
+            if enough {
+                let mut cands: Vec<Neighbor> = candidate_ids
+                    .iter()
+                    .map(|&i| Neighbor {
+                        index: i,
+                        distance_squared: self.points[i].distance_squared(query),
+                    })
+                    .collect();
+                cands = finalize_candidates(cands, k);
+                // Any point in ring r+1 is at least r * voxel_size away from
+                // the query (conservative lower bound).
+                let safe_radius = ring as f32 * self.voxel_size;
+                if cands.len() == k
+                    && cands[cands.len() - 1].distance_squared <= safe_radius * safe_radius
+                {
+                    return cands;
+                }
+            }
+            ring += 1;
+            // Bail out when the search has covered the whole cloud extent.
+            if ring > 1 + (self.points.len() as f32).cbrt() as i32 + 64 {
+                let cands: Vec<Neighbor> = candidate_ids
+                    .iter()
+                    .map(|&i| Neighbor {
+                        index: i,
+                        distance_squared: self.points[i].distance_squared(query),
+                    })
+                    .collect();
+                if candidate_ids.len() >= self.points.len() {
+                    return finalize_candidates(cands, k);
+                }
+                // Fall back to scanning everything (correctness over speed).
+                let all: Vec<Neighbor> = self
+                    .points
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &p)| Neighbor { index: i, distance_squared: p.distance_squared(query) })
+                    .collect();
+                return finalize_candidates(all, k);
+            }
+        }
+    }
+
+    fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let r2 = radius * radius;
+        let center = Self::key_of(query, self.voxel_size);
+        let rings = (radius / self.voxel_size).ceil() as i32 + 1;
+        let mut ids = Vec::new();
+        for ring in 0..=rings {
+            self.collect_ring(center, ring, &mut ids);
+        }
+        let out: Vec<Neighbor> = ids
+            .into_iter()
+            .filter_map(|i| {
+                let d2 = self.points[i].distance_squared(query);
+                (d2 <= r2).then_some(Neighbor { index: i, distance_squared: d2 })
+            })
+            .collect();
+        let len = out.len();
+        finalize_candidates(out, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::BruteForce;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-3.0..3.0),
+                    rng.random_range(-3.0..3.0),
+                    rng.random_range(-3.0..3.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let pts = random_points(600, 31);
+        let grid = VoxelGrid::build(&pts, 0.75);
+        let bf = BruteForce::new(&pts);
+        for q in random_points(20, 37) {
+            let a = grid.knn(q, 5);
+            let b = bf.knn(q, 5);
+            assert_eq!(
+                a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                b.iter().map(|n| n.index).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn radius_agrees_with_brute_force() {
+        let pts = random_points(400, 41);
+        let grid = VoxelGrid::build(&pts, 0.5);
+        let bf = BruteForce::new(&pts);
+        for q in random_points(10, 43) {
+            let a = grid.radius(q, 1.2);
+            let b = bf.radius(q, 1.2);
+            assert_eq!(
+                a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                b.iter().map(|n| n.index).collect::<Vec<_>>(),
+            );
+        }
+    }
+
+    #[test]
+    fn far_away_query_still_finds_neighbors() {
+        let pts = random_points(100, 47);
+        let grid = VoxelGrid::build(&pts, 0.5);
+        let bf = BruteForce::new(&pts);
+        let q = Point3::new(100.0, 100.0, 100.0);
+        let a = grid.knn(q, 3);
+        let b = bf.knn(q, 3);
+        assert_eq!(
+            a.iter().map(|n| n.index).collect::<Vec<_>>(),
+            b.iter().map(|n| n.index).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let grid = VoxelGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert!(grid.knn(Point3::ZERO, 2).is_empty());
+        let grid = VoxelGrid::build(&[Point3::ZERO], 1.0);
+        assert!(grid.knn(Point3::ZERO, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "voxel_size must be positive")]
+    fn zero_voxel_size_panics() {
+        let _ = VoxelGrid::build(&[Point3::ZERO], 0.0);
+    }
+
+    #[test]
+    fn auto_sizing_produces_reasonable_grid() {
+        let pts = random_points(1000, 53);
+        let grid = VoxelGrid::build_auto(&pts, 8);
+        assert!(grid.voxel_size() > 0.0);
+        assert!(grid.occupied_voxels() > 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Client-side compute model.
+//!
+//! The streaming simulator needs to know how long the client spends
+//! upsampling each chunk without actually running super-resolution on every
+//! frame of a multi-minute session. [`SrComputeModel`] captures the
+//! per-point cost of each pipeline stage; defaults are provided for the
+//! three SR back-ends compared in the paper and can be re-calibrated from
+//! actual [`volut_core::SrPipeline`] measurements.
+
+use serde::{Deserialize, Serialize};
+use volut_core::device::{DeviceProfile, StageKind};
+use volut_core::pipeline::SrResult;
+
+use crate::chunk::Chunk;
+
+/// Per-point compute cost of a super-resolution back-end, in microseconds on
+/// the reference host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SrComputeModel {
+    /// Name used in reports.
+    pub name: String,
+    /// kNN / index time per *input* point.
+    pub knn_us_per_input_point: f64,
+    /// Interpolation time per *output* point.
+    pub interp_us_per_output_point: f64,
+    /// Colorization time per *output* point.
+    pub colorize_us_per_output_point: f64,
+    /// Refinement time per *output* point (LUT lookup or NN inference).
+    pub refine_us_per_output_point: f64,
+}
+
+impl SrComputeModel {
+    /// VoLUT's pipeline: octree kNN + dilated interpolation + LUT lookup.
+    /// Defaults calibrated from host micro-benchmarks of `volut-core`.
+    pub fn volut_lut() -> Self {
+        Self {
+            name: "volut-lut".into(),
+            knn_us_per_input_point: 0.30,
+            interp_us_per_output_point: 0.06,
+            colorize_us_per_output_point: 0.02,
+            refine_us_per_output_point: 0.06,
+        }
+    }
+
+    /// Yuzu's neural SR: per-point inference through a ~500-wide network
+    /// even in its frozen, optimized deployment.
+    pub fn yuzu_nn() -> Self {
+        Self {
+            name: "yuzu-sr".into(),
+            knn_us_per_input_point: 1.0,
+            interp_us_per_output_point: 0.45,
+            colorize_us_per_output_point: 0.05,
+            refine_us_per_output_point: 8.0,
+        }
+    }
+
+    /// GradPU's iterative neural refinement (multiple passes per point).
+    pub fn gradpu_nn() -> Self {
+        Self {
+            name: "gradpu".into(),
+            knn_us_per_input_point: 3.5,
+            interp_us_per_output_point: 0.45,
+            colorize_us_per_output_point: 0.05,
+            refine_us_per_output_point: 180.0,
+        }
+    }
+
+    /// No client-side SR (ViVo, raw streaming).
+    pub fn none() -> Self {
+        Self {
+            name: "no-sr".into(),
+            knn_us_per_input_point: 0.0,
+            interp_us_per_output_point: 0.0,
+            colorize_us_per_output_point: 0.0,
+            refine_us_per_output_point: 0.0,
+        }
+    }
+
+    /// Calibrates a model from a measured [`SrResult`]: divides the measured
+    /// stage times by the actual point counts.
+    pub fn calibrate(name: &str, result: &SrResult) -> Self {
+        let input = result.input_points.max(1) as f64;
+        let output = (result.cloud.len() - result.input_points).max(1) as f64;
+        Self {
+            name: name.into(),
+            knn_us_per_input_point: result.timings.knn.as_secs_f64() * 1e6 / input,
+            interp_us_per_output_point: result.timings.interpolation.as_secs_f64() * 1e6 / output,
+            colorize_us_per_output_point: result.timings.colorization.as_secs_f64() * 1e6 / output,
+            refine_us_per_output_point: result.timings.refinement.as_secs_f64() * 1e6 / output,
+        }
+    }
+
+    /// Host-time (seconds) to upsample one frame of `input_points` points by
+    /// `sr_ratio`.
+    pub fn frame_time_s(&self, input_points: f64, sr_ratio: f64) -> f64 {
+        let ratio = sr_ratio.max(1.0);
+        let output_points = input_points * (ratio - 1.0).max(0.0);
+        (input_points * self.knn_us_per_input_point
+            + output_points
+                * (self.interp_us_per_output_point
+                    + self.colorize_us_per_output_point
+                    + self.refine_us_per_output_point))
+            / 1e6
+    }
+
+    /// Host-time (seconds) to upsample an entire chunk fetched at
+    /// `fetch_density` and upsampled by `sr_ratio`.
+    pub fn chunk_time_s(&self, chunk: &Chunk, fetch_density: f64, sr_ratio: f64) -> f64 {
+        let input_per_frame = chunk.points_per_frame as f64 * fetch_density.clamp(0.0, 1.0);
+        self.frame_time_s(input_per_frame, sr_ratio) * chunk.frame_count as f64
+    }
+
+    /// Device-time (seconds) for the same chunk on a specific device profile:
+    /// each stage is scaled by the profile's per-stage factor. The
+    /// `nn_inference` flag controls whether refinement scales like NN
+    /// inference (Yuzu/GradPU) or like a memory-bound lookup (VoLUT).
+    pub fn chunk_time_on_device(
+        &self,
+        chunk: &Chunk,
+        fetch_density: f64,
+        sr_ratio: f64,
+        device: &DeviceProfile,
+        nn_inference: bool,
+    ) -> f64 {
+        let input_per_frame = chunk.points_per_frame as f64 * fetch_density.clamp(0.0, 1.0);
+        let ratio = sr_ratio.max(1.0);
+        let output_per_frame = input_per_frame * (ratio - 1.0).max(0.0);
+        let frames = chunk.frame_count as f64;
+        let knn = input_per_frame * self.knn_us_per_input_point / 1e6
+            * device.scale_for(StageKind::Knn);
+        let interp = output_per_frame * self.interp_us_per_output_point / 1e6
+            * device.scale_for(StageKind::Interpolation);
+        let colorize = output_per_frame * self.colorize_us_per_output_point / 1e6
+            * device.scale_for(StageKind::Colorization);
+        let refine_kind = if nn_inference { StageKind::NnInference } else { StageKind::LutLookup };
+        let refine = output_per_frame * self.refine_us_per_output_point / 1e6
+            * device.scale_for(refine_kind);
+        (knn + interp + colorize + refine) * frames
+    }
+
+    /// Sustained super-resolution frame rate (FPS) on a device for frames of
+    /// `input_points` upsampled by `sr_ratio`.
+    pub fn device_fps(
+        &self,
+        input_points: f64,
+        sr_ratio: f64,
+        device: &DeviceProfile,
+        nn_inference: bool,
+    ) -> f64 {
+        let chunk = Chunk {
+            index: 0,
+            first_frame: 0,
+            frame_count: 1,
+            duration_s: 1.0 / 30.0,
+            points_per_frame: input_points as usize,
+        };
+        let t = self.chunk_time_on_device(&chunk, 1.0, sr_ratio, device, nn_inference);
+        if t <= 0.0 {
+            f64::INFINITY
+        } else {
+            1.0 / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::chunk_video;
+    use crate::video::VideoMeta;
+
+    fn chunk() -> Chunk {
+        chunk_video(&VideoMeta::long_dress(), 1.0)[0]
+    }
+
+    #[test]
+    fn volut_is_faster_than_yuzu_and_gradpu() {
+        let c = chunk();
+        let volut = SrComputeModel::volut_lut().chunk_time_s(&c, 0.25, 4.0);
+        let yuzu = SrComputeModel::yuzu_nn().chunk_time_s(&c, 0.25, 4.0);
+        let gradpu = SrComputeModel::gradpu_nn().chunk_time_s(&c, 0.25, 4.0);
+        assert!(volut < yuzu);
+        assert!(yuzu < gradpu);
+        assert!(volut > 0.0);
+        assert_eq!(SrComputeModel::none().chunk_time_s(&c, 0.25, 4.0), 0.0);
+    }
+
+    #[test]
+    fn frame_time_scales_with_ratio_moderately() {
+        // The dominant cost is kNN over input points, so the frame time
+        // should grow sub-linearly with the upsampling ratio (Figure 18).
+        let m = SrComputeModel::volut_lut();
+        let t2 = m.frame_time_s(25_000.0, 2.0);
+        let t8 = m.frame_time_s(25_000.0, 8.0);
+        assert!(t8 < t2 * 4.0, "t8 {t8} should be < 4x t2 {t2}");
+        assert!(t8 > t2);
+    }
+
+    #[test]
+    fn device_scaling_orders_platforms() {
+        let c = chunk();
+        let m = SrComputeModel::volut_lut();
+        let desktop = m.chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::desktop_3080ti(), false);
+        let pi = m.chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::orange_pi(), false);
+        assert!(desktop < pi);
+        // Yuzu pays the NN-inference scale factor on the Pi.
+        let yuzu_pi = SrComputeModel::yuzu_nn()
+            .chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::orange_pi(), true);
+        assert!(yuzu_pi > pi);
+    }
+
+    #[test]
+    fn volut_hits_line_rate_on_orange_pi() {
+        // The headline claim: 30+ FPS SR on mobile for 100K-point output.
+        let m = SrComputeModel::volut_lut();
+        let fps = m.device_fps(25_000.0, 4.0, &DeviceProfile::orange_pi(), false);
+        assert!(fps > 5.0, "orange pi fps {fps}");
+        let desktop_fps = m.device_fps(25_000.0, 4.0, &DeviceProfile::desktop_3080ti(), false);
+        assert!(desktop_fps > 30.0, "desktop fps {desktop_fps}");
+        assert!(desktop_fps > fps);
+    }
+
+    #[test]
+    fn calibration_from_measured_result() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic;
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let low = synthetic::sphere(2000, 1.0, 1);
+        let result = pipeline.upsample(&low, 2.0).unwrap();
+        let model = SrComputeModel::calibrate("measured", &result);
+        assert!(model.knn_us_per_input_point > 0.0);
+        assert!(model.frame_time_s(2000.0, 2.0) > 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Server-side chunk encoding.
+//!
+//! The server stores full-density frames and, on request, encodes a chunk at
+//! the point density chosen by the client's ABR controller using random
+//! downsampling (§5.2), then serializes it with the binary `.vpc` wire
+//! format.
+
+use crate::video::VolumetricVideo;
+use crate::Result;
+use volut_pointcloud::{io, sampling, PointCloud};
+
+/// An encoded (downsampled + serialized) frame ready for transmission.
+#[derive(Debug, Clone)]
+pub struct EncodedFrame {
+    /// Frame index within the video.
+    pub frame_index: usize,
+    /// Density ratio the frame was encoded at.
+    pub density: f64,
+    /// Number of points actually included.
+    pub points: usize,
+    /// Serialized payload.
+    pub payload: bytes::Bytes,
+}
+
+impl EncodedFrame {
+    /// Payload size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Decodes the payload back into a point cloud.
+    ///
+    /// # Errors
+    /// Returns a format error when the payload is corrupted.
+    pub fn decode(&self) -> Result<PointCloud> {
+        Ok(io::decode(&self.payload)?)
+    }
+}
+
+/// Server-side encoder over a materialized video.
+#[derive(Debug)]
+pub struct ServerEncoder<'a> {
+    video: &'a VolumetricVideo,
+}
+
+impl<'a> ServerEncoder<'a> {
+    /// Creates an encoder for the given video.
+    pub fn new(video: &'a VolumetricVideo) -> Self {
+        Self { video }
+    }
+
+    /// Encodes frame `frame_index` at `density` (a ratio in `(0, 1]`).
+    ///
+    /// # Errors
+    /// Returns an error when the frame does not exist or the density is
+    /// outside its domain.
+    pub fn encode_frame(&self, frame_index: usize, density: f64, seed: u64) -> Result<EncodedFrame> {
+        let frame = self
+            .video
+            .frame(frame_index)
+            .ok_or_else(|| crate::Error::NotFound(format!("frame {frame_index}")))?;
+        let low = if density >= 1.0 {
+            frame.clone()
+        } else {
+            sampling::random_downsample(frame, density, seed.wrapping_add(frame_index as u64))?
+        };
+        Ok(EncodedFrame {
+            frame_index,
+            density,
+            points: low.len(),
+            payload: io::encode(&low),
+        })
+    }
+
+    /// Encodes a run of frames starting at `first_frame`.
+    ///
+    /// # Errors
+    /// Fails when any frame is missing or the density is invalid.
+    pub fn encode_frames(
+        &self,
+        first_frame: usize,
+        count: usize,
+        density: f64,
+        seed: u64,
+    ) -> Result<Vec<EncodedFrame>> {
+        (first_frame..first_frame + count)
+            .map(|i| self.encode_frame(i, density, seed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::VideoMeta;
+
+    fn video() -> VolumetricVideo {
+        VolumetricVideo::generate(&VideoMeta::tiny(4, 800), 4, 800, 3)
+    }
+
+    #[test]
+    fn full_density_roundtrip() {
+        let v = video();
+        let enc = ServerEncoder::new(&v);
+        let frame = enc.encode_frame(0, 1.0, 1).unwrap();
+        assert_eq!(frame.points, 800);
+        let decoded = frame.decode().unwrap();
+        assert_eq!(&decoded, v.frame(0).unwrap());
+    }
+
+    #[test]
+    fn downsampled_frames_are_smaller() {
+        let v = video();
+        let enc = ServerEncoder::new(&v);
+        let full = enc.encode_frame(1, 1.0, 1).unwrap();
+        let half = enc.encode_frame(1, 0.5, 1).unwrap();
+        assert!(half.points < full.points);
+        assert!(half.byte_len() < full.byte_len());
+        let ratio = half.points as f64 / full.points as f64;
+        assert!((ratio - 0.5).abs() < 0.15, "got {ratio}");
+    }
+
+    #[test]
+    fn missing_frame_and_bad_density_are_rejected() {
+        let v = video();
+        let enc = ServerEncoder::new(&v);
+        assert!(enc.encode_frame(99, 1.0, 1).is_err());
+        assert!(enc.encode_frame(0, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn multi_frame_encoding() {
+        let v = video();
+        let enc = ServerEncoder::new(&v);
+        let frames = enc.encode_frames(0, 3, 0.25, 7).unwrap();
+        assert_eq!(frames.len(), 3);
+        assert!(frames.iter().all(|f| f.points < 400));
+    }
+}

@@ -1,0 +1,105 @@
+//! Simulated network link driven by a bandwidth trace.
+
+use crate::trace::NetworkTrace;
+
+/// A simulated download link: integrates the bandwidth trace over time to
+/// compute how long a transfer of a given size takes, including one RTT of
+/// request latency per transfer (the DASH-like request/response exchange).
+#[derive(Debug, Clone)]
+pub struct SimulatedLink<'a> {
+    trace: &'a NetworkTrace,
+}
+
+impl<'a> SimulatedLink<'a> {
+    /// Creates a link over the given trace.
+    pub fn new(trace: &'a NetworkTrace) -> Self {
+        Self { trace }
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &NetworkTrace {
+        self.trace
+    }
+
+    /// Computes the time (seconds) to download `bytes` starting at absolute
+    /// time `start_s`, walking the trace second by second.
+    pub fn download_time(&self, bytes: u64, start_s: f64) -> f64 {
+        if bytes == 0 {
+            return self.trace.rtt_s;
+        }
+        let mut remaining_bits = bytes as f64 * 8.0;
+        let mut t = start_s + self.trace.rtt_s;
+        // Finish the partial second we start in, then whole seconds.
+        let mut guard = 0usize;
+        loop {
+            let mbps = self.trace.bandwidth_at(t).max(1e-3);
+            let bits_per_sec = mbps * 1e6;
+            let second_boundary = t.floor() + 1.0;
+            let slice = (second_boundary - t).max(1e-6);
+            let capacity = bits_per_sec * slice;
+            if capacity >= remaining_bits {
+                t += remaining_bits / bits_per_sec;
+                break;
+            }
+            remaining_bits -= capacity;
+            t = second_boundary;
+            guard += 1;
+            if guard > 100_000 {
+                break;
+            }
+        }
+        t - start_s
+    }
+
+    /// The throughput (Mbps) actually experienced by a transfer of `bytes`
+    /// starting at `start_s` — the quantity the client's estimator observes.
+    pub fn observed_throughput(&self, bytes: u64, start_s: f64) -> f64 {
+        let dt = self.download_time(bytes, start_s);
+        if dt <= 0.0 {
+            return self.trace.bandwidth_at(start_s);
+        }
+        bytes as f64 * 8.0 / 1e6 / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn download_time_on_stable_link() {
+        let trace = NetworkTrace::stable(80.0, 60.0);
+        let link = SimulatedLink::new(&trace);
+        // 10 MB at 80 Mbps = 1 s plus 10 ms RTT.
+        let t = link.download_time(10_000_000, 0.0);
+        assert!((t - 1.01).abs() < 0.01, "got {t}");
+        assert_eq!(link.download_time(0, 5.0), trace.rtt_s);
+        assert!(link.trace().mean_mbps() > 0.0);
+    }
+
+    #[test]
+    fn download_spanning_multiple_seconds() {
+        // 20 Mbps: a 10 MB (80 Mbit) transfer takes 4 s.
+        let trace = NetworkTrace::stable(20.0, 60.0);
+        let link = SimulatedLink::new(&trace);
+        let t = link.download_time(10_000_000, 0.3);
+        assert!((t - 4.01).abs() < 0.05, "got {t}");
+    }
+
+    #[test]
+    fn variable_bandwidth_is_integrated() {
+        // First second 10 Mbps, second 90 Mbps: 50 Mbit needs 1 s + (40/90) s.
+        let trace = NetworkTrace::from_samples("v", vec![10.0, 90.0, 90.0], 0.0).unwrap();
+        let link = SimulatedLink::new(&trace);
+        let t = link.download_time(6_250_000, 0.0);
+        assert!((t - (1.0 + 40.0 / 90.0)).abs() < 0.02, "got {t}");
+    }
+
+    #[test]
+    fn observed_throughput_reflects_bottleneck() {
+        let trace = NetworkTrace::stable(40.0, 30.0);
+        let link = SimulatedLink::new(&trace);
+        let tp = link.observed_throughput(5_000_000, 0.0);
+        assert!(tp > 30.0 && tp <= 40.5, "got {tp}");
+    }
+}

@@ -1,0 +1,201 @@
+//! The QoE objective (Eq. 10), borrowed from Yuzu's SR-targeting
+//! formulation: `QoE = Σ α·Q(r) − β·V(r_i, r_{i−1}) − γ·S(r_i)`.
+//!
+//! * `Q(r)` — visual quality, measured as the post-SR point density the user
+//!   actually views, normalized by the full-density point count;
+//! * `V` — quality-variation penalty between consecutive chunks, weighted
+//!   more heavily for quality drops (which viewers notice more);
+//! * `S` — stall (rebuffering) time in seconds.
+
+use serde::{Deserialize, Serialize};
+
+/// Weights of the QoE objective.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeParams {
+    /// Weight of the quality term.
+    pub alpha: f64,
+    /// Weight of the quality-variation penalty.
+    pub beta: f64,
+    /// Extra multiplier applied to downward quality switches.
+    pub drop_penalty: f64,
+    /// Weight of the stall penalty (per second of stall).
+    pub gamma: f64,
+}
+
+impl Default for QoeParams {
+    fn default() -> Self {
+        // α = 1 per chunk-second of full quality; stalls are heavily
+        // penalized (a 1-second stall erases ~4 chunk-seconds of quality),
+        // matching the qualitative weighting of Yuzu's user study.
+        Self { alpha: 1.0, beta: 1.0, drop_penalty: 1.5, gamma: 4.0 }
+    }
+}
+
+/// Per-chunk QoE record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkQoe {
+    /// Post-SR quality in `[0, 1]` (viewed density / full density).
+    pub quality: f64,
+    /// Quality of the previous chunk (for the variation term).
+    pub previous_quality: f64,
+    /// Stall time attributed to this chunk, in seconds.
+    pub stall_s: f64,
+    /// Chunk playback duration in seconds.
+    pub duration_s: f64,
+}
+
+/// Accumulates per-chunk records into a session QoE score.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QoeAccumulator {
+    chunks: Vec<ChunkQoe>,
+}
+
+/// Final QoE summary of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QoeSummary {
+    /// Raw QoE score (Eq. 10).
+    pub score: f64,
+    /// Maximum achievable score for the same session (full quality, no
+    /// stalls, no switches) — used for normalization.
+    pub ideal_score: f64,
+    /// `score / ideal_score × 100`, the "normalized QoE" of Figures 12/14.
+    pub normalized: f64,
+    /// Mean post-SR quality.
+    pub mean_quality: f64,
+    /// Total stall seconds.
+    pub total_stall_s: f64,
+    /// Mean absolute quality change between consecutive chunks.
+    pub mean_variation: f64,
+}
+
+impl QoeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one chunk.
+    pub fn push(&mut self, chunk: ChunkQoe) {
+        self.chunks.push(chunk);
+    }
+
+    /// Number of recorded chunks.
+    pub fn len(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Returns `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Computes the session summary under the given weights.
+    pub fn summarize(&self, params: &QoeParams) -> QoeSummary {
+        if self.chunks.is_empty() {
+            return QoeSummary {
+                score: 0.0,
+                ideal_score: 0.0,
+                normalized: 0.0,
+                mean_quality: 0.0,
+                total_stall_s: 0.0,
+                mean_variation: 0.0,
+            };
+        }
+        let mut score = 0.0;
+        let mut ideal = 0.0;
+        let mut quality_sum = 0.0;
+        let mut stall_sum = 0.0;
+        let mut variation_sum = 0.0;
+        for c in &self.chunks {
+            let quality = c.quality.clamp(0.0, 1.0);
+            let prev = c.previous_quality.clamp(0.0, 1.0);
+            let variation = (quality - prev).abs();
+            let drop_extra = if quality < prev { params.drop_penalty } else { 1.0 };
+            score += params.alpha * quality * c.duration_s
+                - params.beta * variation * drop_extra
+                - params.gamma * c.stall_s;
+            ideal += params.alpha * c.duration_s;
+            quality_sum += quality;
+            stall_sum += c.stall_s;
+            variation_sum += variation;
+        }
+        let n = self.chunks.len() as f64;
+        let normalized = if ideal > 0.0 { (score / ideal * 100.0).max(0.0) } else { 0.0 };
+        QoeSummary {
+            score,
+            ideal_score: ideal,
+            normalized,
+            mean_quality: quality_sum / n,
+            total_stall_s: stall_sum,
+            mean_variation: variation_sum / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chunk(q: f64, prev: f64, stall: f64) -> ChunkQoe {
+        ChunkQoe { quality: q, previous_quality: prev, stall_s: stall, duration_s: 1.0 }
+    }
+
+    #[test]
+    fn perfect_session_is_normalized_100() {
+        let mut acc = QoeAccumulator::new();
+        for _ in 0..10 {
+            acc.push(chunk(1.0, 1.0, 0.0));
+        }
+        let s = acc.summarize(&QoeParams::default());
+        assert!((s.normalized - 100.0).abs() < 1e-9);
+        assert_eq!(s.total_stall_s, 0.0);
+        assert_eq!(s.mean_quality, 1.0);
+    }
+
+    #[test]
+    fn stalls_reduce_qoe() {
+        let mut no_stall = QoeAccumulator::new();
+        let mut stall = QoeAccumulator::new();
+        for _ in 0..10 {
+            no_stall.push(chunk(0.8, 0.8, 0.0));
+            stall.push(chunk(0.8, 0.8, 0.2));
+        }
+        let p = QoeParams::default();
+        assert!(stall.summarize(&p).score < no_stall.summarize(&p).score);
+        assert!((stall.summarize(&p).total_stall_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_drops_penalized_more_than_rises() {
+        let p = QoeParams::default();
+        let mut rising = QoeAccumulator::new();
+        rising.push(chunk(1.0, 0.5, 0.0));
+        let mut dropping = QoeAccumulator::new();
+        dropping.push(chunk(0.5, 1.0, 0.0));
+        let rise_score = rising.summarize(&p).score;
+        let drop_score = dropping.summarize(&p).score;
+        // Same |Δq| but dropping also has lower quality and a drop multiplier.
+        assert!(drop_score < rise_score);
+    }
+
+    #[test]
+    fn higher_quality_higher_qoe() {
+        let p = QoeParams::default();
+        let mut low = QoeAccumulator::new();
+        let mut high = QoeAccumulator::new();
+        for _ in 0..5 {
+            low.push(chunk(0.3, 0.3, 0.0));
+            high.push(chunk(0.9, 0.9, 0.0));
+        }
+        assert!(high.summarize(&p).normalized > low.summarize(&p).normalized);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = QoeAccumulator::new();
+        assert!(acc.is_empty());
+        let s = acc.summarize(&QoeParams::default());
+        assert_eq!(s.score, 0.0);
+        assert_eq!(s.normalized, 0.0);
+    }
+}

@@ -1,0 +1,394 @@
+//! End-to-end streaming session simulator.
+//!
+//! Drives one playback session chunk by chunk: the ABR controller picks a
+//! `{density, SR ratio}`, the simulated link downloads the encoded chunk,
+//! the client compute model charges SR time, the playback buffer drains in
+//! wall-clock time, and the QoE accumulator scores the outcome. This
+//! reproduces the setups behind Figures 12, 13 and 14.
+
+use crate::abr::AbrContext;
+use crate::buffer::PlaybackBuffer;
+use crate::chunk::chunk_video;
+use crate::link::SimulatedLink;
+use crate::motion::MotionTrace;
+use crate::qoe::{ChunkQoe, QoeAccumulator, QoeParams, QoeSummary};
+use crate::systems::{SystemKind, SystemSpec};
+use crate::trace::NetworkTrace;
+use crate::video::VideoMeta;
+use crate::viewport::VisibilityModel;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use volut_core::device::{DeviceProfile, StageKind};
+
+/// Static configuration of a streaming session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Chunk duration in seconds.
+    pub chunk_duration_s: f64,
+    /// Playback buffer capacity in seconds.
+    pub buffer_capacity_s: f64,
+    /// Startup threshold before playback begins, in seconds.
+    pub startup_threshold_s: f64,
+    /// QoE weights.
+    pub qoe: QoeParams,
+    /// Client device profile.
+    pub device: DeviceProfile,
+    /// Viewer motion pattern.
+    pub motion: MotionTrace,
+    /// Viewport-prediction horizon used by viewport-adaptive systems.
+    pub prediction_horizon_s: f64,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            chunk_duration_s: 1.0,
+            buffer_capacity_s: 8.0,
+            startup_threshold_s: 1.0,
+            qoe: QoeParams::default(),
+            device: DeviceProfile::desktop_3080ti(),
+            motion: MotionTrace::orbit(),
+            prediction_horizon_s: 1.0,
+        }
+    }
+}
+
+/// Per-chunk record of the session timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChunkRecord {
+    /// Chunk index.
+    pub index: usize,
+    /// Density fetched from the server.
+    pub fetch_density: f64,
+    /// Upsampling ratio applied client-side.
+    pub sr_ratio: f64,
+    /// Displayed (post-SR) quality in `[0, 1]`.
+    pub displayed_quality: f64,
+    /// Bytes downloaded for this chunk.
+    pub bytes: u64,
+    /// Download time in seconds.
+    pub download_s: f64,
+    /// Client compute time in seconds.
+    pub compute_s: f64,
+    /// Stall incurred while waiting for this chunk, in seconds.
+    pub stall_s: f64,
+    /// Buffer level after this chunk was added.
+    pub buffer_after_s: f64,
+}
+
+/// Outcome of one simulated session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionResult {
+    /// System variant that was simulated.
+    pub system: SystemKind,
+    /// Video name.
+    pub video: String,
+    /// Network trace name.
+    pub trace: String,
+    /// QoE summary (Eq. 10).
+    pub qoe: QoeSummary,
+    /// Total bytes downloaded, including any startup model download.
+    pub data_bytes: u64,
+    /// Total stall time in seconds.
+    pub stall_s: f64,
+    /// Mean fetched density across chunks.
+    pub mean_fetch_density: f64,
+    /// Mean displayed (post-SR) quality across chunks.
+    pub mean_displayed_quality: f64,
+    /// Full per-chunk timeline.
+    pub timeline: Vec<ChunkRecord>,
+}
+
+impl SessionResult {
+    /// Data usage as a fraction of streaming every chunk at full density.
+    pub fn data_fraction_of_full(&self, meta: &VideoMeta, chunk_duration_s: f64) -> f64 {
+        let full: u64 = chunk_video(meta, chunk_duration_s)
+            .iter()
+            .map(|c| c.encoded_bytes(1.0))
+            .sum();
+        if full == 0 {
+            0.0
+        } else {
+            self.data_bytes as f64 / full as f64
+        }
+    }
+}
+
+/// The streaming session simulator.
+#[derive(Debug, Clone)]
+pub struct StreamingSimulator {
+    config: SessionConfig,
+}
+
+impl StreamingSimulator {
+    /// Creates a simulator with the given session configuration.
+    pub fn new(config: SessionConfig) -> Self {
+        Self { config }
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Runs one session of `video` over `trace` with the given system variant.
+    ///
+    /// # Errors
+    /// Returns an error when the video produces no chunks.
+    pub fn run(
+        &self,
+        video: &VideoMeta,
+        trace: &NetworkTrace,
+        system: SystemKind,
+    ) -> Result<SessionResult> {
+        let mut spec = SystemSpec::build(system, self.config.qoe);
+        let chunks = chunk_video(video, self.config.chunk_duration_s);
+        if chunks.is_empty() {
+            return Err(crate::Error::InvalidConfig(
+                "video produced no chunks; check frame count and chunk duration".into(),
+            ));
+        }
+        let link = SimulatedLink::new(trace);
+        let mut buffer =
+            PlaybackBuffer::new(self.config.buffer_capacity_s, self.config.startup_threshold_s);
+        let mut qoe = QoeAccumulator::new();
+        let mut timeline = Vec::with_capacity(chunks.len());
+
+        let visibility = VisibilityModel::for_motion(&self.config.motion, self.config.prediction_horizon_s);
+
+        // Session clock and counters.
+        let mut now_s = 0.0f64;
+        let mut data_bytes = spec.startup_download_bytes;
+        if spec.startup_download_bytes > 0 {
+            now_s += link.download_time(spec.startup_download_bytes, now_s);
+        }
+        let mut prev_quality = 0.0f64;
+        let mut density_sum = 0.0f64;
+        let mut quality_sum = 0.0f64;
+
+        for chunk in &chunks {
+            let throughput = spec
+                .abr
+                .throughput_estimate()
+                .unwrap_or_else(|| trace.bandwidth_at(now_s));
+            // SR compute cost for synthesizing one full chunk's worth of
+            // points: measured at the smallest density / largest ratio and
+            // normalized by the synthesized fraction.
+            let min_density = 1.0 / spec.max_sr_ratio.max(1.0);
+            let full_synth_cost = spec.compute.chunk_time_on_device(
+                chunk,
+                min_density,
+                spec.max_sr_ratio,
+                &self.config.device,
+                spec.nn_inference,
+            );
+            let sr_seconds_per_chunk = if spec.max_sr_ratio > 1.0 {
+                full_synth_cost / (1.0 - min_density)
+            } else {
+                0.0
+            };
+            let ctx = AbrContext {
+                throughput_mbps: throughput,
+                buffer_level_s: buffer.level_s(),
+                chunk_duration_s: chunk.duration_s,
+                full_chunk_bytes: chunk.encoded_bytes(1.0),
+                previous_quality: prev_quality,
+                max_sr_ratio: spec.max_sr_ratio,
+                sr_seconds_per_chunk,
+                sr_quality_factor: spec.sr_quality_factor,
+            };
+            let decision = spec.abr.decide(&ctx);
+
+            // Bytes actually fetched: viewport-adaptive systems fetch only the
+            // predicted-visible region.
+            let bytes_fraction =
+                if spec.viewport_adaptive { visibility.bytes_fraction() } else { 1.0 };
+            let bytes =
+                (chunk.encoded_bytes(decision.fetch_density) as f64 * bytes_fraction).round() as u64;
+
+            let download_s = link.download_time(bytes, now_s);
+            let compute_s = spec.compute.chunk_time_on_device(
+                chunk,
+                decision.fetch_density,
+                decision.sr_ratio,
+                &self.config.device,
+                spec.nn_inference,
+            );
+            // Download and client-side SR are pipelined (the paper's client
+            // overlaps fetching chunk i+1 with upsampling chunk i), plus a
+            // small serial overhead for decode/protocol handling.
+            let serial_overhead_s = 0.01 * self.config.device.scale_for(StageKind::SerialCpu);
+            let ready_after = download_s.max(compute_s) + serial_overhead_s;
+
+            // Wall-clock advances while the chunk is being fetched/processed;
+            // playback drains the buffer during that interval.
+            let stall_s = buffer.advance(ready_after);
+            now_s += ready_after;
+            buffer.add_content(chunk.duration_s);
+
+            // Displayed quality: real + SR-synthesized points, with ViVo's
+            // viewport-miss model applied when relevant.
+            let displayed_quality = if spec.viewport_adaptive {
+                visibility.effective_quality(decision.fetch_density)
+            } else {
+                ctx.displayed_quality(decision.fetch_density, decision.sr_ratio)
+            };
+
+            // Feed the estimator with what the transfer actually achieved.
+            let observed = link.observed_throughput(bytes.max(1), now_s - ready_after);
+            spec.abr.observe_throughput(observed);
+
+            qoe.push(ChunkQoe {
+                quality: displayed_quality,
+                previous_quality: prev_quality,
+                stall_s,
+                duration_s: chunk.duration_s,
+            });
+            timeline.push(ChunkRecord {
+                index: chunk.index,
+                fetch_density: decision.fetch_density,
+                sr_ratio: decision.sr_ratio,
+                displayed_quality,
+                bytes,
+                download_s,
+                compute_s,
+                stall_s,
+                buffer_after_s: buffer.level_s(),
+            });
+
+            data_bytes += bytes;
+            prev_quality = displayed_quality;
+            density_sum += decision.fetch_density;
+            quality_sum += displayed_quality;
+        }
+
+        let n = chunks.len() as f64;
+        Ok(SessionResult {
+            system,
+            video: video.name.clone(),
+            trace: trace.name.clone(),
+            qoe: qoe.summarize(&self.config.qoe),
+            data_bytes,
+            stall_s: buffer.total_stall_s(),
+            mean_fetch_density: density_sum / n,
+            mean_displayed_quality: quality_sum / n,
+            timeline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_video() -> VideoMeta {
+        // 60 seconds of 100K-point content keeps the test fast.
+        VideoMeta {
+            name: "test-dress".into(),
+            frame_count: 1800,
+            fps: 30.0,
+            points_per_frame: 100_000,
+            content: crate::video::ContentKind::Humanoid,
+        }
+    }
+
+    #[test]
+    fn volut_beats_yuzu_and_vivo_on_stable_50mbps() {
+        // The Figure 12 (stable bandwidth) ordering: VoLUT > Yuzu-SR > ViVo.
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = short_video();
+        let trace = NetworkTrace::stable(50.0, 120.0);
+        let volut = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        let yuzu = sim.run(&video, &trace, SystemKind::YuzuSr).unwrap();
+        let vivo = sim.run(&video, &trace, SystemKind::Vivo).unwrap();
+        assert!(
+            volut.qoe.normalized > yuzu.qoe.normalized,
+            "volut {} vs yuzu {}",
+            volut.qoe.normalized,
+            yuzu.qoe.normalized
+        );
+        assert!(
+            yuzu.qoe.normalized > vivo.qoe.normalized,
+            "yuzu {} vs vivo {}",
+            yuzu.qoe.normalized,
+            vivo.qoe.normalized
+        );
+    }
+
+    #[test]
+    fn volut_uses_less_data_than_raw_streaming() {
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = short_video();
+        let trace = NetworkTrace::stable(100.0, 120.0);
+        let volut = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        let raw_bytes: u64 = chunk_video(&video, 1.0).iter().map(|c| c.encoded_bytes(1.0)).sum();
+        // The headline bandwidth claim: up to ~70% reduction vs raw streaming.
+        let fraction = volut.data_bytes as f64 / raw_bytes as f64;
+        assert!(fraction < 0.6, "volut should use well under 60% of raw bytes, got {fraction}");
+        assert!(volut.qoe.normalized > 60.0);
+    }
+
+    #[test]
+    fn continuous_abr_beats_discrete_ablation_under_lte() {
+        // Figure 14 / §7.5: H1 ≥ H2 > H3 in QoE, and H1 uses the least data.
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = short_video();
+        let trace = NetworkTrace::synthetic_lte(40.0, 15.0, 180.0, 9);
+        let h1 = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        let h2 = sim.run(&video, &trace, SystemKind::VolutDiscrete).unwrap();
+        let h3 = sim.run(&video, &trace, SystemKind::DiscreteYuzuSr).unwrap();
+        assert!(
+            h1.qoe.normalized >= h2.qoe.normalized - 2.0,
+            "h1 {} h2 {}",
+            h1.qoe.normalized,
+            h2.qoe.normalized
+        );
+        assert!(h2.qoe.normalized > h3.qoe.normalized, "h2 {} h3 {}", h2.qoe.normalized, h3.qoe.normalized);
+        assert!(h1.data_bytes < h2.data_bytes, "h1 {} h2 {}", h1.data_bytes, h2.data_bytes);
+    }
+
+    #[test]
+    fn session_accounting_is_consistent() {
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = VideoMeta::tiny(300, 50_000);
+        let trace = NetworkTrace::stable(40.0, 60.0);
+        let r = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        assert_eq!(r.timeline.len(), 10);
+        let timeline_bytes: u64 = r.timeline.iter().map(|c| c.bytes).sum();
+        assert!(r.data_bytes >= timeline_bytes);
+        let timeline_stall: f64 = r.timeline.iter().map(|c| c.stall_s).sum();
+        assert!((timeline_stall - r.stall_s).abs() < 1e-6);
+        assert!(r.mean_fetch_density > 0.0 && r.mean_fetch_density <= 1.0);
+        assert!(r.mean_displayed_quality >= r.mean_fetch_density - 1e-9);
+        assert!(r.data_fraction_of_full(&video, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn empty_video_is_rejected() {
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = VideoMeta::tiny(0, 1000);
+        let trace = NetworkTrace::stable(40.0, 30.0);
+        assert!(sim.run(&video, &trace, SystemKind::VolutContinuous).is_err());
+    }
+
+    #[test]
+    fn low_bandwidth_forces_lower_density_but_sr_recovers_quality() {
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = short_video();
+        let low = sim
+            .run(&video, &NetworkTrace::stable(30.0, 120.0), SystemKind::VolutContinuous)
+            .unwrap();
+        let high = sim
+            .run(&video, &NetworkTrace::stable(150.0, 120.0), SystemKind::VolutContinuous)
+            .unwrap();
+        // With SR saturating the displayed density, the controller never
+        // fetches more than the higher-bandwidth session would.
+        assert!(low.mean_fetch_density <= high.mean_fetch_density + 1e-9);
+        assert!(low.data_bytes <= high.data_bytes);
+        // SR keeps displayed quality much higher than the fetched density.
+        assert!(low.mean_displayed_quality > low.mean_fetch_density + 0.2);
+        // Both sessions play back without heavy stalling.
+        assert!(low.qoe.normalized > 60.0);
+        assert!(high.qoe.normalized > 60.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Compares ABR controllers (continuous MPC, discrete MPC, buffer-based,
+//! rate-based) over a range of stable bandwidths, printing the density each
+//! one selects and the resulting QoE — the intuition behind the paper's
+//! continuous-ABR contribution (§5).
+//!
+//! ```text
+//! cargo run --release --example abr_comparison
+//! ```
+
+use volut::stream::abr::{
+    AbrContext, AbrController, BufferBasedAbr, ContinuousMpcAbr, DiscreteMpcAbr, RateBasedAbr,
+};
+use volut::stream::qoe::QoeParams;
+use volut::stream::simulator::{SessionConfig, StreamingSimulator};
+use volut::stream::systems::SystemKind;
+use volut::stream::trace::NetworkTrace;
+use volut::stream::video::VideoMeta;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Single-decision view: what density does each controller pick?
+    println!("single-chunk decisions (full chunk = 11.25 MB compressed, SR up to 8x):");
+    println!("{:>10} {:>14} {:>13} {:>13} {:>11}", "bandwidth", "continuous", "discrete", "buffer", "rate");
+    for mbps in [20.0, 35.0, 50.0, 75.0, 100.0, 150.0] {
+        let ctx = AbrContext {
+            throughput_mbps: mbps,
+            buffer_level_s: 4.0,
+            chunk_duration_s: 1.0,
+            full_chunk_bytes: 11_250_000,
+            previous_quality: 0.8,
+            max_sr_ratio: 8.0,
+            sr_quality_factor: 0.75,
+            sr_seconds_per_chunk: 0.1,
+        };
+        let mut continuous = ContinuousMpcAbr::default();
+        let mut discrete = DiscreteMpcAbr::yuzu_ladder(QoeParams::default());
+        let mut buffer = BufferBasedAbr::default();
+        let mut rate = RateBasedAbr::default();
+        println!(
+            "{:>8.0}Mb {:>14.3} {:>13.3} {:>13.3} {:>11.3}",
+            mbps,
+            continuous.decide(&ctx).fetch_density,
+            discrete.decide(&ctx).fetch_density,
+            buffer.decide(&ctx).fetch_density,
+            rate.decide(&ctx).fetch_density,
+        );
+    }
+
+    // Session-level view: continuous vs discrete ABR with the same LUT SR.
+    let mut video = VideoMeta::long_dress();
+    video.frame_count = 1800; // one minute
+    let sim = StreamingSimulator::new(SessionConfig::default());
+    println!("\nsession results over stable links (same LUT SR, different ABR granularity):");
+    println!("{:>10} {:>26} {:>10} {:>12}", "bandwidth", "system", "QoE", "data (MB)");
+    for mbps in [30.0, 50.0, 80.0] {
+        let trace = NetworkTrace::stable(mbps, video.duration_s() + 30.0);
+        for system in [SystemKind::VolutContinuous, SystemKind::VolutDiscrete] {
+            let r = sim.run(&video, &trace, system)?;
+            println!(
+                "{:>8.0}Mb {:>26} {:>10.1} {:>12.1}",
+                mbps,
+                system.label(),
+                r.qoe.normalized,
+                r.data_bytes as f64 / 1e6
+            );
+        }
+    }
+    Ok(())
+}

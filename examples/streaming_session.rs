@@ -1,0 +1,66 @@
+//! End-to-end streaming session: plays the "Long Dress" stand-in over an LTE
+//! trace with VoLUT, Yuzu-SR and ViVo, printing the per-system QoE, stall
+//! and data usage plus a short excerpt of VoLUT's chunk timeline.
+//!
+//! ```text
+//! cargo run --release --example streaming_session
+//! ```
+
+use volut::stream::chunk::chunk_video;
+use volut::stream::simulator::{SessionConfig, StreamingSimulator};
+use volut::stream::systems::SystemKind;
+use volut::stream::trace::NetworkTrace;
+use volut::stream::video::VideoMeta;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two minutes of 100K-point content at 30 FPS.
+    let mut video = VideoMeta::long_dress();
+    video.frame_count = 3600;
+    let trace = NetworkTrace::synthetic_lte(32.5, 13.5, video.duration_s() + 60.0, 7);
+    println!(
+        "video: {} ({:.0} s, {:.0} Mbps raw, {:.0} Mbps compressed) over trace {} (mean {:.1} Mbps, std {:.1})",
+        video.name,
+        video.duration_s(),
+        video.raw_bitrate_mbps(),
+        video.compressed_bitrate_mbps(),
+        trace.name,
+        trace.mean_mbps(),
+        trace.std_mbps()
+    );
+
+    let sim = StreamingSimulator::new(SessionConfig::default());
+    let full_bytes: u64 = chunk_video(&video, sim.config().chunk_duration_s)
+        .iter()
+        .map(|c| c.encoded_bytes(1.0))
+        .sum();
+
+    println!("\n{:<32} {:>8} {:>9} {:>10} {:>12}", "system", "QoE", "stall(s)", "data (MB)", "vs full (%)");
+    for system in [SystemKind::VolutContinuous, SystemKind::YuzuSr, SystemKind::Vivo, SystemKind::Raw] {
+        let r = sim.run(&video, &trace, system)?;
+        println!(
+            "{:<32} {:>8.1} {:>9.1} {:>10.1} {:>11.1}%",
+            system.label(),
+            r.qoe.normalized,
+            r.stall_s,
+            r.data_bytes as f64 / 1e6,
+            r.data_bytes as f64 / full_bytes as f64 * 100.0
+        );
+    }
+
+    // Show how the continuous controller adapts chunk by chunk.
+    let volut = sim.run(&video, &trace, SystemKind::VolutContinuous)?;
+    println!("\nVoLUT timeline (first 10 chunks):");
+    println!("{:>5} {:>9} {:>8} {:>9} {:>9} {:>8}", "chunk", "density", "SR", "quality", "buffer", "stall");
+    for record in volut.timeline.iter().take(10) {
+        println!(
+            "{:>5} {:>9.3} {:>7.1}x {:>9.2} {:>8.1}s {:>7.2}s",
+            record.index,
+            record.fetch_density,
+            record.sr_ratio,
+            record.displayed_quality,
+            record.buffer_after_s,
+            record.stall_s
+        );
+    }
+    Ok(())
+}

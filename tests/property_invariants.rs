@@ -1,0 +1,122 @@
+//! Cross-crate property-based tests on the core invariants of the system:
+//! encoding stays inside its key space, sampling respects ratios, spatial
+//! indices agree with the brute-force oracle, and the SR pipeline always
+//! honors the requested ratio.
+
+use proptest::prelude::*;
+use volut::core::config::SrConfig;
+use volut::core::encoding::{KeyScheme, PositionEncoder};
+use volut::core::interpolate::dilated::dilated_interpolate;
+use volut::pointcloud::kdtree::KdTree;
+use volut::pointcloud::knn::{BruteForce, NeighborSearch};
+use volut::pointcloud::octree::TwoLayerOctree;
+use volut::pointcloud::{metrics, sampling, synthetic, Point3, PointCloud};
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn encoding_key_is_always_inside_key_space(
+        center in arb_point(),
+        neighbors in prop::collection::vec(arb_point(), 1..6),
+        bins in 4usize..64,
+    ) {
+        let config = SrConfig { bins, ..SrConfig::default() };
+        for scheme in [KeyScheme::Full, KeyScheme::Compact] {
+            let enc = PositionEncoder::new(&config, scheme).unwrap();
+            let e = enc.encode(center, &neighbors).unwrap();
+            prop_assert!(e.key < enc.key_space());
+            prop_assert!(e.radius > 0.0);
+            // Every quantized index is a valid bin.
+            prop_assert!(e.indices.iter().all(|&q| (q as usize) < bins));
+            // Features are inside the normalized cube.
+            prop_assert!(enc.features(&e).iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        }
+    }
+
+    #[test]
+    fn random_downsample_is_a_subset_with_roughly_right_size(
+        n in 200usize..1200,
+        ratio in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let cloud = synthetic::sphere(n, 1.0, seed);
+        let low = sampling::random_downsample(&cloud, ratio, seed).unwrap();
+        prop_assert!(low.len() <= cloud.len());
+        // Every sampled point exists in the original cloud (subset property):
+        // since positions are unique on the sphere, check a few by distance.
+        if !low.is_empty() {
+            let tree = KdTree::build(cloud.positions());
+            for i in (0..low.len()).step_by((low.len() / 8).max(1)) {
+                let nn = tree.knn(low.position(i), 1);
+                prop_assert!(nn[0].distance_squared < 1e-10);
+            }
+        }
+        // Size concentrates around ratio * n (loose 6-sigma style bound).
+        let expected = ratio * n as f64;
+        let sigma = (n as f64 * ratio * (1.0 - ratio)).sqrt();
+        prop_assert!((low.len() as f64 - expected).abs() < 6.0 * sigma + 2.0);
+    }
+
+    #[test]
+    fn spatial_indices_agree_with_brute_force(
+        points in prop::collection::vec(arb_point(), 30..200),
+        query in arb_point(),
+        k in 1usize..8,
+    ) {
+        let brute = BruteForce::new(&points);
+        let kdtree = KdTree::build(&points);
+        let octree = TwoLayerOctree::build(&points);
+        let expected: Vec<usize> = brute.knn(query, k).iter().map(|n| n.index).collect();
+        let kd: Vec<usize> = kdtree.knn(query, k).iter().map(|n| n.index).collect();
+        let oc: Vec<usize> = octree.knn(query, k).iter().map(|n| n.index).collect();
+        prop_assert_eq!(&kd, &expected);
+        prop_assert_eq!(&oc, &expected);
+    }
+
+    #[test]
+    fn chamfer_distance_is_symmetric_and_nonnegative(
+        a_n in 50usize..300,
+        b_n in 50usize..300,
+        seed in 0u64..100,
+    ) {
+        let a = synthetic::sphere(a_n, 1.0, seed);
+        let b = synthetic::torus(b_n, 1.0, 0.3, seed + 1);
+        let ab = metrics::chamfer_distance(&a, &b);
+        let ba = metrics::chamfer_distance(&b, &a);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert_eq!(metrics::chamfer_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn dilated_interpolation_always_hits_requested_ratio(
+        n in 100usize..600,
+        ratio in 1.0f64..5.0,
+        seed in 0u64..50,
+    ) {
+        let low = synthetic::humanoid(n, seed as f32 * 0.1, seed);
+        let out = dilated_interpolate(&low, &SrConfig::default(), ratio).unwrap();
+        let target = (n as f64 * ratio).round() as usize;
+        prop_assert_eq!(out.cloud.len(), target);
+        // Parent indices always refer to the original cloud.
+        prop_assert!(out.parents.iter().all(|&(a, b)| a < n && b < n));
+        // New points carry colors because the input was colored.
+        prop_assert!(out.cloud.has_colors());
+    }
+
+    #[test]
+    fn normalize_unit_cube_really_bounds_the_cloud(
+        points in prop::collection::vec(arb_point(), 2..200),
+    ) {
+        let mut cloud = PointCloud::from_positions(points);
+        cloud.normalize_unit_cube().unwrap();
+        let bounds = cloud.bounds().unwrap();
+        prop_assert!(bounds.min.min_element() >= -1.0 - 1e-4);
+        prop_assert!(bounds.max.max_element() <= 1.0 + 1e-4);
+    }
+}
