@@ -44,7 +44,11 @@ fn bench_session_simulation(c: &mut Criterion) {
     let trace = NetworkTrace::synthetic_lte(60.0, 20.0, 60.0, 3);
     let mut group = c.benchmark_group("session_simulation_30s");
     group.sample_size(10);
-    for system in [SystemKind::VolutContinuous, SystemKind::YuzuSr, SystemKind::Vivo] {
+    for system in [
+        SystemKind::VolutContinuous,
+        SystemKind::YuzuSr,
+        SystemKind::Vivo,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{system:?}")),
             &system,

@@ -39,9 +39,11 @@ fn bench_ratio_sweep(c: &mut Criterion) {
     group.sample_size(10);
     for ratio in [2.0f64, 4.0, 8.0] {
         let low = sampling::random_downsample(&gt, 1.0 / ratio, 11).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(format!("x{ratio}")), &low, |b, low| {
-            b.iter(|| black_box(volut.upsample(low, ratio).unwrap().cloud.len()))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("x{ratio}")),
+            &low,
+            |b, low| b.iter(|| black_box(volut.upsample(low, ratio).unwrap().cloud.len())),
+        );
     }
     group.finish();
 }

@@ -13,12 +13,20 @@ fn bench_interpolation(c: &mut Criterion) {
     group.sample_size(10);
     for ratio in [2.0f64, 4.0, 8.0] {
         let low = sampling::random_downsample(&gt, 1.0 / ratio, 3).unwrap();
-        group.bench_with_input(BenchmarkId::new("naive", format!("x{ratio}")), &low, |b, low| {
-            b.iter(|| naive_interpolate(black_box(low), &SrConfig::k4d1(), ratio).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("dilated", format!("x{ratio}")), &low, |b, low| {
-            b.iter(|| dilated_interpolate(black_box(low), &SrConfig::k4d2(), ratio).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("naive", format!("x{ratio}")),
+            &low,
+            |b, low| {
+                b.iter(|| naive_interpolate(black_box(low), &SrConfig::k4d1(), ratio).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dilated", format!("x{ratio}")),
+            &low,
+            |b, low| {
+                b.iter(|| dilated_interpolate(black_box(low), &SrConfig::k4d2(), ratio).unwrap())
+            },
+        );
     }
     group.finish();
 }
@@ -29,7 +37,10 @@ fn bench_dilation_ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("dilation_factor");
     group.sample_size(10);
     for d in [1usize, 2, 3] {
-        let cfg = SrConfig { dilation: d, ..SrConfig::default() };
+        let cfg = SrConfig {
+            dilation: d,
+            ..SrConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(d), &low, |b, low| {
             b.iter(|| dilated_interpolate(black_box(low), &cfg, 2.0).unwrap())
         });

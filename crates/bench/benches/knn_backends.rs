@@ -45,7 +45,9 @@ fn bench_index_build(c: &mut Criterion) {
     let cloud = synthetic::humanoid(20_000, 0.5, 3);
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
-    group.bench_function("kdtree", |b| b.iter(|| KdTree::build(black_box(cloud.positions()))));
+    group.bench_function("kdtree", |b| {
+        b.iter(|| KdTree::build(black_box(cloud.positions())))
+    });
     group.bench_function("two_layer_octree", |b| {
         b.iter(|| TwoLayerOctree::build(black_box(cloud.positions())))
     });

@@ -29,7 +29,10 @@ fn bench_encoding(c: &mut Criterion) {
     group.sample_size(20);
     let hoods = neighborhoods(1000);
     for bins in [16usize, 32, 64, 128] {
-        let cfg = SrConfig { bins, ..SrConfig::default() };
+        let cfg = SrConfig {
+            bins,
+            ..SrConfig::default()
+        };
         let enc = PositionEncoder::new(&cfg, KeyScheme::Full).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(bins), &hoods, |b, hoods| {
             b.iter(|| {
@@ -45,7 +48,10 @@ fn bench_encoding(c: &mut Criterion) {
 }
 
 fn bench_lookup(c: &mut Criterion) {
-    let cfg = SrConfig { bins: 16, ..SrConfig::default() };
+    let cfg = SrConfig {
+        bins: 16,
+        ..SrConfig::default()
+    };
     let enc_full = PositionEncoder::new(&cfg, KeyScheme::Full).unwrap();
     let enc_compact = PositionEncoder::new(&cfg, KeyScheme::Compact).unwrap();
     let hoods = neighborhoods(1000);

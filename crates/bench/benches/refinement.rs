@@ -1,14 +1,14 @@
 //! Criterion bench: LUT refinement vs direct neural-network refinement —
 //! the core speedup behind Figure 17 ("sub-milliseconds vs seconds").
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use volut_core::config::SrConfig;
 use volut_core::encoding::{KeyScheme, PositionEncoder};
 use volut_core::lut::{sparse::SparseLut, Lut};
 use volut_core::nn::mlp::Mlp;
-use volut_core::refine::{LutRefiner, NnRefiner, Refiner};
-use volut_pointcloud::Point3;
+use volut_core::refine::{refine_in_place, LutRefiner, NnRefiner, Refiner};
+use volut_pointcloud::{Neighborhoods, Point3, PointCloud};
 
 fn neighborhoods(n: usize) -> Vec<(Point3, Vec<Point3>)> {
     (0..n)
@@ -58,5 +58,158 @@ fn bench_refiners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_refiners);
+/// The seed's LUT backend, reproduced for the before/after comparison: a
+/// std `HashMap` with its default SipHash hasher, probed one key at a time.
+struct LegacyLut {
+    entries: std::collections::HashMap<u128, [f32; 3]>,
+}
+
+impl LegacyLut {
+    fn get(&self, key: u128) -> Option<[f32; 3]> {
+        self.entries.get(&key).copied()
+    }
+}
+
+/// Synthetic batch of `n` generated points over a shared source cloud,
+/// mirroring what dilated interpolation hands to the refinement stage.
+fn batch_input(n: usize) -> (Vec<Point3>, Neighborhoods, Vec<Point3>) {
+    let source: Vec<Point3> = (0..(n / 2).max(8))
+        .map(|i| {
+            let f = i as f32 * 0.37;
+            Point3::new(f.sin(), f.cos(), (f * 0.5).sin() * 0.5)
+        })
+        .collect();
+    let mut centers = Vec::with_capacity(n);
+    let mut hoods = Neighborhoods::with_capacity(n, n * 3);
+    for i in 0..n {
+        let a = i % source.len();
+        let b = (i * 7 + 1) % source.len();
+        let c = (i * 13 + 2) % source.len();
+        centers.push(source[a].midpoint(source[b]));
+        hoods.push_row([a, b, c].into_iter());
+    }
+    (centers, hoods, source)
+}
+
+/// The structural comparison behind this repo's batch refactor: the legacy
+/// per-point path (fresh neighbor-gather `Vec` + `refine` call per point)
+/// versus one `refine_batch` over flat slices, versus the parallel driver
+/// `refine_in_place` used by `SrPipeline`.
+fn bench_per_point_vs_batched(c: &mut Criterion) {
+    let config = SrConfig::default();
+    for &n in &[10_000usize, 100_000] {
+        let (centers, hoods, source) = batch_input(n);
+        // Fully populated LUTs (new and legacy backend) so every point
+        // takes the hit path.
+        let encoder = PositionEncoder::new(&config, KeyScheme::Full).unwrap();
+        let mut lut = SparseLut::new();
+        let mut legacy = LegacyLut {
+            entries: std::collections::HashMap::new(),
+        };
+        let mut gather = Vec::new();
+        for (i, &center) in centers.iter().enumerate() {
+            gather.clear();
+            gather.extend(hoods.row(i).iter().map(|&j| source[j as usize]));
+            let (key, _) = encoder.encode_key(center, &gather).unwrap();
+            lut.set(key, [0.01, 0.0, -0.01]).unwrap();
+            legacy.entries.insert(key, [0.01, 0.0, -0.01]);
+        }
+        let refiner = LutRefiner::new(encoder, Box::new(lut));
+
+        let mut group = c.benchmark_group("refinement_paths");
+        group.sample_size(10);
+        group.bench_with_input(
+            BenchmarkId::new("per_point", n),
+            &(&centers, &hoods, &source),
+            |b, (centers, hoods, source)| {
+                // Faithful reproduction of the pre-refactor refinement
+                // stage: a heap-allocated neighbor gather per generated
+                // point, the allocating `encode` (normalize + index
+                // buffers), a SipHash `HashMap` probe, and a mutex-guarded
+                // stats bump per lookup.
+                let encoder = PositionEncoder::new(&config, KeyScheme::Full).unwrap();
+                let stats = std::sync::Mutex::new((0u64, 0u64));
+                let mut cloud = PointCloud::from_positions((*source).clone());
+                let original_len = cloud.len();
+                for &center in centers.iter() {
+                    cloud.push(center, None);
+                }
+                b.iter(|| {
+                    // Fresh interpolation output for this frame.
+                    cloud.positions_mut()[original_len..].copy_from_slice(centers);
+                    // Per-point refinement, collected then written back —
+                    // the seed pipeline's exact shape.
+                    let refined: Vec<Point3> = centers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &center)| {
+                            let neighbors: Vec<Point3> =
+                                hoods.row(i).iter().map(|&j| source[j as usize]).collect();
+                            let Ok(encoded) = encoder.encode(center, &neighbors) else {
+                                return center;
+                            };
+                            match legacy.get(encoded.key) {
+                                Some(offset) => {
+                                    stats.lock().unwrap().0 += 1;
+                                    center
+                                        + Point3::new(offset[0], offset[1], offset[2])
+                                            * encoded.radius
+                                }
+                                None => {
+                                    stats.lock().unwrap().1 += 1;
+                                    center
+                                }
+                            }
+                        })
+                        .collect();
+                    let positions = cloud.positions_mut();
+                    for (ordinal, p) in refined.into_iter().enumerate() {
+                        positions[original_len + ordinal] = p;
+                    }
+                    black_box(positions[original_len])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched", n),
+            &(&centers, &hoods, &source),
+            |b, (centers, hoods, source)| {
+                let mut out = vec![Point3::ZERO; centers.len()];
+                b.iter(|| {
+                    refiner.refine_batch(centers, hoods.view(), source, &mut out);
+                    black_box(out[0])
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_parallel", n),
+            &(&centers, &hoods, &source),
+            |b, (centers, hoods, source)| {
+                let mut cloud = PointCloud::from_positions((*source).clone());
+                let original_len = cloud.len();
+                for &center in centers.iter() {
+                    cloud.push(center, None);
+                }
+                let mut scratch = Vec::new();
+                b.iter(|| {
+                    // Reset the tail: each frame refines freshly
+                    // interpolated centers, not last iteration's output.
+                    cloud.positions_mut()[original_len..].copy_from_slice(centers);
+                    refine_in_place(
+                        &refiner,
+                        &mut cloud,
+                        original_len,
+                        hoods,
+                        source,
+                        &mut scratch,
+                    );
+                    black_box(cloud.position(original_len))
+                })
+            },
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_refiners, bench_per_point_vs_batched);
 criterion_main!(benches);

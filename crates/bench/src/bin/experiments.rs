@@ -14,8 +14,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let selected: Vec<String> = if args.is_empty() || args.iter().any(|a| a == "all") {
         vec![
-            "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "fig16", "fig17", "fig18",
+            "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+            "fig16", "fig17", "fig18",
         ]
         .into_iter()
         .map(String::from)
@@ -36,9 +36,11 @@ fn main() {
         reports.push(table1::run());
     }
 
-    let needs_artifacts = ["fig7", "fig8", "fig9", "fig10", "fig11", "fig15", "fig16", "fig17", "fig18"]
-        .iter()
-        .any(|id| wants(id));
+    let needs_artifacts = [
+        "fig7", "fig8", "fig9", "fig10", "fig11", "fig15", "fig16", "fig17", "fig18",
+    ]
+    .iter()
+    .any(|id| wants(id));
     let artifacts = if needs_artifacts {
         eprintln!("[experiments] training refinement network and distilling LUT ({points} points per frame)...");
         Some(TrainedArtifacts::train(points, 8))
@@ -55,7 +57,10 @@ fn main() {
                 }
             }
         }
-        if ["fig11", "fig16", "fig17", "fig18"].iter().any(|id| wants(id)) {
+        if ["fig11", "fig16", "fig17", "fig18"]
+            .iter()
+            .any(|id| wants(id))
+        {
             eprintln!("[experiments] running runtime experiments (figures 11, 16, 17, 18)...");
             for report in speed::run_all(artifacts, points) {
                 if wants(&report.id) {
@@ -80,8 +85,14 @@ fn main() {
     for report in &reports {
         report.print();
         if let Err(e) = report.write_json("results") {
-            eprintln!("[experiments] warning: could not write results/{}.json: {e}", report.id);
+            eprintln!(
+                "[experiments] warning: could not write results/{}.json: {e}",
+                report.id
+            );
         }
     }
-    eprintln!("[experiments] wrote {} report(s) to results/", reports.len());
+    eprintln!(
+        "[experiments] wrote {} report(s) to results/",
+        reports.len()
+    );
 }

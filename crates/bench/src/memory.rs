@@ -12,7 +12,12 @@ pub fn fig15_memory(artifacts: &TrainedArtifacts) -> Report {
     let mut report = Report::new(
         "fig15",
         "Client SR memory usage (100K-point frames)",
-        &["Method", "Resident bytes", "Human readable", "Fits Quest-3-class device (8 GiB, 50% headroom)"],
+        &[
+            "Method",
+            "Resident bytes",
+            "Human readable",
+            "Fits Quest-3-class device (8 GiB, 50% headroom)",
+        ],
     );
     let points_per_frame = 100_000;
     let device = DeviceProfile::orange_pi();
@@ -35,7 +40,11 @@ pub fn fig15_memory(artifacts: &TrainedArtifacts) -> Report {
             name.to_string(),
             bytes.to_string(),
             MemoryModel::format_bytes(bytes),
-            if device.fits_in_memory(bytes, 0.5) { "yes".into() } else { "no".into() },
+            if device.fits_in_memory(bytes, 0.5) {
+                "yes".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     report.push_note("paper: VoLUT improves GPU memory usage by 86% vs GradPU and is comparable to Yuzu's frozen models");
@@ -54,11 +63,19 @@ mod tests {
         let bytes: Vec<u128> = r.rows.iter().map(|row| row[1].parse().unwrap()).collect();
         // GradPU (activations for the whole batch) uses the most memory of
         // the neural back-ends.
-        assert!(bytes[0] > bytes[1], "gradpu {} should exceed yuzu {}", bytes[0], bytes[1]);
+        assert!(
+            bytes[0] > bytes[1],
+            "gradpu {} should exceed yuzu {}",
+            bytes[0],
+            bytes[1]
+        );
         // The sparse reproduction LUT is far smaller than the dense paper LUT
         // and far smaller than GradPU's working set.
         assert!(bytes[3] < bytes[2]);
-        assert!(bytes[3] * 10 < bytes[0], "sparse lut should be well below gradpu");
+        assert!(
+            bytes[3] * 10 < bytes[0],
+            "sparse lut should be well below gradpu"
+        );
         // Everything the client actually deploys fits a Quest-3-class device.
         assert_eq!(r.rows[3][3], "yes");
     }

@@ -34,11 +34,20 @@ pub fn quality_sweep(artifacts: &TrainedArtifacts, points: usize, ratio: f64) ->
                 chamfer: metrics::chamfer_distance(cloud, &gt),
             });
         };
-        let k4d1 = artifacts.pipeline_k4d1().upsample(&low, ratio).expect("k4d1");
+        let k4d1 = artifacts
+            .pipeline_k4d1()
+            .upsample(&low, ratio)
+            .expect("k4d1");
         evaluate("K4d1", &k4d1.cloud, &mut out);
-        let k4d2 = artifacts.pipeline_k4d2().upsample(&low, ratio).expect("k4d2");
+        let k4d2 = artifacts
+            .pipeline_k4d2()
+            .upsample(&low, ratio)
+            .expect("k4d2");
         evaluate("K4d2", &k4d2.cloud, &mut out);
-        let lut = artifacts.pipeline_k4d2_lut().upsample(&low, ratio).expect("k4d2-lut");
+        let lut = artifacts
+            .pipeline_k4d2_lut()
+            .upsample(&low, ratio)
+            .expect("k4d2-lut");
         evaluate("K4d2-lut", &lut.cloud, &mut out);
         let gradpu = artifacts.gradpu().upsample(&low, ratio).expect("gradpu");
         evaluate("GradPU", &gradpu.cloud, &mut out);
@@ -116,7 +125,11 @@ mod tests {
         assert!(points.iter().all(|p| p.psnr_db > 0.0 && p.chamfer >= 0.0));
         // Dilated interpolation should not be worse than naive on average.
         let mean = |method: &str| {
-            let sel: Vec<f64> = points.iter().filter(|p| p.method == method).map(|p| p.chamfer).collect();
+            let sel: Vec<f64> = points
+                .iter()
+                .filter(|p| p.method == method)
+                .map(|p| p.chamfer)
+                .collect();
             sel.iter().sum::<f64>() / sel.len() as f64
         };
         assert!(mean("K4d2") <= mean("K4d1") * 1.15);

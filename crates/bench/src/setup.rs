@@ -60,7 +60,10 @@ impl TrainedArtifacts {
     /// videos; the paper's b = 128 setting belongs to the dense compact-key
     /// table whose footprint Table 1 analyzes.
     pub fn train(points: usize, epochs: usize) -> Self {
-        let config = SrConfig { bins: 32, ..SrConfig::default() };
+        let config = SrConfig {
+            bins: 32,
+            ..SrConfig::default()
+        };
         let mut set = build_training_set(
             &synthetic::humanoid(points, 0.0, 11),
             0.5,
@@ -82,13 +85,18 @@ impl TrainedArtifacts {
         }
         let mut trainer = RefinementTrainer::new(
             &config,
-            TrainConfig { epochs, ..TrainConfig::default() },
+            TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
         )
         .expect("trainer");
         let report = trainer.train(&set).expect("training succeeds");
         let network = trainer.into_network();
         let builder = LutBuilder::new(&config, KeyScheme::Full).expect("builder");
-        let lut = builder.distill_sparse(&network, &set).expect("distillation");
+        let lut = builder
+            .distill_sparse(&network, &set)
+            .expect("distillation");
         let lut_entries = {
             use volut_core::lut::Lut as _;
             lut.populated()
@@ -104,7 +112,11 @@ impl TrainedArtifacts {
 
     /// The paper's `K4d1` baseline: naive interpolation, no refinement.
     pub fn pipeline_k4d1(&self) -> SrPipeline {
-        SrPipeline::with_mode(SrConfig::k4d1(), InterpolationMode::Naive, Box::new(IdentityRefiner))
+        SrPipeline::with_mode(
+            SrConfig::k4d1(),
+            InterpolationMode::Naive,
+            Box::new(IdentityRefiner),
+        )
     }
 
     /// The paper's `K4d2` configuration: dilated interpolation, no refinement.
@@ -115,8 +127,9 @@ impl TrainedArtifacts {
     /// The full VoLUT pipeline: dilated interpolation + LUT refinement
     /// (`K4d2-lut` in Figures 7–10).
     pub fn pipeline_k4d2_lut(&self) -> SrPipeline {
-        let refiner = LutRefiner::from_config(&self.config, KeyScheme::Full, Box::new(self.lut.clone()))
-            .expect("valid config");
+        let refiner =
+            LutRefiner::from_config(&self.config, KeyScheme::Full, Box::new(self.lut.clone()))
+                .expect("valid config");
         SrPipeline::new(self.config, Box::new(refiner))
     }
 

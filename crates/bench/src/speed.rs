@@ -21,7 +21,11 @@ pub fn device_total(
     device: &DeviceProfile,
     nn_refinement: bool,
 ) -> Duration {
-    let refine_kind = if nn_refinement { StageKind::NnInference } else { StageKind::LutLookup };
+    let refine_kind = if nn_refinement {
+        StageKind::NnInference
+    } else {
+        StageKind::LutLookup
+    };
     device.scale_duration(StageKind::Knn, timings.knn)
         + device.scale_duration(StageKind::Interpolation, timings.interpolation)
         + device.scale_duration(StageKind::Colorization, timings.colorization)
@@ -41,8 +45,14 @@ pub fn fig11_interpolation_fps(artifacts: &TrainedArtifacts, points: usize) -> R
     for device in &devices {
         for ratio in [2.0, 4.0, 8.0] {
             let low = sampling::random_downsample(&gt, 1.0 / ratio, 5).expect("ratio");
-            let naive = artifacts.pipeline_k4d1().upsample(&low, ratio).expect("naive");
-            let dilated = artifacts.pipeline_k4d2().upsample(&low, ratio).expect("dilated");
+            let naive = artifacts
+                .pipeline_k4d1()
+                .upsample(&low, ratio)
+                .expect("naive");
+            let dilated = artifacts
+                .pipeline_k4d2()
+                .upsample(&low, ratio)
+                .expect("dilated");
             let naive_t = device_total(&naive.timings, device, false);
             let volut_t = device_total(&dilated.timings, device, false);
             let naive_fps = DeviceProfile::fps(naive_t);
@@ -66,11 +76,20 @@ pub fn fig16_runtime_breakdown(artifacts: &TrainedArtifacts, points: usize) -> R
     let mut report = Report::new(
         "fig16",
         "End-to-end SR runtime breakdown (fraction of frame time per stage)",
-        &["Device", "kNN", "Interpolation", "Colorization", "LUT refinement"],
+        &[
+            "Device",
+            "kNN",
+            "Interpolation",
+            "Colorization",
+            "LUT refinement",
+        ],
     );
     let gt = synthetic::humanoid(points, 0.8, 5);
     let low = sampling::random_downsample(&gt, 0.25, 9).expect("ratio");
-    let result = artifacts.pipeline_k4d2_lut().upsample(&low, 4.0).expect("sr");
+    let result = artifacts
+        .pipeline_k4d2_lut()
+        .upsample(&low, 4.0)
+        .expect("sr");
     for device in [DeviceProfile::desktop_3080ti(), DeviceProfile::orange_pi()] {
         let knn = device.scale_duration(StageKind::Knn, result.timings.knn);
         let interp = device.scale_duration(StageKind::Interpolation, result.timings.interpolation);
@@ -78,7 +97,13 @@ pub fn fig16_runtime_breakdown(artifacts: &TrainedArtifacts, points: usize) -> R
         let refine = device.scale_duration(StageKind::LutLookup, result.timings.refinement);
         let total = (knn + interp + colorize + refine).as_secs_f64().max(1e-12);
         let pct = |d: Duration| format!("{:.1}%", d.as_secs_f64() / total * 100.0);
-        report.push_row(vec![device.name.clone(), pct(knn), pct(interp), pct(colorize), pct(refine)]);
+        report.push_row(vec![
+            device.name.clone(),
+            pct(knn),
+            pct(interp),
+            pct(colorize),
+            pct(refine),
+        ]);
     }
     report.push_note("paper: kNN search dominates, LUT refinement consumes the least time");
     report
@@ -96,7 +121,10 @@ pub fn fig17_sr_runtime_desktop(artifacts: &TrainedArtifacts, points: usize) -> 
     let low = sampling::random_downsample(&gt, 0.5, 11).expect("ratio");
     let device = DeviceProfile::desktop_3080ti();
 
-    let volut = artifacts.pipeline_k4d2_lut().upsample(&low, 2.0).expect("volut");
+    let volut = artifacts
+        .pipeline_k4d2_lut()
+        .upsample(&low, 2.0)
+        .expect("volut");
     let yuzu = artifacts.yuzu().upsample(&low, 2.0).expect("yuzu");
     let gradpu = artifacts.gradpu().upsample(&low, 2.0).expect("gradpu");
 
@@ -104,7 +132,11 @@ pub fn fig17_sr_runtime_desktop(artifacts: &TrainedArtifacts, points: usize) -> 
     let yuzu_t = device_total(&yuzu.timings, &device, true).as_secs_f64();
     let gradpu_t = device_total(&gradpu.timings, &device, true).as_secs_f64();
 
-    for (name, t) in [("VoLUT (LUT)", volut_t), ("Yuzu-SR (neural)", yuzu_t), ("GradPU (neural)", gradpu_t)] {
+    for (name, t) in [
+        ("VoLUT (LUT)", volut_t),
+        ("Yuzu-SR (neural)", yuzu_t),
+        ("GradPU (neural)", gradpu_t),
+    ] {
         report.push_row(vec![
             name.to_string(),
             format!("{:.2}", t * 1e3),
@@ -133,7 +165,10 @@ pub fn fig18_sr_fps_orange_pi(artifacts: &TrainedArtifacts, points: usize) -> Re
     let gt = synthetic::humanoid(points, 0.2, 13);
     for ratio in [2.0, 4.0, 6.0, 8.0] {
         let low = sampling::random_downsample(&gt, 1.0 / ratio, 17).expect("ratio");
-        let result = artifacts.pipeline_k4d2_lut().upsample(&low, ratio).expect("sr");
+        let result = artifacts
+            .pipeline_k4d2_lut()
+            .upsample(&low, ratio)
+            .expect("sr");
         let t = device_total(&result.timings, &device, false);
         report.push_row(vec![
             format!("x{ratio:.0}"),
@@ -195,7 +230,10 @@ mod tests {
         assert_eq!(fig17.rows.len(), 3);
         let volut_ms: f64 = fig17.rows[0][1].parse().unwrap();
         let gradpu_ms: f64 = fig17.rows[2][1].parse().unwrap();
-        assert!(gradpu_ms > volut_ms, "gradpu {gradpu_ms} should be slower than volut {volut_ms}");
+        assert!(
+            gradpu_ms > volut_ms,
+            "gradpu {gradpu_ms} should be slower than volut {volut_ms}"
+        );
         let fig18 = fig18_sr_fps_orange_pi(&artifacts, 2_000);
         assert_eq!(fig18.rows.len(), 4);
         let fig16 = fig16_runtime_breakdown(&artifacts, 2_000);

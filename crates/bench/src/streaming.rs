@@ -141,15 +141,25 @@ pub fn fig14_ablation(session_seconds: f64) -> Report {
             format!("{:.1}", stall / sessions),
         ]);
     }
-    report.push_note("paper: H1 QoE 98 at 31% data; H2 -15.3% QoE / +14% data; H3 -36.7% QoE at 48% data");
+    report.push_note(
+        "paper: H1 QoE 98 at 31% data; H2 -15.3% QoE / +14% data; H3 -36.7% QoE at 48% data",
+    );
     report
 }
 
 /// Runs Figures 12, 13 and 14.
 pub fn run_all(session_seconds: f64) -> Vec<Report> {
-    let systems = [SystemKind::VolutContinuous, SystemKind::YuzuSr, SystemKind::Vivo];
+    let systems = [
+        SystemKind::VolutContinuous,
+        SystemKind::YuzuSr,
+        SystemKind::Vivo,
+    ];
     let points = streaming_sweep(&systems, session_seconds);
-    vec![fig12_qoe(&points), fig13_data_usage(&points), fig14_ablation(session_seconds)]
+    vec![
+        fig12_qoe(&points),
+        fig13_data_usage(&points),
+        fig14_ablation(session_seconds),
+    ]
 }
 
 /// Convenience: the bandwidth-saving headline number (VoLUT data fraction vs
@@ -163,7 +173,10 @@ pub fn bandwidth_saving(points: &[StreamingPoint]) -> Option<f64> {
 
 /// Raw full-density bytes of a video, used by callers that want absolute numbers.
 pub fn full_density_bytes(video: &VideoMeta, chunk_duration_s: f64) -> u64 {
-    chunk_video(video, chunk_duration_s).iter().map(|c| c.encoded_bytes(1.0)).sum()
+    chunk_video(video, chunk_duration_s)
+        .iter()
+        .map(|c| c.encoded_bytes(1.0))
+        .sum()
 }
 
 #[cfg(test)]
@@ -172,7 +185,11 @@ mod tests {
 
     #[test]
     fn streaming_sweep_reproduces_paper_ordering() {
-        let systems = [SystemKind::VolutContinuous, SystemKind::YuzuSr, SystemKind::Vivo];
+        let systems = [
+            SystemKind::VolutContinuous,
+            SystemKind::YuzuSr,
+            SystemKind::Vivo,
+        ];
         let points = streaming_sweep(&systems, 30.0);
         assert_eq!(points.len(), 6);
         for trace in ["stable-50", "lte-32.5"] {
@@ -185,9 +202,18 @@ mod tests {
             let volut = get(SystemKind::VolutContinuous);
             let yuzu = get(SystemKind::YuzuSr);
             let vivo = get(SystemKind::Vivo);
-            assert!(volut.normalized_qoe > yuzu.normalized_qoe, "{trace}: volut vs yuzu");
-            assert!(yuzu.normalized_qoe > vivo.normalized_qoe, "{trace}: yuzu vs vivo");
-            assert!(volut.data_fraction < yuzu.data_fraction, "{trace}: volut data < yuzu data");
+            assert!(
+                volut.normalized_qoe > yuzu.normalized_qoe,
+                "{trace}: volut vs yuzu"
+            );
+            assert!(
+                yuzu.normalized_qoe > vivo.normalized_qoe,
+                "{trace}: yuzu vs vivo"
+            );
+            assert!(
+                volut.data_fraction < yuzu.data_fraction,
+                "{trace}: volut data < yuzu data"
+            );
         }
         // Headline: >= 50% bandwidth saving vs raw streaming on the stable trace.
         let saving = bandwidth_saving(&points).unwrap();

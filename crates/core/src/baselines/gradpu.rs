@@ -10,12 +10,12 @@
 use crate::config::SrConfig;
 use crate::encoding::{KeyScheme, PositionEncoder};
 use crate::interpolate::naive::naive_interpolate;
-use crate::nn::mlp::Mlp;
+use crate::nn::mlp::{ForwardScratch, Mlp};
 use crate::pipeline::{SrResult, StageTimings};
-use crate::refine::RefinerCost;
+use crate::refine::{refine_in_place, Refiner, RefinerCost};
 use crate::Result;
 use std::time::Instant;
-use volut_pointcloud::{Point3, PointCloud};
+use volut_pointcloud::{NeighborhoodsView, Point3, PointCloud};
 
 /// GradPU-style upsampler: naive interpolation + iterative neural refinement.
 pub struct GradPuUpsampler {
@@ -48,7 +48,12 @@ impl GradPuUpsampler {
     /// Returns an error when the configuration is invalid.
     pub fn from_network(config: SrConfig, network: Mlp, iterations: usize) -> Result<Self> {
         let encoder = PositionEncoder::new(&config, KeyScheme::Full)?;
-        Ok(Self { config, encoder, network, iterations: iterations.max(1) })
+        Ok(Self {
+            config,
+            encoder,
+            network,
+            iterations: iterations.max(1),
+        })
     }
 
     /// Creates a GradPU baseline with a freshly initialized (untrained)
@@ -108,27 +113,20 @@ impl GradPuUpsampler {
         let t0 = Instant::now();
         let original_len = interp.original_len;
         let mut cloud = interp.cloud;
-        for ordinal in 0..(cloud.len() - original_len) {
-            let hood = &interp.neighborhoods[ordinal];
-            if hood.is_empty() {
-                continue;
-            }
-            let neighbor_positions: Vec<Point3> = hood.iter().map(|&i| low.position(i)).collect();
-            let idx = original_len + ordinal;
-            let mut current = cloud.position(idx);
-            // Iterative refinement: re-encode and re-predict each step.
-            for _ in 0..self.iterations {
-                let Ok(encoded) = self.encoder.encode(current, &neighbor_positions) else {
-                    break;
-                };
-                let features = self.encoder.features(&encoded);
-                let out = self.network.forward(&features);
-                // Damped update, mimicking GradPU's gradient-descent steps.
-                let step = 1.0 / self.iterations as f32;
-                current = current + Point3::new(out[0], out[1], out[2]) * (encoded.radius * step);
-            }
-            cloud.positions_mut()[idx] = current;
-        }
+        let refiner = IterativeNnRefiner {
+            encoder: &self.encoder,
+            network: &self.network,
+            iterations: self.iterations,
+        };
+        let mut centers_scratch = Vec::new();
+        refine_in_place(
+            &refiner,
+            &mut cloud,
+            original_len,
+            &interp.neighborhoods,
+            low.positions(),
+            &mut centers_scratch,
+        );
         timings.refinement = t0.elapsed();
 
         Ok(SrResult {
@@ -140,6 +138,68 @@ impl GradPuUpsampler {
             lookup_stats: None,
             refiner_name: "gradpu".to_string(),
         })
+    }
+}
+
+/// GradPU's refinement step as a [`Refiner`]: several damped
+/// network-predicted position updates per point, re-encoding the (moving)
+/// center against its fixed neighborhood each iteration.
+struct IterativeNnRefiner<'a> {
+    encoder: &'a PositionEncoder,
+    network: &'a Mlp,
+    iterations: usize,
+}
+
+impl Refiner for IterativeNnRefiner<'_> {
+    fn name(&self) -> &str {
+        "gradpu"
+    }
+
+    fn refine_batch(
+        &self,
+        centers: &[Point3],
+        neighborhoods: NeighborhoodsView<'_>,
+        source: &[Point3],
+        out: &mut [Point3],
+    ) {
+        let mut gather: Vec<Point3> = Vec::new();
+        let mut features: Vec<f32> = Vec::new();
+        let mut scratch = ForwardScratch::default();
+        for i in 0..centers.len() {
+            let row = neighborhoods.row(i);
+            let mut current = centers[i];
+            if row.is_empty() {
+                out[i] = current;
+                continue;
+            }
+            gather.clear();
+            gather.extend(row.iter().map(|&j| source[j as usize]));
+            // Iterative refinement: re-encode and re-predict each step.
+            for _ in 0..self.iterations {
+                let Ok(radius) = self
+                    .encoder
+                    .encode_features_into(current, &gather, &mut features)
+                else {
+                    break;
+                };
+                let o = self.network.forward_into(&features, &mut scratch);
+                // Damped update, mimicking GradPU's gradient-descent steps.
+                let step = 1.0 / self.iterations as f32;
+                current += Point3::new(o[0], o[1], o[2]) * (radius * step);
+            }
+            out[i] = current;
+        }
+    }
+
+    fn cost(&self) -> RefinerCost {
+        RefinerCost {
+            lut_lookups_per_point: 0,
+            nn_flops_per_point: self.network.flops_per_inference() * self.iterations as u64,
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.network.parameter_count() * 4
     }
 }
 
@@ -167,9 +227,14 @@ mod tests {
         let config = SrConfig::default();
         let gt = synthetic::sphere(2000, 1.0, 3);
         let set = build_training_set(&gt, 0.5, &config, KeyScheme::Full, 5).unwrap();
-        let mut trainer =
-            RefinementTrainer::new(&config, TrainConfig { epochs: 5, ..TrainConfig::default() })
-                .unwrap();
+        let mut trainer = RefinementTrainer::new(
+            &config,
+            TrainConfig {
+                epochs: 5,
+                ..TrainConfig::default()
+            },
+        )
+        .unwrap();
         trainer.train(&set).unwrap();
         let up = GradPuUpsampler::from_network(config, trainer.into_network(), 3).unwrap();
 
@@ -196,12 +261,8 @@ mod tests {
 
     #[test]
     fn iterations_are_clamped_to_at_least_one() {
-        let up = GradPuUpsampler::from_network(
-            SrConfig::default(),
-            Mlp::new(&[12, 8, 3], 1),
-            0,
-        )
-        .unwrap();
+        let up = GradPuUpsampler::from_network(SrConfig::default(), Mlp::new(&[12, 8, 3], 1), 0)
+            .unwrap();
         assert_eq!(up.iterations(), 1);
     }
 }

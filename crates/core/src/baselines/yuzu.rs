@@ -15,12 +15,12 @@ use crate::config::SrConfig;
 use crate::encoding::{KeyScheme, PositionEncoder};
 use crate::error::Error;
 use crate::interpolate::naive::naive_interpolate;
-use crate::nn::mlp::Mlp;
+use crate::nn::mlp::{ForwardScratch, Mlp};
 use crate::pipeline::{SrResult, StageTimings};
-use crate::refine::RefinerCost;
+use crate::refine::{refine_in_place, Refiner, RefinerCost};
 use crate::Result;
 use std::time::Instant;
-use volut_pointcloud::{Point3, PointCloud};
+use volut_pointcloud::{NeighborhoodsView, Point3, PointCloud};
 
 /// Yuzu-style neural upsampler with discrete ratio support.
 pub struct YuzuUpsampler {
@@ -53,9 +53,18 @@ impl YuzuUpsampler {
         let networks = Self::SUPPORTED_RATIOS
             .iter()
             .enumerate()
-            .map(|(i, &r)| (r, Mlp::new(&[input, 512, 512, 3], seed.wrapping_add(i as u64))))
+            .map(|(i, &r)| {
+                (
+                    r,
+                    Mlp::new(&[input, 512, 512, 3], seed.wrapping_add(i as u64)),
+                )
+            })
             .collect();
-        Ok(Self { config, encoder, networks })
+        Ok(Self {
+            config,
+            encoder,
+            networks,
+        })
     }
 
     /// The discrete ratios this model can produce.
@@ -81,7 +90,11 @@ impl YuzuUpsampler {
     /// Resident memory of all per-ratio models plus per-batch activations,
     /// mirroring the frozen-model C++ deployment the paper measures.
     pub fn memory_bytes(&self, points_per_frame: usize) -> usize {
-        let weights: usize = self.networks.iter().map(|(_, m)| m.parameter_count() * 4).sum();
+        let weights: usize = self
+            .networks
+            .iter()
+            .map(|(_, m)| m.parameter_count() * 4)
+            .sum();
         let act: usize = self
             .networks
             .first()
@@ -98,7 +111,10 @@ impl YuzuUpsampler {
             .find(|(r, _)| *r == ratio)
             .map(|(_, m)| m.flops_per_inference())
             .unwrap_or(0);
-        RefinerCost { lut_lookups_per_point: 0, nn_flops_per_point: flops }
+        RefinerCost {
+            lut_lookups_per_point: 0,
+            nn_flops_per_point: flops,
+        }
     }
 
     /// Upsamples `low` by the *discrete* ratio closest to (but not above)
@@ -120,7 +136,8 @@ impl YuzuUpsampler {
             .1;
 
         // Yuzu's generator: interpolation to the discrete ratio followed by a
-        // single heavyweight network pass per generated point.
+        // single heavyweight network pass per generated point, routed through
+        // the shared batch refinement helper.
         let interp = naive_interpolate(low, &self.config, f64::from(ratio))?;
         let mut timings = StageTimings {
             knn: interp.timings.knn,
@@ -132,29 +149,19 @@ impl YuzuUpsampler {
         let t0 = Instant::now();
         let original_len = interp.original_len;
         let mut cloud = interp.cloud;
-        for ordinal in 0..(cloud.len() - original_len) {
-            let hood = &interp.neighborhoods[ordinal];
-            if hood.is_empty() {
-                continue;
-            }
-            let neighbor_positions: Vec<Point3> = hood.iter().map(|&i| low.position(i)).collect();
-            let idx = original_len + ordinal;
-            let center = cloud.position(idx);
-            let Ok(encoded) = self.encoder.encode(center, &neighbor_positions) else {
-                continue;
-            };
-            let features = self.encoder.features(&encoded);
-            let out = network.forward(&features);
-            // Bound the untrained network's output so the baseline stays
-            // geometrically sane: offsets are clamped to a fraction of the
-            // neighborhood radius.
-            let offset = Point3::new(
-                out[0].clamp(-0.25, 0.25),
-                out[1].clamp(-0.25, 0.25),
-                out[2].clamp(-0.25, 0.25),
-            );
-            cloud.positions_mut()[idx] = center + offset * encoded.radius;
-        }
+        let refiner = ClampedNnRefiner {
+            encoder: &self.encoder,
+            network,
+        };
+        let mut centers_scratch = Vec::new();
+        refine_in_place(
+            &refiner,
+            &mut cloud,
+            original_len,
+            &interp.neighborhoods,
+            low.positions(),
+            &mut centers_scratch,
+        );
         timings.refinement = t0.elapsed();
 
         Ok(SrResult {
@@ -166,6 +173,70 @@ impl YuzuUpsampler {
             lookup_stats: None,
             refiner_name: "yuzu-sr".to_string(),
         })
+    }
+}
+
+/// Yuzu's refinement step as a [`Refiner`]: one network pass per point with
+/// the output offset clamped so the (possibly untrained) baseline stays
+/// geometrically sane.
+struct ClampedNnRefiner<'a> {
+    encoder: &'a PositionEncoder,
+    network: &'a Mlp,
+}
+
+impl Refiner for ClampedNnRefiner<'_> {
+    fn name(&self) -> &str {
+        "yuzu-sr"
+    }
+
+    fn refine_batch(
+        &self,
+        centers: &[Point3],
+        neighborhoods: NeighborhoodsView<'_>,
+        source: &[Point3],
+        out: &mut [Point3],
+    ) {
+        let mut gather: Vec<Point3> = Vec::new();
+        let mut features: Vec<f32> = Vec::new();
+        let mut scratch = ForwardScratch::default();
+        for i in 0..centers.len() {
+            let center = centers[i];
+            let row = neighborhoods.row(i);
+            if row.is_empty() {
+                out[i] = center;
+                continue;
+            }
+            gather.clear();
+            gather.extend(row.iter().map(|&j| source[j as usize]));
+            let Ok(radius) = self
+                .encoder
+                .encode_features_into(center, &gather, &mut features)
+            else {
+                out[i] = center;
+                continue;
+            };
+            let o = self.network.forward_into(&features, &mut scratch);
+            // Bound the untrained network's output so the baseline stays
+            // geometrically sane: offsets are clamped to a fraction of the
+            // neighborhood radius.
+            let offset = Point3::new(
+                o[0].clamp(-0.25, 0.25),
+                o[1].clamp(-0.25, 0.25),
+                o[2].clamp(-0.25, 0.25),
+            );
+            out[i] = center + offset * radius;
+        }
+    }
+
+    fn cost(&self) -> RefinerCost {
+        RefinerCost {
+            lut_lookups_per_point: 0,
+            nn_flops_per_point: self.network.flops_per_inference(),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.network.parameter_count() * 4
     }
 }
 
@@ -209,7 +280,10 @@ mod tests {
         assert!(cover_sr < cover_low);
         let cd_low = metrics::chamfer_distance(&low, &gt);
         let cd_sr = metrics::chamfer_distance(&r.cloud, &gt);
-        assert!(cd_sr < cd_low * 2.0, "yuzu sr ({cd_sr}) should stay near the surface ({cd_low})");
+        assert!(
+            cd_sr < cd_low * 2.0,
+            "yuzu sr ({cd_sr}) should stay near the surface ({cd_low})"
+        );
     }
 
     #[test]

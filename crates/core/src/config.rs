@@ -52,7 +52,10 @@ impl Default for SrConfig {
 impl SrConfig {
     /// The paper's "K4d1" baseline: vanilla kNN interpolation without dilation.
     pub fn k4d1() -> Self {
-        Self { dilation: 1, ..Self::default() }
+        Self {
+            dilation: 1,
+            ..Self::default()
+        }
     }
 
     /// The paper's "K4d2" configuration: dilation 2.
@@ -125,11 +128,36 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        assert!(SrConfig { k: 0, ..SrConfig::default() }.validate().is_err());
-        assert!(SrConfig { dilation: 0, ..SrConfig::default() }.validate().is_err());
-        assert!(SrConfig { receptive_field: 1, ..SrConfig::default() }.validate().is_err());
-        assert!(SrConfig { bins: 1, ..SrConfig::default() }.validate().is_err());
-        assert!(SrConfig { bins: 1 << 17, ..SrConfig::default() }.validate().is_err());
+        assert!(SrConfig {
+            k: 0,
+            ..SrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SrConfig {
+            dilation: 0,
+            ..SrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SrConfig {
+            receptive_field: 1,
+            ..SrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SrConfig {
+            bins: 1,
+            ..SrConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SrConfig {
+            bins: 1 << 17,
+            ..SrConfig::default()
+        }
+        .validate()
+        .is_err());
         assert!(SrConfig::default().validate().is_ok());
     }
 

@@ -135,10 +135,8 @@ impl DeviceProfile {
     /// leaving `headroom_fraction` of the memory free for the rest of the
     /// client (renderer, OS, buffers).
     pub fn fits_in_memory(&self, bytes: u128, headroom_fraction: f64) -> bool {
-        let budget = self.memory_gib * (1.0 - headroom_fraction.clamp(0.0, 0.95))
-            * 1024.0
-            * 1024.0
-            * 1024.0;
+        let budget =
+            self.memory_gib * (1.0 - headroom_fraction.clamp(0.0, 0.95)) * 1024.0 * 1024.0 * 1024.0;
         (bytes as f64) <= budget
     }
 }
@@ -163,7 +161,9 @@ mod tests {
         }
         // GPU NN acceleration is relatively larger than its LUT acceleration,
         // which is what makes Yuzu viable on desktop but not on mobile.
-        assert!(desktop.scale_for(StageKind::NnInference) < desktop.scale_for(StageKind::LutLookup));
+        assert!(
+            desktop.scale_for(StageKind::NnInference) < desktop.scale_for(StageKind::LutLookup)
+        );
     }
 
     #[test]
@@ -172,7 +172,10 @@ mod tests {
         let host = Duration::from_millis(10);
         let scaled = pi.scale_duration(StageKind::Knn, host);
         assert!((scaled.as_secs_f64() - 0.010 * pi.parallel_scale).abs() < 1e-9);
-        assert_eq!(DeviceProfile::host().scale_duration(StageKind::Knn, host), host);
+        assert_eq!(
+            DeviceProfile::host().scale_duration(StageKind::Knn, host),
+            host
+        );
     }
 
     #[test]

@@ -132,16 +132,18 @@ impl PositionEncoder {
     /// Normalizes the neighborhood relative to the center (Eq. 3): returns
     /// the normalized points (center first) and the neighborhood radius `R`.
     /// All returned coordinates lie inside `[-1, 1]`.
+    ///
+    /// Normalization multiplies by the reciprocal radius (one `sqrt`, one
+    /// divide per neighborhood) — every encode path in this module uses the
+    /// exact same arithmetic so packed keys agree bit-for-bit between the
+    /// offline distillation and the batched runtime lookups.
     pub fn normalize(&self, center: Point3, neighbors: &[Point3]) -> (Vec<Point3>, f32) {
-        let radius = neighbors
-            .iter()
-            .map(|p| p.distance(center))
-            .fold(0.0f32, f32::max)
-            .max(f32::EPSILON);
+        let radius = Self::radius_of(center, neighbors);
+        let inv_radius = 1.0 / radius;
         let mut out = Vec::with_capacity(neighbors.len() + 1);
         out.push(Point3::ZERO);
         for &p in neighbors {
-            out.push((p - center) / radius);
+            out.push((p - center) * inv_radius);
         }
         (out, radius)
     }
@@ -149,14 +151,168 @@ impl PositionEncoder {
     /// Quantizes a normalized value in `[-1, 1]` into a bin index (Eq. 4).
     pub fn quantize_value(&self, v: f32) -> u16 {
         let b = f32::from(self.bins);
-        let q = ((v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (b - 1.0)).floor();
-        (q as u16).min(self.bins - 1)
+        // The scaled operand is non-negative, so the `as u16` truncation IS
+        // the floor of Eq. 4 — and unlike `.floor()` it compiles to a single
+        // cvttss2si instead of a libm call on baseline x86-64.
+        let q = ((v.clamp(-1.0, 1.0) + 1.0) / 2.0 * (b - 1.0)) as u16;
+        q.min(self.bins - 1)
     }
 
     /// Inverse of [`Self::quantize_value`]: the center of bin `q` in `[-1, 1]`.
     pub fn dequantize_value(&self, q: u16) -> f32 {
         let b = f32::from(self.bins);
         (f32::from(q.min(self.bins - 1)) + 0.5) / (b - 1.0) * 2.0 - 1.0
+    }
+
+    /// Neighborhood radius `R` (Eq. 3) without allocating: the largest
+    /// center-to-neighbor distance, floored at `f32::EPSILON`. One `sqrt`
+    /// over the max *squared* distance (`sqrt` is monotone and correctly
+    /// rounded, so this equals the max of the individual distances).
+    #[inline]
+    fn radius_of(center: Point3, neighbors: &[Point3]) -> f32 {
+        let max_sq = neighbors
+            .iter()
+            .map(|p| p.distance_squared(center))
+            .fold(0.0f32, f32::max);
+        max_sq.sqrt().max(f32::EPSILON)
+    }
+
+    /// Normalized receptive-field slot `i` (center first, then neighbors,
+    /// padded with the center's zero when the neighborhood is short).
+    #[inline]
+    fn normalized_slot(
+        center: Point3,
+        neighbors: &[Point3],
+        inv_radius: f32,
+        slot: usize,
+    ) -> Point3 {
+        if slot == 0 {
+            Point3::ZERO
+        } else {
+            match neighbors.get(slot - 1) {
+                Some(&p) => (p - center) * inv_radius,
+                None => Point3::ZERO,
+            }
+        }
+    }
+
+    /// Allocation-free variant of [`Self::encode`]: returns only the packed
+    /// key and the neighborhood radius. This is the hot path of batched LUT
+    /// refinement — it must not touch the heap.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when `neighbors` is empty.
+    pub fn encode_key(&self, center: Point3, neighbors: &[Point3]) -> Result<(u128, f32)> {
+        if neighbors.is_empty() {
+            return Err(Error::InvalidConfig(
+                "cannot encode a neighborhood with no neighbors".into(),
+            ));
+        }
+        let radius = Self::radius_of(center, neighbors);
+        let inv_radius = 1.0 / radius;
+        let bits = bits_for(usize::from(self.bins)) as u32;
+        let mut key: u128 = 0;
+        for slot in 0..self.receptive_field {
+            let p = Self::normalized_slot(center, neighbors, inv_radius, slot);
+            match self.scheme {
+                KeyScheme::Full => {
+                    key = (key << bits) | u128::from(self.quantize_value(p.x));
+                    key = (key << bits) | u128::from(self.quantize_value(p.y));
+                    key = (key << bits) | u128::from(self.quantize_value(p.z));
+                }
+                KeyScheme::Compact => {
+                    key = (key << bits) | u128::from(self.compact_code(p));
+                }
+            }
+        }
+        Ok((key, radius))
+    }
+
+    /// Indexed variant of [`Self::encode_key`]: neighbors are given as CSR
+    /// row indices into `source`, avoiding even the gather copy. This is
+    /// the innermost loop of batched LUT refinement.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when `row` is empty.
+    ///
+    /// # Panics
+    /// Panics when an index in `row` is out of bounds for `source`.
+    pub fn encode_key_indexed(
+        &self,
+        center: Point3,
+        row: &[u32],
+        source: &[Point3],
+    ) -> Result<(u128, f32)> {
+        if row.is_empty() {
+            return Err(Error::InvalidConfig(
+                "cannot encode a neighborhood with no neighbors".into(),
+            ));
+        }
+        let mut max_sq = 0.0f32;
+        for &j in row {
+            max_sq = max_sq.max(source[j as usize].distance_squared(center));
+        }
+        let radius = max_sq.sqrt().max(f32::EPSILON);
+        let inv_radius = 1.0 / radius;
+        let bits = bits_for(usize::from(self.bins)) as u32;
+        let mut key: u128 = 0;
+        for slot in 0..self.receptive_field {
+            let p = if slot == 0 {
+                Point3::ZERO
+            } else {
+                match row.get(slot - 1) {
+                    Some(&j) => (source[j as usize] - center) * inv_radius,
+                    None => Point3::ZERO,
+                }
+            };
+            match self.scheme {
+                KeyScheme::Full => {
+                    // Pack the slot's three values in a u64 word first: one
+                    // wide (u128) shift per slot instead of three. u64 holds
+                    // any valid slot word (bits <= 16, so 3*bits <= 48) and
+                    // the resulting key is bit-identical to [`Self::encode`]'s.
+                    let word = (u64::from(self.quantize_value(p.x)) << (2 * bits))
+                        | (u64::from(self.quantize_value(p.y)) << bits)
+                        | u64::from(self.quantize_value(p.z));
+                    key = (key << (3 * bits)) | u128::from(word);
+                }
+                KeyScheme::Compact => {
+                    key = (key << bits) | u128::from(self.compact_code(p));
+                }
+            }
+        }
+        Ok((key, radius))
+    }
+
+    /// Allocation-free variant of [`Self::encode`] + [`Self::features`]:
+    /// writes the dequantized feature vector into `features` (cleared and
+    /// reused) and returns the neighborhood radius. Used by the batched NN
+    /// refinement path.
+    ///
+    /// # Errors
+    /// Returns [`Error::InvalidConfig`] when `neighbors` is empty.
+    pub fn encode_features_into(
+        &self,
+        center: Point3,
+        neighbors: &[Point3],
+        features: &mut Vec<f32>,
+    ) -> Result<f32> {
+        if neighbors.is_empty() {
+            return Err(Error::InvalidConfig(
+                "cannot encode a neighborhood with no neighbors".into(),
+            ));
+        }
+        let radius = Self::radius_of(center, neighbors);
+        let inv_radius = 1.0 / radius;
+        features.clear();
+        features.reserve(self.receptive_field * 3);
+        for slot in 0..self.receptive_field {
+            let p = Self::normalized_slot(center, neighbors, inv_radius, slot);
+            features.push(self.dequantize_value(self.quantize_value(p.x)));
+            features.push(self.dequantize_value(self.quantize_value(p.y)));
+            features.push(self.dequantize_value(self.quantize_value(p.z)));
+        }
+        Ok(radius)
     }
 
     /// Encodes a neighborhood into a lookup key.
@@ -210,7 +366,11 @@ impl PositionEncoder {
             }
         };
 
-        Ok(EncodedNeighborhood { key, indices, radius })
+        Ok(EncodedNeighborhood {
+            key,
+            indices,
+            radius,
+        })
     }
 
     /// Dequantized feature vector (length `n × 3`, values in `[-1, 1]`) for a
@@ -218,7 +378,11 @@ impl PositionEncoder {
     /// refinement network both at training and at distillation time, so that
     /// the network sees exactly what the LUT can index.
     pub fn features(&self, encoded: &EncodedNeighborhood) -> Vec<f32> {
-        encoded.indices.iter().map(|&q| self.dequantize_value(q)).collect()
+        encoded
+            .indices
+            .iter()
+            .map(|&q| self.dequantize_value(q))
+            .collect()
     }
 
     /// Re-derives the lookup key from a dequantized feature vector (as
@@ -379,7 +543,11 @@ mod tests {
     #[test]
     fn rejects_configs_whose_keys_overflow() {
         // Full scheme with n = 8, b = 65536 would need 8*3*16 = 384 bits.
-        let cfg = SrConfig { receptive_field: 8, bins: 65_536, ..SrConfig::default() };
+        let cfg = SrConfig {
+            receptive_field: 8,
+            bins: 65_536,
+            ..SrConfig::default()
+        };
         assert!(PositionEncoder::new(&cfg, KeyScheme::Full).is_err());
         // Compact scheme with the same config fits (8 * 16 = 128 bits).
         assert!(PositionEncoder::new(&cfg, KeyScheme::Compact).is_ok());
@@ -426,7 +594,9 @@ mod tests {
         let center = Point3::ZERO;
         let one = enc.encode(center, &[Point3::new(1.0, 0.0, 0.0)]).unwrap();
         assert_eq!(one.indices.len(), 4 * 3);
-        let many: Vec<Point3> = (0..10).map(|i| Point3::new(i as f32 + 1.0, 0.0, 0.0)).collect();
+        let many: Vec<Point3> = (0..10)
+            .map(|i| Point3::new(i as f32 + 1.0, 0.0, 0.0))
+            .collect();
         let truncated = enc.encode(center, &many).unwrap();
         assert_eq!(truncated.indices.len(), 4 * 3);
         assert!(enc.encode(center, &[]).is_err());
@@ -436,7 +606,10 @@ mod tests {
     fn features_have_expected_length_and_range() {
         let enc = encoder(KeyScheme::Full);
         let e = enc
-            .encode(Point3::ZERO, &[Point3::new(0.5, -0.25, 1.0), Point3::new(-1.0, 0.0, 0.3)])
+            .encode(
+                Point3::ZERO,
+                &[Point3::new(0.5, -0.25, 1.0), Point3::new(-1.0, 0.0, 0.3)],
+            )
             .unwrap();
         let f = enc.features(&e);
         assert_eq!(f.len(), 12);
@@ -444,13 +617,86 @@ mod tests {
     }
 
     #[test]
+    fn alloc_free_paths_match_encode() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for scheme in [KeyScheme::Full, KeyScheme::Compact] {
+            let enc = encoder(scheme);
+            let mut features = Vec::new();
+            for neighbors_len in 1..6 {
+                let center = Point3::new(
+                    rng.random_range(-5.0f32..5.0),
+                    rng.random_range(-5.0f32..5.0),
+                    rng.random_range(-5.0f32..5.0),
+                );
+                let neighbors: Vec<Point3> = (0..neighbors_len)
+                    .map(|_| {
+                        center
+                            + Point3::new(
+                                rng.random_range(-0.4f32..0.4),
+                                rng.random_range(-0.4f32..0.4),
+                                rng.random_range(-0.4f32..0.4),
+                            )
+                    })
+                    .collect();
+                let reference = enc.encode(center, &neighbors).unwrap();
+                let (key, radius) = enc.encode_key(center, &neighbors).unwrap();
+                assert_eq!(key, reference.key);
+                assert_eq!(radius, reference.radius);
+                // Indexed path over an identity row must agree exactly.
+                let row: Vec<u32> = (0..neighbors.len() as u32).collect();
+                let (ikey, iradius) = enc.encode_key_indexed(center, &row, &neighbors).unwrap();
+                assert_eq!(ikey, reference.key);
+                assert_eq!(iradius, reference.radius);
+                // Wide-bin configs exercise slot words beyond 32 bits (the
+                // key would silently truncate if packed in u32).
+                let wide = SrConfig {
+                    receptive_field: 2,
+                    bins: 4096,
+                    ..SrConfig::default()
+                };
+                let wide_enc = PositionEncoder::new(&wide, scheme).unwrap();
+                let wide_ref = wide_enc.encode(center, &neighbors).unwrap();
+                let (wk, _) = wide_enc.encode_key(center, &neighbors).unwrap();
+                let (wik, _) = wide_enc
+                    .encode_key_indexed(center, &row, &neighbors)
+                    .unwrap();
+                assert_eq!(wk, wide_ref.key, "wide-bin encode_key diverged");
+                assert_eq!(wik, wide_ref.key, "wide-bin encode_key_indexed diverged");
+                let r2 = enc
+                    .encode_features_into(center, &neighbors, &mut features)
+                    .unwrap();
+                assert_eq!(r2, reference.radius);
+                assert_eq!(features, enc.features(&reference));
+            }
+            assert!(enc.encode_key(Point3::ZERO, &[]).is_err());
+            assert!(enc
+                .encode_features_into(Point3::ZERO, &[], &mut features)
+                .is_err());
+        }
+    }
+
+    #[test]
     fn compact_scheme_produces_distinct_keys_for_distinct_shapes() {
         let enc = encoder(KeyScheme::Compact);
         let a = enc
-            .encode(Point3::ZERO, &[Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0), Point3::new(0.0, 0.0, 1.0)])
+            .encode(
+                Point3::ZERO,
+                &[
+                    Point3::new(1.0, 0.0, 0.0),
+                    Point3::new(0.0, 1.0, 0.0),
+                    Point3::new(0.0, 0.0, 1.0),
+                ],
+            )
             .unwrap();
         let b = enc
-            .encode(Point3::ZERO, &[Point3::new(-1.0, 0.0, 0.0), Point3::new(0.0, -1.0, 0.0), Point3::new(0.0, 0.0, -1.0)])
+            .encode(
+                Point3::ZERO,
+                &[
+                    Point3::new(-1.0, 0.0, 0.0),
+                    Point3::new(0.0, -1.0, 0.0),
+                    Point3::new(0.0, 0.0, -1.0),
+                ],
+            )
             .unwrap();
         assert_ne!(a.key, b.key);
         assert!(a.key < enc.key_space());

@@ -30,8 +30,13 @@ impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            Error::InvalidRatio(r) => write!(f, "invalid upsampling ratio {r}; must be >= 1.0 and finite"),
-            Error::InsufficientPoints { required, available } => {
+            Error::InvalidRatio(r) => {
+                write!(f, "invalid upsampling ratio {r}; must be >= 1.0 and finite")
+            }
+            Error::InsufficientPoints {
+                required,
+                available,
+            } => {
                 write!(f, "operation requires at least {required} points but only {available} are available")
             }
             Error::LutFormat(msg) => write!(f, "malformed lut data: {msg}"),
@@ -73,7 +78,10 @@ mod tests {
         let errs = vec![
             Error::InvalidConfig("k must be >= 1".into()),
             Error::InvalidRatio(0.5),
-            Error::InsufficientPoints { required: 4, available: 1 },
+            Error::InsufficientPoints {
+                required: 4,
+                available: 1,
+            },
             Error::LutFormat("bad magic".into()),
             Error::Training("empty training set".into()),
         ];

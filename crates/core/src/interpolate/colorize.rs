@@ -2,48 +2,57 @@
 //!
 //! New points inherit the color of the nearest *original* point, reusing the
 //! spatial relationships already computed during geometric interpolation so
-//! that no additional neighbor searches are required.
+//! that no additional neighbor searches are required. The per-point color
+//! assignment is embarrassingly parallel and runs across worker threads
+//! when the `parallel` feature is enabled.
 
-use volut_pointcloud::{Color, PointCloud};
+use volut_pointcloud::{par, Color, NeighborhoodsView, PointCloud};
 
 /// Assigns colors to the newly generated points of `cloud`.
 ///
 /// * `cloud` — the upsampled cloud (original points at `0..original_len`,
 ///   new points after that); modified in place.
 /// * `low` — the original low-resolution cloud that carries source colors.
-/// * `neighborhoods[i]` — nearest original-point indices (closest first) of
-///   new point `original_len + i`.
+/// * `neighborhoods.row(i)` — nearest original-point indices (closest first)
+///   of new point `original_len + i`.
 /// * `parents[i]` — the two parent indices of new point `original_len + i`,
-///   used as a fallback when the neighborhood list is empty.
+///   used as a fallback when the neighborhood row is empty.
 ///
 /// When `low` has no colors this is a no-op.
 pub fn colorize_new_points(
     cloud: &mut PointCloud,
     low: &PointCloud,
     original_len: usize,
-    neighborhoods: &[Vec<usize>],
+    neighborhoods: NeighborhoodsView<'_>,
     parents: &[(usize, usize)],
 ) {
     let Some(low_colors) = low.colors() else {
         return;
     };
-    let new_count = cloud.len() - original_len;
-    let mut colors: Vec<Color> = Vec::with_capacity(cloud.len());
-    // Original points keep their colors.
-    if let Some(existing) = cloud.colors() {
-        colors.extend_from_slice(&existing[..original_len]);
-    } else {
-        colors.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
-        colors.resize(original_len, Color::BLACK);
-    }
-    for i in 0..new_count {
-        let pos = cloud.position(original_len + i);
-        // Candidate sources: neighborhood head (already distance-ordered),
-        // falling back to the closer of the two parents.
-        let source = neighborhoods
-            .get(i)
-            .and_then(|h| h.first().copied())
-            .or_else(|| {
+    // Mutate the cloud's existing color storage in place: no position clone,
+    // and when the cloud is already colored (the usual case — `low.clone()`
+    // seeds it) the allocation is reused rather than rebuilt per frame.
+    let mut colors = cloud.take_colors().unwrap_or_else(|| {
+        let mut seeded: Vec<Color> = Vec::with_capacity(cloud.len());
+        seeded.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
+        seeded.resize(original_len, Color::BLACK);
+        seeded
+    });
+    colors.truncate(original_len);
+    colors.resize(cloud.len(), Color::BLACK);
+    {
+        let positions = cloud.positions();
+        let new_colors = &mut colors[original_len..];
+        par::fill_with(new_colors, 8_192, |i| {
+            let pos = positions[original_len + i];
+            // Candidate sources: neighborhood head (already distance-ordered),
+            // falling back to the closer of the two parents.
+            let head = if i < neighborhoods.len() {
+                neighborhoods.row(i).first().map(|&j| j as usize)
+            } else {
+                None
+            };
+            let source = head.or_else(|| {
                 parents.get(i).map(|&(a, b)| {
                     let da = low.position(a).distance_squared(pos);
                     let db = low.position(b).distance_squared(pos);
@@ -54,15 +63,14 @@ pub fn colorize_new_points(
                     }
                 })
             });
-        let color = source
-            .and_then(|s| low_colors.get(s).copied())
-            .unwrap_or(Color::BLACK);
-        colors.push(color);
+            source
+                .and_then(|s| low_colors.get(s).copied())
+                .unwrap_or(Color::BLACK)
+        });
     }
-    // Rebuild the cloud with the complete color array.
-    let positions = cloud.positions().to_vec();
-    *cloud = PointCloud::from_positions_and_colors(positions, colors)
-        .expect("positions and colors have equal length by construction");
+    cloud
+        .set_colors(colors)
+        .expect("color array sized to the point count by construction");
 }
 
 /// Blended variant: averages the colors of the two parents instead of
@@ -78,13 +86,13 @@ pub fn colorize_blend_parents(
         return;
     };
     let new_count = cloud.len() - original_len;
-    let mut colors: Vec<Color> = Vec::with_capacity(cloud.len());
-    if let Some(existing) = cloud.colors() {
-        colors.extend_from_slice(&existing[..original_len]);
-    } else {
-        colors.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
-        colors.resize(original_len, Color::BLACK);
-    }
+    let mut colors = cloud.take_colors().unwrap_or_else(|| {
+        let mut seeded: Vec<Color> = Vec::with_capacity(cloud.len());
+        seeded.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
+        seeded.resize(original_len, Color::BLACK);
+        seeded
+    });
+    colors.truncate(original_len);
     for i in 0..new_count {
         let c = parents
             .get(i)
@@ -92,15 +100,19 @@ pub fn colorize_blend_parents(
             .unwrap_or(Color::BLACK);
         colors.push(c);
     }
-    let positions = cloud.positions().to_vec();
-    *cloud = PointCloud::from_positions_and_colors(positions, colors)
-        .expect("positions and colors have equal length by construction");
+    cloud
+        .set_colors(colors)
+        .expect("color array sized to the point count by construction");
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use volut_pointcloud::Point3;
+    use volut_pointcloud::{Neighborhoods, Point3};
+
+    fn csr(rows: &[Vec<usize>]) -> Neighborhoods {
+        Neighborhoods::from_nested(&rows.to_vec())
+    }
 
     fn two_point_cloud() -> PointCloud {
         PointCloud::from_positions_and_colors(
@@ -116,7 +128,8 @@ mod tests {
         let mut up = low.clone();
         // New point close to the first original point.
         up.push(Point3::new(0.4, 0.0, 0.0), None);
-        colorize_new_points(&mut up, &low, 2, &[vec![0, 1]], &[(0, 1)]);
+        let hoods = csr(&[vec![0, 1]]);
+        colorize_new_points(&mut up, &low, 2, hoods.view(), &[(0, 1)]);
         assert_eq!(up.color(2), Some(Color::new(255, 0, 0)));
     }
 
@@ -126,7 +139,8 @@ mod tests {
         let mut up = low.clone();
         up.push(Point3::new(1.8, 0.0, 0.0), None);
         // Empty neighborhood forces the parent fallback; parent 1 is closer.
-        colorize_new_points(&mut up, &low, 2, &[vec![]], &[(0, 1)]);
+        let hoods = csr(&[vec![]]);
+        colorize_new_points(&mut up, &low, 2, hoods.view(), &[(0, 1)]);
         assert_eq!(up.color(2), Some(Color::new(0, 0, 255)));
     }
 
@@ -135,7 +149,8 @@ mod tests {
         let low = PointCloud::from_positions(vec![Point3::ZERO, Point3::ONE]);
         let mut up = low.clone();
         up.push(Point3::splat(0.5), None);
-        colorize_new_points(&mut up, &low, 2, &[vec![0]], &[(0, 1)]);
+        let hoods = csr(&[vec![0]]);
+        colorize_new_points(&mut up, &low, 2, hoods.view(), &[(0, 1)]);
         assert!(!up.has_colors());
     }
 
@@ -155,8 +170,32 @@ mod tests {
         let low = two_point_cloud();
         let mut up = low.clone();
         up.push(Point3::splat(0.1), None);
-        colorize_new_points(&mut up, &low, 2, &[vec![1]], &[(0, 1)]);
+        let hoods = csr(&[vec![1]]);
+        colorize_new_points(&mut up, &low, 2, hoods.view(), &[(0, 1)]);
         assert_eq!(up.color(0), Some(Color::new(255, 0, 0)));
         assert_eq!(up.color(1), Some(Color::new(0, 0, 255)));
+    }
+
+    #[test]
+    fn large_batch_is_colored_consistently() {
+        // Exercise the parallel fill path with enough points for chunking.
+        let n = 1000;
+        let low = PointCloud::from_positions_and_colors(
+            (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect(),
+            (0..n).map(|i| Color::new((i % 256) as u8, 0, 0)).collect(),
+        )
+        .unwrap();
+        let mut up = low.clone();
+        let mut hoods = Neighborhoods::new();
+        let mut parents = Vec::new();
+        for i in 0..n {
+            up.push(Point3::new(i as f32 + 0.1, 0.0, 0.0), None);
+            hoods.push_row([i].into_iter());
+            parents.push((i, (i + 1) % n));
+        }
+        colorize_new_points(&mut up, &low, n, hoods.view(), &parents);
+        for i in 0..n {
+            assert_eq!(up.color(n + i), Some(Color::new((i % 256) as u8, 0, 0)));
+        }
     }
 }

@@ -13,9 +13,18 @@
 //! * derives each new point's neighborhood via neighbor-relationship reuse
 //!   (Eq. 2 / [`super::reuse::merge_and_prune`]);
 //! * runs the per-point work in parallel across CPU threads (the stand-in
-//!   for the paper's CUDA kernels).
+//!   for the paper's CUDA kernels), storing all neighbor lists in flat CSR
+//!   [`Neighborhoods`] buffers that the caller's
+//!   [`super::FrameScratch`] recycles across frames.
+//!
+//! Interpolation partners are drawn from a small RNG seeded per *source
+//! point* (`config.seed ^ point index`), so the output is bit-identical
+//! regardless of worker count — with or without the `parallel` feature.
 
-use super::{colorize, distribute_new_points, InterpolationResult, InterpolationTimings, OpCounts};
+use super::{
+    colorize, distribute_new_points_into, FrameScratch, InterpolationResult, InterpolationTimings,
+    OpCounts,
+};
 use crate::config::SrConfig;
 use crate::error::Error;
 use crate::Result;
@@ -24,19 +33,19 @@ use rand::rngs::StdRng;
 use std::time::Instant;
 use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::knn::NeighborSearch;
-use volut_pointcloud::{Point3, PointCloud};
+use volut_pointcloud::{par, Neighborhoods, Point3, PointCloud};
 
-/// Per-source-point output of the parallel interpolation phase.
-#[derive(Debug, Default, Clone)]
+/// Per-chunk output of the parallel interpolation phase.
+#[derive(Debug, Default)]
 struct PartialOutput {
     new_points: Vec<Point3>,
     parents: Vec<(usize, usize)>,
-    neighborhoods: Vec<Vec<usize>>,
+    neighborhoods: Neighborhoods,
     ops: OpCounts,
 }
 
 /// Upsamples `low` to roughly `ratio ×` its point count using dilated
-/// interpolation with octree-accelerated kNN and neighbor reuse.
+/// interpolation with neighbor reuse.
 ///
 /// # Errors
 /// Returns an error when the configuration or ratio is invalid, or when the
@@ -60,171 +69,156 @@ pub fn dilated_interpolate(
     config: &SrConfig,
     ratio: f64,
 ) -> Result<InterpolationResult> {
+    dilated_interpolate_with(low, config, ratio, &mut FrameScratch::new())
+}
+
+/// [`dilated_interpolate`] with caller-provided scratch buffers (reused
+/// across frames of a streaming session).
+///
+/// # Errors
+/// Same as [`dilated_interpolate`].
+pub fn dilated_interpolate_with(
+    low: &PointCloud,
+    config: &SrConfig,
+    ratio: f64,
+    scratch: &mut FrameScratch,
+) -> Result<InterpolationResult> {
     config.validate()?;
     config.validate_ratio(ratio)?;
     if low.len() < 2 {
-        return Err(Error::InsufficientPoints { required: 2, available: low.len() });
+        return Err(Error::InsufficientPoints {
+            required: 2,
+            available: low.len(),
+        });
     }
 
     let mut timings = InterpolationTimings::default();
+    let positions = low.positions();
+    let dilated_k = config.dilated_neighborhood();
 
-    // --- kNN stage: one dilated query per original point. -----------------
+    // Workload-scaled chunking shared by both parallel phases.
+    let workers = par::worker_count(low.len(), 2_000);
+    let chunk = low.len().div_ceil(workers).max(1);
+
+    // --- kNN stage: one dilated query per original point (parallel). ------
     let t0 = Instant::now();
     // The paper's CUDA client batches these queries over the two-layer
     // octree's leaf cells; on CPU the k-d tree answers the same queries
     // faster (see the `knn_backends` bench), so it backs the per-point
     // search while the octree remains available as a library component.
-    let kdtree = KdTree::build(low.positions());
-    let dilated_k = config.dilated_neighborhood();
-    let counts = distribute_new_points(low.len(), ratio);
-    let positions = low.positions();
-
-    // Scale worker count with the workload: spawning a full complement of
-    // threads for a few thousand points costs more than it saves.
-    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-    let threads = available.min(low.len() / 2_000 + 1).max(1);
-    let chunk = low.len().div_ceil(threads).max(1);
-
-    // Phase 1: dilated neighbor lists for every original point (parallel).
-    let mut dilated_neighbors: Vec<Vec<usize>> = Vec::with_capacity(low.len());
-    {
-        let mut partials: Vec<Vec<Vec<usize>>> = vec![Vec::new(); threads];
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for (t, slot) in partials.iter_mut().enumerate() {
-                let kdtree = &kdtree;
-                let start = t * chunk;
-                let end = ((t + 1) * chunk).min(positions.len());
-                handles.push(scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(end.saturating_sub(start));
-                    for i in start..end.max(start) {
-                        let p = positions[i];
-                        let nn = kdtree.knn(p, dilated_k + 1);
-                        local.push(
-                            nn.into_iter()
-                                .map(|n| n.index)
-                                .filter(|&j| j != i)
-                                .take(dilated_k)
-                                .collect::<Vec<usize>>(),
-                        );
-                    }
-                    *slot = local;
-                }));
-            }
-            for h in handles {
-                h.join().expect("interpolation worker panicked");
-            }
-        })
-        .expect("crossbeam scope failed");
-        for mut part in partials {
-            dilated_neighbors.append(&mut part);
+    let kdtree = KdTree::build(positions);
+    let partial_dilated = par::map_chunks(low.len(), chunk, |_, range| {
+        let mut local = Neighborhoods::with_capacity(range.len(), range.len() * dilated_k);
+        for i in range {
+            let p = positions[i];
+            let nn = kdtree.knn(p, dilated_k + 1);
+            local.push_row(
+                nn.into_iter()
+                    .map(|n| n.index)
+                    .filter(|&j| j != i)
+                    .take(dilated_k),
+            );
         }
+        local
+    });
+    scratch.dilated.clear();
+    for part in &partial_dilated {
+        scratch.dilated.append(part);
     }
     timings.knn += t0.elapsed();
 
-    let knn_ops = OpCounts {
+    let mut ops = OpCounts {
         knn_queries: low.len() as u64,
-        candidates_examined: dilated_neighbors.iter().map(|v| v.len() as u64 * 4).sum(),
+        candidates_examined: scratch.dilated.total_indices() as u64 * 4,
         points_generated: 0,
         reused_neighborhoods: 0,
     };
 
     // --- Interpolation stage: generate midpoints in parallel. -------------
     let t1 = Instant::now();
-    let mut partials: Vec<PartialOutput> = vec![PartialOutput::default(); threads];
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for (t, slot) in partials.iter_mut().enumerate() {
-            let counts = &counts;
-            let dilated_neighbors = &dilated_neighbors;
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(positions.len());
-            let cfg = *config;
-            handles.push(scope.spawn(move |_| {
-                let mut out = PartialOutput::default();
-                let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(t as u64));
-                for i in start..end.max(start) {
-                    let count = counts[i];
-                    if count == 0 {
-                        continue;
-                    }
-                    let hood = &dilated_neighbors[i];
-                    if hood.is_empty() {
-                        continue;
-                    }
-                    let p = positions[i];
-                    // The k-nearest subset (head of the dilated list) serves
-                    // as this point's own neighbor list for reuse.
-                    let np: Vec<usize> = hood.iter().copied().take(cfg.k).collect();
-                    // Random subset S_i of the dilated neighborhood, one
-                    // partner per generated point.
-                    for _ in 0..count {
-                        let j = hood[rng.random_range(0..hood.len())];
-                        let q = positions[j];
-                        let new_point = p.midpoint(q);
-                        let neighborhood = if cfg.reuse_neighbors {
-                            out.ops.reused_neighborhoods += 1;
-                            let nq: Vec<usize> = dilated_neighbors[j]
-                                .iter()
-                                .copied()
-                                .take(cfg.k)
-                                .collect();
-                            super::reuse::merge_and_prune(new_point, &np, &nq, positions, cfg.k)
-                        } else {
-                            out.ops.knn_queries += 1;
-                            // Exact query against the octree (no reuse ablation).
-                            // Note: executed inside the parallel region, so it
-                            // still benefits from octree pruning.
-                            vec![]
-                        };
-                        out.new_points.push(new_point);
-                        out.parents.push((i, j));
-                        out.neighborhoods.push(neighborhood);
-                        out.ops.points_generated += 1;
-                    }
+    distribute_new_points_into(low.len(), ratio, &mut scratch.counts);
+    let counts = &scratch.counts;
+    let dilated = &scratch.dilated;
+    let cfg = *config;
+    let partials: Vec<PartialOutput> = par::map_chunks(low.len(), chunk, |_, range| {
+        let mut out = PartialOutput::default();
+        for i in range {
+            let count = counts[i];
+            if count == 0 {
+                continue;
+            }
+            let hood = dilated.row(i);
+            if hood.is_empty() {
+                continue;
+            }
+            let p = positions[i];
+            // Seeding per source point keeps the draw sequence independent
+            // of how the range is chunked across workers.
+            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
+            // Random subset S_i of the dilated neighborhood, one partner
+            // per generated point.
+            for _ in 0..count {
+                let j = hood[rng.random_range(0..hood.len())] as usize;
+                let q = positions[j];
+                let new_point = p.midpoint(q);
+                if cfg.reuse_neighbors {
+                    out.ops.reused_neighborhoods += 1;
+                    // The k-nearest subsets (heads of the dilated lists)
+                    // serve as the parents' neighbor lists for reuse (Eq. 2).
+                    let np = &hood[..hood.len().min(cfg.k)];
+                    let nq_full = dilated.row(j);
+                    let nq = &nq_full[..nq_full.len().min(cfg.k)];
+                    super::reuse::merge_and_prune_into(
+                        new_point,
+                        np,
+                        nq,
+                        positions,
+                        cfg.k,
+                        &mut out.neighborhoods,
+                    );
+                } else {
+                    // No-reuse ablation: the row is produced by an exact
+                    // query during the sequential merge below, so the
+                    // partial CSR stays empty here.
+                    out.ops.knn_queries += 1;
                 }
-                *slot = out;
-            }));
+                out.new_points.push(new_point);
+                out.parents.push((i, j));
+                out.ops.points_generated += 1;
+            }
         }
-        for h in handles {
-            h.join().expect("interpolation worker panicked");
-        }
-    })
-    .expect("crossbeam scope failed");
+        out
+    });
     timings.interpolation += t1.elapsed();
 
-    // When reuse is disabled, fill the neighborhoods with exact queries
-    // (sequential here; the ablation only cares about total cost).
-    let mut ops = knn_ops;
+    // --- Merge chunk outputs. ---------------------------------------------
     let mut cloud = low.clone();
     let mut parents = Vec::new();
-    let mut neighborhoods = Vec::new();
+    let mut neighborhoods = scratch.take_neighborhoods();
     for part in partials {
         ops = ops.combine(part.ops);
-        for ((np, parent), hood) in part
-            .new_points
-            .into_iter()
-            .zip(part.parents.into_iter())
-            .zip(part.neighborhoods.into_iter())
-        {
-            let hood = if hood.is_empty() && !config.reuse_neighbors {
+        if config.reuse_neighbors {
+            neighborhoods.append(&part.neighborhoods);
+        } else {
+            // Fill the no-reuse rows with exact queries (sequential here;
+            // the ablation only cares about total cost).
+            for &np in &part.new_points {
                 let t = Instant::now();
                 let nn = kdtree.knn(np, config.k);
                 timings.knn += t.elapsed();
                 ops.candidates_examined += config.k as u64 * 4;
-                nn.into_iter().map(|n| n.index).collect()
-            } else {
-                hood
-            };
+                neighborhoods.push_row(nn.into_iter().map(|n| n.index));
+            }
+        }
+        for (&np, &parent) in part.new_points.iter().zip(part.parents.iter()) {
             cloud.push(np, None);
             parents.push(parent);
-            neighborhoods.push(hood);
         }
     }
 
     // --- Colorization stage. ----------------------------------------------
     let t2 = Instant::now();
-    colorize::colorize_new_points(&mut cloud, low, low.len(), &neighborhoods, &parents);
+    colorize::colorize_new_points(&mut cloud, low, low.len(), neighborhoods.view(), &parents);
     timings.colorization += t2.elapsed();
 
     Ok(InterpolationResult {
@@ -247,7 +241,11 @@ mod tests {
         let low = synthetic::sphere(500, 1.0, 1);
         for ratio in [1.5, 2.0, 3.0, 4.0] {
             let out = dilated_interpolate(&low, &SrConfig::default(), ratio).unwrap();
-            assert_eq!(out.cloud.len(), (500.0 * ratio).round() as usize, "ratio {ratio}");
+            assert_eq!(
+                out.cloud.len(),
+                (500.0 * ratio).round() as usize,
+                "ratio {ratio}"
+            );
         }
     }
 
@@ -284,10 +282,10 @@ mod tests {
         let cfg = SrConfig::default();
         let out = dilated_interpolate(&low, &cfg, 2.0).unwrap();
         assert_eq!(out.neighborhoods.len(), out.new_points());
-        for hood in &out.neighborhoods {
+        for hood in out.neighborhoods.iter() {
             assert!(!hood.is_empty());
             assert!(hood.len() <= cfg.k);
-            assert!(hood.iter().all(|&i| i < low.len()));
+            assert!(hood.iter().all(|&i| (i as usize) < low.len()));
         }
         assert!(out.ops.reused_neighborhoods > 0);
     }
@@ -295,9 +293,13 @@ mod tests {
     #[test]
     fn reuse_disabled_still_produces_neighborhoods() {
         let low = synthetic::sphere(200, 1.0, 5);
-        let cfg = SrConfig { reuse_neighbors: false, ..SrConfig::default() };
+        let cfg = SrConfig {
+            reuse_neighbors: false,
+            ..SrConfig::default()
+        };
         let out = dilated_interpolate(&low, &cfg, 2.0).unwrap();
-        for hood in &out.neighborhoods {
+        assert_eq!(out.neighborhoods.len(), out.new_points());
+        for hood in out.neighborhoods.iter() {
             assert!(!hood.is_empty());
         }
         assert_eq!(out.ops.reused_neighborhoods, 0);
@@ -325,6 +327,22 @@ mod tests {
         let out = dilated_interpolate(&low, &SrConfig::default(), 2.0).unwrap();
         assert!(out.timings.total() > std::time::Duration::ZERO);
         assert_eq!(out.ops.knn_queries, 500);
+    }
+
+    #[test]
+    fn deterministic_and_scratch_independent() {
+        // Per-source-point RNG seeding makes the result independent of the
+        // worker count and of scratch reuse.
+        let low = synthetic::sphere(2500, 1.0, 11);
+        let a = dilated_interpolate(&low, &SrConfig::default(), 2.3).unwrap();
+        let mut scratch = FrameScratch::new();
+        let warmup =
+            dilated_interpolate_with(&low, &SrConfig::default(), 2.3, &mut scratch).unwrap();
+        scratch.recycle_neighborhoods(warmup.neighborhoods);
+        let b = dilated_interpolate_with(&low, &SrConfig::default(), 2.3, &mut scratch).unwrap();
+        assert_eq!(a.cloud, b.cloud);
+        assert_eq!(a.neighborhoods, b.neighborhoods);
+        assert_eq!(a.parents, b.parents);
     }
 
     #[test]

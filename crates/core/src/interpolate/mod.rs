@@ -1,31 +1,38 @@
 //! Stage one of the VoLUT pipeline: interpolation (§4.1).
 //!
-//! Two implementations are provided:
-//! * [`naive::naive_interpolate`] — the vanilla kNN midpoint interpolation
-//!   the paper uses as its baseline (`K4d1`, no dilation, no reuse, fresh
-//!   neighbor query per generated point);
-//! * [`dilated::dilated_interpolate`] — VoLUT's enhanced interpolation with
-//!   dilation (Eq. 1), a two-layer octree for spatial pruning, neighbor
-//!   relationship reuse (Eq. 2) and multi-threaded execution.
+//! Two implementations are provided behind the [`Interpolator`] trait:
+//! * [`NaiveInterpolator`] / [`naive::naive_interpolate`] — the vanilla kNN
+//!   midpoint interpolation the paper uses as its baseline (`K4d1`, no
+//!   dilation, no reuse, fresh neighbor query per generated point);
+//! * [`DilatedInterpolator`] / [`dilated::dilated_interpolate`] — VoLUT's
+//!   enhanced interpolation with dilation (Eq. 1), a two-layer octree for
+//!   spatial pruning, neighbor relationship reuse (Eq. 2) and
+//!   multi-threaded execution.
 //!
 //! Both return an [`InterpolationResult`] that carries the upsampled cloud,
-//! the parent/neighborhood bookkeeping that later stages reuse, and stage
-//! timings.
+//! the parent/neighborhood bookkeeping that later stages reuse (as a flat
+//! CSR [`Neighborhoods`] — one allocation for the whole frame instead of
+//! one per generated point), and stage timings. [`FrameScratch`] is the
+//! per-session arena: passing the same scratch to every `upsample` call of
+//! a streaming session lets the engine reuse the index and neighborhood
+//! buffers across frames.
 
 pub mod colorize;
 pub mod dilated;
 pub mod naive;
 pub mod reuse;
 
+use crate::config::SrConfig;
+use crate::Result;
 use std::time::Duration;
-use volut_pointcloud::PointCloud;
+use volut_pointcloud::{Neighborhoods, Point3, PointCloud};
 
 /// Output of an interpolation pass.
 ///
 /// The upsampled cloud stores the original points first (indices
 /// `0..original_len`) followed by the newly generated points; the
-/// `parents` and `neighborhoods` vectors are indexed by *new-point ordinal*
-/// (i.e. `cloud index - original_len`).
+/// `parents` and `neighborhoods` containers are indexed by *new-point
+/// ordinal* (i.e. `cloud index - original_len`).
 #[derive(Debug, Clone)]
 pub struct InterpolationResult {
     /// The upsampled cloud (original points followed by interpolated points).
@@ -36,9 +43,10 @@ pub struct InterpolationResult {
     /// points whose midpoint generated it.
     pub parents: Vec<(usize, usize)>,
     /// For each new point, the (approximate) `k` nearest original-point
-    /// indices ordered by increasing distance. Reused by colorization and by
-    /// the LUT refinement stage so no further kNN queries are needed.
-    pub neighborhoods: Vec<Vec<usize>>,
+    /// indices ordered by increasing distance, stored as one flat CSR
+    /// container. Reused by colorization and by the LUT refinement stage so
+    /// no further kNN queries (and no per-point allocations) are needed.
+    pub neighborhoods: Neighborhoods,
     /// Stage timings measured on the host.
     pub timings: InterpolationTimings,
     /// Operation counters used for reporting and cost modeling.
@@ -105,18 +113,134 @@ impl OpCounts {
     }
 }
 
+/// Reusable per-session buffers shared by the interpolation and refinement
+/// stages.
+///
+/// A streaming client upsamples tens of frames per second with near-identical
+/// point counts; allocating the neighborhood CSR, the dilated neighbor lists
+/// and the refinement center buffer from scratch every frame wastes both
+/// time and allocator locality. A `FrameScratch` owned by the session (see
+/// `volut_stream::client::SrSession`) is threaded through
+/// [`crate::SrPipeline::upsample_with`]; buffers grow to the steady-state
+/// size during the first frame and are reused afterwards.
+#[derive(Debug, Default)]
+pub struct FrameScratch {
+    /// Recycled CSR container handed to the interpolator each frame.
+    neighborhoods: Option<Neighborhoods>,
+    /// Recycled dilated-neighbor CSR (one row per *original* point).
+    pub(crate) dilated: Neighborhoods,
+    /// Per-source-point generation counts.
+    pub(crate) counts: Vec<usize>,
+    /// Copy of the pre-refinement generated tail (see
+    /// [`crate::refine::refine_in_place`]).
+    pub(crate) centers: Vec<Point3>,
+}
+
+impl FrameScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the recycled neighborhood container (cleared, allocation kept).
+    pub(crate) fn take_neighborhoods(&mut self) -> Neighborhoods {
+        match self.neighborhoods.take() {
+            Some(mut n) => {
+                n.clear();
+                n
+            }
+            None => Neighborhoods::new(),
+        }
+    }
+
+    /// Returns a neighborhood container for reuse by the next frame.
+    pub fn recycle_neighborhoods(&mut self, neighborhoods: Neighborhoods) {
+        self.neighborhoods = Some(neighborhoods);
+    }
+}
+
+/// A strategy for the interpolation stage, unifying the naive baseline and
+/// VoLUT's dilated interpolation behind [`crate::SrPipeline`].
+pub trait Interpolator: Send + Sync {
+    /// Short human-readable name used in reports.
+    fn name(&self) -> &'static str;
+
+    /// Upsamples `low` to roughly `ratio ×` its point count, reusing the
+    /// buffers in `scratch` where possible.
+    ///
+    /// # Errors
+    /// Returns an error when the configuration or ratio is invalid, or when
+    /// the input has fewer than two points.
+    fn interpolate(
+        &self,
+        low: &PointCloud,
+        config: &SrConfig,
+        ratio: f64,
+        scratch: &mut FrameScratch,
+    ) -> Result<InterpolationResult>;
+}
+
+/// Vanilla kNN midpoint interpolation (the paper's baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveInterpolator;
+
+impl Interpolator for NaiveInterpolator {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn interpolate(
+        &self,
+        low: &PointCloud,
+        config: &SrConfig,
+        ratio: f64,
+        scratch: &mut FrameScratch,
+    ) -> Result<InterpolationResult> {
+        naive::naive_interpolate_with(low, config, ratio, scratch)
+    }
+}
+
+/// VoLUT's dilated, reuse-enabled, data-parallel interpolation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DilatedInterpolator;
+
+impl Interpolator for DilatedInterpolator {
+    fn name(&self) -> &'static str {
+        "dilated"
+    }
+
+    fn interpolate(
+        &self,
+        low: &PointCloud,
+        config: &SrConfig,
+        ratio: f64,
+        scratch: &mut FrameScratch,
+    ) -> Result<InterpolationResult> {
+        dilated::dilated_interpolate_with(low, config, ratio, scratch)
+    }
+}
+
 /// Computes how many new points must be generated to reach `ratio`, and how
 /// they are distributed over the source points (round-robin, earlier points
-/// first). Returns a vector of per-source-point counts of length `n`.
-pub(crate) fn distribute_new_points(n: usize, ratio: f64) -> Vec<usize> {
+/// first). Fills `counts` (cleared first) with one entry per source point.
+pub(crate) fn distribute_new_points_into(n: usize, ratio: f64, counts: &mut Vec<usize>) {
+    counts.clear();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let target_total = (n as f64 * ratio).round() as usize;
     let new_total = target_total.saturating_sub(n);
     let base = new_total / n;
     let extra = new_total % n;
-    (0..n).map(|i| base + usize::from(i < extra)).collect()
+    counts.extend((0..n).map(|i| base + usize::from(i < extra)));
+}
+
+/// Allocating convenience wrapper around [`distribute_new_points_into`].
+#[cfg(test)]
+pub(crate) fn distribute_new_points(n: usize, ratio: f64) -> Vec<usize> {
+    let mut counts = Vec::new();
+    distribute_new_points_into(n, ratio, &mut counts);
+    counts
 }
 
 #[cfg(test)]
@@ -148,13 +272,62 @@ mod tests {
     }
 
     #[test]
+    fn distribution_into_reuses_buffer() {
+        let mut counts = vec![99; 3];
+        distribute_new_points_into(5, 2.0, &mut counts);
+        assert_eq!(counts.len(), 5);
+        assert_eq!(counts.iter().sum::<usize>(), 5);
+        distribute_new_points_into(0, 2.0, &mut counts);
+        assert!(counts.is_empty());
+    }
+
+    #[test]
     fn op_counts_combine() {
-        let a = OpCounts { knn_queries: 1, candidates_examined: 10, points_generated: 5, reused_neighborhoods: 2 };
-        let b = OpCounts { knn_queries: 2, candidates_examined: 20, points_generated: 1, reused_neighborhoods: 0 };
+        let a = OpCounts {
+            knn_queries: 1,
+            candidates_examined: 10,
+            points_generated: 5,
+            reused_neighborhoods: 2,
+        };
+        let b = OpCounts {
+            knn_queries: 2,
+            candidates_examined: 20,
+            points_generated: 1,
+            reused_neighborhoods: 0,
+        };
         let c = a.combine(b);
         assert_eq!(c.knn_queries, 3);
         assert_eq!(c.candidates_examined, 30);
         assert_eq!(c.points_generated, 6);
         assert_eq!(c.reused_neighborhoods, 2);
+    }
+
+    #[test]
+    fn frame_scratch_recycles_neighborhoods() {
+        let mut scratch = FrameScratch::new();
+        let mut n = scratch.take_neighborhoods();
+        n.push_row([1usize, 2].into_iter());
+        scratch.recycle_neighborhoods(n);
+        let n2 = scratch.take_neighborhoods();
+        assert!(n2.is_empty(), "recycled container must come back cleared");
+    }
+
+    #[test]
+    fn interpolator_objects_dispatch() {
+        use volut_pointcloud::synthetic;
+        let low = synthetic::sphere(200, 1.0, 3);
+        let mut scratch = FrameScratch::new();
+        let interpolators: Vec<Box<dyn Interpolator>> =
+            vec![Box::new(NaiveInterpolator), Box::new(DilatedInterpolator)];
+        for interp in &interpolators {
+            let cfg = if interp.name() == "naive" {
+                SrConfig::k4d1()
+            } else {
+                SrConfig::default()
+            };
+            let out = interp.interpolate(&low, &cfg, 2.0, &mut scratch).unwrap();
+            assert_eq!(out.cloud.len(), 400, "{}", interp.name());
+            assert_eq!(out.neighborhoods.len(), 200);
+        }
     }
 }

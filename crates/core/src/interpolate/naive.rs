@@ -5,9 +5,13 @@
 //! neighbors) and no neighbor relationships are reused. This reproduces both
 //! the quality artifacts (density patterns are reinforced, Figure 4) and the
 //! cost profile (≥70% of frame time, §4.1) that motivate VoLUT's enhanced
-//! interpolation.
+//! interpolation. Unlike the dilated path it stays single-threaded — the
+//! per-point query cost is the baseline being measured.
 
-use super::{colorize, distribute_new_points, InterpolationResult, InterpolationTimings, OpCounts};
+use super::{
+    colorize, distribute_new_points_into, FrameScratch, InterpolationResult, InterpolationTimings,
+    OpCounts,
+};
 use crate::config::SrConfig;
 use crate::error::Error;
 use crate::Result;
@@ -43,10 +47,27 @@ pub fn naive_interpolate(
     config: &SrConfig,
     ratio: f64,
 ) -> Result<InterpolationResult> {
+    naive_interpolate_with(low, config, ratio, &mut FrameScratch::new())
+}
+
+/// [`naive_interpolate`] with caller-provided scratch buffers (reused across
+/// frames of a streaming session).
+///
+/// # Errors
+/// Same as [`naive_interpolate`].
+pub fn naive_interpolate_with(
+    low: &PointCloud,
+    config: &SrConfig,
+    ratio: f64,
+    scratch: &mut FrameScratch,
+) -> Result<InterpolationResult> {
     config.validate()?;
     config.validate_ratio(ratio)?;
     if low.len() < 2 {
-        return Err(Error::InsufficientPoints { required: 2, available: low.len() });
+        return Err(Error::InsufficientPoints {
+            required: 2,
+            available: low.len(),
+        });
     }
 
     let mut ops = OpCounts::default();
@@ -58,14 +79,15 @@ pub fn naive_interpolate(
     let tree = KdTree::build(low.positions());
     timings.knn += t0.elapsed();
 
-    let counts = distribute_new_points(low.len(), ratio);
+    distribute_new_points_into(low.len(), ratio, &mut scratch.counts);
     let mut rng = StdRng::seed_from_u64(config.seed);
 
     let mut cloud = low.clone();
     let mut parents = Vec::new();
-    let mut neighborhoods = Vec::new();
+    let mut neighborhoods = scratch.take_neighborhoods();
 
-    for (i, &count) in counts.iter().enumerate() {
+    for i in 0..low.len() {
+        let count = scratch.counts[i];
         if count == 0 {
             continue;
         }
@@ -78,8 +100,11 @@ pub fn naive_interpolate(
         ops.knn_queries += 1;
         ops.candidates_examined += (low.len().min(64)) as u64;
         // Drop the self-match.
-        let neighbor_ids: Vec<usize> =
-            neighbors.iter().map(|n| n.index).filter(|&j| j != i).collect();
+        let neighbor_ids: Vec<usize> = neighbors
+            .iter()
+            .map(|n| n.index)
+            .filter(|&j| j != i)
+            .collect();
         if neighbor_ids.is_empty() {
             continue;
         }
@@ -96,17 +121,16 @@ pub fn naive_interpolate(
             ops.knn_queries += 1;
             ops.candidates_examined += (low.len().min(64)) as u64;
 
-            let hood: Vec<usize> = nn.iter().map(|n| n.index).collect();
             cloud.push(new_point, None);
             parents.push((i, j));
-            neighborhoods.push(hood);
+            neighborhoods.push_row(nn.iter().map(|n| n.index));
             ops.points_generated += 1;
         }
     }
 
     // Colorize the generated points from their nearest original point.
     let tc = Instant::now();
-    colorize::colorize_new_points(&mut cloud, low, low.len(), &neighborhoods, &parents);
+    colorize::colorize_new_points(&mut cloud, low, low.len(), neighborhoods.view(), &parents);
     timings.colorization += tc.elapsed();
 
     Ok(InterpolationResult {
@@ -166,9 +190,13 @@ mod tests {
     fn rejects_bad_inputs() {
         let low = synthetic::sphere(10, 1.0, 5);
         assert!(naive_interpolate(&low, &SrConfig::k4d1(), 0.5).is_err());
-        let tiny = volut_pointcloud::PointCloud::from_positions(vec![volut_pointcloud::Point3::ZERO]);
+        let tiny =
+            volut_pointcloud::PointCloud::from_positions(vec![volut_pointcloud::Point3::ZERO]);
         assert!(naive_interpolate(&tiny, &SrConfig::k4d1(), 2.0).is_err());
-        let bad_cfg = SrConfig { k: 0, ..SrConfig::default() };
+        let bad_cfg = SrConfig {
+            k: 0,
+            ..SrConfig::default()
+        };
         assert!(naive_interpolate(&low, &bad_cfg, 2.0).is_err());
     }
 
@@ -186,5 +214,19 @@ mod tests {
         let a = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
         let b = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
         assert_eq!(a.cloud, b.cloud);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let low = synthetic::sphere(150, 1.0, 8);
+        let fresh = naive_interpolate(&low, &SrConfig::k4d1(), 2.0).unwrap();
+        let mut scratch = FrameScratch::new();
+        // Run two frames through the same scratch; the second must be
+        // unaffected by buffers left over from the first.
+        let first = naive_interpolate_with(&low, &SrConfig::k4d1(), 2.0, &mut scratch).unwrap();
+        scratch.recycle_neighborhoods(first.neighborhoods);
+        let second = naive_interpolate_with(&low, &SrConfig::k4d1(), 2.0, &mut scratch).unwrap();
+        assert_eq!(second.cloud, fresh.cloud);
+        assert_eq!(second.neighborhoods, fresh.neighborhoods);
     }
 }

@@ -61,6 +61,53 @@ pub fn merge_and_prune(
     ranked.into_iter().map(|(_, i)| i).collect()
 }
 
+/// Allocation-free variant of [`merge_and_prune`] used by the batched
+/// interpolation hot path: candidates arrive as CSR `u32` rows and the
+/// pruned result is appended directly to `out` as a new row.
+///
+/// The merged candidate set is at most `2k` entries (the parents' `k`-head
+/// lists), so a fixed-capacity stack buffer replaces the heap allocations of
+/// the nested-`Vec` formulation. Results are identical to
+/// [`merge_and_prune`] for `k ≤ 32` (the pipeline's documented domain).
+///
+/// # Panics
+/// Debug-panics when `k > 32`; release builds truncate the candidate set.
+pub fn merge_and_prune_into(
+    p_new: Point3,
+    neighbors_p: &[u32],
+    neighbors_q: &[u32],
+    positions: &[Point3],
+    k: usize,
+    out: &mut volut_pointcloud::Neighborhoods,
+) {
+    debug_assert!(
+        k <= 32,
+        "receptive fields beyond k=32 are out of the supported domain"
+    );
+    if k == 0 {
+        out.push_row(std::iter::empty());
+        return;
+    }
+    // Merged candidates, deduplicated and ranked by (distance, index).
+    let mut ranked: [(f32, u32); 64] = [(f32::INFINITY, u32::MAX); 64];
+    let mut len = 0usize;
+    for &i in neighbors_p.iter().chain(neighbors_q.iter()) {
+        if (i as usize) >= positions.len() || len == ranked.len() {
+            continue;
+        }
+        if ranked[..len].iter().any(|&(_, j)| j == i) {
+            continue;
+        }
+        let d = positions[i as usize].distance_squared(p_new);
+        // Insertion sort: candidate sets are tiny (≤ 2k).
+        let pos = ranked[..len].partition_point(|&(rd, rj)| (rd, rj) < (d, i));
+        ranked.copy_within(pos..len, pos + 1);
+        ranked[pos] = (d, i);
+        len += 1;
+    }
+    out.push_row_u32_iter(ranked[..len.min(k)].iter().map(|&(_, i)| i));
+}
+
 /// Measures how well [`merge_and_prune`] approximates an exact kNN result:
 /// returns the recall (fraction of exact neighbors present in the
 /// approximation). Used by tests and the ablation benchmarks.
@@ -109,13 +156,23 @@ mod tests {
         let mut samples = 0;
         for i in (0..cloud.len()).step_by(101) {
             let p = cloud.position(i);
-            let np: Vec<usize> = tree.knn(p, k + 1).iter().map(|n| n.index).filter(|&j| j != i).collect();
+            let np: Vec<usize> = tree
+                .knn(p, k + 1)
+                .iter()
+                .map(|n| n.index)
+                .filter(|&j| j != i)
+                .collect();
             if np.is_empty() {
                 continue;
             }
             let j = np[0];
             let q = cloud.position(j);
-            let nq: Vec<usize> = tree.knn(q, k + 1).iter().map(|n| n.index).filter(|&x| x != j).collect();
+            let nq: Vec<usize> = tree
+                .knn(q, k + 1)
+                .iter()
+                .map(|n| n.index)
+                .filter(|&x| x != j)
+                .collect();
             let mid = p.midpoint(q);
             let approx = merge_and_prune(mid, &np, &nq, cloud.positions(), k);
             let exact: Vec<usize> = tree.knn(mid, k).iter().map(|n| n.index).collect();
@@ -124,6 +181,45 @@ mod tests {
         }
         let mean_recall = total_recall / samples as f64;
         assert!(mean_recall > 0.75, "mean recall too low: {mean_recall}");
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let cloud = synthetic::torus(800, 1.0, 0.3, 4);
+        let tree = KdTree::build(cloud.positions());
+        let k = 4;
+        let mut csr = volut_pointcloud::Neighborhoods::new();
+        let mut expected_rows = Vec::new();
+        for i in (0..cloud.len()).step_by(37) {
+            let p = cloud.position(i);
+            let np: Vec<usize> = tree
+                .knn(p, k + 1)
+                .iter()
+                .map(|n| n.index)
+                .filter(|&j| j != i)
+                .collect();
+            if np.is_empty() {
+                continue;
+            }
+            let j = np[0];
+            let nq: Vec<usize> = tree
+                .knn(cloud.position(j), k + 1)
+                .iter()
+                .map(|n| n.index)
+                .filter(|&x| x != j)
+                .collect();
+            let mid = p.midpoint(cloud.position(j));
+            expected_rows.push(merge_and_prune(mid, &np, &nq, cloud.positions(), k));
+            let np32: Vec<u32> = np.iter().map(|&v| v as u32).collect();
+            let nq32: Vec<u32> = nq.iter().map(|&v| v as u32).collect();
+            merge_and_prune_into(mid, &np32, &nq32, cloud.positions(), k, &mut csr);
+        }
+        assert_eq!(csr.to_nested(), expected_rows);
+        // k = 0 appends an empty row instead of skipping.
+        let before = csr.len();
+        merge_and_prune_into(Point3::ZERO, &[0], &[1], cloud.positions(), 0, &mut csr);
+        assert_eq!(csr.len(), before + 1);
+        assert!(csr.row(before).is_empty());
     }
 
     #[test]

@@ -34,7 +34,9 @@ impl LutBuilder {
     /// # Errors
     /// Returns [`Error::InvalidConfig`] when the configuration is invalid.
     pub fn new(config: &SrConfig, scheme: KeyScheme) -> Result<Self> {
-        Ok(Self { encoder: PositionEncoder::new(config, scheme)? })
+        Ok(Self {
+            encoder: PositionEncoder::new(config, scheme)?,
+        })
     }
 
     /// The position encoder used for keying.
@@ -69,15 +71,17 @@ impl LutBuilder {
     ) -> Result<HashMap<u128, ([f64; 3], u32)>> {
         self.check_network(mlp)?;
         if samples.is_empty() {
-            return Err(Error::Training("cannot distill a lut from an empty sample set".into()));
+            return Err(Error::Training(
+                "cannot distill a lut from an empty sample set".into(),
+            ));
         }
         let mut acc: HashMap<u128, ([f64; 3], u32)> = HashMap::new();
         for input in &samples.inputs {
             let key = self.encoder.key_from_features(input)?;
             let out = mlp.forward(input);
             let entry = acc.entry(key).or_insert(([0.0; 3], 0));
-            for c in 0..3 {
-                entry.0[c] += f64::from(out[c]);
+            for (slot, &v) in entry.0.iter_mut().zip(out.iter()) {
+                *slot += f64::from(v);
             }
             entry.1 += 1;
         }
@@ -95,7 +99,14 @@ impl LutBuilder {
         let mut lut = SparseLut::with_capacity(acc.len());
         for (key, (sum, count)) in acc {
             let n = f64::from(count);
-            lut.set(key, [(sum[0] / n) as f32, (sum[1] / n) as f32, (sum[2] / n) as f32])?;
+            lut.set(
+                key,
+                [
+                    (sum[0] / n) as f32,
+                    (sum[1] / n) as f32,
+                    (sum[2] / n) as f32,
+                ],
+            )?;
         }
         Ok(lut)
     }
@@ -116,7 +127,14 @@ impl LutBuilder {
         let mut lut = DenseLut::with_budget(self.encoder.key_space(), byte_budget)?;
         for (key, (sum, count)) in acc {
             let n = f64::from(count);
-            lut.set(key, [(sum[0] / n) as f32, (sum[1] / n) as f32, (sum[2] / n) as f32])?;
+            lut.set(
+                key,
+                [
+                    (sum[0] / n) as f32,
+                    (sum[1] / n) as f32,
+                    (sum[2] / n) as f32,
+                ],
+            )?;
         }
         Ok(lut)
     }
@@ -155,7 +173,10 @@ mod tests {
     fn trained_network(config: &SrConfig) -> (Mlp, TrainingSet) {
         let gt = synthetic::sphere(1200, 1.0, 1);
         let set = build_training_set(&gt, 0.5, config, KeyScheme::Full, 3).unwrap();
-        let train_cfg = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let train_cfg = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
         let mut trainer = RefinementTrainer::new(config, train_cfg).unwrap();
         trainer.train(&set).unwrap();
         (trainer.into_network(), set)
@@ -176,19 +197,27 @@ mod tests {
 
     #[test]
     fn distill_dense_with_compact_scheme() {
-        let config = SrConfig { bins: 16, ..SrConfig::default() };
+        let config = SrConfig {
+            bins: 16,
+            ..SrConfig::default()
+        };
         let gt = synthetic::sphere(800, 1.0, 2);
         let set = build_training_set(&gt, 0.5, &config, KeyScheme::Compact, 5).unwrap();
         let mut trainer = RefinementTrainer::new(
             &config,
-            TrainConfig { epochs: 2, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
         )
         .unwrap();
         trainer.train(&set).unwrap();
         let mlp = trainer.into_network();
         let builder = LutBuilder::new(&config, KeyScheme::Compact).unwrap();
         // 16^4 = 65536 entries * 6 bytes fits easily.
-        let lut = builder.distill_dense(&mlp, &set, DenseLut::DEFAULT_BYTE_BUDGET).unwrap();
+        let lut = builder
+            .distill_dense(&mlp, &set, DenseLut::DEFAULT_BYTE_BUDGET)
+            .unwrap();
         assert!(lut.populated() > 0);
         assert_eq!(lut.key_space(), 16u128.pow(4));
     }
@@ -196,10 +225,16 @@ mod tests {
     #[test]
     fn enumerate_dense_covers_whole_key_space() {
         // Tiny configuration: n = 2, b = 4 -> 4^6 = 4096 keys.
-        let config = SrConfig { receptive_field: 2, bins: 4, ..SrConfig::default() };
+        let config = SrConfig {
+            receptive_field: 2,
+            bins: 4,
+            ..SrConfig::default()
+        };
         let mlp = Mlp::new(&[6, 8, 3], 1);
         let builder = LutBuilder::new(&config, KeyScheme::Full).unwrap();
-        let lut = builder.enumerate_dense(&mlp, DenseLut::DEFAULT_BYTE_BUDGET).unwrap();
+        let lut = builder
+            .enumerate_dense(&mlp, DenseLut::DEFAULT_BYTE_BUDGET)
+            .unwrap();
         assert_eq!(lut.populated() as u128, builder.encoder().key_space());
         assert!(lut.get(0).is_some());
         assert!(lut.get(builder.encoder().key_space() - 1).is_some());
@@ -207,14 +242,22 @@ mod tests {
 
     #[test]
     fn enumerate_rejects_compact_scheme_and_big_spaces() {
-        let config = SrConfig { receptive_field: 2, bins: 4, ..SrConfig::default() };
+        let config = SrConfig {
+            receptive_field: 2,
+            bins: 4,
+            ..SrConfig::default()
+        };
         let mlp = Mlp::new(&[6, 8, 3], 1);
         let builder = LutBuilder::new(&config, KeyScheme::Compact).unwrap();
-        assert!(builder.enumerate_dense(&mlp, DenseLut::DEFAULT_BYTE_BUDGET).is_err());
+        assert!(builder
+            .enumerate_dense(&mlp, DenseLut::DEFAULT_BYTE_BUDGET)
+            .is_err());
         let big = SrConfig::default();
         let big_mlp = Mlp::new(&[12, 8, 3], 1);
         let builder = LutBuilder::new(&big, KeyScheme::Full).unwrap();
-        assert!(builder.enumerate_dense(&big_mlp, DenseLut::DEFAULT_BYTE_BUDGET).is_err());
+        assert!(builder
+            .enumerate_dense(&big_mlp, DenseLut::DEFAULT_BYTE_BUDGET)
+            .is_err());
     }
 
     #[test]

@@ -54,7 +54,9 @@ impl DenseLut {
     /// storage exceeds `byte_budget`.
     pub fn with_budget(key_space: u128, byte_budget: u128) -> Result<Self> {
         if key_space == 0 {
-            return Err(Error::LutFormat("dense lut key space must be non-zero".into()));
+            return Err(Error::LutFormat(
+                "dense lut key space must be non-zero".into(),
+            ));
         }
         let bytes = key_space.saturating_mul(6);
         if bytes > byte_budget {

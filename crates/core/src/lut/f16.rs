@@ -43,7 +43,11 @@ pub fn f32_to_f16_bits(value: f32) -> u16 {
         let shift = (-unbiased - 1) as u32;
         let full_mant = mantissa | 0x0080_0000;
         let half_mant = (full_mant >> shift) as u16;
-        let round_bit = if shift > 0 { (full_mant >> (shift - 1)) & 1 } else { 0 };
+        let round_bit = if shift > 0 {
+            (full_mant >> (shift - 1)) & 1
+        } else {
+            0
+        };
         let mut out = sign | half_mant;
         if round_bit == 1 {
             out = out.wrapping_add(1);

@@ -23,7 +23,7 @@ use super::Lut;
 use crate::encoding::KeyScheme;
 use crate::error::Error;
 use crate::Result;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
@@ -173,7 +173,11 @@ pub fn decode(mut data: &[u8]) -> Result<LoadedLut> {
             data.remaining()
         )));
     }
-    let header = LutHeader { scheme, receptive_field, bins };
+    let header = LutHeader {
+        scheme,
+        receptive_field,
+        bins,
+    };
     match backend {
         0 => {
             let mut lut = SparseLut::with_capacity(count);
@@ -243,7 +247,11 @@ mod tests {
     use super::*;
 
     fn header() -> LutHeader {
-        LutHeader { scheme: KeyScheme::Full, receptive_field: 4, bins: 128 }
+        LutHeader {
+            scheme: KeyScheme::Full,
+            receptive_field: 4,
+            bins: 128,
+        }
     }
 
     #[test]
@@ -265,7 +273,11 @@ mod tests {
         let mut lut = DenseLut::new(256).unwrap();
         lut.set(3, [0.125, 0.25, -1.0]).unwrap();
         lut.set(255, [1.0, 1.0, 1.0]).unwrap();
-        let h = LutHeader { scheme: KeyScheme::Compact, receptive_field: 4, bins: 4 };
+        let h = LutHeader {
+            scheme: KeyScheme::Compact,
+            receptive_field: 4,
+            bins: 4,
+        };
         let bytes = encode_dense(&lut, h);
         let loaded = decode(&bytes).unwrap();
         assert_eq!(loaded.header(), h);
@@ -311,7 +323,9 @@ mod tests {
     fn into_boxed_lut_preserves_contents() {
         let mut lut = SparseLut::new();
         lut.set(77, [0.5, 0.5, 0.5]).unwrap();
-        let boxed = decode(&encode_sparse(&lut, header())).unwrap().into_boxed_lut();
+        let boxed = decode(&encode_sparse(&lut, header()))
+            .unwrap()
+            .into_boxed_lut();
         assert_eq!(boxed.get(77), Some([0.5, 0.5, 0.5]));
     }
 }

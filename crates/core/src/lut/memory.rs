@@ -21,7 +21,10 @@ pub struct MemoryModel {
 impl MemoryModel {
     /// Creates a memory model for the given configuration.
     pub fn new(receptive_field: usize, bins: usize) -> Self {
-        Self { receptive_field, bins }
+        Self {
+            receptive_field,
+            bins,
+        }
     }
 
     /// Number of dense entries under the *compact* (per-point) indexing that
@@ -43,7 +46,8 @@ impl MemoryModel {
 
     /// Total bytes of a dense compact LUT (`compact_entries × 6`).
     pub fn compact_bytes(&self) -> u128 {
-        self.compact_entries().saturating_mul(Self::bytes_per_entry())
+        self.compact_entries()
+            .saturating_mul(Self::bytes_per_entry())
     }
 
     /// Total bytes of a dense full LUT (`full_entries × 6`).
@@ -130,12 +134,36 @@ mod tests {
             let a = actual as f64;
             (a - expected).abs() / expected < 0.15
         };
-        assert!(approx(rows[0].bytes, 12.0 * mb), "n=3 b=128: {}", rows[0].formatted);
-        assert!(approx(rows[1].bytes, 1.5 * mb), "n=3 b=64: {}", rows[1].formatted);
-        assert!(approx(rows[2].bytes, 1.61 * gb), "n=4 b=128: {}", rows[2].formatted);
-        assert!(approx(rows[3].bytes, 100.0 * mb), "n=4 b=64: {}", rows[3].formatted);
-        assert!(approx(rows[4].bytes, 201.0 * gb), "n=5 b=128: {}", rows[4].formatted);
-        assert!(approx(rows[5].bytes, 6.25 * gb), "n=5 b=64: {}", rows[5].formatted);
+        assert!(
+            approx(rows[0].bytes, 12.0 * mb),
+            "n=3 b=128: {}",
+            rows[0].formatted
+        );
+        assert!(
+            approx(rows[1].bytes, 1.5 * mb),
+            "n=3 b=64: {}",
+            rows[1].formatted
+        );
+        assert!(
+            approx(rows[2].bytes, 1.61 * gb),
+            "n=4 b=128: {}",
+            rows[2].formatted
+        );
+        assert!(
+            approx(rows[3].bytes, 100.0 * mb),
+            "n=4 b=64: {}",
+            rows[3].formatted
+        );
+        assert!(
+            approx(rows[4].bytes, 201.0 * gb),
+            "n=5 b=128: {}",
+            rows[4].formatted
+        );
+        assert!(
+            approx(rows[5].bytes, 6.25 * gb),
+            "n=5 b=64: {}",
+            rows[5].formatted
+        );
     }
 
     #[test]

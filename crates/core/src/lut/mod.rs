@@ -61,6 +61,29 @@ pub trait Lut: Send + Sync {
     /// been populated.
     fn get(&self, key: u128) -> Option<Offset>;
 
+    /// Looks up a whole block of keys at once: `out[i]` receives the result
+    /// for `keys[i]`. Backends override this when they can exploit the
+    /// batch shape (the sparse table prefetches every probe target before
+    /// reading any of them); the default delegates to [`Self::get`].
+    ///
+    /// # Panics
+    /// Panics when `out` is shorter than `keys`.
+    fn get_batch(&self, keys: &[u128], out: &mut [Option<Offset>]) {
+        assert!(out.len() >= keys.len(), "output buffer too short");
+        for (slot, &key) in out.iter_mut().zip(keys.iter()) {
+            *slot = self.get(key);
+        }
+    }
+
+    /// Hints that `key` will be probed soon. Backends with a flat layout
+    /// issue a hardware prefetch for the key's home slot; the default is a
+    /// no-op. Callers interleave this with other per-point work (e.g. key
+    /// encoding) so the memory latency of an upcoming [`Self::get_batch`]
+    /// overlaps with computation.
+    fn prefetch(&self, key: u128) {
+        let _ = key;
+    }
+
     /// Stores (or overwrites) the offset for `key`.
     ///
     /// # Errors

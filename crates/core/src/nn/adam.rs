@@ -78,7 +78,11 @@ impl Adam {
         for (layer_idx, layer) in mlp.layers_mut().iter_mut().enumerate() {
             let (m_w, m_b) = &mut self.moment1[layer_idx];
             let (v_w, v_b) = &mut self.moment2[layer_idx];
-            assert_eq!(m_w.len(), layer.weights.len(), "optimizer and layer weight shapes differ");
+            assert_eq!(
+                m_w.len(),
+                layer.weights.len(),
+                "optimizer and layer weight shapes differ"
+            );
             for i in 0..layer.weights.len() {
                 let g = layer.grad_weights[i];
                 m_w[i] = self.beta1 * m_w[i] + (1.0 - self.beta1) * g;
@@ -133,7 +137,10 @@ mod tests {
             }
             last_loss = mean;
         }
-        assert!(last_loss < first_loss * 0.2, "loss did not decrease: {first_loss} -> {last_loss}");
+        assert!(
+            last_loss < first_loss * 0.2,
+            "loss did not decrease: {first_loss} -> {last_loss}"
+        );
         assert!(last_loss < 0.05);
     }
 

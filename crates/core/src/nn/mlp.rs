@@ -58,6 +58,21 @@ impl Linear {
         out
     }
 
+    /// Forward pass writing into a reusable output buffer (cleared first).
+    pub fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) {
+        debug_assert_eq!(input.len(), self.in_dim);
+        out.clear();
+        out.extend_from_slice(&self.bias);
+        for (o, out_v) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = 0.0f32;
+            for (w, x) in row.iter().zip(input.iter()) {
+                acc += w * x;
+            }
+            *out_v += acc;
+        }
+    }
+
     /// Backward pass: accumulates gradients for this layer and returns the
     /// gradient with respect to the input.
     pub fn backward(&mut self, input: &[f32], grad_out: &[f32]) -> Vec<f32> {
@@ -87,6 +102,13 @@ impl Linear {
     }
 }
 
+/// Reusable activation buffers for [`Mlp::forward_into`].
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    ping: Vec<f32>,
+    pong: Vec<f32>,
+}
+
 /// A ReLU multi-layer perceptron.
 ///
 /// # Example
@@ -109,14 +131,23 @@ impl Mlp {
     /// # Panics
     /// Panics when fewer than two dimensions are given or any dimension is zero.
     pub fn new(dims: &[usize], seed: u64) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least an input and an output dimension");
-        assert!(dims.iter().all(|&d| d > 0), "layer dimensions must be positive");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least an input and an output dimension"
+        );
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "layer dimensions must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], &mut rng))
             .collect();
-        Self { layers, dims: dims.to_vec() }
+        Self {
+            layers,
+            dims: dims.to_vec(),
+        }
     }
 
     /// The layer dimensions this network was built with.
@@ -147,14 +178,24 @@ impl Mlp {
 
     /// Forward pass for a single input vector.
     pub fn forward(&self, input: &[f32]) -> Vec<f32> {
-        let mut x = input.to_vec();
+        let mut scratch = ForwardScratch::default();
+        self.forward_into(input, &mut scratch).to_vec()
+    }
+
+    /// Allocation-free forward pass: ping-pongs between the two scratch
+    /// buffers and returns a slice of the final activations. The hot path
+    /// of batched NN refinement — after warm-up it never touches the heap.
+    pub fn forward_into<'s>(&self, input: &[f32], scratch: &'s mut ForwardScratch) -> &'s [f32] {
+        scratch.ping.clear();
+        scratch.ping.extend_from_slice(input);
         for (i, layer) in self.layers.iter().enumerate() {
-            x = layer.forward(&x);
+            layer.forward_into(&scratch.ping, &mut scratch.pong);
             if i + 1 < self.layers.len() {
-                x.iter_mut().for_each(|v| *v = v.max(0.0));
+                scratch.pong.iter_mut().for_each(|v| *v = v.max(0.0));
             }
+            std::mem::swap(&mut scratch.ping, &mut scratch.pong);
         }
-        x
+        &scratch.ping
     }
 
     /// Forward pass that keeps every intermediate activation (pre-ReLU
@@ -249,9 +290,15 @@ mod tests {
     fn deterministic_initialization() {
         let a = Mlp::new(&[4, 8, 3], 42);
         let b = Mlp::new(&[4, 8, 3], 42);
-        assert_eq!(a.forward(&[0.1, 0.2, 0.3, 0.4]), b.forward(&[0.1, 0.2, 0.3, 0.4]));
+        assert_eq!(
+            a.forward(&[0.1, 0.2, 0.3, 0.4]),
+            b.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
         let c = Mlp::new(&[4, 8, 3], 43);
-        assert_ne!(a.forward(&[0.1, 0.2, 0.3, 0.4]), c.forward(&[0.1, 0.2, 0.3, 0.4]));
+        assert_ne!(
+            a.forward(&[0.1, 0.2, 0.3, 0.4]),
+            c.forward(&[0.1, 0.2, 0.3, 0.4])
+        );
     }
 
     #[test]

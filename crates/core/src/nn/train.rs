@@ -113,19 +113,23 @@ pub fn build_training_set(
     let encoder = PositionEncoder::new(config, scheme)?;
     let low = sampling::random_downsample(ground_truth, keep_ratio, seed)?;
     if low.len() < 2 {
-        return Err(Error::Training("downsampled frame has fewer than two points".into()));
+        return Err(Error::Training(
+            "downsampled frame has fewer than two points".into(),
+        ));
     }
     let upsample_ratio = (1.0 / keep_ratio).max(1.0);
     let interp = dilated_interpolate(&low, config, upsample_ratio)?;
     let gt_tree = KdTree::build(ground_truth.positions());
 
     let mut set = TrainingSet::default();
+    let mut neighbor_positions: Vec<Point3> = Vec::new();
     for (ordinal, hood) in interp.neighborhoods.iter().enumerate() {
         if hood.is_empty() {
             continue;
         }
         let center = interp.cloud.position(interp.original_len + ordinal);
-        let neighbor_positions: Vec<Point3> = hood.iter().map(|&i| low.position(i)).collect();
+        neighbor_positions.clear();
+        neighbor_positions.extend(hood.iter().map(|&i| low.position(i as usize)));
         let encoded = encoder.encode(center, &neighbor_positions)?;
         let nearest = gt_tree.knn(center, 1);
         if nearest.is_empty() {
@@ -142,7 +146,9 @@ pub fn build_training_set(
         set.targets.push([offset.x, offset.y, offset.z]);
     }
     if set.is_empty() {
-        return Err(Error::Training("no training samples could be generated".into()));
+        return Err(Error::Training(
+            "no training samples could be generated".into(),
+        ));
     }
     Ok(set)
 }
@@ -164,7 +170,10 @@ impl RefinementTrainer {
         sr_config.validate()?;
         let input_dim = sr_config.receptive_field * 3;
         let dims = [input_dim, config.hidden[0], config.hidden[1], 3];
-        Ok(Self { mlp: Mlp::new(&dims, config.seed), config })
+        Ok(Self {
+            mlp: Mlp::new(&dims, config.seed),
+            config,
+        })
     }
 
     /// The network being trained.
@@ -198,16 +207,21 @@ impl RefinementTrainer {
         let mut adam = Adam::new(&self.mlp, self.config.learning_rate);
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(1));
         let mut order: Vec<usize> = (0..set.len()).collect();
-        let mut report = TrainingReport { epoch_losses: Vec::new(), samples: set.len() };
+        let mut report = TrainingReport {
+            epoch_losses: Vec::new(),
+            samples: set.len(),
+        };
         let mut noisy_input = Vec::new();
         for _epoch in 0..self.config.epochs {
             order.shuffle(&mut rng);
             let mut total = 0.0f64;
             for &i in &order {
                 noisy_input.clear();
-                noisy_input.extend(set.inputs[i].iter().map(|&v| {
-                    v + gaussian(&mut rng) * self.config.noise_sigma
-                }));
+                noisy_input.extend(
+                    set.inputs[i]
+                        .iter()
+                        .map(|&v| v + gaussian(&mut rng) * self.config.noise_sigma),
+                );
                 self.mlp.zero_grad();
                 let loss = self.mlp.backward_mse(&noisy_input, &set.targets[i]);
                 adam.step(&mut self.mlp);
@@ -245,7 +259,10 @@ mod tests {
     fn training_reduces_loss() {
         let gt = synthetic::torus(1500, 1.0, 0.3, 2);
         let set = build_training_set(&gt, 0.5, &SrConfig::default(), KeyScheme::Full, 3).unwrap();
-        let cfg = TrainConfig { epochs: 8, ..TrainConfig::default() };
+        let cfg = TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        };
         let mut trainer = RefinementTrainer::new(&SrConfig::default(), cfg).unwrap();
         let report = trainer.train(&set).unwrap();
         assert_eq!(report.epoch_losses.len(), 8);
@@ -256,14 +273,19 @@ mod tests {
 
     #[test]
     fn empty_set_is_rejected() {
-        let mut trainer = RefinementTrainer::new(&SrConfig::default(), TrainConfig::default()).unwrap();
+        let mut trainer =
+            RefinementTrainer::new(&SrConfig::default(), TrainConfig::default()).unwrap();
         assert!(trainer.train(&TrainingSet::default()).is_err());
     }
 
     #[test]
     fn mismatched_input_size_is_rejected() {
-        let mut trainer = RefinementTrainer::new(&SrConfig::default(), TrainConfig::default()).unwrap();
-        let set = TrainingSet { inputs: vec![vec![0.0; 5]], targets: vec![[0.0; 3]] };
+        let mut trainer =
+            RefinementTrainer::new(&SrConfig::default(), TrainConfig::default()).unwrap();
+        let set = TrainingSet {
+            inputs: vec![vec![0.0; 5]],
+            targets: vec![[0.0; 3]],
+        };
         assert!(trainer.train(&set).is_err());
     }
 

@@ -6,13 +6,16 @@
 //! breakdown of Figure 16 can be reproduced.
 
 use crate::config::SrConfig;
-use crate::interpolate::{dilated, naive, InterpolationResult, OpCounts};
+use crate::interpolate::{
+    DilatedInterpolator, FrameScratch, InterpolationResult, Interpolator, NaiveInterpolator,
+    OpCounts,
+};
 use crate::lut::LookupStats;
-use crate::refine::{Refiner, RefinerCost};
+use crate::refine::{refine_in_place, Refiner, RefinerCost};
 use crate::Result;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
-use volut_pointcloud::{Point3, PointCloud};
+use volut_pointcloud::PointCloud;
 
 /// Which interpolation implementation the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -114,6 +117,7 @@ impl SrResult {
 pub struct SrPipeline {
     config: SrConfig,
     mode: InterpolationMode,
+    interpolator: Box<dyn Interpolator>,
     refiner: Box<dyn Refiner>,
 }
 
@@ -130,16 +134,39 @@ impl std::fmt::Debug for SrPipeline {
 impl SrPipeline {
     /// Creates a pipeline with dilated interpolation and the given refiner.
     pub fn new(config: SrConfig, refiner: Box<dyn Refiner>) -> Self {
-        Self { config, mode: InterpolationMode::Dilated, refiner }
+        Self::with_mode(config, InterpolationMode::Dilated, refiner)
     }
 
     /// Creates a pipeline with an explicit interpolation mode.
-    pub fn with_mode(
+    pub fn with_mode(config: SrConfig, mode: InterpolationMode, refiner: Box<dyn Refiner>) -> Self {
+        let interpolator: Box<dyn Interpolator> = match mode {
+            InterpolationMode::Naive => Box::new(NaiveInterpolator),
+            InterpolationMode::Dilated => Box::new(DilatedInterpolator),
+        };
+        Self {
+            config,
+            mode,
+            interpolator,
+            refiner,
+        }
+    }
+
+    /// Creates a pipeline around a custom [`Interpolator`] implementation.
+    /// `reported_mode` is what [`Self::mode`] (and anything keyed off it in
+    /// reports) will claim this interpolator behaves like — callers state it
+    /// explicitly rather than the pipeline guessing from the name.
+    pub fn with_interpolator(
         config: SrConfig,
-        mode: InterpolationMode,
+        reported_mode: InterpolationMode,
+        interpolator: Box<dyn Interpolator>,
         refiner: Box<dyn Refiner>,
     ) -> Self {
-        Self { config, mode, refiner }
+        Self {
+            config,
+            mode: reported_mode,
+            interpolator,
+            refiner,
+        }
     }
 
     /// The pipeline configuration.
@@ -164,14 +191,35 @@ impl SrPipeline {
 
     /// Upsamples `low` by `ratio` and refines the generated points.
     ///
+    /// Allocates fresh working buffers; streaming sessions should prefer
+    /// [`Self::upsample_with`] with a long-lived [`FrameScratch`].
+    ///
     /// # Errors
     /// Propagates interpolation failures (invalid configuration/ratio,
     /// insufficient points).
     pub fn upsample(&self, low: &PointCloud, ratio: f64) -> Result<SrResult> {
-        let interp: InterpolationResult = match self.mode {
-            InterpolationMode::Naive => naive::naive_interpolate(low, &self.config, ratio)?,
-            InterpolationMode::Dilated => dilated::dilated_interpolate(low, &self.config, ratio)?,
-        };
+        self.upsample_with(low, ratio, &mut FrameScratch::new())
+    }
+
+    /// Upsamples `low` by `ratio`, reusing `scratch`'s buffers for the
+    /// neighborhood CSR, the dilated neighbor lists and the refinement
+    /// center copy. Repeated calls with the same scratch (one frame after
+    /// another in a streaming session) perform no per-point allocations in
+    /// the refinement stage and no per-frame re-allocation of the index
+    /// bookkeeping once buffers reach steady-state size.
+    ///
+    /// # Errors
+    /// Propagates interpolation failures (invalid configuration/ratio,
+    /// insufficient points).
+    pub fn upsample_with(
+        &self,
+        low: &PointCloud,
+        ratio: f64,
+        scratch: &mut FrameScratch,
+    ) -> Result<SrResult> {
+        let interp: InterpolationResult =
+            self.interpolator
+                .interpolate(low, &self.config, ratio, scratch)?;
 
         let mut timings = StageTimings {
             knn: interp.timings.knn,
@@ -181,34 +229,25 @@ impl SrPipeline {
         };
 
         // Refinement stage: move every generated point by its looked-up /
-        // predicted offset. Original points are left untouched.
+        // predicted offset, operating on flat slices — the CSR neighborhood
+        // rows index straight into `low`'s position array, so the whole
+        // stage performs zero per-point heap allocations. Original points
+        // are left untouched.
         let t0 = Instant::now();
         let original_len = interp.original_len;
         let mut cloud = interp.cloud;
-        let refined: Vec<Point3> = {
-            let positions = cloud.positions();
-            (original_len..cloud.len())
-                .map(|idx| {
-                    let ordinal = idx - original_len;
-                    let center = positions[idx];
-                    let hood = &interp.neighborhoods[ordinal];
-                    if hood.is_empty() {
-                        center
-                    } else {
-                        let neighbor_positions: Vec<Point3> =
-                            hood.iter().map(|&i| low.position(i)).collect();
-                        self.refiner.refine(center, &neighbor_positions)
-                    }
-                })
-                .collect()
-        };
-        {
-            let positions = cloud.positions_mut();
-            for (ordinal, p) in refined.into_iter().enumerate() {
-                positions[original_len + ordinal] = p;
-            }
-        }
+        refine_in_place(
+            self.refiner.as_ref(),
+            &mut cloud,
+            original_len,
+            &interp.neighborhoods,
+            low.positions(),
+            &mut scratch.centers,
+        );
         timings.refinement = t0.elapsed();
+
+        // Hand the CSR buffer back so the next frame reuses its allocation.
+        scratch.recycle_neighborhoods(interp.neighborhoods);
 
         Ok(SrResult {
             cloud,
@@ -267,7 +306,10 @@ mod tests {
         let set = build_training_set(&gt, 0.5, &config, KeyScheme::Full, 11).unwrap();
         let mut trainer = RefinementTrainer::new(
             &config,
-            TrainConfig { epochs: 10, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
         )
         .unwrap();
         trainer.train(&set).unwrap();
@@ -290,7 +332,10 @@ mod tests {
         assert!(cover_id < cover_low);
         let cd_id = metrics::chamfer_distance(&id_result.cloud, &gt);
         let cd_lut = metrics::chamfer_distance(&lut_result.cloud, &gt);
-        assert!(cd_lut <= cd_id * 1.10, "lut ({cd_lut}) should not be much worse than interpolation ({cd_id})");
+        assert!(
+            cd_lut <= cd_id * 1.10,
+            "lut ({cd_lut}) should not be much worse than interpolation ({cd_id})"
+        );
         // The LUT should actually be hit most of the time on in-distribution data.
         let stats = lut_result.lookup_stats.unwrap();
         assert!(stats.hits > 0);
@@ -303,7 +348,10 @@ mod tests {
         let set = build_training_set(&gt, 0.5, &config, KeyScheme::Full, 2).unwrap();
         let mut trainer = RefinementTrainer::new(
             &config,
-            TrainConfig { epochs: 2, ..TrainConfig::default() },
+            TrainConfig {
+                epochs: 2,
+                ..TrainConfig::default()
+            },
         )
         .unwrap();
         trainer.train(&set).unwrap();
@@ -339,6 +387,41 @@ mod tests {
             + t.fraction(t.colorization)
             + t.fraction(t.refinement);
         assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scratch_reuse_across_frames_is_transparent() {
+        // A streaming session reuses one FrameScratch for every frame; the
+        // results must be bit-identical to fresh-allocation upsampling.
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let mut scratch = crate::interpolate::FrameScratch::new();
+        for seed in [21, 22, 23] {
+            let low = synthetic::sphere(400, 1.0, seed);
+            let fresh = pipeline.upsample(&low, 2.5).unwrap();
+            let reused = pipeline.upsample_with(&low, 2.5, &mut scratch).unwrap();
+            assert_eq!(fresh.cloud, reused.cloud, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn custom_interpolator_constructor_reports_mode() {
+        use crate::interpolate::{DilatedInterpolator, NaiveInterpolator};
+        let naive = SrPipeline::with_interpolator(
+            SrConfig::k4d1(),
+            InterpolationMode::Naive,
+            Box::new(NaiveInterpolator),
+            Box::new(IdentityRefiner),
+        );
+        assert_eq!(naive.mode(), InterpolationMode::Naive);
+        let dilated = SrPipeline::with_interpolator(
+            SrConfig::default(),
+            InterpolationMode::Dilated,
+            Box::new(DilatedInterpolator),
+            Box::new(IdentityRefiner),
+        );
+        assert_eq!(dilated.mode(), InterpolationMode::Dilated);
+        let low = synthetic::sphere(120, 1.0, 2);
+        assert_eq!(dilated.upsample(&low, 2.0).unwrap().cloud.len(), 240);
     }
 
     #[test]

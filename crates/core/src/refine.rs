@@ -1,21 +1,33 @@
-//! Stage two of the VoLUT pipeline: per-point refinement.
+//! Stage two of the VoLUT pipeline: refinement.
 //!
-//! A [`Refiner`] takes an interpolated point plus its neighborhood and moves
-//! the point onto (an estimate of) the true surface. Three implementations
-//! are provided:
+//! A [`Refiner`] moves interpolated points onto (an estimate of) the true
+//! surface. The trait is **batch-first**: the primary entry point
+//! [`Refiner::refine_batch`] processes a whole slice of generated points
+//! against a flat CSR [`NeighborhoodsView`], so implementations gather
+//! neighbor positions into reusable buffers instead of allocating a
+//! `Vec<Point3>` per point, and statistics are accumulated once per batch
+//! instead of behind a per-point lock. The per-point [`Refiner::refine`]
+//! survives as a convenience shim implemented in terms of the batch path.
+//!
+//! Three implementations are provided:
 //! * [`LutRefiner`] — VoLUT's contribution: a table lookup keyed by the
 //!   quantized neighborhood (§4.2);
 //! * [`NnRefiner`] — runs the refinement network directly (the GradPU-style
 //!   path the LUT replaces);
 //! * [`IdentityRefiner`] — no refinement; isolates the interpolation stage
 //!   in ablations.
+//!
+//! [`refine_in_place`] is the shared driver used by [`crate::SrPipeline`]
+//! and both baselines: it splits the generated tail of a cloud into chunks,
+//! fans the chunks out across threads (with the `parallel` feature), and
+//! runs `refine_batch` on zero-copy row windows.
 
 use crate::encoding::{KeyScheme, PositionEncoder};
 use crate::lut::{LookupStats, Lut};
 use crate::nn::mlp::Mlp;
 use crate::Result;
-use parking_lot::Mutex;
-use volut_pointcloud::Point3;
+use std::sync::atomic::{AtomicU64, Ordering};
+use volut_pointcloud::{par, Neighborhoods, NeighborhoodsView, Point3, PointCloud};
 
 /// Per-point cost description used by the device cost models and the
 /// runtime-breakdown experiments.
@@ -27,14 +39,40 @@ pub struct RefinerCost {
     pub nn_flops_per_point: u64,
 }
 
-/// A per-point refinement function.
+/// A refinement function over batches of generated points.
 pub trait Refiner: Send + Sync {
     /// Short human-readable name used in reports.
     fn name(&self) -> &str;
 
-    /// Returns the refined position of `center` given its neighborhood
-    /// (original low-resolution points, closest first).
-    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3;
+    /// Refines `centers[i]` given neighborhood row `i` (indices into
+    /// `source`, closest first) and writes the result to `out[i]`. Rows may
+    /// be empty, in which case the center passes through unchanged.
+    ///
+    /// Implementations must not allocate per point: gather and feature
+    /// buffers are amortized per batch call, which is what makes the
+    /// pipeline's refinement stage allocation-free per generated point.
+    ///
+    /// # Panics
+    /// Implementations may panic when `centers`, `neighborhoods` and `out`
+    /// disagree in length.
+    fn refine_batch(
+        &self,
+        centers: &[Point3],
+        neighborhoods: NeighborhoodsView<'_>,
+        source: &[Point3],
+        out: &mut [Point3],
+    );
+
+    /// Per-point convenience shim over [`Self::refine_batch`]: refines one
+    /// center whose neighborhood is given directly as positions.
+    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3 {
+        let indices: Vec<u32> = (0..neighbors.len() as u32).collect();
+        let offsets = [0u32, neighbors.len() as u32];
+        let view = NeighborhoodsView::from_raw(&indices, &offsets);
+        let mut out = [center];
+        self.refine_batch(&[center], view, neighbors, &mut out);
+        out[0]
+    }
 
     /// Per-point cost description.
     fn cost(&self) -> RefinerCost;
@@ -49,6 +87,53 @@ pub trait Refiner: Send + Sync {
     }
 }
 
+/// Refines the generated tail of `cloud` (points `original_len..`) in place
+/// using `refiner`, reading neighbor positions from `source`.
+///
+/// `centers_scratch` receives a copy of the pre-refinement tail so the
+/// batch kernel can read stable centers while writing results; reusing the
+/// same buffer across frames (see `FrameScratch` in the pipeline) means
+/// steady-state refinement performs no per-frame allocation either. Chunks
+/// of the tail are processed in parallel when the `parallel` feature is on.
+///
+/// # Panics
+/// Panics when `neighborhoods.len()` differs from the generated tail length.
+pub fn refine_in_place(
+    refiner: &dyn Refiner,
+    cloud: &mut PointCloud,
+    original_len: usize,
+    neighborhoods: &Neighborhoods,
+    source: &[Point3],
+    centers_scratch: &mut Vec<Point3>,
+) {
+    let positions = cloud.positions_mut();
+    let tail = &mut positions[original_len..];
+    assert_eq!(
+        neighborhoods.len(),
+        tail.len(),
+        "one neighborhood row per generated point"
+    );
+    if tail.is_empty() {
+        return;
+    }
+    centers_scratch.clear();
+    centers_scratch.extend_from_slice(tail);
+    let centers: &[Point3] = centers_scratch;
+    let view = neighborhoods.view();
+
+    let workers = par::worker_count(tail.len(), 4_096);
+    let chunk = tail.len().div_ceil(workers).max(1);
+    par::for_each_chunk_mut(tail, chunk, |_, start, out_chunk| {
+        let end = start + out_chunk.len();
+        refiner.refine_batch(
+            &centers[start..end],
+            view.slice_rows(start, end),
+            source,
+            out_chunk,
+        );
+    });
+}
+
 /// No-op refiner: returns the interpolated position unchanged.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IdentityRefiner;
@@ -58,8 +143,14 @@ impl Refiner for IdentityRefiner {
         "identity"
     }
 
-    fn refine(&self, center: Point3, _neighbors: &[Point3]) -> Point3 {
-        center
+    fn refine_batch(
+        &self,
+        centers: &[Point3],
+        _neighborhoods: NeighborhoodsView<'_>,
+        _source: &[Point3],
+        out: &mut [Point3],
+    ) {
+        out.copy_from_slice(centers);
     }
 
     fn cost(&self) -> RefinerCost {
@@ -71,11 +162,36 @@ impl Refiner for IdentityRefiner {
     }
 }
 
+/// Lock-free hit/miss counters shared across refinement workers.
+#[derive(Debug, Default)]
+struct AtomicLookupStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AtomicLookupStats {
+    fn add(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> LookupStats {
+        LookupStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// LUT-based refiner (the paper's contribution).
 pub struct LutRefiner {
     encoder: PositionEncoder,
     lut: Box<dyn Lut>,
-    stats: Mutex<LookupStats>,
+    stats: AtomicLookupStats,
 }
 
 impl std::fmt::Debug for LutRefiner {
@@ -91,7 +207,11 @@ impl std::fmt::Debug for LutRefiner {
 impl LutRefiner {
     /// Creates a refiner from a position encoder and a populated LUT.
     pub fn new(encoder: PositionEncoder, lut: Box<dyn Lut>) -> Self {
-        Self { encoder, lut, stats: Mutex::new(LookupStats::default()) }
+        Self {
+            encoder,
+            lut,
+            stats: AtomicLookupStats::default(),
+        }
     }
 
     /// Convenience constructor from an [`crate::SrConfig`], key scheme and LUT.
@@ -117,28 +237,74 @@ impl Refiner for LutRefiner {
         "volut-lut"
     }
 
-    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3 {
-        if neighbors.is_empty() {
-            return center;
-        }
-        let Ok(encoded) = self.encoder.encode(center, neighbors) else {
-            return center;
-        };
-        match self.lut.get(encoded.key) {
-            Some(offset) => {
-                self.stats.lock().hits += 1;
-                center
-                    + Point3::new(offset[0], offset[1], offset[2]) * encoded.radius
+    fn refine_batch(
+        &self,
+        centers: &[Point3],
+        neighborhoods: NeighborhoodsView<'_>,
+        source: &[Point3],
+        out: &mut [Point3],
+    ) {
+        debug_assert_eq!(centers.len(), neighborhoods.len());
+        debug_assert_eq!(centers.len(), out.len());
+        // Block-structured: encode a block of keys, probe them all at once
+        // (the sparse backend prefetches every probe target so the cache
+        // misses overlap), then apply the offsets. All state lives in
+        // fixed-size stack buffers — zero heap traffic per point or block.
+        const BLOCK: usize = 64;
+        let mut keys = [0u128; BLOCK];
+        // radius < 0 marks rows that skip refinement (empty / unencodable).
+        let mut radii = [-1.0f32; BLOCK];
+        let mut results: [Option<crate::lut::Offset>; BLOCK] = [None; BLOCK];
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for block_start in (0..centers.len()).step_by(BLOCK) {
+            let block_len = BLOCK.min(centers.len() - block_start);
+            for b in 0..block_len {
+                let i = block_start + b;
+                let row = neighborhoods.row(i);
+                // Indexed encoding reads `source` directly — no gather copy.
+                match self.encoder.encode_key_indexed(centers[i], row, source) {
+                    Ok((key, radius)) => {
+                        keys[b] = key;
+                        radii[b] = radius;
+                        // Start pulling the probe target in while the rest
+                        // of the block is still encoding.
+                        self.lut.prefetch(key);
+                    }
+                    Err(_) => {
+                        keys[b] = 0;
+                        radii[b] = -1.0;
+                    }
+                }
             }
-            None => {
-                self.stats.lock().misses += 1;
-                center
+            self.lut
+                .get_batch(&keys[..block_len], &mut results[..block_len]);
+            for b in 0..block_len {
+                let i = block_start + b;
+                let center = centers[i];
+                if radii[b] < 0.0 {
+                    out[i] = center;
+                    continue;
+                }
+                match results[b] {
+                    Some(offset) => {
+                        hits += 1;
+                        out[i] = center + Point3::new(offset[0], offset[1], offset[2]) * radii[b];
+                    }
+                    None => {
+                        misses += 1;
+                        out[i] = center;
+                    }
+                }
             }
         }
+        self.stats.add(hits, misses);
     }
 
     fn cost(&self) -> RefinerCost {
-        RefinerCost { lut_lookups_per_point: 1, nn_flops_per_point: 0 }
+        RefinerCost {
+            lut_lookups_per_point: 1,
+            nn_flops_per_point: 0,
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -146,7 +312,7 @@ impl Refiner for LutRefiner {
     }
 
     fn lookup_stats(&self) -> Option<LookupStats> {
-        Some(*self.stats.lock())
+        Some(self.stats.snapshot())
     }
 }
 
@@ -182,20 +348,44 @@ impl Refiner for NnRefiner {
         "nn-refiner"
     }
 
-    fn refine(&self, center: Point3, neighbors: &[Point3]) -> Point3 {
-        if neighbors.is_empty() {
-            return center;
+    fn refine_batch(
+        &self,
+        centers: &[Point3],
+        neighborhoods: NeighborhoodsView<'_>,
+        source: &[Point3],
+        out: &mut [Point3],
+    ) {
+        debug_assert_eq!(centers.len(), neighborhoods.len());
+        debug_assert_eq!(centers.len(), out.len());
+        let mut gather: Vec<Point3> = Vec::new();
+        let mut features: Vec<f32> = Vec::new();
+        let mut scratch = crate::nn::mlp::ForwardScratch::default();
+        for i in 0..centers.len() {
+            let center = centers[i];
+            let row = neighborhoods.row(i);
+            if row.is_empty() {
+                out[i] = center;
+                continue;
+            }
+            gather.clear();
+            gather.extend(row.iter().map(|&j| source[j as usize]));
+            let Ok(radius) = self
+                .encoder
+                .encode_features_into(center, &gather, &mut features)
+            else {
+                out[i] = center;
+                continue;
+            };
+            let o = self.mlp.forward_into(&features, &mut scratch);
+            out[i] = center + Point3::new(o[0], o[1], o[2]) * radius;
         }
-        let Ok(encoded) = self.encoder.encode(center, neighbors) else {
-            return center;
-        };
-        let features = self.encoder.features(&encoded);
-        let out = self.mlp.forward(&features);
-        center + Point3::new(out[0], out[1], out[2]) * encoded.radius
     }
 
     fn cost(&self) -> RefinerCost {
-        RefinerCost { lut_lookups_per_point: 0, nn_flops_per_point: self.mlp.flops_per_inference() }
+        RefinerCost {
+            lut_lookups_per_point: 0,
+            nn_flops_per_point: self.mlp.flops_per_inference(),
+        }
     }
 
     fn memory_bytes(&self) -> usize {
@@ -283,5 +473,75 @@ mod tests {
             Box::new(LutRefiner::new(encoder(), Box::new(SparseLut::new()))),
         ];
         assert_eq!(boxed.len(), 2);
+    }
+
+    /// A batch call over N points must agree bit-for-bit with N per-point
+    /// shim calls (the parity contract of the batched trait redesign).
+    fn batch_matches_per_point(refiner: &dyn Refiner) {
+        // Source cloud: points on a jittered grid.
+        let source: Vec<Point3> = (0..64)
+            .map(|i| {
+                let f = i as f32;
+                Point3::new(f.sin(), (f * 0.7).cos(), f * 0.01)
+            })
+            .collect();
+        // Centers with varying-size (including empty) neighborhoods.
+        let centers: Vec<Point3> = (0..40)
+            .map(|i| source[i] + Point3::new(0.01, -0.02, 0.005))
+            .collect();
+        let mut hoods = Neighborhoods::new();
+        for i in 0..centers.len() {
+            let len = i % 5; // 0..=4 neighbors, row 0 empty
+            hoods.push_row((0..len).map(|k| (i + k + 1) % source.len()));
+        }
+        let mut batch_out = vec![Point3::ZERO; centers.len()];
+        refiner.refine_batch(&centers, hoods.view(), &source, &mut batch_out);
+        for (i, &expected) in batch_out.iter().enumerate() {
+            let neighbors: Vec<Point3> = hoods.row(i).iter().map(|&j| source[j as usize]).collect();
+            let single = refiner.refine(centers[i], &neighbors);
+            assert_eq!(single, expected, "row {i} diverged");
+        }
+    }
+
+    #[test]
+    fn identity_batch_parity() {
+        batch_matches_per_point(&IdentityRefiner);
+    }
+
+    #[test]
+    fn lut_batch_parity() {
+        let enc = encoder();
+        let mut lut = SparseLut::new();
+        // Populate a handful of keys so both hit and miss paths are exercised.
+        let source = Point3::new(0.3, 0.1, -0.2);
+        let key = enc.encode(Point3::ZERO, &[source]).unwrap().key;
+        lut.set(key, [0.1, -0.2, 0.3]).unwrap();
+        let refiner = LutRefiner::new(enc, Box::new(lut));
+        batch_matches_per_point(&refiner);
+        let stats = refiner.lookup_stats().unwrap();
+        assert!(stats.hits + stats.misses > 0);
+    }
+
+    #[test]
+    fn nn_batch_parity() {
+        let refiner = NnRefiner::new(encoder(), Mlp::new(&[12, 32, 32, 3], 9));
+        batch_matches_per_point(&refiner);
+    }
+
+    #[test]
+    fn refine_in_place_refines_only_the_tail() {
+        let source: Vec<Point3> = (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect();
+        let mut cloud = PointCloud::from_positions(source.clone());
+        cloud.push(Point3::new(0.4, 0.5, 0.0), None);
+        cloud.push(Point3::new(1.6, -0.5, 0.0), None);
+        let mut hoods = Neighborhoods::new();
+        hoods.push_row([0usize, 1].into_iter());
+        hoods.push_row([1usize, 2].into_iter());
+        let before_head = cloud.positions()[..10].to_vec();
+        let mut scratch = Vec::new();
+        let refiner = NnRefiner::new(encoder(), Mlp::new(&[12, 8, 3], 3));
+        refine_in_place(&refiner, &mut cloud, 10, &hoods, &source, &mut scratch);
+        assert_eq!(&cloud.positions()[..10], &before_head[..]);
+        assert_ne!(cloud.position(10), Point3::new(0.4, 0.5, 0.0));
     }
 }

@@ -29,7 +29,10 @@ impl Aabb {
     /// Creates a bounding box from two corners; the corners are swapped
     /// component-wise if necessary so that `min <= max` holds.
     pub fn new(a: Point3, b: Point3) -> Self {
-        Self { min: a.min(b), max: a.max(b) }
+        Self {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// Computes the bounding box of an iterator of points, or `None` when the
@@ -126,9 +129,21 @@ impl Aabb {
         let c = self.center();
         let mut out = [*self; 8];
         for (i, o) in out.iter_mut().enumerate() {
-            let xs = if i & 0b100 != 0 { (c.x, self.max.x) } else { (self.min.x, c.x) };
-            let ys = if i & 0b010 != 0 { (c.y, self.max.y) } else { (self.min.y, c.y) };
-            let zs = if i & 0b001 != 0 { (c.z, self.max.z) } else { (self.min.z, c.z) };
+            let xs = if i & 0b100 != 0 {
+                (c.x, self.max.x)
+            } else {
+                (self.min.x, c.x)
+            };
+            let ys = if i & 0b010 != 0 {
+                (c.y, self.max.y)
+            } else {
+                (self.min.y, c.y)
+            };
+            let zs = if i & 0b001 != 0 {
+                (c.z, self.max.z)
+            } else {
+                (self.min.z, c.z)
+            };
             *o = Aabb {
                 min: Point3::new(xs.0, ys.0, zs.0),
                 max: Point3::new(xs.1, ys.1, zs.1),

@@ -39,12 +39,18 @@ impl PointCloud {
 
     /// Creates an empty cloud with capacity reserved for `n` points.
     pub fn with_capacity(n: usize) -> Self {
-        Self { positions: Vec::with_capacity(n), colors: None }
+        Self {
+            positions: Vec::with_capacity(n),
+            colors: None,
+        }
     }
 
     /// Creates a cloud from positions only.
     pub fn from_positions(positions: Vec<Point3>) -> Self {
-        Self { positions, colors: None }
+        Self {
+            positions,
+            colors: None,
+        }
     }
 
     /// Creates a cloud from positions and matching colors.
@@ -58,7 +64,10 @@ impl PointCloud {
                 attributes: colors.len(),
             });
         }
-        Ok(Self { positions, colors: Some(colors) })
+        Ok(Self {
+            positions,
+            colors: Some(colors),
+        })
     }
 
     /// Number of points in the cloud.
@@ -95,6 +104,29 @@ impl PointCloud {
     #[inline]
     pub fn colors(&self) -> Option<&[Color]> {
         self.colors.as_deref()
+    }
+
+    /// Removes and returns the color array, leaving the cloud uncolored.
+    /// Paired with [`Self::set_colors`] so per-frame stages can mutate the
+    /// color storage in place instead of rebuilding the cloud.
+    pub fn take_colors(&mut self) -> Option<Vec<Color>> {
+        self.colors.take()
+    }
+
+    /// Installs a complete color array.
+    ///
+    /// # Errors
+    /// Returns [`Error::AttributeMismatch`] when the length differs from the
+    /// point count.
+    pub fn set_colors(&mut self, colors: Vec<Color>) -> Result<()> {
+        if colors.len() != self.positions.len() {
+            return Err(Error::AttributeMismatch {
+                positions: self.positions.len(),
+                attributes: colors.len(),
+            });
+        }
+        self.colors = Some(colors);
+        Ok(())
     }
 
     /// Position of point `i`.
@@ -156,7 +188,7 @@ impl PointCloud {
     pub fn merge(&mut self, other: &PointCloud) {
         match (&mut self.colors, &other.colors) {
             (Some(mine), Some(theirs)) => mine.extend_from_slice(theirs),
-            (Some(mine), None) => mine.extend(std::iter::repeat(Color::BLACK).take(other.len())),
+            (Some(mine), None) => mine.extend(std::iter::repeat_n(Color::BLACK, other.len())),
             (None, Some(theirs)) => {
                 let mut c = vec![Color::BLACK; self.len()];
                 c.extend_from_slice(theirs);
@@ -177,10 +209,7 @@ impl PointCloud {
         if self.is_empty() {
             return None;
         }
-        let sum = self
-            .positions
-            .iter()
-            .fold(Point3::ZERO, |acc, &p| acc + p);
+        let sum = self.positions.iter().fold(Point3::ZERO, |acc, &p| acc + p);
         Some(sum / self.len() as f32)
     }
 
@@ -210,7 +239,11 @@ impl PointCloud {
             .ok_or_else(|| Error::EmptyCloud("normalize_unit_cube".into()))?;
         let center = bounds.center();
         let half = bounds.longest_edge() * 0.5;
-        let scale = if half <= f32::EPSILON { 1.0 } else { 1.0 / half };
+        let scale = if half <= f32::EPSILON {
+            1.0
+        } else {
+            1.0 / half
+        };
         for p in &mut self.positions {
             *p = (*p - center) * scale;
         }
@@ -297,7 +330,13 @@ mod tests {
             vec![Color::BLACK, Color::WHITE],
         )
         .unwrap_err();
-        assert!(matches!(err, Error::AttributeMismatch { positions: 1, attributes: 2 }));
+        assert!(matches!(
+            err,
+            Error::AttributeMismatch {
+                positions: 1,
+                attributes: 2
+            }
+        ));
     }
 
     #[test]
@@ -380,11 +419,12 @@ mod tests {
 
     #[test]
     fn mean_spacing_reasonable() {
-        let c = PointCloud::from_positions(
-            (0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect(),
-        );
+        let c =
+            PointCloud::from_positions((0..10).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect());
         let s = c.mean_spacing(10).unwrap();
         assert!((s - 1.0).abs() < 1e-5);
-        assert!(PointCloud::from_positions(vec![Point3::ZERO]).mean_spacing(4).is_none());
+        assert!(PointCloud::from_positions(vec![Point3::ZERO])
+            .mean_spacing(4)
+            .is_none());
     }
 }

@@ -64,7 +64,10 @@ mod tests {
         let errs: Vec<Error> = vec![
             Error::InvalidArgument("ratio must be in (0, 1]".into()),
             Error::EmptyCloud("chamfer_distance".into()),
-            Error::AttributeMismatch { positions: 3, attributes: 2 },
+            Error::AttributeMismatch {
+                positions: 3,
+                attributes: 2,
+            },
             Error::Io(io::Error::new(io::ErrorKind::NotFound, "missing")),
             Error::Format("truncated header".into()),
         ];

@@ -6,7 +6,7 @@ use crate::cloud::PointCloud;
 use crate::error::Error;
 use crate::point::{Color, Point3};
 use crate::Result;
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -174,7 +174,11 @@ pub fn read_ply<R: Read>(reader: R) -> Result<PointCloud> {
     }
     let count = vertex_count.ok_or_else(|| Error::Format("missing element vertex".into()))?;
     let mut positions = Vec::with_capacity(count);
-    let mut colors = if has_colors { Some(Vec::with_capacity(count)) } else { None };
+    let mut colors = if has_colors {
+        Some(Vec::with_capacity(count))
+    } else {
+        None
+    };
     for _ in 0..count {
         let line = header_line(lines.next())?;
         let fields: Vec<&str> = line.split_whitespace().collect();
@@ -182,17 +186,27 @@ pub fn read_ply<R: Read>(reader: R) -> Result<PointCloud> {
             return Err(Error::Format(format!("vertex line too short: {line}")));
         }
         let parse_f = |s: &str| -> Result<f32> {
-            s.parse().map_err(|_| Error::Format(format!("bad float: {s}")))
+            s.parse()
+                .map_err(|_| Error::Format(format!("bad float: {s}")))
         };
-        positions.push(Point3::new(parse_f(fields[0])?, parse_f(fields[1])?, parse_f(fields[2])?));
+        positions.push(Point3::new(
+            parse_f(fields[0])?,
+            parse_f(fields[1])?,
+            parse_f(fields[2])?,
+        ));
         if let Some(colors) = &mut colors {
             if fields.len() < 6 {
                 return Err(Error::Format(format!("missing color fields: {line}")));
             }
             let parse_u = |s: &str| -> Result<u8> {
-                s.parse().map_err(|_| Error::Format(format!("bad color byte: {s}")))
+                s.parse()
+                    .map_err(|_| Error::Format(format!("bad color byte: {s}")))
             };
-            colors.push(Color::new(parse_u(fields[3])?, parse_u(fields[4])?, parse_u(fields[5])?));
+            colors.push(Color::new(
+                parse_u(fields[3])?,
+                parse_u(fields[4])?,
+                parse_u(fields[5])?,
+            ));
         }
     }
     match colors {

@@ -70,6 +70,7 @@ impl KdTree {
         &self.points
     }
 
+    #[allow(clippy::only_used_in_recursion)] // depth is the conventional k-d recursion parameter
     fn build_range(&mut self, start: usize, end: usize, depth: usize) -> usize {
         let count = end - start;
         if count <= LEAF_SIZE {
@@ -102,7 +103,12 @@ impl KdTree {
         let value = self.points[self.order[mid]][axis];
         let left = self.build_range(start, mid, depth + 1);
         let right = self.build_range(mid, end, depth + 1);
-        self.nodes.push(Node::Split { axis, value, left, right });
+        self.nodes.push(Node::Split {
+            axis,
+            value,
+            left,
+            right,
+        });
         self.nodes.len() - 1
     }
 
@@ -112,9 +118,11 @@ impl KdTree {
                 for &i in &self.order[start..end] {
                     let d2 = self.points[i].distance_squared(query);
                     if best.len() < k || d2 < best[best.len() - 1].distance_squared {
-                        let n = Neighbor { index: i, distance_squared: d2 };
-                        let pos = best
-                            .partition_point(|x| (x.distance_squared, x.index) < (d2, i));
+                        let n = Neighbor {
+                            index: i,
+                            distance_squared: d2,
+                        };
+                        let pos = best.partition_point(|x| (x.distance_squared, x.index) < (d2, i));
                         best.insert(pos, n);
                         if best.len() > k {
                             best.pop();
@@ -122,13 +130,20 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { axis, value, left, right } => {
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 let diff = query[axis] - value;
-                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.knn_recurse(near, query, k, best);
-                let worst = best
-                    .last()
-                    .map_or(f32::INFINITY, |n| n.distance_squared);
+                let worst = best.last().map_or(f32::INFINITY, |n| n.distance_squared);
                 if best.len() < k || diff * diff <= worst {
                     self.knn_recurse(far, query, k, best);
                 }
@@ -142,13 +157,25 @@ impl KdTree {
                 for &i in &self.order[start..end] {
                     let d2 = self.points[i].distance_squared(query);
                     if d2 <= r2 {
-                        out.push(Neighbor { index: i, distance_squared: d2 });
+                        out.push(Neighbor {
+                            index: i,
+                            distance_squared: d2,
+                        });
                     }
                 }
             }
-            Node::Split { axis, value, left, right } => {
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 let diff = query[axis] - value;
-                let (near, far) = if diff < 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if diff < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.radius_recurse(near, query, r2, out);
                 if diff * diff <= r2 {
                     self.radius_recurse(far, query, r2, out);

@@ -83,7 +83,9 @@ pub struct BruteForce {
 impl BruteForce {
     /// Indexes (copies) the given points.
     pub fn new(points: &[Point3]) -> Self {
-        Self { points: points.to_vec() }
+        Self {
+            points: points.to_vec(),
+        }
     }
 
     /// The indexed points.
@@ -107,9 +109,11 @@ impl NeighborSearch for BruteForce {
         for (index, &p) in self.points.iter().enumerate() {
             let d2 = p.distance_squared(query);
             if best.len() < k || d2 < best[best.len() - 1].distance_squared {
-                let n = Neighbor { index, distance_squared: d2 };
-                let pos = best
-                    .partition_point(|x| (x.distance_squared, x.index) < (d2, index));
+                let n = Neighbor {
+                    index,
+                    distance_squared: d2,
+                };
+                let pos = best.partition_point(|x| (x.distance_squared, x.index) < (d2, index));
                 best.insert(pos, n);
                 if best.len() > k {
                     best.pop();
@@ -127,7 +131,10 @@ impl NeighborSearch for BruteForce {
             .enumerate()
             .filter_map(|(index, &p)| {
                 let d2 = p.distance_squared(query);
-                (d2 <= r2).then_some(Neighbor { index, distance_squared: d2 })
+                (d2 <= r2).then_some(Neighbor {
+                    index,
+                    distance_squared: d2,
+                })
             })
             .collect::<Vec<_>>();
         let len = cands.len();
@@ -192,7 +199,10 @@ mod tests {
 
     #[test]
     fn neighbor_distance_accessor() {
-        let n = Neighbor { index: 0, distance_squared: 4.0 };
+        let n = Neighbor {
+            index: 0,
+            distance_squared: 4.0,
+        };
         assert_eq!(n.distance(), 2.0);
     }
 
@@ -205,6 +215,9 @@ mod tests {
         ];
         let bf = BruteForce::new(&pts);
         let nn = bf.knn(Point3::ZERO, 3);
-        assert_eq!(nn.iter().map(|n| n.index).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(
+            nn.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
     }
 }

@@ -40,7 +40,9 @@ pub mod io;
 pub mod kdtree;
 pub mod knn;
 pub mod metrics;
+pub mod neighborhoods;
 pub mod octree;
+pub mod par;
 pub mod point;
 pub mod sampling;
 pub mod synthetic;
@@ -49,6 +51,7 @@ pub mod voxelgrid;
 pub use aabb::Aabb;
 pub use cloud::PointCloud;
 pub use error::Error;
+pub use neighborhoods::{Neighborhoods, NeighborhoodsView};
 pub use point::{Color, Point3};
 
 /// Convenient result alias used across the crate.

@@ -175,7 +175,11 @@ pub fn rendered_psnr(
         return None;
     }
     mse /= count as f64;
-    Some(if mse <= 0.0 { f64::INFINITY } else { 10.0 * (1.0 / mse).log10() })
+    Some(if mse <= 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (1.0 / mse).log10()
+    })
 }
 
 fn splat_luma(cloud: &PointCloud, view_dir: Point3, resolution: usize) -> Option<Vec<Option<f32>>> {
@@ -184,7 +188,11 @@ fn splat_luma(cloud: &PointCloud, view_dir: Point3, resolution: usize) -> Option
     }
     let dir = view_dir.normalized()?;
     // Build an orthonormal basis (u, v) perpendicular to the view direction.
-    let helper = if dir.x.abs() < 0.9 { Point3::new(1.0, 0.0, 0.0) } else { Point3::new(0.0, 1.0, 0.0) };
+    let helper = if dir.x.abs() < 0.9 {
+        Point3::new(1.0, 0.0, 0.0)
+    } else {
+        Point3::new(0.0, 1.0, 0.0)
+    };
     let u = dir.cross(helper).normalized()?;
     let v = dir.cross(u).normalized()?;
     let bounds = cloud.bounds()?;

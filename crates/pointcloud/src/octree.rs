@@ -71,7 +71,14 @@ impl TwoLayerOctree {
             cells[cell].push(i);
             point_cell[i] = cell;
         }
-        Self { points: points.to_vec(), bounds, top_bounds: top, cell_bounds, cells, point_cell }
+        Self {
+            points: points.to_vec(),
+            bounds,
+            top_bounds: top,
+            cell_bounds,
+            cells,
+            point_cell,
+        }
     }
 
     /// The indexed points.
@@ -117,7 +124,10 @@ impl TwoLayerOctree {
         }
         let cands: Vec<Neighbor> = self.cells[cell]
             .iter()
-            .map(|&i| Neighbor { index: i, distance_squared: self.points[i].distance_squared(query) })
+            .map(|&i| Neighbor {
+                index: i,
+                distance_squared: self.points[i].distance_squared(query),
+            })
             .collect();
         let result = finalize_candidates(cands, k);
         let exact = if result.len() < k {
@@ -170,9 +180,11 @@ impl NeighborSearch for TwoLayerOctree {
             for &i in &self.cells[cell] {
                 let d2 = self.points[i].distance_squared(query);
                 if best.len() < k || d2 < best[best.len() - 1].distance_squared {
-                    let n = Neighbor { index: i, distance_squared: d2 };
-                    let pos = best
-                        .partition_point(|x| (x.distance_squared, x.index) < (d2, i));
+                    let n = Neighbor {
+                        index: i,
+                        distance_squared: d2,
+                    };
+                    let pos = best.partition_point(|x| (x.distance_squared, x.index) < (d2, i));
                     best.insert(pos, n);
                     if best.len() > k {
                         best.pop();
@@ -196,7 +208,10 @@ impl NeighborSearch for TwoLayerOctree {
             for &i in &self.cells[cell] {
                 let d2 = self.points[i].distance_squared(query);
                 if d2 <= r2 {
-                    out.push(Neighbor { index: i, distance_squared: d2 });
+                    out.push(Neighbor {
+                        index: i,
+                        distance_squared: d2,
+                    });
                 }
             }
         }

@@ -1,0 +1,147 @@
+//! Minimal data-parallel helpers (the stand-in for `rayon`).
+//!
+//! The build environment has no access to crates.io, so instead of rayon's
+//! work-stealing pool these helpers fan chunks out over `std::thread::scope`
+//! workers. They are deliberately tiny: every parallel site in the SR engine
+//! is a flat loop over independent elements, which scoped threads over
+//! contiguous chunks handle within a few percent of a real pool.
+//!
+//! With the `parallel` feature disabled (it is on by default) every helper
+//! degrades to its sequential equivalent, which keeps the engine
+//! single-threaded for deterministic profiling and for targets where
+//! spawning threads is undesirable.
+
+/// Upper bound on worker threads for a workload of `items` elements.
+///
+/// Spawning a full complement of threads for a few thousand points costs
+/// more than it saves, so the count scales with the workload and is capped
+/// by the machine's available parallelism.
+pub fn worker_count(items: usize, min_items_per_worker: usize) -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        let available = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        available
+            .min(items / min_items_per_worker.max(1) + 1)
+            .max(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        let _ = (items, min_items_per_worker);
+        1
+    }
+}
+
+/// Runs `f(chunk_index, start, chunk)` over contiguous mutable chunks of
+/// `data`, in parallel when the `parallel` feature is enabled. `start` is
+/// the element offset of the chunk inside `data`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    #[cfg(feature = "parallel")]
+    {
+        if data.len() > chunk_len {
+            std::thread::scope(|scope| {
+                for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+                    let f = &f;
+                    scope.spawn(move || f(c, c * chunk_len, chunk));
+                }
+            });
+            return;
+        }
+    }
+    for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
+        f(c, c * chunk_len, chunk);
+    }
+}
+
+/// Maps `f(chunk_index, range)` over contiguous sub-ranges of `0..len` and
+/// returns the per-chunk outputs in chunk order. The workhorse for
+/// fork/join-style stages that produce per-worker partial results.
+pub fn map_chunks<R, F>(len: usize, chunk_len: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    let chunks = len.div_ceil(chunk_len).max(1);
+    let ranges = (0..chunks).map(|c| (c * chunk_len).min(len)..((c + 1) * chunk_len).min(len));
+    #[cfg(feature = "parallel")]
+    {
+        if chunks > 1 {
+            let mut slots: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                for (slot, range) in slots.iter_mut().zip(ranges) {
+                    let f = &f;
+                    let c = range.start / chunk_len;
+                    scope.spawn(move || *slot = Some(f(c, range)));
+                }
+            });
+            return slots
+                .into_iter()
+                .map(|s| s.expect("worker completed"))
+                .collect();
+        }
+    }
+    ranges.enumerate().map(|(c, range)| f(c, range)).collect()
+}
+
+/// Fills `out[i] = f(i)` for every element, chunked across workers.
+pub fn fill_with<T, F>(out: &mut [T], min_items_per_worker: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = worker_count(out.len(), min_items_per_worker);
+    let chunk = out.len().div_ceil(workers).max(1);
+    for_each_chunk_mut(out, chunk, |_, start, slice| {
+        for (offset, slot) in slice.iter_mut().enumerate() {
+            *slot = f(start + offset);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_count_scales_with_items() {
+        assert_eq!(worker_count(0, 1000), 1);
+        assert!(worker_count(1_000_000, 1000) >= 1);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_touches_every_element() {
+        let mut data = vec![0usize; 1003];
+        for_each_chunk_mut(&mut data, 100, |_, start, chunk| {
+            for (offset, v) in chunk.iter_mut().enumerate() {
+                *v = start + offset;
+            }
+        });
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn map_chunks_covers_range_in_order() {
+        let out = map_chunks(250, 64, |c, range| (c, range.clone()));
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].1, 0..64);
+        assert_eq!(out[3].1, 192..250);
+        assert!(out.iter().enumerate().all(|(i, (c, _))| *c == i));
+        // Degenerate: empty input still yields one (empty) chunk.
+        let empty = map_chunks(0, 64, |_, range| range.len());
+        assert_eq!(empty, vec![0]);
+    }
+
+    #[test]
+    fn fill_with_computes_every_slot() {
+        let mut data = vec![0u64; 4097];
+        fill_with(&mut data, 256, |i| (i as u64) * 3);
+        assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+}

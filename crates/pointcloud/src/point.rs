@@ -30,9 +30,17 @@ pub struct Point3 {
 
 impl Point3 {
     /// The origin `(0, 0, 0)`.
-    pub const ZERO: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Point3 = Point3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The point `(1, 1, 1)`.
-    pub const ONE: Point3 = Point3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Point3 = Point3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
 
     /// Creates a new point from its three coordinates.
     #[inline]
@@ -49,7 +57,11 @@ impl Point3 {
     /// Creates a point from a `[x, y, z]` array.
     #[inline]
     pub const fn from_array(a: [f32; 3]) -> Self {
-        Self { x: a[0], y: a[1], z: a[2] }
+        Self {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     /// Returns the coordinates as a `[x, y, z]` array.
@@ -129,13 +141,21 @@ impl Point3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Point3) -> Point3 {
-        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Point3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Point3) -> Point3 {
-        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Point3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Largest coordinate value.
@@ -282,7 +302,11 @@ pub struct Color {
 
 impl Color {
     /// Pure white.
-    pub const WHITE: Color = Color { r: 255, g: 255, b: 255 };
+    pub const WHITE: Color = Color {
+        r: 255,
+        g: 255,
+        b: 255,
+    };
     /// Pure black.
     pub const BLACK: Color = Color { r: 0, g: 0, b: 0 };
 

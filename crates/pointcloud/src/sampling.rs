@@ -61,7 +61,7 @@ pub fn random_downsample_exact(cloud: &PointCloud, target: usize, seed: u64) -> 
 /// # Errors
 /// Returns [`Error::InvalidArgument`] when `voxel_size` is not positive.
 pub fn voxel_downsample(cloud: &PointCloud, voxel_size: f32) -> Result<PointCloud> {
-    if !(voxel_size > 0.0) || !voxel_size.is_finite() {
+    if voxel_size <= 0.0 || !voxel_size.is_finite() {
         return Err(Error::InvalidArgument(
             "voxel_size must be positive and finite".into(),
         ));
@@ -113,16 +113,16 @@ pub fn farthest_point_sampling(cloud: &PointCloud, target: usize, seed: u64) -> 
         .map(|&p| p.distance_squared(positions[first]))
         .collect();
     while selected.len() < target {
-        let (next, _) = dist
-            .iter()
-            .enumerate()
-            .fold((0usize, f32::NEG_INFINITY), |acc, (i, &d)| {
-                if d > acc.1 {
-                    (i, d)
-                } else {
-                    acc
-                }
-            });
+        let (next, _) =
+            dist.iter()
+                .enumerate()
+                .fold((0usize, f32::NEG_INFINITY), |acc, (i, &d)| {
+                    if d > acc.1 {
+                        (i, d)
+                    } else {
+                        acc
+                    }
+                });
         selected.push(next);
         let np = positions[next];
         for (i, d) in dist.iter_mut().enumerate() {

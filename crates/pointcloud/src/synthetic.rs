@@ -57,12 +57,16 @@ pub fn plane(n: usize, width: f32, height: f32, noise: f32, seed: u64) -> PointC
     let mut positions = Vec::with_capacity(n);
     let mut colors = Vec::with_capacity(n);
     for _ in 0..n {
-        let x: f32 = rng.random_range(-0.5..0.5) * width;
-        let y: f32 = rng.random_range(-0.5..0.5) * height;
+        let x: f32 = rng.random_range(-0.5f32..0.5) * width;
+        let y: f32 = rng.random_range(-0.5f32..0.5) * height;
         let z = gaussian(&mut rng) * noise;
         positions.push(Point3::new(x, y, z));
         let checker = (((x * 4.0 / width).floor() + (y * 4.0 / height).floor()) as i32) % 2 == 0;
-        colors.push(if checker { Color::new(220, 220, 220) } else { Color::new(40, 40, 40) });
+        colors.push(if checker {
+            Color::new(220, 220, 220)
+        } else {
+            Color::new(40, 40, 40)
+        });
     }
     PointCloud::from_positions_and_colors(positions, colors).expect("lengths match")
 }
@@ -123,19 +127,54 @@ pub fn humanoid(n: usize, pose_phase: f32, seed: u64) -> PointCloud {
     let swing = pose_phase.sin() * 0.3;
     let parts: Vec<(Point3, Point3, f32, Color)> = vec![
         // torso
-        (Point3::new(0.0, 0.0, 1.2), Point3::new(0.28, 0.18, 0.42), 3.0, Color::new(180, 40, 60)),
+        (
+            Point3::new(0.0, 0.0, 1.2),
+            Point3::new(0.28, 0.18, 0.42),
+            3.0,
+            Color::new(180, 40, 60),
+        ),
         // head
-        (Point3::new(0.0, 0.0, 1.85), Point3::new(0.14, 0.15, 0.16), 1.0, Color::new(230, 190, 160)),
+        (
+            Point3::new(0.0, 0.0, 1.85),
+            Point3::new(0.14, 0.15, 0.16),
+            1.0,
+            Color::new(230, 190, 160),
+        ),
         // left arm
-        (Point3::new(-0.38, swing * 0.4, 1.3), Point3::new(0.08, 0.08, 0.35), 1.0, Color::new(230, 190, 160)),
+        (
+            Point3::new(-0.38, swing * 0.4, 1.3),
+            Point3::new(0.08, 0.08, 0.35),
+            1.0,
+            Color::new(230, 190, 160),
+        ),
         // right arm
-        (Point3::new(0.38, -swing * 0.4, 1.3), Point3::new(0.08, 0.08, 0.35), 1.0, Color::new(230, 190, 160)),
+        (
+            Point3::new(0.38, -swing * 0.4, 1.3),
+            Point3::new(0.08, 0.08, 0.35),
+            1.0,
+            Color::new(230, 190, 160),
+        ),
         // left leg
-        (Point3::new(-0.15, swing * 0.5, 0.45), Point3::new(0.1, 0.1, 0.45), 1.6, Color::new(40, 40, 120)),
+        (
+            Point3::new(-0.15, swing * 0.5, 0.45),
+            Point3::new(0.1, 0.1, 0.45),
+            1.6,
+            Color::new(40, 40, 120),
+        ),
         // right leg
-        (Point3::new(0.15, -swing * 0.5, 0.45), Point3::new(0.1, 0.1, 0.45), 1.6, Color::new(40, 40, 120)),
+        (
+            Point3::new(0.15, -swing * 0.5, 0.45),
+            Point3::new(0.1, 0.1, 0.45),
+            1.6,
+            Color::new(40, 40, 120),
+        ),
         // skirt / dress flare
-        (Point3::new(0.0, 0.0, 0.8), Point3::new(0.35, 0.3, 0.2), 2.0, Color::new(200, 60, 90)),
+        (
+            Point3::new(0.0, 0.0, 0.8),
+            Point3::new(0.35, 0.3, 0.2),
+            2.0,
+            Color::new(200, 60, 90),
+        ),
     ];
     let total_weight: f32 = parts.iter().map(|p| p.2).sum();
     let mut positions = Vec::with_capacity(n);
@@ -251,11 +290,7 @@ pub fn uniform_noise(n: usize, half_extent: f32, seed: u64) -> PointCloud {
 /// meaningful signal to reconstruct.
 fn angular_color(p: Point3) -> Color {
     let n = p.normalized().unwrap_or(Point3::new(1.0, 0.0, 0.0));
-    Color::from_f32([
-        0.5 + 0.5 * n.x,
-        0.5 + 0.5 * n.y,
-        0.5 + 0.5 * n.z,
-    ])
+    Color::from_f32([0.5 + 0.5 * n.x, 0.5 + 0.5 * n.y, 0.5 + 0.5 * n.z])
 }
 
 /// Box–Muller standard normal sample.

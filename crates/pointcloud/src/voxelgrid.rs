@@ -41,9 +41,16 @@ impl VoxelGrid {
         );
         let mut cells: HashMap<VoxelKey, Vec<usize>> = HashMap::new();
         for (i, &p) in points.iter().enumerate() {
-            cells.entry(Self::key_of(p, voxel_size)).or_default().push(i);
+            cells
+                .entry(Self::key_of(p, voxel_size))
+                .or_default()
+                .push(i);
         }
-        Self { points: points.to_vec(), voxel_size, cells }
+        Self {
+            points: points.to_vec(),
+            voxel_size,
+            cells,
+        }
     }
 
     /// Builds a grid whose voxel size is chosen automatically so that an
@@ -55,8 +62,8 @@ impl VoxelGrid {
             Some(b) if !points.is_empty() => {
                 let area_proxy = b.longest_edge().max(1e-6);
                 // Surface-like clouds fill O(L^2 / s^2) voxels of size s.
-                let per_axis = ((points.len() as f32 / target_per_voxel.max(1) as f32).sqrt())
-                    .max(1.0);
+                let per_axis =
+                    ((points.len() as f32 / target_per_voxel.max(1) as f32).sqrt()).max(1.0);
                 (area_proxy / per_axis).max(1e-6)
             }
             _ => 1.0,
@@ -97,7 +104,10 @@ impl VoxelGrid {
                     if dx.abs().max(dy.abs()).max(dz.abs()) != ring {
                         continue;
                     }
-                    if let Some(v) = self.cells.get(&(center.0 + dx, center.1 + dy, center.2 + dz)) {
+                    if let Some(v) = self
+                        .cells
+                        .get(&(center.0 + dx, center.1 + dy, center.2 + dz))
+                    {
                         out.extend_from_slice(v);
                     }
                 }
@@ -159,7 +169,10 @@ impl NeighborSearch for VoxelGrid {
                     .points
                     .iter()
                     .enumerate()
-                    .map(|(i, &p)| Neighbor { index: i, distance_squared: p.distance_squared(query) })
+                    .map(|(i, &p)| Neighbor {
+                        index: i,
+                        distance_squared: p.distance_squared(query),
+                    })
                     .collect();
                 return finalize_candidates(all, k);
             }
@@ -181,7 +194,10 @@ impl NeighborSearch for VoxelGrid {
             .into_iter()
             .filter_map(|i| {
                 let d2 = self.points[i].distance_squared(query);
-                (d2 <= r2).then_some(Neighbor { index: i, distance_squared: d2 })
+                (d2 <= r2).then_some(Neighbor {
+                    index: i,
+                    distance_squared: d2,
+                })
             })
             .collect();
         let len = out.len();

@@ -60,7 +60,10 @@ pub struct AbrDecision {
 impl AbrDecision {
     /// Full-density passthrough (no downsampling, no SR).
     pub fn full() -> Self {
-        Self { fetch_density: 1.0, sr_ratio: 1.0 }
+        Self {
+            fetch_density: 1.0,
+            sr_ratio: 1.0,
+        }
     }
 }
 
@@ -110,7 +113,11 @@ fn mpc_score(ctx: &AbrContext, params: &QoeParams, density: f64, horizon: usize)
         let stall = (per_chunk_delay - buffer).max(0.0);
         buffer = (buffer - per_chunk_delay).max(0.0) + ctx.chunk_duration_s;
         let variation = (quality - prev_quality).abs();
-        let drop_extra = if quality < prev_quality { params.drop_penalty } else { 1.0 };
+        let drop_extra = if quality < prev_quality {
+            params.drop_penalty
+        } else {
+            1.0
+        };
         score += params.alpha * quality * ctx.chunk_duration_s
             - params.beta * variation * drop_extra
             - params.gamma * stall
@@ -203,7 +210,12 @@ impl DiscreteMpcAbr {
     pub fn new(params: QoeParams, horizon: usize, mut levels: Vec<f64>) -> Self {
         assert!(!levels.is_empty(), "discrete abr needs at least one level");
         levels.sort_by(|a, b| a.total_cmp(b));
-        Self { estimator: HarmonicMeanEstimator::new(5), params, horizon: horizon.max(1), levels }
+        Self {
+            estimator: HarmonicMeanEstimator::new(5),
+            params,
+            horizon: horizon.max(1),
+            levels,
+        }
     }
 
     /// Yuzu's effective density ladder (its SR options are ×2/×3/×4 plus
@@ -313,7 +325,10 @@ pub struct RateBasedAbr {
 impl RateBasedAbr {
     /// Creates a controller with the given safety factor in `(0, 1]`.
     pub fn new(safety: f64) -> Self {
-        Self { estimator: HarmonicMeanEstimator::new(5), safety: safety.clamp(0.1, 1.0) }
+        Self {
+            estimator: HarmonicMeanEstimator::new(5),
+            safety: safety.clamp(0.1, 1.0),
+        }
     }
 }
 
@@ -388,8 +403,16 @@ mod tests {
         let high = abr.decide(&ctx(400.0, 6.0));
         // 30 Mbps cannot; it must downsample aggressively.
         let low = abr.decide(&ctx(30.0, 6.0));
-        assert!(high.fetch_density > 0.9, "high bw density {}", high.fetch_density);
-        assert!(low.fetch_density < 0.3, "low bw density {}", low.fetch_density);
+        assert!(
+            high.fetch_density > 0.9,
+            "high bw density {}",
+            high.fetch_density
+        );
+        assert!(
+            low.fetch_density < 0.3,
+            "low bw density {}",
+            low.fetch_density
+        );
         assert!(low.sr_ratio > 3.0);
         assert_eq!(abr.name(), "continuous-mpc");
     }
@@ -435,7 +458,11 @@ mod tests {
         let mut abr = RateBasedAbr::default();
         let d = abr.decide(&ctx(180.0, 5.0));
         // 180 Mbps * 1 s * 0.85 = 153 Mbit vs 360 Mbit full -> ~0.42.
-        assert!((d.fetch_density - 0.425).abs() < 0.05, "got {}", d.fetch_density);
+        assert!(
+            (d.fetch_density - 0.425).abs() < 0.05,
+            "got {}",
+            d.fetch_density
+        );
         assert_eq!(abr.name(), "rate-based");
     }
 

@@ -109,7 +109,10 @@ mod tests {
         let chunk = chunk_video(&meta, 1.0)[0];
         let full = chunk.encoded_bytes(1.0);
         let half = chunk.encoded_bytes(0.5);
-        assert_eq!(full, (30.0 * 100_000.0 * wire_bytes_per_point()).round() as u64);
+        assert_eq!(
+            full,
+            (30.0 * 100_000.0 * wire_bytes_per_point()).round() as u64
+        );
         assert!((half as f64 / full as f64 - 0.5).abs() < 1e-6);
         // Density is clamped.
         assert_eq!(chunk.encoded_bytes(2.0), full);

@@ -1,17 +1,99 @@
-//! Client-side compute model.
+//! Client-side compute: the live SR session and the analytic compute model.
 //!
-//! The streaming simulator needs to know how long the client spends
-//! upsampling each chunk without actually running super-resolution on every
-//! frame of a multi-minute session. [`SrComputeModel`] captures the
+//! [`SrSession`] wraps a [`volut_core::SrPipeline`] together with a
+//! [`FrameScratch`] arena so that consecutive frames of one streaming
+//! session reuse the engine's index and neighborhood buffers instead of
+//! re-allocating them 30 times per second.
+//!
+//! The streaming simulator additionally needs to know how long the client
+//! spends upsampling each chunk without actually running super-resolution on
+//! every frame of a multi-minute session. [`SrComputeModel`] captures the
 //! per-point cost of each pipeline stage; defaults are provided for the
 //! three SR back-ends compared in the paper and can be re-calibrated from
 //! actual [`volut_core::SrPipeline`] measurements.
 
 use serde::{Deserialize, Serialize};
 use volut_core::device::{DeviceProfile, StageKind};
-use volut_core::pipeline::SrResult;
+use volut_core::interpolate::FrameScratch;
+use volut_core::pipeline::{SrPipeline, SrResult};
+use volut_pointcloud::PointCloud;
 
 use crate::chunk::Chunk;
+
+/// A live client-side super-resolution session: one pipeline plus the
+/// frame-scratch arena shared by all frames it upsamples.
+///
+/// # Example
+///
+/// ```
+/// use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+/// use volut_stream::client::SrSession;
+/// use volut_pointcloud::synthetic;
+///
+/// # fn main() -> Result<(), volut_core::Error> {
+/// let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+/// let mut session = SrSession::new(pipeline);
+/// for seed in 0..3 {
+///     let frame = synthetic::sphere(500, 1.0, seed);
+///     let result = session.upsample_frame(&frame, 2.0)?;
+///     assert_eq!(result.cloud.len(), 1000);
+/// }
+/// assert_eq!(session.frames_upsampled(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SrSession {
+    pipeline: SrPipeline,
+    scratch: FrameScratch,
+    frames: u64,
+}
+
+impl SrSession {
+    /// Creates a session around a configured pipeline.
+    pub fn new(pipeline: SrPipeline) -> Self {
+        Self {
+            pipeline,
+            scratch: FrameScratch::new(),
+            frames: 0,
+        }
+    }
+
+    /// The wrapped pipeline.
+    pub fn pipeline(&self) -> &SrPipeline {
+        &self.pipeline
+    }
+
+    /// Number of frames upsampled so far.
+    pub fn frames_upsampled(&self) -> u64 {
+        self.frames
+    }
+
+    /// Upsamples one received frame, reusing the session's scratch buffers.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures (invalid ratio, insufficient points).
+    pub fn upsample_frame(&mut self, low: &PointCloud, ratio: f64) -> volut_core::Result<SrResult> {
+        let result = self.pipeline.upsample_with(low, ratio, &mut self.scratch)?;
+        self.frames += 1;
+        Ok(result)
+    }
+
+    /// Calibrates an [`SrComputeModel`] from this session by measuring one
+    /// representative frame.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn calibrate_model(
+        &mut self,
+        representative_frame: &PointCloud,
+        ratio: f64,
+    ) -> volut_core::Result<SrComputeModel> {
+        let name = self.pipeline.refiner_name().to_string();
+        let result = self.upsample_frame(representative_frame, ratio)?;
+        Ok(SrComputeModel::calibrate(&name, &result))
+    }
+}
 
 /// Per-point compute cost of a super-resolution back-end, in microseconds on
 /// the reference host.
@@ -126,13 +208,17 @@ impl SrComputeModel {
         let ratio = sr_ratio.max(1.0);
         let output_per_frame = input_per_frame * (ratio - 1.0).max(0.0);
         let frames = chunk.frame_count as f64;
-        let knn = input_per_frame * self.knn_us_per_input_point / 1e6
-            * device.scale_for(StageKind::Knn);
+        let knn =
+            input_per_frame * self.knn_us_per_input_point / 1e6 * device.scale_for(StageKind::Knn);
         let interp = output_per_frame * self.interp_us_per_output_point / 1e6
             * device.scale_for(StageKind::Interpolation);
         let colorize = output_per_frame * self.colorize_us_per_output_point / 1e6
             * device.scale_for(StageKind::Colorization);
-        let refine_kind = if nn_inference { StageKind::NnInference } else { StageKind::LutLookup };
+        let refine_kind = if nn_inference {
+            StageKind::NnInference
+        } else {
+            StageKind::LutLookup
+        };
         let refine = output_per_frame * self.refine_us_per_output_point / 1e6
             * device.scale_for(refine_kind);
         (knn + interp + colorize + refine) * frames
@@ -200,12 +286,18 @@ mod tests {
     fn device_scaling_orders_platforms() {
         let c = chunk();
         let m = SrComputeModel::volut_lut();
-        let desktop = m.chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::desktop_3080ti(), false);
+        let desktop =
+            m.chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::desktop_3080ti(), false);
         let pi = m.chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::orange_pi(), false);
         assert!(desktop < pi);
         // Yuzu pays the NN-inference scale factor on the Pi.
-        let yuzu_pi = SrComputeModel::yuzu_nn()
-            .chunk_time_on_device(&c, 0.25, 4.0, &DeviceProfile::orange_pi(), true);
+        let yuzu_pi = SrComputeModel::yuzu_nn().chunk_time_on_device(
+            &c,
+            0.25,
+            4.0,
+            &DeviceProfile::orange_pi(),
+            true,
+        );
         assert!(yuzu_pi > pi);
     }
 
@@ -230,5 +322,27 @@ mod tests {
         let model = SrComputeModel::calibrate("measured", &result);
         assert!(model.knn_us_per_input_point > 0.0);
         assert!(model.frame_time_s(2000.0, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn session_reuses_scratch_across_frames() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic;
+        let fresh_pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let mut session = SrSession::new(SrPipeline::new(
+            SrConfig::default(),
+            Box::new(IdentityRefiner),
+        ));
+        for seed in 0..4 {
+            let frame = synthetic::sphere(600, 1.0, seed);
+            let expected = fresh_pipeline.upsample(&frame, 2.5).unwrap();
+            let got = session.upsample_frame(&frame, 2.5).unwrap();
+            assert_eq!(expected.cloud, got.cloud, "frame {seed}");
+        }
+        assert_eq!(session.frames_upsampled(), 4);
+        let frame = synthetic::sphere(600, 1.0, 9);
+        let model = session.calibrate_model(&frame, 2.0).unwrap();
+        assert_eq!(model.name, "identity");
+        assert!(model.frame_time_s(600.0, 2.0) >= 0.0);
     }
 }

@@ -54,7 +54,12 @@ impl<'a> ServerEncoder<'a> {
     /// # Errors
     /// Returns an error when the frame does not exist or the density is
     /// outside its domain.
-    pub fn encode_frame(&self, frame_index: usize, density: f64, seed: u64) -> Result<EncodedFrame> {
+    pub fn encode_frame(
+        &self,
+        frame_index: usize,
+        density: f64,
+        seed: u64,
+    ) -> Result<EncodedFrame> {
         let frame = self
             .video
             .frame(frame_index)

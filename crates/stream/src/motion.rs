@@ -42,17 +42,29 @@ pub struct MotionTrace {
 impl MotionTrace {
     /// A slow orbit: the paper's "typical" viewer.
     pub fn orbit() -> Self {
-        Self { kind: MotionKind::Orbit, radius: 2.5, speed: 0.25 }
+        Self {
+            kind: MotionKind::Orbit,
+            radius: 2.5,
+            speed: 0.25,
+        }
     }
 
     /// A nearly stationary inspection viewer.
     pub fn inspect() -> Self {
-        Self { kind: MotionKind::Inspect, radius: 1.8, speed: 0.05 }
+        Self {
+            kind: MotionKind::Inspect,
+            radius: 1.8,
+            speed: 0.05,
+        }
     }
 
     /// A fast walk-by viewer (stressful for viewport prediction).
     pub fn walk_by() -> Self {
-        Self { kind: MotionKind::WalkBy, radius: 3.0, speed: 1.2 }
+        Self {
+            kind: MotionKind::WalkBy,
+            radius: 3.0,
+            speed: 1.2,
+        }
     }
 
     /// The multi-user trace set used by the evaluation.
@@ -66,8 +78,7 @@ impl MotionTrace {
         let position = match self.kind {
             MotionKind::Orbit => {
                 let angle = self.speed * t;
-                target
-                    + Point3::new(self.radius * angle.cos(), self.radius * angle.sin(), 1.6)
+                target + Point3::new(self.radius * angle.cos(), self.radius * angle.sin(), 1.6)
             }
             MotionKind::Inspect => {
                 let wobble = (self.speed * t * 6.0).sin() * 0.15;
@@ -81,7 +92,10 @@ impl MotionTrace {
         let direction = (target + Point3::new(0.0, 0.0, 1.0) - position)
             .normalized()
             .unwrap_or(Point3::new(0.0, 0.0, -1.0));
-        Pose { position, direction }
+        Pose {
+            position,
+            direction,
+        }
     }
 
     /// Mean angular speed of the view direction (radians per second),

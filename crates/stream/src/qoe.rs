@@ -27,7 +27,12 @@ impl Default for QoeParams {
         // α = 1 per chunk-second of full quality; stalls are heavily
         // penalized (a 1-second stall erases ~4 chunk-seconds of quality),
         // matching the qualitative weighting of Yuzu's user study.
-        Self { alpha: 1.0, beta: 1.0, drop_penalty: 1.5, gamma: 4.0 }
+        Self {
+            alpha: 1.0,
+            beta: 1.0,
+            drop_penalty: 1.5,
+            gamma: 4.0,
+        }
     }
 }
 
@@ -110,7 +115,11 @@ impl QoeAccumulator {
             let quality = c.quality.clamp(0.0, 1.0);
             let prev = c.previous_quality.clamp(0.0, 1.0);
             let variation = (quality - prev).abs();
-            let drop_extra = if quality < prev { params.drop_penalty } else { 1.0 };
+            let drop_extra = if quality < prev {
+                params.drop_penalty
+            } else {
+                1.0
+            };
             score += params.alpha * quality * c.duration_s
                 - params.beta * variation * drop_extra
                 - params.gamma * c.stall_s;
@@ -120,7 +129,11 @@ impl QoeAccumulator {
             variation_sum += variation;
         }
         let n = self.chunks.len() as f64;
-        let normalized = if ideal > 0.0 { (score / ideal * 100.0).max(0.0) } else { 0.0 };
+        let normalized = if ideal > 0.0 {
+            (score / ideal * 100.0).max(0.0)
+        } else {
+            0.0
+        };
         QoeSummary {
             score,
             ideal_score: ideal,
@@ -137,7 +150,12 @@ mod tests {
     use super::*;
 
     fn chunk(q: f64, prev: f64, stall: f64) -> ChunkQoe {
-        ChunkQoe { quality: q, previous_quality: prev, stall_s: stall, duration_s: 1.0 }
+        ChunkQoe {
+            quality: q,
+            previous_quality: prev,
+            stall_s: stall,
+            duration_s: 1.0,
+        }
     }
 
     #[test]

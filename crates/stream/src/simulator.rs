@@ -131,6 +131,26 @@ impl StreamingSimulator {
         &self.config
     }
 
+    /// Runs one session of `video` over `trace` with the given system
+    /// variant, overriding the system's default compute model with one
+    /// calibrated from a live [`crate::client::SrSession`] (or any other
+    /// measurement source). This ties the analytic simulator to the actual
+    /// batched SR engine instead of the baked-in per-point constants.
+    ///
+    /// # Errors
+    /// Returns an error when the video produces no chunks.
+    pub fn run_with_model(
+        &self,
+        video: &VideoMeta,
+        trace: &NetworkTrace,
+        system: SystemKind,
+        compute: crate::client::SrComputeModel,
+    ) -> Result<SessionResult> {
+        let mut spec = SystemSpec::build(system, self.config.qoe);
+        spec.compute = compute;
+        self.run_with_spec(video, trace, spec)
+    }
+
     /// Runs one session of `video` over `trace` with the given system variant.
     ///
     /// # Errors
@@ -141,7 +161,16 @@ impl StreamingSimulator {
         trace: &NetworkTrace,
         system: SystemKind,
     ) -> Result<SessionResult> {
-        let mut spec = SystemSpec::build(system, self.config.qoe);
+        let spec = SystemSpec::build(system, self.config.qoe);
+        self.run_with_spec(video, trace, spec)
+    }
+
+    fn run_with_spec(
+        &self,
+        video: &VideoMeta,
+        trace: &NetworkTrace,
+        mut spec: SystemSpec,
+    ) -> Result<SessionResult> {
         let chunks = chunk_video(video, self.config.chunk_duration_s);
         if chunks.is_empty() {
             return Err(crate::Error::InvalidConfig(
@@ -149,12 +178,15 @@ impl StreamingSimulator {
             ));
         }
         let link = SimulatedLink::new(trace);
-        let mut buffer =
-            PlaybackBuffer::new(self.config.buffer_capacity_s, self.config.startup_threshold_s);
+        let mut buffer = PlaybackBuffer::new(
+            self.config.buffer_capacity_s,
+            self.config.startup_threshold_s,
+        );
         let mut qoe = QoeAccumulator::new();
         let mut timeline = Vec::with_capacity(chunks.len());
 
-        let visibility = VisibilityModel::for_motion(&self.config.motion, self.config.prediction_horizon_s);
+        let visibility =
+            VisibilityModel::for_motion(&self.config.motion, self.config.prediction_horizon_s);
 
         // Session clock and counters.
         let mut now_s = 0.0f64;
@@ -201,10 +233,13 @@ impl StreamingSimulator {
 
             // Bytes actually fetched: viewport-adaptive systems fetch only the
             // predicted-visible region.
-            let bytes_fraction =
-                if spec.viewport_adaptive { visibility.bytes_fraction() } else { 1.0 };
-            let bytes =
-                (chunk.encoded_bytes(decision.fetch_density) as f64 * bytes_fraction).round() as u64;
+            let bytes_fraction = if spec.viewport_adaptive {
+                visibility.bytes_fraction()
+            } else {
+                1.0
+            };
+            let bytes = (chunk.encoded_bytes(decision.fetch_density) as f64 * bytes_fraction)
+                .round() as u64;
 
             let download_s = link.download_time(bytes, now_s);
             let compute_s = spec.compute.chunk_time_on_device(
@@ -264,7 +299,7 @@ impl StreamingSimulator {
 
         let n = chunks.len() as f64;
         Ok(SessionResult {
-            system,
+            system: spec.kind,
             video: video.name.clone(),
             trace: trace.name.clone(),
             qoe: qoe.summarize(&self.config.qoe),
@@ -298,7 +333,9 @@ mod tests {
         let sim = StreamingSimulator::new(SessionConfig::default());
         let video = short_video();
         let trace = NetworkTrace::stable(50.0, 120.0);
-        let volut = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        let volut = sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
         let yuzu = sim.run(&video, &trace, SystemKind::YuzuSr).unwrap();
         let vivo = sim.run(&video, &trace, SystemKind::Vivo).unwrap();
         assert!(
@@ -320,11 +357,19 @@ mod tests {
         let sim = StreamingSimulator::new(SessionConfig::default());
         let video = short_video();
         let trace = NetworkTrace::stable(100.0, 120.0);
-        let volut = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
-        let raw_bytes: u64 = chunk_video(&video, 1.0).iter().map(|c| c.encoded_bytes(1.0)).sum();
+        let volut = sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
+        let raw_bytes: u64 = chunk_video(&video, 1.0)
+            .iter()
+            .map(|c| c.encoded_bytes(1.0))
+            .sum();
         // The headline bandwidth claim: up to ~70% reduction vs raw streaming.
         let fraction = volut.data_bytes as f64 / raw_bytes as f64;
-        assert!(fraction < 0.6, "volut should use well under 60% of raw bytes, got {fraction}");
+        assert!(
+            fraction < 0.6,
+            "volut should use well under 60% of raw bytes, got {fraction}"
+        );
         assert!(volut.qoe.normalized > 60.0);
     }
 
@@ -334,7 +379,9 @@ mod tests {
         let sim = StreamingSimulator::new(SessionConfig::default());
         let video = short_video();
         let trace = NetworkTrace::synthetic_lte(40.0, 15.0, 180.0, 9);
-        let h1 = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        let h1 = sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
         let h2 = sim.run(&video, &trace, SystemKind::VolutDiscrete).unwrap();
         let h3 = sim.run(&video, &trace, SystemKind::DiscreteYuzuSr).unwrap();
         assert!(
@@ -343,8 +390,18 @@ mod tests {
             h1.qoe.normalized,
             h2.qoe.normalized
         );
-        assert!(h2.qoe.normalized > h3.qoe.normalized, "h2 {} h3 {}", h2.qoe.normalized, h3.qoe.normalized);
-        assert!(h1.data_bytes < h2.data_bytes, "h1 {} h2 {}", h1.data_bytes, h2.data_bytes);
+        assert!(
+            h2.qoe.normalized > h3.qoe.normalized,
+            "h2 {} h3 {}",
+            h2.qoe.normalized,
+            h3.qoe.normalized
+        );
+        assert!(
+            h1.data_bytes < h2.data_bytes,
+            "h1 {} h2 {}",
+            h1.data_bytes,
+            h2.data_bytes
+        );
     }
 
     #[test]
@@ -352,7 +409,9 @@ mod tests {
         let sim = StreamingSimulator::new(SessionConfig::default());
         let video = VideoMeta::tiny(300, 50_000);
         let trace = NetworkTrace::stable(40.0, 60.0);
-        let r = sim.run(&video, &trace, SystemKind::VolutContinuous).unwrap();
+        let r = sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
         assert_eq!(r.timeline.len(), 10);
         let timeline_bytes: u64 = r.timeline.iter().map(|c| c.bytes).sum();
         assert!(r.data_bytes >= timeline_bytes);
@@ -368,7 +427,9 @@ mod tests {
         let sim = StreamingSimulator::new(SessionConfig::default());
         let video = VideoMeta::tiny(0, 1000);
         let trace = NetworkTrace::stable(40.0, 30.0);
-        assert!(sim.run(&video, &trace, SystemKind::VolutContinuous).is_err());
+        assert!(sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .is_err());
     }
 
     #[test]
@@ -376,10 +437,18 @@ mod tests {
         let sim = StreamingSimulator::new(SessionConfig::default());
         let video = short_video();
         let low = sim
-            .run(&video, &NetworkTrace::stable(30.0, 120.0), SystemKind::VolutContinuous)
+            .run(
+                &video,
+                &NetworkTrace::stable(30.0, 120.0),
+                SystemKind::VolutContinuous,
+            )
             .unwrap();
         let high = sim
-            .run(&video, &NetworkTrace::stable(150.0, 120.0), SystemKind::VolutContinuous)
+            .run(
+                &video,
+                &NetworkTrace::stable(150.0, 120.0),
+                SystemKind::VolutContinuous,
+            )
             .unwrap();
         // With SR saturating the displayed density, the controller never
         // fetches more than the higher-bandwidth session would.

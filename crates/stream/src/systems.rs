@@ -46,7 +46,11 @@ impl SystemKind {
 
     /// The three ablation variants of Table 2.
     pub fn ablation_variants() -> Vec<SystemKind> {
-        vec![SystemKind::VolutContinuous, SystemKind::VolutDiscrete, SystemKind::DiscreteYuzuSr]
+        vec![
+            SystemKind::VolutContinuous,
+            SystemKind::VolutDiscrete,
+            SystemKind::DiscreteYuzuSr,
+        ]
     }
 
     /// Human-readable label used in the figures.

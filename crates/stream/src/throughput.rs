@@ -21,13 +21,16 @@ impl HarmonicMeanEstimator {
     /// Panics when `window` is zero.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be at least 1");
-        Self { window, samples: VecDeque::with_capacity(window) }
+        Self {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
     }
 
     /// Records an observed throughput sample (Mbps); non-positive or
     /// non-finite samples are ignored.
     pub fn observe(&mut self, mbps: f64) {
-        if !(mbps > 0.0) || !mbps.is_finite() {
+        if mbps <= 0.0 || !mbps.is_finite() {
             return;
         }
         if self.samples.len() == self.window {

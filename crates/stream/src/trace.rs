@@ -52,7 +52,11 @@ impl NetworkTrace {
             current = mean_mbps + phi * (current - mean_mbps) + z * noise_std;
             samples.push(current.max(1.0));
         }
-        Self { name: format!("lte-{mean_mbps:.1}"), samples, rtt_s: 0.050 }
+        Self {
+            name: format!("lte-{mean_mbps:.1}"),
+            samples,
+            rtt_s: 0.050,
+        }
     }
 
     /// The set of LTE traces used in the evaluation, spanning the paper's
@@ -75,10 +79,16 @@ impl NetworkTrace {
         if samples.is_empty() {
             return Err(Error::Trace("trace has no samples".into()));
         }
-        if samples.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
-            return Err(Error::Trace("trace samples must be positive and finite".into()));
+        if samples.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
+            return Err(Error::Trace(
+                "trace samples must be positive and finite".into(),
+            ));
         }
-        Ok(Self { name: name.to_string(), samples, rtt_s })
+        Ok(Self {
+            name: name.to_string(),
+            samples,
+            rtt_s,
+        })
     }
 
     /// Trace duration in seconds.
@@ -101,7 +111,11 @@ impl NetworkTrace {
     /// Standard deviation of the bandwidth samples.
     pub fn std_mbps(&self) -> f64 {
         let mean = self.mean_mbps();
-        let var = self.samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
+        let var = self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
             / self.samples.len() as f64;
         var.sqrt()
     }
@@ -137,7 +151,11 @@ mod tests {
     fn synthetic_lte_matches_requested_moments() {
         let t = NetworkTrace::synthetic_lte(32.5, 13.5, 600.0, 7);
         assert!((t.mean_mbps() - 32.5).abs() < 6.0, "mean {}", t.mean_mbps());
-        assert!(t.std_mbps() > 5.0 && t.std_mbps() < 25.0, "std {}", t.std_mbps());
+        assert!(
+            t.std_mbps() > 5.0 && t.std_mbps() < 25.0,
+            "std {}",
+            t.std_mbps()
+        );
         assert!(t.samples().iter().all(|&s| s >= 1.0));
         assert!((t.rtt_s - 0.05).abs() < 1e-9);
     }

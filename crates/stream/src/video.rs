@@ -99,7 +99,12 @@ impl VideoMeta {
 
     /// The four evaluation videos of §7.1.
     pub fn evaluation_set() -> Vec<VideoMeta> {
-        vec![Self::long_dress(), Self::loot(), Self::haggle(), Self::lab()]
+        vec![
+            Self::long_dress(),
+            Self::loot(),
+            Self::haggle(),
+            Self::lab(),
+        ]
     }
 
     /// A scaled-down video for fast tests.
@@ -149,7 +154,12 @@ impl VolumetricVideo {
     /// Generates `frame_count` procedural frames of `points_per_frame`
     /// points for the given content kind. Frame-to-frame animation is driven
     /// by a phase parameter so consecutive frames differ smoothly.
-    pub fn generate(meta: &VideoMeta, frame_count: usize, points_per_frame: usize, seed: u64) -> Self {
+    pub fn generate(
+        meta: &VideoMeta,
+        frame_count: usize,
+        points_per_frame: usize,
+        seed: u64,
+    ) -> Self {
         let frames = (0..frame_count)
             .map(|i| {
                 let phase = i as f32 * 0.21;

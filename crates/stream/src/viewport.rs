@@ -19,7 +19,9 @@ pub struct Viewport {
 impl Default for Viewport {
     fn default() -> Self {
         // ~90° full FoV, typical for VR headsets.
-        Self { half_fov_rad: std::f32::consts::FRAC_PI_4 }
+        Self {
+            half_fov_rad: std::f32::consts::FRAC_PI_4,
+        }
     }
 }
 
@@ -81,7 +83,10 @@ impl VisibilityModel {
         // relative to the viewport half-angle (45°).
         let rotation = angular * prediction_horizon_s;
         let hit = (1.0 - rotation / std::f64::consts::FRAC_PI_2).clamp(0.35, 1.0);
-        Self { visible_fraction: 0.55, prediction_hit_rate: hit }
+        Self {
+            visible_fraction: 0.55,
+            prediction_hit_rate: hit,
+        }
     }
 
     /// Effective displayed quality for ViVo when it fetches the visible
@@ -133,7 +138,10 @@ mod tests {
         let culled = vp.cull(&pose, &cloud);
         let cull_frac = culled.len() as f64 / cloud.len() as f64;
         assert!((frac - cull_frac).abs() < 0.05);
-        assert!(frac > 0.5, "a sphere in front of the camera should be mostly visible");
+        assert!(
+            frac > 0.5,
+            "a sphere in front of the camera should be mostly visible"
+        );
         assert_eq!(vp.visible_fraction(&pose, &PointCloud::new(), 10), 0.0);
     }
 
@@ -150,7 +158,10 @@ mod tests {
 
     #[test]
     fn effective_quality_and_bytes() {
-        let model = VisibilityModel { visible_fraction: 0.55, prediction_hit_rate: 0.8 };
+        let model = VisibilityModel {
+            visible_fraction: 0.55,
+            prediction_hit_rate: 0.8,
+        };
         assert!((model.effective_quality(1.0) - 0.8).abs() < 1e-12);
         assert!((model.effective_quality(0.5) - 0.4).abs() < 1e-12);
         assert!((model.bytes_fraction() - 0.55).abs() < 1e-12);

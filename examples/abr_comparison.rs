@@ -19,7 +19,10 @@ use volut::stream::video::VideoMeta;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Single-decision view: what density does each controller pick?
     println!("single-chunk decisions (full chunk = 11.25 MB compressed, SR up to 8x):");
-    println!("{:>10} {:>14} {:>13} {:>13} {:>11}", "bandwidth", "continuous", "discrete", "buffer", "rate");
+    println!(
+        "{:>10} {:>14} {:>13} {:>13} {:>11}",
+        "bandwidth", "continuous", "discrete", "buffer", "rate"
+    );
     for mbps in [20.0, 35.0, 50.0, 75.0, 100.0, 150.0] {
         let ctx = AbrContext {
             throughput_mbps: mbps,
@@ -50,7 +53,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     video.frame_count = 1800; // one minute
     let sim = StreamingSimulator::new(SessionConfig::default());
     println!("\nsession results over stable links (same LUT SR, different ABR granularity):");
-    println!("{:>10} {:>26} {:>10} {:>12}", "bandwidth", "system", "QoE", "data (MB)");
+    println!(
+        "{:>10} {:>26} {:>10} {:>12}",
+        "bandwidth", "system", "QoE", "data (MB)"
+    );
     for mbps in [30.0, 50.0, 80.0] {
         let trace = NetworkTrace::stable(mbps, video.duration_s() + 30.0);
         for system in [SystemKind::VolutContinuous, SystemKind::VolutDiscrete] {

@@ -21,7 +21,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    and distill it into a lookup table.
     let config = SrConfig::default();
     let training_set = build_training_set(&ground_truth, 0.5, &config, KeyScheme::Full, 7)?;
-    let mut trainer = RefinementTrainer::new(&config, TrainConfig { epochs: 6, ..TrainConfig::default() })?;
+    let mut trainer = RefinementTrainer::new(
+        &config,
+        TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        },
+    )?;
     let report = trainer.train(&training_set)?;
     println!(
         "trained refinement network on {} samples, final loss {:.5}",
@@ -34,7 +40,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Online: the server randomly downsamples the frame (here to 50%),
     //    the client interpolates + LUT-refines it back to full density.
     let low = sampling::random_downsample(&ground_truth, 0.5, 3)?;
-    let volut = SrPipeline::new(config, Box::new(LutRefiner::from_config(&config, KeyScheme::Full, Box::new(lut))?));
+    let volut = SrPipeline::new(
+        config,
+        Box::new(LutRefiner::from_config(
+            &config,
+            KeyScheme::Full,
+            Box::new(lut),
+        )?),
+    );
     let interp_only = SrPipeline::new(config, Box::new(IdentityRefiner));
 
     let refined = volut.upsample(&low, 2.0)?;

@@ -34,8 +34,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|c| c.encoded_bytes(1.0))
         .sum();
 
-    println!("\n{:<32} {:>8} {:>9} {:>10} {:>12}", "system", "QoE", "stall(s)", "data (MB)", "vs full (%)");
-    for system in [SystemKind::VolutContinuous, SystemKind::YuzuSr, SystemKind::Vivo, SystemKind::Raw] {
+    println!(
+        "\n{:<32} {:>8} {:>9} {:>10} {:>12}",
+        "system", "QoE", "stall(s)", "data (MB)", "vs full (%)"
+    );
+    for system in [
+        SystemKind::VolutContinuous,
+        SystemKind::YuzuSr,
+        SystemKind::Vivo,
+        SystemKind::Raw,
+    ] {
         let r = sim.run(&video, &trace, system)?;
         println!(
             "{:<32} {:>8.1} {:>9.1} {:>10.1} {:>11.1}%",
@@ -50,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Show how the continuous controller adapts chunk by chunk.
     let volut = sim.run(&video, &trace, SystemKind::VolutContinuous)?;
     println!("\nVoLUT timeline (first 10 chunks):");
-    println!("{:>5} {:>9} {:>8} {:>9} {:>9} {:>8}", "chunk", "density", "SR", "quality", "buffer", "stall");
+    println!(
+        "{:>5} {:>9} {:>8} {:>9} {:>9} {:>8}",
+        "chunk", "density", "SR", "quality", "buffer", "stall"
+    );
     for record in volut.timeline.iter().take(10) {
         println!(
             "{:>5} {:>9.3} {:>7.1}x {:>9.2} {:>8.1}s {:>7.2}s",

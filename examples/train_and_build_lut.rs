@@ -7,9 +7,9 @@
 //! ```
 
 use volut::core::encoding::KeyScheme;
+use volut::core::lut::builder::LutBuilder;
 use volut::core::lut::io::{read_lut, write_sparse, LutHeader};
 use volut::core::lut::memory::{table1_rows, MemoryModel};
-use volut::core::lut::builder::LutBuilder;
 use volut::core::lut::Lut as _;
 use volut::core::nn::train::{build_training_set, RefinementTrainer, TrainConfig};
 use volut::core::refine::LutRefiner;
@@ -33,18 +33,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Train on several animation phases of the "Long Dress" stand-in.
-    let mut set = build_training_set(&synthetic::humanoid(6_000, 0.0, 1), 0.5, &config, KeyScheme::Full, 1)?;
-    set.extend(build_training_set(&synthetic::humanoid(6_000, 0.9, 1), 0.25, &config, KeyScheme::Full, 2)?);
-    let mut trainer =
-        RefinementTrainer::new(&config, TrainConfig { epochs: 8, ..TrainConfig::default() })?;
+    let mut set = build_training_set(
+        &synthetic::humanoid(6_000, 0.0, 1),
+        0.5,
+        &config,
+        KeyScheme::Full,
+        1,
+    )?;
+    set.extend(build_training_set(
+        &synthetic::humanoid(6_000, 0.9, 1),
+        0.25,
+        &config,
+        KeyScheme::Full,
+        2,
+    )?);
+    let mut trainer = RefinementTrainer::new(
+        &config,
+        TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        },
+    )?;
     let report = trainer.train(&set)?;
-    println!("trained on {} samples, loss {:?} -> {:?}", set.len(), report.epoch_losses.first(), report.final_loss());
+    println!(
+        "trained on {} samples, loss {:?} -> {:?}",
+        set.len(),
+        report.epoch_losses.first(),
+        report.final_loss()
+    );
 
     // Distill and persist.
     let network = trainer.into_network();
     let lut = LutBuilder::new(&config, KeyScheme::Full)?.distill_sparse(&network, &set)?;
-    println!("distilled sparse LUT: {} entries, {} bytes resident", lut.populated(), lut.memory_bytes());
-    let header = LutHeader { scheme: KeyScheme::Full, receptive_field: config.receptive_field, bins: config.bins };
+    println!(
+        "distilled sparse LUT: {} entries, {} bytes resident",
+        lut.populated(),
+        lut.memory_bytes()
+    );
+    let header = LutHeader {
+        scheme: KeyScheme::Full,
+        receptive_field: config.receptive_field,
+        bins: config.bins,
+    };
     let path = std::env::temp_dir().join("volut_example.vlut");
     write_sparse(&lut, header, &path)?;
     println!("wrote {}", path.display());
@@ -52,8 +82,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Reload and use on unseen content (the "Loot" stand-in) to check
     // generalization, like the paper's cross-video evaluation.
     let loaded = read_lut(&path)?;
-    println!("reloaded LUT: {} entries, scheme {:?}", loaded.as_lut().populated(), loaded.header().scheme);
-    let refiner = LutRefiner::from_config(&config, loaded.header().scheme, loaded.into_boxed_lut())?;
+    println!(
+        "reloaded LUT: {} entries, scheme {:?}",
+        loaded.as_lut().populated(),
+        loaded.header().scheme
+    );
+    let refiner =
+        LutRefiner::from_config(&config, loaded.header().scheme, loaded.into_boxed_lut())?;
     let pipeline = SrPipeline::new(config, Box::new(refiner));
 
     let unseen = synthetic::humanoid(8_000, 2.0, 99);

@@ -15,15 +15,24 @@ use volut::pointcloud::{metrics, sampling, synthetic};
 /// content through coarser quantization (the paper's b = 128 setting is tied
 /// to the dense compact-key table analyzed in Table 1).
 fn test_config() -> SrConfig {
-    SrConfig { bins: 16, ..SrConfig::default() }
+    SrConfig {
+        bins: 16,
+        ..SrConfig::default()
+    }
 }
 
 /// Trains a small LUT once for the tests in this file.
 fn train_lut(config: &SrConfig) -> volut::core::lut::sparse::SparseLut {
     let gt = synthetic::humanoid(4_000, 0.2, 3);
     let set = build_training_set(&gt, 0.5, config, KeyScheme::Full, 5).unwrap();
-    let mut trainer =
-        RefinementTrainer::new(config, TrainConfig { epochs: 4, ..TrainConfig::default() }).unwrap();
+    let mut trainer = RefinementTrainer::new(
+        config,
+        TrainConfig {
+            epochs: 4,
+            ..TrainConfig::default()
+        },
+    )
+    .unwrap();
     trainer.train(&set).unwrap();
     LutBuilder::new(config, KeyScheme::Full)
         .unwrap()

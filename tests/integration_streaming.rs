@@ -22,8 +22,14 @@ fn every_system_variant_completes_a_session() {
         let r = sim.run(&video, &trace, system).unwrap();
         assert_eq!(r.timeline.len(), 30, "{system:?}");
         assert!(r.data_bytes > 0, "{system:?}");
-        assert!(r.qoe.normalized >= 0.0 && r.qoe.normalized <= 100.0, "{system:?}");
-        assert!(r.mean_fetch_density > 0.0 && r.mean_fetch_density <= 1.0, "{system:?}");
+        assert!(
+            r.qoe.normalized >= 0.0 && r.qoe.normalized <= 100.0,
+            "{system:?}"
+        );
+        assert!(
+            r.mean_fetch_density > 0.0 && r.mean_fetch_density <= 1.0,
+            "{system:?}"
+        );
     }
 }
 
@@ -35,7 +41,9 @@ fn headline_claims_hold_in_shape() {
     video.frame_count = 1800; // 60 s
     let stable = NetworkTrace::stable(50.0, 120.0);
 
-    let volut = sim.run(&video, &stable, SystemKind::VolutContinuous).unwrap();
+    let volut = sim
+        .run(&video, &stable, SystemKind::VolutContinuous)
+        .unwrap();
     let yuzu = sim.run(&video, &stable, SystemKind::YuzuSr).unwrap();
     let full_bytes: u64 = chunk_video(&video, sim.config().chunk_duration_s)
         .iter()
@@ -44,7 +52,10 @@ fn headline_claims_hold_in_shape() {
 
     // Paper: ~70% bandwidth reduction vs raw full-density streaming.
     let fraction = volut.data_bytes as f64 / full_bytes as f64;
-    assert!(fraction < 0.35, "expected < 35% of raw bytes, got {fraction:.3}");
+    assert!(
+        fraction < 0.35,
+        "expected < 35% of raw bytes, got {fraction:.3}"
+    );
     // Paper: higher QoE than Yuzu-SR with less data.
     assert!(volut.qoe.normalized > yuzu.qoe.normalized);
     assert!(volut.data_bytes < yuzu.data_bytes);
@@ -70,7 +81,10 @@ fn server_encoder_feeds_the_sr_pipeline() {
 
     let gt = video.frame(1).unwrap();
     let relative_gap = (reconstructed.cloud.len() as f64 - gt.len() as f64).abs() / gt.len() as f64;
-    assert!(relative_gap < 0.1, "post-SR density should approach the original");
+    assert!(
+        relative_gap < 0.1,
+        "post-SR density should approach the original"
+    );
     assert!(
         metrics::one_sided_chamfer(gt, &reconstructed.cloud)
             < metrics::one_sided_chamfer(gt, &received)

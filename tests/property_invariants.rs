@@ -10,7 +10,7 @@ use volut::core::interpolate::dilated::dilated_interpolate;
 use volut::pointcloud::kdtree::KdTree;
 use volut::pointcloud::knn::{BruteForce, NeighborSearch};
 use volut::pointcloud::octree::TwoLayerOctree;
-use volut::pointcloud::{metrics, sampling, synthetic, Point3, PointCloud};
+use volut::pointcloud::{metrics, sampling, synthetic, Neighborhoods, Point3, PointCloud};
 
 fn arb_point() -> impl Strategy<Value = Point3> {
     (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0).prop_map(|(x, y, z)| Point3::new(x, y, z))
@@ -118,5 +118,40 @@ proptest! {
         let bounds = cloud.bounds().unwrap();
         prop_assert!(bounds.min.min_element() >= -1.0 - 1e-4);
         prop_assert!(bounds.max.max_element() <= 1.0 + 1e-4);
+    }
+
+    #[test]
+    fn neighborhoods_csr_invariants_and_roundtrip(
+        rows in prop::collection::vec(prop::collection::vec(0usize..5000, 0..9), 0..60),
+    ) {
+        let csr = Neighborhoods::from_nested(&rows);
+        // Shape invariants.
+        prop_assert_eq!(csr.len(), rows.len());
+        let offsets = csr.offsets();
+        prop_assert_eq!(offsets.len(), rows.len() + 1);
+        prop_assert_eq!(offsets[0], 0u32);
+        prop_assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "offsets must be monotone");
+        prop_assert_eq!(*offsets.last().unwrap() as usize, csr.indices().len());
+        prop_assert_eq!(csr.total_indices(), rows.iter().map(Vec::len).sum::<usize>());
+        // Per-row agreement and nested round-trip.
+        for (i, row) in rows.iter().enumerate() {
+            let got: Vec<usize> = csr.row(i).iter().map(|&v| v as usize).collect();
+            prop_assert_eq!(&got, row, "row {}", i);
+        }
+        prop_assert_eq!(csr.to_nested(), rows.clone());
+        // Sliced views agree with the owner on every sub-range boundary.
+        if !rows.is_empty() {
+            let mid = rows.len() / 2;
+            let tail = csr.view().slice_rows(mid, rows.len());
+            for (k, row) in rows[mid..].iter().enumerate() {
+                let got: Vec<usize> = tail.row(k).iter().map(|&v| v as usize).collect();
+                prop_assert_eq!(&got, row, "sliced row {}", k);
+            }
+        }
+        // Append after a round-trip preserves every original row.
+        let mut doubled = csr.clone();
+        doubled.append(&csr);
+        prop_assert_eq!(doubled.len(), rows.len() * 2);
+        prop_assert_eq!(doubled.total_indices(), csr.total_indices() * 2);
     }
 }

@@ -1,0 +1,221 @@
+//! Offline shim for the `bytes` crate (see `third_party/README.md`).
+//!
+//! [`Bytes`] is a cheaply clonable immutable byte buffer (`Arc<[u8]>`
+//! underneath — no slicing views, which this workspace never uses),
+//! [`BytesMut`] a growable builder with little-endian `put_*` methods, and
+//! [`Buf`] the reader trait implemented for `&[u8]` cursors.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self { data: data.into() }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self { data: v.into() }
+    }
+}
+
+/// Growable byte buffer with little-endian writers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends raw bytes.
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u128`.
+    pub fn put_u128_le(&mut self, v: u128) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32_le(&mut self, v: f32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data.into(),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// Reader over a shrinking byte cursor (implemented for `&[u8]`).
+///
+/// # Panics
+/// Like upstream `bytes`, the `get_*` methods panic when the cursor holds
+/// fewer bytes than requested — callers bounds-check with [`Buf::remaining`].
+pub trait Buf {
+    /// Bytes left in the cursor.
+    fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes out and advances.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u128`.
+    fn get_u128_le(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        f32::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Writer trait alias kept for API parity (`BytesMut` has inherent methods).
+pub trait BufMut {}
+impl BufMut for BytesMut {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_slice(b"VPC1");
+        buf.put_u8(7);
+        buf.put_u16_le(1234);
+        buf.put_u64_le(0xDEAD_BEEF);
+        buf.put_u128_le(1 << 100);
+        buf.put_f32_le(-1.5);
+        let frozen = buf.freeze();
+        let mut cursor: &[u8] = &frozen;
+        let mut magic = [0u8; 4];
+        cursor.copy_to_slice(&mut magic);
+        assert_eq!(&magic, b"VPC1");
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16_le(), 1234);
+        assert_eq!(cursor.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u128_le(), 1 << 100);
+        assert_eq!(cursor.get_f32_le(), -1.5);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cursor: &[u8] = &[1, 2];
+        cursor.get_u64_le();
+    }
+}

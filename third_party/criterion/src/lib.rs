@@ -1,0 +1,247 @@
+//! Offline shim for the `criterion` crate (see `third_party/README.md`).
+//!
+//! Implements the subset of the criterion API this workspace's benches use
+//! (`Criterion`, groups, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, `iter`) with a simple wall-clock harness:
+//! each benchmark is warmed up once, then timed for `sample_size` samples,
+//! and the mean / median / min per-iteration time is printed. Statistical
+//! rigor is intentionally traded for zero dependencies — the numbers are
+//! for relative comparisons in this repo's perf trajectory, not papers.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches in this repo import it
+/// from `std::hint`, but the canonical criterion path also works).
+pub use std::hint::black_box;
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (plain strings or [`BenchmarkId`]).
+pub trait IntoBenchmarkLabel {
+    /// The display label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Per-benchmark timer handle passed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        self.samples.clear();
+        self.samples.reserve(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(group: &str, label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{label}: no samples");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{group}/{label}: mean {} median {} min {} ({} samples)",
+        format_duration(mean),
+        format_duration(median),
+        format_duration(min),
+        samples.len()
+    );
+    println!("{line}");
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of measured samples per benchmark (criterion's `sample_size`).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Ignored; kept for API parity.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark without an explicit input.
+    pub fn bench_function<L: IntoBenchmarkLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: L,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &label, &mut bencher.samples);
+        self
+    }
+
+    /// Runs a benchmark with a borrowed input value.
+    pub fn bench_with_input<L: IntoBenchmarkLabel, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: L,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &label, &mut bencher.samples);
+        self
+    }
+
+    /// Finishes the group (printing is already done per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Shim default: 10 samples per benchmark.
+    pub fn new() -> Self {
+        Self {
+            default_sample_size: 10,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.default_sample_size.max(1);
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size,
+        };
+        f(&mut bencher);
+        report("bench", name, &mut bencher.samples);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::new();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro. Requires
+/// `harness = false` on the `[[bench]]` target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion::new();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u32, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+}

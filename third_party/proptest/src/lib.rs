@@ -1,0 +1,215 @@
+//! Offline shim for the `proptest` crate (see `third_party/README.md`).
+//!
+//! Provides the surface this workspace's property tests use: the
+//! [`Strategy`] trait with `prop_map`, strategies for numeric ranges and
+//! tuples, `prop::collection::vec`, `ProptestConfig::with_cases`, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros. Inputs are
+//! sampled from seeded RNG streams (deterministic per case index) — there
+//! is no shrinking; a failing case panics with the standard assert message.
+//!
+//! Limitation: at most one `proptest!` block per module (the config is
+//! expanded into a helper function with a fixed name).
+
+use rand::prelude::*;
+use std::ops::Range;
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps the generated value through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(usize, u64, u32, u16, u8, i32, i64, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// The `prop::` namespace (`prop::collection::vec`).
+pub mod prop {
+    pub mod collection {
+        use super::super::{StdRng, Strategy};
+        use rand::prelude::*;
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s whose length is drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Vector of values from `element` with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let n = rng.random_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+pub use rand::rngs::StdRng;
+
+/// Per-case RNG: deterministic stream derived from the case index.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(
+        0x70726f_70746573u64 ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    )
+}
+
+/// Boolean property assertion (no shrinking — plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality property assertion (no shrinking — plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality property assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes a
+/// `#[test]` running `cases` seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(#![proptest_config($config:expr)])?
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        /// Number of cases configured for this `proptest!` block.
+        #[allow(dead_code)]
+        fn __proptest_shim_cases() -> u32 {
+            #[allow(unused_mut, unused_assignments)]
+            let mut config = $crate::ProptestConfig::default();
+            $( config = $config; )?
+            config.cases
+        }
+
+        $(
+            $(#[$meta])*
+            fn $name() {
+                for __case in 0..__proptest_shim_cases() {
+                    let mut __rng = $crate::case_rng(__case);
+                    $( let $arg = $crate::Strategy::generate(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude`.
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..10, 10u32..20)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_maps_compose(
+            small in (0usize..5).prop_map(|v| v * 2),
+            pair in arb_pair(),
+            items in prop::collection::vec(0f32..1.0, 1..6),
+        ) {
+            prop_assert!(small < 10 && small % 2 == 0);
+            prop_assert!(pair.0 < 10 && (10..20).contains(&pair.1));
+            prop_assert!(!items.is_empty() && items.len() < 6);
+            prop_assert!(items.iter().all(|v| (0.0..1.0).contains(v)));
+        }
+    }
+}

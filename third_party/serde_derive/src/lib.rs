@@ -1,0 +1,244 @@
+//! Offline shim for `serde_derive` (see `third_party/README.md`).
+//!
+//! Generates impls of the shim `serde::Serialize` / `serde::Deserialize`
+//! traits (a `Value`-tree data model) for:
+//! * non-generic structs with named fields, honoring `#[serde(skip)]`
+//!   (skipped fields are omitted on serialize and `Default::default()`ed on
+//!   deserialize);
+//! * enums whose variants are all unit variants (encoded as their name).
+//!
+//! Anything else panics at expansion time with a clear message so an
+//! unsupported shape is caught at compile time, not silently mis-encoded.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field: name plus whether `#[serde(skip)]` was present.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+/// Consumes leading `#[...]` attributes, reporting whether one of them was
+/// `#[serde(skip)]`.
+fn eat_attrs(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    let mut skip = false;
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let text = g.stream().to_string();
+                    // Matches `serde(skip)` and `serde(skip, ...)`.
+                    let compact: String = text.chars().filter(|c| !c.is_whitespace()).collect();
+                    if compact.starts_with("serde(") && compact.contains("skip") {
+                        skip = true;
+                    }
+                } else {
+                    panic!("expected bracketed attribute body after `#`");
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+/// Skips a field's type: consumes tokens until a comma at angle-bracket
+/// depth zero (parenthesized/bracketed groups hide their own commas).
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {}
+        }
+        iter.next();
+    }
+}
+
+fn parse(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    eat_attrs(&mut iter);
+    eat_vis(&mut iter);
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            panic!("serde shim derive does not support tuple struct `{name}`")
+        }
+        other => panic!("expected braced body for `{name}`, found {other:?}"),
+    };
+
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut it = body.into_iter().peekable();
+            while it.peek().is_some() {
+                let skip = eat_attrs(&mut it);
+                eat_vis(&mut it);
+                let fname = match it.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    None => break,
+                    other => panic!("expected field name in `{name}`, found {other:?}"),
+                };
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected `:` after field `{fname}`, found {other:?}"),
+                }
+                skip_type(&mut it);
+                fields.push(Field { name: fname, skip });
+            }
+            Shape::Struct { name, fields }
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut it = body.into_iter().peekable();
+            while it.peek().is_some() {
+                eat_attrs(&mut it);
+                let vname = match it.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    None => break,
+                    other => panic!("expected variant name in `{name}`, found {other:?}"),
+                };
+                match it.next() {
+                    None => {
+                        variants.push(vname);
+                        break;
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(vname),
+                    Some(TokenTree::Group(_)) => {
+                        panic!("serde shim derive only supports unit variants; `{name}::{vname}` has data")
+                    }
+                    other => panic!("unexpected token after variant `{vname}`: {other:?}"),
+                }
+            }
+            Shape::UnitEnum { name, variants }
+        }
+        other => panic!("serde shim derive does not support `{other}` items"),
+    }
+}
+
+/// Derives the shim `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "map.push((\"{0}\".to_string(), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut map: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in &fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::core::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{0}: ::serde::Deserialize::from_value(
+                             value.get(\"{0}\").unwrap_or(&::serde::Value::Null))
+                             .map_err(|e| e.in_field(\"{1}.{0}\"))?,\n",
+                        f.name, name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::Error::custom(format!(\n\
+                                     \"unknown {name} variant: {{other}}\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::Error::custom(\n\
+                                 \"expected string for enum {name}\".to_string())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
