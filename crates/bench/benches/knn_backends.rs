@@ -1,13 +1,16 @@
 //! Criterion bench: neighbor-search backends (brute force, k-d tree,
-//! two-layer octree, voxel grid) — the ablation behind VoLUT's octree choice.
+//! two-layer octree, voxel grid) — the ablation behind VoLUT's octree
+//! choice — plus the per-query vs `knn_batch` comparison behind the
+//! batch-first SR hot path, at 10k and 100k points for every backend.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, is_quick_mode, BenchmarkId, Criterion};
 use std::hint::black_box;
 use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::knn::{BruteForce, NeighborSearch};
 use volut_pointcloud::octree::TwoLayerOctree;
 use volut_pointcloud::synthetic;
 use volut_pointcloud::voxelgrid::VoxelGrid;
+use volut_pointcloud::Neighborhoods;
 
 fn bench_knn_query(c: &mut Criterion) {
     let cloud = synthetic::humanoid(20_000, 0.5, 1);
@@ -41,12 +44,78 @@ fn bench_knn_query(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: one allocating `knn()` call per point (the
+/// seed's hot path) vs one `knn_batch` sweep writing into a flat CSR with
+/// shared traversal scratch. Two workload shapes, both self-queries over
+/// the indexed cloud exactly as the interpolators issue them: `k = 5`
+/// mirrors the naive stage (`k + 1` with the default `k = 4`) and `k = 9`
+/// the dilated stage (`k × d + 1`).
+fn bench_per_query_vs_batch(c: &mut Criterion) {
+    let sizes: &[usize] = if is_quick_mode() {
+        &[2_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    for &n in sizes {
+        let cloud = synthetic::humanoid(n, 0.5, 3);
+        let queries = cloud.positions();
+        let kdtree = KdTree::build(queries);
+        let octree = TwoLayerOctree::build(queries);
+        let grid = VoxelGrid::build_auto(queries, 8);
+
+        for k in [5usize, 9] {
+            let mut group = c.benchmark_group(format!("knn_batch_{n}_k{k}"));
+            group.sample_size(10);
+
+            let per_query = |backend: &dyn NeighborSearch, out: &mut Neighborhoods| {
+                out.clear();
+                for &q in queries {
+                    let nn = backend.knn(q, k);
+                    out.push_row(nn.into_iter().map(|n| n.index));
+                }
+                out.total_indices()
+            };
+            let batched = |backend: &dyn NeighborSearch, out: &mut Neighborhoods| {
+                out.clear();
+                backend.knn_batch(queries, k, out);
+                out.total_indices()
+            };
+
+            let mut out = Neighborhoods::with_capacity(n, n * k);
+            for (name, backend) in [
+                ("kdtree", &kdtree as &dyn NeighborSearch),
+                ("two_layer_octree", &octree),
+                ("voxel_grid", &grid),
+            ] {
+                group.bench_function(BenchmarkId::new("per_query", name), |b| {
+                    b.iter(|| black_box(per_query(backend, &mut out)))
+                });
+                group.bench_function(BenchmarkId::new("batch", name), |b| {
+                    b.iter(|| black_box(batched(backend, &mut out)))
+                });
+            }
+            group.finish();
+        }
+    }
+}
+
+/// Index (re)construction: fresh `build` (allocates) vs scratch-resident
+/// `build_in` (reuses node/order/point storage), the rebuild path behind
+/// the `FrameScratch` index cache.
 fn bench_index_build(c: &mut Criterion) {
-    let cloud = synthetic::humanoid(20_000, 0.5, 3);
+    let n = if is_quick_mode() { 2_000 } else { 20_000 };
+    let cloud = synthetic::humanoid(n, 0.5, 3);
     let mut group = c.benchmark_group("index_build");
     group.sample_size(10);
     group.bench_function("kdtree", |b| {
         b.iter(|| KdTree::build(black_box(cloud.positions())))
+    });
+    group.bench_function("kdtree_build_in", |b| {
+        let mut tree = KdTree::default();
+        b.iter(|| {
+            tree.build_in(black_box(cloud.positions()));
+            tree.points().len()
+        })
     });
     group.bench_function("two_layer_octree", |b| {
         b.iter(|| TwoLayerOctree::build(black_box(cloud.positions())))
@@ -57,5 +126,10 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_knn_query, bench_index_build);
+criterion_group!(
+    benches,
+    bench_knn_query,
+    bench_per_query_vs_batch,
+    bench_index_build
+);
 criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Criterion bench: position encoding and LUT lookup (dense vs sparse),
 //! plus the LUT-bins ablation called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, is_quick_mode, BenchmarkId, Criterion};
 use std::hint::black_box;
 use volut_core::config::SrConfig;
 use volut_core::encoding::{KeyScheme, PositionEncoder};
@@ -94,5 +94,45 @@ fn bench_lookup(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encoding, bench_lookup);
+/// Dense LUT probe shapes over a table far larger than L2: one `get` per
+/// key vs the prefetched `get_batch` block probe (mirrors the
+/// sparse-vs-batched comparison PR 1 added for refinement).
+fn bench_dense_probe(c: &mut Criterion) {
+    let quick = is_quick_mode();
+    // 2^22 entries * 6 bytes = 24 MiB of offset storage.
+    let key_space: u128 = if quick { 1 << 16 } else { 1 << 22 };
+    let mut dense = DenseLut::with_budget(key_space, 64 * 1024 * 1024).unwrap();
+    for key in (0..key_space).step_by(3) {
+        dense.set(key, [0.01, -0.01, 0.02]).unwrap();
+    }
+    // Pseudo-random keys spread over the whole table so every probe is a
+    // fresh cache line (the refinement stage's access pattern).
+    let n_keys = if quick { 4_096 } else { 100_000 };
+    let keys: Vec<u128> = (0..n_keys as u128)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % key_space)
+        .collect();
+    let mut out = vec![None; keys.len()];
+
+    let mut group = c.benchmark_group("dense_probe");
+    group.sample_size(20);
+    group.bench_function("per_key_get", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for (slot, &key) in out.iter_mut().zip(keys.iter()) {
+                *slot = dense.get(key);
+                hits += usize::from(slot.is_some());
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("batched_prefetch", |b| {
+        b.iter(|| {
+            dense.get_batch(&keys, &mut out);
+            black_box(out.iter().filter(|o| o.is_some()).count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding, bench_lookup, bench_dense_probe);
 criterion_main!(benches);

@@ -86,7 +86,7 @@ fn batch_input(n: usize) -> (Vec<Point3>, Neighborhoods, Vec<Point3>) {
         let b = (i * 7 + 1) % source.len();
         let c = (i * 13 + 2) % source.len();
         centers.push(source[a].midpoint(source[b]));
-        hoods.push_row([a, b, c].into_iter());
+        hoods.push_row([a, b, c]);
     }
     (centers, hoods, source)
 }

@@ -26,7 +26,7 @@ pub fn device_total(
     } else {
         StageKind::LutLookup
     };
-    device.scale_duration(StageKind::Knn, timings.knn)
+    device.scale_duration(StageKind::Knn, timings.index_build + timings.knn)
         + device.scale_duration(StageKind::Interpolation, timings.interpolation)
         + device.scale_duration(StageKind::Colorization, timings.colorization)
         + device.scale_duration(refine_kind, timings.refinement)
@@ -91,7 +91,10 @@ pub fn fig16_runtime_breakdown(artifacts: &TrainedArtifacts, points: usize) -> R
         .upsample(&low, 4.0)
         .expect("sr");
     for device in [DeviceProfile::desktop_3080ti(), DeviceProfile::orange_pi()] {
-        let knn = device.scale_duration(StageKind::Knn, result.timings.knn);
+        let knn = device.scale_duration(
+            StageKind::Knn,
+            result.timings.index_build + result.timings.knn,
+        );
         let interp = device.scale_duration(StageKind::Interpolation, result.timings.interpolation);
         let colorize = device.scale_duration(StageKind::Colorization, result.timings.colorization);
         let refine = device.scale_duration(StageKind::LutLookup, result.timings.refinement);

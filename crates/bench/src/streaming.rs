@@ -218,7 +218,7 @@ mod tests {
         // Headline: >= 50% bandwidth saving vs raw streaming on the stable trace.
         let saving = bandwidth_saving(&points).unwrap();
         assert!(saving > 0.5, "saving {saving}");
-        let reports = vec![fig12_qoe(&points), fig13_data_usage(&points)];
+        let reports = [fig12_qoe(&points), fig13_data_usage(&points)];
         assert!(reports.iter().all(|r| r.rows.len() == 6));
     }
 

@@ -9,7 +9,8 @@
 
 use crate::config::SrConfig;
 use crate::encoding::{KeyScheme, PositionEncoder};
-use crate::interpolate::naive::naive_interpolate;
+use crate::interpolate::naive::naive_interpolate_with;
+use crate::interpolate::FrameScratch;
 use crate::nn::mlp::{ForwardScratch, Mlp};
 use crate::pipeline::{SrResult, StageTimings};
 use crate::refine::{refine_in_place, Refiner, RefinerCost};
@@ -97,13 +98,31 @@ impl GradPuUpsampler {
         }
     }
 
-    /// Upsamples `low` by `ratio` (any ratio ≥ 1, like GradPU).
+    /// Upsamples `low` by `ratio` (any ratio ≥ 1, like GradPU), with fresh
+    /// working buffers. Streaming/bench harnesses should prefer
+    /// [`Self::upsample_with`] with a long-lived [`FrameScratch`].
     ///
     /// # Errors
     /// Propagates interpolation failures.
     pub fn upsample(&self, low: &PointCloud, ratio: f64) -> Result<SrResult> {
-        let interp = naive_interpolate(low, &self.config, ratio)?;
+        self.upsample_with(low, ratio, &mut FrameScratch::new())
+    }
+
+    /// [`Self::upsample`] with caller-provided scratch: the spatial index is
+    /// cached across calls (no per-call `positions().to_vec()` + rebuild for
+    /// unchanged geometry) and the refinement center buffer is reused.
+    ///
+    /// # Errors
+    /// Same as [`Self::upsample`].
+    pub fn upsample_with(
+        &self,
+        low: &PointCloud,
+        ratio: f64,
+        scratch: &mut FrameScratch,
+    ) -> Result<SrResult> {
+        let interp = naive_interpolate_with(low, &self.config, ratio, scratch)?;
         let mut timings = StageTimings {
+            index_build: interp.timings.index_build,
             knn: interp.timings.knn,
             interpolation: interp.timings.interpolation,
             colorization: interp.timings.colorization,
@@ -118,16 +137,16 @@ impl GradPuUpsampler {
             network: &self.network,
             iterations: self.iterations,
         };
-        let mut centers_scratch = Vec::new();
         refine_in_place(
             &refiner,
             &mut cloud,
             original_len,
             &interp.neighborhoods,
             low.positions(),
-            &mut centers_scratch,
+            &mut scratch.centers,
         );
         timings.refinement = t0.elapsed();
+        scratch.recycle_neighborhoods(interp.neighborhoods);
 
         Ok(SrResult {
             cloud,

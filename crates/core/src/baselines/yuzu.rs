@@ -14,7 +14,8 @@
 use crate::config::SrConfig;
 use crate::encoding::{KeyScheme, PositionEncoder};
 use crate::error::Error;
-use crate::interpolate::naive::naive_interpolate;
+use crate::interpolate::naive::naive_interpolate_with;
+use crate::interpolate::FrameScratch;
 use crate::nn::mlp::{ForwardScratch, Mlp};
 use crate::pipeline::{SrResult, StageTimings};
 use crate::refine::{refine_in_place, Refiner, RefinerCost};
@@ -118,12 +119,29 @@ impl YuzuUpsampler {
     }
 
     /// Upsamples `low` by the *discrete* ratio closest to (but not above)
-    /// `requested_ratio`.
+    /// `requested_ratio`, with fresh working buffers. Streaming/bench
+    /// harnesses should prefer [`Self::upsample_with`] with a long-lived
+    /// [`FrameScratch`].
     ///
     /// # Errors
     /// Returns [`Error::InvalidRatio`] for ratios below 1 and propagates
     /// interpolation failures.
     pub fn upsample(&self, low: &PointCloud, requested_ratio: f64) -> Result<SrResult> {
+        self.upsample_with(low, requested_ratio, &mut FrameScratch::new())
+    }
+
+    /// [`Self::upsample`] with caller-provided scratch: the spatial index is
+    /// cached across calls (no per-call `positions().to_vec()` + rebuild for
+    /// unchanged geometry) and the refinement center buffer is reused.
+    ///
+    /// # Errors
+    /// Same as [`Self::upsample`].
+    pub fn upsample_with(
+        &self,
+        low: &PointCloud,
+        requested_ratio: f64,
+        scratch: &mut FrameScratch,
+    ) -> Result<SrResult> {
         if !requested_ratio.is_finite() || requested_ratio < 1.0 {
             return Err(Error::InvalidRatio(requested_ratio));
         }
@@ -138,8 +156,9 @@ impl YuzuUpsampler {
         // Yuzu's generator: interpolation to the discrete ratio followed by a
         // single heavyweight network pass per generated point, routed through
         // the shared batch refinement helper.
-        let interp = naive_interpolate(low, &self.config, f64::from(ratio))?;
+        let interp = naive_interpolate_with(low, &self.config, f64::from(ratio), scratch)?;
         let mut timings = StageTimings {
+            index_build: interp.timings.index_build,
             knn: interp.timings.knn,
             interpolation: interp.timings.interpolation,
             colorization: interp.timings.colorization,
@@ -153,16 +172,16 @@ impl YuzuUpsampler {
             encoder: &self.encoder,
             network,
         };
-        let mut centers_scratch = Vec::new();
         refine_in_place(
             &refiner,
             &mut cloud,
             original_len,
             &interp.neighborhoods,
             low.positions(),
-            &mut centers_scratch,
+            &mut scratch.centers,
         );
         timings.refinement = t0.elapsed();
+        scratch.recycle_neighborhoods(interp.neighborhoods);
 
         Ok(SrResult {
             cloud,

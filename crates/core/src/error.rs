@@ -95,7 +95,7 @@ mod tests {
         let pc_err = volut_pointcloud::Error::EmptyCloud("x".into());
         let e: Error = pc_err.into();
         assert!(matches!(e, Error::PointCloud(_)));
-        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: Error = std::io::Error::other("x").into();
         assert!(matches!(e, Error::Io(_)));
     }
 

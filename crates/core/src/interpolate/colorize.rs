@@ -75,7 +75,8 @@ pub fn colorize_new_points(
 
 /// Blended variant: averages the colors of the two parents instead of
 /// copying the nearest one. Used by the Yuzu baseline, which interpolates
-/// attributes jointly with geometry.
+/// attributes jointly with geometry. Chunked across workers like
+/// [`colorize_new_points`].
 pub fn colorize_blend_parents(
     cloud: &mut PointCloud,
     low: &PointCloud,
@@ -85,7 +86,6 @@ pub fn colorize_blend_parents(
     let Some(low_colors) = low.colors() else {
         return;
     };
-    let new_count = cloud.len() - original_len;
     let mut colors = cloud.take_colors().unwrap_or_else(|| {
         let mut seeded: Vec<Color> = Vec::with_capacity(cloud.len());
         seeded.extend_from_slice(&low_colors[..original_len.min(low_colors.len())]);
@@ -93,13 +93,13 @@ pub fn colorize_blend_parents(
         seeded
     });
     colors.truncate(original_len);
-    for i in 0..new_count {
-        let c = parents
+    colors.resize(cloud.len(), Color::BLACK);
+    par::fill_with(&mut colors[original_len..], 8_192, |i| {
+        parents
             .get(i)
             .map(|&(a, b)| low_colors[a].lerp(low_colors[b], 0.5))
-            .unwrap_or(Color::BLACK);
-        colors.push(c);
-    }
+            .unwrap_or(Color::BLACK)
+    });
     cloud
         .set_colors(colors)
         .expect("color array sized to the point count by construction");
@@ -111,7 +111,7 @@ mod tests {
     use volut_pointcloud::{Neighborhoods, Point3};
 
     fn csr(rows: &[Vec<usize>]) -> Neighborhoods {
-        Neighborhoods::from_nested(&rows.to_vec())
+        Neighborhoods::from_nested(rows)
     }
 
     fn two_point_cloud() -> PointCloud {
@@ -190,7 +190,7 @@ mod tests {
         let mut parents = Vec::new();
         for i in 0..n {
             up.push(Point3::new(i as f32 + 0.1, 0.0, 0.0), None);
-            hoods.push_row([i].into_iter());
+            hoods.push_row([i]);
             parents.push((i, (i + 1) % n));
         }
         colorize_new_points(&mut up, &low, n, hoods.view(), &parents);

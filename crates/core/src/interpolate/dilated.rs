@@ -9,7 +9,11 @@
 //!   paper's spatial structure; on CPU the k-d tree answers the same
 //!   queries faster, so it backs the per-point search here while the
 //!   octree's self-contained-leaf fast path remains available — the
-//!   `knn_backends` bench compares all backends);
+//!   `knn_backends` bench compares all backends). The tree is
+//!   scratch-resident (see [`super::IndexCache`]): frames whose geometry is
+//!   unchanged skip the rebuild entirely, and the queries go through the
+//!   allocation-free [`volut_pointcloud::knn::NeighborSearch::knn_batch`]
+//!   path, one batch per worker chunk;
 //! * derives each new point's neighborhood via neighbor-relationship reuse
 //!   (Eq. 2 / [`super::reuse::merge_and_prune`]);
 //! * runs the per-point work in parallel across CPU threads (the stand-in
@@ -31,7 +35,6 @@ use crate::Result;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::Instant;
-use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::knn::NeighborSearch;
 use volut_pointcloud::{par, Neighborhoods, Point3, PointCloud};
 
@@ -95,27 +98,37 @@ pub fn dilated_interpolate_with(
     let mut timings = InterpolationTimings::default();
     let positions = low.positions();
     let dilated_k = config.dilated_neighborhood();
+    let mut neighborhoods = scratch.take_neighborhoods();
 
     // Workload-scaled chunking shared by both parallel phases.
     let workers = par::worker_count(low.len(), 2_000);
     let chunk = low.len().div_ceil(workers).max(1);
 
-    // --- kNN stage: one dilated query per original point (parallel). ------
-    let t0 = Instant::now();
+    // --- Index: scratch-resident k-d tree, rebuilt only on geometry change.
     // The paper's CUDA client batches these queries over the two-layer
     // octree's leaf cells; on CPU the k-d tree answers the same queries
     // faster (see the `knn_backends` bench), so it backs the per-point
     // search while the octree remains available as a library component.
-    let kdtree = KdTree::build(positions);
+    let tb = Instant::now();
+    let (kdtree, _rebuilt) = scratch
+        .index
+        .get_or_build(positions, scratch.geometry_generation);
+    timings.index_build += tb.elapsed();
+
+    // --- kNN stage: one dilated query per original point, batched per
+    // worker chunk with shared traversal scratch.
+    let t0 = Instant::now();
     let partial_dilated = par::map_chunks(low.len(), chunk, |_, range| {
+        let mut raw = Neighborhoods::with_capacity(range.len(), range.len() * (dilated_k + 1));
+        kdtree.knn_batch(&positions[range.clone()], dilated_k + 1, &mut raw);
+        // Strip the self-match from each row and cap at the dilated size.
         let mut local = Neighborhoods::with_capacity(range.len(), range.len() * dilated_k);
-        for i in range {
-            let p = positions[i];
-            let nn = kdtree.knn(p, dilated_k + 1);
-            local.push_row(
-                nn.into_iter()
-                    .map(|n| n.index)
-                    .filter(|&j| j != i)
+        for (offset, i) in range.enumerate() {
+            local.push_row_u32_iter(
+                raw.row(offset)
+                    .iter()
+                    .copied()
+                    .filter(|&j| j as usize != i)
                     .take(dilated_k),
             );
         }
@@ -160,32 +173,30 @@ pub fn dilated_interpolate_with(
             for _ in 0..count {
                 let j = hood[rng.random_range(0..hood.len())] as usize;
                 let q = positions[j];
-                let new_point = p.midpoint(q);
-                if cfg.reuse_neighbors {
-                    out.ops.reused_neighborhoods += 1;
-                    // The k-nearest subsets (heads of the dilated lists)
-                    // serve as the parents' neighbor lists for reuse (Eq. 2).
-                    let np = &hood[..hood.len().min(cfg.k)];
-                    let nq_full = dilated.row(j);
-                    let nq = &nq_full[..nq_full.len().min(cfg.k)];
-                    super::reuse::merge_and_prune_into(
-                        new_point,
-                        np,
-                        nq,
-                        positions,
-                        cfg.k,
-                        &mut out.neighborhoods,
-                    );
-                } else {
-                    // No-reuse ablation: the row is produced by an exact
-                    // query during the sequential merge below, so the
-                    // partial CSR stays empty here.
-                    out.ops.knn_queries += 1;
-                }
-                out.new_points.push(new_point);
+                out.new_points.push(p.midpoint(q));
                 out.parents.push((i, j));
                 out.ops.points_generated += 1;
             }
+        }
+        if cfg.reuse_neighbors {
+            // Derive every generated point's neighborhood in one batched
+            // merge-and-prune pass over the chunk (Eq. 2): the k-nearest
+            // subsets (heads of the dilated lists) serve as the parents'
+            // neighbor lists for reuse.
+            out.ops.reused_neighborhoods += out.new_points.len() as u64;
+            super::reuse::merge_and_prune_rows(
+                &out.new_points,
+                &out.parents,
+                dilated.view(),
+                positions,
+                cfg.k,
+                &mut out.neighborhoods,
+            );
+        } else {
+            // No-reuse ablation: the rows are produced by exact batched
+            // queries during the merge below, so the partial CSR stays
+            // empty here.
+            out.ops.knn_queries += out.new_points.len() as u64;
         }
         out
     });
@@ -194,21 +205,17 @@ pub fn dilated_interpolate_with(
     // --- Merge chunk outputs. ---------------------------------------------
     let mut cloud = low.clone();
     let mut parents = Vec::new();
-    let mut neighborhoods = scratch.take_neighborhoods();
     for part in partials {
         ops = ops.combine(part.ops);
         if config.reuse_neighbors {
             neighborhoods.append(&part.neighborhoods);
         } else {
-            // Fill the no-reuse rows with exact queries (sequential here;
-            // the ablation only cares about total cost).
-            for &np in &part.new_points {
-                let t = Instant::now();
-                let nn = kdtree.knn(np, config.k);
-                timings.knn += t.elapsed();
-                ops.candidates_examined += config.k as u64 * 4;
-                neighborhoods.push_row(nn.into_iter().map(|n| n.index));
-            }
+            // Fill the no-reuse rows with exact batched queries (sequential
+            // here; the ablation only cares about total cost).
+            let t = Instant::now();
+            kdtree.knn_batch(&part.new_points, config.k, &mut neighborhoods);
+            timings.knn += t.elapsed();
+            ops.candidates_examined += part.new_points.len() as u64 * config.k as u64 * 4;
         }
         for (&np, &parent) in part.new_points.iter().zip(part.parents.iter()) {
             cloud.push(np, None);

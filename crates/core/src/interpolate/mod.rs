@@ -25,6 +25,7 @@ pub mod reuse;
 use crate::config::SrConfig;
 use crate::Result;
 use std::time::Duration;
+use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::{Neighborhoods, Point3, PointCloud};
 
 /// Output of an interpolation pass.
@@ -72,7 +73,11 @@ impl InterpolationResult {
 /// Wall-clock time spent in each sub-stage of interpolation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct InterpolationTimings {
-    /// Time spent building the spatial index and answering kNN queries.
+    /// Time spent (re)building or validating the spatial index. Streaming
+    /// sessions with static geometry amortize this to ~zero after the first
+    /// frame thanks to the scratch-resident index cache.
+    pub index_build: Duration,
+    /// Time spent answering kNN queries against the index.
     pub knn: Duration,
     /// Time spent generating midpoints and bookkeeping.
     pub interpolation: Duration,
@@ -83,7 +88,7 @@ pub struct InterpolationTimings {
 impl InterpolationTimings {
     /// Total time across all sub-stages.
     pub fn total(&self) -> Duration {
-        self.knn + self.interpolation + self.colorization
+        self.index_build + self.knn + self.interpolation + self.colorization
     }
 }
 
@@ -113,16 +118,88 @@ impl OpCounts {
     }
 }
 
+/// Usage counters of the scratch-resident spatial index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexCacheStats {
+    /// Frames that paid a full index rebuild.
+    pub rebuilds: u64,
+    /// Frames served from the cached index (matched generation or content).
+    pub reuses: u64,
+}
+
+/// Scratch-resident spatial index shared by the interpolation stages of
+/// consecutive frames.
+///
+/// Streaming sessions repeatedly upsample frames whose geometry is often
+/// unchanged (static chunks, paused playback, repeated calibration frames).
+/// The cache keeps the k-d tree built for the previous frame and revalidates
+/// it per frame, in one of two ways:
+/// * **generation match** — when the caller declared a geometry generation
+///   (see [`FrameScratch::set_geometry_generation`]) and it equals the one
+///   the tree was built from, the tree is trusted outright (O(1));
+/// * **content match** — otherwise the cached tree's own point copy is
+///   compared against the frame positions (a linear memcmp-speed scan, two
+///   orders of magnitude cheaper than the O(n log n) rebuild it avoids).
+///
+/// Either way a hit skips both the `positions().to_vec()` clone and the
+/// rebuild; a miss rebuilds in place via [`KdTree::build_in`], reusing the
+/// tree's storage.
+#[derive(Debug, Default)]
+pub struct IndexCache {
+    tree: KdTree,
+    built: bool,
+    built_generation: Option<u64>,
+    stats: IndexCacheStats,
+}
+
+impl IndexCache {
+    /// Returns the cached tree for `positions`, rebuilding it only when
+    /// neither the declared `generation` nor the indexed content matches.
+    /// The second element reports whether a rebuild happened.
+    pub(crate) fn get_or_build(
+        &mut self,
+        positions: &[Point3],
+        generation: Option<u64>,
+    ) -> (&KdTree, bool) {
+        let trusted = self.built
+            && generation.is_some()
+            && generation == self.built_generation
+            && self.tree.points().len() == positions.len();
+        let fresh = trusted || (self.built && self.tree.points() == positions);
+        if fresh {
+            self.stats.reuses += 1;
+        } else {
+            self.tree.build_in(positions);
+            self.built = true;
+            self.stats.rebuilds += 1;
+        }
+        self.built_generation = generation;
+        (&self.tree, !fresh)
+    }
+
+    /// Usage counters since this cache was created.
+    pub fn stats(&self) -> IndexCacheStats {
+        self.stats
+    }
+
+    /// Drops the cached index (the next frame rebuilds unconditionally).
+    pub fn invalidate(&mut self) {
+        self.built = false;
+        self.built_generation = None;
+    }
+}
+
 /// Reusable per-session buffers shared by the interpolation and refinement
 /// stages.
 ///
 /// A streaming client upsamples tens of frames per second with near-identical
-/// point counts; allocating the neighborhood CSR, the dilated neighbor lists
-/// and the refinement center buffer from scratch every frame wastes both
-/// time and allocator locality. A `FrameScratch` owned by the session (see
-/// `volut_stream::client::SrSession`) is threaded through
+/// point counts; allocating the neighborhood CSR, the dilated neighbor lists,
+/// the spatial index and the refinement center buffer from scratch every
+/// frame wastes both time and allocator locality. A `FrameScratch` owned by
+/// the session (see `volut_stream::client::SrSession`) is threaded through
 /// [`crate::SrPipeline::upsample_with`]; buffers grow to the steady-state
-/// size during the first frame and are reused afterwards.
+/// size during the first frame and are reused afterwards, and the spatial
+/// index is cached across frames (see [`IndexCache`]).
 #[derive(Debug, Default)]
 pub struct FrameScratch {
     /// Recycled CSR container handed to the interpolator each frame.
@@ -134,6 +211,13 @@ pub struct FrameScratch {
     /// Copy of the pre-refinement generated tail (see
     /// [`crate::refine::refine_in_place`]).
     pub(crate) centers: Vec<Point3>,
+    /// Reused query-position buffer (batched kNN over generated points).
+    pub(crate) queries: Vec<Point3>,
+    /// Cached spatial index, revalidated per frame.
+    pub(crate) index: IndexCache,
+    /// Caller-declared geometry generation for the next frame(s); `None`
+    /// means "unknown", which falls back to content verification.
+    pub(crate) geometry_generation: Option<u64>,
 }
 
 impl FrameScratch {
@@ -156,6 +240,26 @@ impl FrameScratch {
     /// Returns a neighborhood container for reuse by the next frame.
     pub fn recycle_neighborhoods(&mut self, neighborhoods: Neighborhoods) {
         self.neighborhoods = Some(neighborhoods);
+    }
+
+    /// Declares the geometry generation of the frames that follow. When it
+    /// matches the generation the cached index was built from, the per-frame
+    /// content check is skipped entirely; bump the value (or call
+    /// [`Self::clear_geometry_generation`]) whenever the frame geometry
+    /// changes. Stale declarations are the caller's responsibility — an
+    /// unchanged generation over changed geometry reuses the old index.
+    pub fn set_geometry_generation(&mut self, generation: u64) {
+        self.geometry_generation = Some(generation);
+    }
+
+    /// Reverts to content-verified index caching (the safe default).
+    pub fn clear_geometry_generation(&mut self) {
+        self.geometry_generation = None;
+    }
+
+    /// Usage counters of the scratch-resident index cache.
+    pub fn index_stats(&self) -> IndexCacheStats {
+        self.index.stats()
     }
 }
 
@@ -306,7 +410,7 @@ mod tests {
     fn frame_scratch_recycles_neighborhoods() {
         let mut scratch = FrameScratch::new();
         let mut n = scratch.take_neighborhoods();
-        n.push_row([1usize, 2].into_iter());
+        n.push_row([1usize, 2]);
         scratch.recycle_neighborhoods(n);
         let n2 = scratch.take_neighborhoods();
         assert!(n2.is_empty(), "recycled container must come back cleared");

@@ -108,6 +108,43 @@ pub fn merge_and_prune_into(
     out.push_row_u32_iter(ranked[..len.min(k)].iter().map(|&(_, i)| i));
 }
 
+/// Batched neighbor-relationship reuse: derives one neighborhood row per
+/// generated point from the dilated lists of its two parents.
+///
+/// For each `i`, row `i` of `out` receives
+/// `merge_and_prune(new_points[i], head_k(hoods[parents[i].0]),
+/// head_k(hoods[parents[i].1]), positions, k)` — the `k`-nearest heads of
+/// the parents' dilated rows merged, re-ranked by distance to the new point
+/// and pruned to `k` (Eq. 2). One call processes a whole worker chunk
+/// through the fixed-capacity [`merge_and_prune_into`] kernel, so the hot
+/// path performs zero heap allocations per generated point.
+///
+/// # Panics
+/// Panics when `new_points` and `parents` disagree in length, or when a
+/// parent index has no row in `hoods`.
+pub fn merge_and_prune_rows(
+    new_points: &[Point3],
+    parents: &[(usize, usize)],
+    hoods: volut_pointcloud::NeighborhoodsView<'_>,
+    positions: &[Point3],
+    k: usize,
+    out: &mut volut_pointcloud::Neighborhoods,
+) {
+    assert_eq!(
+        new_points.len(),
+        parents.len(),
+        "one parent pair per generated point"
+    );
+    out.reserve_rows(new_points.len(), new_points.len() * k);
+    for (&p_new, &(i, j)) in new_points.iter().zip(parents.iter()) {
+        let np_full = hoods.row(i);
+        let np = &np_full[..np_full.len().min(k)];
+        let nq_full = hoods.row(j);
+        let nq = &nq_full[..nq_full.len().min(k)];
+        merge_and_prune_into(p_new, np, nq, positions, k, out);
+    }
+}
+
 /// Measures how well [`merge_and_prune`] approximates an exact kNN result:
 /// returns the recall (fraction of exact neighbors present in the
 /// approximation). Used by tests and the ablation benchmarks.
@@ -220,6 +257,39 @@ mod tests {
         merge_and_prune_into(Point3::ZERO, &[0], &[1], cloud.positions(), 0, &mut csr);
         assert_eq!(csr.len(), before + 1);
         assert!(csr.row(before).is_empty());
+    }
+
+    #[test]
+    fn batched_rows_match_per_point_kernel() {
+        let cloud = synthetic::sphere(500, 1.0, 6);
+        let tree = KdTree::build(cloud.positions());
+        let k = 4;
+        // Dilated-style per-source rows.
+        let mut hoods = volut_pointcloud::Neighborhoods::new();
+        tree.knn_batch(cloud.positions(), k + 1, &mut hoods);
+        let mut new_points = Vec::new();
+        let mut parents = Vec::new();
+        for i in (0..cloud.len()).step_by(11) {
+            let j = (i + 7) % cloud.len();
+            new_points.push(cloud.position(i).midpoint(cloud.position(j)));
+            parents.push((i, j));
+        }
+        let mut batched = volut_pointcloud::Neighborhoods::new();
+        merge_and_prune_rows(
+            &new_points,
+            &parents,
+            hoods.view(),
+            cloud.positions(),
+            k,
+            &mut batched,
+        );
+        let mut expected = volut_pointcloud::Neighborhoods::new();
+        for (&p, &(i, j)) in new_points.iter().zip(parents.iter()) {
+            let np = &hoods.row(i)[..hoods.row(i).len().min(k)];
+            let nq = &hoods.row(j)[..hoods.row(j).len().min(k)];
+            merge_and_prune_into(p, np, nq, cloud.positions(), k, &mut expected);
+        }
+        assert_eq!(batched, expected);
     }
 
     #[test]

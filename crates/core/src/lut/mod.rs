@@ -29,6 +29,25 @@ pub use sparse::SparseLut;
 
 use serde::{Deserialize, Serialize};
 
+/// Issues a hardware prefetch for the cache line holding `*ptr` on targets
+/// that expose one. Shared by the batched probes of both storage backends:
+/// they prefetch every target of a block of keys before reading any of
+/// them, overlapping the DRAM misses instead of serializing them.
+#[inline]
+pub(crate) fn prefetch_read<T>(ptr: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(ptr.cast::<i8>(), std::arch::x86_64::_MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        // No stable prefetch intrinsic elsewhere (e.g. aarch64); the batched
+        // probe loops still benefit from out-of-order overlap of independent
+        // misses.
+        let _ = ptr;
+    }
+}
+
 /// A 3D refinement offset retrieved from a LUT, in the normalized
 /// neighborhood coordinate frame (multiply by the neighborhood radius to get
 /// a world-space displacement).

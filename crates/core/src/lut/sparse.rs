@@ -10,7 +10,7 @@
 //! single-core analogue of the paper's batched CUDA table reads.
 
 use super::f16::{f16_bits_to_f32, f32_to_f16_bits};
-use super::{Lut, Offset};
+use super::{prefetch_read as prefetch, Lut, Offset};
 use crate::Result;
 
 /// One open-addressing slot: packed key, `float16` offsets, occupancy.
@@ -41,24 +41,6 @@ fn hash_key(key: u128) -> u64 {
     h ^= h >> 29;
     h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     h ^ (h >> 32)
-}
-
-#[inline]
-fn prefetch(entry: *const Entry) {
-    #[cfg(target_arch = "x86_64")]
-    unsafe {
-        std::arch::x86_64::_mm_prefetch(entry.cast::<i8>(), std::arch::x86_64::_MM_HINT_T0);
-    }
-    #[cfg(target_arch = "aarch64")]
-    {
-        // No stable prefetch intrinsic on aarch64; the batched probe loop
-        // still benefits from out-of-order overlap of independent misses.
-        let _ = entry;
-    }
-    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
-    {
-        let _ = entry;
-    }
 }
 
 /// Sparse LUT backed by a flat open-addressing table from packed keys to

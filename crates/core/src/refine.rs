@@ -535,8 +535,8 @@ mod tests {
         cloud.push(Point3::new(0.4, 0.5, 0.0), None);
         cloud.push(Point3::new(1.6, -0.5, 0.0), None);
         let mut hoods = Neighborhoods::new();
-        hoods.push_row([0usize, 1].into_iter());
-        hoods.push_row([1usize, 2].into_iter());
+        hoods.push_row([0usize, 1]);
+        hoods.push_row([1usize, 2]);
         let before_head = cloud.positions()[..10].to_vec();
         let mut scratch = Vec::new();
         let refiner = NnRefiner::new(encoder(), Mlp::new(&[12, 8, 3], 3));

@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn io_error_has_source() {
-        let e = Error::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = Error::from(io::Error::other("boom"));
         assert!(e.source().is_some());
         assert!(Error::Format("x".into()).source().is_none());
     }

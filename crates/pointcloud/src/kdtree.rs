@@ -6,25 +6,38 @@
 //! the VoLUT pipeline itself prefers the two-layer octree of
 //! [`crate::octree`].
 
-use crate::knn::{finalize_candidates, Neighbor, NeighborSearch};
+use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
+use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
 
 /// Maximum number of points stored in a leaf before the builder splits it.
 const LEAF_SIZE: usize = 16;
 
-#[derive(Debug, Clone)]
-enum Node {
-    Leaf {
-        /// Range into `KdTree::order`.
-        start: usize,
-        end: usize,
-    },
-    Split {
-        axis: usize,
-        value: f32,
-        left: usize,
-        right: usize,
-    },
+/// `Node::tag` value marking a leaf (split nodes store their axis, 0-2).
+const LEAF_TAG: u32 = 3;
+
+/// One packed tree node (16 bytes, down from a 40-byte enum): keeping the
+/// node array small matters because kNN traversals chase it randomly — at
+/// 100k points the packed array is ~256 KB and stays cache-resident.
+///
+/// Splits: `tag` = axis, `value` = plane, `a`/`b` = left/right child ids.
+/// Leaves: `tag` = [`LEAF_TAG`], `a`/`b` = range into `KdTree::order`.
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    tag: u32,
+    value: f32,
+    a: u32,
+    b: u32,
+}
+
+/// A far subtree deferred during kNN traversal, tagged with the squared
+/// distance lower bound from the query to its region and the per-axis
+/// offset vector that bound was derived from (see [`KdTree::knn_into`]).
+#[derive(Debug, Clone, Copy)]
+pub struct DeferredSubtree {
+    node: u32,
+    bound: f32,
+    off: Point3,
 }
 
 /// An array-backed k-d tree over a fixed point set.
@@ -42,27 +55,51 @@ enum Node {
 pub struct KdTree {
     points: Vec<Point3>,
     /// Permutation of point indices; leaves reference contiguous ranges.
-    order: Vec<usize>,
+    /// `u32` keeps a 16-point leaf inside a single cache line.
+    order: Vec<u32>,
     nodes: Vec<Node>,
     root: usize,
+}
+
+impl Default for KdTree {
+    /// An empty tree (no points indexed); [`KdTree::build_in`] turns it into
+    /// a live index without fresh allocations on rebuild.
+    fn default() -> Self {
+        Self::build(&[])
+    }
 }
 
 impl KdTree {
     /// Builds a k-d tree over the given points (copied into the tree).
     pub fn build(points: &[Point3]) -> Self {
         let mut tree = KdTree {
-            points: points.to_vec(),
-            order: (0..points.len()).collect(),
+            points: Vec::new(),
+            order: Vec::new(),
             nodes: Vec::new(),
             root: 0,
         };
+        tree.build_in(points);
+        tree
+    }
+
+    /// Rebuilds this tree over `points`, reusing the point, permutation and
+    /// node storage already owned by `self`. This is the streaming-session
+    /// entry point: a scratch-resident tree is rebuilt in place when the
+    /// frame geometry actually changes, so steady-state frames pay no
+    /// allocation for index (re)construction.
+    pub fn build_in(&mut self, points: &[Point3]) {
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.order.clear();
+        self.order.extend(0..points.len() as u32);
+        self.nodes.clear();
+        self.root = 0;
         if points.is_empty() {
-            tree.nodes.push(Node::Leaf { start: 0, end: 0 });
-            return tree;
+            self.push_leaf(0, 0);
+            return;
         }
         let n = points.len();
-        tree.root = tree.build_range(0, n, 0);
-        tree
+        self.root = self.build_range(0, n, 0);
     }
 
     /// The indexed points, in their original order.
@@ -70,12 +107,22 @@ impl KdTree {
         &self.points
     }
 
+    /// Appends a leaf node covering `order[start..end]`.
+    fn push_leaf(&mut self, start: usize, end: usize) -> usize {
+        self.nodes.push(Node {
+            tag: LEAF_TAG,
+            value: 0.0,
+            a: start as u32,
+            b: end as u32,
+        });
+        self.nodes.len() - 1
+    }
+
     #[allow(clippy::only_used_in_recursion)] // depth is the conventional k-d recursion parameter
     fn build_range(&mut self, start: usize, end: usize, depth: usize) -> usize {
         let count = end - start;
         if count <= LEAF_SIZE {
-            self.nodes.push(Node::Leaf { start, end });
-            return self.nodes.len() - 1;
+            return self.push_leaf(start, end);
         }
         // Pick the axis with the largest spread for better balance than
         // round-robin on skewed data.
@@ -83,8 +130,8 @@ impl KdTree {
             let mut min = Point3::splat(f32::INFINITY);
             let mut max = Point3::splat(f32::NEG_INFINITY);
             for &i in &self.order[start..end] {
-                min = min.min(self.points[i]);
-                max = max.max(self.points[i]);
+                min = min.min(self.points[i as usize]);
+                max = max.max(self.points[i as usize]);
             }
             let ext = max - min;
             if ext.x >= ext.y && ext.x >= ext.z {
@@ -98,89 +145,116 @@ impl KdTree {
         let mid = start + count / 2;
         let points = &self.points;
         self.order[start..end].select_nth_unstable_by(count / 2, |&a, &b| {
-            points[a][axis].total_cmp(&points[b][axis])
+            points[a as usize][axis].total_cmp(&points[b as usize][axis])
         });
-        let value = self.points[self.order[mid]][axis];
+        let value = self.points[self.order[mid] as usize][axis];
         let left = self.build_range(start, mid, depth + 1);
         let right = self.build_range(mid, end, depth + 1);
-        self.nodes.push(Node::Split {
-            axis,
+        self.nodes.push(Node {
+            tag: axis as u32,
             value,
-            left,
-            right,
+            a: left as u32,
+            b: right as u32,
         });
         self.nodes.len() - 1
     }
 
-    fn knn_recurse(&self, node: usize, query: Point3, k: usize, best: &mut Vec<Neighbor>) {
-        match self.nodes[node] {
-            Node::Leaf { start, end } => {
-                for &i in &self.order[start..end] {
-                    let d2 = self.points[i].distance_squared(query);
-                    if best.len() < k || d2 < best[best.len() - 1].distance_squared {
-                        let n = Neighbor {
-                            index: i,
-                            distance_squared: d2,
-                        };
-                        let pos = best.partition_point(|x| (x.distance_squared, x.index) < (d2, i));
-                        best.insert(pos, n);
-                        if best.len() > k {
-                            best.pop();
-                        }
-                    }
-                }
+    /// Allocation-free exact kNN: results land in `best` (cleared first,
+    /// sorted by `(distance, index)`), `stack` is the reused traversal stack
+    /// of deferred far subtrees tagged with their distance lower bound.
+    ///
+    /// Deferred subtrees carry the *incremental* squared distance from the
+    /// query to their region (Arya & Mount): the per-axis offset vector is
+    /// updated as splits accumulate, so a far subtree constrained on several
+    /// axes gets the full sum of its axis penalties as a bound instead of
+    /// just the last split's. The tighter bound prunes whole subtrees the
+    /// single-axis formulation would still descend into; results are
+    /// identical because the bound remains a true lower bound and equality
+    /// still visits (distance ties are index-broken by [`push_best`]).
+    ///
+    /// This is the kernel behind both [`NeighborSearch::knn`] and the tuned
+    /// [`NeighborSearch::knn_batch`]; one batch call reuses the same two
+    /// buffers for every query.
+    pub(crate) fn knn_into(
+        &self,
+        query: Point3,
+        k: usize,
+        best: &mut BestK,
+        stack: &mut Vec<DeferredSubtree>,
+    ) {
+        best.begin(k);
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        stack.clear();
+        stack.push(DeferredSubtree {
+            node: self.root as u32,
+            bound: 0.0,
+            off: Point3::ZERO,
+        });
+        while let Some(DeferredSubtree {
+            node: deferred,
+            bound,
+            off,
+        }) = stack.pop()
+        {
+            // The bound was computed when the subtree was deferred; the best
+            // list has only tightened since, so this prune is at least as
+            // strong as the recursive formulation's.
+            if bound > best.worst_d2() {
+                continue;
             }
-            Node::Split {
-                axis,
-                value,
-                left,
-                right,
-            } => {
-                let diff = query[axis] - value;
-                let (near, far) = if diff < 0.0 {
-                    (left, right)
-                } else {
-                    (right, left)
-                };
-                self.knn_recurse(near, query, k, best);
-                let worst = best.last().map_or(f32::INFINITY, |n| n.distance_squared);
-                if best.len() < k || diff * diff <= worst {
-                    self.knn_recurse(far, query, k, best);
+            let mut node = deferred as usize;
+            loop {
+                let n = self.nodes[node];
+                if n.tag == LEAF_TAG {
+                    for &i in &self.order[n.a as usize..n.b as usize] {
+                        let d2 = self.points[i as usize].distance_squared(query);
+                        best.push(i as usize, d2);
+                    }
+                    break;
                 }
+                let axis = n.tag as usize;
+                let diff = query[axis] - n.value;
+                let (near, far) = if diff < 0.0 { (n.a, n.b) } else { (n.b, n.a) };
+                // The near child keeps the current offsets; the far child's
+                // offset on this axis grows to |diff| (the split plane lies
+                // between the query side and it).
+                let mut far_off = off;
+                far_off[axis] = diff.abs();
+                let far_bound = far_off.norm_squared();
+                if far_bound <= best.worst_d2() {
+                    stack.push(DeferredSubtree {
+                        node: far,
+                        bound: far_bound,
+                        off: far_off,
+                    });
+                }
+                node = near as usize;
             }
         }
     }
 
     fn radius_recurse(&self, node: usize, query: Point3, r2: f32, out: &mut Vec<Neighbor>) {
-        match self.nodes[node] {
-            Node::Leaf { start, end } => {
-                for &i in &self.order[start..end] {
-                    let d2 = self.points[i].distance_squared(query);
-                    if d2 <= r2 {
-                        out.push(Neighbor {
-                            index: i,
-                            distance_squared: d2,
-                        });
-                    }
+        let n = self.nodes[node];
+        if n.tag == LEAF_TAG {
+            for &i in &self.order[n.a as usize..n.b as usize] {
+                let d2 = self.points[i as usize].distance_squared(query);
+                if d2 <= r2 {
+                    out.push(Neighbor {
+                        index: i as usize,
+                        distance_squared: d2,
+                    });
                 }
             }
-            Node::Split {
-                axis,
-                value,
-                left,
-                right,
-            } => {
-                let diff = query[axis] - value;
-                let (near, far) = if diff < 0.0 {
-                    (left, right)
-                } else {
-                    (right, left)
-                };
-                self.radius_recurse(near, query, r2, out);
-                if diff * diff <= r2 {
-                    self.radius_recurse(far, query, r2, out);
-                }
-            }
+            return;
+        }
+        let axis = n.tag as usize;
+        let diff = query[axis] - n.value;
+        let (near, far) = if diff < 0.0 { (n.a, n.b) } else { (n.b, n.a) };
+        self.radius_recurse(near as usize, query, r2, out);
+        if diff * diff <= r2 {
+            self.radius_recurse(far as usize, query, r2, out);
         }
     }
 }
@@ -194,9 +268,10 @@ impl NeighborSearch for KdTree {
         if k == 0 || self.points.is_empty() {
             return Vec::new();
         }
-        let mut best = Vec::with_capacity(k + 1);
-        self.knn_recurse(self.root, query, k, &mut best);
-        best
+        let mut best = BestK::default();
+        let mut stack: Vec<DeferredSubtree> = Vec::new();
+        self.knn_into(query, k, &mut best, &mut stack);
+        best.sorted().to_vec()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -207,6 +282,24 @@ impl NeighborSearch for KdTree {
         self.radius_recurse(self.root, query, radius * radius, &mut out);
         let len = out.len();
         finalize_candidates(out, len)
+    }
+
+    fn knn_batch(&self, queries: &[Point3], k: usize, out: &mut Neighborhoods) {
+        let stride = k.min(self.points.len());
+        out.reserve_rows(queries.len(), queries.len() * stride);
+        if k == 0 || self.points.is_empty() {
+            for _ in queries {
+                out.push_row(std::iter::empty());
+            }
+            return;
+        }
+        // One traversal stack shared by the whole batch (the best list lives
+        // in the driver) — zero allocations per query at steady state; large
+        // batches run in Morton order for cache locality.
+        let mut stack: Vec<DeferredSubtree> = Vec::with_capacity(64);
+        batch_queries(queries, stride, out, |q, best| {
+            self.knn_into(q, k, best, &mut stack);
+        });
     }
 }
 
@@ -274,6 +367,94 @@ mod tests {
         let nn = tree.knn(Point3::ZERO, 5);
         assert_eq!(nn.len(), 5);
         assert!(nn.iter().all(|n| (n.distance_squared - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn build_in_reuses_storage_and_matches_fresh_build() {
+        let mut tree = KdTree::default();
+        assert!(tree.is_empty());
+        for seed in [11, 12, 13] {
+            let pts = random_points(400 + seed as usize * 37, seed);
+            tree.build_in(&pts);
+            let fresh = KdTree::build(&pts);
+            for q in random_points(10, seed + 100) {
+                let a = tree.knn(q, 6);
+                let b = fresh.knn(q, 6);
+                assert_eq!(
+                    a.iter().map(|n| n.index).collect::<Vec<_>>(),
+                    b.iter().map(|n| n.index).collect::<Vec<_>>()
+                );
+            }
+        }
+        // Shrinking back to empty leaves a valid (empty) tree.
+        tree.build_in(&[]);
+        assert!(tree.knn(Point3::ZERO, 3).is_empty());
+    }
+
+    #[test]
+    fn knn_batch_matches_per_query_loop() {
+        let pts = random_points(700, 21);
+        let tree = KdTree::build(&pts);
+        let queries = random_points(60, 22);
+        for k in [0usize, 1, 4, 9, 1000] {
+            let mut batch = crate::Neighborhoods::new();
+            tree.knn_batch(&queries, k, &mut batch);
+            assert_eq!(batch.len(), queries.len(), "k {k}");
+            for (i, &q) in queries.iter().enumerate() {
+                let expected: Vec<u32> = tree.knn(q, k).iter().map(|n| n.index as u32).collect();
+                assert_eq!(batch.row(i), expected.as_slice(), "k {k} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_handles_duplicate_points_ties() {
+        // Duplicate positions force exact distance ties; batched and
+        // per-query paths must both resolve them by ascending index.
+        let mut pts = vec![Point3::ONE; 20];
+        pts.extend(random_points(100, 31));
+        pts.extend(vec![Point3::ONE; 20]);
+        let tree = KdTree::build(&pts);
+        let nn = tree.knn(Point3::ONE, 8);
+        assert_eq!(
+            nn.iter().map(|n| n.index).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+        let mut batch = crate::Neighborhoods::new();
+        tree.knn_batch(&[Point3::ONE], 8, &mut batch);
+        assert_eq!(batch.row(0), (0..8u32).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn timing_probe() {
+        use std::time::Instant;
+        let pts = crate::synthetic::humanoid(100_000, 0.5, 3);
+        let queries = pts.positions();
+        let tree = KdTree::build(queries);
+        for k in [1usize, 4, 9, 16] {
+            let mut best = crate::knn::BestK::default();
+            let mut stack = Vec::new();
+            let (visit, _) = crate::knn::morton_buckets(queries, 15);
+            let t = Instant::now();
+            let mut acc = 0usize;
+            for &qi in &visit {
+                tree.knn_into(queries[qi as usize], k, &mut best, &mut stack);
+                acc += best.sorted().len();
+            }
+            println!("k={k} morton-order sweep: {:?} acc {acc}", t.elapsed());
+            let t = Instant::now();
+            let mut acc = 0usize;
+            for &q in queries.iter() {
+                tree.knn_into(q, k, &mut best, &mut stack);
+                acc += best.sorted().len();
+            }
+            println!("k={k} random-order sweep: {:?} acc {acc}", t.elapsed());
+        }
+        // morton_buckets cost alone
+        let t = Instant::now();
+        let (visit, _) = crate::knn::morton_buckets(queries, 15);
+        println!("morton_buckets: {:?} ({} visits)", t.elapsed(), visit.len());
     }
 
     #[test]

@@ -52,6 +52,14 @@ impl Neighborhoods {
         }
     }
 
+    /// Reserves space for `rows` additional rows holding `total_indices`
+    /// additional entries overall (used by batched kNN writers so pushing a
+    /// whole batch of rows performs at most one reallocation per array).
+    pub fn reserve_rows(&mut self, rows: usize, total_indices: usize) {
+        self.offsets.reserve(rows);
+        self.indices.reserve(total_indices);
+    }
+
     /// Number of rows (neighbor lists).
     pub fn len(&self) -> usize {
         self.offsets.len() - 1
@@ -280,9 +288,9 @@ mod tests {
 
     fn sample() -> Neighborhoods {
         let mut n = Neighborhoods::new();
-        n.push_row([3, 1, 4].into_iter());
+        n.push_row([3, 1, 4]);
         n.push_row(std::iter::empty());
-        n.push_row([1, 5].into_iter());
+        n.push_row([1, 5]);
         n
     }
 
@@ -292,7 +300,7 @@ mod tests {
         assert_eq!(d.offsets(), &[0]);
         assert_eq!(d.len(), 0);
         let mut d = d;
-        d.push_row([1usize, 2].into_iter());
+        d.push_row([1usize, 2]);
         assert_eq!(d.len(), 1);
         assert_eq!(d.row(0), &[1, 2]);
     }
@@ -336,7 +344,7 @@ mod tests {
         assert!(n.is_empty());
         assert_eq!(n.len(), 0);
         assert!(n.indices.capacity() >= cap);
-        n.push_row([9usize].into_iter());
+        n.push_row([9usize]);
         assert_eq!(n.row(0), &[9]);
     }
 
@@ -371,8 +379,8 @@ mod tests {
     fn append_matches_sequential_pushes() {
         let mut a = sample();
         let mut b = Neighborhoods::new();
-        b.push_row([8usize].into_iter());
-        b.push_row([2usize, 6].into_iter());
+        b.push_row([8usize]);
+        b.push_row([2usize, 6]);
         a.append(&b);
         assert_eq!(a.len(), 5);
         assert_eq!(a.row(3), &[8]);
@@ -387,7 +395,7 @@ mod tests {
     #[test]
     fn push_row_u32_matches_push_row() {
         let mut a = Neighborhoods::new();
-        a.push_row([1usize, 2, 3].into_iter());
+        a.push_row([1usize, 2, 3]);
         let mut b = Neighborhoods::new();
         b.push_row_u32(&[1, 2, 3]);
         assert_eq!(a, b);

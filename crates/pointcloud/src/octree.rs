@@ -8,7 +8,8 @@
 //! dilated-interpolation stage.
 
 use crate::aabb::Aabb;
-use crate::knn::{finalize_candidates, Neighbor, NeighborSearch};
+use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
+use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
 
 /// Number of top-level regions per axis split (2 => 8 octants).
@@ -47,38 +48,61 @@ pub struct TwoLayerOctree {
     point_cell: Vec<usize>,
 }
 
+impl Default for TwoLayerOctree {
+    /// An empty octree; [`TwoLayerOctree::build_in`] turns it into a live
+    /// index without fresh allocations on rebuild.
+    fn default() -> Self {
+        Self::build(&[])
+    }
+}
+
 impl TwoLayerOctree {
     /// Builds the two-layer octree over the given points (copied).
     pub fn build(points: &[Point3]) -> Self {
+        let mut oct = Self {
+            points: Vec::new(),
+            bounds: Aabb::new(Point3::ZERO, Point3::ONE),
+            top_bounds: [Aabb::new(Point3::ZERO, Point3::ONE); 8],
+            cell_bounds: Vec::new(),
+            cells: vec![Vec::new(); LEAF_CELLS],
+            point_cell: Vec::new(),
+        };
+        oct.build_in(points);
+        oct
+    }
+
+    /// Rebuilds this octree over `points`, reusing the point storage and the
+    /// 64 per-cell index lists already owned by `self`.
+    pub fn build_in(&mut self, points: &[Point3]) {
         let bounds = Aabb::from_points(points.iter().copied())
             .unwrap_or(Aabb::new(Point3::ZERO, Point3::ONE))
             // A tiny inflation avoids points sitting exactly on the max face
             // falling outside every cell due to floating-point rounding.
             .inflated(1e-4);
         let top = bounds.octants();
-        let mut cell_bounds = Vec::with_capacity(LEAF_CELLS);
+        self.cell_bounds.clear();
+        self.cell_bounds.reserve(LEAF_CELLS);
         for region in &top {
             for sub in region.octants() {
-                cell_bounds.push(sub);
+                self.cell_bounds.push(sub);
             }
         }
-        let mut cells = vec![Vec::new(); LEAF_CELLS];
-        let mut point_cell = vec![0usize; points.len()];
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        self.point_cell.clear();
+        self.point_cell.resize(points.len(), 0);
         for (i, &p) in points.iter().enumerate() {
             let region = bounds.octant_of(p);
             let sub = top[region].octant_of(p);
             let cell = region * 8 + sub;
-            cells[cell].push(i);
-            point_cell[i] = cell;
+            self.cells[cell].push(i);
+            self.point_cell[i] = cell;
         }
-        Self {
-            points: points.to_vec(),
-            bounds,
-            top_bounds: top,
-            cell_bounds,
-            cells,
-            point_cell,
-        }
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.bounds = bounds;
+        self.top_bounds = top;
     }
 
     /// The indexed points.
@@ -151,6 +175,42 @@ impl TwoLayerOctree {
         };
         (result, exact)
     }
+
+    /// Allocation-free exact kNN: results land in `best` (cleared first,
+    /// sorted by `(distance, index)`); `order` is the reused cell-visitation
+    /// scratch (cells sorted by their distance lower bound to the query).
+    /// One batch call shares both buffers across all its queries.
+    pub(crate) fn knn_into(
+        &self,
+        query: Point3,
+        k: usize,
+        best: &mut BestK,
+        order: &mut Vec<(f32, usize)>,
+    ) {
+        best.begin(k);
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        // Visit cells in order of their lower-bound distance to the query.
+        order.clear();
+        order.extend(
+            self.cell_bounds
+                .iter()
+                .enumerate()
+                .filter(|(c, _)| !self.cells[*c].is_empty())
+                .map(|(c, b)| (b.distance_squared_to(query), c)),
+        );
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for &(lower_bound, cell) in order.iter() {
+            if lower_bound > best.worst_d2() {
+                break;
+            }
+            for &i in &self.cells[cell] {
+                let d2 = self.points[i].distance_squared(query);
+                best.push(i, d2);
+            }
+        }
+    }
 }
 
 impl NeighborSearch for TwoLayerOctree {
@@ -159,40 +219,10 @@ impl NeighborSearch for TwoLayerOctree {
     }
 
     fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.points.is_empty() {
-            return Vec::new();
-        }
-        // Visit cells in order of their lower-bound distance to the query.
-        let mut order: Vec<(f32, usize)> = self
-            .cell_bounds
-            .iter()
-            .enumerate()
-            .filter(|(c, _)| !self.cells[*c].is_empty())
-            .map(|(c, b)| (b.distance_squared_to(query), c))
-            .collect();
-        order.sort_by(|a, b| a.0.total_cmp(&b.0));
-
-        let mut best: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        for (lower_bound, cell) in order {
-            if best.len() == k && lower_bound > best[best.len() - 1].distance_squared {
-                break;
-            }
-            for &i in &self.cells[cell] {
-                let d2 = self.points[i].distance_squared(query);
-                if best.len() < k || d2 < best[best.len() - 1].distance_squared {
-                    let n = Neighbor {
-                        index: i,
-                        distance_squared: d2,
-                    };
-                    let pos = best.partition_point(|x| (x.distance_squared, x.index) < (d2, i));
-                    best.insert(pos, n);
-                    if best.len() > k {
-                        best.pop();
-                    }
-                }
-            }
-        }
-        best
+        let mut best = BestK::default();
+        let mut order = Vec::new();
+        self.knn_into(query, k, &mut best, &mut order);
+        best.sorted().to_vec()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -217,6 +247,23 @@ impl NeighborSearch for TwoLayerOctree {
         }
         let len = out.len();
         finalize_candidates(out, len)
+    }
+
+    fn knn_batch(&self, queries: &[Point3], k: usize, out: &mut Neighborhoods) {
+        let stride = k.min(self.points.len());
+        out.reserve_rows(queries.len(), queries.len() * stride);
+        if k == 0 || self.points.is_empty() {
+            for _ in queries {
+                out.push_row(std::iter::empty());
+            }
+            return;
+        }
+        // Morton order groups queries by leaf cell, so each cell's point
+        // list is scanned while still cache-hot from the previous query.
+        let mut order: Vec<(f32, usize)> = Vec::with_capacity(LEAF_CELLS);
+        batch_queries(queries, stride, out, |q, best| {
+            self.knn_into(q, k, best, &mut order);
+        });
     }
 }
 
@@ -292,6 +339,39 @@ mod tests {
         let (nn, exact) = oct.knn_within_cell(Point3::ZERO, 3);
         assert!(nn.is_empty());
         assert!(exact);
+    }
+
+    #[test]
+    fn knn_batch_matches_per_query_loop() {
+        let pts = random_points(600, 41);
+        let oct = TwoLayerOctree::build(&pts);
+        let queries = random_points(40, 43);
+        for k in [0usize, 1, 6, 700] {
+            let mut batch = crate::Neighborhoods::new();
+            oct.knn_batch(&queries, k, &mut batch);
+            for (i, &q) in queries.iter().enumerate() {
+                let expected: Vec<u32> = oct.knn(q, k).iter().map(|n| n.index as u32).collect();
+                assert_eq!(batch.row(i), expected.as_slice(), "k {k} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_in_matches_fresh_build() {
+        let mut oct = TwoLayerOctree::default();
+        assert!(oct.is_empty());
+        for seed in [51, 52] {
+            let pts = random_points(800, seed);
+            oct.build_in(&pts);
+            let fresh = TwoLayerOctree::build(&pts);
+            assert_eq!(oct.bounds(), fresh.bounds());
+            for q in random_points(15, seed + 9) {
+                assert_eq!(
+                    oct.knn(q, 5).iter().map(|n| n.index).collect::<Vec<_>>(),
+                    fresh.knn(q, 5).iter().map(|n| n.index).collect::<Vec<_>>(),
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,12 +5,56 @@
 //! outward from the query voxel, which makes it a good backend for the
 //! colorization stage where queries are near-surface and k is tiny.
 
-use crate::knn::{finalize_candidates, Neighbor, NeighborSearch};
+use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
+use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 /// Integer voxel coordinate.
 type VoxelKey = (i32, i32, i32);
+
+/// Multiply-fold hasher for voxel keys. The ring search probes dozens of
+/// cells per query, and SipHash (the `HashMap` default, keyed to resist
+/// adversarial collisions) costs more than the probe it guards — voxel
+/// coordinates are trusted local data, so a two-instruction mix suffices.
+#[derive(Default)]
+struct VoxelKeyHasher(u64);
+
+impl Hasher for VoxelKeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.0;
+        h ^= h >> 29;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^ (h >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_i32(i as i32);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, i: i32) {
+        self.0 = (self.0.rotate_left(21) ^ (i as u32 as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = (self.0.rotate_left(21) ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Cell map keyed by voxel coordinate with the cheap hasher above.
+type CellMap = HashMap<VoxelKey, Vec<usize>, BuildHasherDefault<VoxelKeyHasher>>;
 
 /// Hashed uniform voxel grid over a fixed point set.
 ///
@@ -26,7 +70,7 @@ type VoxelKey = (i32, i32, i32);
 pub struct VoxelGrid {
     points: Vec<Point3>,
     voxel_size: f32,
-    cells: HashMap<VoxelKey, Vec<usize>>,
+    cells: CellMap,
 }
 
 impl VoxelGrid {
@@ -35,21 +79,35 @@ impl VoxelGrid {
     /// # Panics
     /// Panics if `voxel_size` is not strictly positive or not finite.
     pub fn build(points: &[Point3], voxel_size: f32) -> Self {
+        let mut grid = Self {
+            points: Vec::new(),
+            voxel_size: 1.0,
+            cells: CellMap::default(),
+        };
+        grid.build_in(points, voxel_size);
+        grid
+    }
+
+    /// Rebuilds this grid over `points` with the given voxel edge length,
+    /// reusing the point storage and cell-map allocation already owned by
+    /// `self` (scratch-resident rebuilds for streaming sessions).
+    ///
+    /// # Panics
+    /// Panics if `voxel_size` is not strictly positive or not finite.
+    pub fn build_in(&mut self, points: &[Point3], voxel_size: f32) {
         assert!(
             voxel_size > 0.0 && voxel_size.is_finite(),
             "voxel_size must be positive and finite"
         );
-        let mut cells: HashMap<VoxelKey, Vec<usize>> = HashMap::new();
+        self.points.clear();
+        self.points.extend_from_slice(points);
+        self.voxel_size = voxel_size;
+        self.cells.clear();
         for (i, &p) in points.iter().enumerate() {
-            cells
+            self.cells
                 .entry(Self::key_of(p, voxel_size))
                 .or_default()
                 .push(i);
-        }
-        Self {
-            points: points.to_vec(),
-            voxel_size,
-            cells,
         }
     }
 
@@ -94,9 +152,9 @@ impl VoxelGrid {
         )
     }
 
-    /// Collects candidates from every voxel within `ring` voxels (Chebyshev
-    /// distance) of the query's voxel.
-    fn collect_ring(&self, center: VoxelKey, ring: i32, out: &mut Vec<usize>) {
+    /// Visits every candidate index in voxels exactly `ring` voxels
+    /// (Chebyshev distance) away from the query's voxel.
+    fn for_each_in_ring(&self, center: VoxelKey, ring: i32, mut f: impl FnMut(usize)) {
         for dx in -ring..=ring {
             for dy in -ring..=ring {
                 for dz in -ring..=ring {
@@ -108,9 +166,60 @@ impl VoxelGrid {
                         .cells
                         .get(&(center.0 + dx, center.1 + dy, center.2 + dz))
                     {
-                        out.extend_from_slice(v);
+                        for &i in v {
+                            f(i);
+                        }
                     }
                 }
+            }
+        }
+    }
+
+    /// Collects candidates from every voxel within `ring` voxels (Chebyshev
+    /// distance) of the query's voxel.
+    fn collect_ring(&self, center: VoxelKey, ring: i32, out: &mut Vec<usize>) {
+        self.for_each_in_ring(center, ring, |i| out.push(i));
+    }
+
+    /// Allocation-free exact kNN: results land in `best` (cleared first,
+    /// sorted by `(distance, index)`). The ring search maintains the bounded
+    /// best-`k` list incrementally instead of re-sorting the full candidate
+    /// set on every ring, and one batch call shares the buffer across all
+    /// its queries.
+    pub(crate) fn knn_into(&self, query: Point3, k: usize, best: &mut BestK) {
+        best.begin(k);
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        let center = Self::key_of(query, self.voxel_size);
+        let mut seen = 0usize;
+        let mut ring = 0i32;
+        // Expand rings until we have k candidates AND the next ring can no
+        // longer contain a closer point than the current k-th best.
+        loop {
+            self.for_each_in_ring(center, ring, |i| {
+                seen += 1;
+                best.push(i, self.points[i].distance_squared(query));
+            });
+            // Any point in ring r+1 is at least r * voxel_size away from the
+            // query (conservative lower bound; `worst_d2` is infinite until
+            // k candidates have been seen).
+            let safe_radius = ring as f32 * self.voxel_size;
+            if best.worst_d2() <= safe_radius * safe_radius {
+                return;
+            }
+            ring += 1;
+            // Bail out when the search has covered the whole cloud extent.
+            if ring > 1 + (self.points.len() as f32).cbrt() as i32 + 64 {
+                if seen >= self.points.len() {
+                    return;
+                }
+                // Fall back to scanning everything (correctness over speed).
+                best.begin(k);
+                for (i, &p) in self.points.iter().enumerate() {
+                    best.push(i, p.distance_squared(query));
+                }
+                return;
             }
         }
     }
@@ -122,61 +231,9 @@ impl NeighborSearch for VoxelGrid {
     }
 
     fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
-        if k == 0 || self.points.is_empty() {
-            return Vec::new();
-        }
-        let center = Self::key_of(query, self.voxel_size);
-        let mut candidate_ids: Vec<usize> = Vec::new();
-        let mut ring = 0i32;
-        // Expand rings until we have enough candidates AND the next ring can
-        // no longer contain a closer point than the current k-th best.
-        loop {
-            self.collect_ring(center, ring, &mut candidate_ids);
-            let enough = candidate_ids.len() >= k;
-            if enough {
-                let mut cands: Vec<Neighbor> = candidate_ids
-                    .iter()
-                    .map(|&i| Neighbor {
-                        index: i,
-                        distance_squared: self.points[i].distance_squared(query),
-                    })
-                    .collect();
-                cands = finalize_candidates(cands, k);
-                // Any point in ring r+1 is at least r * voxel_size away from
-                // the query (conservative lower bound).
-                let safe_radius = ring as f32 * self.voxel_size;
-                if cands.len() == k
-                    && cands[cands.len() - 1].distance_squared <= safe_radius * safe_radius
-                {
-                    return cands;
-                }
-            }
-            ring += 1;
-            // Bail out when the search has covered the whole cloud extent.
-            if ring > 1 + (self.points.len() as f32).cbrt() as i32 + 64 {
-                let cands: Vec<Neighbor> = candidate_ids
-                    .iter()
-                    .map(|&i| Neighbor {
-                        index: i,
-                        distance_squared: self.points[i].distance_squared(query),
-                    })
-                    .collect();
-                if candidate_ids.len() >= self.points.len() {
-                    return finalize_candidates(cands, k);
-                }
-                // Fall back to scanning everything (correctness over speed).
-                let all: Vec<Neighbor> = self
-                    .points
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &p)| Neighbor {
-                        index: i,
-                        distance_squared: p.distance_squared(query),
-                    })
-                    .collect();
-                return finalize_candidates(all, k);
-            }
-        }
+        let mut best = BestK::default();
+        self.knn_into(query, k, &mut best);
+        best.sorted().to_vec()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -202,6 +259,23 @@ impl NeighborSearch for VoxelGrid {
             .collect();
         let len = out.len();
         finalize_candidates(out, len)
+    }
+
+    fn knn_batch(&self, queries: &[Point3], k: usize, out: &mut Neighborhoods) {
+        let stride = k.min(self.points.len());
+        out.reserve_rows(queries.len(), queries.len() * stride);
+        if k == 0 || self.points.is_empty() {
+            for _ in queries {
+                out.push_row(std::iter::empty());
+            }
+            return;
+        }
+        // Morton order keeps consecutive queries in the same voxel
+        // neighborhood, so the ring search touches hash cells that are
+        // already cache-resident.
+        batch_queries(queries, stride, out, |q, best| {
+            self.knn_into(q, k, best);
+        });
     }
 }
 
@@ -282,6 +356,38 @@ mod tests {
     #[should_panic(expected = "voxel_size must be positive")]
     fn zero_voxel_size_panics() {
         let _ = VoxelGrid::build(&[Point3::ZERO], 0.0);
+    }
+
+    #[test]
+    fn knn_batch_matches_per_query_loop() {
+        let pts = random_points(500, 61);
+        let grid = VoxelGrid::build(&pts, 0.6);
+        let queries = random_points(40, 67);
+        for k in [0usize, 1, 5, 600] {
+            let mut batch = crate::Neighborhoods::new();
+            grid.knn_batch(&queries, k, &mut batch);
+            for (i, &q) in queries.iter().enumerate() {
+                let expected: Vec<u32> = grid.knn(q, k).iter().map(|n| n.index as u32).collect();
+                assert_eq!(batch.row(i), expected.as_slice(), "k {k} query {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_in_matches_fresh_build() {
+        let mut grid = VoxelGrid::build(&[], 1.0);
+        for seed in [71, 72] {
+            let pts = random_points(300, seed);
+            grid.build_in(&pts, 0.5);
+            let fresh = VoxelGrid::build(&pts, 0.5);
+            assert_eq!(grid.occupied_voxels(), fresh.occupied_voxels());
+            for q in random_points(10, seed + 5) {
+                assert_eq!(
+                    grid.knn(q, 4).iter().map(|n| n.index).collect::<Vec<_>>(),
+                    fresh.knn(q, 4).iter().map(|n| n.index).collect::<Vec<_>>(),
+                );
+            }
+        }
     }
 
     #[test]

@@ -71,12 +71,42 @@ impl SrSession {
 
     /// Upsamples one received frame, reusing the session's scratch buffers.
     ///
+    /// The session's spatial index is cached across frames: when the frame
+    /// geometry is unchanged (static chunks, repeated frames) the index
+    /// (re)build cost is amortized to a content check after frame 1 — see
+    /// [`Self::index_stats`] and the `index_build` stage timing.
+    ///
     /// # Errors
     /// Propagates pipeline failures (invalid ratio, insufficient points).
     pub fn upsample_frame(&mut self, low: &PointCloud, ratio: f64) -> volut_core::Result<SrResult> {
         let result = self.pipeline.upsample_with(low, ratio, &mut self.scratch)?;
         self.frames += 1;
         Ok(result)
+    }
+
+    /// [`Self::upsample_frame`] with a caller-declared geometry generation:
+    /// frames sharing a generation with the cached index skip even the
+    /// content check (the O(1) fast path for static chunks whose identity
+    /// the streaming layer already knows). The caller must change the
+    /// generation whenever the frame geometry changes.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures (invalid ratio, insufficient points).
+    pub fn upsample_frame_keyed(
+        &mut self,
+        low: &PointCloud,
+        ratio: f64,
+        geometry_generation: u64,
+    ) -> volut_core::Result<SrResult> {
+        self.scratch.set_geometry_generation(geometry_generation);
+        let result = self.upsample_frame(low, ratio);
+        self.scratch.clear_geometry_generation();
+        result
+    }
+
+    /// Rebuild/reuse counters of the session's scratch-resident index.
+    pub fn index_stats(&self) -> volut_core::interpolate::IndexCacheStats {
+        self.scratch.index_stats()
     }
 
     /// Calibrates an [`SrComputeModel`] from this session by measuring one
@@ -165,7 +195,9 @@ impl SrComputeModel {
         let output = (result.cloud.len() - result.input_points).max(1) as f64;
         Self {
             name: name.into(),
-            knn_us_per_input_point: result.timings.knn.as_secs_f64() * 1e6 / input,
+            knn_us_per_input_point: (result.timings.index_build + result.timings.knn).as_secs_f64()
+                * 1e6
+                / input,
             interp_us_per_output_point: result.timings.interpolation.as_secs_f64() * 1e6 / output,
             colorize_us_per_output_point: result.timings.colorization.as_secs_f64() * 1e6 / output,
             refine_us_per_output_point: result.timings.refinement.as_secs_f64() * 1e6 / output,
@@ -322,6 +354,50 @@ mod tests {
         let model = SrComputeModel::calibrate("measured", &result);
         assert!(model.knn_us_per_input_point > 0.0);
         assert!(model.frame_time_s(2000.0, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn repeated_frames_amortize_index_builds() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic;
+        let mut session = SrSession::new(SrPipeline::new(
+            SrConfig::default(),
+            Box::new(IdentityRefiner),
+        ));
+        // A static chunk: the same frame repeated. Only frame 1 builds the
+        // spatial index; every later frame reuses the cached one, and the
+        // stage timings report the (near-zero) validation cost separately.
+        let frame = synthetic::sphere(2_000, 1.0, 5);
+        let first = session.upsample_frame(&frame, 2.0).unwrap();
+        let mut later_builds = std::time::Duration::ZERO;
+        for _ in 0..4 {
+            let r = session.upsample_frame(&frame, 2.0).unwrap();
+            assert_eq!(r.cloud, first.cloud);
+            later_builds += r.timings.index_build;
+        }
+        let stats = session.index_stats();
+        assert_eq!(stats.rebuilds, 1, "stats {stats:?}");
+        assert_eq!(stats.reuses, 4, "stats {stats:?}");
+        // The content check is linear; the rebuild is O(n log n) plus a
+        // clone. Four validations together should undercut one build by a
+        // wide margin (loose 2x bound to stay robust on noisy CI hosts).
+        assert!(
+            later_builds
+                < first
+                    .timings
+                    .index_build
+                    .max(std::time::Duration::from_micros(50))
+                    * 2,
+            "validation {later_builds:?} vs first build {:?}",
+            first.timings.index_build
+        );
+
+        // The keyed path trusts the generation without content checks.
+        let keyed = session.upsample_frame_keyed(&frame, 2.0, 42).unwrap();
+        assert_eq!(keyed.cloud, first.cloud);
+        let _ = session.upsample_frame_keyed(&frame, 2.0, 42).unwrap();
+        assert_eq!(session.index_stats().reuses, 6);
+        assert_eq!(session.index_stats().rebuilds, 1);
     }
 
     #[test]

@@ -82,7 +82,7 @@ mod tests {
         assert!(matches!(e, Error::Core(_)));
         let e: Error = volut_pointcloud::Error::EmptyCloud("m".into()).into();
         assert!(matches!(e, Error::PointCloud(_)));
-        let e: Error = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: Error = std::io::Error::other("x").into();
         assert!(matches!(e, Error::Io(_)));
     }
 

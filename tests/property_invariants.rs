@@ -79,6 +79,81 @@ proptest! {
     }
 
     #[test]
+    fn knn_batch_is_bit_identical_to_per_query_loop(
+        points in prop::collection::vec(arb_point(), 0..250),
+        queries in prop::collection::vec(arb_point(), 1..40),
+        k in 0usize..40,
+        duplicate_every in 1usize..5,
+    ) {
+        // Inject exact duplicates (and quantized coordinates) so distance
+        // ties are common: batched and per-query paths must break them
+        // identically (by ascending index) for every backend.
+        let mut points = points;
+        let n = points.len();
+        for i in (0..n).step_by(duplicate_every) {
+            points.push(points[i]);
+        }
+        let mut queries = queries;
+        let qn = queries.len();
+        for i in (0..qn).step_by(2) {
+            if i < points.len() {
+                queries.push(points[i]); // self-queries on indexed points
+            }
+        }
+        let backends: Vec<(&str, Box<dyn NeighborSearch>)> = vec![
+            ("brute", Box::new(BruteForce::new(&points))),
+            ("kdtree", Box::new(KdTree::build(&points))),
+            ("octree", Box::new(TwoLayerOctree::build(&points))),
+            ("voxelgrid", Box::new(volut::pointcloud::voxelgrid::VoxelGrid::build(&points, 1.5))),
+        ];
+        for (name, backend) in &backends {
+            let mut batch = Neighborhoods::new();
+            backend.knn_batch(&queries, k, &mut batch);
+            prop_assert_eq!(batch.len(), queries.len(), "{}: one row per query", name);
+            for (i, &q) in queries.iter().enumerate() {
+                let expected: Vec<u32> =
+                    backend.knn(q, k).iter().map(|n| n.index as u32).collect();
+                prop_assert_eq!(
+                    batch.row(i),
+                    expected.as_slice(),
+                    "{}: k {} query {}",
+                    name, k, i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_backends_agree_on_batches_with_ties(
+        seed in 0u64..200,
+        k in 1usize..12,
+    ) {
+        // Quantized coordinates force many exact ties across a structured
+        // cloud; with (distance, index) ordering every backend must return
+        // the same rows for the same batch.
+        let cloud = synthetic::sphere(300, 1.0, seed);
+        let points: Vec<Point3> = cloud
+            .positions()
+            .iter()
+            .map(|p| Point3::new((p.x * 4.0).round() / 4.0, (p.y * 4.0).round() / 4.0, (p.z * 4.0).round() / 4.0))
+            .collect();
+        let queries = &points[..40];
+        let brute = BruteForce::new(&points);
+        let mut expected = Neighborhoods::new();
+        brute.knn_batch(queries, k, &mut expected);
+        let backends: Vec<(&str, Box<dyn NeighborSearch>)> = vec![
+            ("kdtree", Box::new(KdTree::build(&points))),
+            ("octree", Box::new(TwoLayerOctree::build(&points))),
+            ("voxelgrid", Box::new(volut::pointcloud::voxelgrid::VoxelGrid::build(&points, 0.5))),
+        ];
+        for (name, backend) in &backends {
+            let mut batch = Neighborhoods::new();
+            backend.knn_batch(queries, k, &mut batch);
+            prop_assert_eq!(&batch, &expected, "{} disagrees with brute force", name);
+        }
+    }
+
+    #[test]
     fn chamfer_distance_is_symmetric_and_nonnegative(
         a_n in 50usize..300,
         b_n in 50usize..300,

@@ -15,6 +15,14 @@ use std::time::{Duration, Instant};
 /// from `std::hint`, but the canonical criterion path also works).
 pub use std::hint::black_box;
 
+/// Returns `true` when the bench binary was invoked in quick/smoke mode
+/// (`cargo bench -- --test`, mirroring real criterion, or `--quick`).
+/// Benches use this to downscale workloads; [`Criterion::new`] uses it to
+/// pin every benchmark to a single sample.
+pub fn is_quick_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--quick")
+}
+
 /// Identifies one benchmark inside a group.
 #[derive(Debug, Clone)]
 pub struct BenchmarkId {
@@ -120,13 +128,18 @@ fn report(group: &str, label: &str, samples: &mut [Duration]) {
 pub struct BenchmarkGroup<'c> {
     name: String,
     sample_size: usize,
+    quick: bool,
     _criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     /// Number of measured samples per benchmark (criterion's `sample_size`).
+    /// Ignored in `--test` quick mode, which pins every benchmark to one
+    /// sample.
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n.max(1);
+        if !self.quick {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
@@ -176,22 +189,31 @@ impl BenchmarkGroup<'_> {
 #[derive(Default)]
 pub struct Criterion {
     default_sample_size: usize,
+    quick: bool,
 }
 
 impl Criterion {
-    /// Shim default: 10 samples per benchmark.
+    /// Shim default: 10 samples per benchmark. Like real criterion, passing
+    /// `--test` (or `--quick`) on the command line — `cargo bench -- --test`
+    /// — switches to a smoke mode that runs every benchmark once, so CI can
+    /// verify the bench targets compile and execute without paying full
+    /// measurement time.
     pub fn new() -> Self {
+        let quick = is_quick_mode();
         Self {
-            default_sample_size: 10,
+            default_sample_size: if quick { 1 } else { 10 },
+            quick,
         }
     }
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size.max(1);
+        let quick = self.quick;
         BenchmarkGroup {
             name: name.into(),
             sample_size,
+            quick,
             _criterion: self,
         }
     }
