@@ -1,0 +1,54 @@
+//! Criterion bench: per-point MLP inference (`forward_into`) vs the
+//! GEMM-style micro-batched `forward_batch_into` behind the NN refiner and
+//! the Yuzu/GradPU baselines.
+//!
+//! Per-point inference streams every weight row from memory once per point;
+//! the batched path reads each row once per 32-point micro-batch and lets
+//! the compiler vectorize the broadcast-multiply-accumulate over the batch
+//! lane. The two paths are bit-identical (asserted in unit tests), so this
+//! bench measures pure throughput.
+
+use criterion::{criterion_group, criterion_main, is_quick_mode, BenchmarkId, Criterion};
+use std::hint::black_box;
+use volut_core::nn::mlp::{BatchScratch, ForwardScratch, Mlp};
+
+fn bench_mlp_forward(c: &mut Criterion) {
+    let n: usize = if is_quick_mode() { 256 } else { 8_192 };
+    // The network shapes this workspace actually runs: the refinement MLP
+    // distilled into the LUT, the GradPU baseline and Yuzu's per-ratio nets.
+    for (label, dims) in [
+        ("refiner_12x64x64x3", &[12usize, 64, 64, 3][..]),
+        ("gradpu_12x256x256x3", &[12, 256, 256, 3]),
+        ("yuzu_12x512x512x3", &[12, 512, 512, 3]),
+    ] {
+        let mlp = Mlp::new(dims, 7);
+        let in_dim = mlp.input_dim();
+        let out_dim = mlp.output_dim();
+        let inputs: Vec<f32> = (0..n * in_dim).map(|i| ((i as f32) * 0.13).sin()).collect();
+        let mut group = c.benchmark_group(format!("mlp_forward_{label}"));
+        group.sample_size(10);
+        group.bench_function(BenchmarkId::new("per_point", n), |b| {
+            let mut scratch = ForwardScratch::default();
+            b.iter(|| {
+                let mut acc = 0.0f32;
+                for p in 0..n {
+                    let o = mlp.forward_into(&inputs[p * in_dim..(p + 1) * in_dim], &mut scratch);
+                    acc += o[0];
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function(BenchmarkId::new("batched", n), |b| {
+            let mut scratch = BatchScratch::default();
+            let mut out = Vec::new();
+            b.iter(|| {
+                mlp.forward_batch_into(&inputs, n, &mut out, &mut scratch);
+                black_box(out[(n - 1) * out_dim])
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_mlp_forward);
+criterion_main!(benches);

@@ -11,7 +11,7 @@ use crate::config::SrConfig;
 use crate::encoding::{KeyScheme, PositionEncoder};
 use crate::interpolate::naive::naive_interpolate_with;
 use crate::interpolate::FrameScratch;
-use crate::nn::mlp::{ForwardScratch, Mlp};
+use crate::nn::mlp::{BatchScratch, Mlp, MICRO_BATCH};
 use crate::pipeline::{SrResult, StageTimings};
 use crate::refine::{refine_in_place, Refiner, RefinerCost};
 use crate::Result;
@@ -181,32 +181,90 @@ impl Refiner for IterativeNnRefiner<'_> {
         source: &[Point3],
         out: &mut [Point3],
     ) {
+        // Blocked iterative refinement: rows are independent, so running one
+        // GEMM-style micro-batched forward per *iteration* over the whole
+        // block (instead of `iterations` per-point passes row by row) keeps
+        // the exact per-row arithmetic — `forward_batch_into` is
+        // bit-identical to `forward_into` — while streaming each weight row
+        // once per block instead of once per point.
+        const BLOCK: usize = 4 * MICRO_BATCH;
+        let out_dim = self.network.output_dim();
+        let step = 1.0 / self.iterations as f32;
+        // Per-block gather of all neighborhoods (CSR-style, `seg` holds
+        // exclusive end offsets) so every iteration re-reads them in place.
         let mut gather: Vec<Point3> = Vec::new();
+        let mut seg: Vec<(usize, u32)> = Vec::new(); // (center index, gather end)
+        let mut feature_row: Vec<f32> = Vec::new();
         let mut features: Vec<f32> = Vec::new();
-        let mut scratch = ForwardScratch::default();
-        for i in 0..centers.len() {
-            let row = neighborhoods.row(i);
-            let mut current = centers[i];
-            if row.is_empty() {
-                out[i] = current;
-                continue;
-            }
+        let mut active: Vec<usize> = Vec::new(); // slots of `seg` still iterating
+        let mut current: Vec<Point3> = Vec::new(); // moving center per `seg` slot
+        let mut packed: Vec<usize> = Vec::new(); // seg slot per packed feature row
+        let mut radii: Vec<f32> = Vec::new(); // radius per packed feature row
+        let mut outputs: Vec<f32> = Vec::new();
+        let mut scratch = BatchScratch::default();
+        for block_start in (0..centers.len()).step_by(BLOCK) {
+            let block_len = BLOCK.min(centers.len() - block_start);
             gather.clear();
-            gather.extend(row.iter().map(|&j| source[j as usize]));
-            // Iterative refinement: re-encode and re-predict each step.
-            for _ in 0..self.iterations {
-                let Ok(radius) = self
-                    .encoder
-                    .encode_features_into(current, &gather, &mut features)
-                else {
-                    break;
-                };
-                let o = self.network.forward_into(&features, &mut scratch);
-                // Damped update, mimicking GradPU's gradient-descent steps.
-                let step = 1.0 / self.iterations as f32;
-                current += Point3::new(o[0], o[1], o[2]) * (radius * step);
+            seg.clear();
+            current.clear();
+            for i in block_start..block_start + block_len {
+                let row = neighborhoods.row(i);
+                if row.is_empty() {
+                    out[i] = centers[i];
+                    continue;
+                }
+                gather.extend(row.iter().map(|&j| source[j as usize]));
+                seg.push((i, gather.len() as u32));
+                current.push(centers[i]);
             }
-            out[i] = current;
+            active.clear();
+            active.extend(0..seg.len());
+            for _ in 0..self.iterations {
+                if active.is_empty() {
+                    break;
+                }
+                features.clear();
+                packed.clear();
+                radii.clear();
+                // Re-encode every still-active row against its (moving)
+                // center; a row whose encode fails stops iterating, exactly
+                // like the per-point loop's `break`.
+                for &slot in &active {
+                    let start = if slot == 0 {
+                        0
+                    } else {
+                        seg[slot - 1].1 as usize
+                    };
+                    let end = seg[slot].1 as usize;
+                    if let Ok(radius) = self.encoder.encode_features_into(
+                        current[slot],
+                        &gather[start..end],
+                        &mut feature_row,
+                    ) {
+                        features.extend_from_slice(&feature_row);
+                        packed.push(slot);
+                        radii.push(radius);
+                    }
+                }
+                if packed.is_empty() {
+                    break;
+                }
+                self.network.forward_batch_into(
+                    &features,
+                    packed.len(),
+                    &mut outputs,
+                    &mut scratch,
+                );
+                for (p, &slot) in packed.iter().enumerate() {
+                    let o = &outputs[p * out_dim..(p + 1) * out_dim];
+                    // Damped update, mimicking GradPU's gradient-descent steps.
+                    current[slot] += Point3::new(o[0], o[1], o[2]) * (radii[p] * step);
+                }
+                std::mem::swap(&mut active, &mut packed);
+            }
+            for (slot, &(i, _)) in seg.iter().enumerate() {
+                out[i] = current[slot];
+            }
         }
     }
 

@@ -16,7 +16,7 @@ use crate::encoding::{KeyScheme, PositionEncoder};
 use crate::error::Error;
 use crate::interpolate::naive::naive_interpolate_with;
 use crate::interpolate::FrameScratch;
-use crate::nn::mlp::{ForwardScratch, Mlp};
+use crate::nn::mlp::{BatchScratch, Mlp, MICRO_BATCH};
 use crate::pipeline::{SrResult, StageTimings};
 use crate::refine::{refine_in_place, Refiner, RefinerCost};
 use crate::Result;
@@ -215,35 +215,59 @@ impl Refiner for ClampedNnRefiner<'_> {
         source: &[Point3],
         out: &mut [Point3],
     ) {
+        // Same packing as `NnRefiner::refine_batch`: encode feature rows per
+        // block, run one GEMM-style micro-batched forward (bit-identical to
+        // the per-point pass — Yuzu's heavyweight nets are exactly where the
+        // per-weight-row memory traffic of per-point inference hurt most).
+        const BLOCK: usize = 4 * MICRO_BATCH;
+        let out_dim = self.network.output_dim();
         let mut gather: Vec<Point3> = Vec::new();
+        let mut feature_row: Vec<f32> = Vec::new();
         let mut features: Vec<f32> = Vec::new();
-        let mut scratch = ForwardScratch::default();
-        for i in 0..centers.len() {
-            let center = centers[i];
-            let row = neighborhoods.row(i);
-            if row.is_empty() {
-                out[i] = center;
+        let mut packed: Vec<(usize, f32)> = Vec::new();
+        let mut outputs: Vec<f32> = Vec::new();
+        let mut scratch = BatchScratch::default();
+        for block_start in (0..centers.len()).step_by(BLOCK) {
+            let block_len = BLOCK.min(centers.len() - block_start);
+            features.clear();
+            packed.clear();
+            for i in block_start..block_start + block_len {
+                let center = centers[i];
+                let row = neighborhoods.row(i);
+                if row.is_empty() {
+                    out[i] = center;
+                    continue;
+                }
+                gather.clear();
+                gather.extend(row.iter().map(|&j| source[j as usize]));
+                match self
+                    .encoder
+                    .encode_features_into(center, &gather, &mut feature_row)
+                {
+                    Ok(radius) => {
+                        features.extend_from_slice(&feature_row);
+                        packed.push((i, radius));
+                    }
+                    Err(_) => out[i] = center,
+                }
+            }
+            if packed.is_empty() {
                 continue;
             }
-            gather.clear();
-            gather.extend(row.iter().map(|&j| source[j as usize]));
-            let Ok(radius) = self
-                .encoder
-                .encode_features_into(center, &gather, &mut features)
-            else {
-                out[i] = center;
-                continue;
-            };
-            let o = self.network.forward_into(&features, &mut scratch);
-            // Bound the untrained network's output so the baseline stays
-            // geometrically sane: offsets are clamped to a fraction of the
-            // neighborhood radius.
-            let offset = Point3::new(
-                o[0].clamp(-0.25, 0.25),
-                o[1].clamp(-0.25, 0.25),
-                o[2].clamp(-0.25, 0.25),
-            );
-            out[i] = center + offset * radius;
+            self.network
+                .forward_batch_into(&features, packed.len(), &mut outputs, &mut scratch);
+            for (slot, &(i, radius)) in packed.iter().enumerate() {
+                let o = &outputs[slot * out_dim..(slot + 1) * out_dim];
+                // Bound the untrained network's output so the baseline stays
+                // geometrically sane: offsets are clamped to a fraction of
+                // the neighborhood radius.
+                let offset = Point3::new(
+                    o[0].clamp(-0.25, 0.25),
+                    o[1].clamp(-0.25, 0.25),
+                    o[2].clamp(-0.25, 0.25),
+                );
+                out[i] = centers[i] + offset * radius;
+            }
         }
     }
 

@@ -21,7 +21,7 @@ use crate::config::SrConfig;
 use crate::error::Error;
 use crate::Result;
 use serde::{Deserialize, Serialize};
-use volut_pointcloud::Point3;
+use volut_pointcloud::{NeighborhoodsView, Point3};
 
 /// How receptive-field points are mapped to table keys.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -44,6 +44,19 @@ pub struct EncodedNeighborhood {
     /// Neighborhood radius `R` used for normalization; refinement offsets
     /// are expressed in this normalized scale and must be multiplied back.
     pub radius: f32,
+}
+
+/// Reusable gather lanes for [`PositionEncoder::encode_keys_block`]: the
+/// center-relative neighbor offsets of one block of CSR rows, stored SoA so
+/// the radius reduction runs through the vector-width squared-norm kernel.
+#[derive(Debug, Clone, Default)]
+pub struct EncodeScratch {
+    dx: Vec<f32>,
+    dy: Vec<f32>,
+    dz: Vec<f32>,
+    d2: Vec<f32>,
+    /// Per-row exclusive end offsets into the lanes.
+    seg: Vec<u32>,
 }
 
 /// Encoder turning `(center, neighbors)` into quantized LUT keys.
@@ -282,6 +295,99 @@ impl PositionEncoder {
             }
         }
         Ok((key, radius))
+    }
+
+    /// Blocked, SoA-lane variant of [`Self::encode_key_indexed`]: encodes
+    /// `centers.len()` consecutive CSR rows (`rows.row(row_base + b)` for
+    /// center `b`) in one pass. The gather stage writes every neighbor's
+    /// center-relative offset into three coordinate lanes, the squared norms
+    /// come from one vector-width [`volut_pointcloud::kernels::
+    /// norm_squared_lanes`] sweep (the per-row max of which is the
+    /// neighborhood radius), and the pack stage quantizes straight from the
+    /// gathered lanes — identical arithmetic to the per-row path, so keys
+    /// and radii are bit-identical.
+    ///
+    /// `radii[b] < 0` marks a row that cannot be encoded (no neighbors);
+    /// its key slot is set to 0 and should be ignored.
+    ///
+    /// # Panics
+    /// Panics when `keys`/`radii` lengths differ from `centers.len()`, when
+    /// the rows are out of range, or when a row indexes out of `source`.
+    #[allow(clippy::too_many_arguments)] // mirrors the (keys, radii) output pair of the per-row API
+    pub fn encode_keys_block(
+        &self,
+        centers: &[Point3],
+        rows: NeighborhoodsView<'_>,
+        row_base: usize,
+        source: &[Point3],
+        keys: &mut [u128],
+        radii: &mut [f32],
+        scratch: &mut EncodeScratch,
+    ) {
+        assert_eq!(centers.len(), keys.len(), "one key slot per center");
+        assert_eq!(centers.len(), radii.len(), "one radius slot per center");
+        scratch.dx.clear();
+        scratch.dy.clear();
+        scratch.dz.clear();
+        scratch.seg.clear();
+        for (b, &center) in centers.iter().enumerate() {
+            for &j in rows.row(row_base + b) {
+                let p = source[j as usize];
+                scratch.dx.push(p.x - center.x);
+                scratch.dy.push(p.y - center.y);
+                scratch.dz.push(p.z - center.z);
+            }
+            scratch.seg.push(scratch.dx.len() as u32);
+        }
+        scratch.d2.clear();
+        scratch.d2.resize(scratch.dx.len(), 0.0);
+        volut_pointcloud::kernels::norm_squared_lanes(
+            &scratch.dx,
+            &scratch.dy,
+            &scratch.dz,
+            &mut scratch.d2,
+        );
+        let bits = bits_for(usize::from(self.bins)) as u32;
+        let mut start = 0usize;
+        for b in 0..centers.len() {
+            let end = scratch.seg[b] as usize;
+            if start == end {
+                keys[b] = 0;
+                radii[b] = -1.0;
+                continue;
+            }
+            let max_sq = scratch.d2[start..end].iter().fold(0.0f32, |m, &v| m.max(v));
+            let radius = max_sq.sqrt().max(f32::EPSILON);
+            let inv_radius = 1.0 / radius;
+            let mut key: u128 = 0;
+            for slot in 0..self.receptive_field {
+                let p = if slot == 0 || start + slot > end {
+                    Point3::ZERO
+                } else {
+                    let i = start + slot - 1;
+                    Point3::new(
+                        scratch.dx[i] * inv_radius,
+                        scratch.dy[i] * inv_radius,
+                        scratch.dz[i] * inv_radius,
+                    )
+                };
+                match self.scheme {
+                    KeyScheme::Full => {
+                        // Same u64 slot-word packing as `encode_key_indexed`.
+                        let word = (u64::from(self.quantize_value(p.x)) << (2 * bits))
+                            | (u64::from(self.quantize_value(p.y)) << bits)
+                            | u64::from(self.quantize_value(p.z));
+                        key = (key << (3 * bits)) | u128::from(word);
+                    }
+                    KeyScheme::Compact => {
+                        key = (key << bits) | u128::from(self.compact_code(p));
+                    }
+                }
+            }
+            keys[b] = key;
+            radii[b] = radius;
+            start = end;
+        }
     }
 
     /// Allocation-free variant of [`Self::encode`] + [`Self::features`]:
@@ -672,6 +778,73 @@ mod tests {
             assert!(enc
                 .encode_features_into(Point3::ZERO, &[], &mut features)
                 .is_err());
+        }
+    }
+
+    /// The blocked SoA-lane encoder must agree bit-for-bit with the per-row
+    /// indexed path — the parity the batched LUT refiner depends on.
+    #[test]
+    fn encode_keys_block_matches_indexed_path() {
+        use volut_pointcloud::Neighborhoods;
+        let mut rng = StdRng::seed_from_u64(77);
+        let source: Vec<Point3> = (0..50)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-2.0f32..2.0),
+                    rng.random_range(-2.0f32..2.0),
+                    rng.random_range(-2.0f32..2.0),
+                )
+            })
+            .collect();
+        let centers: Vec<Point3> = (0..70)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-2.0f32..2.0),
+                    rng.random_range(-2.0f32..2.0),
+                    rng.random_range(-2.0f32..2.0),
+                )
+            })
+            .collect();
+        let mut hoods = Neighborhoods::new();
+        for i in 0..centers.len() {
+            // Rows of 0..=6 neighbors, including empty ones.
+            let len = i % 7;
+            hoods.push_row((0..len).map(|k| (i * 3 + k) % source.len()));
+        }
+        for scheme in [KeyScheme::Full, KeyScheme::Compact] {
+            let enc = encoder(scheme);
+            let mut keys = vec![0u128; centers.len()];
+            let mut radii = vec![0.0f32; centers.len()];
+            let mut scratch = EncodeScratch::default();
+            // Encode in two blocks to exercise a non-zero row_base.
+            let split = 33;
+            enc.encode_keys_block(
+                &centers[..split],
+                hoods.view(),
+                0,
+                &source,
+                &mut keys[..split],
+                &mut radii[..split],
+                &mut scratch,
+            );
+            enc.encode_keys_block(
+                &centers[split..],
+                hoods.view(),
+                split,
+                &source,
+                &mut keys[split..],
+                &mut radii[split..],
+                &mut scratch,
+            );
+            for (i, &center) in centers.iter().enumerate() {
+                match enc.encode_key_indexed(center, hoods.row(i), &source) {
+                    Ok((key, radius)) => {
+                        assert_eq!(keys[i], key, "{scheme:?} row {i}");
+                        assert_eq!(radii[i], radius, "{scheme:?} row {i}");
+                    }
+                    Err(_) => assert!(radii[i] < 0.0, "{scheme:?} row {i} should be marked"),
+                }
+            }
         }
     }
 

@@ -73,6 +73,41 @@ impl Linear {
         }
     }
 
+    /// GEMM-style forward over a transposed micro-batch: `xt` holds the
+    /// inputs lane-major (`in_dim × b`, i.e. `xt[i * b + l]` is feature `i`
+    /// of point `l`) and `yt` receives the outputs in the same layout
+    /// (`out_dim × b`). With the batch as the contiguous lane dimension the
+    /// inner loop is a broadcast-multiply-accumulate the compiler
+    /// vectorizes, and each weight row is read once per micro-batch instead
+    /// of once per point.
+    ///
+    /// Per element the accumulation order is identical to
+    /// [`Self::forward_into`] (features in order, bias added last), so the
+    /// result is **bit-identical** to `b` single-point passes.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `xt.len() != in_dim * b`.
+    pub fn forward_batch_t(&self, xt: &[f32], b: usize, yt: &mut Vec<f32>) {
+        debug_assert_eq!(xt.len(), self.in_dim * b);
+        yt.clear();
+        yt.resize(self.out_dim * b, 0.0);
+        for (o, acc) in yt.chunks_exact_mut(b).enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            for (i, &w) in row.iter().enumerate() {
+                let x = &xt[i * b..(i + 1) * b];
+                for (a, &xv) in acc.iter_mut().zip(x.iter()) {
+                    *a += w * xv;
+                }
+            }
+            let bias = self.bias[o];
+            #[allow(clippy::assign_op_pattern)] // written as `bias + acc` to mirror
+            // `forward_into`'s exact operand order (the bit-identity contract)
+            for a in acc.iter_mut() {
+                *a = bias + *a;
+            }
+        }
+    }
+
     /// Backward pass: accumulates gradients for this layer and returns the
     /// gradient with respect to the input.
     pub fn backward(&mut self, input: &[f32], grad_out: &[f32]) -> Vec<f32> {
@@ -105,6 +140,19 @@ impl Linear {
 /// Reusable activation buffers for [`Mlp::forward_into`].
 #[derive(Debug, Clone, Default)]
 pub struct ForwardScratch {
+    ping: Vec<f32>,
+    pong: Vec<f32>,
+}
+
+/// Number of points processed per layer pass by [`Mlp::forward_batch_into`].
+/// 32 lanes keep the whole transposed activation block of a 512-wide layer
+/// (`512 × 32 × 4 B = 64 KB`) inside L2 while amortizing each weight-row
+/// load across four AVX2 registers' worth of points.
+pub const MICRO_BATCH: usize = 32;
+
+/// Reusable transposed-activation buffers for [`Mlp::forward_batch_into`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchScratch {
     ping: Vec<f32>,
     pong: Vec<f32>,
 }
@@ -196,6 +244,81 @@ impl Mlp {
             std::mem::swap(&mut scratch.ping, &mut scratch.pong);
         }
         &scratch.ping
+    }
+
+    /// Batched forward pass: `inputs` holds `n` input vectors row-major
+    /// (`n × in_dim`), `out` receives `n` output vectors row-major
+    /// (`n × out_dim`, cleared first). Points are processed in
+    /// [`MICRO_BATCH`]-sized micro-batches, each pushed through **all**
+    /// layers (transposed to lane-major at the block edges) before the next
+    /// block starts, so activations stay cache-resident and every weight row
+    /// is streamed once per block instead of once per point.
+    ///
+    /// Results are bit-identical to `n` calls of [`Self::forward_into`]; the
+    /// parity is asserted by tests because the batched refiners and the NN
+    /// baselines rely on it.
+    ///
+    /// # Panics
+    /// Panics when `inputs.len() != n * input_dim`.
+    pub fn forward_batch_into(
+        &self,
+        inputs: &[f32],
+        n: usize,
+        out: &mut Vec<f32>,
+        scratch: &mut BatchScratch,
+    ) {
+        let in_dim = self.input_dim();
+        let out_dim = self.output_dim();
+        assert_eq!(
+            inputs.len(),
+            n * in_dim,
+            "inputs must hold n x input_dim values"
+        );
+        out.clear();
+        out.resize(n * out_dim, 0.0);
+        for block_start in (0..n).step_by(MICRO_BATCH) {
+            let b = MICRO_BATCH.min(n - block_start);
+            // Transpose the block to lane-major: ping[i * b + l] = feature i
+            // of point block_start + l.
+            scratch.ping.clear();
+            scratch.ping.resize(in_dim * b, 0.0);
+            for l in 0..b {
+                let row = &inputs[(block_start + l) * in_dim..(block_start + l + 1) * in_dim];
+                for (i, &v) in row.iter().enumerate() {
+                    scratch.ping[i * b + l] = v;
+                }
+            }
+            for (li, layer) in self.layers.iter().enumerate() {
+                layer.forward_batch_t(&scratch.ping, b, &mut scratch.pong);
+                if li + 1 < self.layers.len() {
+                    scratch.pong.iter_mut().for_each(|v| *v = v.max(0.0));
+                }
+                std::mem::swap(&mut scratch.ping, &mut scratch.pong);
+            }
+            // Transpose back to row-major output.
+            for l in 0..b {
+                let row = &mut out[(block_start + l) * out_dim..(block_start + l + 1) * out_dim];
+                for (o, slot) in row.iter_mut().enumerate() {
+                    *slot = scratch.ping[o * b + l];
+                }
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper around [`Self::forward_batch_into`].
+    ///
+    /// # Panics
+    /// Panics when `inputs.len()` is not a multiple of the input dimension.
+    pub fn forward_batch(&self, inputs: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            inputs.len() % self.input_dim(),
+            0,
+            "inputs must hold whole rows"
+        );
+        let n = inputs.len() / self.input_dim();
+        let mut out = Vec::new();
+        self.forward_batch_into(inputs, n, &mut out, &mut BatchScratch::default());
+        out
     }
 
     /// Forward pass that keeps every intermediate activation (pre-ReLU
@@ -328,6 +451,61 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The GEMM-style batched forward must agree with the per-point path to
+    /// exact f32 equality — the contract the batched refiners and baselines
+    /// rely on for their own parity tests.
+    #[test]
+    fn forward_batch_matches_forward_into_exactly() {
+        for dims in [&[12usize, 64, 64, 3][..], &[4, 7, 2], &[3, 33, 3]] {
+            let mlp = Mlp::new(dims, 11);
+            let in_dim = mlp.input_dim();
+            let out_dim = mlp.output_dim();
+            // Sizes around the micro-batch boundary: empty, one, partial,
+            // exact and spill-over blocks.
+            for n in [
+                0usize,
+                1,
+                5,
+                MICRO_BATCH - 1,
+                MICRO_BATCH,
+                MICRO_BATCH + 3,
+                3 * MICRO_BATCH,
+            ] {
+                let inputs: Vec<f32> = (0..n * in_dim)
+                    .map(|i| ((i as f32) * 0.37).sin() * 2.0 - 0.5)
+                    .collect();
+                let mut batched = Vec::new();
+                let mut scratch = BatchScratch::default();
+                mlp.forward_batch_into(&inputs, n, &mut batched, &mut scratch);
+                assert_eq!(batched.len(), n * out_dim);
+                let mut fwd = ForwardScratch::default();
+                for p in 0..n {
+                    let single = mlp.forward_into(&inputs[p * in_dim..(p + 1) * in_dim], &mut fwd);
+                    assert_eq!(
+                        &batched[p * out_dim..(p + 1) * out_dim],
+                        single,
+                        "dims {dims:?} n {n} point {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_wrapper_validates_shape() {
+        let mlp = Mlp::new(&[3, 4, 2], 1);
+        let out = mlp.forward_batch(&[0.1; 6]);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[..2], mlp.forward(&[0.1; 3])[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn forward_batch_rejects_ragged_input() {
+        let mlp = Mlp::new(&[3, 4, 2], 1);
+        let _ = mlp.forward_batch(&[0.0; 7]);
     }
 
     #[test]

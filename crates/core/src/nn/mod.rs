@@ -13,5 +13,5 @@ pub mod mlp;
 pub mod train;
 
 pub use adam::Adam;
-pub use mlp::{Linear, Mlp};
+pub use mlp::{BatchScratch, ForwardScratch, Linear, Mlp, MICRO_BATCH};
 pub use train::{build_training_set, RefinementTrainer, TrainConfig, TrainingReport, TrainingSet};

@@ -246,34 +246,32 @@ impl Refiner for LutRefiner {
     ) {
         debug_assert_eq!(centers.len(), neighborhoods.len());
         debug_assert_eq!(centers.len(), out.len());
-        // Block-structured: encode a block of keys, probe them all at once
-        // (the sparse backend prefetches every probe target so the cache
-        // misses overlap), then apply the offsets. All state lives in
-        // fixed-size stack buffers — zero heap traffic per point or block.
+        // Block-structured: the SoA-lane encoder turns a block of CSR rows
+        // into keys and radii in one vectorized pass (gather → lane-wide
+        // squared norms → quantize), every probe target is prefetched, then
+        // one `get_batch` resolves the block before the offsets are applied.
         const BLOCK: usize = 64;
         let mut keys = [0u128; BLOCK];
         // radius < 0 marks rows that skip refinement (empty / unencodable).
         let mut radii = [-1.0f32; BLOCK];
         let mut results: [Option<crate::lut::Offset>; BLOCK] = [None; BLOCK];
+        let mut encode_scratch = crate::encoding::EncodeScratch::default();
         let (mut hits, mut misses) = (0u64, 0u64);
         for block_start in (0..centers.len()).step_by(BLOCK) {
             let block_len = BLOCK.min(centers.len() - block_start);
+            self.encoder.encode_keys_block(
+                &centers[block_start..block_start + block_len],
+                neighborhoods,
+                block_start,
+                source,
+                &mut keys[..block_len],
+                &mut radii[..block_len],
+                &mut encode_scratch,
+            );
+            // Start pulling every probe target in before the batch probe.
             for b in 0..block_len {
-                let i = block_start + b;
-                let row = neighborhoods.row(i);
-                // Indexed encoding reads `source` directly — no gather copy.
-                match self.encoder.encode_key_indexed(centers[i], row, source) {
-                    Ok((key, radius)) => {
-                        keys[b] = key;
-                        radii[b] = radius;
-                        // Start pulling the probe target in while the rest
-                        // of the block is still encoding.
-                        self.lut.prefetch(key);
-                    }
-                    Err(_) => {
-                        keys[b] = 0;
-                        radii[b] = -1.0;
-                    }
+                if radii[b] >= 0.0 {
+                    self.lut.prefetch(keys[b]);
                 }
             }
             self.lut
@@ -357,27 +355,50 @@ impl Refiner for NnRefiner {
     ) {
         debug_assert_eq!(centers.len(), neighborhoods.len());
         debug_assert_eq!(centers.len(), out.len());
+        // Feature rows are packed per block and pushed through the GEMM-style
+        // micro-batched forward; `forward_batch_into` is bit-identical to the
+        // per-point pass, so batching is invisible in the output.
+        const BLOCK: usize = 4 * crate::nn::mlp::MICRO_BATCH;
+        let out_dim = self.mlp.output_dim();
         let mut gather: Vec<Point3> = Vec::new();
+        let mut feature_row: Vec<f32> = Vec::new();
         let mut features: Vec<f32> = Vec::new();
-        let mut scratch = crate::nn::mlp::ForwardScratch::default();
-        for i in 0..centers.len() {
-            let center = centers[i];
-            let row = neighborhoods.row(i);
-            if row.is_empty() {
-                out[i] = center;
+        let mut packed: Vec<(usize, f32)> = Vec::new();
+        let mut outputs: Vec<f32> = Vec::new();
+        let mut scratch = crate::nn::mlp::BatchScratch::default();
+        for block_start in (0..centers.len()).step_by(BLOCK) {
+            let block_len = BLOCK.min(centers.len() - block_start);
+            features.clear();
+            packed.clear();
+            for i in block_start..block_start + block_len {
+                let center = centers[i];
+                let row = neighborhoods.row(i);
+                if row.is_empty() {
+                    out[i] = center;
+                    continue;
+                }
+                gather.clear();
+                gather.extend(row.iter().map(|&j| source[j as usize]));
+                match self
+                    .encoder
+                    .encode_features_into(center, &gather, &mut feature_row)
+                {
+                    Ok(radius) => {
+                        features.extend_from_slice(&feature_row);
+                        packed.push((i, radius));
+                    }
+                    Err(_) => out[i] = center,
+                }
+            }
+            if packed.is_empty() {
                 continue;
             }
-            gather.clear();
-            gather.extend(row.iter().map(|&j| source[j as usize]));
-            let Ok(radius) = self
-                .encoder
-                .encode_features_into(center, &gather, &mut features)
-            else {
-                out[i] = center;
-                continue;
-            };
-            let o = self.mlp.forward_into(&features, &mut scratch);
-            out[i] = center + Point3::new(o[0], o[1], o[2]) * radius;
+            self.mlp
+                .forward_batch_into(&features, packed.len(), &mut outputs, &mut scratch);
+            for (slot, &(i, radius)) in packed.iter().enumerate() {
+                let o = &outputs[slot * out_dim..(slot + 1) * out_dim];
+                out[i] = centers[i] + Point3::new(o[0], o[1], o[2]) * radius;
+            }
         }
     }
 

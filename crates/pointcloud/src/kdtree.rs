@@ -6,12 +6,21 @@
 //! the VoLUT pipeline itself prefers the two-layer octree of
 //! [`crate::octree`].
 
+use crate::aabb::Aabb;
+use crate::kernels;
 use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
 use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
+use crate::soa::SoaPositions;
 
 /// Maximum number of points stored in a leaf before the builder splits it.
-const LEAF_SIZE: usize = 16;
+/// Sized for the batched SoA sweep: 64 points are four 16-wide kernel
+/// blocks, and the fat leaves cut two levels of node traversal and their
+/// deferred far-subtree bookkeeping. With a warm-started bound plus the
+/// tight leaf boxes, the batch path scans few extra candidates for that
+/// saving; the cold per-query path would prefer smaller leaves, but the
+/// batched sweep is the production hot path.
+const LEAF_SIZE: usize = 64;
 
 /// `Node::tag` value marking a leaf (split nodes store their axis, 0-2).
 const LEAF_TAG: u32 = 3;
@@ -21,9 +30,10 @@ const LEAF_TAG: u32 = 3;
 /// 100k points the packed array is ~256 KB and stays cache-resident.
 ///
 /// Splits: `tag` = axis, `value` = plane, `a`/`b` = left/right child ids.
-/// Leaves: `tag` = [`LEAF_TAG`], `a`/`b` = range into `KdTree::order`.
+/// Leaves: `tag` = [`LEAF_TAG`], `a`/`b` = range into `KdTree::order`, and
+/// `value` carries the leaf's ordinal in `KdTree::leaf_aabbs` (bit-cast).
 #[derive(Debug, Clone, Copy)]
-struct Node {
+pub(crate) struct Node {
     tag: u32,
     value: f32,
     a: u32,
@@ -55,9 +65,20 @@ pub struct DeferredSubtree {
 pub struct KdTree {
     points: Vec<Point3>,
     /// Permutation of point indices; leaves reference contiguous ranges.
-    /// `u32` keeps a 16-point leaf inside a single cache line.
     order: Vec<u32>,
+    /// The points again, stored SoA in leaf-visit order (`soa[i]` is
+    /// `points[order[i]]`): a leaf scan streams three contiguous coordinate
+    /// lanes through the shared 8-wide distance kernel with no
+    /// permutation-indirection on the load side — only the surviving
+    /// candidates pay the `order` lookup.
+    soa: SoaPositions,
     nodes: Vec<Node>,
+    /// Tight bounding box of each leaf's actual points (indexed by the leaf
+    /// ordinal stored in its node's `value`). Split planes only bound the
+    /// *region*; the points usually occupy a much smaller box, so checking
+    /// the query's distance against this box before a leaf scan skips most
+    /// of the backtracking scans the region bound alone would still pay.
+    leaf_aabbs: Vec<Aabb>,
     root: usize,
 }
 
@@ -75,7 +96,9 @@ impl KdTree {
         let mut tree = KdTree {
             points: Vec::new(),
             order: Vec::new(),
+            soa: SoaPositions::default(),
             nodes: Vec::new(),
+            leaf_aabbs: Vec::new(),
             root: 0,
         };
         tree.build_in(points);
@@ -93,13 +116,18 @@ impl KdTree {
         self.order.clear();
         self.order.extend(0..points.len() as u32);
         self.nodes.clear();
+        self.leaf_aabbs.clear();
         self.root = 0;
         if points.is_empty() {
             self.push_leaf(0, 0);
+            self.soa.fill_permuted(points, &self.order);
             return;
         }
         let n = points.len();
         self.root = self.build_range(0, n, 0);
+        // One contiguous reordered copy: leaf ranges now address three
+        // streaming coordinate lanes instead of a permuted `Point3` gather.
+        self.soa.fill_permuted(points, &self.order);
     }
 
     /// The indexed points, in their original order.
@@ -107,11 +135,20 @@ impl KdTree {
         &self.points
     }
 
-    /// Appends a leaf node covering `order[start..end]`.
+    /// Appends a leaf node covering `order[start..end]`, recording the
+    /// tight bounding box of the leaf's points.
     fn push_leaf(&mut self, start: usize, end: usize) -> usize {
+        let aabb = Aabb::from_points(
+            self.order[start..end]
+                .iter()
+                .map(|&i| self.points[i as usize]),
+        )
+        .unwrap_or(Aabb::new(Point3::ZERO, Point3::ZERO));
+        let ordinal = self.leaf_aabbs.len() as u32;
+        self.leaf_aabbs.push(aabb);
         self.nodes.push(Node {
             tag: LEAF_TAG,
-            value: 0.0,
+            value: f32::from_bits(ordinal),
             a: start as u32,
             b: end as u32,
         });
@@ -174,7 +211,9 @@ impl KdTree {
     ///
     /// This is the kernel behind both [`NeighborSearch::knn`] and the tuned
     /// [`NeighborSearch::knn_batch`]; one batch call reuses the same two
-    /// buffers for every query.
+    /// buffers for every query, which also warm-starts each query's pruning
+    /// bound from the previous one's result (see [`BestK::begin_warm`];
+    /// results are unaffected, a fresh accumulator simply starts cold).
     pub(crate) fn knn_into(
         &self,
         query: Point3,
@@ -182,71 +221,163 @@ impl KdTree {
         best: &mut BestK,
         stack: &mut Vec<DeferredSubtree>,
     ) {
-        best.begin(k);
+        self.knn_into_with_path(query, k, best, stack, None);
+    }
+
+    /// [`KdTree::knn_into`] with an optional cached root-descent path: the
+    /// batched sweep passes a scratch that remembers the previous query's
+    /// root→leaf chain of `(node id, node)` pairs. Morton-consecutive
+    /// queries share almost their entire descent, so the replay serves node
+    /// data out of a small sequential buffer instead of re-chasing the node
+    /// array, diverging (and refilling the tail) only where the paths
+    /// split. Every visit decision is recomputed from the same node values,
+    /// so results are bit-identical; `None` runs the plain descent.
+    pub(crate) fn knn_into_with_path(
+        &self,
+        query: Point3,
+        k: usize,
+        best: &mut BestK,
+        stack: &mut Vec<DeferredSubtree>,
+        mut path: Option<&mut Vec<(u32, Node)>>,
+    ) {
+        // Morton-consecutive queries usually land in the same leaf as their
+        // predecessor: start pulling its coordinate lanes in now, overlapped
+        // with the cap computation and the descent (harmless when the leaf
+        // differs — the descent just fetches the right one).
+        if let Some(p) = path.as_deref() {
+            if let Some(&(_, n)) = p.last() {
+                if n.tag == LEAF_TAG {
+                    let s = n.a as usize;
+                    kernels::prefetch_read(&self.soa.xs()[s]);
+                    kernels::prefetch_read(&self.soa.ys()[s]);
+                    kernels::prefetch_read(&self.soa.zs()[s]);
+                    kernels::prefetch_read(&self.order[s.min(self.order.len().saturating_sub(1))]);
+                }
+            }
+        }
+        best.begin_warm(k, query);
         if k == 0 || self.points.is_empty() {
             return;
         }
         stack.clear();
-        stack.push(DeferredSubtree {
-            node: self.root as u32,
-            bound: 0.0,
-            off: Point3::ZERO,
-        });
+        // Root descent (the long chain — with path replay when available).
+        let mut node = self.root as u32;
+        let mut level = 0usize;
+        loop {
+            let n = match path.as_deref_mut() {
+                Some(p) => {
+                    if let Some(&(id, cached)) = p.get(level) {
+                        if id == node {
+                            cached
+                        } else {
+                            p.truncate(level);
+                            let n = self.nodes[node as usize];
+                            p.push((node, n));
+                            n
+                        }
+                    } else {
+                        let n = self.nodes[node as usize];
+                        p.push((node, n));
+                        n
+                    }
+                }
+                None => self.nodes[node as usize],
+            };
+            level += 1;
+            if n.tag == LEAF_TAG {
+                self.scan_leaf(n, query, best);
+                break;
+            }
+            node = self.split_step(n, query, Point3::ZERO, best, stack);
+        }
+        // Backtracking: process deferred far subtrees (short chains, plain
+        // loads). The bound was computed when the subtree was deferred; the
+        // best list has only tightened since, so this prune is at least as
+        // strong as the recursive formulation's.
         while let Some(DeferredSubtree {
             node: deferred,
             bound,
             off,
         }) = stack.pop()
         {
-            // The bound was computed when the subtree was deferred; the best
-            // list has only tightened since, so this prune is at least as
-            // strong as the recursive formulation's.
             if bound > best.worst_d2() {
                 continue;
             }
-            let mut node = deferred as usize;
+            let mut node = deferred;
             loop {
-                let n = self.nodes[node];
+                let n = self.nodes[node as usize];
                 if n.tag == LEAF_TAG {
-                    for &i in &self.order[n.a as usize..n.b as usize] {
-                        let d2 = self.points[i as usize].distance_squared(query);
-                        best.push(i as usize, d2);
-                    }
+                    self.scan_leaf(n, query, best);
                     break;
                 }
-                let axis = n.tag as usize;
-                let diff = query[axis] - n.value;
-                let (near, far) = if diff < 0.0 { (n.a, n.b) } else { (n.b, n.a) };
-                // The near child keeps the current offsets; the far child's
-                // offset on this axis grows to |diff| (the split plane lies
-                // between the query side and it).
-                let mut far_off = off;
-                far_off[axis] = diff.abs();
-                let far_bound = far_off.norm_squared();
-                if far_bound <= best.worst_d2() {
-                    stack.push(DeferredSubtree {
-                        node: far,
-                        bound: far_bound,
-                        off: far_off,
-                    });
-                }
-                node = near as usize;
+                node = self.split_step(n, query, off, best, stack);
             }
         }
+    }
+
+    /// Leaf arrival: scans the leaf unless its tight bounding box is farther
+    /// than the current k-th best. The box usually beats the region bound by
+    /// a wide margin, so most backtracking arrivals are rejected here for
+    /// the cost of one box distance instead of a full scan. Equality still
+    /// scans (index-broken ties).
+    #[inline(always)]
+    fn scan_leaf(&self, n: Node, query: Point3, best: &mut BestK) {
+        let lb = self.leaf_aabbs[n.value.to_bits() as usize];
+        if lb.distance_squared_to(query) <= best.worst_d2() {
+            kernels::scan_ids(
+                &self.soa,
+                &self.order,
+                n.a as usize,
+                n.b as usize,
+                query,
+                best,
+            );
+        }
+    }
+
+    /// One split-node step: defers the far child when its region could still
+    /// matter and returns the near child. The near child keeps the current
+    /// offsets; the far child's offset on this axis grows to |diff| (the
+    /// split plane lies between the query side and it).
+    #[inline(always)]
+    fn split_step(
+        &self,
+        n: Node,
+        query: Point3,
+        off: Point3,
+        best: &mut BestK,
+        stack: &mut Vec<DeferredSubtree>,
+    ) -> u32 {
+        let axis = n.tag as usize;
+        let diff = query[axis] - n.value;
+        let (near, far) = if diff < 0.0 { (n.a, n.b) } else { (n.b, n.a) };
+        let mut far_off = off;
+        far_off[axis] = diff.abs();
+        let far_bound = far_off.norm_squared();
+        if far_bound <= best.worst_d2() {
+            // Pull the deferred node in ahead of its (likely) pop.
+            kernels::prefetch_read(&self.nodes[far as usize]);
+            stack.push(DeferredSubtree {
+                node: far,
+                bound: far_bound,
+                off: far_off,
+            });
+        }
+        near
     }
 
     fn radius_recurse(&self, node: usize, query: Point3, r2: f32, out: &mut Vec<Neighbor>) {
         let n = self.nodes[node];
         if n.tag == LEAF_TAG {
-            for &i in &self.order[n.a as usize..n.b as usize] {
-                let d2 = self.points[i as usize].distance_squared(query);
-                if d2 <= r2 {
-                    out.push(Neighbor {
-                        index: i as usize,
-                        distance_squared: d2,
-                    });
-                }
-            }
+            kernels::scan_radius_ids(
+                &self.soa,
+                &self.order,
+                n.a as usize,
+                n.b as usize,
+                query,
+                r2,
+                out,
+            );
             return;
         }
         let axis = n.tag as usize;
@@ -271,7 +402,7 @@ impl NeighborSearch for KdTree {
         let mut best = BestK::default();
         let mut stack: Vec<DeferredSubtree> = Vec::new();
         self.knn_into(query, k, &mut best, &mut stack);
-        best.sorted().to_vec()
+        best.sorted()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -293,12 +424,15 @@ impl NeighborSearch for KdTree {
             }
             return;
         }
-        // One traversal stack shared by the whole batch (the best list lives
-        // in the driver) — zero allocations per query at steady state; large
-        // batches run in Morton order for cache locality.
+        // One traversal stack and one cached descent path shared by the
+        // whole batch (the best list lives in the driver) — zero
+        // allocations per query at steady state; large batches run in
+        // Morton order for cache locality, tight warm-start caps and
+        // near-total descent-path reuse.
         let mut stack: Vec<DeferredSubtree> = Vec::with_capacity(64);
+        let mut path: Vec<(u32, Node)> = Vec::with_capacity(32);
         batch_queries(queries, stride, out, |q, best| {
-            self.knn_into(q, k, best, &mut stack);
+            self.knn_into_with_path(q, k, best, &mut stack, Some(&mut path));
         });
     }
 }
@@ -435,26 +569,251 @@ mod tests {
         for k in [1usize, 4, 9, 16] {
             let mut best = crate::knn::BestK::default();
             let mut stack = Vec::new();
-            let (visit, _) = crate::knn::morton_buckets(queries, 15);
+            let (visit, _) = crate::knn::morton_buckets(queries, 18);
             let t = Instant::now();
             let mut acc = 0usize;
             for &qi in &visit {
                 tree.knn_into(queries[qi as usize], k, &mut best, &mut stack);
-                acc += best.sorted().len();
+                acc += best.sorted_keys().len();
             }
             println!("k={k} morton-order sweep: {:?} acc {acc}", t.elapsed());
             let t = Instant::now();
             let mut acc = 0usize;
             for &q in queries.iter() {
                 tree.knn_into(q, k, &mut best, &mut stack);
-                acc += best.sorted().len();
+                acc += best.sorted_keys().len();
             }
             println!("k={k} random-order sweep: {:?} acc {acc}", t.elapsed());
         }
         // morton_buckets cost alone
         let t = Instant::now();
-        let (visit, _) = crate::knn::morton_buckets(queries, 15);
+        let (visit, _) = crate::knn::morton_buckets(queries, 18);
         println!("morton_buckets: {:?} ({} visits)", t.elapsed(), visit.len());
+    }
+
+    #[test]
+    #[ignore = "manual instrumentation probe"]
+    fn work_count_probe() {
+        let pts = crate::synthetic::humanoid(100_000, 0.5, 3);
+        let queries = pts.positions();
+        let tree = KdTree::build(queries);
+        let k = 5;
+        let (visit, _) = crate::knn::morton_buckets(queries, 18);
+        let mut best = BestK::default();
+        let mut stack: Vec<DeferredSubtree> = Vec::new();
+        let (mut nodes, mut leaves, mut cands, mut pops, mut pushes) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        for &qi in &visit {
+            let query = queries[qi as usize];
+            best.begin_warm(k, query);
+            stack.clear();
+            stack.push(DeferredSubtree {
+                node: tree.root as u32,
+                bound: 0.0,
+                off: Point3::ZERO,
+            });
+            while let Some(DeferredSubtree {
+                node: deferred,
+                bound,
+                off,
+            }) = stack.pop()
+            {
+                pops += 1;
+                if bound > best.worst_d2() {
+                    continue;
+                }
+                let mut node = deferred as usize;
+                loop {
+                    nodes += 1;
+                    let n = tree.nodes[node];
+                    if n.tag == LEAF_TAG {
+                        let lb = tree.leaf_aabbs[n.value.to_bits() as usize];
+                        if lb.distance_squared_to(query) <= best.worst_d2() {
+                            leaves += 1;
+                            cands += (n.b - n.a) as u64;
+                            crate::kernels::scan_ids(
+                                &tree.soa,
+                                &tree.order,
+                                n.a as usize,
+                                n.b as usize,
+                                query,
+                                &mut best,
+                            );
+                        }
+                        break;
+                    }
+                    let axis = n.tag as usize;
+                    let diff = query[axis] - n.value;
+                    let (near, far) = if diff < 0.0 { (n.a, n.b) } else { (n.b, n.a) };
+                    let mut far_off = off;
+                    far_off[axis] = diff.abs();
+                    let far_bound = far_off.norm_squared();
+                    if far_bound <= best.worst_d2() {
+                        pushes += 1;
+                        stack.push(DeferredSubtree {
+                            node: far,
+                            bound: far_bound,
+                            off: far_off,
+                        });
+                    }
+                    node = near as usize;
+                }
+            }
+            let _ = best.sorted_keys();
+        }
+        let nq = queries.len() as u64;
+        println!(
+            "per query: nodes {:.1} leaves {:.1} cands {:.1} pops {:.1} pushes {:.1}",
+            nodes as f64 / nq as f64,
+            leaves as f64 / nq as f64,
+            cands as f64 / nq as f64,
+            pops as f64 / nq as f64,
+            pushes as f64 / nq as f64,
+        );
+        // Timed warm vs cold morton sweeps through the real kernel.
+        use std::time::Instant;
+        // Descent-only: walk to the home leaf, no scanning or backtracking.
+        let t = Instant::now();
+        let mut acc = 0u32;
+        for &qi in &visit {
+            let query = queries[qi as usize];
+            let mut node = tree.root;
+            loop {
+                let n = tree.nodes[node];
+                if n.tag == LEAF_TAG {
+                    acc ^= n.a;
+                    break;
+                }
+                let diff = query[n.tag as usize] - n.value;
+                node = if diff < 0.0 { n.a } else { n.b } as usize;
+            }
+        }
+        println!("descent-only sweep: {:?} acc {acc}", t.elapsed());
+        // Scan-only: scan each query's home leaf once (reusing acc ranges).
+        let t = Instant::now();
+        let mut scanned = 0u64;
+        for &qi in &visit {
+            let query = queries[qi as usize];
+            let mut node = tree.root;
+            let (a, b) = loop {
+                let n = tree.nodes[node];
+                if n.tag == LEAF_TAG {
+                    break (n.a as usize, n.b as usize);
+                }
+                let diff = query[n.tag as usize] - n.value;
+                node = if diff < 0.0 { n.a } else { n.b } as usize;
+            };
+            best.begin_warm(k, query);
+            crate::kernels::scan_ids(&tree.soa, &tree.order, a, b, query, &mut best);
+            scanned += best.sorted_keys().len() as u64;
+        }
+        println!(
+            "descent+home-scan sweep: {:?} scanned {scanned}",
+            t.elapsed()
+        );
+        // Bookkeeping-only: descent + begin_warm + sorted, no scan.
+        let t = Instant::now();
+        let mut scanned = 0u64;
+        for &qi in &visit {
+            let query = queries[qi as usize];
+            let mut node = tree.root;
+            loop {
+                let n = tree.nodes[node];
+                if n.tag == LEAF_TAG {
+                    break;
+                }
+                let diff = query[n.tag as usize] - n.value;
+                node = if diff < 0.0 { n.a } else { n.b } as usize;
+            }
+            best.begin_warm(k, query);
+            scanned += best.sorted_keys().len() as u64;
+        }
+        println!(
+            "descent+bookkeeping sweep: {:?} scanned {scanned}",
+            t.elapsed()
+        );
+        // Pure BestK churn: begin_warm + k appends + a few replacements +
+        // sorted, no tree at all.
+        let t = Instant::now();
+        let mut acc2 = 0usize;
+        for &qi in &visit {
+            let query = queries[qi as usize];
+            best.begin_warm(k, query);
+            for j in 0..8usize {
+                let d = (j as f32) * 0.125 + query.x.abs() * 1e-6;
+                if d <= best.worst_d2() {
+                    best.push(qi as usize + j, d, query);
+                }
+            }
+            acc2 += best.sorted_keys().len();
+        }
+        println!("bestk-churn sweep: {:?} acc {acc2}", t.elapsed());
+        // Home-leaf scan with a *hot* leaf: same leaf range scanned for all
+        // queries (isolates kernel + push cost from cache effects).
+        let (ha, hb) = {
+            let mut node = tree.root;
+            loop {
+                let n = tree.nodes[node];
+                if n.tag == LEAF_TAG {
+                    break (n.a as usize, n.b as usize);
+                }
+                node = n.a as usize;
+            }
+        };
+        let t = Instant::now();
+        let mut acc3 = 0usize;
+        for &qi in &visit {
+            let query = queries[qi as usize];
+            best.begin_warm(k, query);
+            crate::kernels::scan_ids(&tree.soa, &tree.order, ha, hb, query, &mut best);
+            acc3 += best.sorted_keys().len();
+        }
+        println!("hot-leaf scan sweep: {:?} acc {acc3}", t.elapsed());
+        for round in 0..2 {
+            let t = Instant::now();
+            let mut acc = 0usize;
+            for &qi in &visit {
+                tree.knn_into(queries[qi as usize], k, &mut best, &mut stack);
+                acc += best.sorted_keys().len();
+            }
+            println!("round {round} warm sweep: {:?} acc {acc}", t.elapsed());
+            let t = Instant::now();
+            let mut acc = 0usize;
+            for &qi in &visit {
+                let mut cold = BestK::default();
+                tree.knn_into(queries[qi as usize], k, &mut cold, &mut stack);
+                acc += cold.sorted_keys().len();
+            }
+            println!("round {round} cold sweep: {:?} acc {acc}", t.elapsed());
+        }
+    }
+
+    #[test]
+    #[ignore = "manual timing probe"]
+    fn batch_vs_per_query_probe() {
+        use std::time::Instant;
+        let pts = crate::synthetic::humanoid(100_000, 0.5, 3);
+        let queries = pts.positions();
+        let tree = KdTree::build(queries);
+        let k = 5;
+        let mut out = crate::Neighborhoods::with_capacity(queries.len(), queries.len() * k);
+        for round in 0..3 {
+            let t = Instant::now();
+            out.clear();
+            for &q in queries {
+                let nn = tree.knn(q, k);
+                out.push_row(nn.into_iter().map(|n| n.index));
+            }
+            let per_query = t.elapsed();
+            let t = Instant::now();
+            out.clear();
+            tree.knn_batch(queries, k, &mut out);
+            let batch = t.elapsed();
+            println!(
+                "round {round}: per_query {per_query:?} batch {batch:?} ratio {:.2}",
+                per_query.as_secs_f64() / batch.as_secs_f64()
+            );
+        }
     }
 
     #[test]

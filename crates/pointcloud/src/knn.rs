@@ -89,94 +89,187 @@ pub(crate) fn finalize_candidates(mut cands: Vec<Neighbor>, k: usize) -> Vec<Nei
 
 /// Bounded best-`k` accumulator shared by every backend's kNN kernel.
 ///
-/// Entries stay *unsorted* while a query runs: a candidate either appends
-/// (until `k` entries exist) or replaces the current worst, after which the
-/// new worst is found with one linear rescan — far cheaper at the small `k`
-/// of the SR pipeline than a sorted insert's binary search plus memmove on
-/// every improvement. The tracked worst is the maximum by
-/// `(distance, index)`, so distance ties are broken by smaller index
-/// exactly like the sorted formulation, independent of visit order; the
-/// surviving set — and after [`BestK::sorted`], the emitted order — is
+/// The candidate list is a sorted array of packed `u64` keys (see the
+/// `keys` field): at the SR pipeline's single-digit `k` a branchless rank
+/// scan plus a sub-cache-line shift beats both a heap and a replace-max
+/// rescan, and it leaves the result ready to emit with **no per-query
+/// sort**. Ordering by the packed key is ordering by `(distance, index)`,
+/// so distance ties are broken by smaller index exactly like the seed's
+/// sorted formulation, and the surviving set — and emitted order — is
 /// identical for every traversal order.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub(crate) struct BestK {
-    entries: Vec<Neighbor>,
+    /// Packed candidates: high 32 bits are the squared distance's IEEE bits,
+    /// low 32 the point index. Squared distances are never negative (each
+    /// term is a square, `-0.0 * -0.0 == +0.0`), so the unsigned `u64`
+    /// ordering is *exactly* the `(distance, index)` ordering — one compare
+    /// replaces the two-field tie-break chain, and NaN distances sort after
+    /// `+inf` just like `f32::total_cmp`. Unsorted while a query runs.
+    keys: Vec<u64>,
+    /// Position of entry `i` in the indexed point set, parallel to `keys`
+    /// while a query runs (out of date after [`BestK::sorted_keys`], which
+    /// only reorders `keys`); a fixed array so cold queries pay no
+    /// allocation for it. Entries beyond [`WARM_TRACK`] are untracked —
+    /// [`BestK::begin_warm`] then simply starts cold.
+    positions: [Point3; WARM_TRACK],
     k: usize,
-    /// Position of the worst entry (by `(distance, index)`), valid when
-    /// `entries.len() == k`.
-    worst: usize,
+    /// Pruning cap: a proven upper bound on the final k-th squared distance
+    /// (see [`BestK::begin_warm`]); `INFINITY` for unseeded queries.
+    cap: f32,
+}
+
+/// How many result positions [`BestK`] tracks for warm starts; queries with
+/// `k` beyond this run cold (the SR pipeline's `k` is single-digit).
+const WARM_TRACK: usize = 32;
+
+impl Default for BestK {
+    fn default() -> Self {
+        Self {
+            keys: Vec::new(),
+            positions: [Point3::ZERO; WARM_TRACK],
+            k: 0,
+            cap: f32::INFINITY,
+        }
+    }
+}
+
+/// Packs `(d2, index)` into the order-preserving `u64` key.
+#[inline(always)]
+fn pack_key(index: usize, d2: f32) -> u64 {
+    (u64::from(d2.to_bits()) << 32) | index as u64
+}
+
+/// Unpacks a key back into a [`Neighbor`] (exact `f32` bit roundtrip).
+#[inline(always)]
+fn unpack_key(key: u64) -> Neighbor {
+    Neighbor {
+        index: key as u32 as usize,
+        distance_squared: f32::from_bits((key >> 32) as u32),
+    }
 }
 
 impl BestK {
     /// Starts a new query wanting `k` neighbors (allocation reused).
     #[inline]
     pub(crate) fn begin(&mut self, k: usize) {
-        self.entries.clear();
+        self.keys.clear();
         self.k = k;
-        self.worst = 0;
+        self.cap = f32::INFINITY;
     }
 
-    /// Squared distance of the current worst entry; `INFINITY` until `k`
-    /// entries exist, so `bound > worst_d2()` is the universal prune test
-    /// (and passes equality through for index-broken ties).
+    /// Starts a new query wanting `k` neighbors, warm-started from the
+    /// accumulator's *previous* query: the largest squared distance from
+    /// `query` to the previous result's points is a true upper bound on this
+    /// query's final k-th distance (they are `k` distinct indexed points —
+    /// or the entire cloud when it holds fewer than `k`), so it becomes the
+    /// initial pruning cap. The batched sweeps visit queries in Morton
+    /// order, making consecutive queries spatial neighbors and the cap
+    /// tight from the very first node.
+    ///
+    /// The cap makes [`BestK::worst_d2`] — and therefore every traversal
+    /// prune and scan filter built on it — tight before `k` candidates have
+    /// been found. Results are **identical** to a cold query: a region or
+    /// candidate is only skipped when strictly beyond the cap, and anything
+    /// strictly beyond an upper bound of the k-th distance cannot appear in
+    /// the result (ties at the cap still pass and are index-broken by
+    /// [`BestK::push`] as usual). Callers must reuse one accumulator per
+    /// (index, `k`) sweep — a fresh [`BestK`] starts cold.
+    #[inline]
+    pub(crate) fn begin_warm(&mut self, k: usize, query: Point3) {
+        let mut cap = f32::NEG_INFINITY;
+        // The previous entries are a valid bound source only if they were a
+        // complete result row for the same `k` with every position tracked.
+        if self.k == k && self.keys.len() <= WARM_TRACK {
+            for p in &self.positions[..self.keys.len()] {
+                cap = cap.max(p.distance_squared(query));
+            }
+        }
+        self.begin(k);
+        if cap.is_finite() {
+            self.cap = cap;
+        }
+    }
+
+    /// Squared distance of the current worst entry; until `k` entries exist
+    /// this is the warm-start cap (`INFINITY` when cold), so
+    /// `bound > worst_d2()` is the universal prune test (and passes equality
+    /// through for index-broken ties).
     #[inline]
     pub(crate) fn worst_d2(&self) -> f32 {
-        if self.entries.len() == self.k {
-            self.entries[self.worst].distance_squared
+        if self.keys.len() == self.k {
+            f32::from_bits((self.keys[self.k - 1] >> 32) as u32)
         } else {
-            f32::INFINITY
+            self.cap
         }
     }
 
-    /// Offers a candidate.
-    #[inline(always)]
-    pub(crate) fn push(&mut self, index: usize, d2: f32) {
-        debug_assert!(self.k > 0, "callers early-out on k == 0");
-        if self.entries.len() < self.k {
-            self.entries.push(Neighbor {
-                index,
-                distance_squared: d2,
-            });
-            if self.entries.len() == self.k {
-                self.refind_worst();
-            }
-            return;
-        }
-        let w = self.entries[self.worst];
-        if d2 > w.distance_squared || (d2 == w.distance_squared && index > w.index) {
-            return;
-        }
-        self.entries[self.worst] = Neighbor {
-            index,
-            distance_squared: d2,
-        };
-        self.refind_worst();
-    }
-
+    /// `true` once `k` entries are held. Termination tests that *stop a
+    /// search* (rather than prune a region) must check this alongside
+    /// [`BestK::worst_d2`]: before the list is full, `worst_d2` is the
+    /// warm-start cap, which bounds the final result but does not promise
+    /// the remaining entries have been seen yet.
     #[inline]
-    fn refind_worst(&mut self) {
-        let mut w = 0;
-        for i in 1..self.entries.len() {
-            let a = self.entries[i];
-            let b = self.entries[w];
-            if a.distance_squared > b.distance_squared
-                || (a.distance_squared == b.distance_squared && a.index > b.index)
-            {
-                w = i;
-            }
-        }
-        self.worst = w;
+    pub(crate) fn is_full(&self) -> bool {
+        self.keys.len() == self.k
     }
 
-    /// Sorts the entries by `(distance, index)` and returns them.
-    pub(crate) fn sorted(&mut self) -> &[Neighbor] {
-        self.entries.sort_unstable_by(|a, b| {
-            a.distance_squared
-                .total_cmp(&b.distance_squared)
-                .then(a.index.cmp(&b.index))
-        });
-        self.worst = self.entries.len().saturating_sub(1);
-        &self.entries
+    /// Offers a candidate at position `pos`.
+    ///
+    /// The key list is kept *sorted* at all times: an accepted candidate is
+    /// placed by a branchless fixed-trip rank scan (count of smaller keys —
+    /// the trip count is the predictable `len`, not the data) plus one tiny
+    /// `copy_within` shift. Keeping the list sorted makes the worst entry
+    /// `keys[len - 1]`, removes the replace-max rescan, and turns result
+    /// emission into a plain borrow — there is no per-query sort at all.
+    #[inline(always)]
+    pub(crate) fn push(&mut self, index: usize, d2: f32, pos: Point3) {
+        debug_assert!(self.k > 0, "callers early-out on k == 0");
+        let key = pack_key(index, d2);
+        let len = self.keys.len();
+        if len == self.k {
+            if key >= self.keys[len - 1] {
+                return;
+            }
+            let rank = self.rank_of(key);
+            self.keys.copy_within(rank..len - 1, rank + 1);
+            self.keys[rank] = key;
+            self.insert_position(rank, len, pos);
+            return;
+        }
+        let rank = self.rank_of(key);
+        self.keys.insert(rank, key);
+        self.insert_position(rank, len + 1, pos);
+    }
+
+    /// Number of stored keys strictly smaller than `key` (the insertion
+    /// rank). A fixed-trip sum of compares — no data-dependent branches.
+    #[inline(always)]
+    fn rank_of(&self, key: u64) -> usize {
+        self.keys.iter().map(|&a| usize::from(a < key)).sum()
+    }
+
+    /// Mirrors an insertion of `pos` at `rank` into the parallel positions
+    /// array (`new_len` tracked entries after the insertion, capped at
+    /// [`WARM_TRACK`]).
+    #[inline(always)]
+    fn insert_position(&mut self, rank: usize, new_len: usize, pos: Point3) {
+        if rank < WARM_TRACK {
+            let upto = new_len.min(WARM_TRACK);
+            self.positions.copy_within(rank..upto - 1, rank + 1);
+            self.positions[rank] = pos;
+        }
+    }
+
+    /// The packed keys, sorted by `(distance, index)`; the low 32 bits of
+    /// each key are the neighbor index, which is all the batched CSR
+    /// emission needs (no unpacking, no sort — the list is always sorted).
+    pub(crate) fn sorted_keys(&mut self) -> &[u64] {
+        &self.keys
+    }
+
+    /// Unpacks the (already sorted) entries — the per-query convenience path.
+    pub(crate) fn sorted(&mut self) -> Vec<Neighbor> {
+        self.keys.iter().map(|&k| unpack_key(k)).collect()
     }
 }
 
@@ -219,7 +312,7 @@ fn morton_code(p: Point3, min: Point3, inv_extent: Point3) -> u32 {
 /// captures the locality that matters (buckets are finer than the index
 /// regions whose cache reuse pays) at a fraction of a full sort's cost.
 pub(crate) fn morton_buckets(queries: &[Point3], bucket_bits: u32) -> (Vec<u32>, Vec<u32>) {
-    debug_assert!((1..=30).contains(&bucket_bits));
+    debug_assert!((1..=24).contains(&bucket_bits));
     let mut min = Point3::splat(f32::INFINITY);
     let mut max = Point3::splat(f32::NEG_INFINITY);
     for &q in queries {
@@ -264,6 +357,12 @@ pub(crate) fn morton_buckets(queries: &[Point3], bucket_bits: u32) -> (Vec<u32>,
 /// caller's original order, so the reordering is invisible in the output:
 /// every backend's candidates flow through [`push_best`], making results
 /// independent of visit order even under distance ties.
+///
+/// Backends start each query with [`BestK::begin_warm`], and the driver
+/// hands every query of a sweep the *same* accumulator: the previous,
+/// Morton-adjacent query's surviving positions give a tight warm-start
+/// pruning cap at zero gather cost — a batch-only advantage (the cold
+/// per-query path has no previous query) with bit-identical results.
 pub(crate) fn batch_queries(
     queries: &[Point3],
     stride: usize,
@@ -274,26 +373,35 @@ pub(crate) fn batch_queries(
     if queries.len() < REORDER_MIN_QUERIES {
         for &q in queries {
             query_fn(q, &mut best);
-            out.push_row_u32_iter(best.sorted().iter().map(|n| n.index as u32));
+            out.push_row_u32_iter(best.sorted_keys().iter().map(|&key| key as u32));
         }
         return;
     }
-    let (visit, _codes) = morton_buckets(queries, 15);
-    // Rows are written sequentially in visit order (streaming stores), then
-    // gathered back into query order at emit time via the inverse
-    // permutation — cheaper than scattering row writes across the buffer.
-    let mut rows: Vec<u32> = Vec::with_capacity(queries.len() * stride);
-    let mut visit_pos = vec![0u32; queries.len()];
+    // Bucket granularity scales with the batch so the counting table stays
+    // proportionate (roughly one bucket per query — effectively a full
+    // spatial sort), capped at 18 bits: a 1 MB table amortizes fine at
+    // 100k+ queries but would dominate the smallest reordered batches.
+    let bits = (usize::BITS - queries.len().leading_zeros() + 1).min(18);
+    let (visit, _codes) = morton_buckets(queries, bits);
+    debug_assert_eq!(visit.len(), queries.len());
+    // Exact kNN rows are stride-uniform, so every row's final location is
+    // known up front: reserve the whole CSR block once and scatter each
+    // row straight into place — no intermediate buffer, no gather pass.
+    let slab = out.push_uniform_rows(queries.len(), stride);
     for (pos, &qi) in visit.iter().enumerate() {
-        visit_pos[qi as usize] = pos as u32;
+        // Pull the upcoming queries' cache lines in while this one runs —
+        // the visit permutation makes them non-sequential loads.
+        if let Some(&next) = visit.get(pos + 8) {
+            crate::kernels::prefetch_read(&queries[next as usize]);
+        }
         query_fn(queries[qi as usize], &mut best);
-        let row = best.sorted();
+        let row = best.sorted_keys();
         debug_assert_eq!(row.len(), stride, "exact kNN rows are stride-uniform");
-        rows.extend(row.iter().map(|n| n.index as u32));
-    }
-    for &pos in &visit_pos {
-        let start = pos as usize * stride;
-        out.push_row_u32(&rows[start..start + stride]);
+        let dst = &mut slab[qi as usize * stride..qi as usize * stride + stride];
+        // The low 32 bits of a packed key ARE the neighbor index.
+        for (d, &key) in dst.iter_mut().zip(row) {
+            *d = key as u32;
+        }
     }
 }
 
@@ -315,13 +423,21 @@ pub(crate) fn batch_queries(
 #[derive(Debug, Clone)]
 pub struct BruteForce {
     points: Vec<Point3>,
+    /// The same points as SoA lanes (original order) for the shared scan
+    /// kernel; `ids` is the identity map the kernel expects.
+    soa: crate::soa::SoaPositions,
+    ids: Vec<u32>,
 }
 
 impl BruteForce {
     /// Indexes (copies) the given points.
     pub fn new(points: &[Point3]) -> Self {
+        let mut soa = crate::soa::SoaPositions::default();
+        soa.fill(points);
         Self {
             points: points.to_vec(),
+            soa,
+            ids: (0..points.len() as u32).collect(),
         }
     }
 
@@ -340,31 +456,27 @@ impl NeighborSearch for BruteForce {
         if k == 0 || self.points.is_empty() {
             return Vec::new();
         }
-        // Bounded replace-max accumulator: for the small k used by the SR
-        // pipeline (k <= 32) this beats both a BinaryHeap and sorted inserts.
+        // Bounded best-k accumulator: for the small k used by the SR
+        // pipeline (k <= 32) this beats both a BinaryHeap and full sorts;
+        // the candidate sweep is one streaming pass of the shared kernel.
         let mut best = BestK::default();
         best.begin(k);
-        for (index, &p) in self.points.iter().enumerate() {
-            let d2 = p.distance_squared(query);
-            best.push(index, d2);
-        }
-        best.sorted().to_vec()
+        crate::kernels::scan_ids(&self.soa, &self.ids, 0, self.ids.len(), query, &mut best);
+        best.sorted()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
         let r2 = radius * radius;
-        let cands = self
-            .points
-            .iter()
-            .enumerate()
-            .filter_map(|(index, &p)| {
-                let d2 = p.distance_squared(query);
-                (d2 <= r2).then_some(Neighbor {
-                    index,
-                    distance_squared: d2,
-                })
-            })
-            .collect::<Vec<_>>();
+        let mut cands = Vec::new();
+        crate::kernels::scan_radius_ids(
+            &self.soa,
+            &self.ids,
+            0,
+            self.ids.len(),
+            query,
+            r2,
+            &mut cands,
+        );
         let len = cands.len();
         finalize_candidates(cands, len)
     }

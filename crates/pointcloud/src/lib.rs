@@ -38,6 +38,7 @@ pub mod cloud;
 pub mod error;
 pub mod io;
 pub mod kdtree;
+pub mod kernels;
 pub mod knn;
 pub mod metrics;
 pub mod neighborhoods;
@@ -45,6 +46,7 @@ pub mod octree;
 pub mod par;
 pub mod point;
 pub mod sampling;
+pub mod soa;
 pub mod synthetic;
 pub mod voxelgrid;
 

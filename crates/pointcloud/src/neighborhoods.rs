@@ -103,6 +103,28 @@ impl Neighborhoods {
             .push(u32::try_from(self.indices.len()).expect("index count fits in u32"));
     }
 
+    /// Appends `rows` rows of uniform `stride` entries each and returns the
+    /// mutable slice of their freshly reserved index storage
+    /// (`rows * stride` entries, zero-filled) for the caller to fill with
+    /// scatter writes — the batched kNN driver emits every row directly
+    /// into its final location this way, with no intermediate buffer.
+    ///
+    /// # Panics
+    /// Panics when the resulting index count overflows `u32`.
+    pub(crate) fn push_uniform_rows(&mut self, rows: usize, stride: usize) -> &mut [u32] {
+        let base = self.indices.len();
+        let total = rows * stride;
+        u32::try_from(base + total).expect("index count fits in u32");
+        self.indices.resize(base + total, 0);
+        self.offsets.reserve(rows);
+        let mut off = base as u32;
+        for _ in 0..rows {
+            off += stride as u32;
+            self.offsets.push(off);
+        }
+        &mut self.indices[base..]
+    }
+
     /// Appends all rows of `other` (used to merge per-worker partial CSRs
     /// after a parallel build — two `extend`s plus an offset rebase).
     pub fn append(&mut self, other: &Neighborhoods) {

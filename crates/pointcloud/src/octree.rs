@@ -8,9 +8,11 @@
 //! dilated-interpolation stage.
 
 use crate::aabb::Aabb;
+use crate::kernels;
 use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
 use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
+use crate::soa::SoaPositions;
 
 /// Number of top-level regions per axis split (2 => 8 octants).
 const TOP_CHILDREN: usize = 8;
@@ -42,8 +44,14 @@ pub struct TwoLayerOctree {
     top_bounds: [Aabb; 8],
     /// Leaf cell bounding boxes (64 of them once built on a non-empty cloud).
     cell_bounds: Vec<Aabb>,
-    /// Point indices per leaf cell.
-    cells: Vec<Vec<usize>>,
+    /// Per-cell slab ranges: cell `c` owns `ids[cell_starts[c]..cell_starts
+    /// [c + 1]]` ([`LEAF_CELLS`] + 1 entries, one trailing sentinel).
+    cell_starts: Vec<u32>,
+    /// Slab position → original point index, grouped by cell.
+    ids: Vec<u32>,
+    /// Positions in slab order: each leaf cell is a contiguous SoA run
+    /// scanned with the shared 8-wide distance kernel.
+    soa: SoaPositions,
     /// Leaf cell id for each point.
     point_cell: Vec<usize>,
 }
@@ -64,7 +72,9 @@ impl TwoLayerOctree {
             bounds: Aabb::new(Point3::ZERO, Point3::ONE),
             top_bounds: [Aabb::new(Point3::ZERO, Point3::ONE); 8],
             cell_bounds: Vec::new(),
-            cells: vec![Vec::new(); LEAF_CELLS],
+            cell_starts: Vec::new(),
+            ids: Vec::new(),
+            soa: SoaPositions::default(),
             point_cell: Vec::new(),
         };
         oct.build_in(points);
@@ -87,18 +97,37 @@ impl TwoLayerOctree {
                 self.cell_bounds.push(sub);
             }
         }
-        for cell in &mut self.cells {
-            cell.clear();
-        }
+        // Counting-sort the points into per-cell SoA slabs (64 cells): count,
+        // prefix-sum, scatter in point order so each slab keeps ascending
+        // original indices.
         self.point_cell.clear();
         self.point_cell.resize(points.len(), 0);
+        let mut counts = [0u32; LEAF_CELLS];
         for (i, &p) in points.iter().enumerate() {
             let region = bounds.octant_of(p);
             let sub = top[region].octant_of(p);
             let cell = region * 8 + sub;
-            self.cells[cell].push(i);
+            counts[cell] += 1;
             self.point_cell[i] = cell;
         }
+        self.cell_starts.clear();
+        self.cell_starts.push(0);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            self.cell_starts.push(acc);
+        }
+        let mut cursor: [u32; LEAF_CELLS] = self.cell_starts[..LEAF_CELLS]
+            .try_into()
+            .expect("cell_starts holds LEAF_CELLS + 1 entries");
+        self.ids.clear();
+        self.ids.resize(points.len(), 0);
+        for (i, &cell) in self.point_cell.iter().enumerate() {
+            let pos = &mut cursor[cell];
+            self.ids[*pos as usize] = i as u32;
+            *pos += 1;
+        }
+        self.soa.fill_permuted(points, &self.ids);
         self.points.clear();
         self.points.extend_from_slice(points);
         self.bounds = bounds;
@@ -125,7 +154,20 @@ impl TwoLayerOctree {
 
     /// Number of points stored in leaf cell `cell`.
     pub fn cell_len(&self, cell: usize) -> usize {
-        self.cells.get(cell).map_or(0, Vec::len)
+        if cell + 1 < self.cell_starts.len() {
+            (self.cell_starts[cell + 1] - self.cell_starts[cell]) as usize
+        } else {
+            0
+        }
+    }
+
+    /// Slab range of leaf cell `cell` in `ids`/`soa`.
+    #[inline]
+    fn cell_range(&self, cell: usize) -> (usize, usize) {
+        (
+            self.cell_starts[cell] as usize,
+            self.cell_starts[cell + 1] as usize,
+        )
     }
 
     /// Returns the k nearest neighbors of `query` looking only inside the
@@ -143,17 +185,14 @@ impl TwoLayerOctree {
         let cell = region * 8 + self.top_bounds[region].octant_of(query);
         // A sparse leaf cannot answer the query exactly anyway; skip straight
         // to the caller's fallback instead of doing the work twice.
-        if self.cells[cell].len() < k {
+        if self.cell_len(cell) < k {
             return (Vec::new(), false);
         }
-        let cands: Vec<Neighbor> = self.cells[cell]
-            .iter()
-            .map(|&i| Neighbor {
-                index: i,
-                distance_squared: self.points[i].distance_squared(query),
-            })
-            .collect();
-        let result = finalize_candidates(cands, k);
+        let (start, end) = self.cell_range(cell);
+        let mut best = BestK::default();
+        best.begin(k);
+        kernels::scan_ids(&self.soa, &self.ids, start, end, query, &mut best);
+        let result = best.sorted();
         let exact = if result.len() < k {
             false
         } else {
@@ -179,7 +218,10 @@ impl TwoLayerOctree {
     /// Allocation-free exact kNN: results land in `best` (cleared first,
     /// sorted by `(distance, index)`); `order` is the reused cell-visitation
     /// scratch (cells sorted by their distance lower bound to the query).
-    /// One batch call shares both buffers across all its queries.
+    /// One batch call shares both buffers across all its queries, which also
+    /// warm-starts each query's pruning bound from the previous one's result
+    /// (see [`BestK::begin_warm`]; results are unaffected, a fresh
+    /// accumulator simply starts cold).
     pub(crate) fn knn_into(
         &self,
         query: Point3,
@@ -187,7 +229,7 @@ impl TwoLayerOctree {
         best: &mut BestK,
         order: &mut Vec<(f32, usize)>,
     ) {
-        best.begin(k);
+        best.begin_warm(k, query);
         if k == 0 || self.points.is_empty() {
             return;
         }
@@ -197,7 +239,7 @@ impl TwoLayerOctree {
             self.cell_bounds
                 .iter()
                 .enumerate()
-                .filter(|(c, _)| !self.cells[*c].is_empty())
+                .filter(|(c, _)| self.cell_len(*c) > 0)
                 .map(|(c, b)| (b.distance_squared_to(query), c)),
         );
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -205,10 +247,8 @@ impl TwoLayerOctree {
             if lower_bound > best.worst_d2() {
                 break;
             }
-            for &i in &self.cells[cell] {
-                let d2 = self.points[i].distance_squared(query);
-                best.push(i, d2);
-            }
+            let (start, end) = self.cell_range(cell);
+            kernels::scan_ids(&self.soa, &self.ids, start, end, query, best);
         }
     }
 }
@@ -222,7 +262,7 @@ impl NeighborSearch for TwoLayerOctree {
         let mut best = BestK::default();
         let mut order = Vec::new();
         self.knn_into(query, k, &mut best, &mut order);
-        best.sorted().to_vec()
+        best.sorted()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -232,18 +272,11 @@ impl NeighborSearch for TwoLayerOctree {
         let r2 = radius * radius;
         let mut out = Vec::new();
         for (cell, b) in self.cell_bounds.iter().enumerate() {
-            if self.cells[cell].is_empty() || b.distance_squared_to(query) > r2 {
+            if self.cell_len(cell) == 0 || b.distance_squared_to(query) > r2 {
                 continue;
             }
-            for &i in &self.cells[cell] {
-                let d2 = self.points[i].distance_squared(query);
-                if d2 <= r2 {
-                    out.push(Neighbor {
-                        index: i,
-                        distance_squared: d2,
-                    });
-                }
-            }
+            let (start, end) = self.cell_range(cell);
+            kernels::scan_radius_ids(&self.soa, &self.ids, start, end, query, r2, &mut out);
         }
         let len = out.len();
         finalize_candidates(out, len)

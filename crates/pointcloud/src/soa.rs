@@ -1,0 +1,251 @@
+//! Structure-of-arrays position storage for the neighbor-search hot loops.
+//!
+//! Every spatial backend in this crate answers kNN queries by scanning small
+//! contiguous runs of points (a kd-tree leaf, a voxel cell, an octree cell).
+//! With `&[Point3]` those scans are strided 12-byte loads that the compiler
+//! cannot turn into full-width vector arithmetic. [`SoaPositions`] stores the
+//! same points as three separate coordinate lanes (`x[]`, `y[]`, `z[]`), each
+//! 32-byte aligned and padded past the end, so a leaf scan becomes a
+//! streaming 8-wide squared-distance kernel (see [`crate::kernels`]) with no
+//! shuffle or gather work.
+//!
+//! Backends store their points here in *visit order* (kd-tree leaf order,
+//! voxel/octree cell-slab order) next to a `u32` id array mapping each slot
+//! back to the original point index, so a scan touches two perfectly
+//! sequential streams.
+
+use crate::point::Point3;
+
+/// Vector width of the distance kernels: 8 `f32` lanes (one AVX2 register).
+pub const LANES: usize = 8;
+
+/// One aligned block of coordinate lanes. `repr(C, align(32))` pins every
+/// block — and therefore the start of each lane array — to a 32-byte
+/// boundary, matching the AVX2 register width.
+#[derive(Debug, Clone, Copy)]
+#[repr(C, align(32))]
+struct LaneBlock([f32; LANES]);
+
+/// Padding value for the unused tail lanes. `INFINITY` guarantees a padded
+/// slot can never produce a smaller squared distance than a real point, so
+/// full-width loads that read past `len` are harmless by construction.
+const PAD: f32 = f32::INFINITY;
+
+/// One coordinate lane: a `Vec` of aligned blocks exposed as a flat `&[f32]`.
+#[derive(Debug, Clone, Default)]
+struct Lane {
+    blocks: Vec<LaneBlock>,
+}
+
+impl Lane {
+    /// Grows to at least `blocks` blocks, padding new storage.
+    fn reset(&mut self, blocks: usize) {
+        self.blocks.clear();
+        self.blocks.resize(blocks, LaneBlock([PAD; LANES]));
+    }
+
+    /// The lane as a flat, 32-byte-aligned `&[f32]` of `blocks * LANES`.
+    #[inline]
+    fn as_flat(&self) -> &[f32] {
+        // SAFETY: `LaneBlock` is `repr(C)` over `[f32; LANES]`, so a
+        // contiguous `[LaneBlock]` is layout-identical to a contiguous
+        // `[f32]` of `LANES ×` the length.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.blocks.as_ptr().cast::<f32>(),
+                self.blocks.len() * LANES,
+            )
+        }
+    }
+
+    /// Mutable flat view.
+    #[inline]
+    fn as_flat_mut(&mut self) -> &mut [f32] {
+        // SAFETY: same layout argument as [`Self::as_flat`].
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.blocks.as_mut_ptr().cast::<f32>(),
+                self.blocks.len() * LANES,
+            )
+        }
+    }
+}
+
+/// Separate x/y/z coordinate lanes, 32-byte aligned and lane-padded.
+///
+/// The arrays are padded with [`f32::INFINITY`] to at least two full blocks
+/// past `len`, so a kernel may always read a `2 × LANES`-wide window
+/// starting at any valid slot without bounds concern — padded lanes lose
+/// every distance comparison.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{soa::SoaPositions, Point3};
+/// let pts = [Point3::new(1.0, 2.0, 3.0), Point3::new(4.0, 5.0, 6.0)];
+/// let mut soa = SoaPositions::default();
+/// soa.fill(&pts);
+/// assert_eq!(soa.len(), 2);
+/// assert_eq!(soa.get(1), pts[1]);
+/// assert!(soa.xs().len() >= soa.len() + 8);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SoaPositions {
+    x: Lane,
+    y: Lane,
+    z: Lane,
+    len: usize,
+}
+
+impl SoaPositions {
+    /// Number of stored points (excluding padding).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` when no points are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resets storage for `n` points: lanes sized to `n` rounded up to a
+    /// block boundary **plus two extra blocks**, everything padded. The
+    /// extra blocks are what let kernels issue a load of up to `2 × LANES`
+    /// lanes from any slot `< n` unconditionally (the AVX-512 path reads
+    /// 16-wide windows).
+    fn reset(&mut self, n: usize) {
+        let blocks = n / LANES + 3;
+        self.x.reset(blocks);
+        self.y.reset(blocks);
+        self.z.reset(blocks);
+        self.len = n;
+    }
+
+    /// Rebuilds the lanes from `points` in their given order, reusing the
+    /// existing allocations.
+    pub fn fill(&mut self, points: &[Point3]) {
+        self.reset(points.len());
+        let (xs, ys, zs) = (
+            self.x.as_flat_mut(),
+            self.y.as_flat_mut(),
+            self.z.as_flat_mut(),
+        );
+        for (i, p) in points.iter().enumerate() {
+            xs[i] = p.x;
+            ys[i] = p.y;
+            zs[i] = p.z;
+        }
+    }
+
+    /// Rebuilds the lanes as the permutation `points[order[i]]` — the
+    /// "one contiguous reordered copy" backends use to store their points in
+    /// leaf-visit / cell-slab order.
+    ///
+    /// # Panics
+    /// Panics when an entry of `order` is out of bounds for `points`.
+    pub fn fill_permuted(&mut self, points: &[Point3], order: &[u32]) {
+        self.reset(order.len());
+        let (xs, ys, zs) = (
+            self.x.as_flat_mut(),
+            self.y.as_flat_mut(),
+            self.z.as_flat_mut(),
+        );
+        for (i, &src) in order.iter().enumerate() {
+            let p = points[src as usize];
+            xs[i] = p.x;
+            ys[i] = p.y;
+            zs[i] = p.z;
+        }
+    }
+
+    /// The x lane including padding (length ≥ `len + LANES`, 32-byte aligned).
+    #[inline]
+    pub fn xs(&self) -> &[f32] {
+        self.x.as_flat()
+    }
+
+    /// The y lane including padding.
+    #[inline]
+    pub fn ys(&self) -> &[f32] {
+        self.y.as_flat()
+    }
+
+    /// The z lane including padding.
+    #[inline]
+    pub fn zs(&self) -> &[f32] {
+        self.z.as_flat()
+    }
+
+    /// Reassembles the point at slot `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Point3 {
+        assert!(i < self.len, "SoaPositions index out of range: {i}");
+        Point3::new(
+            self.x.as_flat()[i],
+            self.y.as_flat()[i],
+            self.z.as_flat()[i],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_roundtrip_and_padding() {
+        let pts: Vec<Point3> = (0..13)
+            .map(|i| Point3::new(i as f32, -(i as f32), 0.5 * i as f32))
+            .collect();
+        let mut soa = SoaPositions::default();
+        soa.fill(&pts);
+        assert_eq!(soa.len(), 13);
+        for (i, &p) in pts.iter().enumerate() {
+            assert_eq!(soa.get(i), p);
+        }
+        // Padding: at least two full blocks past len, all +inf.
+        assert!(soa.xs().len() >= 13 + 2 * LANES);
+        assert!(soa.xs()[13..].iter().all(|&v| v == f32::INFINITY));
+        assert!(soa.ys()[13..].iter().all(|&v| v == f32::INFINITY));
+        assert!(soa.zs()[13..].iter().all(|&v| v == f32::INFINITY));
+    }
+
+    #[test]
+    fn fill_permuted_applies_order() {
+        let pts: Vec<Point3> = (0..6).map(|i| Point3::splat(i as f32)).collect();
+        let order = [5u32, 0, 3];
+        let mut soa = SoaPositions::default();
+        soa.fill_permuted(&pts, &order);
+        assert_eq!(soa.len(), 3);
+        assert_eq!(soa.get(0), pts[5]);
+        assert_eq!(soa.get(1), pts[0]);
+        assert_eq!(soa.get(2), pts[3]);
+    }
+
+    #[test]
+    fn refill_reuses_and_repads() {
+        let mut soa = SoaPositions::default();
+        soa.fill(&[Point3::ONE; 20]);
+        soa.fill(&[Point3::ZERO; 3]);
+        assert_eq!(soa.len(), 3);
+        // Slots beyond the new length must be padding again, not stale data.
+        assert!(soa.xs()[3..].iter().all(|&v| v == f32::INFINITY));
+        soa.fill(&[]);
+        assert!(soa.is_empty());
+        assert!(soa.xs().len() >= LANES);
+    }
+
+    #[test]
+    fn lanes_are_32_byte_aligned() {
+        let mut soa = SoaPositions::default();
+        soa.fill(&[Point3::ONE; 9]);
+        for lane in [soa.xs(), soa.ys(), soa.zs()] {
+            assert_eq!(lane.as_ptr() as usize % 32, 0);
+        }
+    }
+}

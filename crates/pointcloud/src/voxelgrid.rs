@@ -5,9 +5,11 @@
 //! outward from the query voxel, which makes it a good backend for the
 //! colorization stage where queries are near-surface and k is tiny.
 
+use crate::kernels;
 use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
 use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
+use crate::soa::SoaPositions;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -53,8 +55,10 @@ impl Hasher for VoxelKeyHasher {
     }
 }
 
-/// Cell map keyed by voxel coordinate with the cheap hasher above.
-type CellMap = HashMap<VoxelKey, Vec<usize>, BuildHasherDefault<VoxelKeyHasher>>;
+/// Cell map keyed by voxel coordinate with the cheap hasher above; the value
+/// is the cell's slot in the slab-range table, not a per-cell `Vec` — point
+/// storage lives in one shared SoA slab (see [`VoxelGrid`]).
+type CellMap = HashMap<VoxelKey, u32, BuildHasherDefault<VoxelKeyHasher>>;
 
 /// Hashed uniform voxel grid over a fixed point set.
 ///
@@ -70,7 +74,20 @@ type CellMap = HashMap<VoxelKey, Vec<usize>, BuildHasherDefault<VoxelKeyHasher>>
 pub struct VoxelGrid {
     points: Vec<Point3>,
     voxel_size: f32,
+    /// Voxel coordinate → cell slot.
     cells: CellMap,
+    /// Per-cell slab ranges: slot `c` owns `ids[starts[c]..starts[c + 1]]`
+    /// (one trailing sentinel entry).
+    starts: Vec<u32>,
+    /// Slab position → original point index, grouped by cell.
+    ids: Vec<u32>,
+    /// Positions in slab order: each cell is a contiguous SoA run, so the
+    /// ring search scans cells with the shared 8-wide distance kernel.
+    soa: SoaPositions,
+    /// Build scratch: per-cell counts, then the scatter cursor.
+    cursor: Vec<u32>,
+    /// Build scratch: per-point cell slot from the counting pass.
+    slot_of: Vec<u32>,
 }
 
 impl VoxelGrid {
@@ -83,6 +100,11 @@ impl VoxelGrid {
             points: Vec::new(),
             voxel_size: 1.0,
             cells: CellMap::default(),
+            starts: Vec::new(),
+            ids: Vec::new(),
+            soa: SoaPositions::default(),
+            cursor: Vec::new(),
+            slot_of: Vec::new(),
         };
         grid.build_in(points, voxel_size);
         grid
@@ -103,12 +125,40 @@ impl VoxelGrid {
         self.points.extend_from_slice(points);
         self.voxel_size = voxel_size;
         self.cells.clear();
-        for (i, &p) in points.iter().enumerate() {
-            self.cells
+        // Counting-sort build of the per-cell SoA slabs: assign slots and
+        // count (pass 1), prefix-sum the ranges, scatter ids in point order
+        // so each cell's slab keeps ascending original indices (pass 2).
+        self.cursor.clear();
+        self.slot_of.clear();
+        for &p in points {
+            let next = self.cursor.len() as u32;
+            let slot = *self
+                .cells
                 .entry(Self::key_of(p, voxel_size))
-                .or_default()
-                .push(i);
+                .or_insert(next);
+            if slot == next {
+                self.cursor.push(0);
+            }
+            self.cursor[slot as usize] += 1;
+            self.slot_of.push(slot);
         }
+        self.starts.clear();
+        self.starts.push(0);
+        let mut acc = 0u32;
+        for &count in &self.cursor {
+            acc += count;
+            self.starts.push(acc);
+        }
+        let slots = self.cursor.len();
+        self.cursor.copy_from_slice(&self.starts[..slots]);
+        self.ids.clear();
+        self.ids.resize(points.len(), 0);
+        for (i, &slot) in self.slot_of.iter().enumerate() {
+            let pos = &mut self.cursor[slot as usize];
+            self.ids[*pos as usize] = i as u32;
+            *pos += 1;
+        }
+        self.soa.fill_permuted(points, &self.ids);
     }
 
     /// Builds a grid whose voxel size is chosen automatically so that an
@@ -152,9 +202,9 @@ impl VoxelGrid {
         )
     }
 
-    /// Visits every candidate index in voxels exactly `ring` voxels
-    /// (Chebyshev distance) away from the query's voxel.
-    fn for_each_in_ring(&self, center: VoxelKey, ring: i32, mut f: impl FnMut(usize)) {
+    /// Visits every occupied cell exactly `ring` voxels (Chebyshev distance)
+    /// away from the query's voxel, yielding its slab range.
+    fn for_each_cell_in_ring(&self, center: VoxelKey, ring: i32, mut f: impl FnMut(usize, usize)) {
         for dx in -ring..=ring {
             for dy in -ring..=ring {
                 for dz in -ring..=ring {
@@ -162,32 +212,29 @@ impl VoxelGrid {
                     if dx.abs().max(dy.abs()).max(dz.abs()) != ring {
                         continue;
                     }
-                    if let Some(v) = self
-                        .cells
-                        .get(&(center.0 + dx, center.1 + dy, center.2 + dz))
+                    if let Some(&slot) =
+                        self.cells
+                            .get(&(center.0 + dx, center.1 + dy, center.2 + dz))
                     {
-                        for &i in v {
-                            f(i);
-                        }
+                        f(
+                            self.starts[slot as usize] as usize,
+                            self.starts[slot as usize + 1] as usize,
+                        );
                     }
                 }
             }
         }
     }
 
-    /// Collects candidates from every voxel within `ring` voxels (Chebyshev
-    /// distance) of the query's voxel.
-    fn collect_ring(&self, center: VoxelKey, ring: i32, out: &mut Vec<usize>) {
-        self.for_each_in_ring(center, ring, |i| out.push(i));
-    }
-
     /// Allocation-free exact kNN: results land in `best` (cleared first,
     /// sorted by `(distance, index)`). The ring search maintains the bounded
     /// best-`k` list incrementally instead of re-sorting the full candidate
     /// set on every ring, and one batch call shares the buffer across all
-    /// its queries.
+    /// its queries, which also warm-starts each query's ring-termination
+    /// bound from the previous one's result (see [`BestK::begin_warm`];
+    /// results are unaffected, a fresh accumulator simply starts cold).
     pub(crate) fn knn_into(&self, query: Point3, k: usize, best: &mut BestK) {
-        best.begin(k);
+        best.begin_warm(k, query);
         if k == 0 || self.points.is_empty() {
             return;
         }
@@ -197,15 +244,18 @@ impl VoxelGrid {
         // Expand rings until we have k candidates AND the next ring can no
         // longer contain a closer point than the current k-th best.
         loop {
-            self.for_each_in_ring(center, ring, |i| {
-                seen += 1;
-                best.push(i, self.points[i].distance_squared(query));
+            self.for_each_cell_in_ring(center, ring, |start, end| {
+                seen += end - start;
+                kernels::scan_ids(&self.soa, &self.ids, start, end, query, best);
             });
             // Any point in ring r+1 is at least r * voxel_size away from the
-            // query (conservative lower bound; `worst_d2` is infinite until
-            // k candidates have been seen).
+            // query (conservative lower bound). The `is_full` guard matters
+            // under a warm-start cap: before k candidates exist, `worst_d2`
+            // is the cap — a bound on the final answer, not proof the
+            // remaining entries were scanned — and floating-point rounding
+            // could place a tying point just beyond the scanned rings.
             let safe_radius = ring as f32 * self.voxel_size;
-            if best.worst_d2() <= safe_radius * safe_radius {
+            if best.is_full() && best.worst_d2() <= safe_radius * safe_radius {
                 return;
             }
             ring += 1;
@@ -216,9 +266,7 @@ impl VoxelGrid {
                 }
                 // Fall back to scanning everything (correctness over speed).
                 best.begin(k);
-                for (i, &p) in self.points.iter().enumerate() {
-                    best.push(i, p.distance_squared(query));
-                }
+                kernels::scan_ids(&self.soa, &self.ids, 0, self.ids.len(), query, best);
                 return;
             }
         }
@@ -233,7 +281,7 @@ impl NeighborSearch for VoxelGrid {
     fn knn(&self, query: Point3, k: usize) -> Vec<Neighbor> {
         let mut best = BestK::default();
         self.knn_into(query, k, &mut best);
-        best.sorted().to_vec()
+        best.sorted()
     }
 
     fn radius(&self, query: Point3, radius: f32) -> Vec<Neighbor> {
@@ -243,20 +291,12 @@ impl NeighborSearch for VoxelGrid {
         let r2 = radius * radius;
         let center = Self::key_of(query, self.voxel_size);
         let rings = (radius / self.voxel_size).ceil() as i32 + 1;
-        let mut ids = Vec::new();
+        let mut out: Vec<Neighbor> = Vec::new();
         for ring in 0..=rings {
-            self.collect_ring(center, ring, &mut ids);
+            self.for_each_cell_in_ring(center, ring, |start, end| {
+                kernels::scan_radius_ids(&self.soa, &self.ids, start, end, query, r2, &mut out);
+            });
         }
-        let out: Vec<Neighbor> = ids
-            .into_iter()
-            .filter_map(|i| {
-                let d2 = self.points[i].distance_squared(query);
-                (d2 <= r2).then_some(Neighbor {
-                    index: i,
-                    distance_squared: d2,
-                })
-            })
-            .collect();
         let len = out.len();
         finalize_candidates(out, len)
     }

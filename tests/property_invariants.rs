@@ -154,6 +154,74 @@ proptest! {
     }
 
     #[test]
+    fn knn_batch_parity_on_degenerate_clouds(
+        shape in 0usize..4,
+        n in 20usize..300,
+        k in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        // Degenerate geometry stresses the SoA-leaf layout and the shared
+        // distance kernel where ties and zero extents are the rule, not the
+        // exception: all-identical points, a collinear cloud, a planar grid
+        // (massive exact ties) and a sparse alternating-sign spread (kept
+        // moderate — dozens of voxels, not millions — so the voxel ring
+        // search stays off its exhaustive-scan bail-out in debug builds).
+        // Batched rows must still equal the per-query path bit-for-bit on
+        // every backend, under both the SIMD and scalar kernels (CI runs
+        // this suite with the `simd` feature on and off).
+        let points: Vec<Point3> = match shape {
+            0 => vec![Point3::splat(seed as f32 * 0.25); n],
+            1 => (0..n).map(|i| Point3::new((i / 3) as f32, 0.0, 0.0)).collect(),
+            2 => (0..n)
+                .map(|i| Point3::new((i % 7) as f32, (i / 7) as f32, 0.0))
+                .collect(),
+            _ => (0..n)
+                .map(|i| Point3::splat(if i % 2 == 0 { 0.5 } else { -0.5 } * (i as f32)))
+                .collect(),
+        };
+        let queries: Vec<Point3> = points.iter().copied().step_by(3).collect();
+        let backends: Vec<(&str, Box<dyn NeighborSearch>)> = vec![
+            ("brute", Box::new(BruteForce::new(&points))),
+            ("kdtree", Box::new(KdTree::build(&points))),
+            ("octree", Box::new(TwoLayerOctree::build(&points))),
+            ("voxelgrid", Box::new(volut::pointcloud::voxelgrid::VoxelGrid::build(&points, 2.0))),
+        ];
+        for (name, backend) in &backends {
+            let mut batch = Neighborhoods::new();
+            backend.knn_batch(&queries, k, &mut batch);
+            prop_assert_eq!(batch.len(), queries.len(), "{}: one row per query", name);
+            for (i, &q) in queries.iter().enumerate() {
+                let expected: Vec<u32> =
+                    backend.knn(q, k).iter().map(|n| n.index as u32).collect();
+                prop_assert_eq!(batch.row(i), expected.as_slice(), "{} query {}", name, i);
+            }
+        }
+    }
+
+    #[test]
+    fn mlp_forward_batch_is_bit_identical_to_per_point(
+        hidden in 1usize..48,
+        n in 0usize..80,
+        seed in 0u64..1000,
+    ) {
+        use volut::core::nn::mlp::{BatchScratch, ForwardScratch, Mlp};
+        let mlp = Mlp::new(&[6, hidden, 3], seed);
+        let inputs: Vec<f32> = (0..n * 6)
+            .map(|i| ((i as f32) * 0.61 + seed as f32).sin() * 3.0 - 1.0)
+            .collect();
+        let mut batched = Vec::new();
+        mlp.forward_batch_into(&inputs, n, &mut batched, &mut BatchScratch::default());
+        prop_assert_eq!(batched.len(), n * 3);
+        let mut fwd = ForwardScratch::default();
+        for p in 0..n {
+            let single = mlp.forward_into(&inputs[p * 6..(p + 1) * 6], &mut fwd);
+            // Exact f32 equality — the contract the batched refiners and
+            // the NN baselines rely on.
+            prop_assert_eq!(&batched[p * 3..(p + 1) * 3], single, "point {}", p);
+        }
+    }
+
+    #[test]
     fn chamfer_distance_is_symmetric_and_nonnegative(
         a_n in 50usize..300,
         b_n in 50usize..300,
