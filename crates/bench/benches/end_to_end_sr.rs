@@ -1,7 +1,9 @@
 //! Criterion bench: the full two-stage SR pipeline (interpolate + colorize +
-//! refine) against the GradPU and Yuzu baselines on one frame.
+//! refine) against the GradPU and Yuzu baselines on one frame, plus the
+//! per-stage frame-time breakdown tracking the paper's §4.1 claim that
+//! interpolation (≈ the kNN self-join) dominates upsampling time.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, is_quick_mode, BenchmarkId, Criterion};
 use std::hint::black_box;
 use volut_bench::setup::TrainedArtifacts;
 use volut_pointcloud::{sampling, synthetic};
@@ -29,6 +31,78 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-stage frame-time breakdown of the VoLUT pipeline (index_build / knn /
+/// interpolate / colorize / refine), reported as per-stage medians over
+/// repeated frames through one streaming session. This is the
+/// release-over-release tracker for the §4.1 "interpolation dominates"
+/// profile: the `knn` row is the self-join the dual-tree kernel accelerates,
+/// and `index_build` collapses after frame 1 thanks to the scratch-resident
+/// index cache. Runs (with one sample) under CI's `--test` smoke mode too.
+fn bench_stage_breakdown(c: &mut Criterion) {
+    // Keep a criterion hook so the harness lists/runs this like any bench.
+    let mut group = c.benchmark_group("sr_stage_breakdown");
+    group.sample_size(10);
+    let (n, samples) = if is_quick_mode() {
+        (4_000, 1)
+    } else {
+        (50_000, 9)
+    };
+    let artifacts = TrainedArtifacts::train(4_000, 2);
+    let gt = synthetic::humanoid(2 * n, 0.5, 5);
+    let low = sampling::random_downsample(&gt, 0.5, 7).unwrap();
+    let volut = artifacts.pipeline_k4d2_lut();
+    let mut scratch = volut_core::interpolate::FrameScratch::new();
+    // Warm-up frame: builds the index and grows the scratch to steady state.
+    let warm = volut.upsample_with(&low, 2.0, &mut scratch).unwrap();
+    let mut stages: Vec<[f64; 6]> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let r = volut.upsample_with(&low, 2.0, &mut scratch).unwrap();
+        let t = r.timings;
+        stages.push([
+            t.index_build.as_secs_f64() * 1e3,
+            t.knn.as_secs_f64() * 1e3,
+            t.interpolation.as_secs_f64() * 1e3,
+            t.colorization.as_secs_f64() * 1e3,
+            t.refinement.as_secs_f64() * 1e3,
+            t.total().as_secs_f64() * 1e3,
+        ]);
+    }
+    let median = |idx: usize| -> f64 {
+        let mut v: Vec<f64> = stages.iter().map(|s| s[idx]).collect();
+        v.sort_by(f64::total_cmp);
+        v[v.len() / 2]
+    };
+    let total = median(5).max(1e-9);
+    println!(
+        "sr_stage_breakdown/{n}pts_x2 (median of {samples} steady-state frames, ms; \
+         first-frame index_build {:.2} ms):",
+        warm.timings.index_build.as_secs_f64() * 1e3
+    );
+    for (idx, name) in [
+        (0, "index_build"),
+        (1, "knn"),
+        (2, "interpolate"),
+        (3, "colorize"),
+        (4, "refine"),
+    ] {
+        let ms = median(idx);
+        println!("  {name:<12} {ms:>9.3} ms  ({:>5.1}%)", 100.0 * ms / total);
+    }
+    println!("  {:<12} {total:>9.3} ms", "total");
+    group.bench_function("frame", |b| {
+        b.iter(|| {
+            black_box(
+                volut
+                    .upsample_with(&low, 2.0, &mut scratch)
+                    .unwrap()
+                    .cloud
+                    .len(),
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_ratio_sweep(c: &mut Criterion) {
     // Figure 18's shape: VoLUT's frame time stays roughly stable as the
     // ratio grows because kNN over the (shrinking) input dominates.
@@ -48,5 +122,10 @@ fn bench_ratio_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_ratio_sweep);
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_stage_breakdown,
+    bench_ratio_sweep
+);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, is_quick_mode, BenchmarkId, Criterion};
 use std::hint::black_box;
+use volut_pointcloud::dualtree::{BatchStrategy, DualTreeScratch};
 use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::knn::{BruteForce, NeighborSearch};
 use volut_pointcloud::octree::TwoLayerOctree;
@@ -99,6 +100,57 @@ fn bench_per_query_vs_batch(c: &mut Criterion) {
     }
 }
 
+/// The all-kNN *self-join* — every point of the indexed cloud queries that
+/// same cloud, exactly the shape that dominates SR frame time (§4.1) — on
+/// the k-d tree, across its three algorithms:
+/// * `per_query` — one allocating `knn()` call per point (the seed's path);
+/// * `single_tree_batch` — the warm-started, Morton-ordered batch sweep
+///   (forced via `BatchStrategy::SingleTree`);
+/// * `dual_tree_batch` — the leaf-pair traversal (what `knn_batch` selects
+///   automatically for self-joins at these sizes).
+fn bench_self_join(c: &mut Criterion) {
+    let sizes: &[usize] = if is_quick_mode() {
+        &[2_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    for &n in sizes {
+        let cloud = synthetic::humanoid(n, 0.5, 3);
+        let queries = cloud.positions();
+        let kdtree = KdTree::build(queries);
+        for k in [5usize, 9] {
+            let mut group = c.benchmark_group(format!("self_join_{n}_k{k}"));
+            group.sample_size(10);
+            let mut out = Neighborhoods::with_capacity(n, n * k);
+            let mut scratch = DualTreeScratch::new();
+            group.bench_function("per_query", |b| {
+                b.iter(|| {
+                    out.clear();
+                    for &q in queries {
+                        let nn = kdtree.knn(q, k);
+                        out.push_row(nn.into_iter().map(|n| n.index));
+                    }
+                    black_box(out.total_indices())
+                })
+            });
+            let forced = |strategy: BatchStrategy,
+                          out: &mut Neighborhoods,
+                          scratch: &mut DualTreeScratch| {
+                out.clear();
+                kdtree.knn_batch_with(queries, k, out, strategy, scratch);
+                out.total_indices()
+            };
+            group.bench_function("single_tree_batch", |b| {
+                b.iter(|| black_box(forced(BatchStrategy::SingleTree, &mut out, &mut scratch)))
+            });
+            group.bench_function("dual_tree_batch", |b| {
+                b.iter(|| black_box(forced(BatchStrategy::DualTree, &mut out, &mut scratch)))
+            });
+            group.finish();
+        }
+    }
+}
+
 /// Index (re)construction: fresh `build` (allocates) vs scratch-resident
 /// `build_in` (reuses node/order/point storage), the rebuild path behind
 /// the `FrameScratch` index cache.
@@ -130,6 +182,7 @@ criterion_group!(
     benches,
     bench_knn_query,
     bench_per_query_vs_batch,
+    bench_self_join,
     bench_index_build
 );
 criterion_main!(benches);

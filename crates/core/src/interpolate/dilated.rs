@@ -12,8 +12,10 @@
 //!   `knn_backends` bench compares all backends). The tree is
 //!   scratch-resident (see [`super::IndexCache`]): frames whose geometry is
 //!   unchanged skip the rebuild entirely, and the queries go through the
-//!   allocation-free [`volut_pointcloud::knn::NeighborSearch::knn_batch`]
-//!   path, one batch per worker chunk;
+//!   allocation-free [`super::batched_knn_into`] path — a *self-join* of
+//!   the frame cloud against itself, which the batch layer answers with the
+//!   dual-tree leaf-pair kernel of [`volut_pointcloud::dualtree`] at
+//!   production sizes;
 //! * derives each new point's neighborhood via neighbor-relationship reuse
 //!   (Eq. 2 / [`super::reuse::merge_and_prune`]);
 //! * runs the per-point work in parallel across CPU threads (the stand-in
@@ -115,28 +117,34 @@ pub fn dilated_interpolate_with(
         .get_or_build(positions, scratch.geometry_generation);
     timings.index_build += tb.elapsed();
 
-    // --- kNN stage: one dilated query per original point, batched per
-    // worker chunk with shared traversal scratch.
+    // --- kNN stage: one dilated query per original point — the self-join
+    // that dominates frame time (§4.1). When the batch runs on one worker
+    // the batch layer answers it with the dual-tree leaf-pair kernel
+    // through the scratch-resident `DualTreeScratch`; small frames and
+    // chunked multi-worker runs take the single-tree sweep (see
+    // `batched_knn_into`).
     let t0 = Instant::now();
-    let partial_dilated = par::map_chunks(low.len(), chunk, |_, range| {
-        let mut raw = Neighborhoods::with_capacity(range.len(), range.len() * (dilated_k + 1));
-        kdtree.knn_batch(&positions[range.clone()], dilated_k + 1, &mut raw);
-        // Strip the self-match from each row and cap at the dilated size.
-        let mut local = Neighborhoods::with_capacity(range.len(), range.len() * dilated_k);
-        for (offset, i) in range.enumerate() {
-            local.push_row_u32_iter(
-                raw.row(offset)
-                    .iter()
-                    .copied()
-                    .filter(|&j| j as usize != i)
-                    .take(dilated_k),
-            );
-        }
-        local
-    });
+    scratch.raw_hoods.clear();
+    super::batched_knn_into(
+        kdtree,
+        positions,
+        dilated_k + 1,
+        &mut scratch.dualtree,
+        &mut scratch.raw_hoods,
+    );
+    // Strip the self-match from each row and cap at the dilated size (a
+    // linear copy, negligible next to the queries themselves).
     scratch.dilated.clear();
-    for part in &partial_dilated {
-        scratch.dilated.append(part);
+    scratch
+        .dilated
+        .reserve_rows(low.len(), low.len() * dilated_k);
+    for (i, row) in scratch.raw_hoods.iter().enumerate() {
+        scratch.dilated.push_row_u32_iter(
+            row.iter()
+                .copied()
+                .filter(|&j| j as usize != i)
+                .take(dilated_k),
+        );
     }
     timings.knn += t0.elapsed();
 

@@ -10,11 +10,13 @@
 //!
 //! The queries themselves run through the same batch machinery as the rest
 //! of the engine: the spatial index is the scratch-resident cached k-d tree
-//! (rebuilt only when the frame geometry changes) and the per-point queries
-//! are issued via [`volut_pointcloud::knn::NeighborSearch::knn_batch`],
-//! chunked across workers with the `par` helpers. Partner selection stays
-//! sequential over one global RNG so the output is bit-identical to the
-//! historical per-point formulation.
+//! (rebuilt only when the frame geometry changes) and both query passes go
+//! through [`super::batched_knn_into`] — the source pass is a self-join the
+//! batch layer answers with the dual-tree leaf-pair kernel
+//! ([`volut_pointcloud::dualtree`]) at production sizes, the new-point pass
+//! a bichromatic batch on the warm single-tree sweep. Partner selection
+//! stays sequential over one global RNG so the output is bit-identical to
+//! the historical per-point formulation.
 
 use super::{
     colorize, distribute_new_points_into, FrameScratch, InterpolationResult, InterpolationTimings,
@@ -26,8 +28,7 @@ use crate::Result;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::Instant;
-use volut_pointcloud::knn::NeighborSearch;
-use volut_pointcloud::{par, Neighborhoods, PointCloud};
+use volut_pointcloud::PointCloud;
 
 /// Upsamples `low` to roughly `ratio ×` its point count using vanilla kNN
 /// midpoint interpolation.
@@ -99,19 +100,21 @@ pub fn naive_interpolate_with(
     timings.index_build += t0.elapsed();
 
     // --- Source queries: one batched (k+1)-NN pass over the active prefix.
+    // With a full prefix this is a self-join over the indexed cloud, which
+    // the batch layer answers with the dual-tree leaf-pair kernel through
+    // the scratch-resident `DualTreeScratch` when it runs on one worker
+    // (multi-worker runs chunk the single-tree sweep instead — see
+    // `batched_knn_into`).
     let tq = Instant::now();
-    let source_hoods = &mut scratch.dilated;
-    source_hoods.clear();
-    let workers = par::worker_count(active, 2_000);
-    let chunk = active.div_ceil(workers).max(1);
-    let partials = par::map_chunks(active, chunk, |_, range| {
-        let mut local = Neighborhoods::with_capacity(range.len(), range.len() * (config.k + 1));
-        tree.knn_batch(&positions[range], config.k + 1, &mut local);
-        local
-    });
-    for part in &partials {
-        source_hoods.append(part);
-    }
+    scratch.dilated.clear();
+    super::batched_knn_into(
+        tree,
+        &positions[..active],
+        config.k + 1,
+        &mut scratch.dualtree,
+        &mut scratch.dilated,
+    );
+    let source_hoods = &scratch.dilated;
     timings.knn += tq.elapsed();
     ops.knn_queries += active as u64;
     ops.candidates_examined += active as u64 * (low.len().min(64)) as u64;
@@ -155,18 +158,19 @@ pub fn naive_interpolate_with(
     timings.interpolation += ti.elapsed();
 
     // --- New-point queries: the naive pipeline re-derives every generated
-    // point's own neighborhood with a fresh (batched) kNN pass.
+    // point's own neighborhood with a fresh (batched) kNN pass. These are
+    // bichromatic (midpoints against the original cloud), which the auto
+    // policy keeps on the warm single-tree sweep — measured faster than a
+    // leaf-pair traversal plus a query-tree build (see
+    // `volut_pointcloud::dualtree`).
     let tq = Instant::now();
-    let workers = par::worker_count(queries.len(), 2_000);
-    let chunk = queries.len().div_ceil(workers).max(1);
-    let partials = par::map_chunks(queries.len(), chunk, |_, range| {
-        let mut local = Neighborhoods::with_capacity(range.len(), range.len() * config.k);
-        tree.knn_batch(&queries[range], config.k, &mut local);
-        local
-    });
-    for part in &partials {
-        neighborhoods.append(part);
-    }
+    super::batched_knn_into(
+        tree,
+        queries,
+        config.k,
+        &mut scratch.dualtree,
+        &mut neighborhoods,
+    );
     timings.knn += tq.elapsed();
     ops.knn_queries += queries.len() as u64;
     ops.candidates_examined += queries.len() as u64 * (low.len().min(64)) as u64;

@@ -121,8 +121,12 @@ pub fn build_training_set(
     let interp = dilated_interpolate(&low, config, upsample_ratio)?;
     let gt_tree = KdTree::build(ground_truth.positions());
     // One batched sweep answers every interpolated point's nearest-ground-
-    // truth query (bit-identical to per-point `knn`, Morton-ordered for
-    // cache locality) instead of a fresh allocating query per sample.
+    // truth query (bit-identical to per-point `knn`) instead of a fresh
+    // allocating query per sample. This is a bichromatic batch (generated
+    // points against the ground-truth tree), which the batch layer's auto
+    // policy keeps on the warm single-tree Morton sweep — the dual-tree
+    // leaf-pair kernel only wins on self-joins (see
+    // `volut_pointcloud::dualtree`).
     let mut nearest = Neighborhoods::new();
     gt_tree.knn_batch(
         &interp.cloud.positions()[interp.original_len..],

@@ -33,7 +33,15 @@ pub struct StageTimings {
     /// Spatial-index (re)build / validation time. Amortized to ~zero on
     /// frames whose geometry matches the scratch-resident cached index.
     pub index_build: Duration,
-    /// Neighbor-search query time.
+    /// Neighbor-search query time. This is the frame-dominating kNN
+    /// self-join (§4.1); when the batch runs on one worker (single-core
+    /// hosts, or the `parallel` feature disabled) the batch layer answers
+    /// it with the dual-tree leaf-pair kernel
+    /// ([`volut_pointcloud::dualtree`]) through the scratch-resident
+    /// [`crate::interpolate::FrameScratch`]; multi-worker batches are
+    /// chunked across the single-tree sweep instead (see
+    /// `interpolate::batched_knn_into`). The `sr_stage_breakdown` bench
+    /// tracks this stage's share release-over-release.
     pub knn: Duration,
     /// Midpoint generation and bookkeeping.
     pub interpolation: Duration,

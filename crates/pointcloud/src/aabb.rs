@@ -123,6 +123,26 @@ impl Aabb {
         d2
     }
 
+    /// Squared distance between the closest points of two boxes (zero when
+    /// they touch or overlap). This is the node-pair rejection test of the
+    /// dual-tree all-kNN traversal: a (query-node, reference-node) pair whose
+    /// boxes are farther apart than the query group's pruning bound cannot
+    /// contribute any neighbor, so whole subtree pairs are discarded with
+    /// three axis gap computations.
+    #[inline]
+    pub fn distance_squared_to_aabb(&self, other: &Aabb) -> f32 {
+        let mut d2 = 0.0f32;
+        for axis in 0..3 {
+            // The per-axis gap between the two intervals; at most one of the
+            // two differences is positive (they overlap otherwise).
+            let gap = (self.min[axis] - other.max[axis]).max(other.min[axis] - self.max[axis]);
+            if gap > 0.0 {
+                d2 += gap * gap;
+            }
+        }
+        d2
+    }
+
     /// Splits the box into 8 octants around its center, ordered by octant
     /// index `(x_hi << 2) | (y_hi << 1) | z_hi`.
     pub fn octants(&self) -> [Aabb; 8] {
@@ -190,6 +210,32 @@ mod tests {
         let b = Aabb::new(Point3::ZERO, Point3::ONE);
         assert_eq!(b.distance_squared_to(Point3::splat(0.5)), 0.0);
         assert!((b.distance_squared_to(Point3::new(2.0, 0.5, 0.5)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aabb_to_aabb_distance() {
+        let a = Aabb::new(Point3::ZERO, Point3::ONE);
+        // Overlapping and touching boxes are at distance zero.
+        assert_eq!(a.distance_squared_to_aabb(&a), 0.0);
+        let touching = Aabb::new(Point3::new(1.0, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        assert_eq!(a.distance_squared_to_aabb(&touching), 0.0);
+        // Separated along one axis: gap of 1 on x.
+        let b = Aabb::new(Point3::new(2.0, 0.0, 0.0), Point3::new(3.0, 1.0, 1.0));
+        assert!((a.distance_squared_to_aabb(&b) - 1.0).abs() < 1e-6);
+        assert_eq!(
+            a.distance_squared_to_aabb(&b),
+            b.distance_squared_to_aabb(&a)
+        );
+        // Diagonal separation sums the per-axis gaps.
+        let c = Aabb::new(Point3::splat(3.0), Point3::splat(4.0));
+        assert!((a.distance_squared_to_aabb(&c) - 12.0).abs() < 1e-6);
+        // Consistency with the point distance: a degenerate box is a point.
+        let p = Point3::new(-2.0, 0.5, 0.5);
+        let degenerate = Aabb::new(p, p);
+        assert_eq!(
+            a.distance_squared_to_aabb(&degenerate),
+            a.distance_squared_to(p)
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! [`crate::octree`].
 
 use crate::aabb::Aabb;
+use crate::dualtree::{self, BatchStrategy, DualTreeScratch};
 use crate::kernels;
 use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
 use crate::neighborhoods::Neighborhoods;
@@ -38,6 +39,28 @@ pub(crate) struct Node {
     value: f32,
     a: u32,
     b: u32,
+}
+
+impl Node {
+    /// `true` when this node is a leaf.
+    #[inline(always)]
+    pub(crate) fn is_leaf(self) -> bool {
+        self.tag == LEAF_TAG
+    }
+
+    /// Child node ids of a split node.
+    #[inline(always)]
+    pub(crate) fn children(self) -> (u32, u32) {
+        debug_assert!(!self.is_leaf());
+        (self.a, self.b)
+    }
+
+    /// Slot range (`order` / SoA indices) covered by a leaf.
+    #[inline(always)]
+    pub(crate) fn leaf_range(self) -> (usize, usize) {
+        debug_assert!(self.is_leaf());
+        (self.a as usize, self.b as usize)
+    }
 }
 
 /// A far subtree deferred during kNN traversal, tagged with the squared
@@ -79,6 +102,14 @@ pub struct KdTree {
     /// the query's distance against this box before a leaf scan skips most
     /// of the backtracking scans the region bound alone would still pay.
     leaf_aabbs: Vec<Aabb>,
+    /// Tight bounding box of *every* node's points, parallel to `nodes`
+    /// (internal boxes are the union of their children's). The dual-tree
+    /// all-kNN traversal prunes (query-node, reference-node) pairs with
+    /// box-to-box distance tests at every level, so it needs boxes for
+    /// internal nodes too; the single-query paths keep using the compact
+    /// `leaf_aabbs` array. ~24 bytes per node — a few tens of KB even at
+    /// 100k points.
+    node_aabbs: Vec<Aabb>,
     root: usize,
 }
 
@@ -99,6 +130,7 @@ impl KdTree {
             soa: SoaPositions::default(),
             nodes: Vec::new(),
             leaf_aabbs: Vec::new(),
+            node_aabbs: Vec::new(),
             root: 0,
         };
         tree.build_in(points);
@@ -117,6 +149,7 @@ impl KdTree {
         self.order.extend(0..points.len() as u32);
         self.nodes.clear();
         self.leaf_aabbs.clear();
+        self.node_aabbs.clear();
         self.root = 0;
         if points.is_empty() {
             self.push_leaf(0, 0);
@@ -137,6 +170,14 @@ impl KdTree {
 
     /// Appends a leaf node covering `order[start..end]`, recording the
     /// tight bounding box of the leaf's points.
+    ///
+    /// The leaf's slots are sorted by Morton code over the leaf box before
+    /// being frozen: consecutive slots become spatial neighbors, which is
+    /// what makes the dual-tree leaf scan's row-to-row warm-start chain
+    /// tight (see `crate::dualtree`). Visit order cannot change results —
+    /// survivors and ties are decided by the packed `(distance, index)`
+    /// keys — and the scan kernels stream the SoA lanes the same either
+    /// way.
     fn push_leaf(&mut self, start: usize, end: usize) -> usize {
         let aabb = Aabb::from_points(
             self.order[start..end]
@@ -144,8 +185,28 @@ impl KdTree {
                 .map(|&i| self.points[i as usize]),
         )
         .unwrap_or(Aabb::new(Point3::ZERO, Point3::ZERO));
+        let ext = aabb.extent();
+        let inv = Point3::new(
+            if ext.x > 0.0 { 1024.0 / ext.x } else { 0.0 },
+            if ext.y > 0.0 { 1024.0 / ext.y } else { 0.0 },
+            if ext.z > 0.0 { 1024.0 / ext.z } else { 0.0 },
+        );
+        // Fixed-size key buffer: leaves hold at most LEAF_SIZE points.
+        let mut keyed = [(0u32, 0u32); LEAF_SIZE];
+        let count = end - start;
+        for (slot, &i) in keyed[..count].iter_mut().zip(&self.order[start..end]) {
+            *slot = (
+                crate::knn::morton_code(self.points[i as usize], aabb.min, inv),
+                i,
+            );
+        }
+        keyed[..count].sort_unstable();
+        for (dst, &(_, i)) in self.order[start..end].iter_mut().zip(&keyed[..count]) {
+            *dst = i;
+        }
         let ordinal = self.leaf_aabbs.len() as u32;
         self.leaf_aabbs.push(aabb);
+        self.node_aabbs.push(aabb);
         self.nodes.push(Node {
             tag: LEAF_TAG,
             value: f32::from_bits(ordinal),
@@ -187,6 +248,13 @@ impl KdTree {
         let value = self.points[self.order[mid] as usize][axis];
         let left = self.build_range(start, mid, depth + 1);
         let right = self.build_range(mid, end, depth + 1);
+        // Tight internal box: the union of the children's (the children were
+        // just built, so their boxes are final).
+        let aabb = Aabb {
+            min: self.node_aabbs[left].min.min(self.node_aabbs[right].min),
+            max: self.node_aabbs[left].max.max(self.node_aabbs[right].max),
+        };
+        self.node_aabbs.push(aabb);
         self.nodes.push(Node {
             tag: axis as u32,
             value,
@@ -194,6 +262,56 @@ impl KdTree {
             b: right as u32,
         });
         self.nodes.len() - 1
+    }
+
+    // --- Internals shared with the dual-tree traversal (`crate::dualtree`).
+
+    /// The node with the given id.
+    #[inline(always)]
+    pub(crate) fn node(&self, id: u32) -> Node {
+        self.nodes[id as usize]
+    }
+
+    /// Tight bounding box of the node with the given id.
+    #[inline(always)]
+    pub(crate) fn node_aabb(&self, id: u32) -> Aabb {
+        self.node_aabbs[id as usize]
+    }
+
+    /// Total number of nodes (ids are `0..node_count()`).
+    #[inline(always)]
+    pub(crate) fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Id of the root node.
+    #[inline(always)]
+    pub(crate) fn root_id(&self) -> u32 {
+        self.root as u32
+    }
+
+    /// Slot → original-point-index permutation (leaf ranges index into it).
+    #[inline(always)]
+    pub(crate) fn order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// The points in leaf-visit order as SoA lanes (parallel to `order`).
+    #[inline(always)]
+    pub(crate) fn soa(&self) -> &SoaPositions {
+        &self.soa
+    }
+
+    /// Capacity (in bytes) currently reserved by the tree's buffers — used
+    /// by scratch-reuse assertions (steady-state `build_in` rebuilds over
+    /// same-size clouds must not grow it).
+    pub fn reserved_bytes(&self) -> usize {
+        self.points.capacity() * std::mem::size_of::<Point3>()
+            + self.order.capacity() * std::mem::size_of::<u32>()
+            + self.nodes.capacity() * std::mem::size_of::<Node>()
+            + (self.leaf_aabbs.capacity() + self.node_aabbs.capacity())
+                * std::mem::size_of::<Aabb>()
+            + self.soa.reserved_bytes()
     }
 
     /// Allocation-free exact kNN: results land in `best` (cleared first,
@@ -366,6 +484,48 @@ impl KdTree {
         near
     }
 
+    /// [`NeighborSearch::knn_batch`] with an explicit algorithm choice and a
+    /// caller-owned [`DualTreeScratch`] (reused across batches, so the
+    /// dual-tree path performs no steady-state allocation). This is the
+    /// entry point the SR engine's `FrameScratch` routes every frame batch
+    /// through; the plain trait method is equivalent to calling this with
+    /// [`BatchStrategy::Auto`] and a fresh scratch.
+    ///
+    /// Rows are **bit-identical** across strategies (and to the per-query
+    /// [`NeighborSearch::knn`] loop): both batch algorithms decide survivors
+    /// and distance ties with the same packed `(distance, index)` keys.
+    pub fn knn_batch_with(
+        &self,
+        queries: &[Point3],
+        k: usize,
+        out: &mut Neighborhoods,
+        strategy: BatchStrategy,
+        scratch: &mut DualTreeScratch,
+    ) {
+        let stride = k.min(self.points.len());
+        out.reserve_rows(queries.len(), queries.len() * stride);
+        if k == 0 || self.points.is_empty() {
+            for _ in queries {
+                out.push_row(std::iter::empty());
+            }
+            return;
+        }
+        if dualtree::select_dual_tree(strategy, queries, k, self) {
+            dualtree::all_knn(self, queries, stride, out, scratch);
+            return;
+        }
+        // Single-tree batch sweep: one traversal stack and one cached
+        // descent path shared by the whole batch (the best list lives in
+        // the driver) — zero allocations per query at steady state; large
+        // batches run in Morton order for cache locality, tight warm-start
+        // caps and near-total descent-path reuse.
+        let mut stack: Vec<DeferredSubtree> = Vec::with_capacity(64);
+        let mut path: Vec<(u32, Node)> = Vec::with_capacity(32);
+        batch_queries(queries, stride, out, |q, best| {
+            self.knn_into_with_path(q, k, best, &mut stack, Some(&mut path));
+        });
+    }
+
     fn radius_recurse(&self, node: usize, query: Point3, r2: f32, out: &mut Vec<Neighbor>) {
         let n = self.nodes[node];
         if n.tag == LEAF_TAG {
@@ -416,24 +576,14 @@ impl NeighborSearch for KdTree {
     }
 
     fn knn_batch(&self, queries: &[Point3], k: usize, out: &mut Neighborhoods) {
-        let stride = k.min(self.points.len());
-        out.reserve_rows(queries.len(), queries.len() * stride);
-        if k == 0 || self.points.is_empty() {
-            for _ in queries {
-                out.push_row(std::iter::empty());
-            }
-            return;
-        }
-        // One traversal stack and one cached descent path shared by the
-        // whole batch (the best list lives in the driver) — zero
-        // allocations per query at steady state; large batches run in
-        // Morton order for cache locality, tight warm-start caps and
-        // near-total descent-path reuse.
-        let mut stack: Vec<DeferredSubtree> = Vec::with_capacity(64);
-        let mut path: Vec<(u32, Node)> = Vec::with_capacity(32);
-        batch_queries(queries, stride, out, |q, best| {
-            self.knn_into_with_path(q, k, best, &mut stack, Some(&mut path));
-        });
+        // Auto-selection with a batch-local scratch: empty `Vec`s cost
+        // nothing when the single-tree path is chosen, and a dual-tree
+        // batch large enough to be selected amortizes the one-off scratch
+        // growth over its (many thousand) queries. Callers with per-frame
+        // batches should prefer [`KdTree::knn_batch_with`] and a persistent
+        // scratch.
+        let mut scratch = DualTreeScratch::default();
+        self.knn_batch_with(queries, k, out, BatchStrategy::Auto, &mut scratch);
     }
 }
 

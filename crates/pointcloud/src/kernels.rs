@@ -18,11 +18,27 @@
 //! **bit-identical** — including index-broken distance ties — and the
 //! feature flag can never change results.
 
-use crate::knn::{BestK, Neighbor};
+use crate::knn::Neighbor;
 use crate::point::Point3;
 use crate::soa::SoaPositions;
 
 pub use crate::soa::LANES;
+
+/// The accumulator interface of the candidate scans: anything that exposes a
+/// current worst (k-th best) squared distance and accepts `(index, d2, pos)`
+/// offers. [`crate::knn::BestK`] implements it for the per-query and
+/// single-tree batch paths; the dual-tree all-kNN of [`crate::dualtree`]
+/// implements it over flat per-query key rows. The scans are generic over
+/// this trait so **one** kernel (scalar / AVX2 / AVX-512) serves every
+/// traversal — the accumulators monomorphize away and the arithmetic stays
+/// bit-identical across paths by construction.
+pub(crate) trait ScanSink {
+    /// Squared distance of the current worst entry (the universal prune /
+    /// pre-filter bound; `INFINITY` until the accumulator has `k` entries).
+    fn worst_d2(&self) -> f32;
+    /// Offers a candidate at position `pos` with squared distance `d2`.
+    fn push(&mut self, index: usize, d2: f32, pos: Point3);
+}
 
 /// Squared distances from `q` to one [`LANES`]-wide window of coordinates.
 ///
@@ -86,13 +102,13 @@ fn avx512_enabled() -> bool {
 /// the filter only skips candidates `push` would reject anyway, so results
 /// are identical to an unfiltered scan for any non-NaN input.
 #[inline]
-pub(crate) fn scan_ids(
+pub(crate) fn scan_ids<S: ScanSink>(
     soa: &SoaPositions,
     ids: &[u32],
     start: usize,
     end: usize,
     q: Point3,
-    best: &mut BestK,
+    best: &mut S,
 ) {
     debug_assert!(end <= soa.len() && end <= ids.len());
     if start >= end {
@@ -114,13 +130,13 @@ pub(crate) fn scan_ids(
     scan_ids_scalar(soa, ids, start, end, q, best);
 }
 
-fn scan_ids_scalar(
+fn scan_ids_scalar<S: ScanSink>(
     soa: &SoaPositions,
     ids: &[u32],
     start: usize,
     end: usize,
     q: Point3,
-    best: &mut BestK,
+    best: &mut S,
 ) {
     let (xs, ys, zs) = (soa.xs(), soa.ys(), soa.zs());
     let mut i = start;
@@ -143,13 +159,13 @@ fn scan_ids_scalar(
 /// tightens) and pushed in lane order — bit-identical to the scalar path.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[target_feature(enable = "avx2")]
-unsafe fn scan_ids_avx2(
+unsafe fn scan_ids_avx2<S: ScanSink>(
     soa: &SoaPositions,
     ids: &[u32],
     start: usize,
     end: usize,
     q: Point3,
-    best: &mut BestK,
+    best: &mut S,
 ) {
     use std::arch::x86_64::*;
     let (xs, ys, zs) = (soa.xs(), soa.ys(), soa.zs());
@@ -195,13 +211,13 @@ unsafe fn scan_ids_avx2(
 /// always in bounds.
 #[cfg(all(feature = "simd", target_arch = "x86_64"))]
 #[target_feature(enable = "avx512f")]
-unsafe fn scan_ids_avx512(
+unsafe fn scan_ids_avx512<S: ScanSink>(
     soa: &SoaPositions,
     ids: &[u32],
     start: usize,
     end: usize,
     q: Point3,
-    best: &mut BestK,
+    best: &mut S,
 ) {
     use std::arch::x86_64::*;
     const W: usize = 2 * LANES;
@@ -319,6 +335,7 @@ unsafe fn norm_squared_lanes_avx2(xs: &[f32], ys: &[f32], zs: &[f32], out: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::knn::BestK;
     use rand::prelude::*;
     use rand::rngs::StdRng;
 
@@ -353,8 +370,8 @@ mod tests {
                     scan_ids(&soa, &ids, start, end, q, &mut best);
                     let mut reference = BestK::default();
                     reference.begin(k);
-                    for i in start..end {
-                        reference.push(i, pts[i].distance_squared(q), pts[i]);
+                    for (i, &p) in pts.iter().enumerate().take(end).skip(start) {
+                        reference.push(i, p.distance_squared(q), p);
                     }
                     let got: Vec<(usize, f32)> = best
                         .sorted()

@@ -13,6 +13,24 @@
 //! what the SR interpolation hot path consumes; the per-query
 //! [`NeighborSearch::knn`] remains for one-off lookups and as the oracle
 //! the batch parity tests compare against.
+//!
+//! The k-d tree backend additionally selects between **two batch
+//! algorithms** inside `knn_batch` (see [`crate::dualtree`] for the policy
+//! details and how to force either):
+//! * the *single-tree* sweep — one warm-started traversal per query, in
+//!   Morton order with shared scratch (this module's [`batch_queries`]
+//!   driver); chosen for small batches and large `k`;
+//! * the *dual-tree* leaf-pair traversal — a tree over the queries is
+//!   walked against the reference tree so whole (query-leaf,
+//!   reference-node) pairs are pruned with one AABB–AABB distance test,
+//!   and surviving leaf pairs run tile-vs-tile candidate scans; chosen
+//!   automatically for large batches (and for free on *self-joins*, where
+//!   the query tree **is** the reference tree), the regime where the SR
+//!   interpolators issue their frame-dominating kNN self-queries.
+//!
+//! Both algorithms produce bit-identical rows — the same packed
+//! `(distance, index)` key ordering decides survivors and ties everywhere —
+//! so the selection is invisible in the output.
 
 use crate::neighborhoods::Neighborhoods;
 use crate::point::Point3;
@@ -135,7 +153,7 @@ impl Default for BestK {
 
 /// Packs `(d2, index)` into the order-preserving `u64` key.
 #[inline(always)]
-fn pack_key(index: usize, d2: f32) -> u64 {
+pub(crate) fn pack_key(index: usize, d2: f32) -> u64 {
     (u64::from(d2.to_bits()) << 32) | index as u64
 }
 
@@ -273,6 +291,18 @@ impl BestK {
     }
 }
 
+impl crate::kernels::ScanSink for BestK {
+    #[inline(always)]
+    fn worst_d2(&self) -> f32 {
+        BestK::worst_d2(self)
+    }
+
+    #[inline(always)]
+    fn push(&mut self, index: usize, d2: f32, pos: Point3) {
+        BestK::push(self, index, d2, pos);
+    }
+}
+
 /// Batches below this size skip the Morton reorder: the locality win cannot
 /// amortize the sort.
 pub(crate) const REORDER_MIN_QUERIES: usize = 1024;
@@ -289,8 +319,11 @@ fn expand_bits_10(v: u32) -> u32 {
 }
 
 /// 30-bit Morton code of `p` quantized to a 1024³ grid over `[min, max]`.
+/// Shared with the k-d tree's leaf-internal spatial sort (see
+/// [`crate::kdtree`]), which wants consecutive leaf slots to be near
+/// neighbors for the dual-tree warm-start chain.
 #[inline]
-fn morton_code(p: Point3, min: Point3, inv_extent: Point3) -> u32 {
+pub(crate) fn morton_code(p: Point3, min: Point3, inv_extent: Point3) -> u32 {
     let q = |v: f32, lo: f32, inv: f32| -> u32 {
         let t = ((v - lo) * inv).clamp(0.0, 1023.0);
         // NaN clamps to 0 via the comparison chain below.

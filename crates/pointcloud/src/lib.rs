@@ -35,6 +35,7 @@
 
 pub mod aabb;
 pub mod cloud;
+pub mod dualtree;
 pub mod error;
 pub mod io;
 pub mod kdtree;

@@ -178,6 +178,14 @@ impl SoaPositions {
         self.z.as_flat()
     }
 
+    /// Capacity (in bytes) currently reserved by the three lanes — used by
+    /// scratch-reuse assertions (steady-state rebuilds of same-size point
+    /// sets must not grow it).
+    pub fn reserved_bytes(&self) -> usize {
+        (self.x.blocks.capacity() + self.y.blocks.capacity() + self.z.blocks.capacity())
+            * std::mem::size_of::<LaneBlock>()
+    }
+
     /// Reassembles the point at slot `i`.
     ///
     /// # Panics

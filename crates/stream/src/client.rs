@@ -104,9 +104,17 @@ impl SrSession {
         result
     }
 
-    /// Rebuild/reuse counters of the session's scratch-resident index.
+    /// Rebuild/reuse counters of the session's scratch-resident index,
+    /// including how many frame batches ran through the scratch-resident
+    /// dual-tree all-kNN kernel.
     pub fn index_stats(&self) -> volut_core::interpolate::IndexCacheStats {
         self.scratch.index_stats()
+    }
+
+    /// The session's frame-scratch arena (index cache, dual-tree scratch,
+    /// neighborhood buffers) — read-only, for capacity/stats inspection.
+    pub fn scratch(&self) -> &FrameScratch {
+        &self.scratch
     }
 
     /// Calibrates an [`SrComputeModel`] from this session by measuring one
@@ -398,6 +406,47 @@ mod tests {
         let _ = session.upsample_frame_keyed(&frame, 2.0, 42).unwrap();
         assert_eq!(session.index_stats().reuses, 6);
         assert_eq!(session.index_stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn repeated_frames_hit_dual_tree_without_rebuilds_or_allocs() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic;
+        // Production-scale frame: large enough that the batch layer's auto
+        // policy selects the dual-tree kernel for the per-frame kNN
+        // self-join (when the engine runs it as one sequential batch; on
+        // many-core hosts the chunked single-tree path is taken instead and
+        // the dual-tree counter legitimately stays at zero).
+        let n = 6_000;
+        let frames = 4u64;
+        let sequential = volut_pointcloud::par::worker_count(n, 2_000) <= 1;
+        let mut session = SrSession::new(SrPipeline::new(
+            SrConfig::default(),
+            Box::new(IdentityRefiner),
+        ));
+        let frame = synthetic::sphere(n, 1.0, 17);
+        let first = session.upsample_frame(&frame, 2.0).unwrap();
+        let reserved = session.scratch().dual_tree_reserved_bytes();
+        for _ in 1..frames {
+            let r = session.upsample_frame(&frame, 2.0).unwrap();
+            assert_eq!(r.cloud, first.cloud);
+        }
+        let stats = session.index_stats();
+        // Identical geometry: exactly one index rebuild, every later frame
+        // served from the cache...
+        assert_eq!(stats.rebuilds, 1, "stats {stats:?}");
+        assert_eq!(stats.reuses, frames - 1, "stats {stats:?}");
+        if sequential {
+            // ...every frame's self-join answered by the dual-tree kernel...
+            assert_eq!(stats.dual_tree_batches, frames, "stats {stats:?}");
+            assert!(reserved > 0);
+        }
+        // ...and steady-state frames grow no dual-tree scratch capacity.
+        assert_eq!(
+            session.scratch().dual_tree_reserved_bytes(),
+            reserved,
+            "repeated identical frames must not allocate dual-tree scratch"
+        );
     }
 
     #[test]

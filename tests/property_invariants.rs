@@ -7,6 +7,7 @@ use proptest::prelude::*;
 use volut::core::config::SrConfig;
 use volut::core::encoding::{KeyScheme, PositionEncoder};
 use volut::core::interpolate::dilated::dilated_interpolate;
+use volut::pointcloud::dualtree::{BatchStrategy, DualTreeScratch};
 use volut::pointcloud::kdtree::KdTree;
 use volut::pointcloud::knn::{BruteForce, NeighborSearch};
 use volut::pointcloud::octree::TwoLayerOctree;
@@ -120,6 +121,85 @@ proptest! {
                     name, k, i
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dual_tree_all_knn_is_bit_identical_to_per_query(
+        points in prop::collection::vec(arb_point(), 0..220),
+        extra_queries in prop::collection::vec(arb_point(), 0..40),
+        k in 0usize..40,
+        duplicate_every in 1usize..5,
+        monochromatic in 0usize..2,
+    ) {
+        // The dual-tree leaf-pair traversal (forced, so every batch size
+        // takes it) must reproduce the per-query rows exactly — including
+        // index-broken exact-distance ties from injected duplicates,
+        // k >= cloud size, the empty cloud, and both join shapes: the
+        // monochromatic self-join (query slice == indexed cloud, query
+        // tree reused) and the bichromatic case (separate query tree over
+        // a different point set). CI's feature matrix runs this under the
+        // SIMD and scalar kernels alike.
+        let mut points = points;
+        let n = points.len();
+        for i in (0..n).step_by(duplicate_every) {
+            points.push(points[i]);
+        }
+        let tree = KdTree::build(&points);
+        let queries: Vec<Point3> = if monochromatic == 1 {
+            points.clone()
+        } else {
+            let mut q = extra_queries;
+            q.extend(points.iter().step_by(3)); // exact landings on indexed points
+            q
+        };
+        let mut scratch = DualTreeScratch::new();
+        let mut batch = Neighborhoods::new();
+        tree.knn_batch_with(&queries, k, &mut batch, BatchStrategy::DualTree, &mut scratch);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (i, &q) in queries.iter().enumerate() {
+            let expected: Vec<u32> = tree.knn(q, k).iter().map(|n| n.index as u32).collect();
+            prop_assert_eq!(batch.row(i), expected.as_slice(), "k {} query {}", k, i);
+        }
+    }
+
+    #[test]
+    fn dual_tree_parity_on_degenerate_clouds(
+        shape in 0usize..4,
+        n in 20usize..300,
+        k in 1usize..10,
+        seed in 0u64..100,
+        monochromatic in 0usize..2,
+    ) {
+        // The same degenerate geometries the batch parity suite covers —
+        // all-identical points, collinear, planar grid, alternating-sign
+        // spread — through the forced dual-tree path, monochromatic and
+        // bichromatic. Zero-extent leaf/node boxes make every AABB–AABB
+        // pair distance a tie, so this exercises the "equality still
+        // visits" side of the pruning rule.
+        let points: Vec<Point3> = match shape {
+            0 => vec![Point3::splat(seed as f32 * 0.25); n],
+            1 => (0..n).map(|i| Point3::new((i / 3) as f32, 0.0, 0.0)).collect(),
+            2 => (0..n)
+                .map(|i| Point3::new((i % 7) as f32, (i / 7) as f32, 0.0))
+                .collect(),
+            _ => (0..n)
+                .map(|i| Point3::splat(if i % 2 == 0 { 0.5 } else { -0.5 } * (i as f32)))
+                .collect(),
+        };
+        let queries: Vec<Point3> = if monochromatic == 1 {
+            points.clone()
+        } else {
+            points.iter().copied().step_by(3).collect()
+        };
+        let tree = KdTree::build(&points);
+        let mut scratch = DualTreeScratch::new();
+        let mut batch = Neighborhoods::new();
+        tree.knn_batch_with(&queries, k, &mut batch, BatchStrategy::DualTree, &mut scratch);
+        prop_assert_eq!(batch.len(), queries.len());
+        for (i, &q) in queries.iter().enumerate() {
+            let expected: Vec<u32> = tree.knn(q, k).iter().map(|n| n.index as u32).collect();
+            prop_assert_eq!(batch.row(i), expected.as_slice(), "shape {} query {}", shape, i);
         }
     }
 
