@@ -52,6 +52,12 @@ fn bench_stage_breakdown(c: &mut Criterion) {
     let low = sampling::random_downsample(&gt, 0.5, 7).unwrap();
     let volut = artifacts.pipeline_k4d2_lut();
     let mut scratch = volut_core::interpolate::FrameScratch::new();
+    // This tracker measures the *cold-frame* kNN kernel profile, so the
+    // temporal row-reuse layer is disabled — with it on (the default),
+    // repeated identical frames collapse to a wholesale row copy and the
+    // knn row would read ~zero (that path is measured by the
+    // `temporal_coherence` bench instead).
+    scratch.set_incremental(false);
     // Warm-up frame: builds the index and grows the scratch to steady state.
     let warm = volut.upsample_with(&low, 2.0, &mut scratch).unwrap();
     let mut stages: Vec<[f64; 6]> = Vec::with_capacity(samples);

@@ -1,0 +1,126 @@
+//! Criterion bench: temporally coherent incremental kNN across streaming
+//! delta-frames.
+//!
+//! Drives churned frame sequences (the `volut_pointcloud::synthetic::
+//! DeltaStream` generator: spatially coherent cluster churn + drift, the
+//! shape chunked volumetric delivery produces) through one `FrameScratch`
+//! twice — incremental reuse on vs off — and reports the per-frame
+//! `knn`-stage and `index_build`-stage medians side by side. The headline
+//! number is the knn-stage ratio at 10% churn on the 50k-point / `kq = 5`
+//! frame (the §4.1-dominating self-join); 0% churn should collapse to the
+//! wholesale row-copy fast path and 100% churn should sit within a few
+//! percent of the cold full-recompute path (the failed diff is one linear
+//! pass). Runs in CI's `--test` smoke mode with a downscaled workload.
+
+use criterion::{criterion_group, criterion_main, is_quick_mode, Criterion};
+use std::hint::black_box;
+use volut_core::interpolate::FrameScratch;
+use volut_core::pipeline::{InterpolationMode, SrPipeline};
+use volut_core::refine::IdentityRefiner;
+use volut_core::SrConfig;
+use volut_pointcloud::synthetic::{self, DeltaStreamConfig};
+use volut_pointcloud::PointCloud;
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One measured pass: warm up on frame 0, then collect per-stage times over
+/// the rest of the sequence. Returns `(knn median ms, index median ms)`.
+fn run_sequence(pipeline: &SrPipeline, frames: &[PointCloud], incremental: bool) -> (f64, f64) {
+    let mut scratch = FrameScratch::new();
+    scratch.set_incremental(incremental);
+    pipeline
+        .upsample_with(&frames[0], 2.0, &mut scratch)
+        .unwrap();
+    let mut knn = Vec::with_capacity(frames.len() - 1);
+    let mut index = Vec::with_capacity(frames.len() - 1);
+    for frame in &frames[1..] {
+        let r = pipeline.upsample_with(frame, 2.0, &mut scratch).unwrap();
+        knn.push(r.timings.knn.as_secs_f64() * 1e3);
+        index.push(r.timings.index_build.as_secs_f64() * 1e3);
+    }
+    (median(&mut knn), median(&mut index))
+}
+
+fn bench_temporal_coherence(c: &mut Criterion) {
+    let (n, measured) = if is_quick_mode() {
+        (4_000, 3)
+    } else {
+        (50_000, 9)
+    };
+    // kq = k + 1 = 5 with the k4d1 config through the dilated interpolator —
+    // the acceptance shape (50k points, k = 5 self-join).
+    let pipeline = SrPipeline::with_mode(
+        SrConfig::k4d1(),
+        InterpolationMode::Dilated,
+        Box::new(IdentityRefiner),
+    );
+    let base = synthetic::humanoid(n, 0.5, 5);
+
+    println!("temporal_coherence/{n}pts_kq5 (median of {measured} steady-state frames, ms):");
+    println!(
+        "  {:>6} | {:>16} {:>16} | {:>16} {:>16} | {:>9}",
+        "churn", "knn incr", "knn full", "index incr", "index full", "knn ratio"
+    );
+    for churn in [0.0f64, 0.1, 1.0] {
+        let frames = synthetic::delta_frame_sequence(
+            &base,
+            measured + 1,
+            DeltaStreamConfig {
+                churn,
+                drift: 0.05,
+                jitter: 0.01,
+                seed: 11,
+            },
+        );
+        let (knn_incr, idx_incr) = run_sequence(&pipeline, &frames, true);
+        let (knn_full, idx_full) = run_sequence(&pipeline, &frames, false);
+        println!(
+            "  {:>5.0}% | {:>16.3} {:>16.3} | {:>16.3} {:>16.3} | {:>8.2}x",
+            churn * 100.0,
+            knn_incr,
+            knn_full,
+            idx_incr,
+            idx_full,
+            knn_full / knn_incr.max(1e-9),
+        );
+    }
+
+    // Criterion hooks so the harness lists/runs this group like any bench:
+    // whole-frame iteration over the churned sequence, incremental vs full.
+    let frames = synthetic::delta_frame_sequence(
+        &base,
+        measured + 1,
+        DeltaStreamConfig {
+            churn: 0.1,
+            drift: 0.05,
+            jitter: 0.01,
+            seed: 11,
+        },
+    );
+    let mut group = c.benchmark_group(format!("temporal_coherence_{n}_kq5_10pct"));
+    group.sample_size(10);
+    for (name, incremental) in [("incremental", true), ("full_recompute", false)] {
+        group.bench_function(name, |b| {
+            let mut scratch = FrameScratch::new();
+            scratch.set_incremental(incremental);
+            pipeline
+                .upsample_with(&frames[0], 2.0, &mut scratch)
+                .unwrap();
+            let mut next = 1usize;
+            b.iter(|| {
+                let r = pipeline
+                    .upsample_with(&frames[next], 2.0, &mut scratch)
+                    .unwrap();
+                next = 1 + (next % (frames.len() - 1));
+                black_box(r.cloud.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_temporal_coherence);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 //!   `knn_backends` bench compares all backends). The tree is
 //!   scratch-resident (see [`super::IndexCache`]): frames whose geometry is
 //!   unchanged skip the rebuild entirely, and the queries go through the
-//!   allocation-free [`super::batched_knn_into`] path — a *self-join* of
+//!   allocation-free `super::batched_knn_into` path — a *self-join* of
 //!   the frame cloud against itself, which the batch layer answers with the
 //!   dual-tree leaf-pair kernel of [`volut_pointcloud::dualtree`] at
 //!   production sizes;
@@ -106,39 +106,27 @@ pub fn dilated_interpolate_with(
     let workers = par::worker_count(low.len(), 2_000);
     let chunk = low.len().div_ceil(workers).max(1);
 
-    // --- Index: scratch-resident k-d tree, rebuilt only on geometry change.
-    // The paper's CUDA client batches these queries over the two-layer
-    // octree's leaf cells; on CPU the k-d tree answers the same queries
-    // faster (see the `knn_backends` bench), so it backs the per-point
-    // search while the octree remains available as a library component.
-    let tb = Instant::now();
-    let (kdtree, _rebuilt) = scratch
-        .index
-        .get_or_build(positions, scratch.geometry_generation);
-    timings.index_build += tb.elapsed();
+    // --- Index + kNN stage: one dilated query per original point — the
+    // self-join that dominates frame time (§4.1). The temporal layer owns
+    // the whole pass: the scratch-resident k-d tree is reused, patched or
+    // rebuilt depending on how the frame relates to the previous one, and
+    // rows whose kNN ball the churn cannot touch are copied forward from
+    // the previous frame instead of recomputed (bit-identical either way —
+    // see [`super::temporal`]). Cold frames run the full dual-tree /
+    // single-tree batch machinery exactly as before.
+    // (The container is taken out of the scratch for the call so the
+    // temporal layer can borrow the rest of the scratch mutably.)
+    let mut raw_hoods = std::mem::take(&mut scratch.raw_hoods);
+    super::temporal::self_join(low, dilated_k + 1, scratch, &mut raw_hoods, &mut timings);
 
-    // --- kNN stage: one dilated query per original point — the self-join
-    // that dominates frame time (§4.1). When the batch runs on one worker
-    // the batch layer answers it with the dual-tree leaf-pair kernel
-    // through the scratch-resident `DualTreeScratch`; small frames and
-    // chunked multi-worker runs take the single-tree sweep (see
-    // `batched_knn_into`).
-    let t0 = Instant::now();
-    scratch.raw_hoods.clear();
-    super::batched_knn_into(
-        kdtree,
-        positions,
-        dilated_k + 1,
-        &mut scratch.dualtree,
-        &mut scratch.raw_hoods,
-    );
     // Strip the self-match from each row and cap at the dilated size (a
     // linear copy, negligible next to the queries themselves).
+    let t0 = Instant::now();
     scratch.dilated.clear();
     scratch
         .dilated
         .reserve_rows(low.len(), low.len() * dilated_k);
-    for (i, row) in scratch.raw_hoods.iter().enumerate() {
+    for (i, row) in raw_hoods.iter().enumerate() {
         scratch.dilated.push_row_u32_iter(
             row.iter()
                 .copied()
@@ -146,6 +134,8 @@ pub fn dilated_interpolate_with(
                 .take(dilated_k),
         );
     }
+    raw_hoods.clear();
+    scratch.raw_hoods = raw_hoods;
     timings.knn += t0.elapsed();
 
     let mut ops = OpCounts {
@@ -221,7 +211,10 @@ pub fn dilated_interpolate_with(
             // Fill the no-reuse rows with exact batched queries (sequential
             // here; the ablation only cares about total cost).
             let t = Instant::now();
-            kdtree.knn_batch(&part.new_points, config.k, &mut neighborhoods);
+            scratch
+                .index
+                .cached_tree()
+                .knn_batch(&part.new_points, config.k, &mut neighborhoods);
             timings.knn += t.elapsed();
             ops.candidates_examined += part.new_points.len() as u64 * config.k as u64 * 4;
         }

@@ -21,10 +21,13 @@ pub mod colorize;
 pub mod dilated;
 pub mod naive;
 pub mod reuse;
+pub mod temporal;
 
 use crate::config::SrConfig;
 use crate::Result;
 use std::time::Duration;
+pub use temporal::TemporalStats;
+use volut_pointcloud::delta::FrameDelta;
 use volut_pointcloud::dualtree::{BatchStrategy, DualTreeScratch};
 use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::{par, Neighborhoods, Point3, PointCloud};
@@ -119,13 +122,23 @@ impl OpCounts {
     }
 }
 
-/// Usage counters of the scratch-resident spatial index.
+/// Usage counters of the scratch-resident spatial index and the temporal
+/// (delta-frame) reuse layer built on top of it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IndexCacheStats {
     /// Frames that paid a full index rebuild.
     pub rebuilds: u64,
     /// Frames served from the cached index (matched generation or content).
     pub reuses: u64,
+    /// Frames whose index was incrementally patched for a frame delta
+    /// ([`KdTree::patch`]) instead of rebuilt.
+    pub patches: u64,
+    /// kNN self-join rows copied forward from the previous frame by the
+    /// incremental path (see [`temporal`]).
+    pub rows_reused: u64,
+    /// kNN self-join rows recomputed by the incremental path (inserted
+    /// queries plus rows invalidated by the churn).
+    pub rows_recomputed: u64,
     /// Batches answered by the dual-tree (leaf-pair) all-kNN kernel through
     /// the scratch-resident [`DualTreeScratch`] — the self-join fast path
     /// the interpolators hit once per frame at production sizes.
@@ -147,39 +160,129 @@ pub struct IndexCacheStats {
 ///   orders of magnitude cheaper than the O(n log n) rebuild it avoids).
 ///
 /// Either way a hit skips both the `positions().to_vec()` clone and the
-/// rebuild; a miss rebuilds in place via [`KdTree::build_in`], reusing the
-/// tree's storage.
+/// rebuild. The content check itself is two-tier: a memoized 64-bit
+/// geometry digest ([`PointCloud::geometry_digest`]) is compared first, so
+/// mismatched frames short-circuit without scanning the cloud, and only a
+/// digest match pays the element-wise verify (which also guards against
+/// digest collisions). A miss either rebuilds in place via
+/// [`KdTree::build_in`] or — when the temporal layer hands it a frame delta
+/// — incrementally patches the tree via [`KdTree::patch`], with a full
+/// rebuild forced once cumulative patched churn crosses
+/// [`PATCH_REBUILD_FRACTION`] of the cloud (stale split planes and bloated
+/// node boxes degrade query time, and an occasional rebuild is cheaper than
+/// slowly losing the tree's quality).
 #[derive(Debug, Default)]
 pub struct IndexCache {
     tree: KdTree,
     built: bool,
     built_generation: Option<u64>,
+    built_digest: u64,
+    /// Cumulative churn absorbed by patches since the last full build.
+    patched_churn: usize,
     stats: IndexCacheStats,
 }
 
+/// Cumulative patched churn (fraction of the cloud) that forces the next
+/// delta frame onto a full rebuild instead of another patch.
+pub const PATCH_REBUILD_FRACTION: f64 = 0.5;
+
 impl IndexCache {
+    /// `true` when the cached tree already indexes `positions` — by
+    /// declared generation (O(1)) or by digest-then-content comparison.
+    pub(crate) fn is_fresh(
+        &self,
+        positions: &[Point3],
+        generation: Option<u64>,
+        digest: u64,
+    ) -> bool {
+        if !self.built {
+            return false;
+        }
+        let trusted = generation.is_some()
+            && generation == self.built_generation
+            && self.tree.points().len() == positions.len();
+        trusted || (self.built_digest == digest && self.tree.points() == positions)
+    }
+
+    /// `true` when the cached tree indexes exactly `points` (element-wise;
+    /// used by the temporal layer to decide patch vs rebuild).
+    pub(crate) fn indexes(&self, points: &[Point3]) -> bool {
+        self.built && self.tree.points() == points
+    }
+
+    /// Counts a cache hit, records the caller's generation declaration for
+    /// the next frame's O(1) check, and returns the cached tree.
+    pub(crate) fn reuse(&mut self, generation: Option<u64>) -> &KdTree {
+        self.built_generation = generation;
+        self.stats.reuses += 1;
+        &self.tree
+    }
+
+    /// Rebuilds the index over `positions` in place.
+    pub(crate) fn rebuild(
+        &mut self,
+        positions: &[Point3],
+        generation: Option<u64>,
+        digest: u64,
+    ) -> &KdTree {
+        self.tree.build_in(positions);
+        self.built = true;
+        self.built_generation = generation;
+        self.built_digest = digest;
+        self.patched_churn = 0;
+        self.stats.rebuilds += 1;
+        &self.tree
+    }
+
+    /// Incrementally patches the cached index for a frame delta, falling
+    /// back to a full rebuild when the cache is cold, the delta's old side
+    /// does not match the indexed cloud, or cumulative patched churn
+    /// crosses [`PATCH_REBUILD_FRACTION`]. The caller guarantees `delta`
+    /// describes the change from the indexed points to `positions`.
+    pub(crate) fn patch(
+        &mut self,
+        positions: &[Point3],
+        generation: Option<u64>,
+        digest: u64,
+        delta: &FrameDelta,
+    ) -> &KdTree {
+        if !self.built || self.tree.points().len() != delta.old_len() {
+            return self.rebuild(positions, generation, digest);
+        }
+        self.patched_churn += delta.removed().len().max(delta.inserted().len());
+        let budget = (positions.len().max(1) as f64 * PATCH_REBUILD_FRACTION) as usize;
+        if self.patched_churn > budget {
+            return self.rebuild(positions, generation, digest);
+        }
+        self.tree.patch(delta, positions);
+        self.built_generation = generation;
+        self.built_digest = digest;
+        self.stats.patches += 1;
+        &self.tree
+    }
+
+    /// The cached tree. Only meaningful after a `reuse`/`rebuild`/`patch`
+    /// established it for the current frame.
+    pub(crate) fn cached_tree(&self) -> &KdTree {
+        debug_assert!(self.built, "cached_tree before any build");
+        &self.tree
+    }
+
     /// Returns the cached tree for `positions`, rebuilding it only when
-    /// neither the declared `generation` nor the indexed content matches.
-    /// The second element reports whether a rebuild happened.
+    /// neither the declared `generation` nor the indexed content (digest
+    /// first, then element-wise) matches. The second element reports
+    /// whether a rebuild happened.
     pub(crate) fn get_or_build(
         &mut self,
         positions: &[Point3],
         generation: Option<u64>,
+        digest: u64,
     ) -> (&KdTree, bool) {
-        let trusted = self.built
-            && generation.is_some()
-            && generation == self.built_generation
-            && self.tree.points().len() == positions.len();
-        let fresh = trusted || (self.built && self.tree.points() == positions);
-        if fresh {
-            self.stats.reuses += 1;
+        if self.is_fresh(positions, generation, digest) {
+            (self.reuse(generation), false)
         } else {
-            self.tree.build_in(positions);
-            self.built = true;
-            self.stats.rebuilds += 1;
+            (self.rebuild(positions, generation, digest), true)
         }
-        self.built_generation = generation;
-        (&self.tree, !fresh)
     }
 
     /// Usage counters since this cache was created.
@@ -227,6 +330,10 @@ pub struct FrameScratch {
     /// performs no steady-state allocation (see
     /// [`volut_pointcloud::dualtree`]).
     pub(crate) dualtree: DualTreeScratch,
+    /// The previous frame's self-join rows plus the incremental-update
+    /// scratch — the temporal-coherence layer that turns delta frames into
+    /// `O(churn)` kNN work (see [`temporal`]).
+    pub(crate) temporal: temporal::TemporalCache,
     /// Caller-declared geometry generation for the next frame(s); `None`
     /// means "unknown", which falls back to content verification.
     pub(crate) geometry_generation: Option<u64>,
@@ -269,12 +376,47 @@ impl FrameScratch {
         self.geometry_generation = None;
     }
 
-    /// Usage counters of the scratch-resident index cache, including how
-    /// many batches ran through the scratch-resident dual-tree kernel.
+    /// Usage counters of the scratch-resident index cache, including the
+    /// incremental row-reuse counters of the temporal layer and how many
+    /// batches ran through the scratch-resident dual-tree kernel.
     pub fn index_stats(&self) -> IndexCacheStats {
         let mut stats = self.index.stats();
         stats.dual_tree_batches = self.dualtree.invocations();
+        stats.rows_reused = self.temporal.stats.rows_reused;
+        stats.rows_recomputed = self.temporal.stats.rows_recomputed;
         stats
+    }
+
+    /// Frame- and row-level counters of the temporal (delta-frame) reuse
+    /// layer.
+    pub fn temporal_stats(&self) -> TemporalStats {
+        self.temporal.stats
+    }
+
+    /// Enables or disables incremental (temporal) kNN reuse for subsequent
+    /// frames. Enabled by default; disabling also drops the cached frame,
+    /// so re-enabling starts cold. Results are bit-identical either way —
+    /// this is the ablation/benchmark switch.
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.temporal.enabled = enabled;
+        if !enabled {
+            self.temporal.invalidate();
+        }
+    }
+
+    /// Whether incremental (temporal) kNN reuse is enabled.
+    pub fn incremental(&self) -> bool {
+        self.temporal.enabled
+    }
+
+    /// Declares the exact delta from the previous upsampled frame to the
+    /// next one, sparing the engine its bitwise diff. The delta is verified
+    /// against both frames before use (one linear pass); a delta that does
+    /// not match falls back to the engine's own diff, so a wrong
+    /// declaration costs time, never correctness. Consumed by the next
+    /// frame.
+    pub fn set_frame_delta(&mut self, delta: FrameDelta) {
+        self.temporal.pending_delta = Some(delta);
     }
 
     /// Capacity (bytes) currently reserved by the dual-tree scratch;
@@ -282,6 +424,24 @@ impl FrameScratch {
     /// streaming-session tests).
     pub fn dual_tree_reserved_bytes(&self) -> usize {
         self.dualtree.reserved_bytes()
+    }
+
+    /// Capacity (bytes) currently reserved by every persistent buffer of
+    /// this scratch: the neighborhood CSRs, the cached spatial index, the
+    /// dual-tree scratch and the temporal cache. Steady-state frames of a
+    /// stable-size churned session must not grow it (asserted by the
+    /// streaming-session tests).
+    pub fn reserved_bytes(&self) -> usize {
+        self.neighborhoods
+            .as_ref()
+            .map_or(0, Neighborhoods::reserved_bytes)
+            + self.dilated.reserved_bytes()
+            + self.raw_hoods.reserved_bytes()
+            + self.counts.capacity() * std::mem::size_of::<usize>()
+            + (self.centers.capacity() + self.queries.capacity()) * std::mem::size_of::<Point3>()
+            + self.index.tree.reserved_bytes()
+            + self.dualtree.reserved_bytes()
+            + self.temporal.reserved_bytes()
     }
 }
 

@@ -11,7 +11,7 @@
 //! The queries themselves run through the same batch machinery as the rest
 //! of the engine: the spatial index is the scratch-resident cached k-d tree
 //! (rebuilt only when the frame geometry changes) and both query passes go
-//! through [`super::batched_knn_into`] — the source pass is a self-join the
+//! through `super::batched_knn_into` — the source pass is a self-join the
 //! batch layer answers with the dual-tree leaf-pair kernel
 //! ([`volut_pointcloud::dualtree`]) at production sizes, the new-point pass
 //! a bichromatic batch on the warm single-tree sweep. Partner selection
@@ -92,30 +92,39 @@ pub fn naive_interpolate_with(
         .map_or(0, |i| i + 1);
     let mut neighborhoods = scratch.take_neighborhoods();
 
-    // Scratch-resident index: rebuilt only when the frame geometry changed.
-    let t0 = Instant::now();
-    let (tree, _rebuilt) = scratch
-        .index
-        .get_or_build(positions, scratch.geometry_generation);
-    timings.index_build += t0.elapsed();
-
     // --- Source queries: one batched (k+1)-NN pass over the active prefix.
-    // With a full prefix this is a self-join over the indexed cloud, which
-    // the batch layer answers with the dual-tree leaf-pair kernel through
-    // the scratch-resident `DualTreeScratch` when it runs on one worker
-    // (multi-worker runs chunk the single-tree sweep instead — see
-    // `batched_knn_into`).
-    let tq = Instant::now();
-    scratch.dilated.clear();
-    super::batched_knn_into(
-        tree,
-        &positions[..active],
-        config.k + 1,
-        &mut scratch.dualtree,
-        &mut scratch.dilated,
-    );
+    // With a full prefix this is the frame's kNN self-join, which the
+    // temporal layer owns end to end: index reuse/patch/rebuild plus
+    // incremental row reuse across delta frames (bit-identical to a full
+    // recompute — see [`super::temporal`]). Partial prefixes (ratios below
+    // 2×) are not a self-join over the whole cloud, so they take the plain
+    // batched path against the cached index.
+    if active == low.len() {
+        // (Taken out of the scratch for the call so the temporal layer can
+        // borrow the rest of the scratch mutably.)
+        let mut hoods = std::mem::take(&mut scratch.dilated);
+        super::temporal::self_join(low, config.k + 1, scratch, &mut hoods, &mut timings);
+        scratch.dilated = hoods;
+    } else {
+        let t0 = Instant::now();
+        let (tree, _rebuilt) = scratch.index.get_or_build(
+            positions,
+            scratch.geometry_generation,
+            low.geometry_digest(),
+        );
+        timings.index_build += t0.elapsed();
+        let tq = Instant::now();
+        scratch.dilated.clear();
+        super::batched_knn_into(
+            tree,
+            &positions[..active],
+            config.k + 1,
+            &mut scratch.dualtree,
+            &mut scratch.dilated,
+        );
+        timings.knn += tq.elapsed();
+    }
     let source_hoods = &scratch.dilated;
-    timings.knn += tq.elapsed();
     ops.knn_queries += active as u64;
     ops.candidates_examined += active as u64 * (low.len().min(64)) as u64;
 
@@ -165,7 +174,7 @@ pub fn naive_interpolate_with(
     // `volut_pointcloud::dualtree`).
     let tq = Instant::now();
     super::batched_knn_into(
-        tree,
+        scratch.index.cached_tree(),
         queries,
         config.k,
         &mut scratch.dualtree,

@@ -25,10 +25,39 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cloud.len(), 2);
 /// assert!(cloud.has_colors());
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PointCloud {
     positions: Vec<Point3>,
     colors: Option<Vec<Color>>,
+    /// Memoized [`geometry_digest`] of `positions`; reset by every mutating
+    /// accessor so a stale digest can never be observed. Skipped by serde
+    /// (recomputed on demand after deserialization) and ignored by equality.
+    #[serde(skip)]
+    digest: std::sync::OnceLock<u64>,
+}
+
+impl PartialEq for PointCloud {
+    fn eq(&self, other: &Self) -> bool {
+        self.positions == other.positions && self.colors == other.colors
+    }
+}
+
+/// 64-bit multiply-rotate digest of a position array's bit patterns.
+///
+/// One streaming pass, a few instructions per point — cheaper than the
+/// element-wise slice compare it short-circuits in the index cache, and
+/// sensitive to order, length and every coordinate bit (`-0.0` differs from
+/// `+0.0`, matching [`crate::delta::FrameDelta::diff`]'s bitwise notion of
+/// "same stored point"). Not cryptographic; collisions are guarded by a full
+/// compare wherever a false "equal" would change results.
+pub fn geometry_digest(points: &[Point3]) -> u64 {
+    let mut h = 0x9E37_79B9_7F4A_7C15u64 ^ (points.len() as u64);
+    for p in points {
+        let xy = (u64::from(p.x.to_bits()) << 32) | u64::from(p.y.to_bits());
+        h = (h.rotate_left(25) ^ xy).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h = (h.rotate_left(25) ^ u64::from(p.z.to_bits())).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    }
+    h ^ (h >> 31)
 }
 
 impl PointCloud {
@@ -42,6 +71,7 @@ impl PointCloud {
         Self {
             positions: Vec::with_capacity(n),
             colors: None,
+            digest: std::sync::OnceLock::new(),
         }
     }
 
@@ -50,6 +80,7 @@ impl PointCloud {
         Self {
             positions,
             colors: None,
+            digest: std::sync::OnceLock::new(),
         }
     }
 
@@ -67,6 +98,7 @@ impl PointCloud {
         Ok(Self {
             positions,
             colors: Some(colors),
+            digest: std::sync::OnceLock::new(),
         })
     }
 
@@ -94,9 +126,11 @@ impl PointCloud {
         &self.positions
     }
 
-    /// Mutable borrow of the position array.
+    /// Mutable borrow of the position array. Invalidates the memoized
+    /// geometry digest (the caller may change any coordinate).
     #[inline]
     pub fn positions_mut(&mut self) -> &mut [Point3] {
+        self.digest = std::sync::OnceLock::new();
         &mut self.positions
     }
 
@@ -148,6 +182,7 @@ impl PointCloud {
     /// later pushes must be consistent (a colored cloud rejects `None` by
     /// substituting black, an uncolored cloud ignores a provided color).
     pub fn push(&mut self, position: Point3, color: Option<Color>) {
+        self.digest = std::sync::OnceLock::new();
         if self.positions.is_empty() {
             if let Some(c) = color {
                 self.colors = Some(vec![c]);
@@ -179,13 +214,18 @@ impl PointCloud {
             .colors
             .as_ref()
             .map(|c| indices.iter().map(|&i| c[i]).collect());
-        PointCloud { positions, colors }
+        PointCloud {
+            positions,
+            colors,
+            digest: std::sync::OnceLock::new(),
+        }
     }
 
     /// Appends all points of `other` to `self`. If exactly one of the clouds
     /// is colored, missing colors are filled with black so the result stays
     /// consistent.
     pub fn merge(&mut self, other: &PointCloud) {
+        self.digest = std::sync::OnceLock::new();
         match (&mut self.colors, &other.colors) {
             (Some(mine), Some(theirs)) => mine.extend_from_slice(theirs),
             (Some(mine), None) => mine.extend(std::iter::repeat_n(Color::BLACK, other.len())),
@@ -215,6 +255,7 @@ impl PointCloud {
 
     /// Translates every point by `offset`.
     pub fn translate(&mut self, offset: Point3) {
+        self.digest = std::sync::OnceLock::new();
         for p in &mut self.positions {
             *p += offset;
         }
@@ -222,6 +263,7 @@ impl PointCloud {
 
     /// Uniformly scales every point about the origin.
     pub fn scale(&mut self, factor: f32) {
+        self.digest = std::sync::OnceLock::new();
         for p in &mut self.positions {
             *p = *p * factor;
         }
@@ -237,6 +279,7 @@ impl PointCloud {
         let bounds = self
             .bounds()
             .ok_or_else(|| Error::EmptyCloud("normalize_unit_cube".into()))?;
+        self.digest = std::sync::OnceLock::new();
         let center = bounds.center();
         let half = bounds.longest_edge() * 0.5;
         let scale = if half <= f32::EPSILON {
@@ -248,6 +291,16 @@ impl PointCloud {
             *p = (*p - center) * scale;
         }
         Ok((center, scale))
+    }
+
+    /// The cloud's 64-bit geometry digest (see [`geometry_digest`]),
+    /// memoized after the first call and invalidated by every
+    /// position-mutating method. Streaming consumers use it as a cheap
+    /// first-pass identity check: the engine's index cache compares digests
+    /// before paying an element-wise position compare, so mismatched frames
+    /// short-circuit without scanning the cloud.
+    pub fn geometry_digest(&self) -> u64 {
+        *self.digest.get_or_init(|| geometry_digest(&self.positions))
     }
 
     /// Approximate wire size in bytes of this cloud when transmitted with the
@@ -415,6 +468,38 @@ mod tests {
         assert_eq!(c.len(), 5);
         c.extend(vec![Point3::ZERO]);
         assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    fn geometry_digest_tracks_positions_only() {
+        let mut a = colored_cloud();
+        let d0 = a.geometry_digest();
+        // Memoized: repeated calls agree; equal content hashes equal.
+        assert_eq!(a.geometry_digest(), d0);
+        assert_eq!(colored_cloud().geometry_digest(), d0);
+        assert_eq!(geometry_digest(a.positions()), d0);
+        // Color-only mutation does not change the geometry digest.
+        let colors = a.take_colors().unwrap();
+        a.set_colors(colors).unwrap();
+        assert_eq!(a.geometry_digest(), d0);
+        // Every position mutator invalidates.
+        a.translate(Point3::new(1.0, 0.0, 0.0));
+        let d1 = a.geometry_digest();
+        assert_ne!(d1, d0);
+        a.scale(2.0);
+        assert_ne!(a.geometry_digest(), d1);
+        let d2 = a.geometry_digest();
+        a.push(Point3::ZERO, None);
+        assert_ne!(a.geometry_digest(), d2);
+        let d3 = a.geometry_digest();
+        a.positions_mut()[0].x += 1.0;
+        assert_ne!(a.geometry_digest(), d3);
+        // Order and sign-of-zero sensitivity.
+        let fwd = PointCloud::from_positions(vec![Point3::ZERO, Point3::ONE]);
+        let rev = PointCloud::from_positions(vec![Point3::ONE, Point3::ZERO]);
+        assert_ne!(fwd.geometry_digest(), rev.geometry_digest());
+        let neg = PointCloud::from_positions(vec![Point3::new(-0.0, 0.0, 0.0), Point3::ONE]);
+        assert_ne!(fwd.geometry_digest(), neg.geometry_digest());
     }
 
     #[test]

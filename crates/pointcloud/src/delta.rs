@@ -1,0 +1,572 @@
+//! Frame-to-frame deltas for temporally coherent streaming.
+//!
+//! Volumetric streams rarely replace a frame wholesale: consecutive frames
+//! share most of their geometry (static background chunks, slowly moving
+//! subjects), and the points that do change arrive as chunked removals and
+//! insertions. [`FrameDelta`] captures that relationship explicitly — which
+//! old points were **removed**, which new points were **inserted**, and how
+//! every *surviving* point's index moved — so downstream consumers (the
+//! incremental kd-tree patch of [`crate::kdtree::KdTree::patch`], the SR
+//! engine's incremental kNN row reuse) can update their state in `O(churn)`
+//! instead of recomputing in `O(n)`.
+//!
+//! A delta can come from two places:
+//! * [`FrameDelta::diff`] — an `O(n)` bitwise position diff between two
+//!   frames, for callers that only hold the raw clouds;
+//! * [`FrameDelta::from_parts`] — an explicit removal/insertion description
+//!   from a streaming layer that already knows what changed (chunk
+//!   scheduling, delta-encoded transport).
+//!
+//! # The order-preservation invariant
+//!
+//! Every delta upholds one invariant the incremental consumers rely on:
+//! **surviving points appear in the same relative order in both frames**,
+//! and each survivor's position is bitwise identical across frames. Exact
+//! kNN results break distance ties by ascending index, so preserving the
+//! survivors' relative order is what lets cached neighbor rows be remapped
+//! to new indices *without* re-deciding any tie — the remapped row is
+//! bit-identical to a fresh query. [`FrameDelta::diff`] constructs only such
+//! deltas (points that moved out of order are conservatively reported as a
+//! removal plus an insertion), and [`FrameDelta::from_parts`] derives the
+//! survivor mapping from the removal/insertion sets, which makes the
+//! invariant hold by construction.
+
+use crate::point::Point3;
+
+/// Sentinel in the old→new survivor map marking a removed point.
+pub const REMOVED: u32 = u32::MAX;
+
+/// The difference between two consecutive frames of one stream: removals
+/// from the old frame, insertions into the new frame, and the index mapping
+/// of the surviving points.
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::{delta::FrameDelta, Point3};
+/// let old = vec![Point3::ZERO, Point3::ONE, Point3::splat(2.0)];
+/// // Point 1 removed, a new point appended at the end.
+/// let new = vec![Point3::ZERO, Point3::splat(2.0), Point3::splat(9.0)];
+/// let d = FrameDelta::diff(&old, &new);
+/// assert_eq!(d.removed(), &[1]);
+/// assert_eq!(d.inserted(), &[2]);
+/// assert_eq!(d.map_old(0), Some(0));
+/// assert_eq!(d.map_old(1), None);
+/// assert_eq!(d.map_old(2), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameDelta {
+    old_len: usize,
+    new_len: usize,
+    /// Indices into the old frame that are gone, ascending.
+    removed: Vec<u32>,
+    /// Indices into the new frame that are new, ascending.
+    inserted: Vec<u32>,
+    /// For every old index, the new index of the same point, or [`REMOVED`].
+    /// Strictly increasing over the survivors (the order invariant).
+    old_to_new: Vec<u32>,
+}
+
+impl FrameDelta {
+    /// Number of points in the old frame.
+    pub fn old_len(&self) -> usize {
+        self.old_len
+    }
+
+    /// Number of points in the new frame.
+    pub fn new_len(&self) -> usize {
+        self.new_len
+    }
+
+    /// Old-frame indices of the removed points, ascending.
+    pub fn removed(&self) -> &[u32] {
+        &self.removed
+    }
+
+    /// New-frame indices of the inserted points, ascending.
+    pub fn inserted(&self) -> &[u32] {
+        &self.inserted
+    }
+
+    /// The full old→new survivor map (`len == old_len()`, [`REMOVED`] marks
+    /// removed points). Strictly increasing over the surviving entries.
+    pub fn old_to_new(&self) -> &[u32] {
+        &self.old_to_new
+    }
+
+    /// New index of old point `i`, or `None` when it was removed.
+    #[inline]
+    pub fn map_old(&self, i: usize) -> Option<usize> {
+        match self.old_to_new[i] {
+            REMOVED => None,
+            n => Some(n as usize),
+        }
+    }
+
+    /// Number of surviving points.
+    pub fn survivors(&self) -> usize {
+        self.old_len - self.removed.len()
+    }
+
+    /// `true` when nothing changed (no removals, no insertions).
+    pub fn is_identity(&self) -> bool {
+        self.removed.is_empty() && self.inserted.is_empty()
+    }
+
+    /// Churn fraction relative to the larger frame: the share of points that
+    /// are *not* carried over.
+    pub fn churn(&self) -> f64 {
+        let n = self.old_len.max(self.new_len);
+        if n == 0 {
+            0.0
+        } else {
+            self.removed.len().max(self.inserted.len()) as f64 / n as f64
+        }
+    }
+
+    /// Builds a delta from an explicit removal/insertion description — the
+    /// streaming-layer API for callers that already know what changed.
+    ///
+    /// `removed` are old-frame indices, `inserted` new-frame indices; both
+    /// must be ascending, duplicate-free and in bounds, and the counts must
+    /// be consistent (`old_len - removed + inserted == new_len`). The
+    /// survivor mapping is derived positionally: survivors keep their
+    /// relative order, with the inserted slots interleaved at the given new
+    /// indices. Returns `None` when the description is inconsistent.
+    pub fn from_parts(
+        old_len: usize,
+        new_len: usize,
+        removed: Vec<u32>,
+        inserted: Vec<u32>,
+    ) -> Option<FrameDelta> {
+        if removed.len() > old_len || inserted.len() > new_len {
+            return None;
+        }
+        if old_len - removed.len() + inserted.len() != new_len {
+            return None;
+        }
+        let ascending_in_bounds = |ids: &[u32], len: usize| {
+            ids.iter().all(|&i| (i as usize) < len) && ids.windows(2).all(|w| w[0] < w[1])
+        };
+        if !ascending_in_bounds(&removed, old_len) || !ascending_in_bounds(&inserted, new_len) {
+            return None;
+        }
+        // Walk old and new indices together, skipping removed old slots and
+        // inserted new slots; the remaining pairs are the survivor mapping.
+        let mut old_to_new = vec![REMOVED; old_len];
+        let mut ri = 0usize;
+        let mut ii = 0usize;
+        let mut new_i = 0usize;
+        for (old_i, slot) in old_to_new.iter_mut().enumerate() {
+            if ri < removed.len() && removed[ri] as usize == old_i {
+                ri += 1;
+                continue;
+            }
+            while ii < inserted.len() && inserted[ii] as usize == new_i {
+                ii += 1;
+                new_i += 1;
+            }
+            debug_assert!(new_i < new_len, "counts were validated above");
+            *slot = new_i as u32;
+            new_i += 1;
+        }
+        Some(FrameDelta {
+            old_len,
+            new_len,
+            removed,
+            inserted,
+            old_to_new,
+        })
+    }
+
+    /// Computes the delta between two frames by bitwise position comparison
+    /// in `O(n)`.
+    ///
+    /// The diff is a two-pointer walk over both frames: bitwise-equal
+    /// positions at the cursors match as survivors; at a mismatch, a
+    /// position absent from the *other frame's* membership set is a removal
+    /// (old side) or an insertion (new side); positions present on both
+    /// sides but out of order are conservatively churned as a removal
+    /// *plus* an insertion, so the order invariant (see the module docs)
+    /// always holds. The membership sets are whole-frame (not
+    /// remaining-suffix) and collision-lossy — both make the walk cheaper
+    /// and can only push a mismatch into the conservative churn branch,
+    /// never manufacture a survivor, because survivors require exact
+    /// equality at the cursors. Identical frames short-circuit on one slice
+    /// compare.
+    pub fn diff(old: &[Point3], new: &[Point3]) -> FrameDelta {
+        Self::diff_bounded(old, new, 0).expect("a zero survivor bound never aborts")
+    }
+
+    /// [`FrameDelta::diff`] with an early abort: returns `None` as soon as
+    /// the walk can no longer produce at least `min_survivors` surviving
+    /// points — the per-frame guard of consumers (like the SR engine's
+    /// temporal layer) that fall back to a full recompute below a survivor
+    /// threshold, so a scene cut pays about half a diff instead of a full
+    /// one.
+    pub fn diff_bounded(
+        old: &[Point3],
+        new: &[Point3],
+        min_survivors: usize,
+    ) -> Option<FrameDelta> {
+        if old.len().min(new.len()) < min_survivors {
+            return None;
+        }
+        let bitwise_identical = old.len() == new.len()
+            && old
+                .iter()
+                .zip(new)
+                .all(|(&a, &b)| position_key(a) == position_key(b));
+        if bitwise_identical {
+            return FrameDelta::from_parts(old.len(), new.len(), Vec::new(), Vec::new());
+        }
+        let new_members = KeySet::over(new);
+        // Sampled survivor ceiling: an old position absent from the new
+        // frame's membership set certainly cannot survive (membership is a
+        // superset of survival — collisions only produce false *positives*),
+        // so a low sampled hit rate proves the bound unreachable long before
+        // the walk would. The factor-of-two slack makes a spurious abort of
+        // a genuinely eligible frame a multi-sigma sampling event; even then
+        // the caller merely falls back to a full recompute.
+        if min_survivors > 0 && old.len() >= 1024 {
+            let samples = 512usize;
+            let step = old.len() / samples;
+            let hits = old
+                .iter()
+                .step_by(step)
+                .take(samples)
+                .filter(|&&p| new_members.contains(position_key(p)))
+                .count();
+            if 2 * hits * old.len() < min_survivors * samples {
+                return None;
+            }
+        }
+        let old_members = KeySet::over(old);
+        let mut removed = Vec::new();
+        let mut inserted = Vec::new();
+        let mut old_to_new = vec![REMOVED; old.len()];
+        let mut i = 0usize;
+        let mut j = 0usize;
+        let mut matched = 0usize;
+        while i < old.len() && j < new.len() {
+            let oi = position_key(old[i]);
+            let nj = position_key(new[j]);
+            if oi == nj {
+                old_to_new[i] = j as u32;
+                matched += 1;
+                i += 1;
+                j += 1;
+                continue;
+            }
+            let old_has_match_elsewhere = new_members.contains(oi);
+            let new_has_match_elsewhere = old_members.contains(nj);
+            if !old_has_match_elsewhere {
+                removed.push(i as u32);
+                i += 1;
+            } else if !new_has_match_elsewhere {
+                inserted.push(j as u32);
+                j += 1;
+            } else {
+                // Both positions appear elsewhere on the other side: a
+                // reordering (or set staleness/collision — see above).
+                // Churn both — strictly more invalidation than a smarter
+                // matching would report, never less.
+                removed.push(i as u32);
+                i += 1;
+                inserted.push(j as u32);
+                j += 1;
+            }
+            // The most optimistic finish matches everything still unseen.
+            if matched + (old.len() - i).min(new.len() - j) < min_survivors {
+                return None;
+            }
+        }
+        removed.extend(i as u32..old.len() as u32);
+        inserted.extend(j as u32..new.len() as u32);
+        Some(FrameDelta {
+            old_len: old.len(),
+            new_len: new.len(),
+            removed,
+            inserted,
+            old_to_new,
+        })
+    }
+
+    /// Verifies this delta against the actual frames: lengths must match and
+    /// every survivor's position must be bitwise identical across frames.
+    /// One linear pass — the cheap safety net for externally supplied deltas
+    /// (a wrong delta would silently corrupt incremental results).
+    pub fn verify(&self, old: &[Point3], new: &[Point3]) -> bool {
+        if old.len() != self.old_len || new.len() != self.new_len {
+            return false;
+        }
+        let mut prev_new = None;
+        for (old_i, &new_i) in self.old_to_new.iter().enumerate() {
+            if new_i == REMOVED {
+                continue;
+            }
+            // Strictly increasing (the order invariant) and bitwise equal.
+            if prev_new.is_some_and(|p| new_i <= p) {
+                return false;
+            }
+            prev_new = Some(new_i);
+            if position_key(old[old_i]) != position_key(new[new_i as usize]) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Bit pattern of a position — the diff's equality key. Comparing bit
+/// patterns (not `f32` values) makes `-0.0 != +0.0` and `NaN == NaN`
+/// (same payload), which is exactly the "same stored point" notion the
+/// incremental consumers need.
+#[inline]
+fn position_key(p: Point3) -> u128 {
+    (u128::from(p.x.to_bits()) << 64)
+        | (u128::from(p.y.to_bits()) << 32)
+        | u128::from(p.z.to_bits())
+}
+
+/// Folds a 96-bit position key into the nonzero 32-bit slot key the
+/// membership set stores (splitmix-style avalanche; `0` is reserved as the
+/// empty-slot marker, so a folded `0` is remapped to `1`).
+#[inline]
+fn fold_key(key: u128) -> u32 {
+    let mut h = (key as u64) ^ ((key >> 64) as u64).rotate_left(32);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    let folded = (h ^ (h >> 31)) as u32;
+    folded.max(1)
+}
+
+/// Open-addressing membership set over folded position keys — the
+/// side structure of [`FrameDelta::diff`]'s mismatch classification.
+///
+/// Folding to 32 bits means two distinct positions *can* share a slot key,
+/// and membership is whole-frame rather than "remaining ahead of the
+/// cursor". Both are deliberately safe: the set only steers the diff's
+/// removal/insertion classification, every branch of which produces a
+/// *valid* delta (survivors still require exact 96-bit equality at the
+/// cursors), so a collision or stale membership can only make the diff
+/// report more churn than necessary — degrading reuse, never correctness.
+/// In exchange the set is a flat 4-byte-per-slot array that stays
+/// cache-resident at frame scale, costs one store per point to build, and
+/// is **not touched at all** on the matching fast path that dominates
+/// low-churn frames (the diff is on the per-frame hot path — it must stay
+/// two orders of magnitude cheaper than the kNN work it unlocks skipping).
+struct KeySet {
+    /// Folded keys; `0` marks an empty slot.
+    slots: Vec<u32>,
+    mask: usize,
+}
+
+impl KeySet {
+    /// Builds the set (load factor kept at or below one half).
+    fn over(points: &[Point3]) -> KeySet {
+        let capacity = (points.len() * 2).next_power_of_two().max(8);
+        let mut set = KeySet {
+            slots: vec![0; capacity],
+            mask: capacity - 1,
+        };
+        for &p in points {
+            let key = fold_key(position_key(p));
+            let mut s = key as usize & set.mask;
+            loop {
+                if set.slots[s] == 0 {
+                    set.slots[s] = key;
+                    break;
+                }
+                if set.slots[s] == key {
+                    break;
+                }
+                s = (s + 1) & set.mask;
+            }
+        }
+        set
+    }
+
+    /// `true` when the (folded) key is present.
+    #[inline]
+    fn contains(&self, position: u128) -> bool {
+        let key = fold_key(position);
+        let mut s = key as usize & self.mask;
+        loop {
+            if self.slots[s] == 0 {
+                return false;
+            }
+            if self.slots[s] == key {
+                return true;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(coords: &[f32]) -> Vec<Point3> {
+        coords.iter().map(|&x| Point3::new(x, 0.0, 0.0)).collect()
+    }
+
+    #[test]
+    fn identity_diff() {
+        let a = pts(&[1.0, 2.0, 3.0]);
+        let d = FrameDelta::diff(&a, &a);
+        assert!(d.is_identity());
+        assert_eq!(d.survivors(), 3);
+        assert_eq!(d.churn(), 0.0);
+        assert!(d.verify(&a, &a));
+    }
+
+    #[test]
+    fn removal_in_the_middle() {
+        let old = pts(&[1.0, 2.0, 3.0, 4.0]);
+        let new = pts(&[1.0, 3.0, 4.0]);
+        let d = FrameDelta::diff(&old, &new);
+        assert_eq!(d.removed(), &[1]);
+        assert!(d.inserted().is_empty());
+        assert_eq!(d.old_to_new(), &[0, REMOVED, 1, 2]);
+        assert!(d.verify(&old, &new));
+    }
+
+    #[test]
+    fn insertion_in_the_middle() {
+        let old = pts(&[1.0, 2.0, 3.0]);
+        let new = pts(&[1.0, 9.0, 2.0, 3.0]);
+        let d = FrameDelta::diff(&old, &new);
+        assert!(d.removed().is_empty());
+        assert_eq!(d.inserted(), &[1]);
+        assert_eq!(d.old_to_new(), &[0, 2, 3]);
+        assert!(d.verify(&old, &new));
+    }
+
+    #[test]
+    fn replacement_at_same_site() {
+        let old = pts(&[1.0, 2.0, 3.0]);
+        let new = pts(&[1.0, 9.0, 3.0]);
+        let d = FrameDelta::diff(&old, &new);
+        assert_eq!(d.removed(), &[1]);
+        assert_eq!(d.inserted(), &[1]);
+        assert_eq!(d.survivors(), 2);
+        assert!(d.verify(&old, &new));
+    }
+
+    #[test]
+    fn reorder_is_conservatively_churned() {
+        let old = pts(&[1.0, 2.0]);
+        let new = pts(&[2.0, 1.0]);
+        let d = FrameDelta::diff(&old, &new);
+        // Valid (verifies), even if it reports everything as churn.
+        assert!(d.verify(&old, &new));
+        assert_eq!(d.survivors() + d.removed().len(), 2);
+        assert_eq!(d.churn(), 1.0);
+    }
+
+    #[test]
+    fn fully_disjoint_frames() {
+        let old = pts(&[1.0, 2.0]);
+        let new = pts(&[8.0, 9.0, 10.0]);
+        let d = FrameDelta::diff(&old, &new);
+        assert_eq!(d.removed(), &[0, 1]);
+        assert_eq!(d.inserted(), &[0, 1, 2]);
+        assert_eq!(d.survivors(), 0);
+        assert!(d.verify(&old, &new));
+    }
+
+    #[test]
+    fn duplicates_stay_valid() {
+        // Duplicate positions may be classified conservatively (the
+        // membership sets are whole-frame, so a consumed duplicate still
+        // reads as "present elsewhere"), but the delta must stay valid and
+        // keep at least the unambiguous survivors.
+        let old = pts(&[1.0, 1.0, 2.0]);
+        let new = pts(&[1.0, 2.0]);
+        let d = FrameDelta::diff(&old, &new);
+        assert!(d.survivors() >= 1);
+        assert!(!d.removed().is_empty());
+        assert!(d.verify(&old, &new));
+        // The other direction gains a duplicate.
+        let d = FrameDelta::diff(&new, &old);
+        assert!(!d.inserted().is_empty());
+        assert!(d.verify(&new, &old));
+    }
+
+    #[test]
+    fn diff_bounded_aborts_below_the_survivor_floor() {
+        let old = pts(&[1.0, 2.0, 3.0, 4.0]);
+        let new = pts(&[9.0, 8.0, 7.0, 6.0]);
+        assert!(FrameDelta::diff_bounded(&old, &new, 1).is_none());
+        // A fully matching pair always satisfies any reachable bound.
+        assert!(FrameDelta::diff_bounded(&old, &old, 4).is_some());
+        assert!(FrameDelta::diff_bounded(&old, &old, 5).is_none());
+        // Zero bound never aborts.
+        assert!(FrameDelta::diff_bounded(&old, &new, 0).is_some());
+    }
+
+    #[test]
+    fn empty_frames() {
+        let d = FrameDelta::diff(&[], &[]);
+        assert!(d.is_identity());
+        let new = pts(&[1.0]);
+        let d = FrameDelta::diff(&[], &new);
+        assert_eq!(d.inserted(), &[0]);
+        let d = FrameDelta::diff(&new, &[]);
+        assert_eq!(d.removed(), &[0]);
+    }
+
+    #[test]
+    fn negative_zero_and_nan_are_distinct_patterns() {
+        let old = vec![Point3::new(0.0, 0.0, 0.0)];
+        let new = vec![Point3::new(-0.0, 0.0, 0.0)];
+        let d = FrameDelta::diff(&old, &new);
+        assert_eq!(d.survivors(), 0, "-0.0 is a different stored point");
+    }
+
+    #[test]
+    fn from_parts_builds_expected_mapping() {
+        // old: a b c d  (remove b, d) ; new: a X c Y (insert 1, 3)
+        let d = FrameDelta::from_parts(4, 4, vec![1, 3], vec![1, 3]).unwrap();
+        assert_eq!(d.old_to_new(), &[0, REMOVED, 2, REMOVED]);
+        assert_eq!(d.map_old(2), Some(2));
+        assert_eq!(d.survivors(), 2);
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistencies() {
+        // Count mismatch.
+        assert!(FrameDelta::from_parts(4, 4, vec![1], vec![]).is_none());
+        // Out of bounds.
+        assert!(FrameDelta::from_parts(4, 4, vec![9], vec![0]).is_none());
+        // Not ascending / duplicate.
+        assert!(FrameDelta::from_parts(4, 4, vec![2, 1], vec![0, 3]).is_none());
+        assert!(FrameDelta::from_parts(4, 4, vec![1, 1], vec![0, 3]).is_none());
+        // Too many removals.
+        assert!(FrameDelta::from_parts(1, 3, vec![0, 1], vec![0, 1, 2, 3]).is_none());
+    }
+
+    #[test]
+    fn verify_rejects_wrong_deltas() {
+        let old = pts(&[1.0, 2.0, 3.0]);
+        let new = pts(&[1.0, 9.0, 3.0]);
+        // Claims identity over different frames.
+        let id = FrameDelta::from_parts(3, 3, vec![], vec![]).unwrap();
+        assert!(!id.verify(&old, &new));
+        // Wrong lengths.
+        let d = FrameDelta::diff(&old, &new);
+        assert!(!d.verify(&old[..2], &new));
+    }
+
+    #[test]
+    fn diff_agrees_with_from_parts_on_append_only_churn() {
+        let old = pts(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        // Remove indices 1 and 3, append two fresh points.
+        let new = pts(&[1.0, 3.0, 5.0, 7.0, 8.0]);
+        let a = FrameDelta::diff(&old, &new);
+        let b = FrameDelta::from_parts(5, 5, vec![1, 3], vec![3, 4]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -18,11 +18,11 @@
 //!   (query-subtree, reference-subtree) pair before any point work;
 //! * surviving leaf pairs run tile-vs-tile candidate scans through the same
 //!   SoA/AVX2/AVX-512 kernels as the per-query path
-//!   ([`crate::kernels::scan_ids`], generic over the accumulator), with a
+//!   (`crate::kernels::scan_ids`, generic over the accumulator), with a
 //!   per-row reference-leaf box pre-check mirroring the single-tree path's
 //!   leaf arrival test;
 //! * per-query results accumulate in a flat slab of packed
-//!   `(distance-bits, index)` `u64` keys with exactly [`BestK`]'s
+//!   `(distance-bits, index)` `u64` keys with exactly `BestK`'s
 //!   replace-worst / rank-insert semantics, so survivors — and index-broken
 //!   distance ties — are **bit-identical** to per-query [`KdTree::knn`] for
 //!   any traversal order.
@@ -47,7 +47,6 @@
 //! force either algorithm, plus a persistent [`DualTreeScratch`] so
 //! steady-state frames allocate nothing.
 //!
-//! [`BestK`]: crate::knn::BestK
 //! [`KdTree::knn`]: crate::knn::NeighborSearch::knn
 
 use crate::kdtree::KdTree;
@@ -87,10 +86,8 @@ pub enum BatchStrategy {
 pub const DUAL_MIN_QUERIES_MONO: usize = 4096;
 
 /// Largest `k` the auto policy sends to the dual tree (the flat row slab
-/// does an `O(k)` rank scan per accepted candidate, same as [`BestK`], but
+/// does an `O(k)` rank scan per accepted candidate, same as `BestK`, but
 /// large-`k` rows blow past the slab's cache-friendly regime).
-///
-/// [`BestK`]: crate::knn::BestK
 pub const DUAL_MAX_K: usize = 32;
 
 /// Reusable state of the dual-tree all-kNN: the query-side tree (built only

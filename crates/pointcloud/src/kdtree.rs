@@ -7,6 +7,7 @@
 //! [`crate::octree`].
 
 use crate::aabb::Aabb;
+use crate::delta::{FrameDelta, REMOVED};
 use crate::dualtree::{self, BatchStrategy, DualTreeScratch};
 use crate::kernels;
 use crate::knn::{batch_queries, finalize_candidates, BestK, Neighbor, NeighborSearch};
@@ -65,7 +66,7 @@ impl Node {
 
 /// A far subtree deferred during kNN traversal, tagged with the squared
 /// distance lower bound from the query to its region and the per-axis
-/// offset vector that bound was derived from (see [`KdTree::knn_into`]).
+/// offset vector that bound was derived from (see `KdTree::knn_into`).
 #[derive(Debug, Clone, Copy)]
 pub struct DeferredSubtree {
     node: u32,
@@ -110,8 +111,24 @@ pub struct KdTree {
     /// `leaf_aabbs` array. ~24 bytes per node — a few tens of KB even at
     /// 100k points.
     node_aabbs: Vec<Aabb>,
+    /// Reusable buffers for [`KdTree::patch`]: the order-rewrite
+    /// permutation (swapped with `order` each patch), the routed-insertion
+    /// pairs, the leaf list and the dirty-leaf list — so steady-state
+    /// patches allocate nothing.
+    scratch_order: Vec<u32>,
+    scratch_routed: Vec<(u32, u32)>,
+    scratch_leaves: Vec<u32>,
+    scratch_dirty: Vec<u32>,
     root: usize,
 }
+
+/// The bounding box of an emptied leaf: inverted extremes, so any distance
+/// test against it returns `+inf` (the leaf attracts no traversal) and a
+/// union with it is the identity.
+const EMPTY_LEAF_AABB: Aabb = Aabb {
+    min: Point3::splat(f32::INFINITY),
+    max: Point3::splat(f32::NEG_INFINITY),
+};
 
 impl Default for KdTree {
     /// An empty tree (no points indexed); [`KdTree::build_in`] turns it into
@@ -131,6 +148,10 @@ impl KdTree {
             nodes: Vec::new(),
             leaf_aabbs: Vec::new(),
             node_aabbs: Vec::new(),
+            scratch_order: Vec::new(),
+            scratch_routed: Vec::new(),
+            scratch_leaves: Vec::new(),
+            scratch_dirty: Vec::new(),
             root: 0,
         };
         tree.build_in(points);
@@ -185,6 +206,23 @@ impl KdTree {
                 .map(|&i| self.points[i as usize]),
         )
         .unwrap_or(Aabb::new(Point3::ZERO, Point3::ZERO));
+        self.sort_leaf_slots(start, end, &aabb);
+        let ordinal = self.leaf_aabbs.len() as u32;
+        self.leaf_aabbs.push(aabb);
+        self.node_aabbs.push(aabb);
+        self.nodes.push(Node {
+            tag: LEAF_TAG,
+            value: f32::from_bits(ordinal),
+            a: start as u32,
+            b: end as u32,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Morton-sorts the leaf slots `order[start..end]` over `aabb` so
+    /// consecutive slots are spatial neighbors (the dual-tree warm-start
+    /// chain relies on this; see [`Self::push_leaf`]).
+    fn sort_leaf_slots(&mut self, start: usize, end: usize, aabb: &Aabb) {
         let ext = aabb.extent();
         let inv = Point3::new(
             if ext.x > 0.0 { 1024.0 / ext.x } else { 0.0 },
@@ -204,16 +242,6 @@ impl KdTree {
         for (dst, &(_, i)) in self.order[start..end].iter_mut().zip(&keyed[..count]) {
             *dst = i;
         }
-        let ordinal = self.leaf_aabbs.len() as u32;
-        self.leaf_aabbs.push(aabb);
-        self.node_aabbs.push(aabb);
-        self.nodes.push(Node {
-            tag: LEAF_TAG,
-            value: f32::from_bits(ordinal),
-            a: start as u32,
-            b: end as u32,
-        });
-        self.nodes.len() - 1
     }
 
     #[allow(clippy::only_used_in_recursion)] // depth is the conventional k-d recursion parameter
@@ -307,11 +335,220 @@ impl KdTree {
     /// same-size clouds must not grow it).
     pub fn reserved_bytes(&self) -> usize {
         self.points.capacity() * std::mem::size_of::<Point3>()
-            + self.order.capacity() * std::mem::size_of::<u32>()
+            + (self.order.capacity()
+                + self.scratch_order.capacity()
+                + self.scratch_leaves.capacity()
+                + self.scratch_dirty.capacity())
+                * std::mem::size_of::<u32>()
+            + self.scratch_routed.capacity() * std::mem::size_of::<(u32, u32)>()
             + self.nodes.capacity() * std::mem::size_of::<Node>()
             + (self.leaf_aabbs.capacity() + self.node_aabbs.capacity())
                 * std::mem::size_of::<Aabb>()
             + self.soa.reserved_bytes()
+    }
+
+    /// Incrementally re-indexes this tree for a delta-frame: surviving
+    /// points keep their leaves (indices renumbered through the delta's
+    /// survivor map), removed points are dropped from their leaves, and
+    /// inserted points are routed down the existing split planes to their
+    /// home leaves. Only **dirtied** leaves pay geometry work — an exact
+    /// bounding-box recompute and a Morton slot re-sort, or a local subtree
+    /// rebuild when the leaf overflows `LEAF_SIZE` — followed by one
+    /// bottom-up refresh of the internal node boxes. The split planes
+    /// themselves are left untouched, so the patch costs
+    /// `O(n)` array rewrites plus `O(churn · log n)` routing instead of the
+    /// full `O(n log n)` rebuild.
+    ///
+    /// Query results over a patched tree are **bit-identical** to a freshly
+    /// built tree: every traversal is exact for any valid k-d partition, and
+    /// insertion routing uses the same comparison as query descent, so the
+    /// split-plane invariant (left subtree ≤ plane ≤ right subtree) is
+    /// preserved. Tree *quality* can degrade as churn accumulates (split
+    /// planes go stale, boxes of churned regions stop being tight); callers
+    /// should schedule a periodic [`KdTree::build_in`] — the engine's index
+    /// cache rebuilds once cumulative churn crosses a fraction of the cloud.
+    ///
+    /// `delta` must describe exactly the change from the currently indexed
+    /// points to `new_points` (see [`FrameDelta::verify`]); mismatched
+    /// inputs fall back to a full rebuild when detectable by length, and are
+    /// the caller's contract otherwise.
+    pub fn patch(&mut self, delta: &FrameDelta, new_points: &[Point3]) {
+        if self.points.len() != delta.old_len()
+            || new_points.len() != delta.new_len()
+            || self.points.is_empty()
+            || new_points.is_empty()
+        {
+            self.build_in(new_points);
+            return;
+        }
+        if delta.is_identity() {
+            // Bitwise-identical geometry: the index is already exact.
+            return;
+        }
+
+        // Route every inserted point down the split planes to its home
+        // leaf, with the same comparison the query descent uses (so the
+        // plane invariant holds for the routed points too). The traversal
+        // lists live in tree-owned scratch (taken out while borrowed), so
+        // steady-state patches allocate nothing.
+        let mut routed = std::mem::take(&mut self.scratch_routed);
+        routed.clear();
+        routed.reserve(delta.inserted().len());
+        for &ni in delta.inserted() {
+            let p = new_points[ni as usize];
+            let mut id = self.root as u32;
+            loop {
+                let n = self.nodes[id as usize];
+                if n.is_leaf() {
+                    break;
+                }
+                id = if p[n.tag as usize] < n.value {
+                    n.a
+                } else {
+                    n.b
+                };
+            }
+            routed.push((id, ni));
+        }
+        routed.sort_unstable();
+
+        // The leaves tile `order`; rewrite it leaf by leaf in range order —
+        // survivors renumbered (relative order, and therefore the Morton
+        // slot order of clean leaves, is preserved), removed slots dropped,
+        // routed insertions appended to their leaf.
+        // Sized to the node table's *capacity* (leaf and dirty counts are
+        // bounded by the node count), so these lists only ever grow when the
+        // node table itself does — one fewer source of late capacity bumps
+        // for the steady-state zero-growth assertions.
+        let mut leaves = std::mem::take(&mut self.scratch_leaves);
+        leaves.clear();
+        leaves.reserve(self.nodes.capacity());
+        leaves.extend((0..self.nodes.len() as u32).filter(|&id| self.nodes[id as usize].is_leaf()));
+        leaves.sort_unstable_by_key(|&id| self.nodes[id as usize].a);
+        let old_to_new = delta.old_to_new();
+        self.scratch_order.clear();
+        let mut dirty = std::mem::take(&mut self.scratch_dirty);
+        dirty.clear();
+        dirty.reserve(self.nodes.capacity());
+        for &leaf_id in &leaves {
+            let (s, e) = self.nodes[leaf_id as usize].leaf_range();
+            let new_start = self.scratch_order.len();
+            let mut leaf_dirty = false;
+            for slot in s..e {
+                match old_to_new[self.order[slot] as usize] {
+                    REMOVED => leaf_dirty = true,
+                    ni => self.scratch_order.push(ni),
+                }
+            }
+            let lo = routed.partition_point(|&(id, _)| id < leaf_id);
+            let hi = routed.partition_point(|&(id, _)| id <= leaf_id);
+            for &(_, ni) in &routed[lo..hi] {
+                self.scratch_order.push(ni);
+                leaf_dirty = true;
+            }
+            self.nodes[leaf_id as usize].a = new_start as u32;
+            self.nodes[leaf_id as usize].b = self.scratch_order.len() as u32;
+            if leaf_dirty {
+                dirty.push(leaf_id);
+            }
+        }
+        debug_assert_eq!(self.scratch_order.len(), new_points.len());
+        std::mem::swap(&mut self.order, &mut self.scratch_order);
+        self.points.clear();
+        self.points.extend_from_slice(new_points);
+
+        // Geometry work only where membership changed: exact box + Morton
+        // re-sort for dirty leaves, a local median-split rebuild for leaves
+        // that overflowed (the rebuilt subtree's root is copied over the old
+        // leaf node, so ancestors keep their child ids).
+        for &leaf_id in &dirty {
+            let (s, e) = self.nodes[leaf_id as usize].leaf_range();
+            if e - s > LEAF_SIZE {
+                let sub = self.build_range(s, e, 0);
+                self.nodes[leaf_id as usize] = self.nodes[sub];
+                self.node_aabbs[leaf_id as usize] = self.node_aabbs[sub];
+                continue;
+            }
+            let ordinal = self.nodes[leaf_id as usize].value.to_bits() as usize;
+            let aabb = if s == e {
+                EMPTY_LEAF_AABB
+            } else {
+                let aabb =
+                    Aabb::from_points(self.order[s..e].iter().map(|&i| self.points[i as usize]))
+                        .expect("non-empty slot range");
+                self.sort_leaf_slots(s, e, &aabb);
+                aabb
+            };
+            self.leaf_aabbs[ordinal] = aabb;
+            self.node_aabbs[leaf_id as usize] = aabb;
+        }
+
+        // One contiguous reordered copy, as in `build_in`.
+        self.soa.fill_permuted(&self.points, &self.order);
+        // Internal boxes: bottom-up union refresh over the whole (shallow)
+        // node tree — a few thousand nodes even at 100k points.
+        self.refresh_node_aabbs(self.root as u32);
+        self.scratch_routed = routed;
+        self.scratch_leaves = leaves;
+        self.scratch_dirty = dirty;
+    }
+
+    /// Recomputes every internal node's box as the union of its children's
+    /// (leaf boxes are exact at this point); returns the box of `id`.
+    fn refresh_node_aabbs(&mut self, id: u32) -> Aabb {
+        let n = self.nodes[id as usize];
+        if n.is_leaf() {
+            return self.node_aabbs[id as usize];
+        }
+        let (a, b) = n.children();
+        let ba = self.refresh_node_aabbs(a);
+        let bb = self.refresh_node_aabbs(b);
+        let aabb = Aabb {
+            min: ba.min.min(bb.min),
+            max: ba.max.max(bb.max),
+        };
+        self.node_aabbs[id as usize] = aabb;
+        aabb
+    }
+
+    /// `true` when any indexed point lies within squared distance `r2` of
+    /// `query` (**inclusive** — a point at exactly `r2` counts, so callers
+    /// testing kNN-ball intersection cover distance ties). Early-exits on
+    /// the first hit and prunes whole subtrees by node-box distance, so a
+    /// miss over a spatially compact cloud costs one root box test. The
+    /// distance arithmetic is [`Point3::distance_squared`]'s — identical to
+    /// the scan kernels', so the test is exact, not approximate.
+    pub fn any_within(&self, query: Point3, r2: f32) -> bool {
+        if self.points.is_empty() {
+            return false;
+        }
+        self.any_within_rec(self.root as u32, query, r2)
+    }
+
+    fn any_within_rec(&self, id: u32, query: Point3, r2: f32) -> bool {
+        if self.node_aabbs[id as usize].distance_squared_to(query) > r2 {
+            return false;
+        }
+        let n = self.nodes[id as usize];
+        if n.is_leaf() {
+            let (s, e) = n.leaf_range();
+            let (xs, ys, zs) = (self.soa.xs(), self.soa.ys(), self.soa.zs());
+            for slot in s..e {
+                let dx = xs[slot] - query.x;
+                let dy = ys[slot] - query.y;
+                let dz = zs[slot] - query.z;
+                if dx * dx + dy * dy + dz * dz <= r2 {
+                    return true;
+                }
+            }
+            return false;
+        }
+        let (a, b) = n.children();
+        // Nearer child first for earlier exits.
+        let da = self.node_aabbs[a as usize].distance_squared_to(query);
+        let db = self.node_aabbs[b as usize].distance_squared_to(query);
+        let (first, second) = if da <= db { (a, b) } else { (b, a) };
+        self.any_within_rec(first, query, r2) || self.any_within_rec(second, query, r2)
     }
 
     /// Allocation-free exact kNN: results land in `best` (cleared first,
@@ -964,6 +1201,161 @@ mod tests {
                 per_query.as_secs_f64() / batch.as_secs_f64()
             );
         }
+    }
+
+    /// Applies a delta to a point vector the way a streaming layer would:
+    /// survivors in order, insertions interleaved at their new indices.
+    fn apply_delta(
+        old: &[Point3],
+        delta: &crate::FrameDelta,
+        inserted_points: &[Point3],
+    ) -> Vec<Point3> {
+        let mut new = vec![Point3::ZERO; delta.new_len()];
+        for (old_i, &p) in old.iter().enumerate() {
+            if let Some(ni) = delta.map_old(old_i) {
+                new[ni] = p;
+            }
+        }
+        for (&ni, &p) in delta.inserted().iter().zip(inserted_points) {
+            new[ni as usize] = p;
+        }
+        new
+    }
+
+    #[test]
+    fn patched_tree_matches_fresh_build_across_churn_sequence() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut pts = random_points(900, 41);
+        let mut tree = KdTree::build(&pts);
+        for round in 0..6 {
+            // Remove a random slice of indices, insert a cluster (dense, to
+            // force leaf overflows) plus some scattered points.
+            let n = pts.len();
+            let removed: Vec<u32> = (0..n as u32)
+                .filter(|_| rng.random_range(0..10) < 2)
+                .collect();
+            let insert_count = rng.random_range(50..200usize);
+            let center = pts[rng.random_range(0..n)];
+            let inserted_pts: Vec<Point3> = (0..insert_count)
+                .map(|i| {
+                    if i % 3 == 0 {
+                        // Tight cluster around an existing point.
+                        center
+                            + Point3::new(
+                                rng.random_range(-0.01..0.01),
+                                rng.random_range(-0.01..0.01),
+                                rng.random_range(-0.01..0.01),
+                            )
+                    } else {
+                        random_points(1, round * 1000 + i as u64)[0]
+                    }
+                })
+                .collect();
+            let new_len = n - removed.len() + insert_count;
+            // Insertions appended at the tail.
+            let inserted: Vec<u32> = ((new_len - insert_count) as u32..new_len as u32).collect();
+            let delta = crate::FrameDelta::from_parts(n, new_len, removed, inserted).unwrap();
+            let new_pts = apply_delta(&pts, &delta, &inserted_pts);
+            assert!(delta.verify(&pts, &new_pts));
+
+            tree.patch(&delta, &new_pts);
+            let fresh = KdTree::build(&new_pts);
+            assert_eq!(tree.points(), fresh.points());
+            // Exact parity on per-query, batch (single + dual) paths.
+            for k in [1usize, 5, 70] {
+                let queries = random_points(40, round * 7 + 3);
+                for q in queries.iter().chain(new_pts.iter().step_by(97)) {
+                    let a: Vec<usize> = tree.knn(*q, k).iter().map(|n| n.index).collect();
+                    let b: Vec<usize> = fresh.knn(*q, k).iter().map(|n| n.index).collect();
+                    assert_eq!(a, b, "round {round} k {k}");
+                }
+            }
+            let mut scratch = DualTreeScratch::default();
+            let mut a = crate::Neighborhoods::new();
+            tree.knn_batch_with(&new_pts, 5, &mut a, BatchStrategy::DualTree, &mut scratch);
+            let mut b = crate::Neighborhoods::new();
+            fresh.knn_batch_with(&new_pts, 5, &mut b, BatchStrategy::DualTree, &mut scratch);
+            assert_eq!(a, b, "round {round} dual-tree self-join");
+            pts = new_pts;
+        }
+    }
+
+    #[test]
+    fn patch_handles_emptied_leaves_and_identity() {
+        let pts = random_points(300, 51);
+        let mut tree = KdTree::build(&pts);
+        // Remove a whole spatial half: many leaves become empty.
+        let removed: Vec<u32> = (0..pts.len() as u32)
+            .filter(|&i| pts[i as usize].x > 0.0)
+            .collect();
+        let survivors = pts.len() - removed.len();
+        let delta =
+            crate::FrameDelta::from_parts(pts.len(), survivors, removed, Vec::new()).unwrap();
+        let new_pts = apply_delta(&pts, &delta, &[]);
+        tree.patch(&delta, &new_pts);
+        let fresh = KdTree::build(&new_pts);
+        for q in random_points(30, 52) {
+            assert_eq!(
+                tree.knn(q, 6).iter().map(|n| n.index).collect::<Vec<_>>(),
+                fresh.knn(q, 6).iter().map(|n| n.index).collect::<Vec<_>>()
+            );
+        }
+        // Identity patch is a no-op.
+        let before = tree.clone();
+        let id = crate::FrameDelta::diff(&new_pts, &new_pts);
+        tree.patch(&id, &new_pts);
+        assert_eq!(tree.points(), before.points());
+        // Length-mismatched inputs fall back to a full rebuild.
+        let shrunk = &new_pts[..new_pts.len() / 2];
+        tree.patch(&id, shrunk);
+        assert_eq!(tree.points(), shrunk);
+        tree.patch(&crate::FrameDelta::diff(shrunk, &[]), &[]);
+        assert!(tree.is_empty());
+    }
+
+    #[test]
+    fn patch_with_duplicates_keeps_tie_order() {
+        let mut pts = vec![Point3::ONE; 10];
+        pts.extend(random_points(200, 61));
+        pts.extend(vec![Point3::ONE; 10]);
+        let mut tree = KdTree::build(&pts);
+        // Remove a few of the duplicates and insert more duplicates at the
+        // same position (appended at the tail).
+        let removed = vec![0u32, 3, 212];
+        let insert_count = 5usize;
+        let new_len = pts.len() - removed.len() + insert_count;
+        let inserted: Vec<u32> = ((new_len - insert_count) as u32..new_len as u32).collect();
+        let delta = crate::FrameDelta::from_parts(pts.len(), new_len, removed, inserted).unwrap();
+        let new_pts = apply_delta(&pts, &delta, &vec![Point3::ONE; insert_count]);
+        tree.patch(&delta, &new_pts);
+        let fresh = KdTree::build(&new_pts);
+        let a: Vec<usize> = tree.knn(Point3::ONE, 12).iter().map(|n| n.index).collect();
+        let b: Vec<usize> = fresh.knn(Point3::ONE, 12).iter().map(|n| n.index).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_within_agrees_with_brute_force() {
+        let pts = random_points(400, 71);
+        let tree = KdTree::build(&pts);
+        let bf = BruteForce::new(&pts);
+        for (qi, q) in random_points(60, 72).into_iter().enumerate() {
+            // Exercise exact-boundary radii: the squared distance of a real
+            // neighbor must count as "within" (inclusive test).
+            let nn = bf.knn(q, 3);
+            for n in &nn {
+                assert!(
+                    tree.any_within(q, n.distance_squared),
+                    "query {qi}: tie at the boundary must count"
+                );
+            }
+            let r2 = nn[0].distance_squared;
+            if r2 > 0.0 {
+                // Strictly inside the nearest neighbor: nothing is within.
+                assert!(!tree.any_within(q, r2 * 0.99));
+            }
+        }
+        assert!(!KdTree::build(&[]).any_within(Point3::ZERO, 1e30));
     }
 
     #[test]

@@ -5,9 +5,9 @@
 //! array-of-structs loads kept the compiler from vectorizing the hot loop.
 //! All candidate scans now run through here, over [`SoaPositions`] lanes:
 //!
-//! * [`scan_ids`] — kNN candidate scan into a [`BestK`] accumulator (the
+//! * `scan_ids` — kNN candidate scan into a `BestK` accumulator (the
 //!   kernel behind every backend's `knn`/`knn_batch`);
-//! * [`scan_radius_ids`] — radius-query variant collecting [`Neighbor`]s;
+//! * `scan_radius_ids` — radius-query variant collecting [`Neighbor`]s;
 //! * [`norm_squared_lanes`] — elementwise `x² + y² + z²` over plain lanes,
 //!   exported for the LUT refiner's blocked key encoder in `volut-core`.
 //!

@@ -18,7 +18,7 @@
 //! algorithms** inside `knn_batch` (see [`crate::dualtree`] for the policy
 //! details and how to force either):
 //! * the *single-tree* sweep — one warm-started traversal per query, in
-//!   Morton order with shared scratch (this module's [`batch_queries`]
+//!   Morton order with shared scratch (this module's `batch_queries`
 //!   driver); chosen for small batches and large `k`;
 //! * the *dual-tree* leaf-pair traversal — a tree over the queries is
 //!   walked against the reference tree so whole (query-leaf,

@@ -35,6 +35,7 @@
 
 pub mod aabb;
 pub mod cloud;
+pub mod delta;
 pub mod dualtree;
 pub mod error;
 pub mod io;
@@ -53,6 +54,7 @@ pub mod voxelgrid;
 
 pub use aabb::Aabb;
 pub use cloud::PointCloud;
+pub use delta::FrameDelta;
 pub use error::Error;
 pub use neighborhoods::{Neighborhoods, NeighborhoodsView};
 pub use point::{Color, Point3};

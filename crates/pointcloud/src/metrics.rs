@@ -112,7 +112,7 @@ pub fn geometric_psnr(reconstructed: &PointCloud, ground_truth: &PointCloud) -> 
 }
 
 /// Color PSNR: for every reconstructed point, compares its color against the
-/// color of the nearest ground-truth point (per-channel MSE over [0,1]).
+/// color of the nearest ground-truth point (per-channel MSE over `[0,1]`).
 /// Returns `None` when either cloud lacks colors or is empty.
 pub fn color_psnr(reconstructed: &PointCloud, ground_truth: &PointCloud) -> Option<f64> {
     let rc = reconstructed.colors()?;

@@ -106,12 +106,13 @@ impl Neighborhoods {
     /// Appends `rows` rows of uniform `stride` entries each and returns the
     /// mutable slice of their freshly reserved index storage
     /// (`rows * stride` entries, zero-filled) for the caller to fill with
-    /// scatter writes — the batched kNN driver emits every row directly
-    /// into its final location this way, with no intermediate buffer.
+    /// scatter writes — the batched kNN driver and the SR engine's
+    /// incremental row-reuse path emit every row directly into its final
+    /// location this way, with no intermediate buffer.
     ///
     /// # Panics
     /// Panics when the resulting index count overflows `u32`.
-    pub(crate) fn push_uniform_rows(&mut self, rows: usize, stride: usize) -> &mut [u32] {
+    pub fn push_uniform_rows(&mut self, rows: usize, stride: usize) -> &mut [u32] {
         let base = self.indices.len();
         let total = rows * stride;
         u32::try_from(base + total).expect("index count fits in u32");
@@ -181,6 +182,12 @@ impl Neighborhoods {
         self.iter()
             .map(|row| row.iter().map(|&i| i as usize).collect())
             .collect()
+    }
+
+    /// Capacity (bytes) currently reserved by the two CSR arrays — used by
+    /// scratch-reuse assertions (steady-state frames must not grow it).
+    pub fn reserved_bytes(&self) -> usize {
+        (self.indices.capacity() + self.offsets.capacity()) * std::mem::size_of::<u32>()
     }
 
     /// The raw flat index array.

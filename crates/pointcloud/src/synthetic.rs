@@ -7,6 +7,7 @@
 //! per-point color fields. See DESIGN.md §2 for the substitution rationale.
 
 use crate::cloud::PointCloud;
+use crate::delta::FrameDelta;
 use crate::point::{Color, Point3};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -286,6 +287,177 @@ pub fn uniform_noise(n: usize, half_extent: f32, seed: u64) -> PointCloud {
     PointCloud::from_positions_and_colors(positions, colors).expect("lengths match")
 }
 
+/// Configuration of a [`DeltaStream`] — the synthetic stand-in for a
+/// chunked volumetric stream's frame-to-frame churn.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaStreamConfig {
+    /// Fraction of points replaced per frame (`0.0..=1.0`). The churned set
+    /// is a *spatially coherent* cluster (the nearest points around a random
+    /// anchor), matching how chunked delivery and moving subjects change a
+    /// real volumetric frame — scattered random churn would invalidate far
+    /// more cached neighborhoods than streaming workloads actually do.
+    pub churn: f64,
+    /// Distance the replacement cluster drifts from the removed cluster's
+    /// centroid each frame (world units; pick relative to the cloud extent).
+    pub drift: f32,
+    /// Per-point Gaussian jitter of the reinserted points. Keep nonzero so
+    /// reinsertions are bitwise-fresh points rather than exact duplicates of
+    /// the removed ones.
+    pub jitter: f32,
+    /// Seed of the stream's RNG (frame sequences are deterministic per
+    /// seed).
+    pub seed: u64,
+}
+
+impl Default for DeltaStreamConfig {
+    fn default() -> Self {
+        Self {
+            churn: 0.1,
+            drift: 0.05,
+            jitter: 0.01,
+            seed: 0,
+        }
+    }
+}
+
+/// A deterministic delta-frame sequence: each [`DeltaStream::advance`] call
+/// removes a spatially coherent cluster of points and reinserts a drifted,
+/// jittered copy of it (appended after the survivors), returning the exact
+/// [`FrameDelta`] describing the step. Survivors keep their relative order
+/// and bitwise positions, so the deltas uphold the order invariant the
+/// incremental kNN consumers rely on (see [`crate::delta`]).
+///
+/// # Example
+///
+/// ```
+/// use volut_pointcloud::synthetic::{self, DeltaStream, DeltaStreamConfig};
+/// let base = synthetic::humanoid(2_000, 0.5, 1);
+/// let mut stream = DeltaStream::new(base, DeltaStreamConfig::default());
+/// let before = stream.frame().clone();
+/// let delta = stream.advance();
+/// assert!(delta.verify(before.positions(), stream.frame().positions()));
+/// assert_eq!(stream.frame().len(), 2_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaStream {
+    frame: PointCloud,
+    cfg: DeltaStreamConfig,
+    rng: StdRng,
+}
+
+impl DeltaStream {
+    /// Starts a stream at `base` (frame 0).
+    pub fn new(base: PointCloud, cfg: DeltaStreamConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0xD3_17A5),
+            frame: base,
+            cfg,
+        }
+    }
+
+    /// The current frame.
+    pub fn frame(&self) -> &PointCloud {
+        &self.frame
+    }
+
+    /// Advances to the next frame and returns the delta that produced it.
+    pub fn advance(&mut self) -> FrameDelta {
+        let n = self.frame.len();
+        let m = ((n as f64 * self.cfg.churn).round() as usize).min(n);
+        if m == 0 {
+            return FrameDelta::from_parts(n, n, Vec::new(), Vec::new())
+                .expect("identity delta is always consistent");
+        }
+        let positions = self.frame.positions();
+        // The churned set: the m nearest points around a random anchor
+        // (ties index-broken through the packed key, so selection is
+        // deterministic).
+        let anchor = positions[self.rng.random_range(0..n)];
+        let mut keyed: Vec<(u64, u32)> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (
+                    (u64::from(p.distance_squared(anchor).to_bits()) << 32) | i as u64,
+                    i as u32,
+                )
+            })
+            .collect();
+        keyed.sort_unstable();
+        let mut removed: Vec<u32> = keyed[..m].iter().map(|&(_, i)| i).collect();
+        removed.sort_unstable();
+
+        // Replacement cluster: the removed points shifted to a drifted
+        // center, with per-point jitter.
+        let centroid = removed
+            .iter()
+            .fold(Point3::ZERO, |acc, &i| acc + positions[i as usize])
+            / m as f32;
+        let z: f32 = self.rng.random_range(-1.0..1.0);
+        let theta: f32 = self.rng.random_range(0.0..2.0 * PI);
+        let r_xy = (1.0 - z * z).sqrt();
+        let dir = Point3::new(r_xy * theta.cos(), r_xy * theta.sin(), z);
+        let target = centroid + dir * self.cfg.drift;
+        let colors = self.frame.colors();
+        let mut new_positions = Vec::with_capacity(n);
+        let mut new_colors = colors.map(|_| Vec::with_capacity(n));
+        let mut removed_mark = vec![false; n];
+        for &i in &removed {
+            removed_mark[i as usize] = true;
+        }
+        for (i, &p) in positions.iter().enumerate() {
+            if !removed_mark[i] {
+                new_positions.push(p);
+                if let (Some(out), Some(c)) = (new_colors.as_mut(), colors) {
+                    out.push(c[i]);
+                }
+            }
+        }
+        for &i in &removed {
+            let p = positions[i as usize] - centroid
+                + target
+                + Point3::new(
+                    gaussian(&mut self.rng),
+                    gaussian(&mut self.rng),
+                    gaussian(&mut self.rng),
+                ) * self.cfg.jitter;
+            new_positions.push(p);
+            if let (Some(out), Some(c)) = (new_colors.as_mut(), colors) {
+                out.push(c[i as usize]);
+            }
+        }
+        let inserted: Vec<u32> = ((n - m) as u32..n as u32).collect();
+        let delta = FrameDelta::from_parts(n, n, removed, inserted)
+            .expect("constructed counts are consistent");
+        self.frame = match new_colors {
+            Some(c) => PointCloud::from_positions_and_colors(new_positions, c)
+                .expect("lengths match by construction"),
+            None => PointCloud::from_positions(new_positions),
+        };
+        delta
+    }
+}
+
+/// Materializes `frames` frames of a [`DeltaStream`] over `base` (frame 0 is
+/// `base` itself) — the convenience form for benches and tests that want the
+/// whole churned sequence up front.
+pub fn delta_frame_sequence(
+    base: &PointCloud,
+    frames: usize,
+    cfg: DeltaStreamConfig,
+) -> Vec<PointCloud> {
+    let mut stream = DeltaStream::new(base.clone(), cfg);
+    let mut out = Vec::with_capacity(frames);
+    if frames > 0 {
+        out.push(base.clone());
+    }
+    for _ in 1..frames {
+        stream.advance();
+        out.push(stream.frame().clone());
+    }
+    out
+}
+
 /// Smooth color field used by several generators so that colorization has a
 /// meaningful signal to reconstruct.
 fn angular_color(p: Point3) -> Color {
@@ -303,6 +475,7 @@ fn gaussian(rng: &mut StdRng) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::aabb::Aabb;
 
     #[test]
     fn generators_produce_requested_counts() {
@@ -363,6 +536,92 @@ mod tests {
         let a = humanoid(500, 0.0, 9);
         let b = humanoid(500, PI / 2.0, 9);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delta_stream_produces_verified_deltas() {
+        let base = humanoid(2_000, 0.4, 3);
+        let mut stream = DeltaStream::new(
+            base,
+            DeltaStreamConfig {
+                churn: 0.1,
+                drift: 0.08,
+                jitter: 0.01,
+                seed: 5,
+            },
+        );
+        for _ in 0..5 {
+            let before = stream.frame().clone();
+            let delta = stream.advance();
+            let after = stream.frame();
+            assert_eq!(after.len(), 2_000, "point count is conserved");
+            assert!(after.has_colors());
+            assert_eq!(delta.removed().len(), 200);
+            assert_eq!(delta.inserted().len(), 200);
+            assert!(delta.verify(before.positions(), after.positions()));
+            // The diff recovers a delta at most as churned as the truth
+            // (bitwise-identical survivors must all match).
+            let diffed = FrameDelta::diff(before.positions(), after.positions());
+            assert!(diffed.verify(before.positions(), after.positions()));
+            assert!(diffed.survivors() >= delta.survivors());
+        }
+    }
+
+    #[test]
+    fn delta_stream_is_deterministic_and_coherent() {
+        let base = sphere(1_000, 1.0, 9);
+        let cfg = DeltaStreamConfig {
+            churn: 0.2,
+            ..DeltaStreamConfig::default()
+        };
+        let a = delta_frame_sequence(&base, 4, cfg);
+        let b = delta_frame_sequence(&base, 4, cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert_eq!(a[0], base);
+        assert_ne!(a[0], a[1]);
+        // Spatial coherence: the removed set is a cluster, so its bounding
+        // box is much smaller than the cloud's.
+        let mut stream = DeltaStream::new(base.clone(), cfg);
+        let before = stream.frame().clone();
+        let delta = stream.advance();
+        let cluster = Aabb::from_points(
+            delta
+                .removed()
+                .iter()
+                .map(|&i| before.positions()[i as usize]),
+        )
+        .unwrap();
+        let whole = before.bounds().unwrap();
+        assert!(cluster.half_diagonal() < whole.half_diagonal() * 0.8);
+    }
+
+    #[test]
+    fn delta_stream_edge_churns() {
+        let base = sphere(300, 1.0, 11);
+        // churn 0: identity deltas, frame untouched.
+        let mut stream = DeltaStream::new(
+            base.clone(),
+            DeltaStreamConfig {
+                churn: 0.0,
+                ..DeltaStreamConfig::default()
+            },
+        );
+        let d = stream.advance();
+        assert!(d.is_identity());
+        assert_eq!(stream.frame(), &base);
+        // churn 1: everything replaced, still verified.
+        let mut stream = DeltaStream::new(
+            base.clone(),
+            DeltaStreamConfig {
+                churn: 1.0,
+                ..DeltaStreamConfig::default()
+            },
+        );
+        let before = stream.frame().clone();
+        let d = stream.advance();
+        assert_eq!(d.survivors(), 0);
+        assert!(d.verify(before.positions(), stream.frame().positions()));
     }
 
     #[test]

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 use volut_core::device::{DeviceProfile, StageKind};
 use volut_core::interpolate::FrameScratch;
 use volut_core::pipeline::{SrPipeline, SrResult};
-use volut_pointcloud::PointCloud;
+use volut_pointcloud::{FrameDelta, PointCloud};
 
 use crate::chunk::Chunk;
 
@@ -104,11 +104,44 @@ impl SrSession {
         result
     }
 
+    /// [`Self::upsample_frame`] for a delta-frame whose change from the
+    /// previous frame the streaming layer already knows (chunk scheduling,
+    /// delta-encoded transport): the declared [`FrameDelta`] spares the
+    /// engine its own frame diff, and the temporal layer reuses every kNN
+    /// row the churn cannot affect (see `volut_core::interpolate::temporal`
+    /// — results are bit-identical to a full recompute). The delta is
+    /// verified before use; a wrong declaration falls back to the engine's
+    /// diff, costing time but never correctness.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures (invalid ratio, insufficient points).
+    pub fn upsample_frame_delta(
+        &mut self,
+        low: &PointCloud,
+        ratio: f64,
+        delta: FrameDelta,
+    ) -> volut_core::Result<SrResult> {
+        self.scratch.set_frame_delta(delta);
+        self.upsample_frame(low, ratio)
+    }
+
     /// Rebuild/reuse counters of the session's scratch-resident index,
-    /// including how many frame batches ran through the scratch-resident
-    /// dual-tree all-kNN kernel.
+    /// including the temporal layer's row-reuse counters and how many frame
+    /// batches ran through the scratch-resident dual-tree all-kNN kernel.
     pub fn index_stats(&self) -> volut_core::interpolate::IndexCacheStats {
         self.scratch.index_stats()
+    }
+
+    /// Frame- and row-level counters of the temporal (delta-frame) reuse
+    /// layer.
+    pub fn temporal_stats(&self) -> volut_core::interpolate::TemporalStats {
+        self.scratch.temporal_stats()
+    }
+
+    /// Enables or disables incremental (temporal) kNN reuse for subsequent
+    /// frames (enabled by default; bit-identical results either way).
+    pub fn set_incremental(&mut self, enabled: bool) {
+        self.scratch.set_incremental(enabled);
     }
 
     /// The session's frame-scratch arena (index cache, dual-tree scratch,
@@ -130,6 +163,56 @@ impl SrSession {
         let name = self.pipeline.refiner_name().to_string();
         let result = self.upsample_frame(representative_frame, ratio)?;
         Ok(SrComputeModel::calibrate(&name, &result))
+    }
+
+    /// Calibrates an [`SrComputeModel`] by driving a churned delta-frame
+    /// sequence live through this session — the temporally coherent
+    /// counterpart of [`Self::calibrate_model`]. A single cold frame prices
+    /// every chunk as if its geometry were brand new; real volumetric
+    /// streams churn only a fraction of each frame, and the engine's
+    /// incremental kNN reuse makes steady-state frames far cheaper. The
+    /// sequence comes from [`volut_pointcloud::synthetic::DeltaStream`]
+    /// (spatially coherent churn at `churn` fraction per frame); the model
+    /// is calibrated from the *median*-total steady-state frame, so the
+    /// analytic simulator charges temporally-coherent compute costs when
+    /// handed to `StreamingSimulator::run_with_model`.
+    ///
+    /// # Errors
+    /// Propagates pipeline failures.
+    pub fn calibrate_model_churned(
+        &mut self,
+        base_frame: &PointCloud,
+        ratio: f64,
+        churn: f64,
+        frames: usize,
+    ) -> volut_core::Result<SrComputeModel> {
+        use volut_pointcloud::synthetic::{DeltaStream, DeltaStreamConfig};
+        let name = self.pipeline.refiner_name().to_string();
+        let spacing = base_frame.mean_spacing(64).unwrap_or(0.01);
+        let mut stream = DeltaStream::new(
+            base_frame.clone(),
+            DeltaStreamConfig {
+                churn,
+                drift: spacing * 4.0,
+                jitter: spacing * 0.5,
+                seed: 0xCAB,
+            },
+        );
+        // Warm frame (cold index + row capture), then measured frames.
+        self.upsample_frame(base_frame, ratio)?;
+        let mut measured: Vec<SrResult> = Vec::with_capacity(frames.max(1));
+        for _ in 0..frames.max(1) {
+            let delta = stream.advance();
+            measured.push(self.upsample_frame_delta(stream.frame(), ratio, delta)?);
+        }
+        measured.sort_by(|a, b| {
+            a.timings
+                .total()
+                .as_secs_f64()
+                .total_cmp(&b.timings.total().as_secs_f64())
+        });
+        let median = &measured[measured.len() / 2];
+        Ok(SrComputeModel::calibrate(&name, median))
     }
 }
 
@@ -437,8 +520,16 @@ mod tests {
         assert_eq!(stats.rebuilds, 1, "stats {stats:?}");
         assert_eq!(stats.reuses, frames - 1, "stats {stats:?}");
         if sequential {
-            // ...every frame's self-join answered by the dual-tree kernel...
-            assert_eq!(stats.dual_tree_batches, frames, "stats {stats:?}");
+            // ...the cold frame's self-join answered by the dual-tree
+            // kernel, and every later (identical) frame's rows copied
+            // forward wholesale by the temporal layer instead of paying the
+            // kernel again...
+            assert_eq!(stats.dual_tree_batches, 1, "stats {stats:?}");
+            assert_eq!(
+                stats.rows_reused,
+                (frames - 1) * n as u64,
+                "stats {stats:?}"
+            );
             assert!(reserved > 0);
         }
         // ...and steady-state frames grow no dual-tree scratch capacity.
@@ -447,6 +538,149 @@ mod tests {
             reserved,
             "repeated identical frames must not allocate dual-tree scratch"
         );
+    }
+
+    #[test]
+    fn churned_session_reuses_rows_and_matches_full_recompute() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic::{DeltaStream, DeltaStreamConfig};
+        let make_session = || {
+            SrSession::new(SrPipeline::new(
+                SrConfig::default(),
+                Box::new(IdentityRefiner),
+            ))
+        };
+        let mut incremental = make_session();
+        let mut full = make_session();
+        full.set_incremental(false);
+        let base = volut_pointcloud::synthetic::humanoid(3_000, 0.4, 23);
+        let mut stream = DeltaStream::new(
+            base,
+            DeltaStreamConfig {
+                churn: 0.1,
+                drift: 0.05,
+                jitter: 0.01,
+                seed: 7,
+            },
+        );
+        for frame_no in 0..6 {
+            let frame = stream.frame().clone();
+            let a = incremental.upsample_frame(&frame, 2.0).unwrap();
+            let b = full.upsample_frame(&frame, 2.0).unwrap();
+            assert_eq!(a.cloud, b.cloud, "frame {frame_no}: bit-identical");
+            stream.advance();
+        }
+        let stats = incremental.index_stats();
+        assert!(stats.rows_reused > 0, "stats {stats:?}");
+        assert!(stats.rows_recomputed > 0, "stats {stats:?}");
+        // Frame 1 rebuilds; later frames are patched or (rarely, once the
+        // churn budget is crossed) rebuilt — never content-reused, since
+        // every frame differs.
+        assert_eq!(stats.reuses, 0, "stats {stats:?}");
+        assert_eq!(stats.rebuilds + stats.patches, 6, "stats {stats:?}");
+        assert!(stats.patches >= 3, "stats {stats:?}");
+        let t = incremental.temporal_stats();
+        assert_eq!(t.incremental_frames, 5, "stats {t:?}");
+        assert_eq!(t.full_frames, 1, "stats {t:?}");
+        // At 10% spatially-coherent churn, most rows must be copied
+        // forward, not recomputed.
+        assert!(
+            t.rows_reused > t.rows_recomputed,
+            "reuse should dominate at 10% coherent churn: {t:?}"
+        );
+        // The disabled session did all-full frames.
+        let t_full = full.temporal_stats();
+        assert_eq!(t_full.rows_reused, 0);
+        assert_eq!(t_full.incremental_frames, 0);
+    }
+
+    #[test]
+    fn churned_session_has_zero_steady_state_scratch_growth() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic::{DeltaStream, DeltaStreamConfig};
+        let mut session = SrSession::new(SrPipeline::new(
+            SrConfig::default(),
+            Box::new(IdentityRefiner),
+        ));
+        let base = volut_pointcloud::synthetic::humanoid(4_000, 0.2, 29);
+        let mut stream = DeltaStream::new(
+            base,
+            DeltaStreamConfig {
+                churn: 0.1,
+                drift: 0.04,
+                jitter: 0.01,
+                seed: 13,
+            },
+        );
+        // Warm up past the first full rebuild cycle (patch budget crossing
+        // included) so every buffer reaches its steady-state high-water
+        // mark...
+        for _ in 0..8 {
+            session.upsample_frame(stream.frame(), 2.0).unwrap();
+            stream.advance();
+        }
+        let reserved = session.scratch().reserved_bytes();
+        assert!(reserved > 0);
+        // ...then assert the churned steady state allocates nothing new.
+        for frame_no in 8..16 {
+            session.upsample_frame(stream.frame(), 2.0).unwrap();
+            stream.advance();
+            assert_eq!(
+                session.scratch().reserved_bytes(),
+                reserved,
+                "frame {frame_no} grew the scratch"
+            );
+        }
+    }
+
+    #[test]
+    fn explicit_delta_api_matches_diffed_and_full_paths() {
+        use volut_core::{refine::IdentityRefiner, SrConfig, SrPipeline};
+        use volut_pointcloud::synthetic::{DeltaStream, DeltaStreamConfig};
+        let make_session = || {
+            SrSession::new(SrPipeline::new(
+                SrConfig::default(),
+                Box::new(IdentityRefiner),
+            ))
+        };
+        let mut keyed = make_session();
+        let mut diffed = make_session();
+        let mut full = make_session();
+        full.set_incremental(false);
+        let base = volut_pointcloud::synthetic::sphere(2_500, 1.0, 31);
+        let cfg = DeltaStreamConfig {
+            churn: 0.15,
+            drift: 0.06,
+            jitter: 0.01,
+            seed: 3,
+        };
+        let mut stream = DeltaStream::new(base.clone(), cfg);
+        let a = keyed.upsample_frame(&base, 2.0).unwrap();
+        let b = diffed.upsample_frame(&base, 2.0).unwrap();
+        assert_eq!(a.cloud, b.cloud);
+        for _ in 0..4 {
+            let delta = stream.advance();
+            let frame = stream.frame().clone();
+            let a = keyed.upsample_frame_delta(&frame, 2.0, delta).unwrap();
+            let b = diffed.upsample_frame(&frame, 2.0).unwrap();
+            let c = full.upsample_frame(&frame, 2.0).unwrap();
+            assert_eq!(a.cloud, b.cloud);
+            assert_eq!(a.cloud, c.cloud);
+        }
+        assert!(keyed.temporal_stats().rows_reused > 0);
+        // A *wrong* delta (stale by one frame) must not corrupt results —
+        // the engine verifies and falls back to its own diff.
+        let stale = stream.advance();
+        let _skipped = stream.frame().clone();
+        let wrong_frame_delta = stale; // describes the previous transition
+        let next = stream.advance();
+        drop(next);
+        let frame = stream.frame().clone();
+        let a = keyed
+            .upsample_frame_delta(&frame, 2.0, wrong_frame_delta)
+            .unwrap();
+        let c = full.upsample_frame(&frame, 2.0).unwrap();
+        assert_eq!(a.cloud, c.cloud);
     }
 
     #[test]
