@@ -1,16 +1,20 @@
-//! Criterion bench: temporally coherent incremental kNN across streaming
-//! delta-frames.
+//! Criterion bench: temporally coherent incremental kNN — and the
+//! downstream churn-proportional SR pipeline — across streaming delta
+//! frames.
 //!
 //! Drives churned frame sequences (the `volut_pointcloud::synthetic::
 //! DeltaStream` generator: spatially coherent cluster churn + drift, the
 //! shape chunked volumetric delivery produces) through one `FrameScratch`
-//! twice — incremental reuse on vs off — and reports the per-frame
-//! `knn`-stage and `index_build`-stage medians side by side. The headline
-//! number is the knn-stage ratio at 10% churn on the 50k-point / `kq = 5`
-//! frame (the §4.1-dominating self-join); 0% churn should collapse to the
-//! wholesale row-copy fast path and 100% churn should sit within a few
-//! percent of the cold full-recompute path (the failed diff is one linear
-//! pass). Runs in CI's `--test` smoke mode with a downscaled workload.
+//! twice — incremental reuse on vs off — and reports whole-frame and
+//! per-stage medians side by side over a churn sweep (0/1/10/50/100%).
+//! The headline number is the whole-frame ratio at 10% churn on the
+//! 50k-point / `kq = 5` frame: with output reuse the kNN self-join,
+//! midpoint generation, colorization *and* refinement all scale with churn,
+//! so the gap to the full recompute widens as churn drops. 0% churn should
+//! collapse to wholesale copies of every stage's output and 100% churn
+//! should sit within a few percent of the cold path (the failed diff is one
+//! linear pass). Runs in CI's `--test` smoke mode with a downscaled
+//! workload.
 
 use criterion::{criterion_group, criterion_main, is_quick_mode, Criterion};
 use std::hint::black_box;
@@ -26,22 +30,48 @@ fn median(samples: &mut [f64]) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Per-stage steady-state medians of one measured pass, in milliseconds.
+#[derive(Default)]
+struct StageMedians {
+    index: f64,
+    knn: f64,
+    interpolate: f64,
+    colorize: f64,
+    refine: f64,
+    total: f64,
+}
+
 /// One measured pass: warm up on frame 0, then collect per-stage times over
-/// the rest of the sequence. Returns `(knn median ms, index median ms)`.
-fn run_sequence(pipeline: &SrPipeline, frames: &[PointCloud], incremental: bool) -> (f64, f64) {
+/// the rest of the sequence.
+fn run_sequence(pipeline: &SrPipeline, frames: &[PointCloud], incremental: bool) -> StageMedians {
     let mut scratch = FrameScratch::new();
     scratch.set_incremental(incremental);
     pipeline
         .upsample_with(&frames[0], 2.0, &mut scratch)
         .unwrap();
-    let mut knn = Vec::with_capacity(frames.len() - 1);
-    let mut index = Vec::with_capacity(frames.len() - 1);
+    let mut cols: [Vec<f64>; 6] = Default::default();
     for frame in &frames[1..] {
         let r = pipeline.upsample_with(frame, 2.0, &mut scratch).unwrap();
-        knn.push(r.timings.knn.as_secs_f64() * 1e3);
-        index.push(r.timings.index_build.as_secs_f64() * 1e3);
+        let t = r.timings;
+        for (col, d) in cols.iter_mut().zip([
+            t.index_build,
+            t.knn,
+            t.interpolation,
+            t.colorization,
+            t.refinement,
+            t.total(),
+        ]) {
+            col.push(d.as_secs_f64() * 1e3);
+        }
     }
-    (median(&mut knn), median(&mut index))
+    StageMedians {
+        index: median(&mut cols[0]),
+        knn: median(&mut cols[1]),
+        interpolate: median(&mut cols[2]),
+        colorize: median(&mut cols[3]),
+        refine: median(&mut cols[4]),
+        total: median(&mut cols[5]),
+    }
 }
 
 fn bench_temporal_coherence(c: &mut Criterion) {
@@ -61,10 +91,10 @@ fn bench_temporal_coherence(c: &mut Criterion) {
 
     println!("temporal_coherence/{n}pts_kq5 (median of {measured} steady-state frames, ms):");
     println!(
-        "  {:>6} | {:>16} {:>16} | {:>16} {:>16} | {:>9}",
-        "churn", "knn incr", "knn full", "index incr", "index full", "knn ratio"
+        "  {:>6} | {:>11} {:>11} {:>8} | {:>7} {:>8} {:>8} {:>8} {:>8}",
+        "churn", "total incr", "total full", "speedup", "index", "knn", "interp", "color", "refine"
     );
-    for churn in [0.0f64, 0.1, 1.0] {
+    for churn in [0.0f64, 0.01, 0.1, 0.5, 1.0] {
         let frames = synthetic::delta_frame_sequence(
             &base,
             measured + 1,
@@ -75,16 +105,19 @@ fn bench_temporal_coherence(c: &mut Criterion) {
                 seed: 11,
             },
         );
-        let (knn_incr, idx_incr) = run_sequence(&pipeline, &frames, true);
-        let (knn_full, idx_full) = run_sequence(&pipeline, &frames, false);
+        let incr = run_sequence(&pipeline, &frames, true);
+        let full = run_sequence(&pipeline, &frames, false);
         println!(
-            "  {:>5.0}% | {:>16.3} {:>16.3} | {:>16.3} {:>16.3} | {:>8.2}x",
+            "  {:>5.0}% | {:>11.3} {:>11.3} {:>7.2}x | {:>7.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
             churn * 100.0,
-            knn_incr,
-            knn_full,
-            idx_incr,
-            idx_full,
-            knn_full / knn_incr.max(1e-9),
+            incr.total,
+            full.total,
+            full.total / incr.total.max(1e-9),
+            incr.index,
+            incr.knn,
+            incr.interpolate,
+            incr.colorize,
+            incr.refine,
         );
     }
 

@@ -73,6 +73,64 @@ pub fn colorize_new_points(
         .expect("color array sized to the point count by construction");
 }
 
+/// [`colorize_new_points`] restricted to a subset of new-point ordinals.
+///
+/// Only the tail colors listed in `ordinals` are (re)assigned — every other
+/// tail color is left exactly as it is (the temporal layer has already
+/// copied those forward from the previous frame). The per-point color
+/// choice is identical to the full pass, so running this over the fresh
+/// subset after a cached-color scatter is bit-identical to a full
+/// [`colorize_new_points`] pass.
+pub fn colorize_rows(
+    cloud: &mut PointCloud,
+    low: &PointCloud,
+    original_len: usize,
+    neighborhoods: NeighborhoodsView<'_>,
+    parents: &[(usize, usize)],
+    ordinals: &[u32],
+) {
+    let Some(low_colors) = low.colors() else {
+        return;
+    };
+    let Some(mut colors) = cloud.take_colors() else {
+        // A colored source over an uncolored upsampled cloud does not happen
+        // in the engine's flow (the tail is seeded at extension time); fall
+        // back to the full pass, which rebuilds the array from scratch.
+        colorize_new_points(cloud, low, original_len, neighborhoods, parents);
+        return;
+    };
+    debug_assert_eq!(colors.len(), cloud.len());
+    {
+        let positions = cloud.positions();
+        for &ord in ordinals {
+            let i = ord as usize;
+            let pos = positions[original_len + i];
+            let head = if i < neighborhoods.len() {
+                neighborhoods.row(i).first().map(|&j| j as usize)
+            } else {
+                None
+            };
+            let source = head.or_else(|| {
+                parents.get(i).map(|&(a, b)| {
+                    let da = low.position(a).distance_squared(pos);
+                    let db = low.position(b).distance_squared(pos);
+                    if da <= db {
+                        a
+                    } else {
+                        b
+                    }
+                })
+            });
+            colors[original_len + i] = source
+                .and_then(|s| low_colors.get(s).copied())
+                .unwrap_or(Color::BLACK);
+        }
+    }
+    cloud
+        .set_colors(colors)
+        .expect("color array length unchanged by the subset pass");
+}
+
 /// Blended variant: averages the colors of the two parents instead of
 /// copying the nearest one. Used by the Yuzu baseline, which interpolates
 /// attributes jointly with geometry. Chunked across workers like
@@ -174,6 +232,47 @@ mod tests {
         colorize_new_points(&mut up, &low, 2, hoods.view(), &[(0, 1)]);
         assert_eq!(up.color(0), Some(Color::new(255, 0, 0)));
         assert_eq!(up.color(1), Some(Color::new(0, 0, 255)));
+    }
+
+    #[test]
+    fn subset_pass_matches_full_pass() {
+        let n = 300;
+        let low = PointCloud::from_positions_and_colors(
+            (0..n).map(|i| Point3::new(i as f32, 0.0, 0.0)).collect(),
+            (0..n)
+                .map(|i| Color::new((i % 256) as u8, (i / 2 % 256) as u8, 7))
+                .collect(),
+        )
+        .unwrap();
+        let mut hoods = Neighborhoods::new();
+        let mut parents = Vec::new();
+        let mut up = low.clone();
+        for i in 0..n {
+            up.push(Point3::new(i as f32 + 0.3, 0.5, 0.0), None);
+            // Every third row empty to exercise the parent fallback.
+            if i % 3 == 0 {
+                hoods.push_row([0usize; 0]);
+            } else {
+                hoods.push_row([i]);
+            }
+            parents.push((i, (i + 1) % n));
+        }
+        let mut full = up.clone();
+        colorize_new_points(&mut full, &low, n, hoods.view(), &parents);
+        // Corrupt a subset of the full result, then repair exactly that
+        // subset with the row-restricted pass: bit-identical to the full
+        // pass everywhere.
+        let mut partial = full.clone();
+        let ordinals: Vec<u32> = (0..n as u32).filter(|o| o % 5 != 2).collect();
+        {
+            let mut colors = partial.take_colors().unwrap();
+            for &o in &ordinals {
+                colors[n + o as usize] = Color::new(1, 2, 3);
+            }
+            partial.set_colors(colors).unwrap();
+        }
+        colorize_rows(&mut partial, &low, n, hoods.view(), &parents, &ordinals);
+        assert_eq!(partial.colors(), full.colors());
     }
 
     #[test]

@@ -21,12 +21,21 @@
 //! * runs the per-point work in parallel across CPU threads (the stand-in
 //!   for the paper's CUDA kernels), storing all neighbor lists in flat CSR
 //!   [`Neighborhoods`] buffers that the caller's
-//!   [`super::FrameScratch`] recycles across frames.
+//!   [`super::FrameScratch`] recycles across frames;
+//! * on delta frames, generates only the rows the churn invalidated: the
+//!   temporal layer classifies every source row against the previous
+//!   frame's cached outputs (`super::temporal::plan_outputs`), the fresh
+//!   subset runs as one compacted batch through
+//!   [`dilated_interpolate_rows_into`] (midpoints via the SIMD SoA kernel
+//!   [`volut_pointcloud::kernels::pair_midpoints_into`]), and everything
+//!   else is copied forward index-remapped and bit-identically.
 //!
 //! Interpolation partners are drawn from a small RNG seeded per *source
-//! point* (`config.seed ^ point index`), so the output is bit-identical
-//! regardless of worker count — with or without the `parallel` feature.
+//! point* by the point's position bits (`super::row_seed`), so the output
+//! is bit-identical regardless of worker count, chunking, or how rows moved
+//! between frames — the invariance the copy-forward path relies on.
 
+use super::temporal::{FreshOutputs, OutputKind};
 use super::{
     colorize, distribute_new_points_into, FrameScratch, InterpolationResult, InterpolationTimings,
     OpCounts,
@@ -37,17 +46,10 @@ use crate::Result;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::Instant;
+use volut_pointcloud::kernels;
 use volut_pointcloud::knn::NeighborSearch;
-use volut_pointcloud::{par, Neighborhoods, Point3, PointCloud};
-
-/// Per-chunk output of the parallel interpolation phase.
-#[derive(Debug, Default)]
-struct PartialOutput {
-    new_points: Vec<Point3>,
-    parents: Vec<(usize, usize)>,
-    neighborhoods: Neighborhoods,
-    ops: OpCounts,
-}
+use volut_pointcloud::soa::SoaPositions;
+use volut_pointcloud::{par, Neighborhoods, NeighborhoodsView, Point3, PointCloud};
 
 /// Upsamples `low` to roughly `ratio ×` its point count using dilated
 /// interpolation with neighbor reuse.
@@ -77,6 +79,87 @@ pub fn dilated_interpolate(
     dilated_interpolate_with(low, config, ratio, &mut FrameScratch::new())
 }
 
+/// Generates the interpolated outputs of a *subset* of source rows, appending
+/// to `out_points` / `out_parents` (and, when neighbor reuse is on, one
+/// Eq. 2 merged-and-pruned neighborhood row per generated point to
+/// `out_hoods`).
+///
+/// `rows` lists the source rows to generate, ascending; `counts[i]` is the
+/// per-row generation count (see `super::distribute_new_points_into`);
+/// `soa` must mirror `positions` ([`SoaPositions::fill`]). Calling this over
+/// the full row set is bit-identical to the legacy whole-frame batch — the
+/// partial-batch entry exists so the temporal layer can recompute *only*
+/// churn-invalidated rows. Midpoints are computed by the SIMD SoA kernel
+/// [`kernels::pair_midpoints_into`] (scalar fallback bit-identical).
+#[allow(clippy::too_many_arguments)]
+pub fn dilated_interpolate_rows_into(
+    positions: &[Point3],
+    soa: &SoaPositions,
+    dilated: NeighborhoodsView<'_>,
+    config: &SrConfig,
+    counts: &[usize],
+    rows: &[u32],
+    out_points: &mut Vec<Point3>,
+    out_parents: &mut Vec<(usize, usize)>,
+    out_hoods: Option<&mut Neighborhoods>,
+) {
+    debug_assert_eq!(soa.len(), positions.len());
+    let start = out_points.len();
+    let pstart = out_parents.len();
+    let total: usize = rows.iter().map(|&r| counts[r as usize]).sum();
+    let mut pair_a: Vec<u32> = Vec::with_capacity(total);
+    let mut pair_b: Vec<u32> = Vec::with_capacity(total);
+    let mut used: Vec<u32> = Vec::new();
+    for &row in rows {
+        let i = row as usize;
+        let count = counts[i];
+        if count == 0 {
+            continue;
+        }
+        let hood = dilated.row(i);
+        debug_assert!(!hood.is_empty(), "stripped dilated row {i} is empty");
+        if hood.is_empty() {
+            continue;
+        }
+        // Seeding per source point — by position bits — keeps the draw
+        // sequence independent of chunking *and* of the row's index.
+        let mut rng = StdRng::seed_from_u64(super::row_seed(config.seed, positions[i]));
+        // Random subset S_i of the dilated neighborhood, one partner per
+        // generated point — drawn *without replacement* (a repeated partner
+        // would duplicate a midpoint and add no coverage), falling back to
+        // repeats only once the neighborhood is exhausted. The hood holds
+        // distinct indices, so rejection always terminates.
+        used.clear();
+        for _ in 0..count {
+            let mut j = hood[rng.random_range(0..hood.len())];
+            if used.len() < hood.len() {
+                while used.contains(&j) {
+                    j = hood[rng.random_range(0..hood.len())];
+                }
+            }
+            used.push(j);
+            pair_a.push(row);
+            pair_b.push(j);
+            out_parents.push((i, j as usize));
+        }
+    }
+    out_points.resize(start + pair_a.len(), Point3::ZERO);
+    kernels::pair_midpoints_into(soa, &pair_a, &pair_b, &mut out_points[start..]);
+    if let Some(out_hoods) = out_hoods {
+        // Derive every generated point's neighborhood in one batched
+        // merge-and-prune pass (Eq. 2): the k-nearest subsets (heads of the
+        // dilated lists) serve as the parents' neighbor lists for reuse.
+        super::reuse::merge_and_prune_rows(
+            &out_points[start..],
+            &out_parents[pstart..],
+            dilated,
+            positions,
+            config.k,
+            out_hoods,
+        );
+    }
+}
+
 /// [`dilated_interpolate`] with caller-provided scratch buffers (reused
 /// across frames of a streaming session).
 ///
@@ -101,10 +184,6 @@ pub fn dilated_interpolate_with(
     let positions = low.positions();
     let dilated_k = config.dilated_neighborhood();
     let mut neighborhoods = scratch.take_neighborhoods();
-
-    // Workload-scaled chunking shared by both parallel phases.
-    let workers = par::worker_count(low.len(), 2_000);
-    let chunk = low.len().div_ceil(workers).max(1);
 
     // --- Index + kNN stage: one dilated query per original point — the
     // self-join that dominates frame time (§4.1). The temporal layer owns
@@ -145,89 +224,138 @@ pub fn dilated_interpolate_with(
         reused_neighborhoods: 0,
     };
 
-    // --- Interpolation stage: generate midpoints in parallel. -------------
+    // --- Plan: classify every row as copy-forward or recompute against the
+    // previous frame's cached outputs (Cold plans recompute everything).
     let t1 = Instant::now();
     distribute_new_points_into(low.len(), ratio, &mut scratch.counts);
-    let counts = &scratch.counts;
-    let dilated = &scratch.dilated;
-    let cfg = *config;
-    let partials: Vec<PartialOutput> = par::map_chunks(low.len(), chunk, |_, range| {
-        let mut out = PartialOutput::default();
-        for i in range {
-            let count = counts[i];
-            if count == 0 {
-                continue;
-            }
-            let hood = dilated.row(i);
-            if hood.is_empty() {
-                continue;
-            }
-            let p = positions[i];
-            // Seeding per source point keeps the draw sequence independent
-            // of how the range is chunked across workers.
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (i as u64).wrapping_mul(0x9E37_79B9));
-            // Random subset S_i of the dilated neighborhood, one partner
-            // per generated point.
-            for _ in 0..count {
-                let j = hood[rng.random_range(0..hood.len())] as usize;
-                let q = positions[j];
-                out.new_points.push(p.midpoint(q));
-                out.parents.push((i, j));
-                out.ops.points_generated += 1;
-            }
-        }
-        if cfg.reuse_neighbors {
-            // Derive every generated point's neighborhood in one batched
-            // merge-and-prune pass over the chunk (Eq. 2): the k-nearest
-            // subsets (heads of the dilated lists) serve as the parents'
-            // neighbor lists for reuse.
-            out.ops.reused_neighborhoods += out.new_points.len() as u64;
-            super::reuse::merge_and_prune_rows(
-                &out.new_points,
-                &out.parents,
-                dilated.view(),
-                positions,
-                cfg.k,
-                &mut out.neighborhoods,
-            );
-        } else {
-            // No-reuse ablation: the rows are produced by exact batched
-            // queries during the merge below, so the partial CSR stays
-            // empty here.
-            out.ops.knn_queries += out.new_points.len() as u64;
-        }
-        out
-    });
-    timings.interpolation += t1.elapsed();
+    super::temporal::plan_outputs(
+        &mut scratch.temporal,
+        &scratch.counts,
+        low,
+        config,
+        ratio,
+        OutputKind::Dilated,
+    );
 
-    // --- Merge chunk outputs. ---------------------------------------------
-    let mut cloud = low.clone();
-    let mut parents = Vec::new();
-    for part in partials {
-        ops = ops.combine(part.ops);
-        if config.reuse_neighbors {
-            neighborhoods.append(&part.neighborhoods);
-        } else {
-            // Fill the no-reuse rows with exact batched queries (sequential
-            // here; the ablation only cares about total cost).
-            let t = Instant::now();
-            scratch
-                .index
-                .cached_tree()
-                .knn_batch(&part.new_points, config.k, &mut neighborhoods);
-            timings.knn += t.elapsed();
-            ops.candidates_examined += part.new_points.len() as u64 * config.k as u64 * 4;
-        }
-        for (&np, &parent) in part.new_points.iter().zip(part.parents.iter()) {
-            cloud.push(np, None);
-            parents.push(parent);
+    // --- Interpolation stage: generate only the fresh rows, as one
+    // compacted batch (parallel across chunks of the fresh-row list).
+    let counts = scratch.counts.as_slice();
+    let dilated = &scratch.dilated;
+    let fresh_rows = scratch.temporal.plan.fresh_rows.as_slice();
+    if !fresh_rows.is_empty() {
+        scratch.soa.fill(positions);
+    }
+    let soa = &scratch.soa;
+    let cfg = *config;
+    let mut fresh_points: Vec<Point3> = Vec::new();
+    let mut fresh_parents: Vec<(usize, usize)> = Vec::new();
+    let mut fresh_hoods = cfg.reuse_neighbors.then(Neighborhoods::new);
+    let workers = par::worker_count(fresh_rows.len(), 2_000);
+    if workers <= 1 {
+        dilated_interpolate_rows_into(
+            positions,
+            soa,
+            dilated.view(),
+            &cfg,
+            counts,
+            fresh_rows,
+            &mut fresh_points,
+            &mut fresh_parents,
+            fresh_hoods.as_mut(),
+        );
+    } else {
+        let chunk = fresh_rows.len().div_ceil(workers).max(1);
+        let partials = par::map_chunks(fresh_rows.len(), chunk, |_, range| {
+            let mut pts = Vec::new();
+            let mut prs = Vec::new();
+            let mut hds = cfg.reuse_neighbors.then(Neighborhoods::new);
+            dilated_interpolate_rows_into(
+                positions,
+                soa,
+                dilated.view(),
+                &cfg,
+                counts,
+                &fresh_rows[range],
+                &mut pts,
+                &mut prs,
+                hds.as_mut(),
+            );
+            (pts, prs, hds)
+        });
+        for (pts, prs, hds) in &partials {
+            fresh_points.extend_from_slice(pts);
+            fresh_parents.extend_from_slice(prs);
+            if let (Some(all), Some(part)) = (fresh_hoods.as_mut(), hds.as_ref()) {
+                all.append(part);
+            }
         }
     }
 
-    // --- Colorization stage. ----------------------------------------------
+    // --- Assemble: interleave copied-forward (index-remapped) and fresh
+    // outputs into final frame order.
+    let mut cloud = low.clone();
+    let mut parents = Vec::new();
+    super::temporal::assemble_outputs(
+        &scratch.temporal,
+        counts,
+        FreshOutputs {
+            points: &fresh_points,
+            parents: &fresh_parents,
+            hoods: fresh_hoods.as_ref(),
+        },
+        &mut cloud,
+        &mut parents,
+        config.reuse_neighbors.then_some(&mut neighborhoods),
+    );
+    ops.points_generated = (cloud.len() - low.len()) as u64;
+    if config.reuse_neighbors {
+        ops.reused_neighborhoods = ops.points_generated;
+    }
+    timings.interpolation += t1.elapsed();
+    if !config.reuse_neighbors {
+        // No-reuse ablation: exact batched queries for every generated point
+        // (the plan is always Cold here, so `fresh_points` is all of them).
+        let t = Instant::now();
+        scratch
+            .index
+            .cached_tree()
+            .knn_batch(&fresh_points, config.k, &mut neighborhoods);
+        timings.knn += t.elapsed();
+        ops.knn_queries += fresh_points.len() as u64;
+        ops.candidates_examined += fresh_points.len() as u64 * config.k as u64 * 4;
+    }
+
+    // --- Colorization stage: copy cached tail colors forward when every
+    // source color is unchanged, blending only the fresh ordinals.
     let t2 = Instant::now();
-    colorize::colorize_new_points(&mut cloud, low, low.len(), neighborhoods.view(), &parents);
+    if super::temporal::scatter_cached_colors(&scratch.temporal, &mut cloud, low.len()) {
+        colorize::colorize_rows(
+            &mut cloud,
+            low,
+            low.len(),
+            neighborhoods.view(),
+            &parents,
+            &scratch.temporal.plan.fresh_ordinals,
+        );
+    } else {
+        colorize::colorize_new_points(&mut cloud, low, low.len(), neighborhoods.view(), &parents);
+    }
     timings.colorization += t2.elapsed();
+
+    // --- Capture this frame's outputs as the next frame's reuse source.
+    let t3 = Instant::now();
+    super::temporal::capture_outputs(
+        &mut scratch.temporal,
+        counts,
+        low,
+        config,
+        ratio,
+        OutputKind::Dilated,
+        &cloud,
+        &parents,
+        &neighborhoods,
+    );
+    timings.interpolation += t3.elapsed();
 
     Ok(InterpolationResult {
         cloud,
@@ -351,6 +479,44 @@ mod tests {
         assert_eq!(a.cloud, b.cloud);
         assert_eq!(a.neighborhoods, b.neighborhoods);
         assert_eq!(a.parents, b.parents);
+    }
+
+    #[test]
+    fn rows_into_over_full_set_matches_whole_frame_batch() {
+        // The partial-batch entry over the complete row list must reproduce
+        // the legacy whole-frame output bit for bit.
+        let low = synthetic::humanoid(900, 0.35, 21);
+        let cfg = SrConfig::default();
+        let ratio = 2.4;
+        let full = dilated_interpolate(&low, &cfg, ratio).unwrap();
+
+        let mut scratch = FrameScratch::new();
+        let warm = dilated_interpolate_with(&low, &cfg, ratio, &mut scratch).unwrap();
+        assert_eq!(warm.cloud, full.cloud);
+        // Rebuild the inputs the partial entry needs from the scratch state.
+        let positions = low.positions();
+        let mut soa = SoaPositions::default();
+        soa.fill(positions);
+        let mut counts = Vec::new();
+        distribute_new_points_into(low.len(), ratio, &mut counts);
+        let rows: Vec<u32> = (0..low.len() as u32).collect();
+        let mut pts = Vec::new();
+        let mut prs = Vec::new();
+        let mut hds = Neighborhoods::new();
+        dilated_interpolate_rows_into(
+            positions,
+            &soa,
+            scratch.dilated.view(),
+            &cfg,
+            &counts,
+            &rows,
+            &mut pts,
+            &mut prs,
+            Some(&mut hds),
+        );
+        assert_eq!(pts.as_slice(), &full.cloud.positions()[low.len()..]);
+        assert_eq!(prs, full.parents);
+        assert_eq!(hds, full.neighborhoods);
     }
 
     #[test]

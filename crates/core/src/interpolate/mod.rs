@@ -30,6 +30,7 @@ pub use temporal::TemporalStats;
 use volut_pointcloud::delta::FrameDelta;
 use volut_pointcloud::dualtree::{BatchStrategy, DualTreeScratch};
 use volut_pointcloud::kdtree::KdTree;
+use volut_pointcloud::soa::SoaPositions;
 use volut_pointcloud::{par, Neighborhoods, Point3, PointCloud};
 
 /// Output of an interpolation pass.
@@ -337,6 +338,14 @@ pub struct FrameScratch {
     /// Caller-declared geometry generation for the next frame(s); `None`
     /// means "unknown", which falls back to content verification.
     pub(crate) geometry_generation: Option<u64>,
+    /// SoA mirror of the frame positions, feeding the SIMD pair-midpoint
+    /// kernel of the interpolators' fresh-row path.
+    pub(crate) soa: SoaPositions,
+    /// Compacted CSR over the fresh-subset rows handed to
+    /// [`crate::refine::refine_rows_in_place`].
+    pub(crate) subset_hoods: Neighborhoods,
+    /// Refined positions of the fresh subset before scatter-back.
+    pub(crate) subset_out: Vec<Point3>,
 }
 
 impl FrameScratch {
@@ -438,10 +447,13 @@ impl FrameScratch {
             + self.dilated.reserved_bytes()
             + self.raw_hoods.reserved_bytes()
             + self.counts.capacity() * std::mem::size_of::<usize>()
-            + (self.centers.capacity() + self.queries.capacity()) * std::mem::size_of::<Point3>()
+            + (self.centers.capacity() + self.queries.capacity() + self.subset_out.capacity())
+                * std::mem::size_of::<Point3>()
             + self.index.tree.reserved_bytes()
             + self.dualtree.reserved_bytes()
             + self.temporal.reserved_bytes()
+            + self.soa.reserved_bytes()
+            + self.subset_hoods.reserved_bytes()
     }
 }
 
@@ -558,6 +570,23 @@ pub(crate) fn distribute_new_points_into(n: usize, ratio: f64, counts: &mut Vec<
     let base = new_total / n;
     let extra = new_total % n;
     counts.extend((0..n).map(|i| base + usize::from(i < extra)));
+}
+
+/// Per-row RNG seed derived from the session seed and the source point's
+/// *position bits* (splitmix64-style finalizer). Seeding partner draws by
+/// content rather than by row index makes every row's output sequence
+/// invariant under index remapping — the property that lets the temporal
+/// layer copy interpolated outputs forward across frames whose surviving
+/// rows moved to new indices (see [`temporal`]).
+pub(crate) fn row_seed(seed: u64, p: Point3) -> u64 {
+    fn mix(mut h: u64) -> u64 {
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^ (h >> 31)
+    }
+    let xy = u64::from(p.x.to_bits()) | (u64::from(p.y.to_bits()) << 32);
+    let h = mix(seed ^ 0x9E37_79B9_7F4A_7C15 ^ xy);
+    mix(h.wrapping_add(u64::from(p.z.to_bits())))
 }
 
 /// Allocating convenience wrapper around [`distribute_new_points_into`].

@@ -15,9 +15,16 @@
 //! batch layer answers with the dual-tree leaf-pair kernel
 //! ([`volut_pointcloud::dualtree`]) at production sizes, the new-point pass
 //! a bichromatic batch on the warm single-tree sweep. Partner selection
-//! stays sequential over one global RNG so the output is bit-identical to
-//! the historical per-point formulation.
+//! draws from a small RNG seeded per *source point* by the point's position
+//! bits (`super::row_seed`), which keeps the output independent of row
+//! order — the invariance that lets the temporal layer copy a surviving
+//! row's generated points (and their exact kNN rows, colors and refined
+//! positions) forward across delta frames; on such frames only the
+//! churn-invalidated rows are regenerated, as one compacted batch
+//! ([`naive_interpolate_rows_into`]) whose midpoints run through the SIMD
+//! SoA kernel [`volut_pointcloud::kernels::pair_midpoints_into`].
 
+use super::temporal::{FreshOutputs, OutputKind};
 use super::{
     colorize, distribute_new_points_into, FrameScratch, InterpolationResult, InterpolationTimings,
     OpCounts,
@@ -28,7 +35,9 @@ use crate::Result;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::time::Instant;
-use volut_pointcloud::PointCloud;
+use volut_pointcloud::kernels;
+use volut_pointcloud::soa::SoaPositions;
+use volut_pointcloud::{NeighborhoodsView, Point3, PointCloud};
 
 /// Upsamples `low` to roughly `ratio ×` its point count using vanilla kNN
 /// midpoint interpolation.
@@ -56,6 +65,67 @@ pub fn naive_interpolate(
     ratio: f64,
 ) -> Result<InterpolationResult> {
     naive_interpolate_with(low, config, ratio, &mut FrameScratch::new())
+}
+
+/// Generates the midpoints of a *subset* of source rows, appending to
+/// `out_points` / `out_parents`.
+///
+/// `source_hoods.row(i)` is the batched `(k+1)`-NN row of source point `i`
+/// *including* its self-match (stripped here); `counts[i]` is the per-row
+/// generation count; `soa` must mirror `positions` ([`SoaPositions::fill`]).
+/// Calling this over the full row set is bit-identical to the whole-frame
+/// pass — the partial-batch entry exists so the temporal layer can
+/// regenerate *only* churn-invalidated rows. Midpoints are computed by the
+/// SIMD SoA kernel [`kernels::pair_midpoints_into`] (scalar fallback
+/// bit-identical).
+#[allow(clippy::too_many_arguments)]
+pub fn naive_interpolate_rows_into(
+    positions: &[Point3],
+    soa: &SoaPositions,
+    source_hoods: NeighborhoodsView<'_>,
+    config: &SrConfig,
+    counts: &[usize],
+    rows: &[u32],
+    out_points: &mut Vec<Point3>,
+    out_parents: &mut Vec<(usize, usize)>,
+) {
+    let start = out_points.len();
+    let total: usize = rows.iter().map(|&r| counts[r as usize]).sum();
+    debug_assert!(total == 0 || soa.len() == positions.len());
+    let mut pair_a: Vec<u32> = Vec::with_capacity(total);
+    let mut pair_b: Vec<u32> = Vec::with_capacity(total);
+    let mut neighbor_ids: Vec<u32> = Vec::with_capacity(config.k + 1);
+    for &row in rows {
+        let i = row as usize;
+        let count = counts[i];
+        if count == 0 {
+            continue;
+        }
+        // Drop the self-match from the batched row.
+        neighbor_ids.clear();
+        neighbor_ids.extend(
+            source_hoods
+                .row(i)
+                .iter()
+                .copied()
+                .filter(|&j| j as usize != i),
+        );
+        debug_assert!(!neighbor_ids.is_empty(), "stripped kNN row {i} is empty");
+        if neighbor_ids.is_empty() {
+            continue;
+        }
+        // Seeding per source point — by position bits — keeps the draw
+        // sequence independent of the row's index across frames.
+        let mut rng = StdRng::seed_from_u64(super::row_seed(config.seed, positions[i]));
+        for _ in 0..count {
+            let j = neighbor_ids[rng.random_range(0..neighbor_ids.len())];
+            pair_a.push(row);
+            pair_b.push(j);
+            out_parents.push((i, j as usize));
+        }
+    }
+    out_points.resize(start + pair_a.len(), Point3::ZERO);
+    kernels::pair_midpoints_into(soa, &pair_a, &pair_b, &mut out_points[start..]);
 }
 
 /// [`naive_interpolate`] with caller-provided scratch buffers (reused across
@@ -98,14 +168,17 @@ pub fn naive_interpolate_with(
     // incremental row reuse across delta frames (bit-identical to a full
     // recompute — see [`super::temporal`]). Partial prefixes (ratios below
     // 2×) are not a self-join over the whole cloud, so they take the plain
-    // batched path against the cached index.
-    if active == low.len() {
+    // batched path against the cached index — and register as an unplanned
+    // frame so no cross-frame output reuse spans them.
+    let full_prefix = active == low.len();
+    if full_prefix {
         // (Taken out of the scratch for the call so the temporal layer can
         // borrow the rest of the scratch mutably.)
         let mut hoods = std::mem::take(&mut scratch.dilated);
         super::temporal::self_join(low, config.k + 1, scratch, &mut hoods, &mut timings);
         scratch.dilated = hoods;
     } else {
+        super::temporal::note_unplanned_frame(&mut scratch.temporal);
         let t0 = Instant::now();
         let (tree, _rebuilt) = scratch.index.get_or_build(
             positions,
@@ -124,70 +197,128 @@ pub fn naive_interpolate_with(
         );
         timings.knn += tq.elapsed();
     }
-    let source_hoods = &scratch.dilated;
     ops.knn_queries += active as u64;
     ops.candidates_examined += active as u64 * (low.len().min(64)) as u64;
 
-    // --- Midpoint generation: sequential draws from one global RNG (the
-    // draw sequence defines the baseline's output; chunking must not).
+    // --- Plan: classify every row as copy-forward or recompute against the
+    // previous frame's cached outputs (partial prefixes already registered a
+    // Cold plan above).
     let ti = Instant::now();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut cloud = low.clone();
-    let mut parents = Vec::new();
-    let queries = &mut scratch.queries;
-    queries.clear();
-    let mut neighbor_ids: Vec<usize> = Vec::with_capacity(config.k + 1);
-    for i in 0..active {
-        let count = scratch.counts[i];
-        if count == 0 {
-            continue;
-        }
-        let p = low.position(i);
-        // Drop the self-match from the batched row.
-        neighbor_ids.clear();
-        neighbor_ids.extend(
-            source_hoods
-                .row(i)
-                .iter()
-                .map(|&j| j as usize)
-                .filter(|&j| j != i),
+    if full_prefix {
+        super::temporal::plan_outputs(
+            &mut scratch.temporal,
+            &scratch.counts,
+            low,
+            config,
+            ratio,
+            OutputKind::Naive,
         );
-        if neighbor_ids.is_empty() {
-            continue;
-        }
-        for _ in 0..count {
-            let j = neighbor_ids[rng.random_range(0..neighbor_ids.len())];
-            let new_point = p.midpoint(low.position(j));
-            cloud.push(new_point, None);
-            parents.push((i, j));
-            queries.push(new_point);
-            ops.points_generated += 1;
-        }
+    } else {
+        let total: usize = scratch.counts.iter().sum();
+        scratch.temporal.stats.gen_points_recomputed += total as u64;
     }
+
+    // --- Midpoint generation: only the fresh rows, as one compacted batch.
+    // On a Cold plan this is every active row — the whole-frame baseline.
+    let partial_rows: Vec<u32>;
+    let fresh_rows: &[u32] = if full_prefix {
+        &scratch.temporal.plan.fresh_rows
+    } else {
+        partial_rows = (0..active as u32).collect();
+        &partial_rows
+    };
+    if !fresh_rows.is_empty() {
+        scratch.soa.fill(positions);
+    }
+    let mut fresh_points: Vec<Point3> = Vec::new();
+    let mut fresh_parents: Vec<(usize, usize)> = Vec::new();
+    naive_interpolate_rows_into(
+        positions,
+        &scratch.soa,
+        scratch.dilated.view(),
+        config,
+        &scratch.counts,
+        fresh_rows,
+        &mut fresh_points,
+        &mut fresh_parents,
+    );
     timings.interpolation += ti.elapsed();
 
-    // --- New-point queries: the naive pipeline re-derives every generated
-    // point's own neighborhood with a fresh (batched) kNN pass. These are
+    // --- New-point queries: the naive pipeline re-derives every *fresh*
+    // generated point's own neighborhood with a batched kNN pass; reused
+    // points copy their cached rows forward index-remapped. The queries are
     // bichromatic (midpoints against the original cloud), which the auto
     // policy keeps on the warm single-tree sweep — measured faster than a
     // leaf-pair traversal plus a query-tree build (see
     // `volut_pointcloud::dualtree`).
     let tq = Instant::now();
+    scratch.subset_hoods.clear();
     super::batched_knn_into(
         scratch.index.cached_tree(),
-        queries,
+        &fresh_points,
         config.k,
         &mut scratch.dualtree,
-        &mut neighborhoods,
+        &mut scratch.subset_hoods,
     );
     timings.knn += tq.elapsed();
-    ops.knn_queries += queries.len() as u64;
-    ops.candidates_examined += queries.len() as u64 * (low.len().min(64)) as u64;
+    ops.knn_queries += fresh_points.len() as u64;
+    ops.candidates_examined += fresh_points.len() as u64 * (low.len().min(64)) as u64;
 
-    // Colorize the generated points from their nearest original point.
+    // --- Assemble: interleave copied-forward (index-remapped) and fresh
+    // outputs into final frame order.
+    let ta = Instant::now();
+    let mut cloud = low.clone();
+    let mut parents = Vec::new();
+    super::temporal::assemble_outputs(
+        &scratch.temporal,
+        &scratch.counts,
+        FreshOutputs {
+            points: &fresh_points,
+            parents: &fresh_parents,
+            hoods: Some(&scratch.subset_hoods),
+        },
+        &mut cloud,
+        &mut parents,
+        Some(&mut neighborhoods),
+    );
+    ops.points_generated = (cloud.len() - low.len()) as u64;
+    timings.interpolation += ta.elapsed();
+
+    // --- Colorization: copy cached tail colors forward when every source
+    // color is unchanged, blending only the fresh ordinals.
     let tc = Instant::now();
-    colorize::colorize_new_points(&mut cloud, low, low.len(), neighborhoods.view(), &parents);
+    if super::temporal::scatter_cached_colors(&scratch.temporal, &mut cloud, low.len()) {
+        colorize::colorize_rows(
+            &mut cloud,
+            low,
+            low.len(),
+            neighborhoods.view(),
+            &parents,
+            &scratch.temporal.plan.fresh_ordinals,
+        );
+    } else {
+        colorize::colorize_new_points(&mut cloud, low, low.len(), neighborhoods.view(), &parents);
+    }
     timings.colorization += tc.elapsed();
+
+    // --- Capture this frame's outputs as the next frame's reuse source.
+    // Partial prefixes skip the capture: their generation did not run over
+    // the self-join rows the next frame's plan would correlate against.
+    if full_prefix {
+        let t3 = Instant::now();
+        super::temporal::capture_outputs(
+            &mut scratch.temporal,
+            &scratch.counts,
+            low,
+            config,
+            ratio,
+            OutputKind::Naive,
+            &cloud,
+            &parents,
+            &neighborhoods,
+        );
+        timings.interpolation += t3.elapsed();
+    }
 
     Ok(InterpolationResult {
         cloud,
@@ -284,5 +415,57 @@ mod tests {
         let second = naive_interpolate_with(&low, &SrConfig::k4d1(), 2.0, &mut scratch).unwrap();
         assert_eq!(second.cloud, fresh.cloud);
         assert_eq!(second.neighborhoods, fresh.neighborhoods);
+    }
+
+    #[test]
+    fn fractional_ratio_frames_interleave_safely_with_full_ones() {
+        // A partial-prefix (unplanned) frame between two full frames must
+        // not let stale cached outputs cross the discontinuity: every frame
+        // still matches a cold-scratch recompute bit for bit.
+        let low = synthetic::sphere(500, 1.0, 12);
+        let mut scratch = FrameScratch::new();
+        for ratio in [2.0, 1.3, 2.0, 1.7, 2.0] {
+            let reused =
+                naive_interpolate_with(&low, &SrConfig::k4d1(), ratio, &mut scratch).unwrap();
+            let fresh = naive_interpolate(&low, &SrConfig::k4d1(), ratio).unwrap();
+            assert_eq!(reused.cloud, fresh.cloud, "ratio {ratio}");
+            assert_eq!(reused.neighborhoods, fresh.neighborhoods, "ratio {ratio}");
+            assert_eq!(reused.parents, fresh.parents, "ratio {ratio}");
+            scratch.recycle_neighborhoods(reused.neighborhoods);
+        }
+    }
+
+    #[test]
+    fn rows_into_over_full_set_matches_whole_frame_batch() {
+        // The partial-batch entry over the complete row list must reproduce
+        // the whole-frame midpoints bit for bit.
+        let low = synthetic::humanoid(700, 0.35, 23);
+        let cfg = SrConfig::k4d1();
+        let ratio = 2.0;
+        let full = naive_interpolate(&low, &cfg, ratio).unwrap();
+
+        let mut scratch = FrameScratch::new();
+        let warm = naive_interpolate_with(&low, &cfg, ratio, &mut scratch).unwrap();
+        assert_eq!(warm.cloud, full.cloud);
+        let positions = low.positions();
+        let mut soa = SoaPositions::default();
+        soa.fill(positions);
+        let mut counts = Vec::new();
+        distribute_new_points_into(low.len(), ratio, &mut counts);
+        let rows: Vec<u32> = (0..low.len() as u32).collect();
+        let mut pts = Vec::new();
+        let mut prs = Vec::new();
+        naive_interpolate_rows_into(
+            positions,
+            &soa,
+            scratch.dilated.view(),
+            &cfg,
+            &counts,
+            &rows,
+            &mut pts,
+            &mut prs,
+        );
+        assert_eq!(pts.as_slice(), &full.cloud.positions()[low.len()..]);
+        assert_eq!(prs, full.parents);
     }
 }

@@ -51,6 +51,38 @@
 //! cold path is the failed diff — one linear pass), or when incremental
 //! reuse is disabled via [`FrameScratch::set_incremental`].
 //!
+//! # Downstream output reuse (churn-proportional interpolation)
+//!
+//! Row reuse propagates past the kNN stage: an interpolated point, its
+//! blended color and its refined position depend only on the source row's
+//! neighborhood and the neighbor positions/colors, all of which are bitwise
+//! unchanged for a row that was copied forward. The cache therefore also
+//! snapshots the previous frame's *outputs* per source row — generated
+//! positions, parents, generated-point neighborhoods, colors
+//! (`OutputCache`) and the refined tail (`RefinedCache`) — and each
+//! frame `plan_outputs` classifies every new row as copy-forward or
+//! recompute (`FramePlan`):
+//!
+//! * a **dilated** row's outputs are reusable when the row itself and every
+//!   cached partner's row were copied forward (the generated neighborhoods
+//!   are derived from the parents' rows, so parent-row validity covers
+//!   them);
+//! * a **naive** row additionally checks each cached generated point's own
+//!   exact-kNN ball against the removals and the inserted-point kd-tree —
+//!   the same rule the row cache uses, applied per generated point.
+//!
+//! Both interpolators draw partners from an RNG seeded by the *source
+//! point's position bits* (`super::row_seed`), so a copied-forward row
+//! replays the identical draw sequence under its new index and reuse stays
+//! bit-identical to a cold recompute. Colors are copied forward only when
+//! every survivor's color is unchanged (`colors_ok`); refined positions
+//! only when the same pipeline (by id) refined the previous frame. Staleness
+//! is guarded by a per-`self_join` serial: outputs must have been captured
+//! by the join immediately preceding the current one, otherwise the plan
+//! degrades to a cold recompute (never to wrong output). Forcing the cold
+//! path — e.g. for benchmarking — is one call:
+//! [`FrameScratch::set_incremental`]`(false)`.
+//!
 //! [`FrameDelta`]: volut_pointcloud::delta::FrameDelta
 //! [`FrameDelta::diff`]: volut_pointcloud::delta::FrameDelta::diff
 //! [`KdTree::any_within`]: volut_pointcloud::kdtree::KdTree::any_within
@@ -58,10 +90,11 @@
 //! [`FrameScratch::set_incremental`]: super::FrameScratch::set_incremental
 
 use super::{batched_knn_into, FrameScratch, InterpolationTimings};
+use crate::config::SrConfig;
 use std::time::Instant;
 use volut_pointcloud::delta::{FrameDelta, REMOVED};
 use volut_pointcloud::kdtree::KdTree;
-use volut_pointcloud::{Neighborhoods, Point3, PointCloud};
+use volut_pointcloud::{Color, Neighborhoods, Point3, PointCloud};
 
 /// Smallest fraction of surviving points for which the incremental path is
 /// attempted; below it (heavy churn) the copy-forward bookkeeping cannot
@@ -81,6 +114,126 @@ pub struct TemporalStats {
     /// Frames that took the full-recompute path (cold frames, heavy churn,
     /// ineligible shapes).
     pub full_frames: u64,
+    /// Generated points whose interpolated outputs (position, parents,
+    /// neighborhood) were copied forward from the previous frame.
+    pub gen_points_reused: u64,
+    /// Generated points recomputed through the interpolation cold path.
+    pub gen_points_recomputed: u64,
+    /// Generated points whose refined positions were copied forward (no LUT
+    /// lookup / NN inference performed).
+    pub refined_points_reused: u64,
+    /// Generated points refined fresh (lookup stats cover exactly these).
+    pub refined_points_recomputed: u64,
+}
+
+/// How [`self_join`] answered the current frame — the anchor for every
+/// downstream reuse decision of the same frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum JoinOutcome {
+    /// Full recompute: nothing about the previous frame applies.
+    #[default]
+    Cold,
+    /// The frame is bitwise identical to the cached one.
+    Identical,
+    /// The frame was answered through the incremental row machinery;
+    /// `old_to_new_buf` / `row_valid` describe the old→new relation.
+    Incremental,
+}
+
+/// Which interpolator captured / wants the cached outputs. The per-row
+/// validity rule differs (see the module docs), so cached outputs are never
+/// served across kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OutputKind {
+    /// Dilated interpolation with neighbor-relationship reuse.
+    Dilated,
+    /// Naive baseline (exact per-generated-point kNN rows).
+    Naive,
+}
+
+/// Everything that must match before cached outputs may be consulted at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OutputKey {
+    config: SrConfig,
+    ratio_bits: u64,
+    kind: OutputKind,
+}
+
+/// The previous frame's interpolation outputs, per source row: the reuse
+/// source for positions, parents, generated-point neighborhoods and colors.
+/// All buffers are cleared + refilled per capture (capacity is monotone).
+#[derive(Debug, Default)]
+pub(crate) struct OutputCache {
+    valid: bool,
+    /// `join_serial` of the frame that captured these outputs; a plan only
+    /// trusts them when that was the join immediately before the current one.
+    serial: u64,
+    key: Option<OutputKey>,
+    /// Per-source-row prefix sums into the tail arrays (`old_n + 1` entries).
+    pub(crate) offsets: Vec<u32>,
+    /// Generated positions (the previous frame's tail, in output order).
+    pub(crate) points: Vec<Point3>,
+    /// Parent pairs (old indices; `.0` is the source row).
+    pub(crate) parents: Vec<(u32, u32)>,
+    /// Generated-point neighborhoods (old indices), one row per tail point.
+    pub(crate) hoods: Neighborhoods,
+    /// Whether the captured frame carried colors.
+    has_colors: bool,
+    /// Colors of the generated tail.
+    pub(crate) colors: Vec<Color>,
+    /// Colors of the captured frame's source points (survivor-change check).
+    low_colors: Vec<Color>,
+}
+
+/// The previous frame's refined tail, owned by the pipeline that produced it.
+#[derive(Debug, Default)]
+pub(crate) struct RefinedCache {
+    valid: bool,
+    /// Id of the [`crate::SrPipeline`] that refined it (refiners differ).
+    owner: u64,
+    /// `join_serial` of the frame whose tail this is.
+    serial: u64,
+    points: Vec<Point3>,
+}
+
+/// How much of the cached outputs the current frame may copy forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum PlanMode {
+    /// Recompute everything (no cache, staleness, key mismatch, heavy churn).
+    #[default]
+    Cold,
+    /// The frame equals the cached one: every output copies forward wholesale.
+    Identical,
+    /// Per-row: `row_src` maps reusable new rows to their cached source row.
+    Incremental,
+}
+
+/// The per-frame reuse plan produced by [`plan_outputs`] and consumed by the
+/// interpolator's assembly, the colorizer and the pipeline's refinement
+/// stage. Buffers are scratch-resident and cleared per frame.
+#[derive(Debug, Default)]
+pub(crate) struct FramePlan {
+    /// `true` between [`plan_outputs`] / [`note_unplanned_frame`] and the end
+    /// of the frame ([`capture_refined`] consumes it) — the guard that keeps
+    /// refined-tail reuse from ever crossing an interpolation it did not plan.
+    active: bool,
+    /// `join_serial` the plan was computed for.
+    serial: u64,
+    pub(crate) mode: PlanMode,
+    /// Per new row: cached source row, or `u32::MAX` to recompute
+    /// (`Incremental` mode only).
+    pub(crate) row_src: Vec<u32>,
+    /// Per new tail ordinal: cached source ordinal, or `u32::MAX` if fresh.
+    pub(crate) ordinal_src: Vec<u32>,
+    /// New rows to generate fresh, ascending. All rows in `Cold` mode.
+    pub(crate) fresh_rows: Vec<u32>,
+    /// New tail ordinals to colorize/refine fresh, ascending.
+    pub(crate) fresh_ordinals: Vec<u32>,
+    /// `true` when every survivor's color is unchanged, so cached tail
+    /// colors may be copied forward.
+    pub(crate) colors_ok: bool,
+    /// Tail length of the cached outputs (refined-reuse length guard).
+    old_tail_len: usize,
 }
 
 /// The previous frame's self-join state plus the scratch the incremental
@@ -120,6 +273,25 @@ pub(crate) struct TemporalCache {
     /// (verified before use; wrong deltas fall back to the bitwise diff).
     pub(crate) pending_delta: Option<FrameDelta>,
     pub(crate) stats: TemporalStats,
+    /// Bumped at every [`self_join`] / [`note_unplanned_frame`]; correlates
+    /// the caches with the frame they were captured on.
+    join_serial: u64,
+    /// How the current frame's self-join was answered.
+    last_outcome: JoinOutcome,
+    /// Persisted copy of the frame delta's old→new survivor map
+    /// (`Incremental` frames only; old-indexed, [`REMOVED`] for removals).
+    pub(crate) old_to_new_buf: Vec<u32>,
+    /// Old-indexed: `true` when that row was copied forward this frame.
+    row_valid: Vec<bool>,
+    /// Whether the current incremental frame had any inserted points (the
+    /// `insert_tree` is only meaningful then).
+    has_inserts: bool,
+    /// The previous frame's interpolation outputs.
+    pub(crate) outputs: OutputCache,
+    /// The previous frame's refined tail.
+    refined: RefinedCache,
+    /// The current frame's reuse plan.
+    pub(crate) plan: FramePlan,
 }
 
 impl Default for TemporalCache {
@@ -139,26 +311,52 @@ impl Default for TemporalCache {
             fresh_rows: Neighborhoods::new(),
             pending_delta: None,
             stats: TemporalStats::default(),
+            join_serial: 0,
+            last_outcome: JoinOutcome::Cold,
+            old_to_new_buf: Vec::new(),
+            row_valid: Vec::new(),
+            has_inserts: false,
+            outputs: OutputCache::default(),
+            refined: RefinedCache::default(),
+            plan: FramePlan::default(),
         }
     }
 }
 
 impl TemporalCache {
-    /// Drops the cached frame (the next frame recomputes in full).
+    /// Drops the cached frame and every downstream output cache (the next
+    /// frame recomputes in full).
     pub(crate) fn invalidate(&mut self) {
         self.valid = false;
         self.pending_delta = None;
+        self.outputs.valid = false;
+        self.refined.valid = false;
+        self.plan.active = false;
     }
 
     /// Capacity (bytes) currently reserved by the cache and its scratch.
     pub(crate) fn reserved_bytes(&self) -> usize {
+        const U32: usize = std::mem::size_of::<u32>();
+        const P3: usize = std::mem::size_of::<Point3>();
         (self.positions.capacity() + self.insert_positions.capacity() + self.queries.capacity())
-            * std::mem::size_of::<Point3>()
+            * P3
             + self.rows.reserved_bytes()
             + self.fresh_rows.reserved_bytes()
             + self.removed_mark.capacity()
-            + self.recompute.capacity() * std::mem::size_of::<u32>()
+            + self.row_valid.capacity()
+            + (self.recompute.capacity() + self.old_to_new_buf.capacity()) * U32
             + self.insert_tree.reserved_bytes()
+            + self.outputs.offsets.capacity() * U32
+            + (self.outputs.points.capacity() + self.refined.points.capacity()) * P3
+            + self.outputs.parents.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.outputs.hoods.reserved_bytes()
+            + (self.outputs.colors.capacity() + self.outputs.low_colors.capacity())
+                * std::mem::size_of::<Color>()
+            + (self.plan.row_src.capacity()
+                + self.plan.ordinal_src.capacity()
+                + self.plan.fresh_rows.capacity()
+                + self.plan.fresh_ordinals.capacity())
+                * U32
     }
 }
 
@@ -182,6 +380,8 @@ pub(crate) fn self_join(
     let digest = low.geometry_digest();
     let generation = scratch.geometry_generation;
     let pending = scratch.temporal.pending_delta.take();
+    scratch.temporal.join_serial += 1;
+    scratch.temporal.last_outcome = JoinOutcome::Cold;
 
     // Eligibility of the cached rows (not yet of this specific frame).
     let cache_ready = scratch.temporal.enabled
@@ -205,6 +405,7 @@ pub(crate) fn self_join(
             slab.copy_from_slice(scratch.temporal.rows.indices());
             scratch.temporal.stats.rows_reused += n as u64;
             scratch.temporal.stats.incremental_frames += 1;
+            scratch.temporal.last_outcome = JoinOutcome::Identical;
             timings.knn += t1.elapsed();
             return;
         }
@@ -279,6 +480,25 @@ pub(crate) fn self_join(
     timings.knn += t3.elapsed();
     capture(scratch, positions, digest, kq, out);
     scratch.temporal.stats.incremental_frames += 1;
+    scratch.temporal.last_outcome = JoinOutcome::Incremental;
+}
+
+/// Registers a frame that bypassed [`self_join`] (e.g. the naive
+/// interpolator's partial-prefix path): the serial bump and a `Cold` plan
+/// keep every cache from being correlated across the discontinuity.
+pub(crate) fn note_unplanned_frame(t: &mut TemporalCache) {
+    t.join_serial += 1;
+    t.last_outcome = JoinOutcome::Cold;
+    let p = &mut t.plan;
+    p.active = true;
+    p.serial = t.join_serial;
+    p.mode = PlanMode::Cold;
+    p.row_src.clear();
+    p.ordinal_src.clear();
+    p.fresh_rows.clear();
+    p.fresh_ordinals.clear();
+    p.colors_ok = false;
+    p.old_tail_len = 0;
 }
 
 /// Produces the new frame's rows from the cached ones: copy-forward with
@@ -313,12 +533,19 @@ fn incremental_rows(
         t.insert_tree.build_in(&t.insert_positions);
     }
 
-    // Classify every surviving row; copy the valid ones forward.
+    // Classify every surviving row; copy the valid ones forward. The
+    // old→new map and the per-row validity verdicts persist on the cache:
+    // [`plan_outputs`] reuses them to classify the downstream outputs.
     scratch.temporal.recompute.clear();
     let slab = out.push_uniform_rows(n, kq);
     {
         let t = &mut scratch.temporal;
         let old_to_new = delta.old_to_new();
+        t.old_to_new_buf.clear();
+        t.old_to_new_buf.extend_from_slice(old_to_new);
+        t.row_valid.clear();
+        t.row_valid.resize(old_n, false);
+        t.has_inserts = has_inserts;
         for old_i in 0..old_n {
             let new_i = old_to_new[old_i];
             if new_i == REMOVED {
@@ -338,6 +565,7 @@ fn incremental_rows(
             if invalid {
                 t.recompute.push(new_i);
             } else {
+                t.row_valid[old_i] = true;
                 let dst = &mut slab[new_i as usize * kq..(new_i as usize + 1) * kq];
                 for (d, &j) in dst.iter_mut().zip(row) {
                     *d = old_to_new[j as usize];
@@ -399,6 +627,469 @@ fn capture(
     t.rows.clear();
     t.rows.append(out);
     t.valid = true;
+}
+
+/// Whether every source color the cached outputs blended from is unchanged
+/// in the new frame (tail colors may then copy forward bit-identically).
+fn colors_match(
+    o: &OutputCache,
+    low: &PointCloud,
+    outcome: JoinOutcome,
+    old_to_new: &[u32],
+) -> bool {
+    match (o.has_colors, low.colors()) {
+        (false, None) => true,
+        (true, Some(lc)) => match outcome {
+            JoinOutcome::Identical => o.low_colors.as_slice() == lc,
+            JoinOutcome::Incremental => {
+                o.low_colors.len() == old_to_new.len()
+                    && old_to_new.iter().enumerate().all(|(old_i, &new_i)| {
+                        new_i == REMOVED || o.low_colors[old_i] == lc[new_i as usize]
+                    })
+            }
+            JoinOutcome::Cold => false,
+        },
+        _ => false,
+    }
+}
+
+/// Classifies every new source row as copy-forward or recompute against the
+/// cached outputs, filling [`FramePlan`]. Must run directly after the
+/// frame's [`self_join`] (it keys off `last_outcome` and the row-validity
+/// scratch that join left behind). `counts[i]` is the number of points the
+/// interpolator will generate for row `i`. Any doubt degrades the plan to
+/// `Cold` — wrong reuse is never an outcome, only missed reuse.
+pub(crate) fn plan_outputs(
+    t: &mut TemporalCache,
+    counts: &[usize],
+    low: &PointCloud,
+    config: &SrConfig,
+    ratio: f64,
+    kind: OutputKind,
+) -> PlanMode {
+    let n = counts.len();
+    let total: usize = counts.iter().sum();
+    let serial = t.join_serial;
+    {
+        let p = &mut t.plan;
+        p.active = true;
+        p.serial = serial;
+        p.mode = PlanMode::Cold;
+        p.row_src.clear();
+        p.ordinal_src.clear();
+        p.fresh_rows.clear();
+        p.fresh_ordinals.clear();
+        p.colors_ok = false;
+        p.old_tail_len = 0;
+    }
+    let key = OutputKey {
+        config: *config,
+        ratio_bits: ratio.to_bits(),
+        kind,
+    };
+    // Dilated outputs are only row-deterministic when neighbor reuse is on
+    // (the no-reuse path recomputes generated-point kNN globally).
+    let hood_capable = kind == OutputKind::Naive || config.reuse_neighbors;
+    let eligible = t.enabled
+        && hood_capable
+        && t.outputs.valid
+        && t.outputs.serial + 1 == serial
+        && t.outputs.key == Some(key);
+
+    let mode = 'plan: {
+        if !eligible {
+            break 'plan PlanMode::Cold;
+        }
+        match t.last_outcome {
+            JoinOutcome::Cold => PlanMode::Cold,
+            JoinOutcome::Identical => {
+                let o = &t.outputs;
+                if o.offsets.len() != n + 1 || o.offsets[n] as usize != total {
+                    break 'plan PlanMode::Cold;
+                }
+                debug_assert!(
+                    (0..n).all(|i| (o.offsets[i + 1] - o.offsets[i]) as usize == counts[i]),
+                    "identical frame must reproduce the cached per-row counts"
+                );
+                t.plan.colors_ok = colors_match(&t.outputs, low, JoinOutcome::Identical, &[]);
+                t.plan.old_tail_len = t.outputs.points.len();
+                t.stats.gen_points_reused += total as u64;
+                PlanMode::Identical
+            }
+            JoinOutcome::Incremental => {
+                let TemporalCache {
+                    outputs: o,
+                    plan: p,
+                    row_valid,
+                    removed_mark,
+                    old_to_new_buf,
+                    insert_tree,
+                    has_inserts,
+                    stats,
+                    ..
+                } = &mut *t;
+                let o = &*o;
+                let old_n = row_valid.len();
+                if o.offsets.len() != old_n + 1 || old_to_new_buf.len() != old_n {
+                    break 'plan PlanMode::Cold;
+                }
+                // Invert the survivor map over rows: new row -> cached row.
+                p.row_src.resize(n, u32::MAX);
+                for old_i in 0..old_n {
+                    if row_valid[old_i] {
+                        p.row_src[old_to_new_buf[old_i] as usize] = old_i as u32;
+                    }
+                }
+                let positions = low.positions();
+                let mut new_off: u32 = 0;
+                let mut reused: u64 = 0;
+                for (new_i, &count) in counts.iter().enumerate() {
+                    let src = p.row_src[new_i];
+                    let mut ok = src != u32::MAX;
+                    if ok {
+                        let o0 = o.offsets[src as usize] as usize;
+                        let o1 = o.offsets[src as usize + 1] as usize;
+                        ok = o1 - o0 == count
+                            && match kind {
+                                // A dilated row's outputs (points, parents,
+                                // merged generated-point hoods) derive from
+                                // the source row and its partners' rows.
+                                OutputKind::Dilated => o.parents[o0..o1]
+                                    .iter()
+                                    .all(|&(_, b)| row_valid[b as usize]),
+                                // A naive generated point owns an exact kNN
+                                // row; apply the row invalidation rule to it.
+                                OutputKind::Naive => (o0..o1).all(|ord| {
+                                    let hood = o.hoods.row(ord);
+                                    !hood.is_empty()
+                                        && hood.iter().all(|&b| !removed_mark[b as usize])
+                                        && (!*has_inserts || {
+                                            let mid = o.points[ord];
+                                            let last = *hood.last().unwrap() as usize;
+                                            let r2 = mid.distance_squared(
+                                                positions[old_to_new_buf[last] as usize],
+                                            );
+                                            !insert_tree.any_within(mid, r2)
+                                        })
+                                }),
+                            };
+                    }
+                    if ok {
+                        let o0 = o.offsets[src as usize];
+                        let o1 = o.offsets[src as usize + 1];
+                        p.ordinal_src.extend(o0..o1);
+                        reused += count as u64;
+                    } else {
+                        p.row_src[new_i] = u32::MAX;
+                        p.fresh_rows.push(new_i as u32);
+                        p.fresh_ordinals.extend(new_off..new_off + count as u32);
+                        p.ordinal_src.resize(p.ordinal_src.len() + count, u32::MAX);
+                    }
+                    new_off += count as u32;
+                }
+                debug_assert_eq!(new_off as usize, total);
+                p.colors_ok = colors_match(o, low, JoinOutcome::Incremental, old_to_new_buf);
+                p.old_tail_len = o.points.len();
+                stats.gen_points_reused += reused;
+                stats.gen_points_recomputed += total as u64 - reused;
+                PlanMode::Incremental
+            }
+        }
+    };
+    if mode == PlanMode::Cold {
+        t.plan.fresh_rows.extend(0..n as u32);
+        t.stats.gen_points_recomputed += total as u64;
+    }
+    t.plan.mode = mode;
+    mode
+}
+
+/// The freshly computed outputs for the plan's `fresh_rows`, compacted in
+/// row order (`points[fc]` is the fc-th fresh point across all fresh rows).
+pub(crate) struct FreshOutputs<'a> {
+    pub(crate) points: &'a [Point3],
+    pub(crate) parents: &'a [(usize, usize)],
+    pub(crate) hoods: Option<&'a Neighborhoods>,
+}
+
+/// Interleaves cached (index-remapped) and fresh outputs into the final
+/// frame order dictated by `counts`, appending to `cloud`/`parents` and —
+/// when requested — `hoods_out`.
+pub(crate) fn assemble_outputs(
+    t: &TemporalCache,
+    counts: &[usize],
+    fresh: FreshOutputs<'_>,
+    cloud: &mut PointCloud,
+    parents: &mut Vec<(usize, usize)>,
+    mut hoods_out: Option<&mut Neighborhoods>,
+) {
+    match t.plan.mode {
+        PlanMode::Cold => {
+            cloud.extend_positions(fresh.points);
+            parents.extend_from_slice(fresh.parents);
+            if let (Some(out), Some(fh)) = (hoods_out.as_deref_mut(), fresh.hoods) {
+                out.append(fh);
+            }
+        }
+        PlanMode::Identical => {
+            let o = &t.outputs;
+            cloud.extend_positions(&o.points);
+            parents.extend(o.parents.iter().map(|&(a, b)| (a as usize, b as usize)));
+            if let Some(out) = hoods_out.as_deref_mut() {
+                out.append(&o.hoods);
+            }
+        }
+        PlanMode::Incremental => {
+            let o = &t.outputs;
+            let p = &t.plan;
+            let map = t.old_to_new_buf.as_slice();
+            let total: usize = counts.iter().sum();
+            parents.reserve(total);
+            if let Some(out) = hoods_out.as_deref_mut() {
+                let indices =
+                    o.hoods.total_indices() + fresh.hoods.map_or(0, Neighborhoods::total_indices);
+                out.reserve_rows(total, indices);
+            }
+            let mut fc = 0usize;
+            for (new_i, &count) in counts.iter().enumerate() {
+                let src = p.row_src[new_i];
+                if src == u32::MAX {
+                    cloud.extend_positions(&fresh.points[fc..fc + count]);
+                    parents.extend_from_slice(&fresh.parents[fc..fc + count]);
+                    if let (Some(out), Some(fh)) = (hoods_out.as_deref_mut(), fresh.hoods) {
+                        for r in 0..count {
+                            out.push_row_u32(fh.row(fc + r));
+                        }
+                    }
+                    fc += count;
+                } else {
+                    let o0 = o.offsets[src as usize] as usize;
+                    let o1 = o.offsets[src as usize + 1] as usize;
+                    cloud.extend_positions(&o.points[o0..o1]);
+                    parents.extend(
+                        o.parents[o0..o1]
+                            .iter()
+                            .map(|&(a, b)| (map[a as usize] as usize, map[b as usize] as usize)),
+                    );
+                    if let Some(out) = hoods_out.as_deref_mut() {
+                        for ord in o0..o1 {
+                            out.push_row_u32_iter(
+                                o.hoods.row(ord).iter().map(|&j| map[j as usize]),
+                            );
+                        }
+                    }
+                }
+            }
+            debug_assert_eq!(fc, fresh.points.len());
+        }
+    }
+}
+
+/// Copies the cached tail colors forward for every reused ordinal (fresh
+/// ordinals keep their placeholder and must be colorized by the caller).
+/// Returns `false` — leaving the cloud untouched — unless the plan vouched
+/// for the source colors (`colors_ok`) and every length lines up.
+pub(crate) fn scatter_cached_colors(
+    t: &TemporalCache,
+    cloud: &mut PointCloud,
+    original_len: usize,
+) -> bool {
+    let p = &t.plan;
+    let o = &t.outputs;
+    if !p.colors_ok || p.mode == PlanMode::Cold || !o.has_colors || !cloud.has_colors() {
+        return false;
+    }
+    let tail_len = cloud.len() - original_len;
+    let len_ok = match p.mode {
+        PlanMode::Identical => o.colors.len() == tail_len,
+        PlanMode::Incremental => p.ordinal_src.len() == tail_len,
+        PlanMode::Cold => false,
+    };
+    if !len_ok {
+        return false;
+    }
+    let mut colors = cloud.take_colors().expect("has_colors checked above");
+    match p.mode {
+        PlanMode::Identical => colors[original_len..].copy_from_slice(&o.colors),
+        PlanMode::Incremental => {
+            for (i, &src) in p.ordinal_src.iter().enumerate() {
+                if src != u32::MAX {
+                    colors[original_len + i] = o.colors[src as usize];
+                }
+            }
+        }
+        PlanMode::Cold => unreachable!(),
+    }
+    cloud
+        .set_colors(colors)
+        .expect("color count unchanged by scatter");
+    true
+}
+
+/// Snapshots this frame's interpolation outputs as the next frame's reuse
+/// source. Ineligible frames (disabled cache, no captured rows, hood-blind
+/// dilated mode) invalidate the cache instead — never leave it stale.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn capture_outputs(
+    t: &mut TemporalCache,
+    counts: &[usize],
+    low: &PointCloud,
+    config: &SrConfig,
+    ratio: f64,
+    kind: OutputKind,
+    cloud: &PointCloud,
+    parents: &[(usize, usize)],
+    hoods: &Neighborhoods,
+) {
+    let hood_capable = kind == OutputKind::Naive || config.reuse_neighbors;
+    if !t.enabled || !t.valid || !hood_capable {
+        t.outputs.valid = false;
+        return;
+    }
+    let original_len = low.len();
+    // Identical frames already have this tail captured bit-exactly: refresh
+    // the serial (and colors, if those drifted) without the bulk copies.
+    if t.plan.active
+        && t.plan.serial == t.join_serial
+        && t.plan.mode == PlanMode::Identical
+        && t.outputs.valid
+    {
+        t.outputs.serial = t.join_serial;
+        if !t.plan.colors_ok {
+            capture_colors(&mut t.outputs, low, cloud, original_len);
+        }
+        return;
+    }
+    debug_assert_eq!(counts.len(), low.len());
+    debug_assert_eq!(hoods.len(), parents.len());
+    // The offsets below are derived from `counts`; a tail that does not add
+    // up (degenerate inputs) must not be captured as a reuse source.
+    let total: usize = counts.iter().sum();
+    if cloud.len() - original_len != total || parents.len() != total {
+        t.outputs.valid = false;
+        return;
+    }
+    let o = &mut t.outputs;
+    o.serial = t.join_serial;
+    o.key = Some(OutputKey {
+        config: *config,
+        ratio_bits: ratio.to_bits(),
+        kind,
+    });
+    o.offsets.clear();
+    o.offsets.reserve(counts.len() + 1);
+    let mut acc = 0u32;
+    o.offsets.push(0);
+    for &c in counts {
+        acc += c as u32;
+        o.offsets.push(acc);
+    }
+    o.points.clear();
+    o.points
+        .extend_from_slice(&cloud.positions()[original_len..]);
+    o.parents.clear();
+    o.parents
+        .extend(parents.iter().map(|&(a, b)| (a as u32, b as u32)));
+    o.hoods.clear();
+    o.hoods.append(hoods);
+    capture_colors(o, low, cloud, original_len);
+    o.valid = true;
+}
+
+/// Captures the tail + source colors the output cache needs for `colors_ok`.
+fn capture_colors(o: &mut OutputCache, low: &PointCloud, cloud: &PointCloud, original_len: usize) {
+    o.colors.clear();
+    o.low_colors.clear();
+    if let (Some(cc), Some(lc)) = (cloud.colors(), low.colors()) {
+        o.colors.extend_from_slice(&cc[original_len..]);
+        o.low_colors.extend_from_slice(lc);
+        o.has_colors = true;
+    } else {
+        o.has_colors = false;
+    }
+}
+
+/// Copies cached refined positions onto the tail for every reused ordinal.
+/// Returns `false` (tail untouched, caller refines in full) unless the
+/// refined cache belongs to this pipeline (`owner`), covers exactly the
+/// frame the current plan reuses from, and every length lines up. On `true`
+/// the caller must still refine `plan.fresh_ordinals`.
+pub(crate) fn reuse_refined_into(
+    t: &mut TemporalCache,
+    owner: u64,
+    cloud: &mut PointCloud,
+    original_len: usize,
+) -> bool {
+    let tail_len = cloud.len() - original_len;
+    let ok = {
+        let p = &t.plan;
+        let r = &t.refined;
+        t.enabled
+            && p.active
+            && p.serial == t.join_serial
+            && r.valid
+            && r.owner == owner
+            && r.serial + 1 == t.join_serial
+            && r.points.len() == p.old_tail_len
+            && match p.mode {
+                PlanMode::Identical => tail_len == p.old_tail_len,
+                PlanMode::Incremental => p.ordinal_src.len() == tail_len,
+                PlanMode::Cold => false,
+            }
+    };
+    if !ok {
+        t.stats.refined_points_recomputed += tail_len as u64;
+        return false;
+    }
+    {
+        let tail = &mut cloud.positions_mut()[original_len..];
+        match t.plan.mode {
+            PlanMode::Identical => tail.copy_from_slice(&t.refined.points),
+            PlanMode::Incremental => {
+                for (i, &src) in t.plan.ordinal_src.iter().enumerate() {
+                    if src != u32::MAX {
+                        tail[i] = t.refined.points[src as usize];
+                    }
+                }
+            }
+            PlanMode::Cold => unreachable!(),
+        }
+    }
+    match t.plan.mode {
+        PlanMode::Identical => t.stats.refined_points_reused += tail_len as u64,
+        PlanMode::Incremental => {
+            let fresh = t.plan.fresh_ordinals.len() as u64;
+            t.stats.refined_points_reused += tail_len as u64 - fresh;
+            t.stats.refined_points_recomputed += fresh;
+        }
+        PlanMode::Cold => unreachable!(),
+    }
+    true
+}
+
+/// Snapshots the refined tail as the next frame's reuse source and consumes
+/// the frame's plan. Runs at the end of every pipeline frame; frames whose
+/// interpolation did not plan (custom interpolators, bypassed paths)
+/// invalidate the refined cache instead.
+pub(crate) fn capture_refined(
+    t: &mut TemporalCache,
+    owner: u64,
+    cloud: &PointCloud,
+    original_len: usize,
+) {
+    let plan_ok = t.plan.active && t.plan.serial == t.join_serial;
+    t.plan.active = false;
+    if !t.enabled || !plan_ok {
+        t.refined.valid = false;
+        return;
+    }
+    let r = &mut t.refined;
+    r.points.clear();
+    r.points
+        .extend_from_slice(&cloud.positions()[original_len..]);
+    r.owner = owner;
+    r.serial = t.join_serial;
+    r.valid = true;
 }
 
 #[cfg(test)]

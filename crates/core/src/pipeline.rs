@@ -11,11 +11,18 @@ use crate::interpolate::{
     OpCounts,
 };
 use crate::lut::LookupStats;
-use crate::refine::{refine_in_place, Refiner, RefinerCost};
+use crate::refine::{refine_in_place, refine_rows_in_place, Refiner, RefinerCost};
 use crate::Result;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use volut_pointcloud::PointCloud;
+
+/// Monotonic source of pipeline identities: the refined-output cache in a
+/// [`FrameScratch`] is only replayed for the pipeline instance that wrote
+/// it, so two pipelines (different refiners) sharing one scratch can never
+/// cross-contaminate each other's refined tails.
+static NEXT_PIPELINE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Which interpolation implementation the pipeline uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -130,6 +137,8 @@ pub struct SrPipeline {
     mode: InterpolationMode,
     interpolator: Box<dyn Interpolator>,
     refiner: Box<dyn Refiner>,
+    /// Identity stamped on cached refined outputs (see [`NEXT_PIPELINE_ID`]).
+    id: u64,
 }
 
 impl std::fmt::Debug for SrPipeline {
@@ -159,6 +168,7 @@ impl SrPipeline {
             mode,
             interpolator,
             refiner,
+            id: NEXT_PIPELINE_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -177,6 +187,7 @@ impl SrPipeline {
             mode: reported_mode,
             interpolator,
             refiner,
+            id: NEXT_PIPELINE_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -245,17 +256,51 @@ impl SrPipeline {
         // rows index straight into `low`'s position array, so the whole
         // stage performs zero per-point heap allocations. Original points
         // are left untouched.
+        //
+        // On delta frames the temporal layer first replays the previous
+        // frame's refined tail for every generated point it copied forward
+        // (index-remapped, bit-identical — the cached positions ARE the
+        // previous refined outputs), so only the churn-invalidated subset
+        // runs the refiner. The refined tail is then captured as the next
+        // frame's replay source, stamped with this pipeline's identity.
         let t0 = Instant::now();
         let original_len = interp.original_len;
         let mut cloud = interp.cloud;
-        refine_in_place(
-            self.refiner.as_ref(),
+        let FrameScratch {
+            temporal,
+            centers,
+            subset_hoods,
+            subset_out,
+            ..
+        } = scratch;
+        if crate::interpolate::temporal::reuse_refined_into(
+            temporal,
+            self.id,
             &mut cloud,
             original_len,
-            &interp.neighborhoods,
-            low.positions(),
-            &mut scratch.centers,
-        );
+        ) {
+            refine_rows_in_place(
+                self.refiner.as_ref(),
+                &mut cloud,
+                original_len,
+                &interp.neighborhoods,
+                low.positions(),
+                &temporal.plan.fresh_ordinals,
+                centers,
+                subset_hoods,
+                subset_out,
+            );
+        } else {
+            refine_in_place(
+                self.refiner.as_ref(),
+                &mut cloud,
+                original_len,
+                &interp.neighborhoods,
+                low.positions(),
+                centers,
+            );
+        }
+        crate::interpolate::temporal::capture_refined(temporal, self.id, &cloud, original_len);
         timings.refinement = t0.elapsed();
 
         // Hand the CSR buffer back so the next frame reuses its allocation.
@@ -278,6 +323,7 @@ mod tests {
     use super::*;
     use crate::encoding::KeyScheme;
     use crate::lut::builder::LutBuilder;
+    use crate::nn::mlp::Mlp;
     use crate::nn::train::{build_training_set, RefinementTrainer, TrainConfig};
     use crate::refine::{IdentityRefiner, LutRefiner, NnRefiner};
     use volut_pointcloud::{metrics, sampling, synthetic};
@@ -474,6 +520,137 @@ mod tests {
         assert_eq!(dilated.mode(), InterpolationMode::Dilated);
         let low = synthetic::sphere(120, 1.0, 2);
         assert_eq!(dilated.upsample(&low, 2.0).unwrap().cloud.len(), 240);
+    }
+
+    #[test]
+    fn delta_stream_reuse_is_bit_identical_with_a_real_refiner() {
+        // End-to-end property: a streaming session with temporal reuse ON
+        // (interpolated outputs, colors AND refined tails replayed across
+        // frames) must be bit-identical to the same session with reuse OFF.
+        // The NN refiner gives every point a nontrivial, input-dependent
+        // offset, so any divergence in a replayed refined tail is caught.
+        use volut_pointcloud::synthetic::{self, DeltaStreamConfig};
+        let mlp = Mlp::new(&[12, 16, 3], 41);
+        for churn in [0.0, 0.1, 0.5] {
+            for mode in [InterpolationMode::Dilated, InterpolationMode::Naive] {
+                let config = match mode {
+                    InterpolationMode::Naive => SrConfig::k4d1(),
+                    InterpolationMode::Dilated => SrConfig::default(),
+                };
+                let refiner =
+                    NnRefiner::from_config(&config, KeyScheme::Full, mlp.clone()).unwrap();
+                let pipeline = SrPipeline::with_mode(config, mode, Box::new(refiner));
+                let base = synthetic::humanoid(1_200, 0.4, 3);
+                let frames = synthetic::delta_frame_sequence(
+                    &base,
+                    4,
+                    DeltaStreamConfig {
+                        churn,
+                        drift: 0.05,
+                        jitter: 0.008,
+                        seed: churn.to_bits(),
+                    },
+                );
+                let mut on = FrameScratch::new();
+                let mut off = FrameScratch::new();
+                off.set_incremental(false);
+                for (frame_no, frame) in frames.iter().enumerate() {
+                    let a = pipeline.upsample_with(frame, 2.0, &mut on).unwrap();
+                    let b = pipeline.upsample_with(frame, 2.0, &mut off).unwrap();
+                    assert_eq!(
+                        a.cloud, b.cloud,
+                        "{mode:?} churn {churn} frame {frame_no}: refined clouds diverge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn steady_stream_recomputes_nothing_after_warmup() {
+        // Zero churn collapses to wholesale copies: after the warmup frame,
+        // neither interpolation nor refinement touches a single point again.
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let frame = synthetic::sphere(800, 1.0, 51);
+        let mut scratch = FrameScratch::new();
+        pipeline.upsample_with(&frame, 2.0, &mut scratch).unwrap();
+        let warm = scratch.temporal_stats();
+        for _ in 0..3 {
+            pipeline.upsample_with(&frame, 2.0, &mut scratch).unwrap();
+        }
+        let t = scratch.temporal_stats();
+        assert_eq!(
+            t.gen_points_recomputed, warm.gen_points_recomputed,
+            "identical frames must not regenerate any point: {t:?}"
+        );
+        assert_eq!(
+            t.refined_points_recomputed, warm.refined_points_recomputed,
+            "identical frames must not re-refine any point: {t:?}"
+        );
+        assert_eq!(t.gen_points_reused, 3 * 800, "{t:?}");
+        assert_eq!(t.refined_points_reused, 3 * 800, "{t:?}");
+    }
+
+    #[test]
+    fn light_churn_recomputation_is_churn_proportional() {
+        // At 5% coherent churn the overwhelming majority of generated points
+        // must ride the copy-forward path through interpolation AND
+        // refinement — the stage costs track churn, not frame size.
+        use volut_pointcloud::synthetic::{self, DeltaStreamConfig};
+        let pipeline = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let base = synthetic::humanoid(2_000, 0.2, 17);
+        let frames = synthetic::delta_frame_sequence(
+            &base,
+            4,
+            DeltaStreamConfig {
+                churn: 0.05,
+                drift: 0.03,
+                jitter: 0.005,
+                seed: 19,
+            },
+        );
+        let mut scratch = FrameScratch::new();
+        for frame in &frames {
+            pipeline.upsample_with(frame, 2.0, &mut scratch).unwrap();
+        }
+        let t = scratch.temporal_stats();
+        assert!(
+            t.gen_points_reused as f64 > t.gen_points_recomputed as f64 * 2.0,
+            "5% churn should reuse most generated points: {t:?}"
+        );
+        assert!(
+            t.refined_points_reused as f64 > t.refined_points_recomputed as f64 * 2.0,
+            "5% churn should reuse most refined points: {t:?}"
+        );
+    }
+
+    #[test]
+    fn refined_cache_is_not_shared_across_pipelines() {
+        // Two pipelines with different refiners share one scratch; the
+        // refined-tail cache is stamped per pipeline, so alternating frames
+        // must match each pipeline's own cold output exactly.
+        let frame = synthetic::sphere(500, 1.0, 61);
+        let id_pipe = SrPipeline::new(SrConfig::default(), Box::new(IdentityRefiner));
+        let nn_pipe = SrPipeline::new(
+            SrConfig::default(),
+            Box::new(
+                NnRefiner::from_config(
+                    &SrConfig::default(),
+                    KeyScheme::Full,
+                    Mlp::new(&[12, 8, 3], 5),
+                )
+                .unwrap(),
+            ),
+        );
+        let id_cold = id_pipe.upsample(&frame, 2.0).unwrap();
+        let nn_cold = nn_pipe.upsample(&frame, 2.0).unwrap();
+        let mut scratch = FrameScratch::new();
+        for _ in 0..2 {
+            let a = id_pipe.upsample_with(&frame, 2.0, &mut scratch).unwrap();
+            assert_eq!(a.cloud, id_cold.cloud);
+            let b = nn_pipe.upsample_with(&frame, 2.0, &mut scratch).unwrap();
+            assert_eq!(b.cloud, nn_cold.cloud);
+        }
     }
 
     #[test]

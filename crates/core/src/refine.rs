@@ -134,6 +134,76 @@ pub fn refine_in_place(
     });
 }
 
+/// [`refine_in_place`] restricted to a subset of generated-point ordinals.
+///
+/// Only tail points `original_len + ordinals[i]` are refined — every other
+/// tail position is left untouched (the temporal layer has already copied
+/// those forward from the previous frame's refined output). The subset is
+/// compacted into `subset_hoods` / `centers_scratch`, refined as one dense
+/// batch, and scattered back, so a frame's refinement cost is proportional
+/// to its churn rather than its size. Because every refiner's batch kernel
+/// is row-independent (and batching is bit-identical to the per-point
+/// path), the refined subset matches what a full [`refine_in_place`] pass
+/// would have produced for those rows, bit for bit.
+///
+/// All three scratch buffers are caller-owned and reused across frames
+/// (see `FrameScratch`), keeping the steady state allocation-free.
+///
+/// # Panics
+/// Panics when `neighborhoods.len()` differs from the generated tail length
+/// or an ordinal is out of range.
+#[allow(clippy::too_many_arguments)]
+pub fn refine_rows_in_place(
+    refiner: &dyn Refiner,
+    cloud: &mut PointCloud,
+    original_len: usize,
+    neighborhoods: &Neighborhoods,
+    source: &[Point3],
+    ordinals: &[u32],
+    centers_scratch: &mut Vec<Point3>,
+    subset_hoods: &mut Neighborhoods,
+    subset_out: &mut Vec<Point3>,
+) {
+    let positions = cloud.positions_mut();
+    let tail = &mut positions[original_len..];
+    assert_eq!(
+        neighborhoods.len(),
+        tail.len(),
+        "one neighborhood row per generated point"
+    );
+    if ordinals.is_empty() {
+        return;
+    }
+    centers_scratch.clear();
+    centers_scratch.reserve(ordinals.len());
+    subset_hoods.clear();
+    subset_hoods.reserve_rows(ordinals.len(), 0);
+    for &ord in ordinals {
+        let i = ord as usize;
+        centers_scratch.push(tail[i]);
+        subset_hoods.push_row_u32(neighborhoods.row(i));
+    }
+    let centers: &[Point3] = centers_scratch;
+    let view = subset_hoods.view();
+    subset_out.clear();
+    subset_out.resize(ordinals.len(), Point3::ZERO);
+
+    let workers = par::worker_count(ordinals.len(), 4_096);
+    let chunk = ordinals.len().div_ceil(workers).max(1);
+    par::for_each_chunk_mut(subset_out.as_mut_slice(), chunk, |_, start, out_chunk| {
+        let end = start + out_chunk.len();
+        refiner.refine_batch(
+            &centers[start..end],
+            view.slice_rows(start, end),
+            source,
+            out_chunk,
+        );
+    });
+    for (slot, &ord) in ordinals.iter().enumerate() {
+        tail[ord as usize] = subset_out[slot];
+    }
+}
+
 /// No-op refiner: returns the interpolated position unchanged.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IdentityRefiner;
@@ -547,6 +617,79 @@ mod tests {
     fn nn_batch_parity() {
         let refiner = NnRefiner::new(encoder(), Mlp::new(&[12, 32, 32, 3], 9));
         batch_matches_per_point(&refiner);
+    }
+
+    #[test]
+    fn subset_refinement_matches_full_pass() {
+        // A jittered-grid cloud with a generated tail of 50 points.
+        let source: Vec<Point3> = (0..64)
+            .map(|i| {
+                let f = i as f32;
+                Point3::new(f.sin(), (f * 0.7).cos(), f * 0.01)
+            })
+            .collect();
+        let original_len = source.len();
+        let mut cloud = PointCloud::from_positions(source.clone());
+        let mut hoods = Neighborhoods::new();
+        for i in 0..50 {
+            cloud.push(source[i] + Point3::new(0.01, -0.02, 0.005), None);
+            let len = i % 5; // 0..=4 neighbors, some rows empty
+            hoods.push_row((0..len).map(|k| (i + k + 1) % source.len()));
+        }
+        let refiner = NnRefiner::new(encoder(), Mlp::new(&[12, 16, 3], 11));
+
+        let mut full = cloud.clone();
+        let mut scratch = Vec::new();
+        refine_in_place(
+            &refiner,
+            &mut full,
+            original_len,
+            &hoods,
+            &source,
+            &mut scratch,
+        );
+
+        // Refine a strict subset: the chosen rows must match the full pass
+        // bit for bit, the rest must remain at their pre-refinement values.
+        let ordinals: Vec<u32> = (0..50u32).filter(|o| o % 3 != 1).collect();
+        let mut partial = cloud.clone();
+        let mut subset_hoods = Neighborhoods::new();
+        let mut subset_out = Vec::new();
+        refine_rows_in_place(
+            &refiner,
+            &mut partial,
+            original_len,
+            &hoods,
+            &source,
+            &ordinals,
+            &mut scratch,
+            &mut subset_hoods,
+            &mut subset_out,
+        );
+        let in_subset = |o: u32| o % 3 != 1;
+        for o in 0..50u32 {
+            let i = original_len + o as usize;
+            if in_subset(o) {
+                assert_eq!(partial.position(i), full.position(i), "ordinal {o}");
+            } else {
+                assert_eq!(partial.position(i), cloud.position(i), "ordinal {o}");
+            }
+        }
+        // Over the complete ordinal list the subset pass IS the full pass.
+        let mut all = cloud.clone();
+        let every: Vec<u32> = (0..50u32).collect();
+        refine_rows_in_place(
+            &refiner,
+            &mut all,
+            original_len,
+            &hoods,
+            &source,
+            &every,
+            &mut scratch,
+            &mut subset_hoods,
+            &mut subset_out,
+        );
+        assert_eq!(all, full);
     }
 
     #[test]

@@ -196,6 +196,21 @@ impl PointCloud {
         }
     }
 
+    /// Bulk tail append of positions without colors — the batched equivalent
+    /// of repeated `push(p, None)`. A colored cloud pads the new points with
+    /// black (exactly as `push` would); the memoized geometry digest is
+    /// invalidated once for the whole batch.
+    pub fn extend_positions(&mut self, positions: &[Point3]) {
+        if positions.is_empty() {
+            return;
+        }
+        self.digest = std::sync::OnceLock::new();
+        self.positions.extend_from_slice(positions);
+        if let Some(colors) = &mut self.colors {
+            colors.extend(std::iter::repeat_n(Color::BLACK, positions.len()));
+        }
+    }
+
     /// Iterator over `(position, optional color)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (Point3, Option<Color>)> + '_ {
         self.positions
@@ -500,6 +515,69 @@ mod tests {
         assert_ne!(fwd.geometry_digest(), rev.geometry_digest());
         let neg = PointCloud::from_positions(vec![Point3::new(-0.0, 0.0, 0.0), Point3::ONE]);
         assert_ne!(fwd.geometry_digest(), neg.geometry_digest());
+    }
+
+    /// Invalidation audit: every position-mutating method must reset the
+    /// memoized digest, or the engine's index cache would keep serving a
+    /// stale spatial index for the mutated cloud. Any new mutator belongs in
+    /// this list.
+    #[test]
+    fn every_position_mutator_invalidates_the_digest() {
+        let mutators: Vec<(&str, fn(&mut PointCloud))> = vec![
+            ("push", |c| c.push(Point3::splat(9.0), None)),
+            ("extend_positions", |c| {
+                c.extend_positions(&[Point3::splat(7.0), Point3::splat(8.0)]);
+            }),
+            ("Extend::extend", |c| c.extend(vec![Point3::splat(6.0)])),
+            ("merge", |c| {
+                c.merge(&PointCloud::from_positions(vec![Point3::splat(5.0)]));
+            }),
+            ("translate", |c| c.translate(Point3::new(0.5, 0.0, 0.0))),
+            ("scale", |c| c.scale(3.0)),
+            ("normalize_unit_cube", |c| {
+                c.normalize_unit_cube().unwrap();
+            }),
+            ("positions_mut", |c| c.positions_mut()[0].y = -2.0),
+        ];
+        for (name, mutate) in mutators {
+            let mut cloud = colored_cloud();
+            let before = cloud.geometry_digest();
+            mutate(&mut cloud);
+            // The digest must both change and match a fresh recomputation.
+            assert_ne!(cloud.geometry_digest(), before, "{name} left digest stale");
+            assert_eq!(
+                cloud.geometry_digest(),
+                geometry_digest(cloud.positions()),
+                "{name} digest does not match recomputation"
+            );
+        }
+        // `select` builds a fresh cloud: its digest must reflect the subset.
+        let c = colored_cloud();
+        let sub = c.select(&[1, 3]);
+        assert_eq!(sub.geometry_digest(), geometry_digest(sub.positions()));
+        assert_ne!(sub.geometry_digest(), c.geometry_digest());
+    }
+
+    #[test]
+    fn extend_positions_matches_repeated_push() {
+        let tail = [Point3::splat(4.0), Point3::splat(5.0)];
+        // Colored cloud: new points are padded with black, like `push`.
+        let mut bulk = colored_cloud();
+        let mut pushed = colored_cloud();
+        bulk.extend_positions(&tail);
+        for &p in &tail {
+            pushed.push(p, None);
+        }
+        assert_eq!(bulk, pushed);
+        // Uncolored cloud stays uncolored.
+        let mut plain = PointCloud::from_positions(vec![Point3::ZERO]);
+        plain.extend_positions(&tail);
+        assert_eq!(plain.len(), 3);
+        assert!(!plain.has_colors());
+        // Empty batch is a no-op that keeps the memoized digest.
+        let d = plain.geometry_digest();
+        plain.extend_positions(&[]);
+        assert_eq!(plain.geometry_digest(), d);
     }
 
     #[test]

@@ -184,16 +184,24 @@ impl FrameDelta {
     ///
     /// The diff is a two-pointer walk over both frames: bitwise-equal
     /// positions at the cursors match as survivors; at a mismatch, a
-    /// position absent from the *other frame's* membership set is a removal
-    /// (old side) or an insertion (new side); positions present on both
-    /// sides but out of order are conservatively churned as a removal
-    /// *plus* an insertion, so the order invariant (see the module docs)
-    /// always holds. The membership sets are whole-frame (not
-    /// remaining-suffix) and collision-lossy — both make the walk cheaper
-    /// and can only push a mismatch into the conservative churn branch,
-    /// never manufacture a survivor, because survivors require exact
-    /// equality at the cursors. Identical frames short-circuit on one slice
-    /// compare.
+    /// position whose key count in the *other frame's remaining suffix* is
+    /// zero is a removal (old side) or an insertion (new side); positions
+    /// with matches remaining on both sides but out of order are
+    /// conservatively churned as a removal *plus* an insertion, so the order
+    /// invariant (see the module docs) always holds, with a one-step
+    /// lookahead that re-synchronizes the walk across an isolated
+    /// removal/insertion before falling back to churning both sides. The
+    /// count maps are multiset-aware and consumed as the cursors advance, so
+    /// bitwise-duplicate points (quantized scans are full of them) no longer
+    /// read as "present elsewhere" after their copies have been consumed —
+    /// the over-churn the whole-frame membership sets used to cause. Counts
+    /// are still collision-lossy over folded 32-bit keys, but a collision
+    /// only *inflates* a count, which only pushes a mismatch into the
+    /// conservative churn branch; a zero remaining count is certain absence,
+    /// and survivors always require exact equality at the cursors. The maps
+    /// are built lazily at the first mismatch, so the matching fast path of
+    /// low-churn frames never touches them, and identical frames
+    /// short-circuit on one slice compare.
     pub fn diff(old: &[Point3], new: &[Point3]) -> FrameDelta {
         Self::diff_bounded(old, new, 0).expect("a zero survivor bound never aborts")
     }
@@ -220,7 +228,6 @@ impl FrameDelta {
         if bitwise_identical {
             return FrameDelta::from_parts(old.len(), new.len(), Vec::new(), Vec::new());
         }
-        let new_members = KeySet::over(new);
         // Sampled survivor ceiling: an old position absent from the new
         // frame's membership set certainly cannot survive (membership is a
         // superset of survival — collisions only produce false *positives*),
@@ -229,6 +236,7 @@ impl FrameDelta {
         // a genuinely eligible frame a multi-sigma sampling event; even then
         // the caller merely falls back to a full recompute.
         if min_survivors > 0 && old.len() >= 1024 {
+            let new_members = KeySet::over(new);
             let samples = 512usize;
             let step = old.len() / samples;
             let hits = old
@@ -241,39 +249,73 @@ impl FrameDelta {
                 return None;
             }
         }
-        let old_members = KeySet::over(old);
         let mut removed = Vec::new();
         let mut inserted = Vec::new();
         let mut old_to_new = vec![REMOVED; old.len()];
         let mut i = 0usize;
         let mut j = 0usize;
         let mut matched = 0usize;
+        // Remaining-suffix key counts for both frames, built lazily at the
+        // first mismatch (over `old[i..]` / `new[j..]`) and decremented as
+        // the cursors consume points, so they always describe exactly what
+        // is still ahead of the walk.
+        let mut counts: Option<(KeyCounts, KeyCounts)> = None;
         while i < old.len() && j < new.len() {
             let oi = position_key(old[i]);
             let nj = position_key(new[j]);
             if oi == nj {
                 old_to_new[i] = j as u32;
                 matched += 1;
+                if let Some((old_counts, new_counts)) = &mut counts {
+                    old_counts.consume(oi);
+                    new_counts.consume(nj);
+                }
                 i += 1;
                 j += 1;
                 continue;
             }
-            let old_has_match_elsewhere = new_members.contains(oi);
-            let new_has_match_elsewhere = old_members.contains(nj);
-            if !old_has_match_elsewhere {
+            let (old_counts, new_counts) = counts
+                .get_or_insert_with(|| (KeyCounts::over(&old[i..]), KeyCounts::over(&new[j..])));
+            let old_can_still_match = new_counts.remaining(oi) > 0;
+            let new_can_still_match = old_counts.remaining(nj) > 0;
+            if !old_can_still_match {
+                // No copy of this position remains ahead in the new frame:
+                // a certain removal (collisions only inflate counts, so a
+                // zero remaining count cannot be a false negative).
                 removed.push(i as u32);
+                old_counts.consume(oi);
                 i += 1;
-            } else if !new_has_match_elsewhere {
+            } else if !new_can_still_match {
                 inserted.push(j as u32);
+                new_counts.consume(nj);
+                j += 1;
+            } else if i + 1 < old.len() && position_key(old[i + 1]) == nj {
+                // One-step lookahead realignment: the next old point already
+                // matches the new cursor, so treating `old[i]` as removed
+                // re-synchronizes the walk immediately. This is what keeps
+                // duplicate-heavy frames churn-proportional — a removed
+                // point whose bit pattern survives in *other* copies would
+                // otherwise never take the certain-removal branch above.
+                removed.push(i as u32);
+                old_counts.consume(oi);
+                i += 1;
+            } else if j + 1 < new.len() && position_key(new[j + 1]) == oi {
+                // Mirror image: the next new point matches the old cursor,
+                // so `new[j]` is an insertion.
+                inserted.push(j as u32);
+                new_counts.consume(nj);
                 j += 1;
             } else {
-                // Both positions appear elsewhere on the other side: a
-                // reordering (or set staleness/collision — see above).
-                // Churn both — strictly more invalidation than a smarter
-                // matching would report, never less.
+                // Both positions still have matches ahead on the other
+                // side and no one-step realignment exists: a reordering (or
+                // a key collision — see above). Churn both — strictly more
+                // invalidation than a smarter matching would report, never
+                // less.
                 removed.push(i as u32);
+                old_counts.consume(oi);
                 i += 1;
                 inserted.push(j as u32);
+                new_counts.consume(nj);
                 j += 1;
             }
             // The most optimistic finish matches everything still unseen.
@@ -341,21 +383,15 @@ fn fold_key(key: u128) -> u32 {
     folded.max(1)
 }
 
-/// Open-addressing membership set over folded position keys — the
-/// side structure of [`FrameDelta::diff`]'s mismatch classification.
+/// Open-addressing membership set over folded position keys — the side
+/// structure of [`FrameDelta::diff_bounded`]'s sampled survivor ceiling.
 ///
 /// Folding to 32 bits means two distinct positions *can* share a slot key,
-/// and membership is whole-frame rather than "remaining ahead of the
-/// cursor". Both are deliberately safe: the set only steers the diff's
-/// removal/insertion classification, every branch of which produces a
-/// *valid* delta (survivors still require exact 96-bit equality at the
-/// cursors), so a collision or stale membership can only make the diff
-/// report more churn than necessary — degrading reuse, never correctness.
-/// In exchange the set is a flat 4-byte-per-slot array that stays
-/// cache-resident at frame scale, costs one store per point to build, and
-/// is **not touched at all** on the matching fast path that dominates
-/// low-churn frames (the diff is on the per-frame hot path — it must stay
-/// two orders of magnitude cheaper than the kNN work it unlocks skipping).
+/// which is deliberately safe here: membership is a superset of survival
+/// (collisions only produce false positives), so the sampled hit rate the
+/// ceiling computes from this set can only *over*-estimate how many points
+/// survive — an abort is still certain. The mismatch classification of the
+/// walk itself uses the multiset-aware [`KeyCounts`] below instead.
 struct KeySet {
     /// Folded keys; `0` marks an empty slot.
     slots: Vec<u32>,
@@ -398,6 +434,90 @@ impl KeySet {
             }
             if self.slots[s] == key {
                 return true;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+}
+
+/// Open-addressing *multiset counts* over folded position keys — the
+/// side structure of [`FrameDelta::diff`]'s mismatch classification.
+///
+/// Unlike a plain membership set, counts make duplicate-heavy frames (e.g.
+/// quantized scans that store the same position many times) classify
+/// precisely: once every copy of a position ahead of the cursor has been
+/// consumed, its remaining count reaches zero and the walk can emit a
+/// certain removal/insertion instead of conservatively churning both sides.
+/// Folding to 32 bits means two distinct positions *can* share a slot, but a
+/// collision only merges (inflates) counts, so `remaining() == 0` is certain
+/// absence while a nonzero count merely steers the walk into its
+/// conservative branch — degrading reuse, never correctness (survivors still
+/// require exact 96-bit equality at the cursors). Built lazily at the first
+/// mismatch so the matching fast path that dominates low-churn frames never
+/// pays for it.
+struct KeyCounts {
+    /// `(folded key, remaining count)`; key `0` marks an empty slot.
+    slots: Vec<(u32, u32)>,
+    mask: usize,
+}
+
+impl KeyCounts {
+    /// Builds the counts (load factor kept at or below one half).
+    fn over(points: &[Point3]) -> KeyCounts {
+        let capacity = (points.len() * 2).next_power_of_two().max(8);
+        let mut counts = KeyCounts {
+            slots: vec![(0, 0); capacity],
+            mask: capacity - 1,
+        };
+        for &p in points {
+            let key = fold_key(position_key(p));
+            let mut s = key as usize & counts.mask;
+            loop {
+                if counts.slots[s].0 == 0 {
+                    counts.slots[s] = (key, 1);
+                    break;
+                }
+                if counts.slots[s].0 == key {
+                    counts.slots[s].1 += 1;
+                    break;
+                }
+                s = (s + 1) & counts.mask;
+            }
+        }
+        counts
+    }
+
+    /// Remaining count of the (folded) position key.
+    #[inline]
+    fn remaining(&self, position: u128) -> u32 {
+        let key = fold_key(position);
+        let mut s = key as usize & self.mask;
+        loop {
+            let (k, n) = self.slots[s];
+            if k == 0 {
+                return 0;
+            }
+            if k == key {
+                return n;
+            }
+            s = (s + 1) & self.mask;
+        }
+    }
+
+    /// Consumes one occurrence of the (folded) position key — called when
+    /// the cursor of the frame this map was built over advances past it.
+    #[inline]
+    fn consume(&mut self, position: u128) {
+        let key = fold_key(position);
+        let mut s = key as usize & self.mask;
+        loop {
+            let (k, n) = self.slots[s];
+            if k == 0 {
+                return;
+            }
+            if k == key {
+                self.slots[s].1 = n.saturating_sub(1);
+                return;
             }
             s = (s + 1) & self.mask;
         }
@@ -460,10 +580,13 @@ mod tests {
         let old = pts(&[1.0, 2.0]);
         let new = pts(&[2.0, 1.0]);
         let d = FrameDelta::diff(&old, &new);
-        // Valid (verifies), even if it reports everything as churn.
+        // A swap cannot keep both points as survivors (the order invariant
+        // forbids a decreasing mapping); the delta must stay valid and may
+        // keep at most one side of the swap.
         assert!(d.verify(&old, &new));
         assert_eq!(d.survivors() + d.removed().len(), 2);
-        assert_eq!(d.churn(), 1.0);
+        assert!(d.survivors() <= 1);
+        assert!(!d.removed().is_empty());
     }
 
     #[test]
@@ -479,20 +602,60 @@ mod tests {
 
     #[test]
     fn duplicates_stay_valid() {
-        // Duplicate positions may be classified conservatively (the
-        // membership sets are whole-frame, so a consumed duplicate still
-        // reads as "present elsewhere"), but the delta must stay valid and
-        // keep at least the unambiguous survivors.
+        // The remaining-suffix counts are multiset-aware: losing one copy of
+        // a duplicated position churns exactly that copy, and every other
+        // point survives (the whole-frame membership sets this replaced used
+        // to churn the 2.0 as well).
         let old = pts(&[1.0, 1.0, 2.0]);
         let new = pts(&[1.0, 2.0]);
         let d = FrameDelta::diff(&old, &new);
-        assert!(d.survivors() >= 1);
-        assert!(!d.removed().is_empty());
+        assert_eq!(d.survivors(), 2);
+        assert_eq!(d.removed(), &[1]);
+        assert!(d.inserted().is_empty());
         assert!(d.verify(&old, &new));
         // The other direction gains a duplicate.
         let d = FrameDelta::diff(&new, &old);
-        assert!(!d.inserted().is_empty());
+        assert_eq!(d.survivors(), 2);
+        assert_eq!(d.inserted(), &[1]);
+        assert!(d.removed().is_empty());
         assert!(d.verify(&new, &old));
+    }
+
+    /// Regression for the duplicate-heavy over-churn: a quantized scan
+    /// stores many bitwise-identical positions, and a 10%-churn frame pair
+    /// must still report ~90% survivors — the whole-frame membership sets
+    /// this fixed used to collapse reuse to near zero because every consumed
+    /// duplicate kept reading as "present elsewhere".
+    #[test]
+    fn duplicate_heavy_clouds_keep_churn_proportional_reuse() {
+        // 1000 points quantized onto a coarse grid: every position appears
+        // ~8 times.
+        let quantize = |i: usize| {
+            let g = (i % 125) as f32;
+            Point3::new(
+                (g % 5.0).floor(),
+                ((g / 5.0) % 5.0).floor(),
+                (g / 25.0).floor(),
+            )
+        };
+        let old: Vec<Point3> = (0..1000).map(quantize).collect();
+        // Remove every 10th point and append fresh (off-grid) replacements.
+        let mut new: Vec<Point3> = old
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 10 != 0)
+            .map(|(_, &p)| p)
+            .collect();
+        new.extend((0..100).map(|i| Point3::new(100.0 + i as f32, 0.5, 0.5)));
+        let d = FrameDelta::diff(&old, &new);
+        assert!(d.verify(&old, &new));
+        assert_eq!(
+            d.survivors(),
+            900,
+            "duplicate-heavy churn must stay proportional, got {} survivors of 900 possible",
+            d.survivors()
+        );
+        assert_eq!(d.inserted().len(), 100);
     }
 
     #[test]

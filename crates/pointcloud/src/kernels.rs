@@ -9,7 +9,9 @@
 //!   kernel behind every backend's `knn`/`knn_batch`);
 //! * `scan_radius_ids` — radius-query variant collecting [`Neighbor`]s;
 //! * [`norm_squared_lanes`] — elementwise `x² + y² + z²` over plain lanes,
-//!   exported for the LUT refiner's blocked key encoder in `volut-core`.
+//!   exported for the LUT refiner's blocked key encoder in `volut-core`;
+//! * [`pair_midpoints_into`] — gathered pair-midpoint generation over
+//!   [`SoaPositions`], exported for the interpolators' recomputed-row batch.
 //!
 //! With the default-on `simd` feature and a runtime AVX2 check, the scan
 //! runs 8 lanes per iteration with an explicit compare-mask pre-filter; the
@@ -332,6 +334,95 @@ unsafe fn norm_squared_lanes_avx2(xs: &[f32], ys: &[f32], zs: &[f32], out: &mut 
     }
 }
 
+/// Midpoints of gathered index pairs: `out[i] = midpoint(soa[a[i]], soa[b[i]])`.
+///
+/// This is the generation kernel behind the interpolators' recomputed-row
+/// batch: partner pairs for every row that must be recomputed are drawn up
+/// front, then one call produces the new points with 8-wide AVX2 index
+/// gathers over the SoA coordinate lanes. The scalar fallback performs
+/// exactly [`Point3::midpoint`]'s arithmetic — `0.5 * (a + b)` per component;
+/// IEEE-754 multiplication is commutative, so the vector form `(a + b) * 0.5`
+/// is bit-identical — making the `simd` feature invisible to interpolation
+/// results.
+///
+/// # Panics
+/// Panics when `a`, `b` and `out` differ in length, or when any index is out
+/// of bounds for `soa`.
+pub fn pair_midpoints_into(soa: &SoaPositions, a: &[u32], b: &[u32], out: &mut [Point3]) {
+    assert!(
+        a.len() == b.len() && a.len() == out.len(),
+        "pair_midpoints_into: mismatched pair/output lengths"
+    );
+    let n = soa.len() as u32;
+    assert!(
+        a.iter().chain(b.iter()).all(|&i| i < n),
+        "pair_midpoints_into: pair index out of range"
+    );
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if avx2_enabled() {
+        // SAFETY: AVX2 availability checked at runtime just above, and every
+        // gather index was bounds-checked against the SoA length.
+        unsafe { pair_midpoints_avx2(soa, a, b, out) };
+        return;
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = soa.get(a[i] as usize).midpoint(soa.get(b[i] as usize));
+    }
+}
+
+/// AVX2 pair-midpoint kernel: 8 pairs per iteration via 32-bit index gathers
+/// from the coordinate lanes, then one add + mul per lane.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+#[target_feature(enable = "avx2")]
+unsafe fn pair_midpoints_avx2(soa: &SoaPositions, a: &[u32], b: &[u32], out: &mut [Point3]) {
+    use std::arch::x86_64::*;
+    let (xs, ys, zs) = (soa.xs(), soa.ys(), soa.zs());
+    let half = _mm256_set1_ps(0.5);
+    let n = out.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        let ia = _mm256_loadu_si256(a.as_ptr().add(i).cast());
+        let ib = _mm256_loadu_si256(b.as_ptr().add(i).cast());
+        // Explicit add then mul (NOT fmadd): `(a + b) * 0.5` matches the
+        // scalar `midpoint` bit-for-bit (IEEE mul is commutative).
+        let mx = _mm256_mul_ps(
+            _mm256_add_ps(
+                _mm256_i32gather_ps::<4>(xs.as_ptr(), ia),
+                _mm256_i32gather_ps::<4>(xs.as_ptr(), ib),
+            ),
+            half,
+        );
+        let my = _mm256_mul_ps(
+            _mm256_add_ps(
+                _mm256_i32gather_ps::<4>(ys.as_ptr(), ia),
+                _mm256_i32gather_ps::<4>(ys.as_ptr(), ib),
+            ),
+            half,
+        );
+        let mz = _mm256_mul_ps(
+            _mm256_add_ps(
+                _mm256_i32gather_ps::<4>(zs.as_ptr(), ia),
+                _mm256_i32gather_ps::<4>(zs.as_ptr(), ib),
+            ),
+            half,
+        );
+        let mut lx = [0.0f32; LANES];
+        let mut ly = [0.0f32; LANES];
+        let mut lz = [0.0f32; LANES];
+        _mm256_storeu_ps(lx.as_mut_ptr(), mx);
+        _mm256_storeu_ps(ly.as_mut_ptr(), my);
+        _mm256_storeu_ps(lz.as_mut_ptr(), mz);
+        for j in 0..LANES {
+            out[i + j] = Point3::new(lx[j], ly[j], lz[j]);
+        }
+        i += LANES;
+    }
+    while i < n {
+        out[i] = soa.get(a[i] as usize).midpoint(soa.get(b[i] as usize));
+        i += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -427,6 +518,46 @@ mod tests {
                 .collect::<Vec<_>>(),
             want
         );
+    }
+
+    /// Whatever paths are compiled in, the pair-midpoint kernel must agree
+    /// bit-for-bit with a scalar `Point3::midpoint` loop — including
+    /// duplicate pairs, self-pairs, and ragged (non-lane-multiple) lengths.
+    #[test]
+    fn pair_midpoints_match_scalar_reference_bitwise() {
+        let pts = random_points(200, 21);
+        let mut soa = SoaPositions::default();
+        soa.fill(&pts);
+        let mut rng = StdRng::seed_from_u64(22);
+        for n in [0usize, 1, 7, 8, 9, 64, 131] {
+            let a: Vec<u32> = (0..n)
+                .map(|_| rng.random_range(0..pts.len() as u32))
+                .collect();
+            let mut b: Vec<u32> = (0..n)
+                .map(|_| rng.random_range(0..pts.len() as u32))
+                .collect();
+            if n > 2 {
+                b[0] = a[0]; // self-pair
+                b[1] = b[2]; // duplicate partner
+            }
+            let mut got = vec![Point3::ZERO; n];
+            pair_midpoints_into(&soa, &a, &b, &mut got);
+            for i in 0..n {
+                let want = pts[a[i] as usize].midpoint(pts[b[i] as usize]);
+                assert_eq!(got[i].x.to_bits(), want.x.to_bits(), "pair {i} of {n}");
+                assert_eq!(got[i].y.to_bits(), want.y.to_bits(), "pair {i} of {n}");
+                assert_eq!(got[i].z.to_bits(), want.z.to_bits(), "pair {i} of {n}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "pair index out of range")]
+    fn pair_midpoints_reject_out_of_range_indices() {
+        let mut soa = SoaPositions::default();
+        soa.fill(&[Point3::ZERO, Point3::ONE]);
+        let mut out = vec![Point3::ZERO; 1];
+        pair_midpoints_into(&soa, &[0], &[2], &mut out);
     }
 
     #[test]

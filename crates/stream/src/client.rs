@@ -588,10 +588,23 @@ mod tests {
             t.rows_reused > t.rows_recomputed,
             "reuse should dominate at 10% coherent churn: {t:?}"
         );
+        // Downstream reuse must track churn too: most generated points —
+        // and their refined positions — ride the copy-forward path through
+        // interpolation, colorization and refinement.
+        assert!(
+            t.gen_points_reused > t.gen_points_recomputed,
+            "gen-point reuse should dominate at 10% coherent churn: {t:?}"
+        );
+        assert!(
+            t.refined_points_reused > t.refined_points_recomputed,
+            "refined-point reuse should dominate at 10% coherent churn: {t:?}"
+        );
         // The disabled session did all-full frames.
         let t_full = full.temporal_stats();
         assert_eq!(t_full.rows_reused, 0);
         assert_eq!(t_full.incremental_frames, 0);
+        assert_eq!(t_full.gen_points_reused, 0);
+        assert_eq!(t_full.refined_points_reused, 0);
     }
 
     #[test]
