@@ -428,6 +428,29 @@ impl FrameScratch {
         self.temporal.pending_delta = Some(delta);
     }
 
+    /// Flushes every cross-frame cache: the temporal layer (cached rows,
+    /// interpolation outputs, refined tail, reuse plan, any pending delta)
+    /// and the spatial-index cache, together. The next frame recomputes
+    /// cold, so its output depends only on that frame's bits — the resync
+    /// primitive of fault-tolerant streaming sessions whose cached state
+    /// may no longer describe a frame that was actually processed (see the
+    /// cache-flush invariants in [`temporal`]'s module docs). Buffers keep
+    /// their capacity; incremental reuse re-arms on the following frame.
+    pub fn flush_temporal(&mut self) {
+        self.temporal.invalidate();
+        self.index.invalidate();
+    }
+
+    /// Why the most recent externally supplied frame delta
+    /// ([`Self::set_frame_delta`]) was rejected by verification, or `None`
+    /// when it verified (or none was consumed since). A rejected delta never
+    /// corrupts output — the engine falls back to its own bitwise diff — but
+    /// a resilient transport reads the reason to distinguish mangled
+    /// payloads from genuine geometry divergence.
+    pub fn last_delta_error(&self) -> Option<volut_pointcloud::DeltaError> {
+        self.temporal.last_delta_error
+    }
+
     /// Capacity (bytes) currently reserved by the dual-tree scratch;
     /// steady-state frames of one session must not grow it (asserted by the
     /// streaming-session tests).

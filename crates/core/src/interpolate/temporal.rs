@@ -83,6 +83,28 @@
 //! path — e.g. for benchmarking — is one call:
 //! [`FrameScratch::set_incremental`]`(false)`.
 //!
+//! # Cache-flush invariants
+//!
+//! The caches are only ever *consulted* after re-validation against the
+//! current frame (digest + bitwise position compare, or a verified /
+//! re-diffed [`FrameDelta`]), so a stale entry can cost time but never
+//! correctness — **provided the cached state actually describes a frame the
+//! session once processed**. A transport layer that feeds the session
+//! reconstructed geometry (delta streaming with loss recovery) must uphold
+//! that provenance; when it cannot — a gap it could not splice, a checksum
+//! mismatch, any doubt about what the previous frame really was — it flushes
+//! via [`FrameScratch::flush_temporal`], which drops the temporal cache
+//! (rows, outputs, refined tail, plan, any pending delta) *and* the spatial
+//! index cache together. The two must fall together: the index patch path
+//! trusts `temporal.positions` as the old frame, so a flushed temporal cache
+//! with a live index (or vice versa) would re-correlate state across the
+//! discontinuity. After a flush the next frame takes the cold full-recompute
+//! path, whose output depends only on that frame's bits (the interpolators
+//! seed per-row RNG from position bits, `super::row_seed`) — which is what
+//! makes post-resync output bit-identical to a never-faulted session.
+//!
+//! [`FrameScratch::flush_temporal`]: super::FrameScratch::flush_temporal
+//!
 //! [`FrameDelta`]: volut_pointcloud::delta::FrameDelta
 //! [`FrameDelta::diff`]: volut_pointcloud::delta::FrameDelta::diff
 //! [`KdTree::any_within`]: volut_pointcloud::kdtree::KdTree::any_within
@@ -92,7 +114,7 @@
 use super::{batched_knn_into, FrameScratch, InterpolationTimings};
 use crate::config::SrConfig;
 use std::time::Instant;
-use volut_pointcloud::delta::{FrameDelta, REMOVED};
+use volut_pointcloud::delta::{DeltaError, FrameDelta, REMOVED};
 use volut_pointcloud::kdtree::KdTree;
 use volut_pointcloud::{Color, Neighborhoods, Point3, PointCloud};
 
@@ -272,6 +294,11 @@ pub(crate) struct TemporalCache {
     /// Delta supplied explicitly by the streaming layer for the next frame
     /// (verified before use; wrong deltas fall back to the bitwise diff).
     pub(crate) pending_delta: Option<FrameDelta>,
+    /// Why the most recent externally supplied delta was rejected (`None`
+    /// when it verified, or when no external delta was consumed yet) — the
+    /// poisoning-detection signal a resilient session inspects after a
+    /// frame whose delta it did not trust.
+    pub(crate) last_delta_error: Option<DeltaError>,
     pub(crate) stats: TemporalStats,
     /// Bumped at every [`self_join`] / [`note_unplanned_frame`]; correlates
     /// the caches with the frame they were captured on.
@@ -310,6 +337,7 @@ impl Default for TemporalCache {
             queries: Vec::new(),
             fresh_rows: Neighborhoods::new(),
             pending_delta: None,
+            last_delta_error: None,
             stats: TemporalStats::default(),
             join_serial: 0,
             last_outcome: JoinOutcome::Cold,
@@ -380,6 +408,11 @@ pub(crate) fn self_join(
     let digest = low.geometry_digest();
     let generation = scratch.geometry_generation;
     let pending = scratch.temporal.pending_delta.take();
+    if pending.is_some() {
+        // A fresh external delta resets the rejection record; a rejection
+        // below re-arms it for the streaming layer to inspect.
+        scratch.temporal.last_delta_error = None;
+    }
     scratch.temporal.join_serial += 1;
     scratch.temporal.last_outcome = JoinOutcome::Cold;
 
@@ -430,10 +463,21 @@ pub(crate) fn self_join(
     let delta = if cache_ready {
         let min_survivors = (scratch.temporal.positions.len().max(n) as f64 * MIN_SURVIVOR_FRACTION)
             .ceil() as usize;
-        match pending {
-            Some(d) if d.verify(&scratch.temporal.positions, positions) => Some(d),
-            // A wrong or absent external delta falls back to the diff.
-            _ => FrameDelta::diff_bounded(&scratch.temporal.positions, positions, min_survivors),
+        let external = pending.and_then(|d| {
+            match d.verify(&scratch.temporal.positions, positions) {
+                Ok(()) => Some(d),
+                Err(e) => {
+                    // A wrong external delta is recorded (streaming layers
+                    // read the reason as their cache-poisoning signal) and
+                    // the engine falls back to its own diff.
+                    scratch.temporal.last_delta_error = Some(e);
+                    None
+                }
+            }
+        });
+        match external {
+            Some(d) => Some(d),
+            None => FrameDelta::diff_bounded(&scratch.temporal.positions, positions, min_survivors),
         }
     } else {
         None

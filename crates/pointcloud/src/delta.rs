@@ -32,9 +32,75 @@
 //! invariant hold by construction.
 
 use crate::point::Point3;
+use std::fmt;
 
 /// Sentinel in the old→new survivor map marking a removed point.
 pub const REMOVED: u32 = u32::MAX;
+
+/// Why [`FrameDelta::verify`] rejected a delta against a frame pair.
+///
+/// Each variant names the check that failed and where, so a streaming layer
+/// can distinguish a transport-mangled delta (length mismatches, truncation)
+/// from genuine cache poisoning (a survivor whose bits changed) and report
+/// the failure instead of silently falling back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The old frame has a different point count than the delta claims.
+    OldLenMismatch {
+        /// Length the delta was built for.
+        expected: usize,
+        /// Length of the frame actually supplied.
+        got: usize,
+    },
+    /// The new frame has a different point count than the delta claims.
+    NewLenMismatch {
+        /// Length the delta was built for.
+        expected: usize,
+        /// Length of the frame actually supplied.
+        got: usize,
+    },
+    /// The survivor map is not strictly increasing at this old index — the
+    /// order-preservation invariant (see the module docs) is broken.
+    OrderViolation {
+        /// Old-frame index whose mapping is out of order.
+        old_index: usize,
+    },
+    /// A claimed survivor's position is not bitwise identical across frames.
+    PositionMismatch {
+        /// Old-frame index of the mismatching survivor.
+        old_index: usize,
+        /// New-frame index the delta maps it to.
+        new_index: usize,
+    },
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DeltaError::OldLenMismatch { expected, got } => {
+                write!(f, "old frame has {got} points, delta expects {expected}")
+            }
+            DeltaError::NewLenMismatch { expected, got } => {
+                write!(f, "new frame has {got} points, delta expects {expected}")
+            }
+            DeltaError::OrderViolation { old_index } => {
+                write!(
+                    f,
+                    "survivor map not strictly increasing at old index {old_index}"
+                )
+            }
+            DeltaError::PositionMismatch {
+                old_index,
+                new_index,
+            } => write!(
+                f,
+                "survivor position differs between old index {old_index} and new index {new_index}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
 
 /// The difference between two consecutive frames of one stream: removals
 /// from the old frame, insertions into the new frame, and the index mapping
@@ -337,10 +403,21 @@ impl FrameDelta {
     /// Verifies this delta against the actual frames: lengths must match and
     /// every survivor's position must be bitwise identical across frames.
     /// One linear pass — the cheap safety net for externally supplied deltas
-    /// (a wrong delta would silently corrupt incremental results).
-    pub fn verify(&self, old: &[Point3], new: &[Point3]) -> bool {
-        if old.len() != self.old_len || new.len() != self.new_len {
-            return false;
+    /// (a wrong delta would silently corrupt incremental results). On
+    /// rejection the returned [`DeltaError`] names the first failing check
+    /// and where it failed.
+    pub fn verify(&self, old: &[Point3], new: &[Point3]) -> Result<(), DeltaError> {
+        if old.len() != self.old_len {
+            return Err(DeltaError::OldLenMismatch {
+                expected: self.old_len,
+                got: old.len(),
+            });
+        }
+        if new.len() != self.new_len {
+            return Err(DeltaError::NewLenMismatch {
+                expected: self.new_len,
+                got: new.len(),
+            });
         }
         let mut prev_new = None;
         for (old_i, &new_i) in self.old_to_new.iter().enumerate() {
@@ -348,15 +425,92 @@ impl FrameDelta {
                 continue;
             }
             // Strictly increasing (the order invariant) and bitwise equal.
-            if prev_new.is_some_and(|p| new_i <= p) {
-                return false;
+            if new_i as usize >= self.new_len || prev_new.is_some_and(|p| new_i <= p) {
+                return Err(DeltaError::OrderViolation { old_index: old_i });
             }
             prev_new = Some(new_i);
             if position_key(old[old_i]) != position_key(new[new_i as usize]) {
-                return false;
+                return Err(DeltaError::PositionMismatch {
+                    old_index: old_i,
+                    new_index: new_i as usize,
+                });
             }
         }
-        true
+        Ok(())
+    }
+
+    /// Composes this delta (frame *A* → frame *B*) with `next` (frame *B* →
+    /// frame *C*) into one delta describing *A* → *C* directly — the splice
+    /// primitive a resilient streaming session uses to recover from skipped
+    /// delta frames without replaying them one by one.
+    ///
+    /// A point survives the composition exactly when it survives both hops,
+    /// and its final index is `next`'s mapping of this delta's mapping. Both
+    /// survivor maps are strictly increasing, so the composed map is too —
+    /// the order invariant holds by transitivity, and the composed delta is
+    /// bit-identical to what [`FrameDelta::diff`]-style construction over
+    /// frames *A* and *C* would be allowed to produce. Returns `None` when
+    /// the deltas do not chain (`self.new_len() != next.old_len()`).
+    pub fn compose(&self, next: &FrameDelta) -> Option<FrameDelta> {
+        if self.new_len != next.old_len {
+            return None;
+        }
+        let mut removed = Vec::new();
+        let mut old_to_new = vec![REMOVED; self.old_len];
+        for (old_i, slot) in old_to_new.iter_mut().enumerate() {
+            let mid = self.old_to_new[old_i];
+            let fin = if mid == REMOVED {
+                REMOVED
+            } else {
+                next.old_to_new[mid as usize]
+            };
+            if fin == REMOVED {
+                removed.push(old_i as u32);
+            } else {
+                *slot = fin;
+            }
+        }
+        // Inserted = every final-frame index outside the survivor image. The
+        // image is strictly increasing, so one merge walk recovers the gaps.
+        let mut inserted = Vec::with_capacity(next.new_len - (self.old_len - removed.len()));
+        let mut image = old_to_new.iter().copied().filter(|&m| m != REMOVED);
+        let mut next_survivor = image.next();
+        for new_i in 0..next.new_len as u32 {
+            if next_survivor == Some(new_i) {
+                next_survivor = image.next();
+            } else {
+                inserted.push(new_i);
+            }
+        }
+        Some(FrameDelta {
+            old_len: self.old_len,
+            new_len: next.new_len,
+            removed,
+            inserted,
+            old_to_new,
+        })
+    }
+
+    /// Reconstructs the new frame's per-point values from the old frame
+    /// plus the values of the inserted points (one per
+    /// [`FrameDelta::inserted`] index, in the same order) — the receiver
+    /// side of delta transport. Generic so that any attribute that rides
+    /// the survivor map (positions, colors) can be rebuilt the same way.
+    /// Returns `None` when the input lengths do not match this delta.
+    pub fn apply<T: Copy + Default>(&self, old: &[T], inserted_values: &[T]) -> Option<Vec<T>> {
+        if old.len() != self.old_len || inserted_values.len() != self.inserted.len() {
+            return None;
+        }
+        let mut new = vec![T::default(); self.new_len];
+        for (old_i, &new_i) in self.old_to_new.iter().enumerate() {
+            if new_i != REMOVED {
+                new[new_i as usize] = old[old_i];
+            }
+        }
+        for (&new_i, &v) in self.inserted.iter().zip(inserted_values) {
+            new[new_i as usize] = v;
+        }
+        Some(new)
     }
 }
 
@@ -539,7 +693,7 @@ mod tests {
         assert!(d.is_identity());
         assert_eq!(d.survivors(), 3);
         assert_eq!(d.churn(), 0.0);
-        assert!(d.verify(&a, &a));
+        assert!(d.verify(&a, &a).is_ok());
     }
 
     #[test]
@@ -550,7 +704,7 @@ mod tests {
         assert_eq!(d.removed(), &[1]);
         assert!(d.inserted().is_empty());
         assert_eq!(d.old_to_new(), &[0, REMOVED, 1, 2]);
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
     }
 
     #[test]
@@ -561,7 +715,7 @@ mod tests {
         assert!(d.removed().is_empty());
         assert_eq!(d.inserted(), &[1]);
         assert_eq!(d.old_to_new(), &[0, 2, 3]);
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
     }
 
     #[test]
@@ -572,7 +726,7 @@ mod tests {
         assert_eq!(d.removed(), &[1]);
         assert_eq!(d.inserted(), &[1]);
         assert_eq!(d.survivors(), 2);
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
     }
 
     #[test]
@@ -583,7 +737,7 @@ mod tests {
         // A swap cannot keep both points as survivors (the order invariant
         // forbids a decreasing mapping); the delta must stay valid and may
         // keep at most one side of the swap.
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
         assert_eq!(d.survivors() + d.removed().len(), 2);
         assert!(d.survivors() <= 1);
         assert!(!d.removed().is_empty());
@@ -597,7 +751,7 @@ mod tests {
         assert_eq!(d.removed(), &[0, 1]);
         assert_eq!(d.inserted(), &[0, 1, 2]);
         assert_eq!(d.survivors(), 0);
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
     }
 
     #[test]
@@ -612,13 +766,13 @@ mod tests {
         assert_eq!(d.survivors(), 2);
         assert_eq!(d.removed(), &[1]);
         assert!(d.inserted().is_empty());
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
         // The other direction gains a duplicate.
         let d = FrameDelta::diff(&new, &old);
         assert_eq!(d.survivors(), 2);
         assert_eq!(d.inserted(), &[1]);
         assert!(d.removed().is_empty());
-        assert!(d.verify(&new, &old));
+        assert!(d.verify(&new, &old).is_ok());
     }
 
     /// Regression for the duplicate-heavy over-churn: a quantized scan
@@ -648,7 +802,7 @@ mod tests {
             .collect();
         new.extend((0..100).map(|i| Point3::new(100.0 + i as f32, 0.5, 0.5)));
         let d = FrameDelta::diff(&old, &new);
-        assert!(d.verify(&old, &new));
+        assert!(d.verify(&old, &new).is_ok());
         assert_eq!(
             d.survivors(),
             900,
@@ -715,12 +869,31 @@ mod tests {
     fn verify_rejects_wrong_deltas() {
         let old = pts(&[1.0, 2.0, 3.0]);
         let new = pts(&[1.0, 9.0, 3.0]);
-        // Claims identity over different frames.
+        // Claims identity over different frames: survivor 1 moved.
         let id = FrameDelta::from_parts(3, 3, vec![], vec![]).unwrap();
-        assert!(!id.verify(&old, &new));
-        // Wrong lengths.
+        assert_eq!(
+            id.verify(&old, &new),
+            Err(DeltaError::PositionMismatch {
+                old_index: 1,
+                new_index: 1
+            })
+        );
+        // Wrong lengths, reported per side.
         let d = FrameDelta::diff(&old, &new);
-        assert!(!d.verify(&old[..2], &new));
+        assert_eq!(
+            d.verify(&old[..2], &new),
+            Err(DeltaError::OldLenMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
+        assert_eq!(
+            d.verify(&old, &new[..2]),
+            Err(DeltaError::NewLenMismatch {
+                expected: 3,
+                got: 2
+            })
+        );
     }
 
     #[test]
@@ -731,5 +904,56 @@ mod tests {
         let a = FrameDelta::diff(&old, &new);
         let b = FrameDelta::from_parts(5, 5, vec![1, 3], vec![3, 4]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn compose_matches_direct_diff() {
+        let f0 = pts(&[1.0, 2.0, 3.0, 4.0]);
+        let f1 = pts(&[1.0, 3.0, 4.0, 9.0]); // drop 2.0, append 9.0
+        let f2 = pts(&[3.0, 4.0, 9.0, 7.0]); // drop 1.0, append 7.0
+        let a = FrameDelta::diff(&f0, &f1);
+        let b = FrameDelta::diff(&f1, &f2);
+        let spliced = a.compose(&b).unwrap();
+        assert_eq!(spliced, FrameDelta::diff(&f0, &f2));
+        assert!(spliced.verify(&f0, &f2).is_ok());
+    }
+
+    #[test]
+    fn compose_chains_three_hops_and_rejects_length_mismatch() {
+        let f0 = pts(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let f1 = pts(&[1.0, 3.0, 4.0, 5.0]);
+        let f2 = pts(&[0.5, 1.0, 4.0, 5.0, 8.0]);
+        let f3 = pts(&[0.5, 4.0, 8.0, 6.0, 6.5]);
+        let d01 = FrameDelta::diff(&f0, &f1);
+        let d12 = FrameDelta::diff(&f1, &f2);
+        let d23 = FrameDelta::diff(&f2, &f3);
+        let spliced = d01.compose(&d12).unwrap().compose(&d23).unwrap();
+        assert!(spliced.verify(&f0, &f3).is_ok());
+        assert_eq!(spliced, FrameDelta::diff(&f0, &f3));
+        // Deltas that do not chain are rejected.
+        assert!(d01.compose(&d23).is_none());
+    }
+
+    #[test]
+    fn compose_with_identity_is_identity_of_composition() {
+        let f0 = pts(&[1.0, 2.0, 3.0]);
+        let f1 = pts(&[1.0, 3.0, 5.0]);
+        let d = FrameDelta::diff(&f0, &f1);
+        let id_old = FrameDelta::diff(&f0, &f0);
+        let id_new = FrameDelta::diff(&f1, &f1);
+        assert_eq!(id_old.compose(&d).unwrap(), d);
+        assert_eq!(d.compose(&id_new).unwrap(), d);
+    }
+
+    #[test]
+    fn apply_reconstructs_the_new_frame() {
+        let old = pts(&[1.0, 2.0, 3.0, 4.0]);
+        let new = pts(&[1.0, 7.0, 3.0, 4.0, 8.0]);
+        let d = FrameDelta::diff(&old, &new);
+        let inserted: Vec<Point3> = d.inserted().iter().map(|&i| new[i as usize]).collect();
+        assert_eq!(d.apply(&old, &inserted).unwrap(), new);
+        // Length mismatches are rejected.
+        assert!(d.apply(&old[..3], &inserted).is_none());
+        assert!(d.apply(&old, &inserted[..1]).is_none());
     }
 }

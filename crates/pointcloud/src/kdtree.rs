@@ -1256,7 +1256,7 @@ mod tests {
             let inserted: Vec<u32> = ((new_len - insert_count) as u32..new_len as u32).collect();
             let delta = crate::FrameDelta::from_parts(n, new_len, removed, inserted).unwrap();
             let new_pts = apply_delta(&pts, &delta, &inserted_pts);
-            assert!(delta.verify(&pts, &new_pts));
+            assert!(delta.verify(&pts, &new_pts).is_ok());
 
             tree.patch(&delta, &new_pts);
             let fresh = KdTree::build(&new_pts);

@@ -54,7 +54,7 @@ pub mod voxelgrid;
 
 pub use aabb::Aabb;
 pub use cloud::PointCloud;
-pub use delta::FrameDelta;
+pub use delta::{DeltaError, FrameDelta};
 pub use error::Error;
 pub use neighborhoods::{Neighborhoods, NeighborhoodsView};
 pub use point::{Color, Point3};

@@ -335,7 +335,7 @@ impl Default for DeltaStreamConfig {
 /// let mut stream = DeltaStream::new(base, DeltaStreamConfig::default());
 /// let before = stream.frame().clone();
 /// let delta = stream.advance();
-/// assert!(delta.verify(before.positions(), stream.frame().positions()));
+/// assert!(delta.verify(before.positions(), stream.frame().positions()).is_ok());
 /// assert_eq!(stream.frame().len(), 2_000);
 /// ```
 #[derive(Debug, Clone)]
@@ -558,11 +558,11 @@ mod tests {
             assert!(after.has_colors());
             assert_eq!(delta.removed().len(), 200);
             assert_eq!(delta.inserted().len(), 200);
-            assert!(delta.verify(before.positions(), after.positions()));
+            assert!(delta.verify(before.positions(), after.positions()).is_ok());
             // The diff recovers a delta at most as churned as the truth
             // (bitwise-identical survivors must all match).
             let diffed = FrameDelta::diff(before.positions(), after.positions());
-            assert!(diffed.verify(before.positions(), after.positions()));
+            assert!(diffed.verify(before.positions(), after.positions()).is_ok());
             assert!(diffed.survivors() >= delta.survivors());
         }
     }
@@ -621,7 +621,9 @@ mod tests {
         let before = stream.frame().clone();
         let d = stream.advance();
         assert_eq!(d.survivors(), 0);
-        assert!(d.verify(before.positions(), stream.frame().positions()));
+        assert!(d
+            .verify(before.positions(), stream.frame().positions())
+            .is_ok());
     }
 
     #[test]

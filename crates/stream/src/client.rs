@@ -144,6 +144,24 @@ impl SrSession {
         self.scratch.set_incremental(enabled);
     }
 
+    /// Why the engine rejected the most recent externally declared
+    /// [`FrameDelta`] (see [`Self::upsample_frame_delta`]), or `None` when
+    /// it verified. A rejection never corrupts output — the engine falls
+    /// back to its own bitwise diff — but a resilient transport reads the
+    /// typed reason to tell a mangled payload from genuine divergence.
+    pub fn last_delta_error(&self) -> Option<volut_pointcloud::DeltaError> {
+        self.scratch.last_delta_error()
+    }
+
+    /// Flushes every cross-frame cache (temporal rows, interpolation
+    /// outputs, refined tail, pending delta, spatial index) so the next
+    /// frame recomputes cold from its own bits alone — the keyframe-resync
+    /// primitive of fault-tolerant sessions. See the cache-flush invariants
+    /// in `volut_core::interpolate::temporal`.
+    pub fn flush_caches(&mut self) {
+        self.scratch.flush_temporal();
+    }
+
     /// The session's frame-scratch arena (index cache, dual-tree scratch,
     /// neighborhood buffers) — read-only, for capacity/stats inspection.
     pub fn scratch(&self) -> &FrameScratch {
@@ -681,6 +699,8 @@ mod tests {
             assert_eq!(a.cloud, c.cloud);
         }
         assert!(keyed.temporal_stats().rows_reused > 0);
+        // Every delta so far was correct, so no rejection is recorded.
+        assert_eq!(keyed.last_delta_error(), None);
         // A *wrong* delta (stale by one frame) must not corrupt results —
         // the engine verifies and falls back to its own diff.
         let stale = stream.advance();
@@ -694,6 +714,23 @@ mod tests {
             .unwrap();
         let c = full.upsample_frame(&frame, 2.0).unwrap();
         assert_eq!(a.cloud, c.cloud);
+        // The rejection reason is typed: the stale delta chains from the
+        // cached frame (old length matches) but lands on the skipped frame,
+        // so verification fails on content — a survivor whose position
+        // differs (or, had the churn changed the count, the new length).
+        match keyed.last_delta_error() {
+            Some(
+                volut_pointcloud::DeltaError::PositionMismatch { .. }
+                | volut_pointcloud::DeltaError::NewLenMismatch { .. },
+            ) => {}
+            other => panic!("expected a content rejection, got {other:?}"),
+        }
+        // A subsequent correct delta clears the record.
+        let delta = stream.advance();
+        keyed
+            .upsample_frame_delta(&stream.frame().clone(), 2.0, delta)
+            .unwrap();
+        assert_eq!(keyed.last_delta_error(), None);
     }
 
     #[test]

@@ -11,6 +11,9 @@ pub enum Error {
     Trace(String),
     /// The requested video/chunk does not exist.
     NotFound(String),
+    /// The transport layer could not deliver a frame even after climbing
+    /// the whole recovery ladder (see [`crate::resilience`]).
+    Transport(String),
     /// An error bubbled up from the super-resolution core.
     Core(volut_core::Error),
     /// An error bubbled up from the point-cloud substrate.
@@ -25,6 +28,7 @@ impl fmt::Display for Error {
             Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Error::Trace(msg) => write!(f, "invalid network trace: {msg}"),
             Error::NotFound(what) => write!(f, "not found: {what}"),
+            Error::Transport(msg) => write!(f, "transport failure: {msg}"),
             Error::Core(e) => write!(f, "super-resolution error: {e}"),
             Error::PointCloud(e) => write!(f, "point cloud error: {e}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
@@ -71,6 +75,7 @@ mod tests {
             Error::InvalidConfig("x".into()),
             Error::Trace("empty".into()),
             Error::NotFound("chunk 9".into()),
+            Error::Transport("frame 3 unrecoverable".into()),
         ] {
             assert!(!e.to_string().is_empty());
         }

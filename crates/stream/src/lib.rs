@@ -30,9 +30,11 @@ pub mod chunk;
 pub mod client;
 pub mod encoder;
 pub mod error;
+pub mod faults;
 pub mod link;
 pub mod motion;
 pub mod qoe;
+pub mod resilience;
 pub mod simulator;
 pub mod systems;
 pub mod throughput;

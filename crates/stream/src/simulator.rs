@@ -12,6 +12,9 @@ use crate::chunk::chunk_video;
 use crate::link::SimulatedLink;
 use crate::motion::MotionTrace;
 use crate::qoe::{ChunkQoe, QoeAccumulator, QoeParams, QoeSummary};
+use crate::resilience::{
+    DegradationConfig, DegradationController, DegradationLevel, RobustnessStats,
+};
 use crate::systems::{SystemKind, SystemSpec};
 use crate::trace::NetworkTrace;
 use crate::video::VideoMeta;
@@ -37,6 +40,10 @@ pub struct SessionConfig {
     pub motion: MotionTrace,
     /// Viewport-prediction horizon used by viewport-adaptive systems.
     pub prediction_horizon_s: f64,
+    /// Deadline-aware graceful degradation (see [`crate::resilience`]).
+    /// `None` (the default) disables the controller: every chunk runs the
+    /// full pipeline exactly as before.
+    pub degradation: Option<DegradationConfig>,
 }
 
 impl Default for SessionConfig {
@@ -49,6 +56,7 @@ impl Default for SessionConfig {
             device: DeviceProfile::desktop_3080ti(),
             motion: MotionTrace::orbit(),
             prediction_horizon_s: 1.0,
+            degradation: None,
         }
     }
 }
@@ -74,6 +82,9 @@ pub struct ChunkRecord {
     pub stall_s: f64,
     /// Buffer level after this chunk was added.
     pub buffer_after_s: f64,
+    /// Degradation level the chunk ran at (index into
+    /// [`DegradationLevel::ALL`]; 0 = full pipeline).
+    pub degradation_level: usize,
 }
 
 /// Outcome of one simulated session.
@@ -95,6 +106,9 @@ pub struct SessionResult {
     pub mean_fetch_density: f64,
     /// Mean displayed (post-SR) quality across chunks.
     pub mean_displayed_quality: f64,
+    /// Robustness telemetry; present when the session ran with a
+    /// [`DegradationConfig`].
+    pub robustness: Option<RobustnessStats>,
     /// Full per-chunk timeline.
     pub timeline: Vec<ChunkRecord>,
 }
@@ -184,6 +198,7 @@ impl StreamingSimulator {
         );
         let mut qoe = QoeAccumulator::new();
         let mut timeline = Vec::with_capacity(chunks.len());
+        let mut degradation = self.config.degradation.map(DegradationController::new);
 
         let visibility =
             VisibilityModel::for_motion(&self.config.motion, self.config.prediction_horizon_s);
@@ -242,13 +257,49 @@ impl StreamingSimulator {
                 .round() as u64;
 
             let download_s = link.download_time(bytes, now_s);
-            let compute_s = spec.compute.chunk_time_on_device(
-                chunk,
-                decision.fetch_density,
-                decision.sr_ratio,
-                &self.config.device,
-                spec.nn_inference,
-            );
+            // Deadline-aware degradation: the controller picks the cheapest
+            // level that fits the chunk's compute budget (with hysteresis)
+            // and the chunk's compute time and quality are charged at that
+            // level. Without a controller every chunk runs the full
+            // pipeline, exactly as before.
+            let (level, compute_s) = match degradation.as_mut() {
+                Some(ctl) => {
+                    let budget_s = ctl.budget_s(chunk.duration_s);
+                    let level = ctl.plan(
+                        |l| {
+                            l.chunk_time_on_device(
+                                &spec.compute,
+                                chunk,
+                                decision.fetch_density,
+                                decision.sr_ratio,
+                                &self.config.device,
+                                spec.nn_inference,
+                            )
+                        },
+                        budget_s,
+                    );
+                    let compute_s = level.chunk_time_on_device(
+                        &spec.compute,
+                        chunk,
+                        decision.fetch_density,
+                        decision.sr_ratio,
+                        &self.config.device,
+                        spec.nn_inference,
+                    );
+                    ctl.observe(compute_s, budget_s);
+                    (level, compute_s)
+                }
+                None => (
+                    DegradationLevel::Full,
+                    spec.compute.chunk_time_on_device(
+                        chunk,
+                        decision.fetch_density,
+                        decision.sr_ratio,
+                        &self.config.device,
+                        spec.nn_inference,
+                    ),
+                ),
+            };
             // Download and client-side SR are pipelined (the paper's client
             // overlaps fetching chunk i+1 with upsampling chunk i), plus a
             // small serial overhead for decode/protocol handling.
@@ -263,11 +314,12 @@ impl StreamingSimulator {
 
             // Displayed quality: real + SR-synthesized points, with ViVo's
             // viewport-miss model applied when relevant.
-            let displayed_quality = if spec.viewport_adaptive {
-                visibility.effective_quality(decision.fetch_density)
-            } else {
-                ctx.displayed_quality(decision.fetch_density, decision.sr_ratio)
-            };
+            let displayed_quality = level.quality_factor()
+                * if spec.viewport_adaptive {
+                    visibility.effective_quality(decision.fetch_density)
+                } else {
+                    ctx.displayed_quality(decision.fetch_density, decision.sr_ratio)
+                };
 
             // Feed the estimator with what the transfer actually achieved.
             let observed = link.observed_throughput(bytes.max(1), now_s - ready_after);
@@ -289,6 +341,7 @@ impl StreamingSimulator {
                 compute_s,
                 stall_s,
                 buffer_after_s: buffer.level_s(),
+                degradation_level: level.index(),
             });
 
             data_bytes += bytes;
@@ -307,6 +360,12 @@ impl StreamingSimulator {
             stall_s: buffer.total_stall_s(),
             mean_fetch_density: density_sum / n,
             mean_displayed_quality: quality_sum / n,
+            robustness: degradation.map(|ctl| {
+                let mut stats = RobustnessStats::default();
+                ctl.fill_stats(&mut stats);
+                stats.frames = chunks.len() as u64;
+                stats
+            }),
             timeline,
         })
     }
@@ -430,6 +489,96 @@ mod tests {
         assert!(sim
             .run(&video, &trace, SystemKind::VolutContinuous)
             .is_err());
+    }
+
+    #[test]
+    fn degradation_disabled_leaves_sessions_unchanged() {
+        let sim = StreamingSimulator::new(SessionConfig::default());
+        let video = VideoMeta::tiny(300, 50_000);
+        let trace = NetworkTrace::stable(40.0, 60.0);
+        let r = sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
+        assert!(r.robustness.is_none());
+        assert!(r.timeline.iter().all(|c| c.degradation_level == 0));
+    }
+
+    #[test]
+    fn fast_device_with_headroom_never_degrades() {
+        let config = SessionConfig {
+            degradation: Some(DegradationConfig::default()),
+            ..SessionConfig::default()
+        };
+        let sim = StreamingSimulator::new(config);
+        let video = short_video();
+        let trace = NetworkTrace::stable(50.0, 120.0);
+        let r = sim
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
+        let stats = r.robustness.expect("controller was enabled");
+        assert_eq!(stats.deadline_misses, 0);
+        assert_eq!(
+            stats.degradation_residency[0],
+            r.timeline.len() as u64,
+            "desktop + LUT SR has plenty of headroom: {stats:?}"
+        );
+        // At Full level the quality factor is 1.0, so enabling the
+        // controller must not change the scored outcome.
+        let baseline = StreamingSimulator::new(SessionConfig::default())
+            .run(&video, &trace, SystemKind::VolutContinuous)
+            .unwrap();
+        assert_eq!(r.qoe.score, baseline.qoe.score);
+        assert_eq!(r.data_bytes, baseline.data_bytes);
+    }
+
+    #[test]
+    fn overloaded_device_degrades_instead_of_missing_deadlines() {
+        // GradPU-class neural refinement on an embedded device cannot hold
+        // the real-time line at Full; the controller must shed stages and
+        // keep the realized miss rate at zero (predictions are exact in the
+        // analytic model) while actually spending time below budget.
+        let config = SessionConfig {
+            device: DeviceProfile::orange_pi(),
+            degradation: Some(DegradationConfig::default()),
+            ..SessionConfig::default()
+        };
+        let sim = StreamingSimulator::new(config.clone());
+        let video = short_video();
+        let trace = NetworkTrace::stable(50.0, 120.0);
+        let r = sim.run(&video, &trace, SystemKind::DiscreteYuzuSr).unwrap();
+        let stats = r.robustness.expect("controller was enabled");
+        let degraded: u64 = stats.degradation_residency[1..].iter().sum();
+        assert!(degraded > 0, "expected shedding on orange-pi: {stats:?}");
+        assert!(
+            stats.deadline_miss_rate() <= 0.05,
+            "miss rate {} stats {stats:?}",
+            stats.deadline_miss_rate()
+        );
+        // Degraded chunks must actually be cheaper than the budget they
+        // were planned against.
+        for c in &r.timeline {
+            assert!(
+                c.compute_s <= config.chunk_duration_s + 1e-9,
+                "chunk {} spent {}s against a {}s budget at level {}",
+                c.index,
+                c.compute_s,
+                config.chunk_duration_s,
+                c.degradation_level
+            );
+        }
+        // The same session without the controller stalls on compute.
+        let unmanaged = StreamingSimulator::new(SessionConfig {
+            device: DeviceProfile::orange_pi(),
+            ..SessionConfig::default()
+        })
+        .run(&video, &trace, SystemKind::DiscreteYuzuSr)
+        .unwrap();
+        assert!(
+            r.stall_s < unmanaged.stall_s,
+            "managed {} unmanaged {}",
+            r.stall_s,
+            unmanaged.stall_s
+        );
     }
 
     #[test]

@@ -114,9 +114,9 @@ proptest! {
         let before = stream.frame().clone();
         let truth = stream.advance();
         let after = stream.frame();
-        prop_assert!(truth.verify(before.positions(), after.positions()));
+        prop_assert!(truth.verify(before.positions(), after.positions()).is_ok());
         let diffed = FrameDelta::diff(before.positions(), after.positions());
-        prop_assert!(diffed.verify(before.positions(), after.positions()));
+        prop_assert!(diffed.verify(before.positions(), after.positions()).is_ok());
         // The diff can only churn *more* than the generating truth (bitwise
         // identical survivors must all be recovered or conservatively
         // churned, never mismatched).
