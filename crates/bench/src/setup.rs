@@ -21,10 +21,21 @@ use volut_pointcloud::{synthetic, PointCloud};
 /// experiments. Scaled down from the paper's 100K so the full harness runs
 /// in minutes on a CI host; override with `VOLUT_EXPERIMENT_POINTS`.
 pub fn experiment_points() -> usize {
+    log_runtime_once();
     std::env::var("VOLUT_EXPERIMENT_POINTS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(12_000)
+}
+
+/// Logs the resolved worker-pool configuration (count and whether it came
+/// from `VOLUT_WORKERS` or hardware detection) once per process, so every
+/// recorded measurement names the parallelism it ran under. Called from
+/// [`experiment_points`] and the thread-scaling bench; safe to call from
+/// anywhere else that wants the line earlier.
+pub fn log_runtime_once() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| eprintln!("{}", volut_pointcloud::runtime::describe()));
 }
 
 /// The four evaluation "videos" (stand-ins) as single representative frames.

@@ -483,18 +483,20 @@ impl FrameScratch {
 /// One batched kNN pass over `queries` against the cached `tree`, appending
 /// CSR rows to `out` — the shared kNN entry of both interpolators.
 ///
-/// Sequential batches (one worker: small frames, single-core hosts, or the
-/// `parallel` feature disabled) go through [`KdTree::knn_batch_with`] so
-/// the engine-owned [`DualTreeScratch`] is used — auto-selecting the
-/// dual-tree leaf-pair kernel for the large self-joins that dominate frame
-/// time, with zero steady-state allocation. Multi-worker batches fall back
-/// to chunked `knn_batch` calls (each chunk is bichromatic, which the auto
-/// policy keeps on the warm single-tree sweep) — so on multi-core hosts
-/// the dual tree is **not** reached from the engine; whether one
-/// sequential dual-tree traversal beats N chunked sweeps there is an open
-/// ROADMAP question this single-core build host cannot answer (at 100k/k=5
-/// the dual tree's 1.32× over one sweep is overtaken by ideal 2-worker
-/// chunking already, hence the conservative routing).
+/// Batches the dual-tree auto policy would claim — the large self-joins
+/// that dominate frame time — always go through [`KdTree::knn_batch_with`]
+/// whole: the leaf-pair traversal parallelizes *internally* by sharding the
+/// query-leaf set across the pool (and uses the engine-owned
+/// [`DualTreeScratch`], so steady-state frames allocate nothing). Chunking
+/// those here would be strictly worse: each chunk is a bichromatic subset
+/// (breaking self-join detection and the diagonal-first bound seeding) and
+/// the chunks would fight the traversal's own shards for workers.
+///
+/// Everything else — bichromatic batches, small self-joins, large `k` —
+/// runs the warm single-tree sweep, pre-chunked across the pool when more
+/// than one worker is available, exactly as before. Either way rows are
+/// bit-identical at every worker count: chunk boundaries only partition the
+/// query list, and row contents are per-query.
 pub(crate) fn batched_knn_into(
     tree: &KdTree,
     queries: &[Point3],
@@ -503,7 +505,7 @@ pub(crate) fn batched_knn_into(
     out: &mut Neighborhoods,
 ) {
     let workers = par::worker_count(queries.len(), 2_000);
-    if workers <= 1 {
+    if workers <= 1 || tree.auto_selects_dual_tree(queries, k) {
         tree.knn_batch_with(queries, k, out, BatchStrategy::Auto, dual);
         return;
     }

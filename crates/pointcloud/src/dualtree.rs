@@ -47,6 +47,28 @@
 //! force either algorithm, plus a persistent [`DualTreeScratch`] so
 //! steady-state frames allocate nothing.
 //!
+//! # Parallel traversal (query-leaf sharding)
+//!
+//! Under the `parallel` feature the traversal shards across the
+//! work-stealing pool ([`crate::runtime`]) by partitioning the **query
+//! tree**: a frontier of roughly `2 × workers` subtree roots covering the
+//! leaf-slot space end to end (greedily splitting the widest shard) is
+//! planned per batch, and each shard runs the ordinary pair traversal —
+//! its query subtree against the whole reference tree — as one stealable
+//! task. Shards are independent because all mutable traversal state is
+//! per-shard: each owns the sub-slab of the flat row arena its leaf slots
+//! map to (rebased via the traversal's slot base) and a private pruning-
+//! bound vector drawn from a pool in [`DualTreeScratch`], so steady-state
+//! frames still allocate nothing. Monochromatic shards schedule their
+//! diagonal (self) pair first and the remaining reference subtrees
+//! nearest-first, preserving the bound-seeding property within the shard.
+//! Because bounds only *prune* pairs that provably cannot contribute and
+//! row contents are decided by the packed key semantics alone, sharded
+//! results are **bit-identical** to the sequential traversal at every
+//! worker count (property-tested, including duplicate-heavy tie cases).
+//! Batches smaller than a couple thousand queries per worker stay on the
+//! single-shard sequential path.
+//!
 //! [`KdTree::knn`]: crate::knn::NeighborSearch::knn
 
 use crate::kdtree::KdTree;
@@ -69,10 +91,12 @@ pub enum BatchStrategy {
     DualTree,
 }
 
-/// Smallest self-join batch the auto policy sends to the dual tree. The
-/// traversal amortizes per-node work over whole leaves, which needs enough
-/// queries per leaf region to pay for the pair bookkeeping; below this the
-/// warm-started single-tree sweep wins.
+/// Default for the smallest self-join batch the auto policy sends to the
+/// dual tree (override with the `VOLUT_DUAL_MIN_QUERIES` environment
+/// variable — see [`dual_min_queries_mono`]). The traversal amortizes
+/// per-node work over whole leaves, which needs enough queries per leaf
+/// region to pay for the pair bookkeeping; below this the warm-started
+/// single-tree sweep wins.
 ///
 /// Bichromatic batches are **never** auto-selected: measured on the build
 /// host (100k jittered queries over a 100k humanoid cloud, k=5), the dual
@@ -89,6 +113,28 @@ pub const DUAL_MIN_QUERIES_MONO: usize = 4096;
 /// does an `O(k)` rank scan per accepted candidate, same as `BestK`, but
 /// large-`k` rows blow past the slab's cache-friendly regime).
 pub const DUAL_MAX_K: usize = 32;
+
+/// The auto policy's self-join crossover, resolved once per process:
+/// `VOLUT_DUAL_MIN_QUERIES` when set to a parseable value, else
+/// [`DUAL_MIN_QUERIES_MONO`]. The env override exists so the crossover can
+/// be re-tuned per deployment without a rebuild — the committed default was
+/// measured on the single-core build host, and multicore hosts (where the
+/// sharded traversal has real workers) may profitably set it lower.
+pub fn dual_min_queries_mono() -> usize {
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        std::env::var("VOLUT_DUAL_MIN_QUERIES")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(DUAL_MIN_QUERIES_MONO)
+    })
+}
+
+/// Fewest queries a parallel shard is worth: below this per shard, the
+/// leaf-pair traversal is too short to repay task scheduling and the
+/// per-shard warm-up of pruning bounds, so the batch stays sequential.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+const DUAL_MIN_QUERIES_PER_SHARD: usize = 2048;
 
 /// Reusable state of the dual-tree all-kNN: the query-side tree (built only
 /// for bichromatic joins, storage reused via [`KdTree::build_in`]), the flat
@@ -108,6 +154,12 @@ pub struct DualTreeScratch {
     /// Per-query-node pruning bound (max k-th-best distance over the
     /// node's queries), indexed by query-tree node id.
     bounds: Vec<f32>,
+    /// Per-shard pruning-bound vectors for the parallel traversal (each
+    /// shard owns a full node-indexed vector so shards never alias; a shard
+    /// only ever reads/writes bounds of query nodes inside its own
+    /// subtree). Pooled here so steady-state parallel batches allocate
+    /// nothing.
+    shard_bounds: Vec<Vec<f32>>,
     /// How many batches ran through the dual-tree kernel with this scratch.
     invocations: u64,
 }
@@ -130,6 +182,11 @@ impl DualTreeScratch {
     pub fn reserved_bytes(&self) -> usize {
         self.rows.capacity() * std::mem::size_of::<u64>()
             + self.bounds.capacity() * std::mem::size_of::<f32>()
+            + self
+                .shard_bounds
+                .iter()
+                .map(|b| b.capacity() * std::mem::size_of::<f32>())
+                .sum::<usize>()
             + self.qtree.reserved_bytes()
     }
 }
@@ -201,7 +258,7 @@ pub(crate) fn select_dual_tree(
         BatchStrategy::DualTree => true,
         BatchStrategy::Auto => {
             k <= DUAL_MAX_K
-                && queries.len() >= DUAL_MIN_QUERIES_MONO
+                && queries.len() >= dual_min_queries_mono()
                 && is_self_join(queries, rtree)
         }
     }
@@ -236,22 +293,37 @@ pub(crate) fn all_knn(
         scratch.qtree.build_in(queries);
         &scratch.qtree
     };
-    // Sentinel-fill the row slab and reset the per-node bounds; both keep
-    // their allocations across batches.
+    // Sentinel-fill the row slab; it keeps its allocation across batches.
     scratch.rows.clear();
     scratch.rows.resize(queries.len() * stride, SENTINEL);
-    scratch.bounds.clear();
-    scratch.bounds.resize(qtree.node_count(), f32::INFINITY);
-    Traversal {
-        qtree,
-        rtree,
-        rows: &mut scratch.rows,
-        bounds: &mut scratch.bounds,
-        stride,
-        mono,
-        prev_slot: usize::MAX,
+    // Shard the query-leaf set across pool workers when the batch is big
+    // enough to repay it; otherwise run the classic sequential traversal.
+    let shards = plan_shards(qtree, queries.len());
+    if shards.len() > 1 {
+        run_sharded(
+            rtree,
+            qtree,
+            mono,
+            stride,
+            &shards,
+            &mut scratch.rows,
+            &mut scratch.shard_bounds,
+        );
+    } else {
+        scratch.bounds.clear();
+        scratch.bounds.resize(qtree.node_count(), f32::INFINITY);
+        Traversal {
+            qtree,
+            rtree,
+            rows: &mut scratch.rows,
+            bounds: &mut scratch.bounds,
+            stride,
+            mono,
+            slot_base: 0,
+            prev_slot: usize::MAX,
+        }
+        .pair(qtree.root_id(), rtree.root_id(), 0.0);
     }
-    .pair(qtree.root_id(), rtree.root_id(), 0.0);
     // Every row is full (nothing prunes against a sentinel's infinite
     // bound) and already sorted by (distance, index); the low 32 bits of a
     // packed key are the neighbor index. Rows live in leaf-slot order, so
@@ -267,6 +339,206 @@ pub(crate) fn all_knn(
             *d = key as u32;
         }
     }
+}
+
+/// One parallel shard of the query side: a query-tree node whose subtree
+/// covers the contiguous leaf-slot range `lo..hi`. The shard set partitions
+/// the whole leaf-slot space, so shards own disjoint row sub-slabs and can
+/// traverse concurrently.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+#[derive(Clone, Copy)]
+struct Shard {
+    root: u32,
+    lo: usize,
+    hi: usize,
+}
+
+/// Leaf-slot span of `n`'s subtree. Children are allocated over contiguous
+/// slot sub-ranges at build time, so the span is (leftmost leaf's start,
+/// rightmost leaf's end) — two root-to-leaf walks, no subtree scan.
+#[cfg_attr(not(feature = "parallel"), allow(dead_code))]
+fn subtree_span(tree: &KdTree, n: u32) -> (usize, usize) {
+    let mut lo_n = n;
+    let lo = loop {
+        let node = tree.node(lo_n);
+        if node.is_leaf() {
+            break node.leaf_range().0;
+        }
+        lo_n = node.children().0;
+    };
+    let mut hi_n = n;
+    let hi = loop {
+        let node = tree.node(hi_n);
+        if node.is_leaf() {
+            break node.leaf_range().1;
+        }
+        hi_n = node.children().1;
+    };
+    (lo, hi)
+}
+
+/// Decides the parallel decomposition of a batch: a frontier of query-tree
+/// nodes partitioning the leaf-slot space, sized to about twice the current
+/// pool's worker count (slack for stealing to balance uneven shards).
+/// Returns a single whole-tree shard — i.e. "stay sequential" — when the
+/// pool has one executor or the batch is too small to repay sharding.
+fn plan_shards(qtree: &KdTree, queries: usize) -> Vec<Shard> {
+    let whole = || {
+        let (lo, hi) = (0usize, queries);
+        vec![Shard {
+            root: qtree.root_id(),
+            lo,
+            hi,
+        }]
+    };
+    #[cfg(not(feature = "parallel"))]
+    {
+        return whole();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let workers = crate::par::worker_count(queries, DUAL_MIN_QUERIES_PER_SHARD);
+        if workers <= 1 {
+            return whole();
+        }
+        let target = workers * 2;
+        let mut frontier: Vec<Shard> = whole();
+        while frontier.len() < target {
+            // Split the widest shard; stop when only leaves remain.
+            let Some(widest) = frontier
+                .iter()
+                .position(|s| !qtree.node(s.root).is_leaf())
+                .map(|first| {
+                    frontier
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| !qtree.node(s.root).is_leaf())
+                        .max_by_key(|(_, s)| s.hi - s.lo)
+                        .map_or(first, |(i, _)| i)
+                })
+            else {
+                break;
+            };
+            let shard = frontier.swap_remove(widest);
+            let (a, b) = qtree.node(shard.root).children();
+            let (alo, ahi) = subtree_span(qtree, a);
+            let (blo, bhi) = subtree_span(qtree, b);
+            frontier.push(Shard {
+                root: a,
+                lo: alo,
+                hi: ahi,
+            });
+            frontier.push(Shard {
+                root: b,
+                lo: blo,
+                hi: bhi,
+            });
+        }
+        frontier.sort_by_key(|s| s.lo);
+        frontier
+    }
+}
+
+/// Sequential-build stub: [`plan_shards`] never returns more than one shard
+/// without the `parallel` feature, so the sharded branch is unreachable.
+#[cfg(not(feature = "parallel"))]
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    _rtree: &KdTree,
+    _qtree: &KdTree,
+    _mono: bool,
+    _stride: usize,
+    _shards: &[Shard],
+    _all_rows: &mut [u64],
+    _bounds_pool: &mut Vec<Vec<f32>>,
+) {
+    unreachable!("plan_shards stays sequential without the parallel feature");
+}
+
+/// Runs the traversal sharded across the pool. Each shard task owns the
+/// row sub-slab of its leaf-slot range and a full node-indexed bounds
+/// vector (pooled in the scratch), so tasks share nothing mutable; results
+/// are bit-identical to the sequential traversal because bounds only prune
+/// provably irrelevant work and row contents are decided by packed
+/// `(distance, index)` keys alone (see the module docs).
+///
+/// Scheduling inside a shard mirrors the sequential order's intent: in the
+/// monochromatic case the shard scans its *diagonal* pair first (its
+/// queries meet their own points, seeding tight pruning bounds — the very
+/// property that makes self-joins the dual tree's winning case), then the
+/// other shards' reference subtrees nearest-first. Bichromatic shards
+/// descend the whole reference tree exactly like the sequential `(split,
+/// split)` arm.
+#[cfg(feature = "parallel")]
+#[allow(clippy::too_many_arguments)]
+fn run_sharded(
+    rtree: &KdTree,
+    qtree: &KdTree,
+    mono: bool,
+    stride: usize,
+    shards: &[Shard],
+    all_rows: &mut [u64],
+    bounds_pool: &mut Vec<Vec<f32>>,
+) {
+    use crate::par::SendPtr;
+    // Pooled per-shard bounds: grow the pool to the shard count, then reset
+    // each vector to node-count ∞ entries (allocation-free at steady state).
+    if bounds_pool.len() < shards.len() {
+        bounds_pool.resize_with(shards.len(), Vec::new);
+    }
+    for b in &mut bounds_pool[..shards.len()] {
+        b.clear();
+        b.resize(qtree.node_count(), f32::INFINITY);
+    }
+    let mut shard_bounds: Vec<&mut [f32]> = bounds_pool[..shards.len()]
+        .iter_mut()
+        .map(|b| b.as_mut_slice())
+        .collect();
+    let bounds_ptr = SendPtr::new(shard_bounds.as_mut_ptr());
+    let rows_ptr = SendPtr::new(all_rows.as_mut_ptr());
+    crate::runtime::run_range(shards.len(), 1, |r| {
+        for i in r {
+            let shard = shards[i];
+            // SAFETY: shard index `i` is visited by exactly one task, and
+            // shard slot ranges are disjoint, so the bounds slot and the
+            // rows sub-slab are exclusively this task's; both borrows end
+            // before `run_range` returns.
+            let bounds: &mut [f32] = unsafe { &mut *bounds_ptr.get().add(i) };
+            let rows = unsafe {
+                std::slice::from_raw_parts_mut(
+                    rows_ptr.get().add(shard.lo * stride),
+                    (shard.hi - shard.lo) * stride,
+                )
+            };
+            let mut t = Traversal {
+                qtree,
+                rtree,
+                rows,
+                bounds,
+                stride,
+                mono,
+                slot_base: shard.lo,
+                prev_slot: usize::MAX,
+            };
+            if mono {
+                // Diagonal first, then the other shards' subtrees as
+                // reference sides, nearest box first.
+                t.pair(shard.root, shard.root, 0.0);
+                let mut others: Vec<(u32, f32)> = shards
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, s)| (s.root, t.child_dist(shard.root, s.root)))
+                    .collect();
+                others.sort_by(|a, b| a.1.total_cmp(&b.1));
+                for (rn, d) in others {
+                    t.pair(shard.root, rn, d);
+                }
+            } else {
+                t.pair(shard.root, rtree.root_id(), 0.0);
+            }
+        }
+    });
 }
 
 /// The recursive (query-node, reference-node) pair walk. Each pair is
@@ -287,6 +559,11 @@ struct Traversal<'a> {
     bounds: &'a mut [f32],
     stride: usize,
     mono: bool,
+    /// First leaf slot covered by `rows` — zero for the sequential
+    /// whole-tree traversal; a shard's range start for the parallel one
+    /// (shards own the sub-slab of their own leaf-slot range, so absolute
+    /// slots are rebased before indexing `rows`).
+    slot_base: usize,
     /// Slot of the most recently scanned query row — the warm-start seed
     /// for the next cold row (usually the previous slot of the same leaf;
     /// across leaf boundaries, the last row of the previously scanned
@@ -415,8 +692,9 @@ impl Traversal<'_> {
         let mut bound = 0.0f32;
         for slot in qs..qe {
             let q = Point3::new(qxs[slot], qys[slot], qzs[slot]);
+            let local = slot - self.slot_base;
             let filled = {
-                let row = &self.rows[slot * self.stride..(slot + 1) * self.stride];
+                let row = &self.rows[local * self.stride..(local + 1) * self.stride];
                 f32::from_bits((row[row.len() - 1] >> 32) as u32).is_finite()
             };
             let cap = if filled {
@@ -424,7 +702,7 @@ impl Traversal<'_> {
             } else {
                 self.warm_cap(q)
             };
-            let row = &mut self.rows[slot * self.stride..(slot + 1) * self.stride];
+            let row = &mut self.rows[local * self.stride..(local + 1) * self.stride];
             let mut sink = RowSink { keys: row, cap };
             if rbox.distance_squared_to(q) <= sink.worst_d2() {
                 kernels::scan_ids(self.rtree.soa(), self.rtree.order(), rs, re, q, &mut sink);
@@ -449,7 +727,8 @@ impl Traversal<'_> {
         if self.prev_slot == usize::MAX {
             return f32::INFINITY;
         }
-        let prow = &self.rows[self.prev_slot * self.stride..(self.prev_slot + 1) * self.stride];
+        let local = self.prev_slot - self.slot_base;
+        let prow = &self.rows[local * self.stride..(local + 1) * self.stride];
         if *prow.last().expect("stride > 0") == SENTINEL {
             return f32::INFINITY;
         }
@@ -621,6 +900,106 @@ mod tests {
             );
         }
         assert_eq!(scratch.invocations(), 4);
+    }
+
+    /// The sharded parallel traversal must produce byte-for-byte the same
+    /// rows as the sequential one, for every worker count, both join
+    /// shapes, and duplicate-heavy ties — and its per-shard bounds pool
+    /// must reach a steady state (no growth on repeated same-shape
+    /// batches).
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn sharded_traversal_matches_sequential() {
+        let mut pts = random_points(6_000, 20);
+        pts.extend(vec![Point3::ONE; 40]); // duplicate cluster: tie-breaking
+        let tree = KdTree::build(&pts);
+        let queries = random_points(5_000, 21);
+        for k in [1usize, 5, 9] {
+            let mut seq_mono = Neighborhoods::new();
+            let mut seq_bi = Neighborhoods::new();
+            let mut scratch = DualTreeScratch::new();
+            crate::runtime::with_workers(1, || {
+                tree.knn_batch_with(
+                    &pts,
+                    k,
+                    &mut seq_mono,
+                    BatchStrategy::DualTree,
+                    &mut scratch,
+                );
+                tree.knn_batch_with(
+                    &queries,
+                    k,
+                    &mut seq_bi,
+                    BatchStrategy::DualTree,
+                    &mut scratch,
+                );
+            });
+            for workers in [2usize, 4, 8] {
+                let mut scratch = DualTreeScratch::new();
+                crate::runtime::with_workers(workers, || {
+                    let mut mono = Neighborhoods::new();
+                    tree.knn_batch_with(&pts, k, &mut mono, BatchStrategy::DualTree, &mut scratch);
+                    assert_eq!(mono, seq_mono, "mono k {k} workers {workers}");
+                    assert!(
+                        !scratch.shard_bounds.is_empty(),
+                        "parallel path must engage under a {workers}-worker pool"
+                    );
+                    let mut bi = Neighborhoods::new();
+                    tree.knn_batch_with(
+                        &queries,
+                        k,
+                        &mut bi,
+                        BatchStrategy::DualTree,
+                        &mut scratch,
+                    );
+                    assert_eq!(bi, seq_bi, "bichromatic k {k} workers {workers}");
+                    // Both batch shapes have now sized every pooled buffer
+                    // (row slab, shard bounds, query tree); repeats must
+                    // reuse them without growth.
+                    let reserved = scratch.reserved_bytes();
+                    let mut again = Neighborhoods::new();
+                    tree.knn_batch_with(&pts, k, &mut again, BatchStrategy::DualTree, &mut scratch);
+                    assert_eq!(again, seq_mono);
+                    tree.knn_batch_with(
+                        &queries,
+                        k,
+                        &mut Neighborhoods::new(),
+                        BatchStrategy::DualTree,
+                        &mut scratch,
+                    );
+                    assert_eq!(
+                        scratch.reserved_bytes(),
+                        reserved,
+                        "steady-state parallel batches must not grow the scratch"
+                    );
+                });
+            }
+        }
+    }
+
+    /// Shard planning partitions the leaf-slot space exactly.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn shard_frontier_partitions_leaf_slots() {
+        let pts = random_points(10_000, 22);
+        let tree = KdTree::build(&pts);
+        crate::runtime::with_workers(4, || {
+            let shards = plan_shards(&tree, pts.len());
+            assert!(shards.len() > 1);
+            assert_eq!(shards[0].lo, 0);
+            assert_eq!(shards.last().expect("nonempty").hi, pts.len());
+            for pair in shards.windows(2) {
+                assert_eq!(pair[0].hi, pair[1].lo, "spans must be contiguous");
+            }
+        });
+        // One executor: a single whole-tree shard, i.e. stay sequential.
+        crate::runtime::with_workers(1, || {
+            assert_eq!(plan_shards(&tree, pts.len()).len(), 1);
+        });
+        // Too few queries per shard: likewise.
+        crate::runtime::with_workers(8, || {
+            assert_eq!(plan_shards(&tree, 100).len(), 1);
+        });
     }
 
     #[test]
@@ -833,6 +1212,7 @@ mod tests {
                 bounds: &mut bounds,
                 stride,
                 mono: !bichromatic,
+                slot_base: 0,
                 prev_slot: usize::MAX,
             },
             pairs: 0,

@@ -763,6 +763,18 @@ impl KdTree {
         });
     }
 
+    /// Whether [`BatchStrategy::Auto`] would route this batch through the
+    /// dual-tree all-kNN (a large enough self-join with small `k`; see the
+    /// [`dualtree`] selection-policy docs). Exposed so
+    /// callers that would otherwise pre-chunk a batch across workers — the
+    /// SR engine's frame driver — can leave dual-tree batches whole: the
+    /// traversal parallelizes internally by sharding the query-leaf set,
+    /// and pre-chunking would both break self-join detection and fight the
+    /// pool for workers.
+    pub fn auto_selects_dual_tree(&self, queries: &[Point3], k: usize) -> bool {
+        dualtree::select_dual_tree(BatchStrategy::Auto, queries, k, self)
+    }
+
     fn radius_recurse(&self, node: usize, query: Point3, r2: f32, out: &mut Vec<Neighbor>) {
         let n = self.nodes[node];
         if n.tag == LEAF_TAG {

@@ -47,6 +47,7 @@ pub mod neighborhoods;
 pub mod octree;
 pub mod par;
 pub mod point;
+pub mod runtime;
 pub mod sampling;
 pub mod soa;
 pub mod synthetic;

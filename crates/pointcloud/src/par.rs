@@ -1,28 +1,66 @@
-//! Minimal data-parallel helpers (the stand-in for `rayon`).
+//! Data-parallel helpers, now thin adapters over [`crate::runtime`].
 //!
-//! The build environment has no access to crates.io, so instead of rayon's
-//! work-stealing pool these helpers fan chunks out over `std::thread::scope`
-//! workers. They are deliberately tiny: every parallel site in the SR engine
-//! is a flat loop over independent elements, which scoped threads over
-//! contiguous chunks handle within a few percent of a real pool.
+//! Historically these helpers fanned chunks out over `std::thread::scope`,
+//! spawning one OS thread *per chunk* — a 1000-chunk job oversubscribed the
+//! machine a thousandfold. They now submit recursively-splittable range
+//! tasks to the work-stealing pool: the number of concurrent executors is
+//! bounded by the pool size regardless of chunk count, idle workers steal
+//! from busy ones, and repeated parallel stages reuse pooled threads instead
+//! of paying spawn/join per call.
+//!
+//! The chunk-shaped API is unchanged, so call sites keep their exact output
+//! layout (and therefore bit-identical results — every caller writes
+//! disjoint slots whose values depend only on the slot index). The worker
+//! count is resolved by the runtime: a [`crate::runtime::with_workers`]
+//! scope if one is active on this thread, else the global pool sized from
+//! `VOLUT_WORKERS` / [`std::thread::available_parallelism`].
 //!
 //! With the `parallel` feature disabled (it is on by default) every helper
 //! degrades to its sequential equivalent, which keeps the engine
 //! single-threaded for deterministic profiling and for targets where
 //! spawning threads is undesirable.
 
-/// Upper bound on worker threads for a workload of `items` elements.
+/// Raw-pointer wrapper that lets range tasks write disjoint slots of one
+/// buffer from multiple workers. Safety rests on the callers: every index is
+/// written by exactly one task.
+#[cfg(feature = "parallel")]
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(*mut T);
+
+#[cfg(feature = "parallel")]
+impl<T> SendPtr<T> {
+    /// Wraps a base pointer whose disjoint-slot discipline the caller
+    /// guarantees.
+    #[inline]
+    pub(crate) fn new(ptr: *mut T) -> Self {
+        Self(ptr)
+    }
+
+    /// Accessor (rather than direct field use) so closures capture the
+    /// `Send + Sync` wrapper, not the raw pointer field (2021 edition
+    /// closures capture disjoint fields).
+    #[inline]
+    pub(crate) fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(feature = "parallel")]
+unsafe impl<T: Send> Send for SendPtr<T> {}
+#[cfg(feature = "parallel")]
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+/// Upper bound on concurrent workers for a workload of `items` elements.
 ///
-/// Spawning a full complement of threads for a few thousand points costs
-/// more than it saves, so the count scales with the workload and is capped
-/// by the machine's available parallelism.
+/// Running a full pool for a few thousand points costs more than it saves,
+/// so the count scales with the workload and is capped by the current
+/// pool's executor count ([`crate::runtime::current_workers`], which honors
+/// `VOLUT_WORKERS` and scoped [`crate::runtime::with_workers`] overrides —
+/// never a hard-coded guess).
 pub fn worker_count(items: usize, min_items_per_worker: usize) -> usize {
     #[cfg(feature = "parallel")]
     {
-        let available = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
-        available
+        crate::runtime::current_workers()
             .min(items / min_items_per_worker.max(1) + 1)
             .max(1)
     }
@@ -35,7 +73,8 @@ pub fn worker_count(items: usize, min_items_per_worker: usize) -> usize {
 
 /// Runs `f(chunk_index, start, chunk)` over contiguous mutable chunks of
 /// `data`, in parallel when the `parallel` feature is enabled. `start` is
-/// the element offset of the chunk inside `data`.
+/// the element offset of the chunk inside `data`. At most pool-size chunks
+/// execute concurrently, however many chunks the job has.
 pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
 where
     T: Send,
@@ -44,11 +83,22 @@ where
     let chunk_len = chunk_len.max(1);
     #[cfg(feature = "parallel")]
     {
-        if data.len() > chunk_len {
-            std::thread::scope(|scope| {
-                for (c, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                    let f = &f;
-                    scope.spawn(move || f(c, c * chunk_len, chunk));
+        let chunks = data.len().div_ceil(chunk_len);
+        if chunks > 1 && crate::runtime::current_workers() > 1 {
+            let len = data.len();
+            let base = SendPtr(data.as_mut_ptr());
+            crate::runtime::run_range(chunks, 1, |r| {
+                for c in r.clone() {
+                    let start = c * chunk_len;
+                    let end = (start + chunk_len).min(len);
+                    // SAFETY: chunk index ranges from the runtime are
+                    // disjoint and each chunk spans distinct elements, so no
+                    // two tasks alias; `data` outlives the blocking
+                    // `run_range` call.
+                    let chunk = unsafe {
+                        std::slice::from_raw_parts_mut(base.get().add(start), end - start)
+                    };
+                    f(c, start, chunk);
                 }
             });
             return;
@@ -69,16 +119,18 @@ where
 {
     let chunk_len = chunk_len.max(1);
     let chunks = len.div_ceil(chunk_len).max(1);
-    let ranges = (0..chunks).map(|c| (c * chunk_len).min(len)..((c + 1) * chunk_len).min(len));
+    let chunk_range = |c: usize| (c * chunk_len).min(len)..((c + 1) * chunk_len).min(len);
     #[cfg(feature = "parallel")]
     {
-        if chunks > 1 {
+        if chunks > 1 && crate::runtime::current_workers() > 1 {
             let mut slots: Vec<Option<R>> = (0..chunks).map(|_| None).collect();
-            std::thread::scope(|scope| {
-                for (slot, range) in slots.iter_mut().zip(ranges) {
-                    let f = &f;
-                    let c = range.start / chunk_len;
-                    scope.spawn(move || *slot = Some(f(c, range)));
+            let base = SendPtr(slots.as_mut_ptr());
+            crate::runtime::run_range(chunks, 1, |r| {
+                for c in r {
+                    // SAFETY: each slot index is written by exactly one
+                    // task (ranges are disjoint); `slots` outlives the
+                    // blocking `run_range` call.
+                    unsafe { *base.get().add(c) = Some(f(c, chunk_range(c))) };
                 }
             });
             return slots
@@ -87,22 +139,35 @@ where
                 .collect();
         }
     }
-    ranges.enumerate().map(|(c, range)| f(c, range)).collect()
+    (0..chunks).map(|c| f(c, chunk_range(c))).collect()
 }
 
-/// Fills `out[i] = f(i)` for every element, chunked across workers.
+/// Fills `out[i] = f(i)` for every element, split across the pool with
+/// roughly `min_items_per_worker` elements per task.
 pub fn fill_with<T, F>(out: &mut [T], min_items_per_worker: usize, f: F)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = worker_count(out.len(), min_items_per_worker);
-    let chunk = out.len().div_ceil(workers).max(1);
-    for_each_chunk_mut(out, chunk, |_, start, slice| {
-        for (offset, slot) in slice.iter_mut().enumerate() {
-            *slot = f(start + offset);
+    #[cfg(not(feature = "parallel"))]
+    let _ = min_items_per_worker;
+    #[cfg(feature = "parallel")]
+    {
+        if out.len() > min_items_per_worker.max(1) && crate::runtime::current_workers() > 1 {
+            let base = SendPtr(out.as_mut_ptr());
+            crate::runtime::run_range(out.len(), min_items_per_worker.max(1), |r| {
+                for i in r {
+                    // SAFETY: element ranges from the runtime are disjoint
+                    // and `out` outlives the blocking `run_range` call.
+                    unsafe { *base.get().add(i) = f(i) };
+                }
+            });
+            return;
         }
-    });
+    }
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = f(i);
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +178,19 @@ mod tests {
     fn worker_count_scales_with_items() {
         assert_eq!(worker_count(0, 1000), 1);
         assert!(worker_count(1_000_000, 1000) >= 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn worker_count_is_capped_by_scoped_pool() {
+        crate::runtime::with_workers(2, || {
+            assert_eq!(worker_count(1_000_000, 1000), 2);
+        });
+        crate::runtime::with_workers(8, || {
+            assert_eq!(worker_count(1_000_000, 1000), 8);
+            // Still scales down with the workload.
+            assert_eq!(worker_count(3000, 1000), 4);
+        });
     }
 
     #[test]
@@ -143,5 +221,55 @@ mod tests {
         let mut data = vec![0u64; 4097];
         fill_with(&mut data, 256, |i| (i as u64) * 3);
         assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 * 3));
+    }
+
+    /// The oversubscription regression: the old scoped-thread helpers
+    /// spawned one OS thread per chunk, so a 1000-chunk job ran 1000
+    /// threads. Routed through the pool, peak concurrency must never exceed
+    /// the pool size no matter how many chunks the job is cut into.
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn thousand_chunk_job_never_exceeds_pool_size() {
+        use std::sync::atomic::{AtomicIsize, Ordering::SeqCst};
+        let workers = 4;
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        let mut data = vec![0u8; 1000];
+        crate::runtime::with_workers(workers, || {
+            for_each_chunk_mut(&mut data, 1, |_, _, chunk| {
+                let now = live.fetch_add(1, SeqCst) + 1;
+                peak.fetch_max(now, SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(20));
+                chunk[0] = 1;
+                live.fetch_sub(1, SeqCst);
+            });
+        });
+        assert!(data.iter().all(|&b| b == 1), "every chunk ran");
+        assert!(
+            peak.load(SeqCst) <= workers as isize,
+            "peak concurrency {} exceeded pool size {workers}",
+            peak.load(SeqCst)
+        );
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn map_chunks_concurrency_is_bounded_by_pool() {
+        use std::sync::atomic::{AtomicIsize, Ordering::SeqCst};
+        let workers = 3;
+        let live = AtomicIsize::new(0);
+        let peak = AtomicIsize::new(0);
+        let sums = crate::runtime::with_workers(workers, || {
+            map_chunks(1000, 1, |c, range| {
+                let now = live.fetch_add(1, SeqCst) + 1;
+                peak.fetch_max(now, SeqCst);
+                std::thread::sleep(std::time::Duration::from_micros(20));
+                live.fetch_sub(1, SeqCst);
+                c + range.len()
+            })
+        });
+        assert_eq!(sums.len(), 1000);
+        assert!(sums.iter().enumerate().all(|(i, &s)| s == i + 1));
+        assert!(peak.load(SeqCst) <= workers as isize);
     }
 }
