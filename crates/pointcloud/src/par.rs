@@ -231,11 +231,15 @@ mod tests {
     #[test]
     fn thousand_chunk_job_never_exceeds_pool_size() {
         use std::sync::atomic::{AtomicIsize, Ordering::SeqCst};
+        // Private pool, not the shared `with_workers` cache: a concurrent
+        // test waiting on that cached pool participates via work stealing
+        // and would be a legal extra executor, breaking the bound under test.
         let workers = 4;
         let live = AtomicIsize::new(0);
         let peak = AtomicIsize::new(0);
         let mut data = vec![0u8; 1000];
-        crate::runtime::with_workers(workers, || {
+        let pool = crate::runtime::Pool::new(workers);
+        pool.install(|| {
             for_each_chunk_mut(&mut data, 1, |_, _, chunk| {
                 let now = live.fetch_add(1, SeqCst) + 1;
                 peak.fetch_max(now, SeqCst);
@@ -256,10 +260,12 @@ mod tests {
     #[test]
     fn map_chunks_concurrency_is_bounded_by_pool() {
         use std::sync::atomic::{AtomicIsize, Ordering::SeqCst};
+        // Private pool for the same reason as the test above.
         let workers = 3;
         let live = AtomicIsize::new(0);
         let peak = AtomicIsize::new(0);
-        let sums = crate::runtime::with_workers(workers, || {
+        let pool = crate::runtime::Pool::new(workers);
+        let sums = pool.install(|| {
             map_chunks(1000, 1, |c, range| {
                 let now = live.fetch_add(1, SeqCst) + 1;
                 peak.fetch_max(now, SeqCst);

@@ -390,20 +390,30 @@ impl PoolInner {
     }
 }
 
-impl Drop for PoolInner {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, SeqCst);
-        let _g = self.shared.wake_lock.lock().expect("wake lock");
-        self.shared.wake.notify_all();
-    }
-}
-
 /// A work-stealing pool of `workers` executors: `workers - 1` spawned
 /// threads plus the thread submitting each job. See the module docs for the
 /// design; most code reaches the pool implicitly through [`run_range`] /
 /// [`with_workers`] rather than owning one.
+///
+/// Dropping the `Pool` handle shuts its workers down (they notice the flag
+/// within one park timeout and exit). Shutdown cannot live on `PoolInner`'s
+/// `Drop`: each worker keeps an `Arc<PoolInner>` alive for its lifetime, so
+/// that destructor would never run and every dropped pool would leak its
+/// threads. A job already in flight still completes after the handle drops —
+/// deques and the injector live in `Shared`, and the submitting thread
+/// participates until its job quiesces, draining any task the exiting
+/// workers left behind.
 pub struct Pool {
     inner: Arc<PoolInner>,
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        let shared = &self.inner.shared;
+        shared.shutdown.store(true, SeqCst);
+        let _g = shared.wake_lock.lock().expect("wake lock");
+        shared.wake.notify_all();
+    }
 }
 
 impl Pool {
@@ -504,19 +514,48 @@ fn worker_main(inner: Arc<PoolInner>, ix: usize) {
         // Park. The sleeper count is raised before the final re-check so a
         // concurrent `submit` either sees it (and notifies) or enqueued
         // before the re-check (and is found); the timeout backstops the
-        // remaining benign race at a bounded latency.
+        // remaining benign race at a bounded latency. The re-check is
+        // destructive (pop/steal/injector-pop all *remove* the task), so a
+        // found task must be executed here — discarding it would strand the
+        // job's pending count above zero and hang the submitter.
         shared.sleepers.fetch_add(1, SeqCst);
         let g = shared.wake_lock.lock().expect("wake lock");
-        if shared.find_task(Some(ix)).is_none() && !shared.shutdown.load(SeqCst) {
-            let _ = shared
-                .wake
-                .wait_timeout(g, std::time::Duration::from_millis(5))
-                .expect("wake lock");
-            shared.sleepers.fetch_sub(1, SeqCst);
-        } else {
-            drop(g);
-            shared.sleepers.fetch_sub(1, SeqCst);
+        match shared.find_task(Some(ix)) {
+            Some(task) => {
+                drop(g);
+                shared.sleepers.fetch_sub(1, SeqCst);
+                execute(shared, Some(ix), task);
+            }
+            None if !shared.shutdown.load(SeqCst) => {
+                let _ = shared
+                    .wake
+                    .wait_timeout(g, std::time::Duration::from_millis(5))
+                    .expect("wake lock");
+                shared.sleepers.fetch_sub(1, SeqCst);
+            }
+            None => {
+                drop(g);
+                shared.sleepers.fetch_sub(1, SeqCst);
+            }
         }
+    }
+}
+
+/// Resolves the worker count for the global pool alongside which source
+/// decided it, so [`describe`] never attributes the count to `VOLUT_WORKERS`
+/// when the variable was set but unparseable (or 0) and the machine
+/// detection actually won.
+fn resolve_workers() -> (usize, &'static str) {
+    if let Ok(v) = std::env::var("VOLUT_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return (n, "VOLUT_WORKERS");
+            }
+        }
+    }
+    match std::thread::available_parallelism() {
+        Ok(n) => (n.get(), "available_parallelism"),
+        Err(_) => (1, "fallback"),
     }
 }
 
@@ -525,14 +564,7 @@ fn worker_main(inner: Arc<PoolInner>, ix: usize) {
 /// else 1 (never a hard-coded guess — the old helpers defaulted to 4 when
 /// detection failed, oversubscribing small hosts).
 pub fn resolved_workers() -> usize {
-    if let Ok(v) = std::env::var("VOLUT_WORKERS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    resolve_workers().0
 }
 
 static GLOBAL: OnceLock<Pool> = OnceLock::new();
@@ -586,14 +618,9 @@ pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
 /// One-line description of the resolved runtime configuration, logged once
 /// by the bench setup path so every recorded number names its worker count.
 pub fn describe() -> String {
-    let source = if std::env::var("VOLUT_WORKERS").is_ok() {
-        "VOLUT_WORKERS"
-    } else {
-        "available_parallelism"
-    };
+    let (workers, source) = resolve_workers();
     format!(
-        "runtime: {} worker(s) (resolved from {source}), global pool {}",
-        resolved_workers(),
+        "runtime: {workers} worker(s) (resolved from {source}), global pool {}",
         if GLOBAL.get().is_some() {
             "initialized"
         } else {
@@ -697,10 +724,17 @@ mod tests {
         // The oversubscription regression: a 1000-chunk job on a small pool
         // must never run more than `workers` chunks at once (the scoped
         // helpers this runtime replaced spawned one thread per chunk).
+        //
+        // Private pool, NOT `with_workers`: the scoped cache is shared
+        // process-wide, and under the multithreaded test harness another
+        // test waiting on its own job participates via `find_task` and can
+        // execute this job's tasks too — a legal `workers + 1`st executor
+        // that would trip the `peak <= workers` bound being pinned here.
         let workers = 4;
         let live = AtomicIsize::new(0);
         let peak = AtomicIsize::new(0);
-        with_workers(workers, || {
+        let pool = Pool::new(workers);
+        pool.install(|| {
             run_range(1000, 1, |r| {
                 let now = live.fetch_add(1, SeqCst) + 1;
                 peak.fetch_max(now, SeqCst);
