@@ -1,10 +1,137 @@
-//! Figure 15: GPU/client memory usage of the SR back-ends.
+//! Figure 15: GPU/client memory usage of the SR back-ends, plus the
+//! multi-tenant server's bytes/session accounting (shared registry vs
+//! per-session table clones).
+
+use std::sync::Arc;
 
 use crate::report::Report;
 use crate::setup::TrainedArtifacts;
 use volut_core::device::DeviceProfile;
+use volut_core::encoding::KeyScheme;
+use volut_core::lut::dense::DenseLut;
 use volut_core::lut::memory::MemoryModel;
 use volut_core::lut::Lut as _;
+use volut_core::registry::{ContentModel, ModelRegistry};
+use volut_core::SrConfig;
+use volut_stream::server::{ServerConfig, ServerMemoryStats, SessionSpec, SrServer};
+
+/// Name of the content item published by [`serving_registry`].
+pub const SERVING_CONTENT: &str = "serving-demo";
+
+/// One deployment-scale content item: a Compact-scheme dense LUT (the
+/// paper's runtime-table configuration) sized by `bins^receptive_field`,
+/// one-third populated so probes exercise both hit and miss paths. At the
+/// default `bins = 24` the table is ~2 MiB — the quantity a per-session
+/// clone multiplies by the session count.
+pub fn serving_registry(bins: usize) -> Arc<ModelRegistry> {
+    let config = SrConfig {
+        bins,
+        ..SrConfig::default()
+    };
+    let key_space = (bins as u128).pow(config.receptive_field as u32);
+    let mut lut = DenseLut::new(key_space).expect("serving table within budget");
+    for key in (0..key_space).step_by(3) {
+        lut.set(key, [0.01, -0.004, 0.002]).expect("in-range key");
+    }
+    let mut registry = ModelRegistry::new();
+    registry.publish(ContentModel::from_dense(
+        SERVING_CONTENT,
+        config,
+        KeyScheme::Compact,
+        lut,
+        None,
+    ));
+    Arc::new(registry)
+}
+
+/// Admits `sessions` churned sessions against the serving registry, runs
+/// `warm_frames` ticks so every scratch arena reaches its steady-state
+/// high-water mark, and returns the measured memory split. `share = false`
+/// is the pre-registry baseline: every session deep-copies the table.
+pub fn measure_server_memory(
+    registry: &Arc<ModelRegistry>,
+    sessions: usize,
+    share: bool,
+    points: usize,
+    warm_frames: u64,
+) -> ServerMemoryStats {
+    let config = ServerConfig {
+        capacity: sessions,
+        queue_limit: sessions,
+        share_registry: share,
+        ..ServerConfig::default()
+    };
+    let mut server = SrServer::new(Arc::clone(registry), config);
+    for seed in 0..sessions as u64 {
+        assert!(server.enqueue(SessionSpec {
+            content: SERVING_CONTENT.into(),
+            seed,
+            points,
+            churn: 0.1,
+            frames: warm_frames + 1, // stay active through every warm tick
+        }));
+    }
+    for _ in 0..warm_frames.max(1) {
+        server.tick();
+    }
+    server.memory_stats()
+}
+
+/// Server bytes/session at each requested session count, shared registry vs
+/// per-session clones. The cloned baseline is materialized only while its
+/// total table cost stays under `clone_materialize_cap` bytes; beyond that
+/// it is derived exactly (a clone adds exactly the table size per session —
+/// [`SrServer::memory_stats`] counts it from the live refiner either way).
+pub fn server_memory_report(
+    session_counts: &[usize],
+    points: usize,
+    clone_materialize_cap: usize,
+) -> Report {
+    let mut report = Report::new(
+        "server_memory",
+        "Multi-tenant server bytes/session: shared registry vs per-session clones",
+        &[
+            "Sessions",
+            "Mode",
+            "Bytes/session",
+            "Human readable",
+            "Registry bytes (held once)",
+            "Shared/clone ratio",
+        ],
+    );
+    let registry = serving_registry(24);
+    let table_bytes = registry.shared_bytes();
+    for &n in session_counts {
+        let shared = measure_server_memory(&registry, n, true, points, 2);
+        let cloned_per_session = if n.saturating_mul(table_bytes) <= clone_materialize_cap {
+            measure_server_memory(&registry, n, false, points, 2).bytes_per_session
+        } else {
+            // Exact arithmetic, not an estimate: the only difference between
+            // the modes is one table copy per session.
+            shared.bytes_per_session + table_bytes as f64
+        };
+        let ratio = shared.bytes_per_session / cloned_per_session.max(1.0);
+        for (mode, per_session) in [
+            ("shared", shared.bytes_per_session),
+            ("cloned", cloned_per_session),
+        ] {
+            report.push_row(vec![
+                n.to_string(),
+                mode.to_string(),
+                format!("{per_session:.0}"),
+                MemoryModel::format_bytes(per_session as u128),
+                table_bytes.to_string(),
+                format!("{ratio:.3}"),
+            ]);
+        }
+    }
+    report.push_note(
+        "shared mode maps the registry's one dense LUT read-only into every session; \
+         cloned mode is the pre-registry behavior (one table copy per session). \
+         Acceptance: shared bytes/session at N=1k must be <= 25% of the cloned baseline.",
+    );
+    report
+}
 
 /// Regenerates Figure 15: resident memory of GradPU, Yuzu (frozen models)
 /// and VoLUT's single LUT for a 100K-point frame workload.
@@ -78,5 +205,45 @@ mod tests {
         );
         // Everything the client actually deploys fits a Quest-3-class device.
         assert_eq!(r.rows[3][3], "yes");
+    }
+
+    #[test]
+    fn server_sharing_beats_cloning_by_4x() {
+        // Small-N stand-in for the committed N=1k/10k rows (the bench
+        // records those); the invariant is identical: a session's marginal
+        // bytes are scratch-scale, so the shared mode must undercut the
+        // cloned baseline by at least the acceptance factor.
+        let registry = serving_registry(24);
+        let table = registry.shared_bytes();
+        assert!(table > 1_000_000, "deployment-scale table, got {table}");
+        let shared = measure_server_memory(&registry, 6, true, 400, 2);
+        let cloned = measure_server_memory(&registry, 6, false, 400, 2);
+        assert_eq!(shared.sessions, 6);
+        assert_eq!(cloned.sessions, 6);
+        assert!(
+            shared.bytes_per_session <= 0.25 * cloned.bytes_per_session,
+            "shared {} must be <= 25% of cloned {}",
+            shared.bytes_per_session,
+            cloned.bytes_per_session
+        );
+        // The derived-clone arithmetic matches the materialized measurement.
+        let derived = shared.bytes_per_session + table as f64;
+        let rel = (derived - cloned.bytes_per_session).abs() / cloned.bytes_per_session;
+        assert!(
+            rel < 0.05,
+            "derived {derived} vs measured {}",
+            cloned.bytes_per_session
+        );
+    }
+
+    #[test]
+    fn server_memory_report_has_both_modes() {
+        let r = server_memory_report(&[4], 300, usize::MAX);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], "shared");
+        assert_eq!(r.rows[1][1], "cloned");
+        let shared: f64 = r.rows[0][2].parse().unwrap();
+        let cloned: f64 = r.rows[1][2].parse().unwrap();
+        assert!(shared < cloned);
     }
 }

@@ -35,7 +35,30 @@ pub fn experiment_points() -> usize {
 /// anywhere else that wants the line earlier.
 pub fn log_runtime_once() {
     static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| eprintln!("{}", volut_pointcloud::runtime::describe()));
+    ONCE.call_once(|| {
+        let cores = detected_cores();
+        eprintln!(
+            "host: {cores} detected core(s) (std::thread::available_parallelism); {}",
+            volut_pointcloud::runtime::describe()
+        );
+        if cores > 1 {
+            eprintln!(
+                "host: multicore detected — re-run `cargo bench -p volut-bench --bench \
+                 thread_scaling` and re-check the dual-tree crossover note in BENCH_knn.json \
+                 (VOLUT_DUAL_MIN_QUERIES), which was last recorded on a 1-core host"
+            );
+        }
+    });
+}
+
+/// The host's detected core count (1 when detection fails). The committed
+/// `thread_scaling` numbers in `BENCH_knn.json` were recorded on a 1-core
+/// host; [`log_runtime_once`] prints a re-measure reminder whenever this
+/// exceeds 1.
+pub fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// The four evaluation "videos" (stand-ins) as single representative frames.

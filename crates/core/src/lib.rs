@@ -48,11 +48,13 @@ pub mod lut;
 pub mod nn;
 pub mod pipeline;
 pub mod refine;
+pub mod registry;
 
 pub use config::SrConfig;
 pub use device::DeviceProfile;
 pub use error::Error;
 pub use pipeline::SrPipeline;
+pub use registry::{ContentModel, ModelRegistry, SharedLut};
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, Error>;

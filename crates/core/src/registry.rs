@@ -1,0 +1,412 @@
+//! Shared immutable model registry for multi-tenant serving.
+//!
+//! A production SR server runs thousands of concurrent sessions of a small
+//! number of *content items* (videos). The expensive per-content state —
+//! the distilled LUT and the refinement network it was distilled from — is
+//! identical for every session of one item and is never mutated at serving
+//! time, so cloning it per session (what the single-session constructors
+//! encourage) multiplies a megabyte-scale table by the session count for
+//! zero benefit.
+//!
+//! This module is the sharing layer:
+//!
+//! * [`SharedLut`] — a read-only [`Lut`] view over an `Arc`'d table. Every
+//!   probe delegates to the shared table (whose `get`/`get_batch` paths
+//!   take `&self` and are lock-free), while [`Lut::set`] is refused with a
+//!   typed error: tables are built *before* they are published and are
+//!   immutable afterwards. One allocation serves every session.
+//! * [`ContentModel`] — one content item's immutable artifacts (SR config,
+//!   key scheme, LUT, optional refinement MLP) behind `Arc`s, with
+//!   constructors for per-session pipelines: [`ContentModel::pipeline`]
+//!   probes the shared table (bytes/session ≈ scratch only), while
+//!   [`ContentModel::cloned_pipeline`] deep-copies the table — kept solely
+//!   as the memory baseline the `server_scaling` bench compares against.
+//! * [`ModelRegistry`] — the name → [`ContentModel`] table a server maps
+//!   read-only into every session at admission.
+//!
+//! Sharing never changes results: the LUT serves the same offsets through
+//! the `Arc` as through a private copy (pinned by the parity test below),
+//! and all shared state is immutable so sessions cannot observe each other.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::config::SrConfig;
+use crate::encoding::KeyScheme;
+use crate::lut::dense::DenseLut;
+use crate::lut::sparse::SparseLut;
+use crate::lut::{Lut, Offset};
+use crate::nn::mlp::Mlp;
+use crate::pipeline::SrPipeline;
+use crate::refine::{IdentityRefiner, LutRefiner};
+use crate::{Error, Result};
+
+/// Read-only [`Lut`] adapter over a shared table.
+///
+/// Probes (`get`, `get_batch`, `prefetch`) delegate straight to the shared
+/// table; mutation is refused — registries publish finished tables. The
+/// adapter is what lets one `Arc`'d allocation back the `Box<dyn Lut>`
+/// slot of every session's [`LutRefiner`].
+pub struct SharedLut {
+    inner: Arc<dyn Lut>,
+}
+
+impl SharedLut {
+    /// Wraps a shared table in a read-only view.
+    pub fn new(inner: Arc<dyn Lut>) -> Self {
+        Self { inner }
+    }
+
+    /// The shared table.
+    pub fn inner(&self) -> &Arc<dyn Lut> {
+        &self.inner
+    }
+}
+
+impl std::fmt::Debug for SharedLut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedLut")
+            .field("backend", &self.inner.backend_name())
+            .field("populated", &self.inner.populated())
+            .field("refs", &Arc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+impl Lut for SharedLut {
+    fn get(&self, key: u128) -> Option<Offset> {
+        self.inner.get(key)
+    }
+
+    fn get_batch(&self, keys: &[u128], out: &mut [Option<Offset>]) {
+        self.inner.get_batch(keys, out);
+    }
+
+    fn prefetch(&self, key: u128) {
+        self.inner.prefetch(key);
+    }
+
+    fn set(&mut self, _key: u128, _offset: Offset) -> Result<()> {
+        Err(Error::InvalidConfig(
+            "shared LUT is read-only: build and populate the table before publishing it to the \
+             registry"
+                .into(),
+        ))
+    }
+
+    fn populated(&self) -> usize {
+        self.inner.populated()
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.inner.memory_bytes()
+    }
+
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+}
+
+/// The concrete table behind a [`ContentModel`]. Kept as an enum (rather
+/// than `Arc<dyn Lut>` alone) so the clone-baseline constructor can
+/// deep-copy the table without the `Lut` trait needing a `clone_boxed`
+/// method.
+#[derive(Debug, Clone)]
+enum Table {
+    Sparse(Arc<SparseLut>),
+    Dense(Arc<DenseLut>),
+}
+
+impl Table {
+    fn as_shared(&self) -> Arc<dyn Lut> {
+        match self {
+            Table::Sparse(t) => Arc::clone(t) as Arc<dyn Lut>,
+            Table::Dense(t) => Arc::clone(t) as Arc<dyn Lut>,
+        }
+    }
+
+    fn clone_boxed(&self) -> Box<dyn Lut> {
+        match self {
+            Table::Sparse(t) => Box::new(SparseLut::clone(t)),
+            Table::Dense(t) => Box::new(DenseLut::clone(t)),
+        }
+    }
+
+    fn memory_bytes(&self) -> usize {
+        match self {
+            Table::Sparse(t) => t.memory_bytes(),
+            Table::Dense(t) => t.memory_bytes(),
+        }
+    }
+}
+
+/// One content item's immutable serving artifacts, shared by every session
+/// streaming that item.
+#[derive(Debug, Clone)]
+pub struct ContentModel {
+    name: String,
+    config: SrConfig,
+    scheme: KeyScheme,
+    table: Table,
+    network: Option<Arc<Mlp>>,
+}
+
+impl ContentModel {
+    /// Publishes a content model around a populated sparse LUT.
+    pub fn from_sparse(
+        name: impl Into<String>,
+        config: SrConfig,
+        scheme: KeyScheme,
+        lut: SparseLut,
+        network: Option<Mlp>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            config,
+            scheme,
+            table: Table::Sparse(Arc::new(lut)),
+            network: network.map(Arc::new),
+        }
+    }
+
+    /// Publishes a content model around a populated dense LUT (the paper's
+    /// deployed-table configuration).
+    pub fn from_dense(
+        name: impl Into<String>,
+        config: SrConfig,
+        scheme: KeyScheme,
+        lut: DenseLut,
+        network: Option<Mlp>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            config,
+            scheme,
+            table: Table::Dense(Arc::new(lut)),
+            network: network.map(Arc::new),
+        }
+    }
+
+    /// The content item's name (registry key).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The SR configuration every session of this item runs.
+    pub fn config(&self) -> &SrConfig {
+        &self.config
+    }
+
+    /// The key scheme the table was built under.
+    pub fn scheme(&self) -> KeyScheme {
+        self.scheme
+    }
+
+    /// The shared refinement network, when one was published.
+    pub fn network(&self) -> Option<&Arc<Mlp>> {
+        self.network.as_ref()
+    }
+
+    /// Bytes held **once** for all sessions of this item: the table plus
+    /// the optional network weights. This is the quantity a per-session
+    /// clone would multiply by the session count.
+    pub fn shared_bytes(&self) -> usize {
+        self.table.memory_bytes()
+            + self
+                .network
+                .as_ref()
+                .map_or(0, |mlp| mlp.parameter_count() * 4)
+    }
+
+    /// A per-session SR pipeline whose refiner probes the **shared** table
+    /// through a [`SharedLut`] — constructing one allocates scratch-scale
+    /// state only, never a table copy.
+    ///
+    /// # Errors
+    /// Returns an error when the stored configuration is invalid for the
+    /// stored key scheme (never for registry-built models).
+    pub fn pipeline(&self) -> Result<SrPipeline> {
+        let refiner = LutRefiner::from_config(
+            &self.config,
+            self.scheme,
+            Box::new(SharedLut::new(self.table.as_shared())),
+        )?;
+        Ok(SrPipeline::new(self.config, Box::new(refiner)))
+    }
+
+    /// A pipeline with no refinement stage at this item's configuration —
+    /// the degraded-path companion (skip-refinement / interpolate-only
+    /// rungs) a serving session swaps to under deadline pressure.
+    pub fn identity_pipeline(&self) -> SrPipeline {
+        SrPipeline::new(self.config, Box::new(IdentityRefiner))
+    }
+
+    /// The pre-registry behavior: a pipeline over a **deep copy** of the
+    /// table. Kept as the bytes/session baseline the `server_scaling`
+    /// bench measures sharing against; serving code should always use
+    /// [`Self::pipeline`].
+    ///
+    /// # Errors
+    /// Returns an error when the stored configuration is invalid.
+    pub fn cloned_pipeline(&self) -> Result<SrPipeline> {
+        let refiner = LutRefiner::from_config(&self.config, self.scheme, self.table.clone_boxed())?;
+        Ok(SrPipeline::new(self.config, Box::new(refiner)))
+    }
+
+    /// Probe statistics accumulated by shared-table refiners cannot be read
+    /// back through the table (stats live in each session's refiner); this
+    /// helper documents that the *table itself* is stateless. Returns the
+    /// populated-entry count as the only table-level observable.
+    pub fn table_entries(&self) -> usize {
+        match &self.table {
+            Table::Sparse(t) => t.populated(),
+            Table::Dense(t) => t.populated(),
+        }
+    }
+}
+
+/// Name → [`ContentModel`] table, mapped read-only by every session of a
+/// server. Lookup hands out `Arc` clones: admission is one pointer bump,
+/// not a table copy.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    entries: BTreeMap<String, Arc<ContentModel>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes a model under its content name, replacing any previous
+    /// model of the same name (sessions already holding the old `Arc` keep
+    /// serving from it unchanged — immutability makes replacement safe).
+    pub fn publish(&mut self, model: ContentModel) -> Arc<ContentModel> {
+        let arc = Arc::new(model);
+        self.entries
+            .insert(arc.name().to_string(), Arc::clone(&arc));
+        arc
+    }
+
+    /// Looks a content item up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<ContentModel>> {
+        self.entries.get(name).cloned()
+    }
+
+    /// Number of published content items.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total bytes held once across all published models.
+    pub fn shared_bytes(&self) -> usize {
+        self.entries.values().map(|m| m.shared_bytes()).sum()
+    }
+
+    /// Iterates over the published models in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<ContentModel>> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volut_pointcloud::synthetic;
+
+    fn toy_model() -> ContentModel {
+        let config = SrConfig::default();
+        let encoder = crate::encoding::PositionEncoder::new(&config, KeyScheme::Full).unwrap();
+        let mut lut = SparseLut::new();
+        // Populate keys that real spheres actually hit, so the parity test
+        // exercises the hit path, not just misses.
+        let cloud = synthetic::sphere(300, 1.0, 7);
+        let positions = cloud.positions();
+        for i in 0..positions.len() - 4 {
+            let neighbors = &positions[i + 1..i + 4];
+            if let Ok(encoded) = encoder.encode(positions[i], neighbors) {
+                let _ = lut.set(encoded.key, [0.05, -0.02, 0.01]);
+            }
+        }
+        ContentModel::from_sparse("toy", config, KeyScheme::Full, lut, None)
+    }
+
+    #[test]
+    fn shared_pipeline_matches_cloned_pipeline_bitwise() {
+        let model = toy_model();
+        let shared = model.pipeline().unwrap();
+        let cloned = model.cloned_pipeline().unwrap();
+        let low = synthetic::sphere(400, 1.0, 3);
+        let a = shared.upsample(&low, 2.0).unwrap();
+        let b = cloned.upsample(&low, 2.0).unwrap();
+        assert_eq!(a.cloud, b.cloud, "sharing must be bit-transparent");
+        // Some probes actually hit so the parity covers the offset path.
+        let stats = a.lookup_stats.unwrap();
+        assert!(stats.hits + stats.misses > 0);
+    }
+
+    #[test]
+    fn shared_sessions_do_not_copy_the_table() {
+        let model = toy_model();
+        let table_bytes = model.shared_bytes();
+        assert!(table_bytes > 0);
+        // N shared pipelines report the same table bytes (one allocation),
+        // and the refiner's memory_bytes sees through the Arc.
+        let pipes: Vec<_> = (0..8).map(|_| model.pipeline().unwrap()).collect();
+        for p in &pipes {
+            assert_eq!(p.refiner_memory_bytes(), table_bytes);
+        }
+    }
+
+    #[test]
+    fn shared_lut_refuses_mutation() {
+        let model = toy_model();
+        let mut shared = SharedLut::new(model.table.as_shared());
+        let before = shared.populated();
+        assert!(shared.set(42, [0.0, 0.0, 0.0]).is_err());
+        assert_eq!(shared.populated(), before);
+    }
+
+    #[test]
+    fn registry_publish_and_lookup() {
+        let mut registry = ModelRegistry::new();
+        assert!(registry.is_empty());
+        registry.publish(toy_model());
+        let dense = DenseLut::new(1 << 12).unwrap();
+        registry.publish(ContentModel::from_dense(
+            "dense-item",
+            SrConfig::default(),
+            KeyScheme::Compact,
+            dense,
+            Some(Mlp::new(&[12, 16, 3], 9)),
+        ));
+        assert_eq!(registry.len(), 2);
+        let toy = registry.get("toy").unwrap();
+        assert_eq!(toy.name(), "toy");
+        assert!(registry.get("missing").is_none());
+        // Shared bytes sum both tables plus the network weights.
+        let dense_model = registry.get("dense-item").unwrap();
+        assert!(dense_model.shared_bytes() > (1 << 12) * 6);
+        assert_eq!(
+            registry.shared_bytes(),
+            toy.shared_bytes() + dense_model.shared_bytes()
+        );
+        // Admission is an Arc clone of the same allocation.
+        let again = registry.get("toy").unwrap();
+        assert!(Arc::ptr_eq(&toy, &again));
+    }
+
+    #[test]
+    fn identity_pipeline_shares_config() {
+        let model = toy_model();
+        let p = model.identity_pipeline();
+        assert_eq!(p.config(), model.config());
+        assert_eq!(p.refiner_memory_bytes(), 0);
+    }
+}

@@ -59,9 +59,51 @@ impl SrSession {
         }
     }
 
+    /// Creates a session serving a published [`volut_core::registry::ContentModel`]:
+    /// the pipeline probes the registry's shared table through an `Arc`, so
+    /// constructing a session allocates per-session scratch only — never a
+    /// copy of the content item's LUT or network. This is the constructor
+    /// the multi-tenant server uses at admission.
+    ///
+    /// # Errors
+    /// Propagates [`volut_core::registry::ContentModel::pipeline`] failures
+    /// (invalid stored configuration).
+    pub fn from_model(model: &volut_core::registry::ContentModel) -> volut_core::Result<Self> {
+        Ok(Self::new(model.pipeline()?))
+    }
+
     /// The wrapped pipeline.
     pub fn pipeline(&self) -> &SrPipeline {
         &self.pipeline
+    }
+
+    /// Upsamples one frame through a **different** pipeline while reusing
+    /// this session's scratch arena — the degraded-path entry point: a
+    /// server under deadline pressure swaps a session to a cheaper pipeline
+    /// (e.g. interpolation-only) for some frames without losing the warm
+    /// spatial index and temporal row store. Cross-frame caches are keyed
+    /// by pipeline id, config, and ratio, so alternating pipelines can
+    /// never serve each other's cached outputs (see
+    /// `volut_core::interpolate::temporal`); a swapped frame simply runs
+    /// its cacheable stages cold. Pass `delta` when the transition from the
+    /// previous frame is known, exactly as with
+    /// [`Self::upsample_frame_delta`].
+    ///
+    /// # Errors
+    /// Propagates pipeline failures (invalid ratio, insufficient points).
+    pub fn upsample_frame_via(
+        &mut self,
+        pipeline: &SrPipeline,
+        low: &PointCloud,
+        ratio: f64,
+        delta: Option<FrameDelta>,
+    ) -> volut_core::Result<SrResult> {
+        if let Some(delta) = delta {
+            self.scratch.set_frame_delta(delta);
+        }
+        let result = pipeline.upsample_with(low, ratio, &mut self.scratch)?;
+        self.frames += 1;
+        Ok(result)
     }
 
     /// Number of frames upsampled so far.

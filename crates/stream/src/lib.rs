@@ -35,8 +35,10 @@ pub mod link;
 pub mod motion;
 pub mod qoe;
 pub mod resilience;
+pub mod server;
 pub mod simulator;
 pub mod systems;
+pub mod telemetry;
 pub mod throughput;
 pub mod trace;
 pub mod video;

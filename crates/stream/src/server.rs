@@ -1,0 +1,763 @@
+//! Multi-tenant SR server: thousands of streaming sessions over one shared
+//! work-stealing pool and one shared immutable model registry.
+//!
+//! The paper's system claim is that LUT-based SR is cheap enough to scale
+//! volumetric streaming past per-client GPU inference. This module is the
+//! server side of that claim: [`SrServer`] drives N concurrent churned
+//! [`DeltaStream`] sessions, where
+//!
+//! * **state is shared, never copied** — every session of a content item
+//!   probes the registry's one `Arc`'d LUT through
+//!   [`volut_core::registry::SharedLut`] (see [`ServerConfig::share_registry`]
+//!   for the measured-baseline escape hatch), so bytes/session is dominated
+//!   by per-session scratch, not by the model;
+//! * **admission is controlled** — a bounded run queue in front of a fixed
+//!   active-session capacity; overflow is *rejected and counted*, never
+//!   silently queued without bound;
+//! * **deadlines drive scheduling and degradation** — each tick plans every
+//!   session's [`DegradationLevel`] against the per-frame compute budget
+//!   using the deterministic analytic [`SrComputeModel`] (wall-clock feeds
+//!   miss counters and telemetry only, keeping outputs bit-identical across
+//!   worker counts), then dispatches the frame jobs longest-predicted-first
+//!   onto the pool via `volut_pointcloud::runtime::run_order` so heavy
+//!   tenants cannot convoy behind thousands of light ones;
+//! * **telemetry is lock-cheap** — each tenant owns plain counters written
+//!   by exactly one worker during the parallel step; the coordinator rolls
+//!   them into the aggregate [`ServerTelemetry`] (frame-time p50/p95/p99,
+//!   QoE distribution, reuse-rate histogram) between ticks.
+//!
+//! Determinism contract: given the same specs and seeds, per-session output
+//! digests and aggregate QoE are identical across `VOLUT_WORKERS` counts
+//! and across admission orderings — pinned by `tests/property_server.rs`.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+use volut_core::registry::{ContentModel, ModelRegistry};
+use volut_core::SrPipeline;
+use volut_pointcloud::synthetic::{self, DeltaStream, DeltaStreamConfig};
+use volut_pointcloud::{runtime, Color, Point3, PointCloud};
+
+use crate::client::{SrComputeModel, SrSession};
+use crate::qoe::{ChunkQoe, QoeAccumulator, QoeParams, QoeSummary};
+use crate::resilience::{DegradationConfig, DegradationController, DegradationLevel};
+use crate::telemetry::{ServerTelemetry, SessionCounters, TelemetrySnapshot};
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Maximum concurrently active sessions; admission beyond this waits in
+    /// the run queue.
+    pub capacity: usize,
+    /// Bound of the run queue; [`SrServer::enqueue`] beyond it is rejected
+    /// and counted.
+    pub queue_limit: usize,
+    /// Playback interval of one frame (the QoE chunk duration), seconds.
+    pub frame_interval_s: f64,
+    /// Per-frame compute deadline (the degradation planning budget),
+    /// seconds.
+    pub deadline_s: f64,
+    /// Upsampling ratio requested by every session.
+    pub ratio: f64,
+    /// Degradation hysteresis; `None` pins every session to
+    /// [`DegradationLevel::Full`].
+    pub degradation: Option<DegradationConfig>,
+    /// Deterministic analytic model used for deadline planning (never
+    /// wall-clock — see the module docs).
+    pub planning_model: SrComputeModel,
+    /// `true` (default): sessions probe the registry's shared table.
+    /// `false`: every session deep-copies its content model's LUT — the
+    /// pre-registry behavior, kept as the measured bytes/session baseline
+    /// for the `server_scaling` bench.
+    pub share_registry: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 1024,
+            queue_limit: 4096,
+            frame_interval_s: 1.0 / 30.0,
+            deadline_s: 1.0 / 30.0,
+            ratio: 2.0,
+            degradation: Some(DegradationConfig::default()),
+            planning_model: SrComputeModel::volut_lut(),
+            share_registry: true,
+        }
+    }
+}
+
+/// One session request: which content to stream and how the synthetic
+/// client behaves.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionSpec {
+    /// Registry name of the content item to serve.
+    pub content: String,
+    /// Seed of the session's synthetic base cloud and churn stream.
+    pub seed: u64,
+    /// Points per delivered (low-resolution) frame.
+    pub points: usize,
+    /// Fraction of each frame's points churned per frame.
+    pub churn: f64,
+    /// Session length in frames (clamped to ≥ 1 at admission).
+    pub frames: u64,
+}
+
+/// Per-session serving state. All mutable state lives here, so the parallel
+/// frame step hands each worker exclusive `&mut` access to disjoint tenants.
+struct Tenant {
+    id: u64,
+    spec: SessionSpec,
+    session: SrSession,
+    /// Refinement-free pipeline sharing the session's scratch for degraded
+    /// frames (temporal caches are keyed per pipeline/ratio, so swapping is
+    /// bit-safe — see [`SrSession::upsample_frame_via`]).
+    degraded: SrPipeline,
+    stream: DeltaStream,
+    controller: Option<DegradationController>,
+    /// Level planned for the current tick (written by the coordinator).
+    planned: DegradationLevel,
+    remaining: u64,
+    /// Whether the session's temporal cache chain matches the stream's
+    /// previous frame (false after Passthrough frames, which skip the
+    /// engine entirely); gates *declared* deltas only — the engine's own
+    /// diff fallback keeps undeclared frames correct regardless.
+    synced: bool,
+    started: bool,
+    counters: SessionCounters,
+    qoe: QoeAccumulator,
+    prev_quality: Option<f64>,
+    /// FNV-1a fold of every frame's output geometry digest — the cheap
+    /// cross-run bit-identity witness.
+    digest: u64,
+    frame_errors: u64,
+    prev_rows_reused: u64,
+    prev_rows_recomputed: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+fn fnv1a(mut acc: u64, value: u64) -> u64 {
+    for byte in value.to_le_bytes() {
+        acc ^= u64::from(byte);
+        acc = acc.wrapping_mul(FNV_PRIME);
+    }
+    acc
+}
+
+fn cloud_bytes(cloud: &PointCloud) -> usize {
+    cloud.len() * std::mem::size_of::<Point3>()
+        + cloud
+            .colors()
+            .map_or(0, |c: &[Color]| std::mem::size_of_val(c))
+}
+
+impl Tenant {
+    fn admit(
+        id: u64,
+        spec: SessionSpec,
+        model: &Arc<ContentModel>,
+        config: &ServerConfig,
+    ) -> volut_core::Result<Self> {
+        let session = if config.share_registry {
+            SrSession::from_model(model)?
+        } else {
+            SrSession::new(model.cloned_pipeline()?)
+        };
+        let degraded = model.identity_pipeline();
+        let base = synthetic::sphere(spec.points.max(16), 1.0, spec.seed);
+        let spacing = base.mean_spacing(64).unwrap_or(0.01);
+        let stream = DeltaStream::new(
+            base,
+            DeltaStreamConfig {
+                churn: spec.churn,
+                drift: spacing * 4.0,
+                jitter: spacing * 0.5,
+                seed: spec.seed,
+            },
+        );
+        let remaining = spec.frames.max(1);
+        Ok(Self {
+            id,
+            spec,
+            session,
+            degraded,
+            stream,
+            controller: config.degradation.map(DegradationController::new),
+            planned: DegradationLevel::Full,
+            remaining,
+            synced: false,
+            started: false,
+            counters: SessionCounters::default(),
+            qoe: QoeAccumulator::new(),
+            prev_quality: None,
+            digest: FNV_OFFSET,
+            frame_errors: 0,
+            prev_rows_reused: 0,
+            prev_rows_recomputed: 0,
+        })
+    }
+
+    /// Predicted compute seconds of the next frame at `level` under the
+    /// analytic planning model (deterministic by construction).
+    fn predict(&self, level: DegradationLevel, config: &ServerConfig) -> f64 {
+        level.adjusted_model(&config.planning_model).frame_time_s(
+            self.stream.frame().len() as f64,
+            level.effective_ratio(config.ratio),
+        )
+    }
+
+    /// Runs one frame at the planned level. Called from the parallel step
+    /// with exclusive access; everything observable in the output digest
+    /// and QoE depends only on the session's own seed and plan.
+    fn step(&mut self, config: &ServerConfig) {
+        let started = Instant::now();
+        let level = self.planned;
+        let (frame, delta) = if self.started {
+            let delta = self.stream.advance();
+            (self.stream.frame().clone(), Some(delta))
+        } else {
+            self.started = true;
+            (self.stream.frame().clone(), None)
+        };
+        let declared = if self.synced { delta } else { None };
+        let ratio = level.effective_ratio(config.ratio);
+        let outcome = match level {
+            DegradationLevel::Passthrough => None,
+            DegradationLevel::Full => Some(match declared {
+                Some(d) => self.session.upsample_frame_delta(&frame, ratio, d),
+                None => self.session.upsample_frame(&frame, ratio),
+            }),
+            _ => Some(
+                self.session
+                    .upsample_frame_via(&self.degraded, &frame, ratio, declared),
+            ),
+        };
+        let output_digest = match outcome {
+            None => {
+                // Passthrough: the received points are served untouched and
+                // the engine never sees the frame, so the session's cached
+                // previous frame goes stale.
+                self.synced = false;
+                frame.geometry_digest()
+            }
+            Some(Ok(result)) => {
+                self.synced = true;
+                result.cloud.geometry_digest()
+            }
+            Some(Err(_)) => {
+                // Degenerate frame (e.g. churned below the neighborhood
+                // minimum): serve the input untouched, count it, keep going.
+                self.frame_errors += 1;
+                self.synced = false;
+                frame.geometry_digest()
+            }
+        };
+        self.digest = fnv1a(self.digest, self.counters.frames);
+        self.digest = fnv1a(self.digest, output_digest);
+        self.digest = fnv1a(self.digest, frame.len() as u64);
+
+        let elapsed = started.elapsed().as_secs_f64();
+        let quality = level.quality_factor();
+        self.counters.frames += 1;
+        self.counters.last_frame_time_s = elapsed;
+        self.counters.last_quality = quality;
+        self.counters.total_compute_s += elapsed;
+        if elapsed > config.deadline_s {
+            self.counters.deadline_misses += 1;
+        }
+        if let Some(controller) = &mut self.controller {
+            controller.observe(elapsed, config.deadline_s);
+        }
+        let t = self.session.temporal_stats();
+        let frame_reused = t.rows_reused - self.prev_rows_reused;
+        let frame_recomputed = t.rows_recomputed - self.prev_rows_recomputed;
+        self.prev_rows_reused = t.rows_reused;
+        self.prev_rows_recomputed = t.rows_recomputed;
+        let rows = frame_reused + frame_recomputed;
+        self.counters.last_reuse_rate = if rows == 0 {
+            0.0
+        } else {
+            frame_reused as f64 / rows as f64
+        };
+        self.qoe.push(ChunkQoe {
+            quality,
+            previous_quality: self.prev_quality.unwrap_or(quality),
+            stall_s: 0.0,
+            duration_s: config.frame_interval_s,
+        });
+        self.prev_quality = Some(quality);
+        self.remaining -= 1;
+    }
+
+    fn memory_bytes(&self, config: &ServerConfig) -> usize {
+        let table = if config.share_registry {
+            0 // counted once, registry-side
+        } else {
+            self.session.pipeline().refiner_memory_bytes()
+        };
+        std::mem::size_of::<Self>()
+            + self.session.scratch().reserved_bytes()
+            + cloud_bytes(self.stream.frame())
+            + table
+    }
+}
+
+/// Final report of one completed session.
+#[derive(Debug, Clone, Serialize)]
+pub struct SessionReport {
+    /// Admission-order id.
+    pub id: u64,
+    /// Content item served.
+    pub content: String,
+    /// Session seed.
+    pub seed: u64,
+    /// Frames produced.
+    pub frames: u64,
+    /// Frames whose measured compute exceeded the deadline.
+    pub deadline_misses: u64,
+    /// Frames that hit an engine error and were served passthrough.
+    pub frame_errors: u64,
+    /// Session QoE summary (deterministic: built from planned levels, not
+    /// wall-clock).
+    pub qoe: QoeSummary,
+    /// FNV-1a fold of per-frame output digests — compare across runs to
+    /// check bit-identity.
+    pub digest: u64,
+    /// Frames spent at each degradation level, `Full` first.
+    pub residency: [u64; 5],
+}
+
+/// Memory accounting of a running server (see the `server_scaling` bench).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServerMemoryStats {
+    /// Active sessions measured.
+    pub sessions: usize,
+    /// Bytes held once for all sessions (registry tables + networks).
+    pub registry_bytes: usize,
+    /// Total bytes across per-session state (scratch arenas, frame clouds,
+    /// and — in the cloned baseline — per-session table copies).
+    pub session_bytes_total: usize,
+    /// `session_bytes_total / sessions` (0 when idle).
+    pub bytes_per_session: f64,
+}
+
+/// Aggregate report of a full [`SrServer::run`].
+#[derive(Debug, Clone, Serialize)]
+pub struct ServerReport {
+    /// Aggregate telemetry snapshot (percentiles, histograms, counters).
+    pub telemetry: TelemetrySnapshot,
+    /// Total frames produced per wall-clock second across all sessions.
+    pub aggregate_fps: f64,
+    /// Wall-clock seconds of the whole run.
+    pub wall_s: f64,
+    /// Frames served passthrough due to engine errors, across all sessions.
+    pub frame_errors: u64,
+    /// Per-session reports, admission order.
+    pub sessions: Vec<SessionReport>,
+}
+
+/// The multi-tenant serving harness. See the module docs for the design.
+pub struct SrServer {
+    registry: Arc<ModelRegistry>,
+    config: ServerConfig,
+    queue: VecDeque<SessionSpec>,
+    tenants: Vec<Tenant>,
+    telemetry: ServerTelemetry,
+    finished: Vec<SessionReport>,
+    next_id: u64,
+    order: Vec<u32>,
+}
+
+/// Moves a raw tenant-slice pointer into the parallel frame step. Safety
+/// rests on `run_order` visiting each index of a permutation exactly once,
+/// so no two workers ever hold `&mut` to the same tenant.
+#[derive(Clone, Copy)]
+struct TenantsPtr(*mut Tenant);
+unsafe impl Send for TenantsPtr {}
+unsafe impl Sync for TenantsPtr {}
+
+impl TenantsPtr {
+    /// # Safety
+    /// The caller must guarantee no other live reference to tenant `ix`
+    /// (here: `run_order` over a permutation visits each index once).
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn tenant(&self, ix: u32) -> &mut Tenant {
+        &mut *self.0.add(ix as usize)
+    }
+}
+
+impl SrServer {
+    /// Creates a server over a published registry.
+    pub fn new(registry: Arc<ModelRegistry>, config: ServerConfig) -> Self {
+        Self {
+            registry,
+            config,
+            queue: VecDeque::new(),
+            tenants: Vec::new(),
+            telemetry: ServerTelemetry::new(),
+            finished: Vec::new(),
+            next_id: 0,
+            order: Vec::new(),
+        }
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Currently active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Sessions waiting in the run queue.
+    pub fn queued_sessions(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Submits a session request. Returns `false` — and counts a rejection
+    /// — when the run queue is full or the content item is not published.
+    pub fn enqueue(&mut self, spec: SessionSpec) -> bool {
+        if self.queue.len() >= self.config.queue_limit || self.registry.get(&spec.content).is_none()
+        {
+            self.telemetry.sessions_rejected += 1;
+            return false;
+        }
+        self.queue.push_back(spec);
+        true
+    }
+
+    /// Runs one server tick: admit from the queue up to capacity, plan
+    /// every active session's degradation level against the deadline,
+    /// dispatch the frame jobs longest-predicted-first onto the pool, roll
+    /// counters into the aggregate, and retire completed sessions.
+    pub fn tick(&mut self) {
+        // 1. Admission: fill free capacity from the queue, in order.
+        while self.tenants.len() < self.config.capacity {
+            let Some(spec) = self.queue.pop_front() else {
+                break;
+            };
+            let model = self
+                .registry
+                .get(&spec.content)
+                .expect("enqueue validated the content name");
+            match Tenant::admit(self.next_id, spec, &model, &self.config) {
+                Ok(tenant) => {
+                    self.tenants.push(tenant);
+                    self.next_id += 1;
+                    self.telemetry.sessions_admitted += 1;
+                }
+                Err(_) => {
+                    self.telemetry.sessions_rejected += 1;
+                }
+            }
+        }
+        if self.tenants.is_empty() {
+            return;
+        }
+
+        // 2. Plan levels sequentially (admission order) with the analytic
+        // model — deterministic, and cheap relative to the frames.
+        let mut predicted: Vec<f64> = Vec::with_capacity(self.tenants.len());
+        for tenant in &mut self.tenants {
+            let level = match &mut tenant.controller {
+                Some(controller) => {
+                    let spec_points = tenant.stream.frame().len() as f64;
+                    let model = &self.config.planning_model;
+                    let ratio = self.config.ratio;
+                    controller.plan(
+                        |level| {
+                            level
+                                .adjusted_model(model)
+                                .frame_time_s(spec_points, level.effective_ratio(ratio))
+                        },
+                        self.config.deadline_s,
+                    )
+                }
+                None => DegradationLevel::Full,
+            };
+            tenant.planned = level;
+            predicted.push(tenant.predict(level, &self.config));
+        }
+
+        // 3. LPT dispatch order: longest predicted frame first (ties by
+        // admission id) so heavy sessions start while light ones backfill.
+        self.order.clear();
+        self.order.extend(0..self.tenants.len() as u32);
+        self.order.sort_by(|&a, &b| {
+            predicted[b as usize]
+                .total_cmp(&predicted[a as usize])
+                .then(a.cmp(&b))
+        });
+
+        // 4. Parallel frame step: one task per tenant, exclusive &mut via
+        // disjoint indices.
+        let base = TenantsPtr(self.tenants.as_mut_ptr());
+        let config = &self.config;
+        runtime::run_order(&self.order, 1, |items| {
+            for &ix in items {
+                // SAFETY: `order` is a permutation of 0..tenants.len(), and
+                // run_order partitions it into disjoint slices, so this
+                // index is visited by exactly one worker.
+                let tenant = unsafe { base.tenant(ix) };
+                tenant.step(config);
+            }
+        });
+
+        // 5. Sequential roll-up in admission order, then retirement.
+        for tenant in &self.tenants {
+            self.telemetry.record_frame(&tenant.counters);
+            self.telemetry.deadline_misses +=
+                u64::from(tenant.counters.last_frame_time_s > self.config.deadline_s);
+        }
+        let mut retired = Vec::new();
+        self.tenants.retain_mut(|tenant| {
+            if tenant.remaining > 0 {
+                return true;
+            }
+            retired.push(SessionReport {
+                id: tenant.id,
+                content: std::mem::take(&mut tenant.spec.content),
+                seed: tenant.spec.seed,
+                frames: tenant.counters.frames,
+                deadline_misses: tenant.counters.deadline_misses,
+                frame_errors: tenant.frame_errors,
+                qoe: tenant.qoe.summarize(&QoeParams::default()),
+                digest: tenant.digest,
+                residency: tenant
+                    .controller
+                    .as_ref()
+                    .map_or([tenant.counters.frames, 0, 0, 0, 0], |c| c.residency()),
+            });
+            false
+        });
+        self.telemetry.sessions_retired += retired.len() as u64;
+        self.finished.extend(retired);
+    }
+
+    /// Drives ticks until the queue and every admitted session are drained,
+    /// then reports. `max_ticks` bounds the loop against misconfiguration.
+    pub fn run(&mut self, max_ticks: u64) -> ServerReport {
+        let started = Instant::now();
+        let mut ticks = 0;
+        while (!self.tenants.is_empty() || !self.queue.is_empty()) && ticks < max_ticks {
+            self.tick();
+            ticks += 1;
+        }
+        let wall_s = started.elapsed().as_secs_f64();
+        self.report(wall_s)
+    }
+
+    /// Builds the aggregate report for the work completed so far.
+    pub fn report(&self, wall_s: f64) -> ServerReport {
+        let snapshot = self.telemetry.snapshot();
+        ServerReport {
+            aggregate_fps: if wall_s > 0.0 {
+                snapshot.frames_total as f64 / wall_s
+            } else {
+                0.0
+            },
+            wall_s,
+            frame_errors: self.finished.iter().map(|s| s.frame_errors).sum::<u64>()
+                + self.tenants.iter().map(|t| t.frame_errors).sum::<u64>(),
+            sessions: self.finished.clone(),
+            telemetry: snapshot,
+        }
+    }
+
+    /// Aggregate telemetry accumulated so far.
+    pub fn telemetry(&self) -> &ServerTelemetry {
+        &self.telemetry
+    }
+
+    /// Memory accounting across the currently active sessions: what is held
+    /// once (registry) vs per session (scratch, frame clouds, and per-session
+    /// table copies in the cloned baseline).
+    pub fn memory_stats(&self) -> ServerMemoryStats {
+        let session_bytes_total: usize = self
+            .tenants
+            .iter()
+            .map(|t| t.memory_bytes(&self.config))
+            .sum();
+        ServerMemoryStats {
+            sessions: self.tenants.len(),
+            registry_bytes: self.registry.shared_bytes(),
+            session_bytes_total,
+            bytes_per_session: if self.tenants.is_empty() {
+                0.0
+            } else {
+                session_bytes_total as f64 / self.tenants.len() as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volut_core::encoding::KeyScheme;
+    use volut_core::lut::sparse::SparseLut;
+    use volut_core::SrConfig;
+
+    fn test_registry() -> Arc<ModelRegistry> {
+        let mut registry = ModelRegistry::new();
+        use volut_core::lut::Lut;
+        let mut lut = SparseLut::new();
+        lut.set(7, [0.01, 0.0, -0.01]).unwrap();
+        registry.publish(ContentModel::from_sparse(
+            "demo",
+            SrConfig::default(),
+            KeyScheme::Full,
+            lut,
+            None,
+        ));
+        Arc::new(registry)
+    }
+
+    fn spec(seed: u64) -> SessionSpec {
+        SessionSpec {
+            content: "demo".into(),
+            seed,
+            points: 400,
+            churn: 0.1,
+            frames: 4,
+        }
+    }
+
+    #[test]
+    fn admits_runs_and_retires_sessions() {
+        let mut server = SrServer::new(test_registry(), ServerConfig::default());
+        for seed in 0..8 {
+            assert!(server.enqueue(spec(seed)));
+        }
+        let report = server.run(64);
+        assert_eq!(report.telemetry.sessions_admitted, 8);
+        assert_eq!(report.telemetry.sessions_retired, 8);
+        assert_eq!(report.telemetry.sessions_rejected, 0);
+        assert_eq!(report.telemetry.frames_total, 8 * 4);
+        assert_eq!(report.sessions.len(), 8);
+        assert_eq!(report.frame_errors, 0);
+        for s in &report.sessions {
+            assert_eq!(s.frames, 4);
+            assert!(s.qoe.normalized > 0.0);
+        }
+        assert_eq!(server.active_sessions(), 0);
+    }
+
+    #[test]
+    fn rejects_beyond_queue_limit_and_unknown_content() {
+        let config = ServerConfig {
+            queue_limit: 2,
+            ..ServerConfig::default()
+        };
+        let mut server = SrServer::new(test_registry(), config);
+        assert!(server.enqueue(spec(0)));
+        assert!(server.enqueue(spec(1)));
+        assert!(!server.enqueue(spec(2)), "queue is bounded");
+        let unknown = SessionSpec {
+            content: "missing".into(),
+            ..spec(3)
+        };
+        // Unknown content cannot occupy a queue slot.
+        let mut server2 = SrServer::new(test_registry(), ServerConfig::default());
+        assert!(!server2.enqueue(unknown));
+        assert_eq!(server2.telemetry().sessions_rejected, 1);
+        assert_eq!(server.telemetry().sessions_rejected, 1);
+    }
+
+    #[test]
+    fn capacity_staggers_admission_without_losing_sessions() {
+        let config = ServerConfig {
+            capacity: 2,
+            ..ServerConfig::default()
+        };
+        let mut server = SrServer::new(test_registry(), config);
+        for seed in 0..6 {
+            assert!(server.enqueue(spec(seed)));
+        }
+        server.tick();
+        assert_eq!(server.active_sessions(), 2);
+        assert_eq!(server.queued_sessions(), 4);
+        let report = server.run(256);
+        assert_eq!(report.telemetry.sessions_retired, 6);
+        assert_eq!(report.telemetry.frames_total, 6 * 4);
+    }
+
+    #[test]
+    fn same_seed_sessions_share_one_digest() {
+        // Two sessions of the same spec inside one server run must produce
+        // the same per-session digest: tenant state is fully isolated.
+        let mut server = SrServer::new(test_registry(), ServerConfig::default());
+        server.enqueue(spec(42));
+        server.enqueue(spec(7));
+        server.enqueue(spec(42));
+        let report = server.run(64);
+        assert_eq!(report.sessions[0].digest, report.sessions[2].digest);
+        assert_ne!(report.sessions[0].digest, report.sessions[1].digest);
+    }
+
+    #[test]
+    fn passthrough_budget_degrades_without_corruption() {
+        // An impossible budget forces Passthrough; a later recovery frame
+        // must not chain a stale declared delta (synced gating).
+        let config = ServerConfig {
+            deadline_s: 1e-9,
+            degradation: Some(DegradationConfig {
+                degrade_after: 1,
+                recover_after: 1,
+                recover_margin: 1.0,
+                ..DegradationConfig::default()
+            }),
+            ..ServerConfig::default()
+        };
+        let mut server = SrServer::new(test_registry(), config);
+        server.enqueue(SessionSpec {
+            frames: 6,
+            ..spec(9)
+        });
+        let report = server.run(64);
+        assert_eq!(report.frame_errors, 0);
+        let s = &report.sessions[0];
+        assert!(
+            s.residency[DegradationLevel::Passthrough.index()] > 0,
+            "residency {:?}",
+            s.residency
+        );
+        // Passthrough quality is priced into QoE.
+        assert!(s.qoe.mean_quality < 0.9);
+    }
+
+    #[test]
+    fn cloned_baseline_pays_the_table_per_session() {
+        let registry = test_registry();
+        let mk = |share| {
+            let config = ServerConfig {
+                share_registry: share,
+                ..ServerConfig::default()
+            };
+            let mut server = SrServer::new(Arc::clone(&registry), config);
+            for seed in 0..4 {
+                server.enqueue(spec(seed));
+            }
+            server.tick(); // admit + first frame so scratch is warm
+            server.memory_stats()
+        };
+        let shared = mk(true);
+        let cloned = mk(false);
+        assert_eq!(shared.sessions, 4);
+        let table = registry.shared_bytes() as f64;
+        assert!(table > 0.0);
+        assert!(
+            cloned.bytes_per_session >= shared.bytes_per_session + table,
+            "cloned {} vs shared {} + table {}",
+            cloned.bytes_per_session,
+            shared.bytes_per_session,
+            table
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Determinism contract of the multi-tenant server: given the same session
+//! specs and seeds, every per-session output digest and the aggregate QoE
+//! must be identical across `VOLUT_WORKERS` counts (pinned here via
+//! `runtime::with_workers` {1, 2, 4}) and across admission orderings. The
+//! server's wall-clock observations (frame-time percentiles, deadline-miss
+//! counters) are explicitly *not* covered — they measure the host, not the
+//! output — so the assertions compare digests, QoE, residency and frame
+//! counts only.
+
+use std::sync::Arc;
+
+use volut::core::config::SrConfig;
+use volut::core::encoding::KeyScheme;
+use volut::core::lut::sparse::SparseLut;
+use volut::core::lut::Lut;
+use volut::core::registry::{ContentModel, ModelRegistry};
+use volut::pointcloud::runtime;
+use volut::stream::resilience::DegradationConfig;
+use volut::stream::server::{ServerConfig, SessionSpec, SrServer};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn registry() -> Arc<ModelRegistry> {
+    let mut registry = ModelRegistry::new();
+    let mut lut = SparseLut::new();
+    // A handful of deterministic entries so the LUT path is live.
+    for key in 0..64u128 {
+        lut.set(key * 7919, [0.01, -0.005, 0.002]).unwrap();
+    }
+    registry.publish(ContentModel::from_sparse(
+        "demo",
+        SrConfig::default(),
+        KeyScheme::Full,
+        lut,
+        None,
+    ));
+    Arc::new(registry)
+}
+
+fn specs() -> Vec<SessionSpec> {
+    (0..12)
+        .map(|seed| SessionSpec {
+            content: "demo".into(),
+            seed,
+            // Mixed sizes so the LPT dispatch order is non-trivial.
+            points: 300 + (seed as usize % 4) * 150,
+            churn: [0.0, 0.05, 0.15, 0.3][seed as usize % 4],
+            frames: 5,
+        })
+        .collect()
+}
+
+/// Runs the full spec set and returns the determinism-covered outputs,
+/// keyed by session seed (admission ids differ across orderings).
+fn run_server(workers: usize, order: &[usize]) -> Vec<(u64, u64, String, u64, [u64; 5])> {
+    runtime::with_workers(workers, || {
+        let mut server = SrServer::new(registry(), ServerConfig::default());
+        let all = specs();
+        for &ix in order {
+            assert!(server.enqueue(all[ix].clone()));
+        }
+        let report = server.run(256);
+        assert_eq!(report.telemetry.sessions_retired, all.len() as u64);
+        assert_eq!(report.frame_errors, 0);
+        let mut rows: Vec<_> = report
+            .sessions
+            .iter()
+            .map(|s| {
+                (
+                    s.seed,
+                    s.digest,
+                    format!("{:.9}", s.qoe.normalized),
+                    s.frames,
+                    s.residency,
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    })
+}
+
+#[test]
+fn sessions_are_bit_identical_across_worker_counts() {
+    let order: Vec<usize> = (0..specs().len()).collect();
+    let baseline = run_server(1, &order);
+    for &workers in &WORKER_COUNTS[1..] {
+        let got = run_server(workers, &order);
+        assert_eq!(baseline, got, "workers={workers} diverged from baseline");
+    }
+}
+
+#[test]
+fn sessions_are_identical_across_admission_orderings() {
+    let n = specs().len();
+    let forward: Vec<usize> = (0..n).collect();
+    let reverse: Vec<usize> = (0..n).rev().collect();
+    // A fixed interleave: evens then odds.
+    let interleaved: Vec<usize> = (0..n).step_by(2).chain((1..n).step_by(2)).collect();
+    let baseline = run_server(2, &forward);
+    assert_eq!(baseline, run_server(2, &reverse), "reverse admission");
+    assert_eq!(
+        baseline,
+        run_server(2, &interleaved),
+        "interleaved admission"
+    );
+}
+
+#[test]
+fn degraded_sessions_stay_deterministic_across_workers() {
+    // A budget tight enough to push sessions down the degradation ladder:
+    // planned levels come from the analytic model, so the ladder walk —
+    // and therefore the digests and QoE — must replay exactly at every
+    // worker count.
+    let run = |workers: usize| {
+        runtime::with_workers(workers, || {
+            let config = ServerConfig {
+                // Budget sized so Full overruns for the larger frames but
+                // cheaper rungs fit: sessions straddle multiple levels.
+                deadline_s: 140e-6,
+                degradation: Some(DegradationConfig {
+                    degrade_after: 1,
+                    recover_after: 2,
+                    recover_margin: 0.7,
+                    ..DegradationConfig::default()
+                }),
+                ..ServerConfig::default()
+            };
+            let mut server = SrServer::new(registry(), config);
+            for spec in specs() {
+                assert!(server.enqueue(spec));
+            }
+            let report = server.run(256);
+            let mut rows: Vec<_> = report
+                .sessions
+                .iter()
+                .map(|s| {
+                    (
+                        s.seed,
+                        s.digest,
+                        format!("{:.9}", s.qoe.normalized),
+                        s.residency,
+                    )
+                })
+                .collect();
+            rows.sort();
+            rows
+        })
+    };
+    let baseline = run(1);
+    // At least one session must actually degrade, or the test is vacuous.
+    assert!(
+        baseline
+            .iter()
+            .any(|(_, _, _, residency)| residency[1..].iter().sum::<u64>() > 0),
+        "budget did not force any degradation: {baseline:?}"
+    );
+    for &workers in &WORKER_COUNTS[1..] {
+        assert_eq!(baseline, run(workers), "workers={workers}");
+    }
+}
