@@ -19,7 +19,7 @@ use std::sync::Arc;
 use volut_bench::memory::{measure_server_memory, serving_registry, SERVING_CONTENT};
 use volut_bench::setup::{detected_cores, log_runtime_once};
 use volut_core::registry::ModelRegistry;
-use volut_stream::server::{ServerConfig, ServerReport, SessionSpec, SrServer};
+use volut_stream::server::{IngestSource, ServerConfig, ServerReport, SessionSpec, SrServer};
 
 /// Points per low-res session frame. Small enough that 10 000 resident
 /// sessions stay well inside host memory, large enough that interpolation +
@@ -83,6 +83,7 @@ fn spawn_specs(n: usize, frames: u64) -> Vec<SessionSpec> {
             points: POINTS,
             churn: CHURN,
             frames,
+            ingest: IngestSource::Local,
         })
         .collect()
 }

@@ -69,6 +69,7 @@ pub fn measure_server_memory(
             points,
             churn: 0.1,
             frames: warm_frames + 1, // stay active through every warm tick
+            ingest: volut_stream::server::IngestSource::Local,
         }));
     }
     for _ in 0..warm_frames.max(1) {

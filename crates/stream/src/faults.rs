@@ -18,9 +18,12 @@
 //! (sequence numbers, checksums, digests in
 //! [`crate::resilience`]) must be earned end-to-end.
 
+use std::sync::Arc;
+
 use crate::link::SimulatedLink;
 use crate::trace::NetworkTrace;
 use rand::{Rng, SeedableRng, StdRng};
+use serde::{Deserialize, Serialize};
 
 /// The kinds of transport faults the injector can apply to one payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,7 +46,7 @@ pub enum FaultKind {
 /// losses cellular links produce; [`GilbertElliott::from_trace`] fits the
 /// dwell statistics to a bandwidth trace so the chain's bad state tracks
 /// the trace's own outage seconds.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct GilbertElliott {
     /// Per-message probability of moving good → bad.
     pub p_good_to_bad: f64,
@@ -146,7 +149,7 @@ impl GilbertElliott {
 /// Per-kind fault rates (independent per message, in `[0, 1]`), plus an
 /// optional burst-loss chain whose losses add to the independent `drop`
 /// rate.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultConfig {
     /// Independent drop probability per message.
     pub drop: f64,
@@ -224,11 +227,24 @@ pub struct Transfer {
     pub arrivals: Vec<Vec<u8>>,
 }
 
-/// A [`SimulatedLink`] wrapper that injects seeded, deterministic
-/// transport faults into opaque payloads (see the module docs).
+/// Anything that can carry one protocol payload from sender to receiver:
+/// the borrowing [`FaultyLink`], the owning [`OwnedFaultyLink`] a server
+/// tenant embeds, or a test double. The resilient session's recovery ladder
+/// is written against this trait so the same ladder runs over either link
+/// shape.
+pub trait Transport {
+    /// Sends one payload at absolute time `start_s` and returns what the
+    /// receiver sees (arrival copies plus the link time consumed).
+    fn transmit(&mut self, payload: &[u8], start_s: f64) -> Transfer;
+}
+
+/// The seeded fault-decision state, decoupled from any particular link so
+/// it can be owned by value (see [`OwnedFaultyLink`]): one [`StdRng`], the
+/// current Gilbert–Elliott burst state, the reorder hold slot, and the
+/// injection counters. [`FaultInjector::apply`] mangles one payload given
+/// the link time the clean link already charged.
 #[derive(Debug, Clone)]
-pub struct FaultyLink<'a> {
-    link: SimulatedLink<'a>,
+pub struct FaultInjector {
     config: FaultConfig,
     rng: StdRng,
     /// Current Gilbert–Elliott state (`true` = bad).
@@ -238,12 +254,11 @@ pub struct FaultyLink<'a> {
     counters: FaultCounters,
 }
 
-impl<'a> FaultyLink<'a> {
-    /// Wraps a link with the given fault profile; all fault decisions are
-    /// drawn from a [`StdRng`] seeded with `seed`.
-    pub fn new(link: SimulatedLink<'a>, config: FaultConfig, seed: u64) -> Self {
+impl FaultInjector {
+    /// Creates an injector with the given fault profile; all fault
+    /// decisions are drawn from a [`StdRng`] seeded with `seed`.
+    pub fn new(config: FaultConfig, seed: u64) -> Self {
         Self {
-            link,
             config,
             rng: StdRng::seed_from_u64(seed),
             burst_bad: false,
@@ -252,9 +267,9 @@ impl<'a> FaultyLink<'a> {
         }
     }
 
-    /// The wrapped (clean) link.
-    pub fn inner(&self) -> &SimulatedLink<'a> {
-        &self.link
+    /// The fault profile this injector applies.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
     }
 
     /// Injection counters so far.
@@ -262,12 +277,11 @@ impl<'a> FaultyLink<'a> {
         self.counters
     }
 
-    /// Sends one payload at absolute time `start_s` and returns what the
-    /// receiver sees. Deterministic given the construction seed and the
-    /// call sequence.
-    pub fn transmit(&mut self, payload: &[u8], start_s: f64) -> Transfer {
+    /// Applies the fault schedule to one payload whose clean transfer took
+    /// `time_s` seconds, returning what the receiver sees. Deterministic
+    /// given the construction seed and the call sequence.
+    pub fn apply(&mut self, payload: &[u8], time_s: f64) -> Transfer {
         self.counters.sent += 1;
-        let time_s = self.link.download_time(payload.len() as u64, start_s);
 
         // Burst chain advances once per message, before the loss draw.
         let burst_loss = match &self.config.burst {
@@ -339,6 +353,99 @@ impl<'a> FaultyLink<'a> {
 
     fn flushed(&mut self, arrivals: Vec<Vec<u8>>, time_s: f64) -> Transfer {
         self.flushed_many(arrivals, time_s)
+    }
+}
+
+/// A [`SimulatedLink`] wrapper that injects seeded, deterministic
+/// transport faults into opaque payloads (see the module docs). Borrows
+/// its [`NetworkTrace`]; server tenants that must own their link use
+/// [`OwnedFaultyLink`] instead — both share one [`FaultInjector`] so the
+/// fault schedule is identical for the same seed.
+#[derive(Debug, Clone)]
+pub struct FaultyLink<'a> {
+    link: SimulatedLink<'a>,
+    injector: FaultInjector,
+}
+
+impl<'a> FaultyLink<'a> {
+    /// Wraps a link with the given fault profile; all fault decisions are
+    /// drawn from a [`StdRng`] seeded with `seed`.
+    pub fn new(link: SimulatedLink<'a>, config: FaultConfig, seed: u64) -> Self {
+        Self {
+            link,
+            injector: FaultInjector::new(config, seed),
+        }
+    }
+
+    /// The wrapped (clean) link.
+    pub fn inner(&self) -> &SimulatedLink<'a> {
+        &self.link
+    }
+
+    /// Injection counters so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.injector.counters()
+    }
+
+    /// Sends one payload at absolute time `start_s` and returns what the
+    /// receiver sees. Deterministic given the construction seed and the
+    /// call sequence.
+    pub fn transmit(&mut self, payload: &[u8], start_s: f64) -> Transfer {
+        let time_s = self.link.download_time(payload.len() as u64, start_s);
+        self.injector.apply(payload, time_s)
+    }
+}
+
+impl Transport for FaultyLink<'_> {
+    fn transmit(&mut self, payload: &[u8], start_s: f64) -> Transfer {
+        FaultyLink::transmit(self, payload, start_s)
+    }
+}
+
+/// An owning variant of [`FaultyLink`] for contexts that cannot hold a
+/// borrow across calls — a server tenant embeds one per ingest session.
+/// Holds its [`NetworkTrace`] behind an [`Arc`] (traces are shared across
+/// tenants) and constructs the clean [`SimulatedLink`] per transmit; the
+/// fault schedule comes from the same [`FaultInjector`] as the borrowing
+/// link, so a given `(config, seed)` produces the identical schedule.
+#[derive(Debug, Clone)]
+pub struct OwnedFaultyLink {
+    trace: Arc<NetworkTrace>,
+    injector: FaultInjector,
+}
+
+impl OwnedFaultyLink {
+    /// Builds an owning faulty link over `trace` with the given fault
+    /// profile, seeded with `seed`.
+    pub fn new(trace: Arc<NetworkTrace>, config: FaultConfig, seed: u64) -> Self {
+        Self {
+            trace,
+            injector: FaultInjector::new(config, seed),
+        }
+    }
+
+    /// The underlying bandwidth trace.
+    pub fn trace(&self) -> &NetworkTrace {
+        &self.trace
+    }
+
+    /// Injection counters so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.injector.counters()
+    }
+
+    /// Sends one payload at absolute time `start_s` and returns what the
+    /// receiver sees. Deterministic given the construction seed and the
+    /// call sequence.
+    pub fn transmit(&mut self, payload: &[u8], start_s: f64) -> Transfer {
+        let time_s = SimulatedLink::new(&self.trace).download_time(payload.len() as u64, start_s);
+        self.injector.apply(payload, time_s)
+    }
+}
+
+impl Transport for OwnedFaultyLink {
+    fn transmit(&mut self, payload: &[u8], start_s: f64) -> Transfer {
+        OwnedFaultyLink::transmit(self, payload, start_s)
     }
 }
 
@@ -429,6 +536,22 @@ mod tests {
         // taken, so it goes straight through and flushes the held one.
         let t2 = link.transmit(&b, 0.1);
         assert_eq!(t2.arrivals, vec![b, a]);
+    }
+
+    #[test]
+    fn owned_link_matches_borrowing_link_schedule() {
+        let trace = Arc::new(NetworkTrace::stable(50.0, 60.0));
+        let cfg = FaultConfig::chaos(0.2);
+        let payload: Vec<u8> = (0..64).collect();
+        let mut borrowed = FaultyLink::new(SimulatedLink::new(&trace), cfg.clone(), 7);
+        let mut owned = OwnedFaultyLink::new(Arc::clone(&trace), cfg, 7);
+        for i in 0..200 {
+            let start = i as f64 * 0.05;
+            let a = borrowed.transmit(&payload, start);
+            let b = owned.transmit(&payload, start);
+            assert_eq!(a, b, "schedules diverged at message {i}");
+        }
+        assert_eq!(borrowed.counters(), owned.counters());
     }
 
     #[test]

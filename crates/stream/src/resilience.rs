@@ -48,10 +48,13 @@
 //! [`geometry_digest`]: volut_pointcloud::cloud::geometry_digest
 //! [`SrComputeModel`]: crate::client::SrComputeModel
 
+use std::collections::VecDeque;
+
 use crate::chunk::Chunk;
 use crate::client::{SrComputeModel, SrSession};
-use crate::faults::FaultyLink;
+use crate::faults::Transport;
 use crate::{Error, Result};
+use rand::{Rng, SeedableRng, StdRng};
 use serde::{Deserialize, Serialize};
 use volut_core::device::DeviceProfile;
 use volut_core::pipeline::SrResult;
@@ -358,40 +361,179 @@ impl FrameMessage {
 // Server
 // ---------------------------------------------------------------------------
 
+/// Bound on the history a [`DeltaServer`] retains. A long-running origin
+/// cannot keep every frame forever; once either limit is exceeded the
+/// oldest frames (and their deltas) are dropped. Gap requests whose base
+/// has fallen out of the window return `None` from
+/// [`DeltaServer::delta_message`], which the recovery ladder answers with
+/// a keyframe resync — retention never breaks recovery, it only changes
+/// which rung serves it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetentionPolicy {
+    /// Maximum number of retained frames (at least 1 is always kept).
+    pub max_frames: usize,
+    /// Maximum retained payload bytes (positions + colors + delta parts).
+    pub max_bytes: u64,
+}
+
+impl RetentionPolicy {
+    /// No bounds: every frame is retained (the pre-retention behavior).
+    pub fn unbounded() -> Self {
+        Self {
+            max_frames: usize::MAX,
+            max_bytes: u64::MAX,
+        }
+    }
+
+    /// Keep at most `n` frames, with no byte bound.
+    pub fn last_frames(n: usize) -> Self {
+        Self {
+            max_frames: n.max(1),
+            max_bytes: u64::MAX,
+        }
+    }
+}
+
+impl Default for RetentionPolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// Estimated wire-side bytes of one retained frame (positions + colors).
+fn frame_bytes(frame: &PointCloud) -> u64 {
+    let n = frame.len() as u64;
+    n * 12 + if frame.colors().is_some() { n * 3 } else { 0 }
+}
+
+/// Estimated bytes of one retained delta (removal + insertion indices).
+fn delta_bytes(delta: &FrameDelta) -> u64 {
+    (delta.removed().len() as u64 + delta.inserted().len() as u64) * 4 + 16
+}
+
 /// The sender side of the delta-stream protocol: holds a frame sequence and
 /// serves keyframes, single-step deltas, and gap-spanning deltas spliced
-/// with [`FrameDelta::compose`].
+/// with [`FrameDelta::compose`]. History is bounded by a
+/// [`RetentionPolicy`]: frames older than the window are dropped and any
+/// delta request based on them falls back to a keyframe.
 #[derive(Debug, Clone)]
 pub struct DeltaServer {
-    frames: Vec<PointCloud>,
-    /// `deltas[i]`: frame `i` → frame `i + 1`.
-    deltas: Vec<FrameDelta>,
+    frames: VecDeque<PointCloud>,
+    /// `deltas[i]`: frame `base_seq + i` → frame `base_seq + i + 1`.
+    deltas: VecDeque<FrameDelta>,
+    /// Sequence number of the oldest retained frame.
+    base_seq: u64,
+    retention: RetentionPolicy,
+    /// Running estimate of retained payload bytes (frames + deltas).
+    retained_bytes: u64,
 }
 
 impl DeltaServer {
-    /// Builds a server over a frame sequence, diffing consecutive frames.
+    /// Builds an unbounded server over a frame sequence, diffing
+    /// consecutive frames.
     pub fn new(frames: Vec<PointCloud>) -> Self {
-        let deltas = frames
+        Self::with_retention(frames, RetentionPolicy::unbounded())
+    }
+
+    /// Builds a server over a frame sequence with a retention bound
+    /// (enforced immediately, so an over-bound seed sequence is trimmed to
+    /// its newest frames).
+    pub fn with_retention(frames: Vec<PointCloud>, retention: RetentionPolicy) -> Self {
+        let deltas: VecDeque<FrameDelta> = frames
             .windows(2)
             .map(|w| FrameDelta::diff(w[0].positions(), w[1].positions()))
             .collect();
-        Self { frames, deltas }
+        let retained_bytes = frames.iter().map(frame_bytes).sum::<u64>()
+            + deltas.iter().map(delta_bytes).sum::<u64>();
+        let mut server = Self {
+            frames: frames.into(),
+            deltas,
+            base_seq: 0,
+            retention,
+            retained_bytes,
+        };
+        server.enforce_retention();
+        server
     }
 
-    /// Number of frames served.
+    /// Appends the next frame, diffing it against the newest retained one,
+    /// then enforces the retention bound.
+    pub fn push_frame(&mut self, frame: PointCloud) {
+        let delta = self
+            .frames
+            .back()
+            .map(|last| FrameDelta::diff(last.positions(), frame.positions()));
+        self.push_frame_inner(frame, delta);
+    }
+
+    /// Appends the next frame with a precomputed delta from the current
+    /// newest frame (e.g. straight from the capture pipeline), skipping the
+    /// diff. The delta is trusted — receivers re-verify every reconstructed
+    /// frame against its digest anyway, so a wrong delta is detected at the
+    /// edge, not here.
+    pub fn push_frame_with_delta(&mut self, frame: PointCloud, delta: FrameDelta) {
+        let delta = self.frames.back().map(|_| delta);
+        self.push_frame_inner(frame, delta);
+    }
+
+    fn push_frame_inner(&mut self, frame: PointCloud, delta: Option<FrameDelta>) {
+        if let Some(delta) = delta {
+            self.retained_bytes += delta_bytes(&delta);
+            self.deltas.push_back(delta);
+        }
+        self.retained_bytes += frame_bytes(&frame);
+        self.frames.push_back(frame);
+        self.enforce_retention();
+    }
+
+    /// Drops oldest frames until both retention bounds hold (always keeps
+    /// at least one frame so the stream head stays servable).
+    fn enforce_retention(&mut self) {
+        while self.frames.len() > 1
+            && (self.frames.len() > self.retention.max_frames
+                || self.retained_bytes > self.retention.max_bytes)
+        {
+            if let Some(frame) = self.frames.pop_front() {
+                self.retained_bytes -= frame_bytes(&frame);
+            }
+            if let Some(delta) = self.deltas.pop_front() {
+                self.retained_bytes -= delta_bytes(&delta);
+            }
+            self.base_seq += 1;
+        }
+    }
+
+    /// Total frames the stream has produced (retained or dropped): the
+    /// next pushed frame gets sequence number `frame_count()`.
     pub fn frame_count(&self) -> usize {
+        self.base_seq as usize + self.frames.len()
+    }
+
+    /// Sequence number of the oldest frame still retained.
+    pub fn base_seq(&self) -> u64 {
+        self.base_seq
+    }
+
+    /// Number of frames currently retained.
+    pub fn retained_frames(&self) -> usize {
         self.frames.len()
     }
 
+    /// Estimated bytes of retained history (frame payloads + delta parts).
+    pub fn retained_bytes(&self) -> u64 {
+        self.retained_bytes
+    }
+
     /// The true frame at `seq` (ground truth for bit-identity checks).
+    /// `None` once it has aged out of the retention window.
     pub fn frame(&self, seq: u64) -> Option<&PointCloud> {
-        self.frames.get(seq as usize)
+        self.frames.get(seq.checked_sub(self.base_seq)? as usize)
     }
 
     /// Encodes the keyframe message for `seq`. Returns `None` past the end
-    /// of the sequence.
+    /// of the sequence or behind the retention window.
     pub fn keyframe_message(&self, seq: u64) -> Option<Vec<u8>> {
-        let frame = self.frames.get(seq as usize)?;
+        let frame = self.frame(seq)?;
         let positions = frame.positions().to_vec();
         let colors = frame.colors().map(<[Color]>::to_vec);
         let digest = geometry_digest(&positions);
@@ -411,14 +553,16 @@ impl DeltaServer {
     /// Encodes a delta message from `base_seq` to `seq`, splicing the
     /// intermediate single-step deltas with [`FrameDelta::compose`] when
     /// the gap spans more than one frame. Returns `None` when the range is
-    /// out of bounds or inverted.
+    /// out of bounds, inverted, or starts before the retention window (the
+    /// caller falls back to [`Self::keyframe_message`]).
     pub fn delta_message(&self, base_seq: u64, seq: u64) -> Option<Vec<u8>> {
-        let (from, to) = (base_seq as usize, seq as usize);
+        let from = base_seq.checked_sub(self.base_seq)? as usize;
+        let to = seq.checked_sub(self.base_seq)? as usize;
         if from >= to || to >= self.frames.len() {
             return None;
         }
         let mut delta = self.deltas[from].clone();
-        for step in &self.deltas[from + 1..to] {
+        for step in self.deltas.iter().skip(from + 1).take(to - from - 1) {
             delta = delta.compose(step)?;
         }
         let target = self.frames[to].positions();
@@ -504,6 +648,32 @@ impl RobustnessStats {
     pub fn recoveries(&self) -> u64 {
         self.recovered_compose + self.recovered_retransmit + self.recovered_keyframe
     }
+
+    /// Adds `current - prev` into `self`, field-wise — the per-tick rollup
+    /// primitive the multi-tenant server uses to merge each tenant's
+    /// monotonically growing counters into the aggregate without keeping
+    /// the frame path locked or rescanning history.
+    pub fn add_delta(&mut self, current: &Self, prev: &Self) {
+        self.frames += current.frames - prev.frames;
+        self.clean_frames += current.clean_frames - prev.clean_frames;
+        self.drops_seen += current.drops_seen - prev.drops_seen;
+        self.integrity_failures += current.integrity_failures - prev.integrity_failures;
+        self.stale_ignored += current.stale_ignored - prev.stale_ignored;
+        self.retries += current.retries - prev.retries;
+        self.recovered_compose += current.recovered_compose - prev.recovered_compose;
+        self.recovered_retransmit += current.recovered_retransmit - prev.recovered_retransmit;
+        self.recovered_keyframe += current.recovered_keyframe - prev.recovered_keyframe;
+        self.poisonings_detected += current.poisonings_detected - prev.poisonings_detected;
+        self.deadline_misses += current.deadline_misses - prev.deadline_misses;
+        for (acc, (cur, old)) in self.degradation_residency.iter_mut().zip(
+            current
+                .degradation_residency
+                .iter()
+                .zip(prev.degradation_residency.iter()),
+        ) {
+            *acc += cur - old;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -519,6 +689,13 @@ pub struct RetryPolicy {
     pub base_backoff_s: f64,
     /// Time charged for a request round that produces no usable reply.
     pub timeout_s: f64,
+    /// Backoff jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// factor drawn uniformly from `[1 - jitter, 1 + jitter]` out of the
+    /// receiver's seeded RNG. Zero (the default) keeps the classic
+    /// deterministic schedule; a shared-burst deployment sets it non-zero
+    /// so co-tenant retransmits de-correlate instead of re-colliding in
+    /// lockstep — still reproducible, because the draw is seeded.
+    pub jitter: f64,
 }
 
 impl Default for RetryPolicy {
@@ -527,18 +704,68 @@ impl Default for RetryPolicy {
             max_retries: 3,
             base_backoff_s: 0.02,
             timeout_s: 0.15,
+            jitter: 0.0,
         }
     }
 }
 
-/// A fault-tolerant wrapper around [`SrSession`] implementing the recovery
-/// ladder of the module docs. Owns the receiver-side protocol state: the
-/// last good sequence number, the reconstructed current frame, the session
-/// clock (which accrues link time, backoff and timeouts), and the
-/// robustness counters.
-#[derive(Debug)]
-pub struct ResilientSession {
-    session: SrSession,
+/// How a recovered frame made it through the ladder — drives the
+/// per-kind recovery counters when the frame is committed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// First-try single-step delta (or the very first keyframe of a cold
+    /// start): no recovery happened.
+    Clean,
+    /// A gap-spanning delta spliced with [`FrameDelta::compose`].
+    Compose,
+    /// A plain retransmission of the same request succeeded.
+    Retransmit,
+    /// Full keyframe resync: the caller must flush caches and recompute
+    /// cold.
+    Keyframe,
+}
+
+/// One frame recovered off the wire by [`ResilientReceiver::recover`],
+/// verified (checksum + digest) but not yet upsampled or committed. When
+/// `delta` is `Some` the caller may feed it to the SR engine's incremental
+/// path; when `None` (keyframe / cold start) the caller must flush
+/// cross-frame caches and recompute cold.
+#[derive(Debug, Clone)]
+pub struct RecoveredFrame {
+    /// Reconstructed, digest-verified positions of the frame.
+    pub positions: Vec<Point3>,
+    /// Reconstructed colors, when the stream carries them.
+    pub colors: Option<Vec<Color>>,
+    /// The structural delta from the receiver's previous frame, for the
+    /// incremental SR path; `None` means cold recompute.
+    pub delta: Option<FrameDelta>,
+    /// Which rung of the ladder produced the frame.
+    pub kind: RecoveryKind,
+}
+
+impl RecoveredFrame {
+    /// Builds the point cloud for the SR engine.
+    pub fn cloud(&self) -> PointCloud {
+        build_cloud(self.positions.clone(), self.colors.clone())
+    }
+}
+
+/// Receiver-side protocol state of the resilient delta stream, decoupled
+/// from the SR engine so a server tenant (which owns its own
+/// [`SrSession`] and degradation machinery) can run the same recovery
+/// ladder as the standalone [`ResilientSession`]. Owns the last good
+/// sequence number, the reconstructed current frame (the delta base), the
+/// session clock (link time + backoff + timeouts), the seeded backoff
+/// jitter RNG, and the robustness counters.
+///
+/// The flow is recover → upsample → commit: [`Self::recover`] climbs the
+/// ladder and returns a verified [`RecoveredFrame`]; the caller upsamples
+/// it (flushing caches first when `delta` is `None`); on success the
+/// caller hands the frame back to [`Self::commit`], which stores the new
+/// delta base and counts the recovery. An upsample error leaves the
+/// receiver uncommitted, exactly as the pre-split session behaved.
+#[derive(Debug, Clone)]
+pub struct ResilientReceiver {
     policy: RetryPolicy,
     /// Sequence number of the last frame delivered to the SR engine.
     last_seq: Option<u64>,
@@ -548,30 +775,29 @@ pub struct ResilientSession {
     colors: Option<Vec<Color>>,
     clock_s: f64,
     stats: RobustnessStats,
+    /// Seeded RNG for backoff jitter (only consulted when
+    /// [`RetryPolicy::jitter`] is non-zero).
+    jitter_rng: StdRng,
 }
 
-impl ResilientSession {
-    /// Wraps an SR session with the default retry policy.
-    pub fn new(session: SrSession) -> Self {
-        Self::with_policy(session, RetryPolicy::default())
-    }
-
-    /// Wraps an SR session with an explicit retry policy.
-    pub fn with_policy(session: SrSession, policy: RetryPolicy) -> Self {
+impl ResilientReceiver {
+    /// Creates a receiver with the given policy; `seed` drives the backoff
+    /// jitter draws (unused while [`RetryPolicy::jitter`] is zero).
+    pub fn new(policy: RetryPolicy, seed: u64) -> Self {
         Self {
-            session,
             policy,
             last_seq: None,
             positions: Vec::new(),
             colors: None,
             clock_s: 0.0,
             stats: RobustnessStats::default(),
+            jitter_rng: StdRng::seed_from_u64(seed),
         }
     }
 
-    /// The wrapped SR session.
-    pub fn session(&self) -> &SrSession {
-        &self.session
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
     }
 
     /// Robustness counters so far.
@@ -584,26 +810,25 @@ impl ResilientSession {
         self.clock_s
     }
 
-    /// Sequence number of the last successfully processed frame.
+    /// Sequence number of the last committed frame.
     pub fn last_seq(&self) -> Option<u64> {
         self.last_seq
     }
 
-    /// Fetches frame `seq` over the (faulty) link and upsamples it,
-    /// climbing the recovery ladder as needed (see the module docs). On
-    /// success the output is bit-identical to what a never-faulted session
-    /// would produce for the same frame.
+    /// Fetches frame `seq` over the (faulty) link, climbing the recovery
+    /// ladder as needed (see the module docs), and returns the verified
+    /// frame for the caller to upsample and [`commit`](Self::commit).
     ///
     /// # Errors
     /// [`Error::Transport`] when even the keyframe rung fails after all
-    /// retries (the link is effectively down); SR-engine errors propagate.
-    pub fn advance(
+    /// retries (the link is effectively down); [`Error::NotFound`] when
+    /// the origin no longer serves `seq` at all.
+    pub fn recover(
         &mut self,
         server: &DeltaServer,
-        link: &mut FaultyLink<'_>,
+        link: &mut impl Transport,
         seq: u64,
-        ratio: f64,
-    ) -> Result<SrResult> {
+    ) -> Result<RecoveredFrame> {
         // Rung 1 + 2: delta requests (spliced over any gap), retried with
         // backoff. Skipped when there is no base frame yet.
         let base = self.last_seq.filter(|&b| b < seq);
@@ -611,6 +836,7 @@ impl ResilientSession {
             for round in 0..=self.policy.max_retries {
                 self.backoff(round);
                 let Some(request) = server.delta_message(base_seq, seq) else {
+                    // Out of retention (or out of range): resync below.
                     break;
                 };
                 match self.exchange(link, &request, seq) {
@@ -651,17 +877,19 @@ impl ResilientSession {
                                 break;
                             }
                         };
-                        let result =
-                            self.upsample_delta(new_positions, new_colors, delta, ratio)?;
-                        self.note_success(seq);
-                        if seq - base_seq > 1 {
-                            self.stats.recovered_compose += 1;
+                        let kind = if seq - base_seq > 1 {
+                            RecoveryKind::Compose
                         } else if round > 0 {
-                            self.stats.recovered_retransmit += 1;
+                            RecoveryKind::Retransmit
                         } else {
-                            self.stats.clean_frames += 1;
-                        }
-                        return Ok(result);
+                            RecoveryKind::Clean
+                        };
+                        return Ok(RecoveredFrame {
+                            positions: new_positions,
+                            colors: new_colors,
+                            delta: Some(delta),
+                            kind,
+                        });
                     }
                     Some(_) => {
                         // A message for the right seq but the wrong shape or
@@ -698,22 +926,17 @@ impl ResilientSession {
                         self.stats.integrity_failures += 1;
                         continue;
                     }
-                    // The cached state may describe a frame that was never
-                    // really the predecessor: flush everything and recompute
-                    // cold from this frame's bits alone.
-                    self.session.flush_caches();
-                    let cloud = build_cloud(positions.clone(), colors.clone());
-                    let result = self.session.upsample_frame(&cloud, ratio)?;
-                    self.positions = positions;
-                    self.colors = colors;
                     let cold_start = self.last_seq.is_none() && seq == 0;
-                    self.note_success(seq);
-                    if cold_start {
-                        self.stats.clean_frames += 1;
-                    } else {
-                        self.stats.recovered_keyframe += 1;
-                    }
-                    return Ok(result);
+                    return Ok(RecoveredFrame {
+                        positions,
+                        colors,
+                        delta: None,
+                        kind: if cold_start {
+                            RecoveryKind::Clean
+                        } else {
+                            RecoveryKind::Keyframe
+                        },
+                    });
                 }
                 Some(_) => {
                     self.stats.integrity_failures += 1;
@@ -728,13 +951,36 @@ impl ResilientSession {
         )))
     }
 
+    /// Commits an upsampled frame: stores it as the new delta base,
+    /// advances `last_seq`, and counts the recovery kind. Call only after
+    /// the SR engine accepted the frame.
+    pub fn commit(&mut self, frame: RecoveredFrame, seq: u64) {
+        self.positions = frame.positions;
+        self.colors = frame.colors;
+        self.last_seq = Some(seq);
+        self.stats.frames += 1;
+        match frame.kind {
+            RecoveryKind::Clean => self.stats.clean_frames += 1,
+            RecoveryKind::Compose => self.stats.recovered_compose += 1,
+            RecoveryKind::Retransmit => self.stats.recovered_retransmit += 1,
+            RecoveryKind::Keyframe => self.stats.recovered_keyframe += 1,
+        }
+    }
+
+    /// Records that the SR engine rejected a committed delta on
+    /// verification (attempted cache poisoning, detected and never
+    /// served).
+    pub fn note_poisoning(&mut self) {
+        self.stats.poisonings_detected += 1;
+    }
+
     /// One request/response round: transmits, charges link time, and
     /// returns the first arrival that decodes to the wanted sequence
     /// number. Counts drops, integrity failures and stale arrivals; charges
     /// the timeout when nothing usable arrives.
     fn exchange(
         &mut self,
-        link: &mut FaultyLink<'_>,
+        link: &mut impl Transport,
         request: &[u8],
         want_seq: u64,
     ) -> Option<FrameMessage> {
@@ -759,42 +1005,117 @@ impl ResilientSession {
         found
     }
 
-    /// Upsamples a reconstructed delta frame, watching the engine's delta
-    /// verification: a rejection means the session's cached state does not
-    /// match the delta base (attempted cache poisoning or divergence) — it
-    /// is counted and the caches are flushed so the *next* frame starts
-    /// clean. The current output is still correct either way: the engine
-    /// falls back to its own bitwise diff, never to the poisoned mapping.
-    fn upsample_delta(
-        &mut self,
-        new_positions: Vec<Point3>,
-        new_colors: Option<Vec<Color>>,
-        delta: FrameDelta,
-        ratio: f64,
-    ) -> Result<SrResult> {
-        let cloud = build_cloud(new_positions.clone(), new_colors.clone());
-        let result = self.session.upsample_frame_delta(&cloud, ratio, delta)?;
-        if self.session.last_delta_error().is_some() {
-            self.stats.poisonings_detected += 1;
-            self.session.flush_caches();
-        }
-        self.positions = new_positions;
-        self.colors = new_colors;
-        Ok(result)
-    }
-
-    fn note_success(&mut self, seq: u64) {
-        self.last_seq = Some(seq);
-        self.stats.frames += 1;
-    }
-
     /// Charges the exponential backoff before retry `round` (no charge for
-    /// the first attempt) and counts it.
+    /// the first attempt) and counts it. With a non-zero
+    /// [`RetryPolicy::jitter`] the charge is scaled by a seeded uniform
+    /// factor in `[1 - jitter, 1 + jitter]`.
     fn backoff(&mut self, round: u32) {
         if round > 0 {
-            self.clock_s += self.policy.base_backoff_s * f64::from(1u32 << (round - 1).min(16));
+            let mut step = self.policy.base_backoff_s * f64::from(1u32 << (round - 1).min(16));
+            let jitter = self.policy.jitter.clamp(0.0, 1.0);
+            if jitter > 0.0 {
+                let u: f64 = self.jitter_rng.random();
+                step *= 1.0 + jitter * (2.0 * u - 1.0);
+            }
+            self.clock_s += step;
             self.stats.retries += 1;
         }
+    }
+}
+
+/// A fault-tolerant wrapper around [`SrSession`] implementing the recovery
+/// ladder of the module docs: a [`ResilientReceiver`] for the protocol
+/// state plus the SR engine that upsamples what it recovers.
+#[derive(Debug)]
+pub struct ResilientSession {
+    session: SrSession,
+    receiver: ResilientReceiver,
+}
+
+impl ResilientSession {
+    /// Wraps an SR session with the default retry policy.
+    pub fn new(session: SrSession) -> Self {
+        Self::with_policy(session, RetryPolicy::default())
+    }
+
+    /// Wraps an SR session with an explicit retry policy (jitter seed 0).
+    pub fn with_policy(session: SrSession, policy: RetryPolicy) -> Self {
+        Self::with_policy_seeded(session, policy, 0)
+    }
+
+    /// Wraps an SR session with an explicit retry policy and backoff
+    /// jitter seed.
+    pub fn with_policy_seeded(session: SrSession, policy: RetryPolicy, seed: u64) -> Self {
+        Self {
+            session,
+            receiver: ResilientReceiver::new(policy, seed),
+        }
+    }
+
+    /// The wrapped SR session.
+    pub fn session(&self) -> &SrSession {
+        &self.session
+    }
+
+    /// Robustness counters so far.
+    pub fn stats(&self) -> RobustnessStats {
+        self.receiver.stats()
+    }
+
+    /// The session clock: link time + backoff + timeouts accrued so far.
+    pub fn clock_s(&self) -> f64 {
+        self.receiver.clock_s()
+    }
+
+    /// Sequence number of the last successfully processed frame.
+    pub fn last_seq(&self) -> Option<u64> {
+        self.receiver.last_seq()
+    }
+
+    /// Fetches frame `seq` over the (faulty) link and upsamples it,
+    /// climbing the recovery ladder as needed (see the module docs). On
+    /// success the output is bit-identical to what a never-faulted session
+    /// would produce for the same frame.
+    ///
+    /// # Errors
+    /// [`Error::Transport`] when even the keyframe rung fails after all
+    /// retries (the link is effectively down); SR-engine errors propagate.
+    pub fn advance(
+        &mut self,
+        server: &DeltaServer,
+        link: &mut impl Transport,
+        seq: u64,
+        ratio: f64,
+    ) -> Result<SrResult> {
+        let recovered = self.receiver.recover(server, link, seq)?;
+        let result = match recovered.delta.clone() {
+            Some(delta) => {
+                // Watch the engine's delta verification: a rejection means
+                // the cached state does not match the delta base (attempted
+                // cache poisoning or divergence) — it is counted and the
+                // caches are flushed so the *next* frame starts clean. The
+                // current output is still correct either way: the engine
+                // falls back to its own bitwise diff, never to the poisoned
+                // mapping.
+                let result = self
+                    .session
+                    .upsample_frame_delta(&recovered.cloud(), ratio, delta)?;
+                if self.session.last_delta_error().is_some() {
+                    self.receiver.note_poisoning();
+                    self.session.flush_caches();
+                }
+                result
+            }
+            None => {
+                // The cached state may describe a frame that was never
+                // really the predecessor: flush everything and recompute
+                // cold from this frame's bits alone.
+                self.session.flush_caches();
+                self.session.upsample_frame(&recovered.cloud(), ratio)?
+            }
+        };
+        self.receiver.commit(recovered, seq);
+        Ok(result)
     }
 }
 
@@ -1018,6 +1339,21 @@ impl DegradationController {
         self.level
     }
 
+    /// Server-side overload escalation: forces the level at least down to
+    /// `floor`, re-attributing the residency grain [`Self::plan`] recorded
+    /// for the current frame and resetting both hysteresis streaks (the
+    /// escalation is an external decision, not evidence about this
+    /// session's own budget fit).
+    pub fn escalate_to(&mut self, floor: DegradationLevel) {
+        if floor.index() > self.level.index() {
+            self.residency[self.level.index()] -= 1;
+            self.residency[floor.index()] += 1;
+            self.level = floor;
+            self.over_streak = 0;
+            self.headroom_streak = 0;
+        }
+    }
+
     /// Records the realized compute time against the budget.
     pub fn observe(&mut self, actual_s: f64, budget_s: f64) {
         if actual_s > budget_s {
@@ -1224,6 +1560,107 @@ mod tests {
             "chaos at 25% should have injected something: {stats:?}"
         );
         assert!(stats.recoveries() > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn retention_byte_cap_bounds_a_long_session() {
+        let f = frames(150, 40, 0.15, 17);
+        let cap = 4 * frame_bytes(&f[0]);
+        let mut server = DeltaServer::with_retention(
+            f[..1].to_vec(),
+            RetentionPolicy {
+                max_frames: usize::MAX,
+                max_bytes: cap,
+            },
+        );
+        for frame in &f[1..] {
+            server.push_frame(frame.clone());
+            // The cap holds throughout the session, not just at the end.
+            assert!(
+                server.retained_bytes() <= cap || server.retained_frames() == 1,
+                "retained {} bytes over cap {cap}",
+                server.retained_bytes()
+            );
+        }
+        assert_eq!(server.frame_count(), 40, "dropped frames still count");
+        assert!(server.base_seq() > 0, "cap never evicted anything");
+        assert!(server.retained_frames() < 40);
+        // Evicted frames are gone; the head is still fully servable.
+        assert!(server.frame(0).is_none());
+        let head = server.frame_count() as u64 - 1;
+        assert!(server.frame(head).is_some());
+        assert!(server.keyframe_message(head).is_some());
+        // A gap request based before the window refuses (keyframe fallback);
+        // one inside the window still splices.
+        assert!(server.delta_message(0, head).is_none());
+        assert!(server.delta_message(server.base_seq(), head).is_some());
+    }
+
+    #[test]
+    fn beyond_window_gap_recovers_via_keyframe_bit_identically() {
+        let f = frames(150, 12, 0.1, 23);
+        let mut server =
+            DeltaServer::with_retention(f[..3].to_vec(), RetentionPolicy::last_frames(3));
+        let trace = NetworkTrace::stable(80.0, 120.0);
+        let mut link = FaultyLink::new(SimulatedLink::new(&trace), FaultConfig::lossless(), 1);
+        let mut resilient = ResilientSession::new(make_session());
+        for i in 0..3u64 {
+            resilient.advance(&server, &mut link, i, 2.0).unwrap();
+        }
+        for frame in &f[3..] {
+            server.push_frame(frame.clone());
+        }
+        assert!(server.base_seq() > 2, "old delta base must have aged out");
+        // The session's base (frame 2) fell out of the window: the delta
+        // rung refuses and the ladder resyncs with a keyframe, whose cold
+        // output must match a never-faulted cold session bit for bit.
+        let head = server.frame_count() as u64 - 1;
+        let a = resilient.advance(&server, &mut link, head, 2.0).unwrap();
+        let b = make_session()
+            .upsample_frame(&f[head as usize], 2.0)
+            .unwrap();
+        assert_eq!(a.cloud, b.cloud);
+        assert_eq!(resilient.stats().recovered_keyframe, 1);
+    }
+
+    #[test]
+    fn jittered_backoff_is_reproducible_and_stays_in_bounds() {
+        let f = frames(100, 2, 0.1, 3);
+        let server = DeltaServer::new(f);
+        let trace = NetworkTrace::stable(50.0, 60.0);
+        let all_drops = FaultConfig {
+            drop: 1.0,
+            ..FaultConfig::default()
+        };
+        // Every request is dropped, so the receiver walks the whole ladder
+        // and its final clock is exactly the link + timeout + backoff sum.
+        let run = |jitter: f64, seed: u64| {
+            let policy = RetryPolicy {
+                max_retries: 4,
+                jitter,
+                ..RetryPolicy::default()
+            };
+            let mut link = FaultyLink::new(SimulatedLink::new(&trace), all_drops.clone(), 1);
+            let mut rx = ResilientReceiver::new(policy, seed);
+            assert!(matches!(
+                rx.recover(&server, &mut link, 0),
+                Err(Error::Transport(_))
+            ));
+            assert_eq!(rx.stats().retries, 4);
+            rx.clock_s()
+        };
+        let nominal = run(0.0, 42);
+        let jittered = run(0.5, 42);
+        assert_eq!(jittered, run(0.5, 42), "same seed, same schedule");
+        assert_ne!(jittered, run(0.5, 43), "different seeds de-correlate");
+        assert_ne!(jittered, nominal);
+        // The jittered schedule stays within ±jitter of the nominal
+        // backoff sum: base * (1 + 2 + 4 + 8) scaled by at most 0.5.
+        let backoff_sum = RetryPolicy::default().base_backoff_s * 15.0;
+        assert!(
+            (jittered - nominal).abs() <= 0.5 * backoff_sum + 1e-9,
+            "jittered {jittered} vs nominal {nominal}"
+        );
     }
 
     #[test]

@@ -24,7 +24,20 @@
 //! * **telemetry is lock-cheap** — each tenant owns plain counters written
 //!   by exactly one worker during the parallel step; the coordinator rolls
 //!   them into the aggregate [`ServerTelemetry`] (frame-time p50/p95/p99,
-//!   QoE distribution, reuse-rate histogram) between ticks.
+//!   QoE distribution, reuse-rate histogram, ingest/recovery stats)
+//!   between ticks;
+//! * **ingest is a real protocol boundary** — an [`IngestSource`] per
+//!   tenant feeds frames either from the local generator or through the
+//!   resilient delta protocol (a retention-bounded
+//!   [`DeltaServer`] origin behind a seeded
+//!   faulty link, recovered by the splice → retransmit → keyframe ladder
+//!   *inside* the tick loop). Recovery time charges against the frame
+//!   deadline and QoE; hopeless tenants are quarantined with a typed
+//!   [`QuarantineCause`]; keyframe resyncs queue against a per-tick budget
+//!   (recovery-storm control); sustained degradation pressure sheds
+//!   admissions and raises a server-wide degradation floor
+//!   ([`OverloadPolicy`]). Faults stay per-tenant: a poisoned or dead link
+//!   never changes a neighbor's digest or QoE.
 //!
 //! Determinism contract: given the same specs and seeds, per-session output
 //! digests and aggregate QoE are identical across `VOLUT_WORKERS` counts
@@ -41,9 +54,14 @@ use volut_pointcloud::synthetic::{self, DeltaStream, DeltaStreamConfig};
 use volut_pointcloud::{runtime, Color, Point3, PointCloud};
 
 use crate::client::{SrComputeModel, SrSession};
+use crate::faults::{FaultConfig, OwnedFaultyLink};
 use crate::qoe::{ChunkQoe, QoeAccumulator, QoeParams, QoeSummary};
-use crate::resilience::{DegradationConfig, DegradationController, DegradationLevel};
+use crate::resilience::{
+    DegradationConfig, DegradationController, DegradationLevel, DeltaServer, ResilientReceiver,
+    RetentionPolicy, RetryPolicy, RobustnessStats,
+};
 use crate::telemetry::{ServerTelemetry, SessionCounters, TelemetrySnapshot};
+use crate::trace::NetworkTrace;
 
 /// Server-wide configuration.
 #[derive(Debug, Clone)]
@@ -72,6 +90,15 @@ pub struct ServerConfig {
     /// pre-registry behavior, kept as the measured bytes/session baseline
     /// for the `server_scaling` bench.
     pub share_registry: bool,
+    /// Keyframe-resync slots granted per tick across all resilient-ingest
+    /// tenants (recovery-storm control): tenants needing a full resync
+    /// park in a deterministic queue and at most this many are released
+    /// each tick, so a correlated burst cannot trigger a thundering herd
+    /// of cold recomputes. Cold starts are exempt.
+    pub resync_budget_per_tick: usize,
+    /// Overload shedding policy; `None` (default) disables server-level
+    /// overload control entirely.
+    pub overload: Option<OverloadPolicy>,
 }
 
 impl Default for ServerConfig {
@@ -85,8 +112,127 @@ impl Default for ServerConfig {
             degradation: Some(DegradationConfig::default()),
             planning_model: SrComputeModel::volut_lut(),
             share_registry: true,
+            resync_budget_per_tick: 8,
+            overload: None,
         }
     }
+}
+
+/// Overload shedding policy: sustained degradation pressure tightens
+/// admission and escalates a server-wide degradation floor, one level per
+/// escalation. The pressure signal is the fraction of active tenants whose
+/// *planned* level (from the deterministic analytic model, before any
+/// floor) sits below [`DegradationLevel::Full`] — never wall-clock — so
+/// overload decisions replay identically across worker counts and
+/// admission orderings.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverloadPolicy {
+    /// Pressure at or above this fraction counts the tick as overloaded.
+    pub pressure_threshold: f64,
+    /// Consecutive overloaded ticks before escalating one level.
+    pub escalate_after: u32,
+    /// Consecutive calm ticks before relaxing one level.
+    pub relax_after: u32,
+    /// Maximum overload level. Each level halves the effective admission
+    /// queue and active capacity and raises the degradation floor one
+    /// rung.
+    pub max_level: u32,
+}
+
+impl Default for OverloadPolicy {
+    fn default() -> Self {
+        Self {
+            pressure_threshold: 0.5,
+            escalate_after: 3,
+            relax_after: 6,
+            max_level: 3,
+        }
+    }
+}
+
+/// Where a tenant's frames come from — the server's ingest boundary.
+#[derive(Debug, Clone, Default)]
+pub enum IngestSource {
+    /// Frames come straight from the local generator with no transport in
+    /// between (the pre-ingest-boundary behavior): no link, no faults, no
+    /// ingest cost.
+    #[default]
+    Local,
+    /// Frames are fetched through the resilient delta protocol — a
+    /// [`DeltaServer`] origin behind a seeded faulty link, recovered by
+    /// the full splice → retransmit → keyframe ladder inside the tick
+    /// loop. Recovery time is charged against the tenant's frame deadline
+    /// and QoE.
+    Resilient(IngestConfig),
+}
+
+// The serde shim's derive handles unit-variant enums only; render the
+// data-carrying variant by hand as a one-entry tagged map.
+impl Serialize for IngestSource {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            IngestSource::Local => serde::Value::Str("local".to_string()),
+            IngestSource::Resilient(cfg) => {
+                serde::Value::Map(vec![("resilient".to_string(), cfg.to_value())])
+            }
+        }
+    }
+}
+
+/// Configuration of one tenant's resilient ingest path.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestConfig {
+    /// Fault profile of the tenant's ingest link.
+    pub faults: FaultConfig,
+    /// Recovery-ladder retry policy (set [`RetryPolicy::jitter`] non-zero
+    /// to de-correlate co-tenant retransmits after a shared burst).
+    pub retry: RetryPolicy,
+    /// Ingest link bandwidth, Mbps (modeled as a stable trace).
+    pub link_mbps: f64,
+    /// `Some(seed)`: every tenant with the same value draws the identical
+    /// fault schedule — the correlated-burst scenario where one backbone
+    /// event hits many tenants at once. `None` (default): the schedule is
+    /// seeded per tenant from the session seed, independent of admission
+    /// order.
+    pub shared_fault_seed: Option<u64>,
+    /// Retention bound of the tenant's origin history; gap requests behind
+    /// the window fall back to a keyframe resync.
+    pub retention: RetentionPolicy,
+    /// Consecutive ticks of full recovery-ladder exhaustion before the
+    /// tenant is quarantined with [`QuarantineCause::RetryExhausted`].
+    pub quarantine_after_exhaustions: u32,
+    /// Consecutive delivered frames whose recovery hit integrity failures
+    /// (checksum/digest rejections or detected poisonings) before the
+    /// tenant is quarantined with [`QuarantineCause::IntegrityFailure`].
+    pub quarantine_after_integrity: u32,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        Self {
+            faults: FaultConfig::lossless(),
+            retry: RetryPolicy::default(),
+            link_mbps: 80.0,
+            shared_fault_seed: None,
+            retention: RetentionPolicy::last_frames(32),
+            quarantine_after_exhaustions: 2,
+            quarantine_after_integrity: 8,
+        }
+    }
+}
+
+/// Why a tenant was retired before completing its frames. A quarantined
+/// tenant is counted, reported, and never served again — and never takes
+/// the tick (or any co-tenant) down with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum QuarantineCause {
+    /// The recovery ladder exhausted every rung and retry for several
+    /// consecutive ticks: the ingest link is effectively down.
+    RetryExhausted,
+    /// Recovery kept hitting integrity failures (mangled payloads,
+    /// digest mismatches, detected poisonings) past the configured
+    /// threshold.
+    IntegrityFailure,
 }
 
 /// One session request: which content to stream and how the synthetic
@@ -103,6 +249,37 @@ pub struct SessionSpec {
     pub churn: f64,
     /// Session length in frames (clamped to ≥ 1 at admission).
     pub frames: u64,
+    /// How the tenant is fed frames (local generator or resilient delta
+    /// protocol over a faulty link).
+    pub ingest: IngestSource,
+}
+
+/// Per-tenant state of the resilient ingest path: a paced origin behind a
+/// seeded faulty link plus the receiver running the recovery ladder. Lives
+/// inside the tenant, so the parallel frame step still hands each worker
+/// one exclusive `&mut` — ingest never adds locks to the frame path.
+struct ResilientIngest {
+    /// The tenant's origin: frames are pushed as the client consumes them
+    /// (paced, so the served sequence is identical to a clean run's) and
+    /// retention-bounded.
+    delta_server: DeltaServer,
+    receiver: ResilientReceiver,
+    link: OwnedFaultyLink,
+    config: IngestConfig,
+    /// Next sequence number to fetch.
+    next_seq: u64,
+    /// Parked awaiting a keyframe-resync grant (recovery-storm control).
+    parked: bool,
+    /// Grant from the coordinator's per-tick resync budget.
+    granted: bool,
+    /// Tick at which the tenant parked (primary grant-queue key).
+    park_tick: u64,
+    /// Consecutive ticks the whole recovery ladder was exhausted.
+    transport_streak: u32,
+    /// Consecutive delivered frames whose recovery hit integrity failures.
+    integrity_streak: u32,
+    /// `integrity_failures + poisonings_detected` at the last commit.
+    prev_integrity: u64,
 }
 
 /// Per-session serving state. All mutable state lives here, so the parallel
@@ -116,6 +293,8 @@ struct Tenant {
     /// bit-safe — see [`SrSession::upsample_frame_via`]).
     degraded: SrPipeline,
     stream: DeltaStream,
+    /// `Some` when the tenant is fed through the resilient delta protocol.
+    ingest: Option<ResilientIngest>,
     controller: Option<DegradationController>,
     /// Level planned for the current tick (written by the coordinator).
     planned: DegradationLevel,
@@ -135,6 +314,19 @@ struct Tenant {
     frame_errors: u64,
     prev_rows_reused: u64,
     prev_rows_recomputed: u64,
+    /// Simulated ingest seconds of the most recent frame (link + backoff +
+    /// timeouts) — deterministic, charged into next tick's planning.
+    last_ingest_s: f64,
+    /// Stall seconds accrued on frameless ticks (parked / exhausted),
+    /// charged into the next delivered frame's QoE.
+    pending_stall_s: f64,
+    /// Quarantine verdict; set inside the parallel step, acted on by the
+    /// coordinator at retirement.
+    failure: Option<QuarantineCause>,
+    /// Whether this tick produced a frame (gates the telemetry rollup).
+    stepped: bool,
+    /// Ingest stats already rolled into the aggregate telemetry.
+    rolled_stats: RobustnessStats,
 }
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -180,12 +372,36 @@ impl Tenant {
             },
         );
         let remaining = spec.frames.max(1);
+        let ingest = match &spec.ingest {
+            IngestSource::Local => None,
+            IngestSource::Resilient(cfg) => {
+                let trace = Arc::new(NetworkTrace::stable(cfg.link_mbps.max(0.1), 60.0));
+                // Seeds derive from the session seed, never the admission
+                // id, so schedules replay across admission orderings; a
+                // shared seed reproduces one backbone event across tenants.
+                let fault_seed = cfg.shared_fault_seed.unwrap_or(spec.seed);
+                Some(ResilientIngest {
+                    delta_server: DeltaServer::with_retention(Vec::new(), cfg.retention),
+                    receiver: ResilientReceiver::new(cfg.retry, spec.seed ^ 0x6a09_e667_f3bc_c908),
+                    link: OwnedFaultyLink::new(trace, cfg.faults.clone(), fault_seed),
+                    config: cfg.clone(),
+                    next_seq: 0,
+                    parked: false,
+                    granted: false,
+                    park_tick: 0,
+                    transport_streak: 0,
+                    integrity_streak: 0,
+                    prev_integrity: 0,
+                })
+            }
+        };
         Ok(Self {
             id,
             spec,
             session,
             degraded,
             stream,
+            ingest,
             controller: config.degradation.map(DegradationController::new),
             planned: DegradationLevel::Full,
             remaining,
@@ -198,6 +414,11 @@ impl Tenant {
             frame_errors: 0,
             prev_rows_reused: 0,
             prev_rows_recomputed: 0,
+            last_ingest_s: 0.0,
+            pending_stall_s: 0.0,
+            failure: None,
+            stepped: false,
+            rolled_stats: RobustnessStats::default(),
         })
     }
 
@@ -212,18 +433,107 @@ impl Tenant {
 
     /// Runs one frame at the planned level. Called from the parallel step
     /// with exclusive access; everything observable in the output digest
-    /// and QoE depends only on the session's own seed and plan.
-    fn step(&mut self, config: &ServerConfig) {
+    /// and QoE depends only on the session's own seed, plan, and simulated
+    /// ingest schedule — never on wall-clock or worker interleaving.
+    ///
+    /// A resilient-ingest tenant first pulls the frame through the recovery
+    /// ladder. Three frameless outcomes exist: the tenant is parked
+    /// awaiting a resync grant (pure stall), the ladder exhausted every
+    /// rung (stall, possibly quarantine), or the tenant was already
+    /// quarantined. Frameless ticks charge stall time into the next
+    /// delivered frame's QoE and leave the digest/frame counters untouched,
+    /// so the delivered sequence stays bit-identical to a clean run's.
+    fn step(&mut self, config: &ServerConfig, tick: u64) {
+        self.stepped = false;
+        if self.failure.is_some() {
+            return;
+        }
         let started = Instant::now();
         let level = self.planned;
-        let (frame, delta) = if self.started {
-            let delta = self.stream.advance();
-            (self.stream.frame().clone(), Some(delta))
-        } else {
-            self.started = true;
-            (self.stream.frame().clone(), None)
+        let (frame, delta, ingest_s, recovered) = match &mut self.ingest {
+            None => {
+                let (frame, delta) = if self.started {
+                    let delta = self.stream.advance();
+                    (self.stream.frame().clone(), Some(delta))
+                } else {
+                    self.started = true;
+                    (self.stream.frame().clone(), None)
+                };
+                (frame, delta, 0.0, None)
+            }
+            Some(ingest) => {
+                if ingest.parked && !ingest.granted {
+                    // Waiting in the resync queue: the whole interval
+                    // stalls, no frame is produced.
+                    self.pending_stall_s += config.frame_interval_s;
+                    return;
+                }
+                // Pace the origin: produce exactly the frames the client
+                // consumes, so the served sequence — and therefore the
+                // digest — is identical to a clean-link run's.
+                while (ingest.delta_server.frame_count() as u64) <= ingest.next_seq {
+                    if self.started {
+                        let d = self.stream.advance();
+                        ingest
+                            .delta_server
+                            .push_frame_with_delta(self.stream.frame().clone(), d);
+                    } else {
+                        self.started = true;
+                        ingest.delta_server.push_frame(self.stream.frame().clone());
+                    }
+                }
+                let clock0 = ingest.receiver.clock_s();
+                match ingest.receiver.recover(
+                    &ingest.delta_server,
+                    &mut ingest.link,
+                    ingest.next_seq,
+                ) {
+                    Ok(rec) => {
+                        let resync = rec.delta.is_none() && ingest.receiver.last_seq().is_some();
+                        if resync && !ingest.granted {
+                            // A full keyframe resync costs a cold recompute;
+                            // park until the coordinator grants a slot from
+                            // the per-tick budget (recovery-storm control).
+                            // Cold starts never reach here (`last_seq` is
+                            // still `None`), so startup is budget-exempt.
+                            ingest.parked = true;
+                            ingest.park_tick = tick;
+                            self.pending_stall_s += config.frame_interval_s;
+                            return;
+                        }
+                        if resync {
+                            ingest.parked = false;
+                            ingest.granted = false;
+                        }
+                        ingest.transport_streak = 0;
+                        let ingest_s = ingest.receiver.clock_s() - clock0;
+                        (rec.cloud(), rec.delta.clone(), ingest_s, Some(rec))
+                    }
+                    Err(_) => {
+                        // Every rung and retry failed: stall the interval
+                        // and quarantine once the streak is long enough.
+                        // The tick — and every co-tenant — keeps going.
+                        ingest.transport_streak += 1;
+                        self.pending_stall_s += config.frame_interval_s;
+                        if ingest.transport_streak
+                            >= ingest.config.quarantine_after_exhaustions.max(1)
+                        {
+                            self.failure = Some(QuarantineCause::RetryExhausted);
+                        }
+                        return;
+                    }
+                }
+            }
         };
+        // A keyframe resync (or cold start) recomputes cold: flush the
+        // cross-frame caches so the output depends only on this frame's
+        // own bits — the invariant that makes recovery bit-identical.
+        if recovered.is_some() && delta.is_none() {
+            self.session.flush_caches();
+            self.synced = false;
+        }
         let declared = if self.synced { delta } else { None };
+        let declared_was_some = declared.is_some();
         let ratio = level.effective_ratio(config.ratio);
         let outcome = match level {
             DegradationLevel::Passthrough => None,
@@ -260,17 +570,45 @@ impl Tenant {
         self.digest = fnv1a(self.digest, output_digest);
         self.digest = fnv1a(self.digest, frame.len() as u64);
 
+        if let (Some(rec), Some(ingest)) = (recovered, &mut self.ingest) {
+            // The engine verifies every declared delta against its cached
+            // state; a rejection is an attempted cache poisoning — count it
+            // and flush so the next frame recomputes cold (the served frame
+            // itself is already correct via the engine's own diff fallback).
+            if declared_was_some && self.session.last_delta_error().is_some() {
+                ingest.receiver.note_poisoning();
+                self.session.flush_caches();
+                self.synced = false;
+            }
+            ingest.receiver.commit(rec, ingest.next_seq);
+            ingest.next_seq += 1;
+            let stats = ingest.receiver.stats();
+            let integrity = stats.integrity_failures + stats.poisonings_detected;
+            if integrity > ingest.prev_integrity {
+                ingest.integrity_streak += 1;
+                if ingest.integrity_streak >= ingest.config.quarantine_after_integrity.max(1) {
+                    self.failure = Some(QuarantineCause::IntegrityFailure);
+                }
+            } else {
+                ingest.integrity_streak = 0;
+            }
+            ingest.prev_integrity = integrity;
+        }
+
         let elapsed = started.elapsed().as_secs_f64();
         let quality = level.quality_factor();
         self.counters.frames += 1;
         self.counters.last_frame_time_s = elapsed;
         self.counters.last_quality = quality;
         self.counters.total_compute_s += elapsed;
-        if elapsed > config.deadline_s {
+        // Ingest recovery time (simulated link + backoff seconds —
+        // deterministic) is charged against the frame deadline alongside
+        // the measured compute, so degradation and QoE see real fault cost.
+        if elapsed + ingest_s > config.deadline_s {
             self.counters.deadline_misses += 1;
         }
         if let Some(controller) = &mut self.controller {
-            controller.observe(elapsed, config.deadline_s);
+            controller.observe(elapsed + ingest_s, config.deadline_s);
         }
         let t = self.session.temporal_stats();
         let frame_reused = t.rows_reused - self.prev_rows_reused;
@@ -283,13 +621,20 @@ impl Tenant {
         } else {
             frame_reused as f64 / rows as f64
         };
+        // Stall = everything accrued while frameless (parked / exhausted
+        // intervals) plus the part of this frame's recovery that overran
+        // the playback interval.
+        let stall_s = self.pending_stall_s + (ingest_s - config.frame_interval_s).max(0.0);
+        self.pending_stall_s = 0.0;
         self.qoe.push(ChunkQoe {
             quality,
             previous_quality: self.prev_quality.unwrap_or(quality),
-            stall_s: 0.0,
+            stall_s,
             duration_s: config.frame_interval_s,
         });
         self.prev_quality = Some(quality);
+        self.last_ingest_s = ingest_s;
+        self.stepped = true;
         self.remaining -= 1;
     }
 
@@ -299,10 +644,15 @@ impl Tenant {
         } else {
             self.session.pipeline().refiner_memory_bytes()
         };
+        let retained = self
+            .ingest
+            .as_ref()
+            .map_or(0, |i| i.delta_server.retained_bytes() as usize);
         std::mem::size_of::<Self>()
             + self.session.scratch().reserved_bytes()
             + cloud_bytes(self.stream.frame())
             + table
+            + retained
     }
 }
 
@@ -329,6 +679,12 @@ pub struct SessionReport {
     pub digest: u64,
     /// Frames spent at each degradation level, `Full` first.
     pub residency: [u64; 5],
+    /// `Some` when the session was quarantined before completing its
+    /// frames; the typed cause of retirement.
+    pub failure: Option<QuarantineCause>,
+    /// Final recovery-ladder stats of a resilient-ingest session (`None`
+    /// for local ingest).
+    pub ingest: Option<RobustnessStats>,
 }
 
 /// Memory accounting of a running server (see the `server_scaling` bench).
@@ -370,6 +726,14 @@ pub struct SrServer {
     finished: Vec<SessionReport>,
     next_id: u64,
     order: Vec<u32>,
+    /// Monotonic tick counter (grant-queue ordering key).
+    ticks: u64,
+    /// Current overload level (0 = no shedding).
+    overload_level: u32,
+    /// Consecutive overloaded ticks (escalation streak).
+    overload_pressured: u32,
+    /// Consecutive calm ticks (relaxation streak).
+    overload_calm: u32,
 }
 
 /// Moves a raw tenant-slice pointer into the parallel frame step. Safety
@@ -402,6 +766,10 @@ impl SrServer {
             finished: Vec::new(),
             next_id: 0,
             order: Vec::new(),
+            ticks: 0,
+            overload_level: 0,
+            overload_pressured: 0,
+            overload_calm: 0,
         }
     }
 
@@ -422,9 +790,19 @@ impl SrServer {
 
     /// Submits a session request. Returns `false` — and counts a rejection
     /// — when the run queue is full or the content item is not published.
+    /// Under overload the effective queue bound halves per overload level
+    /// (admission tightening); requests shed this way are additionally
+    /// counted in [`ServerTelemetry::sessions_shed`].
     pub fn enqueue(&mut self, spec: SessionSpec) -> bool {
-        if self.queue.len() >= self.config.queue_limit || self.registry.get(&spec.content).is_none()
-        {
+        if self.registry.get(&spec.content).is_none() {
+            self.telemetry.sessions_rejected += 1;
+            return false;
+        }
+        let limit = (self.config.queue_limit >> self.overload_level.min(31)).max(1);
+        if self.queue.len() >= limit {
+            if limit < self.config.queue_limit {
+                self.telemetry.sessions_shed += 1;
+            }
             self.telemetry.sessions_rejected += 1;
             return false;
         }
@@ -432,13 +810,20 @@ impl SrServer {
         true
     }
 
-    /// Runs one server tick: admit from the queue up to capacity, plan
+    /// Runs one server tick: admit from the queue up to (overload-adjusted)
+    /// capacity, grant keyframe-resync slots from the per-tick budget, plan
     /// every active session's degradation level against the deadline,
     /// dispatch the frame jobs longest-predicted-first onto the pool, roll
-    /// counters into the aggregate, and retire completed sessions.
+    /// counters into the aggregate, retire completed or quarantined
+    /// sessions, and update the overload controller.
     pub fn tick(&mut self) {
-        // 1. Admission: fill free capacity from the queue, in order.
-        while self.tenants.len() < self.config.capacity {
+        let tick = self.ticks;
+        self.ticks += 1;
+
+        // 1. Admission: fill free (overload-adjusted) capacity from the
+        // queue, in order.
+        let capacity = (self.config.capacity >> self.overload_level.min(31)).max(1);
+        while self.tenants.len() < capacity {
             let Some(spec) = self.queue.pop_front() else {
                 break;
             };
@@ -461,29 +846,78 @@ impl SrServer {
             return;
         }
 
+        // 1.5. Recovery-storm control: release at most
+        // `resync_budget_per_tick` parked tenants, longest-waiting first
+        // (ties broken by session seed then admission id — all
+        // deterministic, independent of worker count and wall-clock).
+        let mut waiting: Vec<usize> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                t.failure.is_none() && t.ingest.as_ref().is_some_and(|i| i.parked && !i.granted)
+            })
+            .map(|(ix, _)| ix)
+            .collect();
+        waiting.sort_by_key(|&ix| {
+            let t = &self.tenants[ix];
+            let park_tick = t.ingest.as_ref().map_or(0, |i| i.park_tick);
+            (park_tick, t.spec.seed, t.id)
+        });
+        for (rank, &ix) in waiting.iter().enumerate() {
+            if rank < self.config.resync_budget_per_tick {
+                self.tenants[ix].ingest.as_mut().expect("filtered").granted = true;
+                self.telemetry.resync_grants += 1;
+            } else {
+                self.telemetry.resync_deferrals += 1;
+            }
+        }
+
         // 2. Plan levels sequentially (admission order) with the analytic
-        // model — deterministic, and cheap relative to the frames.
+        // model — deterministic, and cheap relative to the frames. Ingest
+        // cost (last frame's simulated recovery seconds) is charged into
+        // the prediction so the LPT order sees fault-burdened tenants as
+        // heavy. Overload pressure is measured on the *pre-floor* planned
+        // levels, so the floor itself never feeds back into the signal.
         let mut predicted: Vec<f64> = Vec::with_capacity(self.tenants.len());
+        let mut below_full = 0usize;
+        let floor = self.config.overload.as_ref().map(|_| {
+            DegradationLevel::ALL
+                [(self.overload_level as usize).min(DegradationLevel::ALL.len() - 1)]
+        });
         for tenant in &mut self.tenants {
             let level = match &mut tenant.controller {
                 Some(controller) => {
                     let spec_points = tenant.stream.frame().len() as f64;
                     let model = &self.config.planning_model;
                     let ratio = self.config.ratio;
-                    controller.plan(
+                    let last_ingest = tenant.last_ingest_s;
+                    let planned = controller.plan(
                         |level| {
                             level
                                 .adjusted_model(model)
                                 .frame_time_s(spec_points, level.effective_ratio(ratio))
+                                + last_ingest
                         },
                         self.config.deadline_s,
-                    )
+                    );
+                    if planned != DegradationLevel::Full {
+                        below_full += 1;
+                    }
+                    match floor {
+                        Some(floor) if floor.index() > planned.index() => {
+                            controller.escalate_to(floor);
+                            floor
+                        }
+                        _ => planned,
+                    }
                 }
                 None => DegradationLevel::Full,
             };
             tenant.planned = level;
-            predicted.push(tenant.predict(level, &self.config));
+            predicted.push(tenant.predict(level, &self.config) + tenant.last_ingest_s);
         }
+        let planned_active = self.tenants.len();
 
         // 3. LPT dispatch order: longest predicted frame first (ties by
         // admission id) so heavy sessions start while light ones backfill.
@@ -505,19 +939,35 @@ impl SrServer {
                 // run_order partitions it into disjoint slices, so this
                 // index is visited by exactly one worker.
                 let tenant = unsafe { base.tenant(ix) };
-                tenant.step(config);
+                tenant.step(config, tick);
             }
         });
 
-        // 5. Sequential roll-up in admission order, then retirement.
-        for tenant in &self.tenants {
-            self.telemetry.record_frame(&tenant.counters);
-            self.telemetry.deadline_misses +=
-                u64::from(tenant.counters.last_frame_time_s > self.config.deadline_s);
+        // 5. Sequential roll-up in admission order (only tenants that
+        // actually produced a frame this tick), then retirement.
+        for tenant in &mut self.tenants {
+            if tenant.stepped {
+                self.telemetry.record_frame(&tenant.counters);
+                self.telemetry.deadline_misses += u64::from(
+                    tenant.counters.last_frame_time_s + tenant.last_ingest_s
+                        > self.config.deadline_s,
+                );
+                tenant.stepped = false;
+            }
+            if let Some(ingest) = &tenant.ingest {
+                // Lock-free by construction: the stats live in the tenant,
+                // written only by its one worker; the coordinator folds the
+                // per-tick delta here, between parallel steps.
+                let current = ingest.receiver.stats();
+                self.telemetry
+                    .ingest
+                    .add_delta(&current, &tenant.rolled_stats);
+                tenant.rolled_stats = current;
+            }
         }
         let mut retired = Vec::new();
         self.tenants.retain_mut(|tenant| {
-            if tenant.remaining > 0 {
+            if tenant.remaining > 0 && tenant.failure.is_none() {
                 return true;
             }
             retired.push(SessionReport {
@@ -533,11 +983,41 @@ impl SrServer {
                     .controller
                     .as_ref()
                     .map_or([tenant.counters.frames, 0, 0, 0, 0], |c| c.residency()),
+                failure: tenant.failure,
+                ingest: tenant.ingest.as_ref().map(|i| i.receiver.stats()),
             });
             false
         });
+        self.telemetry.sessions_quarantined +=
+            retired.iter().filter(|r| r.failure.is_some()).count() as u64;
         self.telemetry.sessions_retired += retired.len() as u64;
         self.finished.extend(retired);
+
+        // 6. Overload controller: escalate after sustained pressure, relax
+        // after sustained calm. `below_full` came from the pre-floor plans
+        // of the analytic model — nothing here reads wall-clock.
+        if let Some(policy) = &self.config.overload {
+            let pressure = below_full as f64 / planned_active.max(1) as f64;
+            if pressure >= policy.pressure_threshold {
+                self.overload_pressured += 1;
+                self.overload_calm = 0;
+                if self.overload_pressured >= policy.escalate_after
+                    && self.overload_level < policy.max_level
+                {
+                    self.overload_level += 1;
+                    self.overload_pressured = 0;
+                    self.telemetry.overload_escalations += 1;
+                }
+            } else {
+                self.overload_calm += 1;
+                self.overload_pressured = 0;
+                if self.overload_calm >= policy.relax_after && self.overload_level > 0 {
+                    self.overload_level -= 1;
+                    self.overload_calm = 0;
+                }
+            }
+        }
+        self.telemetry.overload_level = self.overload_level;
     }
 
     /// Drives ticks until the queue and every admitted session are drained,
@@ -626,6 +1106,7 @@ mod tests {
             points: 400,
             churn: 0.1,
             frames: 4,
+            ingest: IngestSource::Local,
         }
     }
 
@@ -730,6 +1211,190 @@ mod tests {
         );
         // Passthrough quality is priced into QoE.
         assert!(s.qoe.mean_quality < 0.9);
+    }
+
+    fn resilient_spec(seed: u64, cfg: IngestConfig) -> SessionSpec {
+        SessionSpec {
+            ingest: IngestSource::Resilient(cfg),
+            ..spec(seed)
+        }
+    }
+
+    /// Degradation pinned off so planning (which sees ingest cost) cannot
+    /// shift levels between the compared runs — digest comparisons then
+    /// isolate the transport path alone.
+    fn undegraded() -> ServerConfig {
+        ServerConfig {
+            degradation: None,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn digests_by_seed(report: &ServerReport) -> Vec<(u64, u64)> {
+        let mut rows: Vec<(u64, u64)> =
+            report.sessions.iter().map(|s| (s.seed, s.digest)).collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn resilient_clean_link_matches_local_digests() {
+        let mut local = SrServer::new(test_registry(), undegraded());
+        let mut resilient = SrServer::new(test_registry(), undegraded());
+        for seed in [3, 11, 27] {
+            local.enqueue(spec(seed));
+            resilient.enqueue(resilient_spec(seed, IngestConfig::default()));
+        }
+        let local_report = local.run(64);
+        let report = resilient.run(64);
+        assert_eq!(digests_by_seed(&report), digests_by_seed(&local_report));
+        for s in &report.sessions {
+            assert_eq!(s.frames, 4);
+            assert_eq!(s.failure, None);
+            let stats = s.ingest.expect("resilient sessions report ingest stats");
+            assert_eq!(stats.frames, 4);
+            assert_eq!(stats.poisonings_detected, 0);
+        }
+        assert!(local_report.sessions.iter().all(|s| s.ingest.is_none()));
+    }
+
+    #[test]
+    fn lossy_ingest_stays_bit_identical_to_clean() {
+        let lossy = IngestConfig {
+            faults: FaultConfig {
+                drop: 0.3,
+                ..FaultConfig::default()
+            },
+            ..IngestConfig::default()
+        };
+        let mut clean = SrServer::new(test_registry(), undegraded());
+        let mut faulted = SrServer::new(test_registry(), undegraded());
+        for seed in [5, 13, 21] {
+            clean.enqueue(SessionSpec {
+                frames: 8,
+                ..resilient_spec(seed, IngestConfig::default())
+            });
+            faulted.enqueue(SessionSpec {
+                frames: 8,
+                ..resilient_spec(seed, lossy.clone())
+            });
+        }
+        let clean_report = clean.run(256);
+        let report = faulted.run(256);
+        assert_eq!(digests_by_seed(&report), digests_by_seed(&clean_report));
+        let recovered: u64 = report
+            .sessions
+            .iter()
+            .filter_map(|s| s.ingest)
+            .map(|st| st.recovered_retransmit + st.recovered_compose + st.recovered_keyframe)
+            .sum();
+        assert!(recovered > 0, "the lossy run must exercise the ladder");
+        assert_eq!(report.telemetry.ingest.frames, 3 * 8);
+    }
+
+    #[test]
+    fn permanent_link_failure_quarantines_and_isolates_neighbors() {
+        let dead = IngestConfig {
+            faults: FaultConfig {
+                drop: 1.0,
+                ..FaultConfig::default()
+            },
+            ..IngestConfig::default()
+        };
+        let mut baseline = SrServer::new(test_registry(), undegraded());
+        let mut chaotic = SrServer::new(test_registry(), undegraded());
+        for seed in [1, 2, 3] {
+            baseline.enqueue(resilient_spec(seed, IngestConfig::default()));
+            chaotic.enqueue(resilient_spec(seed, IngestConfig::default()));
+        }
+        chaotic.enqueue(resilient_spec(99, dead));
+        let baseline_report = baseline.run(64);
+        let report = chaotic.run(64);
+        let victim = report
+            .sessions
+            .iter()
+            .find(|s| s.seed == 99)
+            .expect("quarantined sessions are still reported");
+        assert_eq!(victim.failure, Some(QuarantineCause::RetryExhausted));
+        assert_eq!(victim.frames, 0, "a dead link never delivers a frame");
+        assert_eq!(report.telemetry.sessions_quarantined, 1);
+        let healthy: Vec<(u64, u64)> = digests_by_seed(&report)
+            .into_iter()
+            .filter(|(seed, _)| *seed != 99)
+            .collect();
+        assert_eq!(
+            healthy,
+            digests_by_seed(&baseline_report),
+            "a neighbor's dead link must not move any other tenant's bits"
+        );
+    }
+
+    #[test]
+    fn resync_budget_serializes_keyframe_storms() {
+        // A one-frame retention window turns every post-start fetch into a
+        // keyframe resync, so all tenants storm the budget at once.
+        let tiny_window = IngestConfig {
+            retention: RetentionPolicy::last_frames(1),
+            ..IngestConfig::default()
+        };
+        let config = ServerConfig {
+            resync_budget_per_tick: 1,
+            ..undegraded()
+        };
+        let mut local = SrServer::new(test_registry(), undegraded());
+        let mut server = SrServer::new(test_registry(), config);
+        for seed in [4, 8, 15] {
+            local.enqueue(spec(seed));
+            server.enqueue(resilient_spec(seed, tiny_window.clone()));
+        }
+        let local_report = local.run(64);
+        let report = server.run(256);
+        assert_eq!(report.telemetry.sessions_retired, 3);
+        assert!(report.telemetry.resync_grants > 0);
+        assert!(
+            report.telemetry.resync_deferrals > 0,
+            "three simultaneous resyncs against a budget of one must defer"
+        );
+        // Keyframe resyncs recompute cold; cold output is bit-identical to
+        // the incremental path, so digests still match the local run.
+        assert_eq!(digests_by_seed(&report), digests_by_seed(&local_report));
+        for s in &report.sessions {
+            let stats = s.ingest.expect("resilient stats");
+            assert!(stats.recovered_keyframe > 0, "{stats:?}");
+        }
+    }
+
+    #[test]
+    fn overload_sheds_admissions_and_escalates() {
+        let config = ServerConfig {
+            capacity: 1,
+            queue_limit: 8,
+            deadline_s: 1e-9,
+            overload: Some(OverloadPolicy {
+                escalate_after: 1,
+                relax_after: 1000,
+                ..OverloadPolicy::default()
+            }),
+            ..ServerConfig::default()
+        };
+        let mut server = SrServer::new(test_registry(), config);
+        for seed in 0..8 {
+            assert!(server.enqueue(SessionSpec {
+                frames: 16,
+                ..spec(seed)
+            }));
+        }
+        server.tick();
+        server.tick();
+        assert!(
+            server.telemetry().overload_level >= 1,
+            "an impossible deadline must escalate overload"
+        );
+        assert!(server.telemetry().overload_escalations >= 1);
+        // The queue still holds 7 requests; the tightened limit (8 >> 1 = 4)
+        // sheds the next one.
+        assert!(!server.enqueue(spec(100)));
+        assert!(server.telemetry().sessions_shed >= 1);
     }
 
     #[test]

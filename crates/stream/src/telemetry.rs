@@ -16,6 +16,8 @@
 
 use serde::Serialize;
 
+use crate::resilience::RobustnessStats;
+
 /// Lowest binade recorded distinctly: values below `2^MIN_EXP` (≈ 0.95 µs
 /// when recording seconds) collapse into the first bucket.
 const MIN_EXP: i32 = -20;
@@ -280,6 +282,25 @@ pub struct ServerTelemetry {
     pub sessions_rejected: u64,
     /// Sessions that completed and were retired.
     pub sessions_retired: u64,
+    /// Sessions retired early with a quarantine cause (retry exhaustion or
+    /// repeated integrity failure on their ingest path).
+    pub sessions_quarantined: u64,
+    /// Sessions rejected specifically because overload tightened the
+    /// admission queue below its configured bound (a subset of
+    /// `sessions_rejected`).
+    pub sessions_shed: u64,
+    /// Current server overload level (0 = no overload).
+    pub overload_level: u32,
+    /// Times the overload controller escalated one level.
+    pub overload_escalations: u64,
+    /// Keyframe-resync slots granted from the per-tick budget.
+    pub resync_grants: u64,
+    /// Ticks a parked tenant spent waiting past the per-tick resync budget.
+    pub resync_deferrals: u64,
+    /// Aggregate ingest/recovery counters across all resilient-ingest
+    /// tenants, merged per tick from each tenant's own monotone counters
+    /// (the frame path itself stays lock-free).
+    pub ingest: RobustnessStats,
 }
 
 impl ServerTelemetry {
@@ -305,6 +326,13 @@ impl ServerTelemetry {
             sessions_admitted: self.sessions_admitted,
             sessions_rejected: self.sessions_rejected,
             sessions_retired: self.sessions_retired,
+            sessions_quarantined: self.sessions_quarantined,
+            sessions_shed: self.sessions_shed,
+            overload_level: self.overload_level,
+            overload_escalations: self.overload_escalations,
+            resync_grants: self.resync_grants,
+            resync_deferrals: self.resync_deferrals,
+            ingest: self.ingest,
             frame_time_p50_ms: self.frame_time.percentile(0.50) * 1e3,
             frame_time_p95_ms: self.frame_time.percentile(0.95) * 1e3,
             frame_time_p99_ms: self.frame_time.percentile(0.99) * 1e3,
@@ -329,6 +357,20 @@ pub struct TelemetrySnapshot {
     pub sessions_rejected: u64,
     /// Sessions that completed and were retired.
     pub sessions_retired: u64,
+    /// Sessions retired early with a quarantine cause.
+    pub sessions_quarantined: u64,
+    /// Sessions rejected because overload tightened the admission queue.
+    pub sessions_shed: u64,
+    /// Overload level at snapshot time (0 = no overload).
+    pub overload_level: u32,
+    /// Times the overload controller escalated one level.
+    pub overload_escalations: u64,
+    /// Keyframe-resync slots granted from the per-tick budget.
+    pub resync_grants: u64,
+    /// Ticks parked tenants spent waiting past the resync budget.
+    pub resync_deferrals: u64,
+    /// Aggregate ingest/recovery counters across resilient-ingest tenants.
+    pub ingest: RobustnessStats,
     /// Median per-frame wall time, milliseconds.
     pub frame_time_p50_ms: f64,
     /// 95th-percentile per-frame wall time, milliseconds.
